@@ -1,0 +1,72 @@
+//===- bench/bench_invariant_census.cpp - Sect. 9.4.1 invariant census ---------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+// Experiment E4 (DESIGN.md): Sect. 9.4.1 dumps the main loop invariant
+// (4.5 Mb of text) and counts its assertions: 6,900 boolean, 9,600
+// interval, 25,400 clock, 19,100 additive octagonal, 19,200 subtractive
+// octagonal, 100 decision trees, 1,900 ellipsoidal; over 16,000 distinct
+// floating-point constants. We census the main loop invariant of a family
+// member; the reproduction target is the *ordering* — interval/clock/
+// octagon assertions dominate, decision trees and ellipsoids are rare —
+// and proportionality with program size.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace astral;
+using namespace astral::benchutil;
+
+int main() {
+  std::puts("E4 — main loop invariant census (Sect. 9.4.1)");
+  std::puts("paper (75 kLOC program): 6,900 boolean / 9,600 interval / "
+            "25,400 clock /");
+  std::puts("19,100 additive + 19,200 subtractive octagonal / 100 decision "
+            "trees / 1,900");
+  std::puts("ellipsoidal assertions; >16,000 fp constants; 4.5 Mb dump.");
+  hr();
+
+  codegen::GeneratorConfig C;
+  C.TargetLines = fullRuns() ? 16000 : 4000;
+  C.Seed = 99;
+  codegen::FamilyProgram FP = codegen::generateFamilyProgram(C);
+  AnalysisResult R = analyzeFamily(FP);
+  if (!R.FrontendOk || !R.HasMainLoop) {
+    std::printf("analysis failed: %s\n", R.FrontendErrors.c_str());
+    return 1;
+  }
+
+  const InvariantCensus &Cs = R.MainLoopCensus;
+  std::printf("measured on %u lines (%llu cells):\n", FP.LineCount,
+              static_cast<unsigned long long>(R.NumCells));
+  std::printf("  %-34s %10llu\n", "boolean interval assertions",
+              static_cast<unsigned long long>(Cs.BoolAssertions));
+  std::printf("  %-34s %10llu\n", "interval assertions",
+              static_cast<unsigned long long>(Cs.IntervalAssertions));
+  std::printf("  %-34s %10llu\n", "clock assertions",
+              static_cast<unsigned long long>(Cs.ClockAssertions));
+  std::printf("  %-34s %10llu\n", "additive octagonal assertions",
+              static_cast<unsigned long long>(Cs.OctAdditive));
+  std::printf("  %-34s %10llu\n", "subtractive octagonal assertions",
+              static_cast<unsigned long long>(Cs.OctSubtractive));
+  std::printf("  %-34s %10llu\n", "decision trees",
+              static_cast<unsigned long long>(Cs.DecisionTrees));
+  std::printf("  %-34s %10llu\n", "ellipsoidal assertions",
+              static_cast<unsigned long long>(Cs.EllipsoidAssertions));
+  std::printf("  %-34s %10llu\n", "distinct constants",
+              static_cast<unsigned long long>(Cs.DistinctConstants));
+  std::printf("  %-34s %10.2f\n", "invariant dump (MB)",
+              Cs.DumpBytes / 1048576.0);
+  hr();
+  bool Ordering = Cs.IntervalAssertions + Cs.ClockAssertions >
+                      Cs.DecisionTrees + Cs.EllipsoidAssertions &&
+                  Cs.DecisionTrees < Cs.IntervalAssertions;
+  std::printf("paper ordering (interval/clock >> trees & ellipsoids): %s\n",
+              Ordering ? "reproduced" : "NOT reproduced");
+  std::puts("note: the paper's absolute counts scale with its 21,000 cells; "
+            "per-cell density");
+  std::puts("is the comparable quantity.");
+  return 0;
+}

@@ -1,0 +1,116 @@
+//===- examples/alarm_investigation.cpp - Alarm triage with the slicer ----------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+// The Sect. 3.3 workflow: when the analyzer reports an alarm, a backward
+// slice from the alarm point extracts "the computations that led to the
+// alarm". The paper found classical slices prohibitively large and sketched
+// *abstract* slices restricted to the variables whose invariants are weak —
+// this example runs both and compares their sizes.
+//
+//   $ ./examples/alarm_investigation
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/Analyzer.h"
+#include "ir/ConstFold.h"
+#include "ir/Lowering.h"
+#include "lang/Parser.h"
+#include "lang/Preprocessor.h"
+#include "lang/Sema.h"
+#include "slicer/Slicer.h"
+
+#include <cstdio>
+
+using namespace astral;
+
+namespace {
+const char *BuggyProgram = R"(
+  volatile int raw;         /* sensor, spec: [0, 8] */
+  int calib;                /* calibration state */
+  int gain;                 /* derived gain */
+  int out;
+  float unrelated;          /* a lot of code has nothing to do with it */
+
+  int main(void) {
+    while (1) {
+      unrelated = unrelated * 0.5f + 1.0f;
+      calib = raw - 4;            /* may be negative or zero... */
+      gain = calib + 4;           /* == raw: still may be 0 */
+      out = 1000 / gain;          /* alarm: division may be by zero */
+      __astral_wait();
+    }
+    return 0;
+  }
+)";
+} // namespace
+
+int main() {
+  // Run the analyzer to get the alarm.
+  AnalysisInput In;
+  In.FileName = "buggy.c";
+  In.Source = BuggyProgram;
+  In.Options.VolatileRanges["raw"] = Interval(0, 8);
+  In.Options.ClockMax = 1e6;
+  AnalysisResult R = Analyzer::analyze(In);
+  if (!R.FrontendOk) {
+    std::printf("frontend errors:\n%s\n", R.FrontendErrors.c_str());
+    return 1;
+  }
+  std::printf("analysis produced %zu alarm(s):\n", R.alarmCount());
+  for (const Alarm &A : R.Alarms)
+    std::printf("  [%s] line %u point %u: %s\n", alarmKindName(A.Kind),
+                A.Loc.Line, A.Point, A.Message.c_str());
+  if (R.Alarms.empty()) {
+    std::puts("expected an alarm; nothing to investigate.");
+    return 1;
+  }
+
+  // Rebuild the IR (the slicer works on the program representation).
+  DiagnosticsEngine Diags;
+  Preprocessor PP(Diags);
+  std::vector<Token> Toks = PP.run(BuggyProgram, "buggy.c");
+  AstContext Ast;
+  Parser P(std::move(Toks), Ast, Diags);
+  P.parseTranslationUnit();
+  Sema S(Ast, Diags);
+  S.run();
+  ir::Lowering L(Ast, Diags);
+  std::unique_ptr<ir::Program> Prog = L.run("main");
+  if (!Prog) {
+    std::puts("lowering failed");
+    return 1;
+  }
+  ir::foldConstants(*Prog);
+
+  Slicer Slice(*Prog);
+  uint32_t Criterion = R.Alarms[0].Point;
+
+  std::puts("\n== classical backward slice from the alarm point "
+            "(Sect. 3.3) ==");
+  SliceResult Full = Slice.backwardSlice(Criterion);
+  std::printf("%zu statements:\n%s", Full.StmtCount,
+              Full.Rendering.c_str());
+
+  // Abstract slice: only follow variables whose inferred range is weak
+  // (here: anything that may be zero or is very wide).
+  std::puts("\n== abstract slice (only weak-invariant variables) ==");
+  std::set<std::string> WeakNames;
+  for (const auto &[Name, Itv] : R.VariableRanges)
+    if (Itv.containsZero() || Itv.width() > 1e6)
+      WeakNames.insert(Name);
+  SliceResult Abs = Slice.backwardSlice(Criterion, [&](ir::VarId V) {
+    return WeakNames.count(Prog->var(V).Name) > 0 ||
+           !Prog->var(V).IsPersistent;
+  });
+  std::printf("%zu statements:\n%s", Abs.StmtCount, Abs.Rendering.c_str());
+
+  std::printf("\nslice sizes: classical %zu vs abstract %zu statements\n",
+              Full.StmtCount, Abs.StmtCount);
+  std::puts("(the unrelated smoothing computation is out of both slices; "
+            "the abstract");
+  std::puts("slice additionally drops dependences through well-bounded "
+            "variables.)");
+  return 0;
+}

@@ -1,0 +1,108 @@
+//===- examples/filter_verification.cpp - Fig. 1 digital filter ----------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+// Verifies the paper's flagship example: the simplified second-order
+// digital filter of Fig. 1. Interval analysis alone cannot bound the filter
+// state (the affine map's coefficient magnitudes exceed 1), while the
+// ellipsoid domain of Sect. 6.2.3 captures the invariant
+// X^2 - aXY + bY^2 <= k and proves the output bounded. The example runs
+// the analysis twice to show exactly that contrast.
+//
+//   $ ./examples/filter_verification
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/Analyzer.h"
+
+#include <cstdio>
+
+using namespace astral;
+
+namespace {
+const char *FilterProgram = R"(
+  /* Fig. 1: second-order digital filtering system.
+     B selects reinitialization; otherwise X' = aX - bY + t. */
+  volatile float input;     /* x(n), bounded by the sensor spec */
+  volatile int   reinit;    /* the B switch */
+  float X; float Y;         /* unit delays */
+  float output;
+
+  void filter_step(void) {
+    float t = input;
+    if (reinit != 0) {
+      Y = t;                /* Y := i */
+      X = t;                /* X := j */
+    } else {
+      float Xn = 1.5f * X - 0.7f * Y + t;   /* a = 1.5, b = 0.7 */
+      Y = X;
+      X = Xn;
+    }
+    output = 0.5f * X;
+  }
+
+  int main(void) {
+    while (1) {
+      filter_step();
+      __astral_wait();
+    }
+    return 0;
+  }
+)";
+
+AnalysisResult run(bool WithEllipsoids) {
+  AnalysisInput In;
+  In.FileName = "filter.c";
+  In.Source = FilterProgram;
+  In.Options.VolatileRanges["input"] = Interval(-1.0, 1.0);
+  In.Options.VolatileRanges["reinit"] = Interval(0, 1);
+  In.Options.ClockMax = 3.6e6;
+  In.Options.EnableEllipsoids = WithEllipsoids;
+  return Analyzer::analyze(In);
+}
+
+Interval rangeOf(const AnalysisResult &R, const char *Name) {
+  for (const auto &[N, I] : R.VariableRanges)
+    if (N == Name)
+      return I;
+  return Interval::bottom();
+}
+} // namespace
+
+int main() {
+  std::puts("== Fig. 1 second-order digital filter (a = 1.5, b = 0.7) ==");
+  std::puts("Prop. 1 applies: 0 < b < 1 and a^2 - 4b = -0.55 < 0;");
+  std::puts("with |t| <= 1, any k >= (1/(1-sqrt(b)))^2 ~ 37.3 is invariant,");
+  std::puts("giving |X| <= 2*sqrt(b*k/(4b-a^2)) ~ 13.8.\n");
+
+  AnalysisResult Without = run(/*WithEllipsoids=*/false);
+  AnalysisResult With = run(/*WithEllipsoids=*/true);
+  if (!With.FrontendOk || !Without.FrontendOk) {
+    std::printf("frontend errors:\n%s\n", With.FrontendErrors.c_str());
+    return 1;
+  }
+
+  std::printf("%-26s %-28s %s\n", "", "intervals only", "with ellipsoids");
+  std::printf("%-26s %-28s %s\n", "filter state X",
+              rangeOf(Without, "X").toString().c_str(),
+              rangeOf(With, "X").toString().c_str());
+  std::printf("%-26s %-28s %s\n", "output",
+              rangeOf(Without, "output").toString().c_str(),
+              rangeOf(With, "output").toString().c_str());
+  std::printf("%-26s %-28zu %zu\n", "alarms", Without.alarmCount(),
+              With.alarmCount());
+  std::printf("%-26s %-28llu %llu\n", "ellipsoid assertions",
+              static_cast<unsigned long long>(
+                  Without.MainLoopCensus.EllipsoidAssertions),
+              static_cast<unsigned long long>(
+                  With.MainLoopCensus.EllipsoidAssertions));
+
+  std::puts("\nverdict:");
+  if (With.alarmCount() == 0 && Without.alarmCount() > 0)
+    std::puts("  the ellipsoid domain eliminates the divergence false "
+              "alarms, as in Sect. 6.2.3.");
+  else
+    std::puts("  unexpected: check the domain configuration.");
+  return With.alarmCount() == 0 ? 0 : 1;
+}

@@ -1,0 +1,96 @@
+//===- examples/flight_control.cpp - Verify a family member --------------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+// End-to-end scenario: generate a member of the periodic synchronous
+// program family (the fly-by-wire-style workload of Sect. 4), then verify
+// it with the full analyzer — the Sect. 3 workflow: the analyzer was
+// refined by specialists, the end-user adapts it "by appropriate choice of
+// some parameters" (input ranges, thresholds, functions to partition),
+// which the generator conveniently documents for its programs.
+//
+//   $ ./examples/flight_control [lines] [seed]
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/Analyzer.h"
+#include "codegen/FamilyGenerator.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace astral;
+
+int main(int argc, char **argv) {
+  codegen::GeneratorConfig Config;
+  Config.TargetLines = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1]))
+                                : 2000;
+  Config.Seed = argc > 2 ? static_cast<uint64_t>(std::atoll(argv[2])) : 2026;
+
+  std::printf("generating a ~%u-line family member (seed %llu)...\n",
+              Config.TargetLines,
+              static_cast<unsigned long long>(Config.Seed));
+  codegen::FamilyProgram FP = codegen::generateFamilyProgram(Config);
+  std::printf("  %u lines, %u modules, %zu volatile inputs, %zu partitioned "
+              "functions\n",
+              FP.LineCount, FP.ModuleCount, FP.VolatileRanges.size(),
+              FP.PartitionFunctions.size());
+
+  // The end-user parametrization (Sect. 3.2): environment ranges, the
+  // documented widening thresholds, the functions to partition.
+  AnalysisInput In;
+  In.FileName = "flight_control.c";
+  In.Source = FP.Source;
+  In.Options.VolatileRanges = FP.VolatileRanges;
+  In.Options.PartitionFunctions = FP.PartitionFunctions;
+  for (double T : FP.DocumentedThresholds)
+    In.Options.ExtraThresholds.push_back(T);
+  In.Options.ClockMax = 3.6e6;
+
+  std::puts("analyzing with the full domain stack...");
+  AnalysisResult R = Analyzer::analyze(In);
+  if (!R.FrontendOk) {
+    std::printf("frontend errors:\n%s\n", R.FrontendErrors.c_str());
+    return 1;
+  }
+
+  std::puts("\n== analysis report ==");
+  std::printf("  time                 %.2f s\n", R.AnalysisSeconds);
+  std::printf("  variables            %llu (%llu used)\n",
+              static_cast<unsigned long long>(R.NumVariables),
+              static_cast<unsigned long long>(R.NumUsedVariables));
+  std::printf("  cells                %llu (%llu from array expansion)\n",
+              static_cast<unsigned long long>(R.NumCells),
+              static_cast<unsigned long long>(R.ExpandedArrayCells));
+  std::printf("  octagon packs        %llu (avg %.1f vars, %zu useful)\n",
+              static_cast<unsigned long long>(R.NumOctPacks),
+              R.AvgOctPackSize, R.UsefulOctPacks.size());
+  std::printf("  decision-tree packs  %llu\n",
+              static_cast<unsigned long long>(R.NumTreePacks));
+  std::printf("  filter (ellipsoid)   %llu\n",
+              static_cast<unsigned long long>(R.NumEllPacks));
+  std::printf("  abstract-state peak  %.1f MB\n",
+              R.PeakAbstractBytes / 1048576.0);
+
+  const InvariantCensus &C = R.MainLoopCensus;
+  std::puts("  main loop invariant census (Sect. 9.4.1 style):");
+  std::printf("    boolean %llu / interval %llu / clock %llu / oct+ %llu / "
+              "oct- %llu / trees %llu / ellipsoids %llu\n",
+              static_cast<unsigned long long>(C.BoolAssertions),
+              static_cast<unsigned long long>(C.IntervalAssertions),
+              static_cast<unsigned long long>(C.ClockAssertions),
+              static_cast<unsigned long long>(C.OctAdditive),
+              static_cast<unsigned long long>(C.OctSubtractive),
+              static_cast<unsigned long long>(C.DecisionTrees),
+              static_cast<unsigned long long>(C.EllipsoidAssertions));
+
+  std::printf("\n  alarms: %zu\n", R.alarmCount());
+  for (const Alarm &A : R.Alarms)
+    std::printf("    [%s] line %u: %s\n", alarmKindName(A.Kind), A.Loc.Line,
+                A.Message.c_str());
+  if (R.Alarms.empty())
+    std::puts("    none — the program is proved free of run-time errors "
+              "under the spec.");
+  return 0;
+}

@@ -1,0 +1,85 @@
+//===- analyzer/Analyzer.h - Top-level analyzer driver -----------*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public entry point: runs the two phases of Sect. 5 — preprocessing
+/// and parsing (mini-cpp, parser, Sema, lowering, constant folding, unused
+/// global deletion) followed by the analysis phase (cell layout, packing,
+/// abstract execution with checking) — and packages alarms, statistics,
+/// pack usefulness and the main-loop invariant census into an
+/// AnalysisResult.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_ANALYZER_ANALYZER_H
+#define ASTRAL_ANALYZER_ANALYZER_H
+
+#include "analyzer/Alarm.h"
+#include "analyzer/InvariantStats.h"
+#include "analyzer/Options.h"
+#include "support/Statistics.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace astral {
+
+struct AnalysisInput {
+  std::string Source;
+  std::string FileName = "program.c";
+  /// In-memory headers for #include (the "simple linker" of Sect. 5.1).
+  std::map<std::string, std::string> Headers;
+  AnalyzerOptions Options;
+};
+
+struct AnalysisResult {
+  // -- Frontend --------------------------------------------------------------
+  bool FrontendOk = false;
+  std::string FrontendErrors;
+  uint64_t SourceLines = 0;
+  uint64_t NumVariables = 0;
+  uint64_t NumUsedVariables = 0;
+  uint64_t NumCells = 0;
+  uint64_t ExpandedArrayCells = 0;
+
+  // -- Packing ----------------------------------------------------------------
+  uint64_t NumOctPacks = 0;
+  uint64_t NumTreePacks = 0;
+  uint64_t NumEllPacks = 0;
+  double AvgOctPackSize = 0.0;
+  /// Octagon packs that actually carried relational information at the main
+  /// loop head (the Sect. 7.2.2 usefulness census).
+  std::vector<uint32_t> UsefulOctPacks;
+
+  // -- Analysis ----------------------------------------------------------------
+  std::vector<Alarm> Alarms;
+  Statistics Stats;
+  double AnalysisSeconds = 0.0;
+  uint64_t PeakAbstractBytes = 0;
+
+  // -- Main loop invariant -----------------------------------------------------
+  bool HasMainLoop = false;
+  InvariantCensus MainLoopCensus;
+  /// Interval of every named persistent scalar at the main loop head (or at
+  /// program end when there is no loop).
+  std::vector<std::pair<std::string, Interval>> VariableRanges;
+  /// Full textual invariant (only when Options.RecordLoopInvariants).
+  std::string MainLoopInvariant;
+
+  size_t alarmCount() const { return Alarms.size(); }
+};
+
+class Analyzer {
+public:
+  /// Runs the full pipeline on \p Input.
+  static AnalysisResult analyze(const AnalysisInput &Input);
+};
+
+} // namespace astral
+
+#endif // ASTRAL_ANALYZER_ANALYZER_H

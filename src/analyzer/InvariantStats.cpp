@@ -1,0 +1,151 @@
+//===- analyzer/InvariantStats.cpp - Invariant census ------------------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/InvariantStats.h"
+
+#include <cmath>
+#include <set>
+
+using namespace astral;
+using memory::AbstractEnv;
+using memory::CellLayout;
+using memory::ScalarAbs;
+
+InvariantCensus astral::censusInvariant(const AbstractEnv &Env,
+                                        const CellLayout &Layout,
+                                        const Packing &Packs) {
+  InvariantCensus C;
+  std::set<double> Constants;
+  auto NoteConst = [&](double V) {
+    if (std::isfinite(V))
+      Constants.insert(V);
+  };
+
+  Env.forEachCell([&](CellId Cell, const ScalarAbs &S) {
+    if (Cell >= Layout.numCells())
+      return;
+    const memory::CellInfo &CI = Layout.cell(Cell);
+    if (S.Itv.isBottom())
+      return;
+    if (CI.IsBool) {
+      if (S.Itv.Lo >= 0 && S.Itv.Hi <= 1)
+        ++C.BoolAssertions;
+    } else if (CI.Ty->isArithmetic()) {
+      // "Interval assertion": strictly tighter than the machine range.
+      Interval Range = CI.Ty->isInt()
+                           ? Interval(static_cast<double>(CI.Ty->intMin()),
+                                      static_cast<double>(CI.Ty->intMax()))
+                           : Interval(-CI.Ty->floatMax(), CI.Ty->floatMax());
+      if (S.Itv.leq(Range) && S.Itv != Range) {
+        ++C.IntervalAssertions;
+        NoteConst(S.Itv.Lo);
+        NoteConst(S.Itv.Hi);
+      }
+    }
+    if (std::isfinite(S.Clk.MinusClk.Lo) || std::isfinite(S.Clk.MinusClk.Hi)) {
+      ++C.ClockAssertions;
+      NoteConst(S.Clk.MinusClk.Lo);
+      NoteConst(S.Clk.MinusClk.Hi);
+    }
+    if (std::isfinite(S.Clk.PlusClk.Lo) || std::isfinite(S.Clk.PlusClk.Hi)) {
+      ++C.ClockAssertions;
+      NoteConst(S.Clk.PlusClk.Lo);
+      NoteConst(S.Clk.PlusClk.Hi);
+    }
+  });
+
+  Env.forEachOctagon([&](memory::PackId,
+                         const std::shared_ptr<const Octagon> &O) {
+    if (!O || O->isBottom())
+      return;
+    uint64_t Add = 0, Sub = 0;
+    O->countConstraints(Add, Sub);
+    C.OctAdditive += Add;
+    C.OctSubtractive += Sub;
+  });
+
+  Env.forEachTree([&](memory::PackId,
+                      const std::shared_ptr<const DecisionTree> &T) {
+    if (T && !T->isBottom() && T->hasRelationalInfo())
+      ++C.DecisionTrees;
+  });
+
+  Env.forEachEllipsoids(
+      [&](memory::PackId,
+          const std::shared_ptr<const memory::EllipsoidState> &E) {
+        if (!E)
+          return;
+        for (const auto &[Pair, K] : E->K) {
+          if (std::isfinite(K)) {
+            ++C.EllipsoidAssertions;
+            NoteConst(K);
+          }
+        }
+      });
+
+  C.DistinctConstants = Constants.size();
+  C.DumpBytes = dumpInvariant(Env, Layout, Packs).size();
+  return C;
+}
+
+std::string astral::dumpInvariant(const AbstractEnv &Env,
+                                  const CellLayout &Layout,
+                                  const Packing &Packs) {
+  std::string Out;
+  Out.reserve(1 << 16);
+  Env.forEachCell([&](CellId Cell, const ScalarAbs &S) {
+    if (Cell >= Layout.numCells())
+      return;
+    const memory::CellInfo &CI = Layout.cell(Cell);
+    Out += CI.Name;
+    Out += " in ";
+    Out += S.Itv.toString();
+    if (std::isfinite(S.Clk.MinusClk.Lo) ||
+        std::isfinite(S.Clk.MinusClk.Hi)) {
+      Out += "; ";
+      Out += CI.Name;
+      Out += "-clock in ";
+      Out += S.Clk.MinusClk.toString();
+    }
+    if (std::isfinite(S.Clk.PlusClk.Lo) || std::isfinite(S.Clk.PlusClk.Hi)) {
+      Out += "; ";
+      Out += CI.Name;
+      Out += "+clock in ";
+      Out += S.Clk.PlusClk.toString();
+    }
+    Out += '\n';
+  });
+  Out += "clock in " + Env.clock().toString() + "\n";
+  Env.forEachOctagon([&](memory::PackId Id,
+                         const std::shared_ptr<const Octagon> &O) {
+    if (!O || O->isBottom() || !O->hasRelationalInfo())
+      return;
+    Out += "octagon#" + std::to_string(Id) + ": " + O->toString() + "\n";
+  });
+  Env.forEachTree([&](memory::PackId Id,
+                      const std::shared_ptr<const DecisionTree> &T) {
+    if (!T || !T->hasRelationalInfo())
+      return;
+    Out += "dtree#" + std::to_string(Id) + ": " + T->toString() + "\n";
+  });
+  Env.forEachEllipsoids(
+      [&](memory::PackId Id,
+          const std::shared_ptr<const memory::EllipsoidState> &E) {
+        if (!E || E->K.empty())
+          return;
+        Out += "ellipsoid#" + std::to_string(Id) + ":";
+        for (const auto &[Pair, K] : E->K) {
+          if (!std::isfinite(K))
+            continue;
+          Out += " q(c" + std::to_string(Pair.first) + ",c" +
+                 std::to_string(Pair.second) + ")<=" + std::to_string(K) +
+                 ";";
+        }
+        Out += '\n';
+      });
+  return Out;
+}

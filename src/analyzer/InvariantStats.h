@@ -1,0 +1,55 @@
+//===- analyzer/InvariantStats.h - Invariant census --------------*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Census of one abstract environment (typically the main loop invariant),
+/// reproducing the Sect. 9.4.1 numbers: "the main loop invariant includes
+/// 6,900 boolean interval assertions, 9,600 interval assertions, 25,400
+/// clock assertions, 19,100 additive octagonal assertions, 19,200
+/// subtractive octagonal assertions, 100 decision trees and 1,900
+/// ellipsoidal assertions ... over 16,000 floating point constants ... a
+/// textual file over 4.5 Mb".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_ANALYZER_INVARIANTSTATS_H
+#define ASTRAL_ANALYZER_INVARIANTSTATS_H
+
+#include "analyzer/Packing.h"
+#include "memory/AbstractEnv.h"
+
+#include <string>
+
+namespace astral {
+
+struct InvariantCensus {
+  uint64_t BoolAssertions = 0;      ///< Boolean cells pinned into [0,1].
+  uint64_t IntervalAssertions = 0;  ///< Non-boolean cells strictly tighter
+                                    ///< than their machine range.
+  uint64_t ClockAssertions = 0;     ///< Finite x-clock / x+clock offsets.
+  uint64_t OctAdditive = 0;         ///< Finite x+y constraints.
+  uint64_t OctSubtractive = 0;      ///< Finite x-y constraints.
+  uint64_t DecisionTrees = 0;       ///< Tree packs carrying information.
+  uint64_t EllipsoidAssertions = 0; ///< Pairs with finite k.
+  uint64_t DistinctConstants = 0;   ///< Distinct finite bounds appearing.
+  uint64_t DumpBytes = 0;           ///< Size of the textual dump.
+};
+
+/// Counts the assertions of \p Env.
+InvariantCensus censusInvariant(const memory::AbstractEnv &Env,
+                                const memory::CellLayout &Layout,
+                                const Packing &Packs);
+
+/// Renders \p Env as text (one assertion per line) — the paper's "loop
+/// invariants ... can be saved for examination" (Sect. 5.3).
+std::string dumpInvariant(const memory::AbstractEnv &Env,
+                          const memory::CellLayout &Layout,
+                          const Packing &Packs);
+
+} // namespace astral
+
+#endif // ASTRAL_ANALYZER_INVARIANTSTATS_H

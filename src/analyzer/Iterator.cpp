@@ -1,0 +1,470 @@
+//===- analyzer/Iterator.cpp - Compositional abstract interpreter -----------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/Iterator.h"
+
+#include <cassert>
+
+using namespace astral;
+using namespace astral::ir;
+using memory::CellSel;
+using memory::ScalarAbs;
+
+/// Adds the absolute values of the numeric literals appearing in *guards*
+/// (test and loop conditions) of \p Prog to \p Out — automatic threshold
+/// seeding (the adaptation-by-parametrization of Sect. 7.1.2, automated as
+/// Sect. 3.2 recommends). Only guard constants are candidates: invariant
+/// bounds live at comparison limits (clamp and rate-limit constants), while
+/// initializer data and multiplication coefficients would flood the ladder
+/// with rungs that widening then has to climb one by one.
+static void collectConstantThresholds(const Program &Prog,
+                                      std::vector<double> &Out) {
+  std::function<void(const Expr *)> WalkE = [&](const Expr *E) {
+    if (!E)
+      return;
+    switch (E->Kind) {
+    case ExprKind::ConstInt:
+      Out.push_back(std::fabs(static_cast<double>(E->IntVal)));
+      return;
+    case ExprKind::ConstFloat:
+      Out.push_back(std::fabs(E->FloatVal));
+      return;
+    case ExprKind::Load:
+      return;
+    case ExprKind::Unary:
+    case ExprKind::Cast:
+      WalkE(E->A);
+      return;
+    case ExprKind::Binary:
+      WalkE(E->A);
+      WalkE(E->B);
+      return;
+    }
+  };
+  std::function<void(const Stmt *)> WalkS = [&](const Stmt *S) {
+    if (!S)
+      return;
+    switch (S->Kind) {
+    case StmtKind::If:
+    case StmtKind::While:
+    case StmtKind::Assume:
+    case StmtKind::Assert:
+      WalkE(S->Cond);
+      break;
+    default:
+      break;
+    }
+    WalkS(S->Then);
+    WalkS(S->Else);
+    WalkS(S->Body);
+    WalkS(S->Step);
+    for (const Stmt *C : S->Stmts)
+      WalkS(C);
+  };
+  for (const Function &F : Prog.Functions)
+    WalkS(F.Body);
+}
+
+Iterator::Iterator(const Program &Prog, const memory::CellLayout &L,
+                   const Packing &Pk, const AnalyzerOptions &O,
+                   Statistics &St, AlarmSet &Al)
+    : P(Prog), Layout(L), Opts(O), Stats(St), Alarms(Al),
+      Thr(Thresholds::geometric(O.ThresholdAlpha, O.ThresholdLambda,
+                                O.ThresholdCount)),
+      T(Prog, L, Pk, O, St, Al) {
+  // Fold user thresholds, program constants and the clock bound into the
+  // ladder (end-user parametrization, Sect. 3.2; widening thresholds are
+  // "easily found in the program documentation" — and the program's own
+  // literals plus the specified input ranges are the natural candidates:
+  // rate-limiter and clamp invariants stabilize exactly at those values).
+  std::vector<double> All = Thr.values();
+  for (double V : O.ExtraThresholds)
+    All.push_back(V);
+  All.push_back(O.ClockMax);
+  for (const auto &[Name, Rng] : O.VolatileRanges) {
+    All.push_back(std::fabs(Rng.Lo));
+    All.push_back(std::fabs(Rng.Hi));
+  }
+  collectConstantThresholds(Prog, All);
+  Thr = Thresholds::fromValues(All);
+  Thr.setEps(O.FloatPerturbation);
+
+  // Pre-compute each function's local cells for entry havoc.
+  FuncLocalCells.resize(P.Functions.size());
+  for (VarId V = 0; V < P.Vars.size(); ++V) {
+    const VarInfo &VI = P.var(V);
+    if (VI.Owner == NoFunc || VI.IsParam || VI.IsPersistent)
+      continue;
+    const memory::LayoutNode *Node = Layout.varLayout(V);
+    if (!Node)
+      continue;
+    for (uint32_t C = 0; C < Node->CellCount; ++C)
+      FuncLocalCells[VI.Owner].push_back(Node->FirstCell + C);
+  }
+}
+
+unsigned Iterator::unrollFactor(uint32_t LoopId) const {
+  auto It = Opts.LoopUnroll.find(LoopId);
+  return It == Opts.LoopUnroll.end() ? Opts.DefaultUnroll : It->second;
+}
+
+AbstractEnv Iterator::perturb(AbstractEnv Env) const {
+  if (Env.isBottom() || Opts.FloatPerturbation <= 0)
+    return Env;
+  double Eps = Opts.FloatPerturbation;
+  std::vector<std::pair<CellId, ScalarAbs>> Updates;
+  Env.forEachCell([&](CellId C, const ScalarAbs &S) {
+    if (!Layout.cell(C).Ty->isFloat() || S.Itv.isBottom() ||
+        S.Itv.isPoint())
+      return;
+    Interval I(S.Itv.Lo - Eps * std::fabs(S.Itv.Lo),
+               S.Itv.Hi + Eps * std::fabs(S.Itv.Hi));
+    if (I != S.Itv)
+      Updates.push_back({C, ScalarAbs{I, S.Clk}});
+  });
+  for (auto &[C, S] : Updates)
+    Env.setCell(C, S);
+  return Env;
+}
+
+AbstractEnv Iterator::joinAll(Disjunction D) {
+  if (D.empty())
+    return AbstractEnv::bottom();
+  AbstractEnv R = std::move(D[0]);
+  for (size_t I = 1; I < D.size(); ++I) {
+    T.preJoinReduce(R, D[I]);
+    R = AbstractEnv::join(R, D[I]);
+  }
+  return R;
+}
+
+AbstractEnv Iterator::execStmtSingle(const Stmt *S, AbstractEnv Env) {
+  if (!S || Env.isBottom())
+    return Env;
+  Disjunction D = execStmt(S, {std::move(Env)});
+  return joinAll(std::move(D));
+}
+
+Iterator::Disjunction Iterator::execStmt(const Stmt *S, Disjunction D) {
+  if (!S)
+    return D;
+  // Drop unreachable partitions eagerly.
+  Disjunction Live;
+  for (AbstractEnv &E : D)
+    if (!E.isBottom())
+      Live.push_back(std::move(E));
+  if (Live.empty())
+    return Live;
+  D = std::move(Live);
+
+  switch (S->Kind) {
+  case StmtKind::Nop:
+    return D;
+  case StmtKind::Seq: {
+    for (const Stmt *Child : S->Stmts) {
+      D = execStmt(Child, std::move(D));
+      if (D.empty())
+        return D;
+    }
+    return D;
+  }
+  case StmtKind::Assign: {
+    for (AbstractEnv &E : D)
+      E = T.assign(std::move(E), S->Lhs, S->Rhs);
+    return D;
+  }
+  case StmtKind::If: {
+    Disjunction Out;
+    for (AbstractEnv &E : D) {
+      T.checkCond(E, S->Cond);
+      execIf(S, std::move(E), Out);
+    }
+    // Cap the number of partitions.
+    if (Out.size() > Opts.MaxPartitions) {
+      AbstractEnv Joined = joinAll(std::move(Out));
+      Out.clear();
+      Out.push_back(std::move(Joined));
+    }
+    return Out;
+  }
+  case StmtKind::While: {
+    AbstractEnv E = joinAll(std::move(D));
+    return {execWhile(S, std::move(E))};
+  }
+  case StmtKind::Call: {
+    Disjunction Out;
+    for (AbstractEnv &E : D)
+      Out.push_back(execCall(S, std::move(E)));
+    // Calls to partitioned functions may themselves create partitions; the
+    // merge already happened at the return point, so Out mirrors D.
+    return Out;
+  }
+  case StmtKind::Return: {
+    assert(!CallStack.empty() && "return outside of any call");
+    AbstractEnv Acc = std::move(CallStack.back().ReturnAcc);
+    for (AbstractEnv &E : D) {
+      T.preJoinReduce(Acc, E);
+      Acc = AbstractEnv::join(Acc, E);
+    }
+    CallStack.back().ReturnAcc = std::move(Acc);
+    return {};
+  }
+  case StmtKind::Break: {
+    assert(!LoopStack.empty() && "break outside of any loop");
+    AbstractEnv Acc = std::move(LoopStack.back().BreakAcc);
+    for (AbstractEnv &E : D) {
+      T.preJoinReduce(Acc, E);
+      Acc = AbstractEnv::join(Acc, E);
+    }
+    LoopStack.back().BreakAcc = std::move(Acc);
+    return {};
+  }
+  case StmtKind::Continue: {
+    assert(!LoopStack.empty() && "continue outside of any loop");
+    AbstractEnv Acc = std::move(LoopStack.back().ContinueAcc);
+    for (AbstractEnv &E : D) {
+      T.preJoinReduce(Acc, E);
+      Acc = AbstractEnv::join(Acc, E);
+    }
+    LoopStack.back().ContinueAcc = std::move(Acc);
+    return {};
+  }
+  case StmtKind::Wait: {
+    for (AbstractEnv &E : D)
+      E = T.wait(std::move(E));
+    return D;
+  }
+  case StmtKind::Assume: {
+    for (AbstractEnv &E : D)
+      E = T.guard(std::move(E), S->Cond, true);
+    return D;
+  }
+  case StmtKind::Assert: {
+    for (AbstractEnv &E : D) {
+      if (T.Checking) {
+        Interval V = T.evalNoCheck(E, S->Cond);
+        bool CanFail = V.containsZero();
+        bool MustFail = V == Interval::point(0);
+        if (CanFail && !E.isBottom()) {
+          Alarms.report(S->Point, S->Loc, AlarmKind::AssertFail,
+                        "assertion may fail", MustFail);
+          Stats.add("alarms.reported");
+        }
+      }
+      E = T.guard(std::move(E), S->Cond, true);
+    }
+    return D;
+  }
+  }
+  return D;
+}
+
+void Iterator::execIf(const Stmt *S, AbstractEnv Env, Disjunction &Out) {
+  AbstractEnv ThenEnv = T.guard(Env, S->Cond, true);
+  AbstractEnv ElseEnv = T.guard(std::move(Env), S->Cond, false);
+
+  Disjunction ThenOut, ElseOut;
+  if (!ThenEnv.isBottom())
+    ThenOut = execStmt(S->Then, {std::move(ThenEnv)});
+  if (!ElseEnv.isBottom()) {
+    if (S->Else)
+      ElseOut = execStmt(S->Else, {std::move(ElseEnv)});
+    else
+      ElseOut.push_back(std::move(ElseEnv));
+  }
+
+  if (PartitionDepth > 0) {
+    // Trace partitioning: delay the merge (Sect. 7.1.5).
+    for (AbstractEnv &E : ThenOut)
+      Out.push_back(std::move(E));
+    for (AbstractEnv &E : ElseOut)
+      Out.push_back(std::move(E));
+    Stats.add("partitioning.delayed_merges");
+    return;
+  }
+  AbstractEnv A = joinAll(std::move(ThenOut));
+  AbstractEnv B = joinAll(std::move(ElseOut));
+  T.preJoinReduce(A, B);
+  Out.push_back(AbstractEnv::join(A, B));
+}
+
+AbstractEnv Iterator::execLoopBody(const Stmt *W, AbstractEnv Env) {
+  LoopCtx &Ctx = LoopStack.back();
+  AbstractEnv SavedContinue = std::move(Ctx.ContinueAcc);
+  Ctx.ContinueAcc = AbstractEnv::bottom();
+
+  AbstractEnv R = execStmtSingle(W->Body, std::move(Env));
+  AbstractEnv Cont = std::move(Ctx.ContinueAcc);
+  Ctx.ContinueAcc = std::move(SavedContinue);
+  T.preJoinReduce(R, Cont);
+  R = AbstractEnv::join(R, Cont);
+  if (W->Step)
+    R = execStmtSingle(W->Step, std::move(R));
+  return R;
+}
+
+AbstractEnv Iterator::execWhile(const Stmt *S, AbstractEnv Env) {
+  if (Env.isBottom())
+    return Env;
+  Stats.add("iterator.loops_analyzed");
+  LoopStack.push_back(LoopCtx{});
+
+  // Loop unrolling (7.1.1): peel the first n iterations.
+  unsigned N = unrollFactor(S->LoopId);
+  std::vector<AbstractEnv> Exits;
+  AbstractEnv E = std::move(Env);
+  for (unsigned K = 0; K < N && !E.isBottom(); ++K) {
+    T.checkCond(E, S->Cond);
+    Exits.push_back(T.guard(E, S->Cond, false));
+    AbstractEnv In = T.guard(std::move(E), S->Cond, true);
+    if (In.isBottom()) {
+      E = std::move(In);
+      break;
+    }
+    E = execLoopBody(S, std::move(In));
+    Exits.push_back(std::move(LoopStack.back().BreakAcc));
+    LoopStack.back().BreakAcc = AbstractEnv::bottom();
+    Stats.add("iterator.unrolled_iterations");
+  }
+
+  AbstractEnv Invariant = AbstractEnv::bottom();
+  if (!E.isBottom()) {
+    Invariant = loopFixpoint(S, E);
+
+    // Extra pass from the invariant: in checking mode it reports the loop
+    // body's alarms (Sect. 5.4); in both modes it rebuilds the break
+    // environments that belong to the final invariant.
+    LoopStack.back().BreakAcc = AbstractEnv::bottom();
+    T.checkCond(Invariant, S->Cond);
+    AbstractEnv In = T.guard(Invariant, S->Cond, true);
+    if (!In.isBottom())
+      (void)execLoopBody(S, std::move(In));
+    Exits.push_back(std::move(LoopStack.back().BreakAcc));
+
+    if (Opts.RecordLoopInvariants) {
+      auto It = LoopInvariants.find(S->LoopId);
+      if (It == LoopInvariants.end())
+        LoopInvariants.emplace(S->LoopId, Invariant);
+      else
+        It->second = AbstractEnv::join(It->second, Invariant);
+    }
+    Exits.push_back(T.guard(std::move(Invariant), S->Cond, false));
+  }
+
+  LoopStack.pop_back();
+  AbstractEnv Out = AbstractEnv::bottom();
+  for (AbstractEnv &X : Exits) {
+    T.preJoinReduce(Out, X);
+    Out = AbstractEnv::join(Out, X);
+  }
+  return Out;
+}
+
+AbstractEnv Iterator::execCall(const Stmt *S, AbstractEnv Env) {
+  if (Env.isBottom())
+    return Env;
+  const Function *F = P.function(S->Callee);
+  assert(F && "call to unknown function");
+  if (!F->Body || CallDepth >= Opts.MaxCallDepth) {
+    // Prototype-only callee: havoc the return target.
+    if (S->RetTo)
+      Env = T.assign(std::move(Env), *S->RetTo, nullptr);
+    return Env;
+  }
+  Stats.add("iterator.calls_inlined");
+
+  // Evaluate arguments in the caller's context.
+  std::vector<Interval> ValueArgs(S->Args.size(), Interval::bottom());
+  std::map<VarId, RefBinding> NewFrame;
+  for (size_t I = 0; I < S->Args.size(); ++I) {
+    if (I >= F->Params.size())
+      break;
+    VarId Param = F->Params[I];
+    if (S->Args[I].IsRef) {
+      RefBinding B = T.bindRef(Env, S->Args[I].Ref);
+      if (B.Base != NoVar)
+        NewFrame[Param] = std::move(B);
+    } else {
+      ValueArgs[I] = T.evalExpr(Env, S->Args[I].Value);
+    }
+  }
+
+  // Callee frame: havoc its locals (C locals start indeterminate; reusing a
+  // previous activation's abstraction would be unsound).
+  for (CellId C : FuncLocalCells[F->Id]) {
+    const ScalarAbs *Old = Env.cell(C);
+    Interval Range = T.cellTypeRange(C);
+    if (!Old || Old->Itv != Range)
+      Env.setCell(C, ScalarAbs{Range, Clocked::top()});
+  }
+
+  // Bind value parameters.
+  for (size_t I = 0; I < S->Args.size() && I < F->Params.size(); ++I) {
+    if (S->Args[I].IsRef)
+      continue;
+    VarId Param = F->Params[I];
+    LValue PLv;
+    PLv.Base = Param;
+    PLv.Ty = P.var(Param).Ty;
+    PLv.Loc = S->Loc;
+    Env = T.assignInterval(std::move(Env), PLv, ValueArgs[I]);
+    if (Env.isBottom())
+      return Env;
+  }
+
+  bool Partitioned = Opts.PartitionFunctions.count(F->Name) > 0;
+  if (Partitioned)
+    ++PartitionDepth;
+  ++CallDepth;
+  T.Frames.push_back(std::move(NewFrame));
+  CallStack.push_back(CallCtx{});
+
+  AbstractEnv BodyOut = execStmtSingle(F->Body, std::move(Env));
+  AbstractEnv RetAcc = std::move(CallStack.back().ReturnAcc);
+  CallStack.pop_back();
+  T.preJoinReduce(BodyOut, RetAcc);
+  AbstractEnv Out = AbstractEnv::join(BodyOut, RetAcc);
+
+  // Fetch the return value while the callee cells are still in scope.
+  Interval RetVal = Interval::bottom();
+  if (S->RetTo && F->RetVar != NoVar && !Out.isBottom()) {
+    const memory::LayoutNode *Node = Layout.varLayout(F->RetVar);
+    if (Node && Node->K == memory::LayoutNode::Kind::Atomic)
+      RetVal = Out.cellInterval(Node->Cell);
+  }
+
+  T.Frames.pop_back();
+  --CallDepth;
+  if (Partitioned)
+    --PartitionDepth;
+
+  if (S->RetTo && !Out.isBottom()) {
+    if (RetVal.isBottom())
+      Out = T.assign(std::move(Out), *S->RetTo, nullptr);
+    else
+      Out = T.assignInterval(std::move(Out), *S->RetTo, RetVal);
+  }
+  return Out;
+}
+
+AbstractEnv Iterator::run() {
+  AbstractEnv Env = T.initialEnv();
+  T.Checking = true;
+  T.Frames.clear();
+  T.Frames.push_back({});
+  if (P.GlobalInit)
+    Env = execStmtSingle(P.GlobalInit, std::move(Env));
+
+  const Function *Entry = P.function(P.Entry);
+  assert(Entry && Entry->Body && "missing entry function");
+  CallStack.push_back(CallCtx{});
+  AbstractEnv BodyOut = execStmtSingle(Entry->Body, std::move(Env));
+  AbstractEnv RetAcc = std::move(CallStack.back().ReturnAcc);
+  CallStack.pop_back();
+  T.preJoinReduce(BodyOut, RetAcc);
+  return AbstractEnv::join(BodyOut, RetAcc);
+}

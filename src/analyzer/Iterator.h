@@ -1,0 +1,96 @@
+//===- analyzer/Iterator.h - Compositional abstract interpreter --*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The iterator of Sect. 5.2–5.5: abstract execution by induction on the
+/// syntax, driven in two modes — iteration mode (invariant generation,
+/// silent) and checking mode (one extra pass that reports alarms). Function
+/// calls are analyzed by abstract execution of the body in the calling
+/// context (context-sensitive polyvariant analysis, semantically equivalent
+/// to inlining, Sect. 5.4). Loops use the parametrized strategies of
+/// Sect. 7.1: unrolling, widening with thresholds, delayed widening,
+/// floating iteration perturbation, and trace partitioning inside selected
+/// functions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_ANALYZER_ITERATOR_H
+#define ASTRAL_ANALYZER_ITERATOR_H
+
+#include "analyzer/Transfer.h"
+#include "domains/Thresholds.h"
+
+#include <map>
+
+namespace astral {
+
+class Iterator {
+public:
+  Iterator(const ir::Program &P, const memory::CellLayout &Layout,
+           const Packing &Packs, const AnalyzerOptions &Opts,
+           Statistics &Stats, AlarmSet &Alarms);
+
+  /// Abstract-executes the whole program (global initialization, then the
+  /// entry function) in checking mode. Returns the final environment.
+  AbstractEnv run();
+
+  /// Invariant at each loop head, joined over all (inlined) contexts.
+  const std::map<uint32_t, AbstractEnv> &loopInvariants() const {
+    return LoopInvariants;
+  }
+
+  Transfer &transfer() { return T; }
+  const Thresholds &thresholds() const { return Thr; }
+
+private:
+  /// Trace partitions: a disjunction of environments (Sect. 7.1.5). Size 1
+  /// unless inside a partitioned function.
+  using Disjunction = std::vector<AbstractEnv>;
+
+  Disjunction execStmt(const ir::Stmt *S, Disjunction D);
+  AbstractEnv execStmtSingle(const ir::Stmt *S, AbstractEnv Env);
+  void execIf(const ir::Stmt *S, AbstractEnv Env, Disjunction &Out);
+  AbstractEnv execWhile(const ir::Stmt *S, AbstractEnv Env);
+  AbstractEnv execCall(const ir::Stmt *S, AbstractEnv Env);
+  /// One abstract iteration of a loop body (body, continue-join, step).
+  AbstractEnv execLoopBody(const ir::Stmt *W, AbstractEnv Env);
+  /// Widening/narrowing fixpoint (Fixpoint.cpp).
+  AbstractEnv loopFixpoint(const ir::Stmt *W, const AbstractEnv &E0);
+  /// The F-hat inflation of Sect. 7.1.4.
+  AbstractEnv perturb(AbstractEnv Env) const;
+  AbstractEnv joinAll(Disjunction D);
+  unsigned unrollFactor(uint32_t LoopId) const;
+
+  const ir::Program &P;
+  const memory::CellLayout &Layout;
+  const AnalyzerOptions &Opts;
+  Statistics &Stats;
+  AlarmSet &Alarms;
+  Thresholds Thr;
+  Transfer T;
+
+  struct LoopCtx {
+    AbstractEnv BreakAcc = AbstractEnv::bottom();
+    AbstractEnv ContinueAcc = AbstractEnv::bottom();
+  };
+  std::vector<LoopCtx> LoopStack;
+
+  struct CallCtx {
+    AbstractEnv ReturnAcc = AbstractEnv::bottom();
+  };
+  std::vector<CallCtx> CallStack;
+
+  int PartitionDepth = 0;
+  unsigned CallDepth = 0;
+  std::map<uint32_t, AbstractEnv> LoopInvariants;
+  /// Cells of each function's non-parameter locals (havocked at entry).
+  std::vector<std::vector<CellId>> FuncLocalCells;
+};
+
+} // namespace astral
+
+#endif // ASTRAL_ANALYZER_ITERATOR_H

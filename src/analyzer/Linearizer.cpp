@@ -1,0 +1,163 @@
+//===- analyzer/Linearizer.cpp - Symbolic expression linearization ----------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/Linearizer.h"
+
+using namespace astral;
+using namespace astral::ir;
+using memory::CellSel;
+
+Interval Transfer::evalForm(const AbstractEnv &Env,
+                            const LinearForm &F) const {
+  if (!F.valid())
+    return Interval::top();
+  Interval R = F.constTerm();
+  for (const auto &[Cell, Coef] : F.terms()) {
+    Interval CellItv = Env.cellInterval(Cell);
+    if (CellItv.isBottom())
+      return Interval::bottom();
+    R = Interval::fadd(R, Interval::fmul(Coef, CellItv));
+  }
+  return R;
+}
+
+LinearForm Transfer::linearize(const AbstractEnv &Env, const Expr *E) {
+  if (!E)
+    return LinearForm::invalid();
+  switch (E->Kind) {
+  case ExprKind::ConstInt:
+    return LinearForm::constant(
+        Interval::point(static_cast<double>(E->IntVal)));
+  case ExprKind::ConstFloat:
+    return LinearForm::constant(Interval::point(E->FloatVal));
+  case ExprKind::Load: {
+    CellSel Sel = resolveLValue(Env, E->Lv, /*Report=*/false);
+    if (Sel.Strong && Sel.Count == 1 && !Layout.cell(Sel.First).IsVolatile)
+      return LinearForm::var(Sel.First);
+    // Weak / volatile / unresolved loads contribute their interval.
+    Interval V = evalNoCheck(Env, E);
+    if (V.isBottom())
+      return LinearForm::invalid();
+    return LinearForm::constant(V);
+  }
+  case ExprKind::Unary: {
+    if (E->UO != UnOp::Neg)
+      break;
+    LinearForm A = linearize(Env, E->A);
+    if (!A.valid())
+      return A;
+    return A.negate(); // Negation is exact in IEEE arithmetic.
+  }
+  case ExprKind::Cast: {
+    const Type *To = E->Ty;
+    const Type *From = E->A->Ty;
+    LinearForm A = linearize(Env, E->A);
+    if (!A.valid())
+      return A;
+    if (To->isFloat()) {
+      if (From->isFloat() && (From->IsDouble == To->IsDouble))
+        return A;
+      // Rounding into the target format.
+      Interval V = evalNoCheck(Env, E->A);
+      double Mag = V.isBottom() ? 0.0 : V.magnitude();
+      double F = To->IsDouble ? rounded::RelErr : rounded::RelErrFloat32;
+      double AbsMin = To->IsDouble ? rounded::AbsErrMin
+                                   : rounded::AbsErrMinFloat32;
+      A.addError(rounded::mulUp(F, Mag) + AbsMin);
+      return A;
+    }
+    if (To->isInt() && From->isInt()) {
+      // Exact when the value surely fits; otherwise the clamp is not
+      // linear.
+      Interval V = evalNoCheck(Env, E->A);
+      if (V.leq(typeRange(To)))
+        return A;
+      return LinearForm::constant(evalNoCheck(Env, E));
+    }
+    // float -> int truncation: not linear; use the interval.
+    return LinearForm::constant(evalNoCheck(Env, E));
+  }
+  case ExprKind::Binary: {
+    bool IsFloat = E->Ty->isFloat();
+    double F = !IsFloat ? 0.0
+               : (E->Ty->IsDouble ? rounded::RelErr
+                                  : rounded::RelErrFloat32);
+    double AbsMin = !IsFloat ? 0.0
+                    : (E->Ty->IsDouble ? rounded::AbsErrMin
+                                       : rounded::AbsErrMinFloat32);
+    auto AddRounding = [&](LinearForm &Form) {
+      if (!IsFloat || !Form.valid())
+        return;
+      Interval V = evalNoCheck(Env, E);
+      double Mag = V.isBottom() ? 0.0 : V.magnitude();
+      if (!std::isfinite(Mag)) {
+        Form = LinearForm::invalid();
+        return;
+      }
+      Form.addError(rounded::mulUp(F, Mag) + AbsMin);
+    };
+    switch (E->BO) {
+    case BinOp::Add: {
+      LinearForm A = linearize(Env, E->A);
+      LinearForm B = linearize(Env, E->B);
+      if (!A.valid() || !B.valid())
+        return LinearForm::invalid();
+      LinearForm R = A.add(B);
+      AddRounding(R);
+      return R;
+    }
+    case BinOp::Sub: {
+      LinearForm A = linearize(Env, E->A);
+      LinearForm B = linearize(Env, E->B);
+      if (!A.valid() || !B.valid())
+        return LinearForm::invalid();
+      LinearForm R = A.sub(B);
+      AddRounding(R);
+      return R;
+    }
+    case BinOp::Mul: {
+      LinearForm A = linearize(Env, E->A);
+      LinearForm B = linearize(Env, E->B);
+      if (!A.valid() || !B.valid())
+        return LinearForm::invalid();
+      // One side must reduce to a constant interval; otherwise evaluate
+      // the smaller side into an interval (Sect. 6.3: "non-linear operators
+      // are dealt by evaluating one or both linear form arguments").
+      LinearForm R = LinearForm::invalid();
+      if (A.isConstant())
+        R = B.scale(A.constTerm());
+      else if (B.isConstant())
+        R = A.scale(B.constTerm());
+      else {
+        Interval BV = evalNoCheck(Env, E->B);
+        if (BV.isBottom())
+          return LinearForm::invalid();
+        R = A.scale(BV);
+      }
+      AddRounding(R);
+      return R;
+    }
+    case BinOp::Div: {
+      LinearForm A = linearize(Env, E->A);
+      if (!A.valid())
+        return LinearForm::invalid();
+      Interval BV = evalNoCheck(Env, E->B);
+      if (BV.isBottom() || BV.containsZero())
+        return LinearForm::invalid();
+      Interval Inv = Interval::fdiv(Interval::point(1.0), BV);
+      LinearForm R = A.scale(Inv);
+      AddRounding(R);
+      return R;
+    }
+    default:
+      break;
+    }
+    break;
+  }
+  }
+  return LinearForm::invalid();
+}

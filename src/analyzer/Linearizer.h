@@ -1,0 +1,36 @@
+//===- analyzer/Linearizer.h - Symbolic expression linearization -*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declarations for the Sect. 6.3 linearizer. The implementation lives in
+/// Linearizer.cpp as part of the Transfer class (linearize / evalForm);
+/// this header only documents the contract and provides the standalone
+/// helper used by tests.
+///
+/// The linearizer rewrites an expression e into
+///     l(e) = sum_i [a_i, b_i] * v_i + [a, b]
+/// by structural recursion (multiplication/division by constant intervals
+/// distribute; non-linear operators evaluate a side to an interval). For
+/// floating-point operations an absolute error term
+///     err = f_ty * max|e| + minsubnormal_ty
+/// is added to the constant interval, so the form is sound for the machine
+/// semantics, not just the real field. The classic win: l(X - 0.2*X) =
+/// 0.8*X (+ error), which evaluates to [0, 0.8] instead of [-0.2, 1].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_ANALYZER_LINEARIZER_H
+#define ASTRAL_ANALYZER_LINEARIZER_H
+
+#include "analyzer/Transfer.h"
+
+namespace astral {
+// linearize / evalForm are members of Transfer (Transfer.h); nothing else
+// is exported.
+} // namespace astral
+
+#endif // ASTRAL_ANALYZER_LINEARIZER_H

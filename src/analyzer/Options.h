@@ -1,0 +1,91 @@
+//===- analyzer/Options.h - Analyzer parametrization -------------*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// All the analyzer parameters of Sect. 3.2 and 7 ("adaptation by
+/// parametrization"): domain selection (for the refinement-order
+/// experiments), widening thresholds, delayed widening, floating iteration
+/// perturbation, loop unrolling, trace partitioning, packing limits,
+/// environment specifications (volatile input ranges, maximal operating
+/// time) and the pack-usefulness restriction of Sect. 7.2.2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_ANALYZER_OPTIONS_H
+#define ASTRAL_ANALYZER_OPTIONS_H
+
+#include "domains/Interval.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace astral {
+
+struct AnalyzerOptions {
+  // -- Abstract domain selection (Sect. 6.2; the refinement sequence of the
+  //    alarm experiment E2 toggles these) -----------------------------------
+  bool EnableClock = true;         ///< Clocked domain (6.2.1).
+  bool EnableOctagons = true;      ///< Octagon packs (6.2.2).
+  bool EnableEllipsoids = true;    ///< Ellipsoid / filter packs (6.2.3).
+  bool EnableDecisionTrees = true; ///< Boolean decision trees (6.2.4).
+  bool EnableLinearization = true; ///< Symbolic linearization (6.3).
+
+  // -- Widening / iteration strategy (Sect. 5.5, 7.1) -----------------------
+  bool WideningWithThresholds = true; ///< Off = plain interval widening.
+  double ThresholdAlpha = 1.0;        ///< T = +/- alpha * lambda^k (7.1.2).
+  double ThresholdLambda = 4.0;
+  unsigned ThresholdCount = 64;
+  std::vector<double> ExtraThresholds; ///< End-user supplied values.
+  unsigned DelayedWideningSteps = 2;   ///< N0 union iterations first (7.1.3).
+  bool DelayedWidening = true;         ///< Hold widening for newly-stable
+                                       ///< variables (7.1.3).
+  unsigned DelayedWideningFairness = 8;///< Max consecutive holds (livelock
+                                       ///< fairness condition, 7.1.3).
+  unsigned MaxIterations = 500;        ///< Safety cap (then plain widening).
+  unsigned NarrowingIterations = 2;    ///< Decreasing iterations (5.5).
+  double FloatPerturbation = 1e-6;     ///< epsilon of F-hat (7.1.4).
+
+  // -- Loop unrolling (7.1.1) ------------------------------------------------
+  unsigned DefaultUnroll = 1;
+  std::map<uint32_t, unsigned> LoopUnroll; ///< Per LoopId override.
+
+  // -- Trace partitioning (7.1.5) --------------------------------------------
+  std::set<std::string> PartitionFunctions; ///< End-user selected functions.
+  unsigned MaxPartitions = 16;
+
+  // -- Memory model (6.1.1) ---------------------------------------------------
+  unsigned ArrayExpandLimit = 256; ///< Larger arrays are shrunk.
+
+  // -- Packing (7.2) -----------------------------------------------------------
+  unsigned MaxOctPackSize = 8;
+  unsigned MaxBoolsPerTreePack = 3; ///< The 7.2.3 sweet spot.
+  unsigned MaxNumsPerTreePack = 4;
+  /// When non-empty, only these octagon pack ids are instantiated (the
+  /// Sect. 7.2.2 optimization: reuse the useful-pack list of a previous run).
+  std::set<uint32_t> RestrictOctPacks;
+  bool UseRestrictedPacks = false;
+
+  // -- Environment specification (Sect. 4) -------------------------------------
+  /// Ranges of volatile inputs ("essentially ranges of values for a few
+  /// hardware registers"), keyed by variable name. Unlisted volatiles get
+  /// their full machine-type range.
+  std::map<std::string, Interval> VolatileRanges;
+  /// Maximal number of clock ticks ("a maximal execution time to limit the
+  /// possible number of iterations in the external loop").
+  double ClockMax = 3.6e6;
+
+  // -- Misc ----------------------------------------------------------------------
+  std::string EntryFunction = "main";
+  unsigned MaxCallDepth = 64;
+  bool RecordLoopInvariants = true;
+};
+
+} // namespace astral
+
+#endif // ASTRAL_ANALYZER_OPTIONS_H

@@ -1,0 +1,1376 @@
+//===- analyzer/Transfer.cpp - Abstract transfer functions ------------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/Transfer.h"
+
+#include <cassert>
+
+using namespace astral;
+using namespace astral::ir;
+using memory::CellSel;
+using memory::EllipsoidState;
+using memory::NoCell;
+using memory::PackId;
+using memory::ResolvedAccess;
+using memory::ScalarAbs;
+
+Transfer::Transfer(const Program &Prog, const memory::CellLayout &L,
+                   const Packing &Pk, const AnalyzerOptions &O,
+                   Statistics &St, AlarmSet &Al)
+    : P(Prog), Layout(L), Packs(Pk), Opts(O), Stats(St), Alarms(Al) {
+  OctPackImproved.assign(Packs.OctPacks.size(), 0);
+  CellRange.reserve(Layout.numCells());
+  VolatileRng.reserve(Layout.numCells());
+  for (const memory::CellInfo &CI : Layout.cells()) {
+    CellRange.push_back(typeRange(CI.Ty));
+    Interval VR = CellRange.back();
+    if (CI.IsVolatile) {
+      auto It = Opts.VolatileRanges.find(P.var(CI.Var).Name);
+      if (It != Opts.VolatileRanges.end())
+        VR = It->second.meet(VR);
+    }
+    VolatileRng.push_back(VR);
+  }
+}
+
+Interval Transfer::typeRange(const Type *Ty) const {
+  if (Ty->isInt()) {
+    if (Ty->IsBool)
+      return Interval(0, 1);
+    return Interval(static_cast<double>(Ty->intMin()),
+                    static_cast<double>(Ty->intMax()));
+  }
+  if (Ty->isFloat())
+    return Interval(-Ty->floatMax(), Ty->floatMax());
+  return Interval::top();
+}
+
+AbstractEnv Transfer::initialEnv() const {
+  AbstractEnv Env;
+  for (CellId C = 0; C < Layout.numCells(); ++C) {
+    const memory::CellInfo &CI = Layout.cell(C);
+    const ir::VarInfo &VI = P.var(CI.Var);
+    ScalarAbs V;
+    if (CI.IsVolatile)
+      V.Itv = VolatileRng[C];
+    else if (VI.IsPersistent)
+      V.Itv = Interval::point(0).meet(CellRange[C]).isBottom()
+                  ? Interval::point(0)
+                  : Interval::point(0);
+    else
+      V.Itv = CellRange[C];
+    Env.setCell(C, V);
+  }
+  Env.setClock(Interval::point(0));
+  for (const OctPack &Pack : Packs.OctPacks)
+    Env.setOctagon(Pack.Id, std::make_shared<const Octagon>(Pack.Cells));
+  for (const TreePack &Pack : Packs.TreePacks)
+    Env.setTree(Pack.Id,
+                std::make_shared<const DecisionTree>(Pack.Bools, Pack.Nums));
+  for (const EllPack &Pack : Packs.EllPacks)
+    Env.setEllipsoids(Pack.Id, std::make_shared<const EllipsoidState>());
+  return Env;
+}
+
+void Transfer::alarm(const Expr *E, AlarmKind K, const std::string &Msg,
+                     bool Definite) {
+  if (!Checking)
+    return;
+  Alarms.report(E->Point, E->Loc, K, Msg, Definite);
+  Stats.add("alarms.reported");
+}
+
+//===----------------------------------------------------------------------===//
+// LValue resolution
+//===----------------------------------------------------------------------===//
+
+CellSel Transfer::resolveLValue(const AbstractEnv &Env, const LValue &Lv,
+                                bool Report) {
+  VarId Base = Lv.Base;
+  std::vector<ResolvedAccess> Path;
+  size_t Start = 0;
+
+  if (Base < P.Vars.size() && P.var(Base).IsRef) {
+    const RefBinding *B = lookupBinding(Base);
+    if (!B)
+      return CellSel{}; // Unbound reference: no cells (dead code).
+    Base = B->Base;
+    Path = B->Path;
+    // The first access of the lvalue is the Deref through the binding.
+    if (!Lv.Path.empty() && Lv.Path[0].K == Access::Kind::Deref)
+      Start = 1;
+  }
+
+  for (size_t I = Start; I < Lv.Path.size(); ++I) {
+    const Access &A = Lv.Path[I];
+    ResolvedAccess R;
+    switch (A.K) {
+    case Access::Kind::Deref:
+      // Deref below the first position cannot occur in the subset.
+      return CellSel{};
+    case Access::Kind::Field:
+      R.K = ResolvedAccess::Kind::Field;
+      R.FieldIdx = A.FieldIdx;
+      break;
+    case Access::Kind::Index:
+      R.K = ResolvedAccess::Kind::Index;
+      R.Idx = evalNoCheck(Env, A.Index);
+      break;
+    }
+    Path.push_back(R);
+  }
+
+  const memory::LayoutNode *Node = Layout.varLayout(Base);
+  if (!Node)
+    return CellSel{};
+  CellSel Sel = Layout.resolve(Node, Path);
+  if (Report && Checking && (Sel.MayBeOutOfBounds ||
+                             Sel.DefinitelyOutOfBounds)) {
+    // Attach to the statement point via the lvalue's source location; the
+    // caller dedups by point, so use the base expression's point when
+    // available (indices carry their own points).
+    uint32_t Point = 0;
+    for (const Access &A : Lv.Path)
+      if (A.K == Access::Kind::Index && A.Index)
+        Point = A.Index->Point;
+    Alarms.report(Point, Lv.Loc, AlarmKind::ArrayBounds,
+                  "array subscript may be out of bounds for " +
+                      P.var(Lv.Base).Name,
+                  Sel.DefinitelyOutOfBounds);
+    Stats.add("alarms.reported");
+  }
+  return Sel;
+}
+
+RefBinding Transfer::bindRef(const AbstractEnv &Env, const LValue &Lv) {
+  RefBinding B;
+  B.Base = Lv.Base;
+  size_t Start = 0;
+  if (Lv.Base < P.Vars.size() && P.var(Lv.Base).IsRef) {
+    // Forwarding an existing reference (possibly with extra accesses).
+    if (const RefBinding *Prev = lookupBinding(Lv.Base)) {
+      B = *Prev;
+      if (!Lv.Path.empty() && Lv.Path[0].K == Access::Kind::Deref)
+        Start = 1;
+    } else {
+      B.Base = NoVar;
+      return B;
+    }
+  }
+  for (size_t I = Start; I < Lv.Path.size(); ++I) {
+    const Access &A = Lv.Path[I];
+    ResolvedAccess R;
+    switch (A.K) {
+    case Access::Kind::Deref:
+      continue;
+    case Access::Kind::Field:
+      R.K = ResolvedAccess::Kind::Field;
+      R.FieldIdx = A.FieldIdx;
+      break;
+    case Access::Kind::Index:
+      R.K = ResolvedAccess::Kind::Index;
+      // Subscripts in reference arguments are evaluated at call time; the
+      // bound region stays fixed afterwards (C pointer semantics).
+      R.Idx = evalNoCheck(Env, A.Index);
+      break;
+    }
+    B.Path.push_back(R);
+  }
+  return B;
+}
+
+//===----------------------------------------------------------------------===//
+// Expression evaluation
+//===----------------------------------------------------------------------===//
+
+Interval Transfer::evalNoCheck(const AbstractEnv &Env, const Expr *E,
+                               const CellOverlay *Overlay) {
+  bool Saved = Checking;
+  Checking = false;
+  Interval R = evalExpr(Env, E, Overlay);
+  Checking = Saved;
+  return R;
+}
+
+Interval Transfer::evalLoad(const AbstractEnv &Env, const Expr *E,
+                            const CellOverlay *Overlay) {
+  CellSel Sel = resolveLValue(Env, E->Lv, /*Report=*/true);
+  if (Sel.empty() || Sel.DefinitelyOutOfBounds)
+    return Sel.DefinitelyOutOfBounds ? Interval::bottom()
+                                     : typeRange(E->Ty);
+  Interval R = Interval::bottom();
+  for (CellId C = Sel.First; C < Sel.First + Sel.Count; ++C) {
+    if (Overlay) {
+      if (const Interval *O = (*Overlay)(C)) {
+        R = R.join(*O);
+        continue;
+      }
+    }
+    const memory::CellInfo &CI = Layout.cell(C);
+    if (CI.IsVolatile) {
+      // Volatile loads return the environment-specified input range.
+      R = R.join(VolatileRng[C]);
+      continue;
+    }
+    const ScalarAbs *S = Env.cell(C);
+    if (!S) {
+      R = R.join(CellRange[C]);
+      continue;
+    }
+    Interval V = S->Itv;
+    if (Opts.EnableClock && !S->Clk.isTop())
+      V = S->Clk.reduceValue(V, Env.clock());
+    R = R.join(V);
+  }
+  return R;
+}
+
+Interval Transfer::evalCast(const AbstractEnv &Env, const Expr *E,
+                            const CellOverlay *Overlay) {
+  Interval A = evalExpr(Env, E->A, Overlay);
+  if (A.isBottom())
+    return A;
+  const Type *To = E->Ty;
+  const Type *From = E->A->Ty;
+  if (To->isInt()) {
+    Interval Truncated = A;
+    if (From->isFloat()) {
+      // Truncation toward zero.
+      double L = A.Lo < 0 ? -std::floor(-A.Lo) : std::floor(A.Lo);
+      double H = A.Hi < 0 ? -std::floor(-A.Hi) : std::floor(A.Hi);
+      Truncated = Interval(L, H);
+    }
+    Interval Range = typeRange(To);
+    if (!Truncated.leq(Range)) {
+      alarm(E, AlarmKind::ConvOverflow,
+            "conversion to " + To->toString() + " out of range " +
+                Truncated.toString(),
+            Truncated.meet(Range).isBottom());
+      Truncated = Truncated.meet(Range);
+    }
+    return Truncated;
+  }
+  if (To->isFloat()) {
+    Interval R = A;
+    if (From->isInt() || (From->isFloat() && From->IsDouble && !To->IsDouble)) {
+      // Rounding to the target format: widen by one relative error step.
+      double Err = (To->IsDouble ? rounded::RelErr : rounded::RelErrFloat32) *
+                       R.magnitude() +
+                   (To->IsDouble ? rounded::AbsErrMin
+                                 : rounded::AbsErrMinFloat32);
+      R = Interval::fadd(R, Interval(-Err, Err));
+    }
+    Interval Range = typeRange(To);
+    if (!R.leq(Range)) {
+      alarm(E, AlarmKind::FloatOverflow,
+            "conversion to " + To->toString() + " overflows",
+            R.meet(Range).isBottom());
+      R = R.meet(Range);
+    }
+    return R;
+  }
+  return A;
+}
+
+Interval Transfer::evalBinary(const AbstractEnv &Env, const Expr *E,
+                              const CellOverlay *Overlay) {
+  // Short-circuit forms first (no arithmetic checks on them).
+  if (E->BO == BinOp::LogicalAnd || E->BO == BinOp::LogicalOr ||
+      isComparison(E->BO)) {
+    Interval A = evalExpr(Env, E->A, Overlay);
+    Interval B = evalExpr(Env, E->B, Overlay);
+    if (A.isBottom() || B.isBottom())
+      return Interval::bottom();
+    auto Tri = [](bool CanFalse, bool CanTrue) {
+      return Interval(CanTrue && !CanFalse ? 1 : 0,
+                      CanFalse && !CanTrue ? 0 : 1);
+    };
+    switch (E->BO) {
+    case BinOp::Lt: return Tri(A.Hi >= B.Lo, A.Lo < B.Hi);
+    case BinOp::Le: return Tri(A.Hi > B.Lo, A.Lo <= B.Hi);
+    case BinOp::Gt: return Tri(A.Lo <= B.Hi, A.Hi > B.Lo);
+    case BinOp::Ge: return Tri(A.Lo < B.Hi, A.Hi >= B.Lo);
+    case BinOp::Eq:
+      return Tri(!(A.isPoint() && B.isPoint() && A.Lo == B.Lo),
+                 !A.meet(B).isBottom());
+    case BinOp::Ne:
+      return Tri(!A.meet(B).isBottom(),
+                 !(A.isPoint() && B.isPoint() && A.Lo == B.Lo));
+    case BinOp::LogicalAnd: {
+      bool CanTrue = !A.meetNe(0, E->A->Ty->isInt()).isBottom() &&
+                     !B.meetNe(0, E->B->Ty->isInt()).isBottom();
+      bool CanFalse = A.containsZero() || B.containsZero();
+      return Tri(CanFalse, CanTrue);
+    }
+    case BinOp::LogicalOr: {
+      bool CanTrue = !A.meetNe(0, E->A->Ty->isInt()).isBottom() ||
+                     !B.meetNe(0, E->B->Ty->isInt()).isBottom();
+      bool CanFalse = A.containsZero() && B.containsZero();
+      return Tri(CanFalse, CanTrue);
+    }
+    default:
+      break;
+    }
+  }
+
+  Interval A = evalExpr(Env, E->A, Overlay);
+  Interval B = evalExpr(Env, E->B, Overlay);
+  if (A.isBottom() || B.isBottom())
+    return Interval::bottom();
+  bool IsFloat = E->Ty->isFloat();
+  Interval R;
+  switch (E->BO) {
+  case BinOp::Add:
+    R = IsFloat ? Interval::fadd(A, B) : Interval::iadd(A, B);
+    break;
+  case BinOp::Sub:
+    R = IsFloat ? Interval::fsub(A, B) : Interval::isub(A, B);
+    break;
+  case BinOp::Mul:
+    R = IsFloat ? Interval::fmul(A, B) : Interval::imul(A, B);
+    break;
+  case BinOp::Div: {
+    if (B.containsZero()) {
+      alarm(E, AlarmKind::DivByZero, "divisor may be zero",
+            B == Interval::point(0));
+      Stats.add("checks.division");
+    }
+    R = IsFloat ? Interval::fdiv(A, B) : Interval::idiv(A, B);
+    break;
+  }
+  case BinOp::Rem: {
+    if (B.containsZero())
+      alarm(E, AlarmKind::DivByZero, "modulo by zero",
+            B == Interval::point(0));
+    R = Interval::irem(A, B);
+    break;
+  }
+  case BinOp::Shl:
+  case BinOp::Shr: {
+    double Width = E->Ty->isInt() ? E->Ty->IntWidth : 32;
+    if (B.Lo < 0 || B.Hi >= Width) {
+      alarm(E, AlarmKind::InvalidShift,
+            "shift amount " + B.toString() + " out of range", false);
+      B = B.meet(Interval(0, Width - 1));
+      if (B.isBottom())
+        return Interval::bottom();
+    }
+    R = E->BO == BinOp::Shl ? Interval::ishl(A, B) : Interval::ishr(A, B);
+    break;
+  }
+  case BinOp::And:
+    R = Interval::iand(A, B);
+    break;
+  case BinOp::Or:
+    R = Interval::ior(A, B);
+    break;
+  case BinOp::Xor:
+    R = Interval::ixor(A, B);
+    break;
+  default:
+    R = Interval::top();
+    break;
+  }
+
+  // Overflow checks against the operation's machine type; analysis
+  // continues with the wiped (clamped) values (Sect. 5.3).
+  Interval Range = typeRange(E->Ty);
+  if (!R.isBottom() && !R.leq(Range)) {
+    alarm(E, E->Ty->isFloat() ? AlarmKind::FloatOverflow
+                              : AlarmKind::IntOverflow,
+          std::string(E->Ty->isFloat() ? "float" : "integer") +
+              " operation may overflow: " + R.toString(),
+          R.meet(Range).isBottom());
+    R = R.meet(Range);
+  }
+  return R;
+}
+
+Interval Transfer::evalExpr(const AbstractEnv &Env, const Expr *E,
+                            const CellOverlay *Overlay) {
+  if (!E || Env.isBottom())
+    return Interval::bottom();
+  switch (E->Kind) {
+  case ExprKind::ConstInt:
+    return Interval::point(static_cast<double>(E->IntVal));
+  case ExprKind::ConstFloat:
+    return Interval::point(E->FloatVal);
+  case ExprKind::Load:
+    return evalLoad(Env, E, Overlay);
+  case ExprKind::Unary: {
+    Interval A = evalExpr(Env, E->A, Overlay);
+    if (A.isBottom())
+      return A;
+    switch (E->UO) {
+    case UnOp::Neg: {
+      Interval R = Interval::fneg(A);
+      Interval Range = typeRange(E->Ty);
+      if (!R.leq(Range)) { // -INT_MIN overflows.
+        alarm(E, E->Ty->isFloat() ? AlarmKind::FloatOverflow
+                                  : AlarmKind::IntOverflow,
+              "negation may overflow", false);
+        R = R.meet(Range);
+      }
+      return R;
+    }
+    case UnOp::LogicalNot: {
+      bool CanTrue = A.containsZero();
+      bool CanFalse = !A.meetNe(0, E->A->Ty->isInt()).isBottom();
+      return Interval(CanTrue && !CanFalse ? 1 : 0,
+                      CanFalse && !CanTrue ? 0 : 1);
+    }
+    case UnOp::BitNot:
+      return Interval::ibitnot(A).meet(typeRange(E->Ty));
+    }
+    return Interval::top();
+  }
+  case ExprKind::Binary:
+    return evalBinary(Env, E, Overlay);
+  case ExprKind::Cast:
+    return evalCast(Env, E, Overlay);
+  }
+  return Interval::top();
+}
+
+//===----------------------------------------------------------------------===//
+// Decision-tree helpers
+//===----------------------------------------------------------------------===//
+
+CellOverlay Transfer::leafOverlay(const DecisionTree &Tree, size_t LeafIdx,
+                                  std::vector<Interval> &Scratch) const {
+  // Scratch layout: [bools..., nums...] intervals for this leaf.
+  Scratch.clear();
+  for (size_t B = 0; B < Tree.boolCells().size(); ++B)
+    Scratch.push_back(Interval::point(
+        DecisionTree::leafBool(LeafIdx, static_cast<int>(B)) ? 1 : 0));
+  const DecisionTree::Leaf &L = Tree.leaf(LeafIdx);
+  for (size_t N = 0; N < Tree.numCells().size(); ++N)
+    Scratch.push_back(L.Nums[N]);
+  const DecisionTree *TreePtr = &Tree;
+  std::vector<Interval> *Data = &Scratch;
+  return [TreePtr, Data](CellId C) -> const Interval * {
+    int B = TreePtr->boolIndexOf(C);
+    if (B >= 0)
+      return &(*Data)[static_cast<size_t>(B)];
+    int N = TreePtr->numIndexOf(C);
+    if (N >= 0)
+      return &(*Data)[TreePtr->boolCells().size() + static_cast<size_t>(N)];
+    return nullptr;
+  };
+}
+
+std::vector<uint8_t> Transfer::perLeafTruth(const AbstractEnv &Env,
+                                            const DecisionTree &Tree,
+                                            const Expr *Cond) {
+  std::vector<uint8_t> Truth(Tree.leafCount(), 2);
+  std::vector<Interval> Scratch;
+  for (size_t L = 0; L < Tree.leafCount(); ++L) {
+    if (!Tree.leaf(L).Reachable) {
+      Truth[L] = 2;
+      continue;
+    }
+    CellOverlay O = leafOverlay(Tree, L, Scratch);
+    Interval V = evalNoCheck(Env, Cond, &O);
+    if (V.isBottom()) {
+      Truth[L] = 2;
+      continue;
+    }
+    bool CanFalse = V.containsZero();
+    bool CanTrue = !V.meetNe(0, Cond->Ty->isInt()).isBottom();
+    Truth[L] = CanTrue && CanFalse ? 2 : (CanTrue ? 1 : 0);
+  }
+  return Truth;
+}
+
+std::vector<Interval> Transfer::perLeafValue(const AbstractEnv &Env,
+                                             const DecisionTree &Tree,
+                                             const Expr *E) {
+  std::vector<Interval> Values(Tree.leafCount(), Interval::top());
+  std::vector<Interval> Scratch;
+  for (size_t L = 0; L < Tree.leafCount(); ++L) {
+    if (!Tree.leaf(L).Reachable)
+      continue;
+    CellOverlay O = leafOverlay(Tree, L, Scratch);
+    Values[L] = evalNoCheck(Env, E, &O);
+  }
+  return Values;
+}
+
+/// Refines the numeric intervals of one decision-tree leaf under the
+/// assumption that \p Cond evaluates to \p Positive (single-Load comparisons
+/// and boolean structure only; anything else refines nothing, which is
+/// sound). \p Nums is the leaf's numeric vector, updated in place.
+static void refineLeafNums(const AbstractEnv &Env, const DecisionTree &Tree,
+                           std::vector<Interval> &Nums, const CellOverlay &O,
+                           const Expr *Cond, bool Positive, Transfer *Self);
+
+void Transfer::boolAssignRefined(const AbstractEnv &Env,
+                                 const DecisionTree &Old, DecisionTree &New,
+                                 int BoolIdx, const Expr *Rhs) {
+  size_t Bit = size_t(1) << BoolIdx;
+  size_t NumCount = Old.numCells().size();
+  // Start from nothing; contributions join in.
+  for (size_t L = 0; L < New.leafCount(); ++L) {
+    DecisionTree::Leaf &Lf = New.leafMutable(L);
+    Lf.Reachable = false;
+    Lf.Nums.assign(NumCount, Interval::bottom());
+  }
+  std::vector<Interval> Scratch;
+  for (size_t L = 0; L < Old.leafCount(); ++L) {
+    if (!Old.leaf(L).Reachable)
+      continue;
+    CellOverlay O = leafOverlay(Old, L, Scratch);
+    Interval V = evalNoCheck(Env, Rhs, &O);
+    if (V.isBottom())
+      continue;
+    for (int TruthVal = 0; TruthVal <= 1; ++TruthVal) {
+      bool Feasible = TruthVal
+                          ? !V.meetNe(0, Rhs->Ty->isInt()).isBottom()
+                          : V.containsZero();
+      if (!Feasible)
+        continue;
+      std::vector<Interval> Nums = Old.leaf(L).Nums;
+      refineLeafNums(Env, Old, Nums, O, Rhs, TruthVal == 1, this);
+      bool LeafDead = false;
+      for (const Interval &I : Nums)
+        if (I.isBottom())
+          LeafDead = true;
+      if (LeafDead)
+        continue;
+      size_t Target = (L & ~Bit) | (TruthVal ? Bit : 0);
+      DecisionTree::Leaf &Dst = New.leafMutable(Target);
+      if (!Dst.Reachable) {
+        Dst.Reachable = true;
+        Dst.Nums = std::move(Nums);
+      } else {
+        for (size_t J = 0; J < NumCount; ++J)
+          Dst.Nums[J] = Dst.Nums[J].join(Nums[J]);
+      }
+    }
+  }
+}
+
+static void refineLeafNums(const AbstractEnv &Env, const DecisionTree &Tree,
+                           std::vector<Interval> &Nums, const CellOverlay &O,
+                           const Expr *Cond, bool Positive, Transfer *Self) {
+  if (!Cond)
+    return;
+  switch (Cond->Kind) {
+  case ExprKind::Cast:
+    // Integer-to-integer conversions (including the implicit _Bool cast
+    // Sema wraps around comparisons) clamp rather than wrap, so they
+    // preserve zero/nonzero-ness and the truth value.
+    if (Cond->Ty->isInt() && Cond->A && Cond->A->Ty->isInt())
+      refineLeafNums(Env, Tree, Nums, O, Cond->A, Positive, Self);
+    return;
+  case ExprKind::Unary:
+    if (Cond->UO == UnOp::LogicalNot)
+      refineLeafNums(Env, Tree, Nums, O, Cond->A, !Positive, Self);
+    return;
+  case ExprKind::Binary: {
+    if (Cond->BO == BinOp::LogicalAnd && Positive) {
+      refineLeafNums(Env, Tree, Nums, O, Cond->A, true, Self);
+      refineLeafNums(Env, Tree, Nums, O, Cond->B, true, Self);
+      return;
+    }
+    if (Cond->BO == BinOp::LogicalOr && !Positive) {
+      refineLeafNums(Env, Tree, Nums, O, Cond->A, false, Self);
+      refineLeafNums(Env, Tree, Nums, O, Cond->B, false, Self);
+      return;
+    }
+    if (!isComparison(Cond->BO))
+      return;
+    BinOp Op = Cond->BO;
+    if (!Positive) {
+      switch (Cond->BO) {
+      case BinOp::Lt: Op = BinOp::Ge; break;
+      case BinOp::Le: Op = BinOp::Gt; break;
+      case BinOp::Gt: Op = BinOp::Le; break;
+      case BinOp::Ge: Op = BinOp::Lt; break;
+      case BinOp::Eq: Op = BinOp::Ne; break;
+      case BinOp::Ne: Op = BinOp::Eq; break;
+      default: break;
+      }
+    }
+    // Refine when one side is a Load of a pack numeric cell.
+    auto TryRefine = [&](const Expr *Side, const Expr *Other, bool IsLeft) {
+      if (!Side->is(ExprKind::Load))
+        return;
+      CellSel Sel = Self->resolveLValue(Env, Side->Lv, /*Report=*/false);
+      if (!(Sel.Strong && Sel.Count == 1))
+        return;
+      int N = Tree.numIndexOf(Sel.First);
+      if (N < 0)
+        return;
+      Interval OtherV = Self->evalNoCheck(Env, Other, &O);
+      if (OtherV.isBottom())
+        return;
+      bool IsInt = Side->Ty->isInt() && Other->Ty->isInt();
+      Interval R = Nums[N];
+      BinOp EffOp = Op;
+      if (!IsLeft) {
+        switch (Op) {
+        case BinOp::Lt: EffOp = BinOp::Gt; break;
+        case BinOp::Le: EffOp = BinOp::Ge; break;
+        case BinOp::Gt: EffOp = BinOp::Lt; break;
+        case BinOp::Ge: EffOp = BinOp::Le; break;
+        default: break;
+        }
+      }
+      switch (EffOp) {
+      case BinOp::Lt: R = R.meetLt(OtherV.Hi, IsInt); break;
+      case BinOp::Le: R = R.meetLe(OtherV.Hi); break;
+      case BinOp::Gt: R = R.meetGt(OtherV.Lo, IsInt); break;
+      case BinOp::Ge: R = R.meetGe(OtherV.Lo); break;
+      case BinOp::Eq: R = R.meet(OtherV); break;
+      case BinOp::Ne:
+        if (OtherV.isPoint())
+          R = R.meetNe(OtherV.Lo, IsInt);
+        break;
+      default: break;
+      }
+      Nums[N] = R;
+    };
+    TryRefine(Cond->A, Cond->B, /*IsLeft=*/true);
+    TryRefine(Cond->B, Cond->A, /*IsLeft=*/false);
+    return;
+  }
+  case ExprKind::Load: {
+    // Bare value: (load != 0) when positive.
+    CellSel Sel = Self->resolveLValue(Env, Cond->Lv, /*Report=*/false);
+    if (!(Sel.Strong && Sel.Count == 1))
+      return;
+    int N = Tree.numIndexOf(Sel.First);
+    if (N < 0)
+      return;
+    Nums[N] = Positive ? Nums[N].meetNe(0, Cond->Ty->isInt())
+                       : Nums[N].meet(Interval::point(0));
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+void Transfer::reduceFromTree(AbstractEnv &Env, PackId Pack) {
+  std::shared_ptr<const DecisionTree> T = Env.tree(Pack);
+  if (!T)
+    return;
+  if (T->isBottom()) {
+    Env.markBottom();
+    return;
+  }
+  for (size_t N = 0; N < T->numCells().size(); ++N) {
+    CellId C = T->numCells()[N];
+    Interval TreeView = T->numInterval(static_cast<int>(N));
+    const ScalarAbs *S = Env.cell(C);
+    if (!S)
+      continue;
+    Interval Meet = S->Itv.meet(TreeView);
+    if (Meet.isBottom())
+      continue; // Transient inconsistency: keep the cell value (sound).
+    if (Meet != S->Itv)
+      Env.setCell(C, ScalarAbs{Meet, S->Clk});
+  }
+}
+
+void Transfer::reduceFromOctagon(AbstractEnv &Env, PackId Pack) {
+  std::shared_ptr<const Octagon> O = Env.octagon(Pack);
+  if (!O)
+    return;
+  if (O->isBottom()) {
+    if (Pack < OctPackImproved.size())
+      OctPackImproved[Pack] = 1; // Pruned an infeasible branch.
+    Env.markBottom();
+    return;
+  }
+  for (size_t I = 0; I < O->cells().size(); ++I) {
+    CellId C = O->cells()[I];
+    Interval OV = O->varInterval(static_cast<int>(I));
+    const ScalarAbs *S = Env.cell(C);
+    if (!S)
+      continue;
+    Interval Meet = S->Itv.meet(OV);
+    if (Meet.isBottom())
+      continue;
+    if (Meet != S->Itv) {
+      if (Pack < OctPackImproved.size())
+        OctPackImproved[Pack] = 1;
+      Env.setCell(C, ScalarAbs{Meet, S->Clk});
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Relational assignment / invalidation
+//===----------------------------------------------------------------------===//
+
+void Transfer::relationalAssign(AbstractEnv &Env, CellId Target,
+                                const LinearForm &Form, const Interval &V,
+                                const Expr *Rhs) {
+  auto CellRangeCb = [&](CellId C) { return Env.cellInterval(C); };
+
+  // Octagons (6.2.2).
+  if (Opts.EnableOctagons) {
+    for (PackId Pack : Packs.CellOct[Target]) {
+      std::shared_ptr<const Octagon> Old = Env.octagon(Pack);
+      if (!Old)
+        continue;
+      auto New = std::make_shared<Octagon>(*Old);
+      int Idx = New->indexOf(Target);
+      New->assign(Idx, Form, CellRangeCb);
+      New->meetVarInterval(Idx, V);
+      New->close();
+      Env.setOctagon(Pack, std::move(New));
+      reduceFromOctagon(Env, Pack);
+      Stats.add("octagon.assignments");
+    }
+  }
+
+  // Decision trees (6.2.4).
+  if (Opts.EnableDecisionTrees && Rhs) {
+    for (PackId Pack : Packs.CellTree[Target]) {
+      std::shared_ptr<const DecisionTree> Old = Env.tree(Pack);
+      if (!Old)
+        continue;
+      auto New = std::make_shared<DecisionTree>(*Old);
+      int B = New->boolIndexOf(Target);
+      if (B >= 0) {
+        boolAssignRefined(Env, *Old, *New, B, Rhs);
+      } else {
+        int N = New->numIndexOf(Target);
+        if (N >= 0)
+          New->assignNum(N, perLeafValue(Env, *Old, Rhs));
+      }
+      Env.setTree(Pack, std::move(New));
+      Stats.add("dtree.assignments");
+    }
+  }
+
+  // Ellipsoids (6.2.3).
+  if (Opts.EnableEllipsoids) {
+    for (PackId Pack : Packs.CellEll[Target]) {
+      const EllPack &Info = Packs.EllPacks[Pack];
+      std::shared_ptr<const EllipsoidState> Old = Env.ellipsoids(Pack);
+      if (!Old)
+        continue;
+      auto New = std::make_shared<EllipsoidState>(*Old);
+      // Drop constraints involving the target.
+      for (auto It = New->K.begin(); It != New->K.end();) {
+        if (It->first.first == Target || It->first.second == Target)
+          It = New->K.erase(It);
+        else
+          ++It;
+      }
+      // Case 2: X := a*W1 - b*W2 + t with (a, b) matching the pack.
+      bool Matched = false;
+      if (Form.valid()) {
+        CellId W1 = NoCell, W2 = NoCell;
+        Interval Residual = Form.constTerm();
+        bool Shape = true;
+        for (const auto &[C, Coef] : Form.terms()) {
+          if (C != Target && Coef.isPoint() &&
+              std::fabs(Coef.Lo - Info.Params.A) <
+                  1e-9 * std::fabs(Info.Params.A) + 1e-300 &&
+              W1 == NoCell) {
+            W1 = C;
+          } else if (C != Target && Coef.isPoint() &&
+                     std::fabs(Coef.Lo + Info.Params.B) <
+                         1e-9 * Info.Params.B + 1e-300 &&
+                     W2 == NoCell) {
+            W2 = C;
+          } else {
+            // Fold stray terms into the residual by interval evaluation.
+            Interval CR = Env.cellInterval(C);
+            Residual = Interval::fadd(Residual, Interval::fmul(Coef, CR));
+            if (!Residual.isFinite())
+              Shape = false;
+          }
+        }
+        if (Shape && W1 != NoCell && W2 != NoCell) {
+          double TM = Residual.magnitude();
+          Ellipsoid Prev{Old->get(W1, W2)};
+          // Reduction before the assignment (paper: "before an assignment
+          // of the form X' := aX - bY + t, we refine the constraints").
+          Interval IW1 = Env.cellInterval(W1);
+          Interval IW2 = Env.cellInterval(W2);
+          Prev = Prev.reduceFromIntervals(Info.Params, IW1, IW2,
+                                          /*Equal=*/false);
+          Ellipsoid Next = Prev.afterFilterStep(Info.Params, TM);
+          if (!Next.isTop()) {
+            New->K[{Target, W1}] = Next.K;
+            // Reduce the interval of the target from the new constraint.
+            double Bound = Next.boundX(Info.Params);
+            if (std::isfinite(Bound)) {
+              const ScalarAbs *S = Env.cell(Target);
+              Interval Cur = S ? S->Itv : Interval::top();
+              Interval Meet = Cur.meet(Interval(-Bound, Bound));
+              if (!Meet.isBottom() && S)
+                Env.setCell(Target, ScalarAbs{Meet, S->Clk});
+            }
+            Matched = true;
+            Stats.add("ellipsoid.filter_steps");
+          }
+        }
+      }
+      // Case 1: plain copy X := W with W in the pack.
+      if (!Matched && Form.valid() && Form.terms().size() == 1 &&
+          Form.terms()[0].second == Interval::point(1.0) &&
+          Form.constTerm().magnitude() == 0.0) {
+        CellId W = Form.terms()[0].first;
+        for (const auto &[Pair, K] : Old->K) {
+          auto [PX, PY] = Pair;
+          CellId NX = PX == W ? Target : PX;
+          CellId NY = PY == W ? Target : PY;
+          if ((NX == Target || NY == Target) && NX != NY)
+            New->K[{NX, NY}] = std::min(New->get(NX, NY), K);
+        }
+      }
+      Env.setEllipsoids(Pack, std::move(New));
+    }
+  }
+}
+
+void Transfer::relationalForget(AbstractEnv &Env, CellId C,
+                                const Interval &V) {
+  if (Opts.EnableOctagons) {
+    for (PackId Pack : Packs.CellOct[C]) {
+      std::shared_ptr<const Octagon> Old = Env.octagon(Pack);
+      if (!Old)
+        continue;
+      auto New = std::make_shared<Octagon>(*Old);
+      int Idx = New->indexOf(C);
+      New->forget(Idx);
+      New->meetVarInterval(Idx, Env.cellInterval(C));
+      Env.setOctagon(Pack, std::move(New));
+    }
+  }
+  if (Opts.EnableDecisionTrees) {
+    for (PackId Pack : Packs.CellTree[C]) {
+      std::shared_ptr<const DecisionTree> Old = Env.tree(Pack);
+      if (!Old)
+        continue;
+      auto New = std::make_shared<DecisionTree>(*Old);
+      int B = New->boolIndexOf(C);
+      if (B >= 0) {
+        New->forgetBool(B);
+      } else {
+        int N = New->numIndexOf(C);
+        if (N >= 0) {
+          std::vector<Interval> PerLeaf(New->leafCount());
+          for (size_t L = 0; L < New->leafCount(); ++L)
+            PerLeaf[L] = New->leaf(L).Nums[N].join(V);
+          New->assignNum(N, PerLeaf);
+        }
+      }
+      Env.setTree(Pack, std::move(New));
+    }
+  }
+  if (Opts.EnableEllipsoids) {
+    for (PackId Pack : Packs.CellEll[C]) {
+      std::shared_ptr<const EllipsoidState> Old = Env.ellipsoids(Pack);
+      if (!Old)
+        continue;
+      auto New = std::make_shared<EllipsoidState>(*Old);
+      for (auto It = New->K.begin(); It != New->K.end();) {
+        if (It->first.first == C || It->first.second == C)
+          It = New->K.erase(It);
+        else
+          ++It;
+      }
+      Env.setEllipsoids(Pack, std::move(New));
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Assignment
+//===----------------------------------------------------------------------===//
+
+AbstractEnv Transfer::assign(AbstractEnv Env, const LValue &Lhs,
+                             const Expr *Rhs) {
+  if (Env.isBottom())
+    return Env;
+  Stats.add("transfer.assignments");
+
+  Interval V;
+  LinearForm Form = LinearForm::invalid();
+  if (!Rhs) {
+    V = typeRange(Lhs.Ty); // Havoc: unknown value of the type.
+  } else {
+    V = evalExpr(Env, Rhs);
+    if (V.isBottom())
+      return AbstractEnv::bottom();
+    Form = linearize(Env, Rhs);
+    if (Opts.EnableLinearization && Form.valid()) {
+      Interval FV = evalForm(Env, Form);
+      Interval Meet = V.meet(FV);
+      if (!Meet.isBottom()) {
+        if (Meet != V)
+          Stats.add("linearization.refinements");
+        V = Meet;
+      }
+    }
+  }
+  V = V.meet(typeRange(Lhs.Ty));
+  if (V.isBottom())
+    return AbstractEnv::bottom();
+
+  CellSel Sel = resolveLValue(Env, Lhs, /*Report=*/true);
+  if (Sel.DefinitelyOutOfBounds)
+    return AbstractEnv::bottom(); // No non-erroneous continuation.
+  if (Sel.empty())
+    return Env;
+
+  bool Strong = Sel.Strong && Sel.Count == 1;
+  for (CellId C = Sel.First; C < Sel.First + Sel.Count; ++C) {
+    const ScalarAbs *OldAbs = Env.cell(C);
+    ScalarAbs Old = OldAbs ? *OldAbs
+                           : ScalarAbs{CellRange[C], Clocked::top()};
+    Interval CellV = V.meet(CellRange[C]);
+    if (CellV.isBottom())
+      CellV = V; // Foreign-typed weak targets: keep the raw value.
+
+    Clocked NewClk = Clocked::top();
+    if (Opts.EnableClock && Layout.cell(C).Ty->isInt()) {
+      // Counter pattern: x := x + [a, b] shifts the clock offsets.
+      if (Strong && Form.valid() && Form.terms().size() == 1 &&
+          Form.terms()[0].first == C &&
+          Form.terms()[0].second == Interval::point(1.0) &&
+          Form.constTerm().isFinite()) {
+        NewClk = Old.Clk.shifted(Form.constTerm());
+      } else {
+        NewClk = Clocked::fromValue(CellV, Env.clock());
+      }
+    }
+
+    ScalarAbs NewAbs{CellV, NewClk};
+    if (Strong)
+      Env.setCell(C, NewAbs);
+    else
+      Env.setCell(C, ScalarAbs{Old.Itv.join(NewAbs.Itv),
+                               Old.Clk.join(NewAbs.Clk)});
+  }
+
+  if (Strong) {
+    relationalAssign(Env, Sel.First, Form, V, Rhs);
+  } else {
+    for (CellId C = Sel.First; C < Sel.First + Sel.Count; ++C)
+      relationalForget(Env, C, V);
+  }
+  return Env;
+}
+
+AbstractEnv Transfer::assignInterval(AbstractEnv Env, const LValue &Lhs,
+                                     Interval V) {
+  if (Env.isBottom())
+    return Env;
+  V = V.meet(typeRange(Lhs.Ty));
+  if (V.isBottom())
+    return AbstractEnv::bottom();
+  CellSel Sel = resolveLValue(Env, Lhs, /*Report=*/false);
+  if (Sel.empty())
+    return Env;
+  bool Strong = Sel.Strong && Sel.Count == 1;
+  for (CellId C = Sel.First; C < Sel.First + Sel.Count; ++C) {
+    const ScalarAbs *OldAbs = Env.cell(C);
+    ScalarAbs Old = OldAbs ? *OldAbs
+                           : ScalarAbs{CellRange[C], Clocked::top()};
+    Clocked Clk = Opts.EnableClock && Layout.cell(C).Ty->isInt()
+                      ? Clocked::fromValue(V, Env.clock())
+                      : Clocked::top();
+    if (Strong)
+      Env.setCell(C, ScalarAbs{V.meet(CellRange[C]), Clk});
+    else
+      Env.setCell(C, ScalarAbs{Old.Itv.join(V), Old.Clk.join(Clk)});
+  }
+  if (Strong) {
+    LinearForm Form = LinearForm::constant(V);
+    relationalAssign(Env, Sel.First, Form, V, nullptr);
+  } else {
+    for (CellId C = Sel.First; C < Sel.First + Sel.Count; ++C)
+      relationalForget(Env, C, V);
+  }
+  return Env;
+}
+
+AbstractEnv Transfer::wait(AbstractEnv Env) {
+  if (Env.isBottom())
+    return Env;
+  Stats.add("transfer.clock_ticks");
+  Interval NewClock =
+      Interval::iadd(Env.clock(), Interval::point(1))
+          .meet(Interval(0, Opts.ClockMax));
+  if (NewClock.isBottom())
+    NewClock = Interval::point(Opts.ClockMax);
+  Env.setClock(NewClock);
+  if (!Opts.EnableClock)
+    return Env;
+  // Shift every tracked offset: x - clock decreases, x + clock increases.
+  std::vector<std::pair<CellId, ScalarAbs>> Updates;
+  Env.forEachCell([&](CellId C, const ScalarAbs &S) {
+    if (S.Clk.isTop())
+      return;
+    Updates.push_back({C, ScalarAbs{S.Itv, S.Clk.afterTick()}});
+  });
+  for (auto &[C, S] : Updates)
+    Env.setCell(C, S);
+  return Env;
+}
+
+//===----------------------------------------------------------------------===//
+// Guards
+//===----------------------------------------------------------------------===//
+
+void Transfer::checkCond(const AbstractEnv &Env, const Expr *Cond) {
+  if (!Checking || !Cond)
+    return;
+  evalExpr(Env, Cond); // Evaluation reports the alarms.
+}
+
+AbstractEnv Transfer::guard(AbstractEnv Env, const Expr *Cond,
+                            bool Positive) {
+  if (Env.isBottom() || !Cond)
+    return Env;
+  switch (Cond->Kind) {
+  case ExprKind::Binary:
+    if (Cond->BO == BinOp::LogicalAnd) {
+      if (Positive)
+        return guard(guard(std::move(Env), Cond->A, true), Cond->B, true);
+      AbstractEnv NotA = guard(Env, Cond->A, false);
+      AbstractEnv AandNotB =
+          guard(guard(std::move(Env), Cond->A, true), Cond->B, false);
+      preJoinReduce(NotA, AandNotB);
+      return AbstractEnv::join(NotA, AandNotB);
+    }
+    if (Cond->BO == BinOp::LogicalOr) {
+      if (!Positive)
+        return guard(guard(std::move(Env), Cond->A, false), Cond->B, false);
+      AbstractEnv A = guard(Env, Cond->A, true);
+      AbstractEnv NotAandB =
+          guard(guard(std::move(Env), Cond->A, false), Cond->B, true);
+      preJoinReduce(A, NotAandB);
+      return AbstractEnv::join(A, NotAandB);
+    }
+    if (isComparison(Cond->BO)) {
+      BinOp Op = Cond->BO;
+      if (!Positive) {
+        switch (Cond->BO) {
+        case BinOp::Lt: Op = BinOp::Ge; break;
+        case BinOp::Le: Op = BinOp::Gt; break;
+        case BinOp::Gt: Op = BinOp::Le; break;
+        case BinOp::Ge: Op = BinOp::Lt; break;
+        case BinOp::Eq: Op = BinOp::Ne; break;
+        case BinOp::Ne: Op = BinOp::Eq; break;
+        default: break;
+        }
+      }
+      return guardCompare(std::move(Env), Cond->A, Cond->B, Op);
+    }
+    break;
+  case ExprKind::Unary:
+    if (Cond->UO == UnOp::LogicalNot)
+      return guard(std::move(Env), Cond->A, !Positive);
+    break;
+  case ExprKind::ConstInt:
+    if ((Cond->IntVal != 0) != Positive)
+      return AbstractEnv::bottom();
+    return Env;
+  default:
+    break;
+  }
+  // Bare value condition: compare against zero.
+  // Synthesize (e != 0) / (e == 0) without IR nodes.
+  Interval V = evalNoCheck(Env, Cond);
+  if (V.isBottom())
+    return AbstractEnv::bottom();
+  bool IsInt = Cond->Ty->isInt();
+  if (Positive) {
+    if (V == Interval::point(0))
+      return AbstractEnv::bottom();
+  } else {
+    if (!V.containsZero())
+      return AbstractEnv::bottom();
+  }
+  // Refine a single-cell load.
+  if (Cond->is(ExprKind::Load)) {
+    CellSel Sel = resolveLValue(Env, Cond->Lv, /*Report=*/false);
+    if (Sel.Strong && Sel.Count == 1) {
+      CellId C = Sel.First;
+      const ScalarAbs *S = Env.cell(C);
+      if (S) {
+        Interval R = Positive ? S->Itv.meetNe(0, IsInt)
+                              : S->Itv.meet(Interval::point(0));
+        if (R.isBottom())
+          return AbstractEnv::bottom();
+        Env.setCell(C, ScalarAbs{R, S->Clk});
+      }
+      // Decision trees: boolean guard + reduction (the B := X==0 example).
+      if (Opts.EnableDecisionTrees && Layout.cell(C).IsBool) {
+        for (PackId Pack : Packs.CellTree[C]) {
+          std::shared_ptr<const DecisionTree> Old = Env.tree(Pack);
+          if (!Old)
+            continue;
+          auto New = std::make_shared<DecisionTree>(*Old);
+          New->guardBool(New->boolIndexOf(C), Positive);
+          if (New->isBottom())
+            return AbstractEnv::bottom();
+          Env.setTree(Pack, std::move(New));
+          reduceFromTree(Env, Pack);
+          if (Env.isBottom())
+            return Env;
+        }
+      }
+    }
+  }
+  return Env;
+}
+
+AbstractEnv Transfer::guardCompare(AbstractEnv Env, const Expr *A,
+                                   const Expr *B, BinOp Op) {
+  Interval IA = evalNoCheck(Env, A);
+  Interval IB = evalNoCheck(Env, B);
+  if (IA.isBottom() || IB.isBottom())
+    return AbstractEnv::bottom();
+  bool IsInt = A->Ty->isInt() && B->Ty->isInt();
+
+  // Infeasibility tests.
+  switch (Op) {
+  case BinOp::Lt:
+    if (IA.Lo >= IB.Hi)
+      return AbstractEnv::bottom();
+    break;
+  case BinOp::Le:
+    if (IA.Lo > IB.Hi)
+      return AbstractEnv::bottom();
+    break;
+  case BinOp::Gt:
+    if (IA.Hi <= IB.Lo)
+      return AbstractEnv::bottom();
+    break;
+  case BinOp::Ge:
+    if (IA.Hi < IB.Lo)
+      return AbstractEnv::bottom();
+    break;
+  case BinOp::Eq:
+    if (IA.meet(IB).isBottom())
+      return AbstractEnv::bottom();
+    break;
+  case BinOp::Ne:
+    if (IA.isPoint() && IB.isPoint() && IA.Lo == IB.Lo)
+      return AbstractEnv::bottom();
+    break;
+  default:
+    break;
+  }
+
+  // Interval refinement of single-cell loads on either side.
+  auto RefineLoad = [&](const Expr *Side, Interval Mine,
+                        const Interval &Other, bool IsLeft) {
+    if (!Side->is(ExprKind::Load))
+      return;
+    CellSel Sel = resolveLValue(Env, Side->Lv, /*Report=*/false);
+    if (!(Sel.Strong && Sel.Count == 1))
+      return;
+    CellId C = Sel.First;
+    const ScalarAbs *S = Env.cell(C);
+    if (!S)
+      return;
+    Interval R = S->Itv;
+    BinOp EffOp = Op;
+    if (!IsLeft) {
+      // B rel A with the mirrored operator.
+      switch (Op) {
+      case BinOp::Lt: EffOp = BinOp::Gt; break;
+      case BinOp::Le: EffOp = BinOp::Ge; break;
+      case BinOp::Gt: EffOp = BinOp::Lt; break;
+      case BinOp::Ge: EffOp = BinOp::Le; break;
+      default: break;
+      }
+    }
+    switch (EffOp) {
+    case BinOp::Lt: R = R.meetLt(Other.Hi, IsInt); break;
+    case BinOp::Le: R = R.meetLe(Other.Hi); break;
+    case BinOp::Gt: R = R.meetGt(Other.Lo, IsInt); break;
+    case BinOp::Ge: R = R.meetGe(Other.Lo); break;
+    case BinOp::Eq: R = R.meet(Other); break;
+    case BinOp::Ne:
+      if (Other.isPoint())
+        R = R.meetNe(Other.Lo, IsInt);
+      break;
+    default:
+      break;
+    }
+    if (R.isBottom()) {
+      Env.markBottom();
+      return;
+    }
+    if (R != S->Itv)
+      Env.setCell(C, ScalarAbs{R, S->Clk});
+  };
+  RefineLoad(A, IA, IB, /*IsLeft=*/true);
+  if (Env.isBottom())
+    return Env;
+  RefineLoad(B, IB, IA, /*IsLeft=*/false);
+  if (Env.isBottom())
+    return Env;
+
+  // Octagon guards via linearization (6.2.2): form = A - B, constraint
+  // form <= 0 (with strict/equality variants).
+  if (Opts.EnableOctagons && Op != BinOp::Ne) {
+    LinearForm FA = linearize(Env, A);
+    LinearForm FB = linearize(Env, B);
+    if (FA.valid() && FB.valid()) {
+      LinearForm Diff = FA.sub(FB); // A - B.
+      LinearForm NegDiff = FB.sub(FA);
+      if (IsInt) {
+        // Strict integer comparisons sharpen by one.
+        if (Op == BinOp::Lt)
+          Diff.addConstant(Interval::point(1));
+        if (Op == BinOp::Gt)
+          NegDiff.addConstant(Interval::point(1));
+      }
+      auto CellRangeCb = [&](CellId C) { return Env.cellInterval(C); };
+      std::vector<PackId> Touched;
+      for (const auto &[C, Coef] : Diff.terms())
+        for (PackId Pack : Packs.CellOct[C])
+          Touched.push_back(Pack);
+      std::sort(Touched.begin(), Touched.end());
+      Touched.erase(std::unique(Touched.begin(), Touched.end()),
+                    Touched.end());
+      for (PackId Pack : Touched) {
+        std::shared_ptr<const Octagon> Old = Env.octagon(Pack);
+        if (!Old)
+          continue;
+        auto New = std::make_shared<Octagon>(*Old);
+        switch (Op) {
+        case BinOp::Lt:
+        case BinOp::Le:
+          New->guardLe(Diff, CellRangeCb);
+          break;
+        case BinOp::Gt:
+        case BinOp::Ge:
+          New->guardLe(NegDiff, CellRangeCb);
+          break;
+        case BinOp::Eq:
+          New->guardLe(Diff, CellRangeCb);
+          New->guardLe(NegDiff, CellRangeCb);
+          break;
+        default:
+          break;
+        }
+        if (New->isBottom())
+          return AbstractEnv::bottom();
+        Env.setOctagon(Pack, std::move(New));
+        reduceFromOctagon(Env, Pack);
+        if (Env.isBottom())
+          return Env;
+        Stats.add("octagon.guards");
+      }
+    }
+  }
+
+  // Decision trees: per-leaf feasibility of the comparison refines the
+  // leaves (and kills impossible valuations).
+  if (Opts.EnableDecisionTrees) {
+    std::vector<CellId> Involved;
+    auto Collect = [&](const Expr *E) {
+      if (E->is(ExprKind::Load)) {
+        CellSel Sel = resolveLValue(Env, E->Lv, /*Report=*/false);
+        if (Sel.Strong && Sel.Count == 1)
+          Involved.push_back(Sel.First);
+      }
+    };
+    Collect(A);
+    Collect(B);
+    std::vector<PackId> Touched;
+    for (CellId C : Involved)
+      for (PackId Pack : Packs.CellTree[C])
+        Touched.push_back(Pack);
+    std::sort(Touched.begin(), Touched.end());
+    Touched.erase(std::unique(Touched.begin(), Touched.end()),
+                  Touched.end());
+    for (PackId Pack : Touched) {
+      std::shared_ptr<const DecisionTree> Old = Env.tree(Pack);
+      if (!Old)
+        continue;
+      auto New = std::make_shared<DecisionTree>(*Old);
+      std::vector<Interval> Scratch;
+      bool Changed = false;
+      for (size_t L = 0; L < New->leafCount(); ++L) {
+        if (!New->leaf(L).Reachable)
+          continue;
+        CellOverlay O = leafOverlay(*Old, L, Scratch);
+        Interval LA = evalNoCheck(Env, A, &O);
+        Interval LB = evalNoCheck(Env, B, &O);
+        bool Feasible = true;
+        switch (Op) {
+        case BinOp::Lt: Feasible = LA.Lo < LB.Hi; break;
+        case BinOp::Le: Feasible = LA.Lo <= LB.Hi; break;
+        case BinOp::Gt: Feasible = LA.Hi > LB.Lo; break;
+        case BinOp::Ge: Feasible = LA.Hi >= LB.Lo; break;
+        case BinOp::Eq: Feasible = !LA.meet(LB).isBottom(); break;
+        case BinOp::Ne:
+          Feasible = !(LA.isPoint() && LB.isPoint() && LA.Lo == LB.Lo);
+          break;
+        default: break;
+        }
+        if (!Feasible && !LA.isBottom() && !LB.isBottom()) {
+          New->leafMutable(L).Reachable = false;
+          Changed = true;
+        }
+      }
+      if (Changed) {
+        if (New->isBottom())
+          return AbstractEnv::bottom();
+        Env.setTree(Pack, std::move(New));
+        reduceFromTree(Env, Pack);
+        if (Env.isBottom())
+          return Env;
+      }
+    }
+  }
+
+  return Env;
+}
+
+//===----------------------------------------------------------------------===//
+// Ellipsoid pre-join reduction
+//===----------------------------------------------------------------------===//
+
+void Transfer::preJoinReduce(AbstractEnv &A, AbstractEnv &B) const {
+  if (!Opts.EnableEllipsoids || A.isBottom() || B.isBottom())
+    return;
+  for (const EllPack &Pack : Packs.EllPacks) {
+    std::shared_ptr<const EllipsoidState> SA = A.ellipsoids(Pack.Id);
+    std::shared_ptr<const EllipsoidState> SB = B.ellipsoids(Pack.Id);
+    if (!SA || !SB || SA == SB)
+      continue;
+    auto FillFrom = [&](AbstractEnv &Dst,
+                        std::shared_ptr<const EllipsoidState> SDst,
+                        const EllipsoidState &SSrc) {
+      std::shared_ptr<EllipsoidState> New;
+      for (const auto &[Pair, KOther] : SSrc.K) {
+        if (SDst->K.count(Pair) || (New && New->K.count(Pair)))
+          continue;
+        Interval IX = Dst.cellInterval(Pair.first);
+        Interval IY = Dst.cellInterval(Pair.second);
+        Ellipsoid Reduced = Ellipsoid::top().reduceFromIntervals(
+            Pack.Params, IX, IY, /*Equal=*/false);
+        if (Reduced.isTop())
+          continue;
+        if (!New)
+          New = std::make_shared<EllipsoidState>(*SDst);
+        New->K[Pair] = Reduced.K;
+      }
+      if (New)
+        Dst.setEllipsoids(Pack.Id, std::move(New));
+    };
+    FillFrom(A, SA, *SB);
+    FillFrom(B, SB, *SA);
+  }
+}

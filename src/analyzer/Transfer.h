@@ -1,0 +1,174 @@
+//===- analyzer/Transfer.h - Abstract transfer functions ---------*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract semantics of assignments, guards and the clock tick across
+/// every domain of the environment (Sect. 5.4 "primitives of the iterator",
+/// Sect. 6.1.3 "operations on abstract environments"). In checking mode the
+/// same evaluation additionally reports alarms for operator applications
+/// that may err (Sect. 5.3), then continues with the non-erroneous results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_ANALYZER_TRANSFER_H
+#define ASTRAL_ANALYZER_TRANSFER_H
+
+#include "analyzer/Alarm.h"
+#include "analyzer/Options.h"
+#include "analyzer/Packing.h"
+#include "domains/LinearForm.h"
+#include "memory/AbstractEnv.h"
+#include "support/Statistics.h"
+
+#include <functional>
+#include <map>
+#include <optional>
+
+namespace astral {
+
+using memory::AbstractEnv;
+using memory::CellSel;
+
+/// A by-reference parameter bound, at call time, to a caller region
+/// (Sect. 4: "the use of pointers is restricted to call-by-reference").
+struct RefBinding {
+  ir::VarId Base = ir::NoVar;
+  std::vector<memory::ResolvedAccess> Path;
+};
+
+/// Optional cell-interval overlay used for per-leaf decision-tree
+/// evaluation: returns a replacement interval for a cell, or null.
+using CellOverlay = std::function<const Interval *(CellId)>;
+
+class Transfer {
+public:
+  Transfer(const ir::Program &P, const memory::CellLayout &Layout,
+           const Packing &Packs, const AnalyzerOptions &Opts,
+           Statistics &Stats, AlarmSet &Alarms);
+
+  // -- Mode & frames (managed by the Iterator) ---------------------------
+  bool Checking = false;
+  /// Per-octagon-pack flag: set when the pack's octagon actually tightened
+  /// a cell interval or pruned a branch — the Sect. 7.2.2 usefulness
+  /// census ("whether each octagon actually improved the precision").
+  std::vector<uint8_t> OctPackImproved;
+  std::vector<std::map<ir::VarId, RefBinding>> Frames;
+
+  const RefBinding *lookupBinding(ir::VarId V) const {
+    if (Frames.empty())
+      return nullptr;
+    auto It = Frames.back().find(V);
+    return It == Frames.back().end() ? nullptr : &It->second;
+  }
+
+  // -- Environment construction -------------------------------------------
+  /// The initial environment: persistent cells zeroed, volatiles at their
+  /// specified range, locals at full machine range, relational packs at top.
+  AbstractEnv initialEnv() const;
+
+  /// Machine range of a cell / of a scalar type (alarm clamping target).
+  Interval typeRange(const Type *Ty) const;
+  const Interval &cellTypeRange(CellId C) const { return CellRange[C]; }
+
+  // -- Evaluation -----------------------------------------------------------
+  /// Abstract value of \p E; reports alarms when Checking is set.
+  Interval evalExpr(const AbstractEnv &Env, const ir::Expr *E,
+                    const CellOverlay *Overlay = nullptr);
+  /// Same without alarms, regardless of mode.
+  Interval evalNoCheck(const AbstractEnv &Env, const ir::Expr *E,
+                       const CellOverlay *Overlay = nullptr);
+
+  /// Linearization of Sect. 6.3: rewrites \p E into an interval linear form
+  /// over cells, adding rounding-error terms for float operations;
+  /// LinearForm::invalid() when not linearizable.
+  LinearForm linearize(const AbstractEnv &Env, const ir::Expr *E);
+  /// Interval of a linear form under \p Env.
+  Interval evalForm(const AbstractEnv &Env, const LinearForm &F) const;
+
+  // -- Statement transfer ----------------------------------------------------
+  /// lvalue := e (e null means "unknown value of the lvalue's type").
+  AbstractEnv assign(AbstractEnv Env, const ir::LValue &Lhs,
+                     const ir::Expr *Rhs);
+  /// lvalue := [interval] (parameter passing / return-value plumbing).
+  AbstractEnv assignInterval(AbstractEnv Env, const ir::LValue &Lhs,
+                             Interval V);
+  /// Refine by condition \p Cond (or its negation).
+  AbstractEnv guard(AbstractEnv Env, const ir::Expr *Cond, bool Positive);
+  /// Evaluates a condition for its checks only (used once per test in
+  /// checking mode, so guard() itself can evaluate silently).
+  void checkCond(const AbstractEnv &Env, const ir::Expr *Cond);
+  /// Synchronous clock tick (Sect. 4 / clocked domain).
+  AbstractEnv wait(AbstractEnv Env);
+
+  /// The paper's ellipsoid reduction "before computing the union between
+  /// two abstract elements": fills constraints that are +inf on one side
+  /// and finite on the other from the interval information.
+  void preJoinReduce(AbstractEnv &A, AbstractEnv &B) const;
+
+  // -- LValue machinery -------------------------------------------------------
+  /// Resolves \p Lv under \p Env (substituting by-reference bindings and
+  /// evaluating subscripts). Reports array-bounds alarms when Checking and
+  /// \p Report are set.
+  CellSel resolveLValue(const AbstractEnv &Env, const ir::LValue &Lv,
+                        bool Report);
+  /// Builds the binding for a by-reference argument at call time.
+  RefBinding bindRef(const AbstractEnv &Env, const ir::LValue &Lv);
+
+private:
+  Interval evalBinary(const AbstractEnv &Env, const ir::Expr *E,
+                      const CellOverlay *Overlay);
+  Interval evalCast(const AbstractEnv &Env, const ir::Expr *E,
+                    const CellOverlay *Overlay);
+  Interval evalLoad(const AbstractEnv &Env, const ir::Expr *E,
+                    const CellOverlay *Overlay);
+  /// Interval refinement + relational guards for an atomic comparison
+  /// A op B.
+  AbstractEnv guardCompare(AbstractEnv Env, const ir::Expr *A,
+                           const ir::Expr *B, ir::BinOp Op);
+  void alarm(const ir::Expr *E, AlarmKind K, const std::string &Msg,
+             bool Definite);
+
+  /// Octagon / tree / ellipsoid updates for a strong single-cell store.
+  void relationalAssign(AbstractEnv &Env, CellId Target,
+                        const LinearForm &Form, const Interval &V,
+                        const ir::Expr *Rhs);
+  /// Invalidation for weak stores.
+  void relationalForget(AbstractEnv &Env, CellId C, const Interval &V);
+  /// Reduce cell interval from the octagons after a guard/assign.
+  void reduceFromOctagon(AbstractEnv &Env, PackId Pack);
+  /// Reduce env cells from a tree pack's numeric join.
+  void reduceFromTree(AbstractEnv &Env, PackId Pack);
+
+  /// Per-leaf truth of a condition (0/1/2) for decision-tree updates.
+  std::vector<uint8_t> perLeafTruth(const AbstractEnv &Env,
+                                    const DecisionTree &Tree,
+                                    const ir::Expr *Cond);
+  /// b := cond with per-leaf refinement of the pack numerics by the
+  /// condition's truth (the B := (X == 0) idiom of Sect. 6.2.4).
+  void boolAssignRefined(const AbstractEnv &Env, const DecisionTree &Old,
+                         DecisionTree &New, int BoolIdx,
+                         const ir::Expr *Rhs);
+  /// Per-leaf value of an expression.
+  std::vector<Interval> perLeafValue(const AbstractEnv &Env,
+                                     const DecisionTree &Tree,
+                                     const ir::Expr *E);
+  CellOverlay leafOverlay(const DecisionTree &Tree, size_t LeafIdx,
+                          std::vector<Interval> &Scratch) const;
+
+  const ir::Program &P;
+  const memory::CellLayout &Layout;
+  const Packing &Packs;
+  const AnalyzerOptions &Opts;
+  Statistics &Stats;
+  AlarmSet &Alarms;
+  std::vector<Interval> CellRange;    ///< Machine range per cell.
+  std::vector<Interval> VolatileRng;  ///< Input range per volatile cell.
+};
+
+} // namespace astral
+
+#endif // ASTRAL_ANALYZER_TRANSFER_H

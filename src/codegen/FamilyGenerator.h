@@ -1,0 +1,82 @@
+//===- codegen/FamilyGenerator.h - Synchronous program family ----*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic generator for the considered family of programs (Sect. 4):
+/// periodic synchronous control software of the form
+///
+///   declare volatile input, state and output variables;
+///   initialize state variables;
+///   loop forever
+///     read volatile inputs; compute outputs and state; write outputs;
+///     wait for next clock tick;
+///   end loop
+///
+/// assembled from the code idioms the paper derives its domains from:
+///   - second-order digital filters (Fig. 1, needs the ellipsoid domain);
+///   - event counters bounded by the clock (clocked domain);
+///   - rate limiters with feedback (octagon domain);
+///   - boolean-guarded divisions (decision trees);
+///   - self-dependent float updates x := x - c*x (linearization);
+///   - mode-correlated branch pairs (trace partitioning);
+///   - integrators needing widening thresholds / delayed widening;
+///   - interpolation tables, clamps, constant tables and glue (volume;
+///     includes unused "hardware" arrays the frontend must optimize away).
+///
+/// The number of global/static variables grows linearly with the code size,
+/// matching the paper's characterization of the family. The generator also
+/// emits the matching environment specification (volatile input ranges,
+/// functions to trace-partition), i.e. the end-user parametrization of
+/// Sect. 3.2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_CODEGEN_FAMILYGENERATOR_H
+#define ASTRAL_CODEGEN_FAMILYGENERATOR_H
+
+#include "domains/Interval.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace astral {
+namespace codegen {
+
+struct GeneratorConfig {
+  /// Approximate size of the generated source, in lines.
+  unsigned TargetLines = 5000;
+  uint64_t Seed = 42;
+  /// Emit genuinely buggy modules (true division by zero) for soundness
+  /// tests; off by default (the family "has been running for 10 years
+  /// without any run-time error", Sect. 3.1).
+  unsigned InjectedBugs = 0;
+};
+
+struct FamilyProgram {
+  std::string Source;
+  /// Environment specification: ranges of the volatile inputs.
+  std::map<std::string, Interval> VolatileRanges;
+  /// Functions that need trace partitioning (Sect. 7.1.5 is end-user
+  /// selected).
+  std::set<std::string> PartitionFunctions;
+  /// Widening thresholds documented for this program family (Sect. 7.1.2:
+  /// "easily found in the program documentation").
+  std::vector<double> DocumentedThresholds;
+  unsigned ModuleCount = 0;
+  unsigned LineCount = 0;
+};
+
+/// Generates one member of the program family.
+FamilyProgram generateFamilyProgram(const GeneratorConfig &Config);
+
+} // namespace codegen
+} // namespace astral
+
+#endif // ASTRAL_CODEGEN_FAMILYGENERATOR_H

@@ -1,0 +1,14 @@
+//===- domains/Clocked.cpp - Clocked abstract domain ------------------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+// Header-only domain; this file anchors the translation unit.
+//===----------------------------------------------------------------------===//
+
+#include "domains/Clocked.h"
+
+namespace astral {
+// No out-of-line members.
+} // namespace astral

@@ -1,0 +1,291 @@
+//===- domains/DecisionTree.cpp - Boolean decision trees --------------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "domains/DecisionTree.h"
+
+#include "domains/Thresholds.h"
+
+#include <algorithm>
+
+using namespace astral;
+
+DecisionTree::DecisionTree(std::vector<CellId> BoolCells,
+                           std::vector<CellId> NumCells)
+    : Bools(std::move(BoolCells)), Nums(std::move(NumCells)) {
+  assert(Bools.size() <= 6 && "decision tree pack too large");
+  assert(std::is_sorted(Bools.begin(), Bools.end()) &&
+         "booleans must be ordered (Sect. 6.2.4)");
+  LeafData.resize(size_t(1) << Bools.size());
+  for (Leaf &L : LeafData)
+    L.Nums.assign(Nums.size(), Interval::top());
+  memtrack::noteAlloc(byteSize());
+}
+
+DecisionTree::~DecisionTree() { memtrack::noteFree(byteSize()); }
+
+DecisionTree::DecisionTree(const DecisionTree &O)
+    : Bools(O.Bools), Nums(O.Nums), LeafData(O.LeafData) {
+  memtrack::noteAlloc(byteSize());
+}
+
+size_t DecisionTree::byteSize() const {
+  return LeafData.size() * (sizeof(Leaf) + Nums.size() * sizeof(Interval));
+}
+
+int DecisionTree::boolIndexOf(CellId Cell) const {
+  for (size_t I = 0; I < Bools.size(); ++I)
+    if (Bools[I] == Cell)
+      return static_cast<int>(I);
+  return -1;
+}
+
+int DecisionTree::numIndexOf(CellId Cell) const {
+  for (size_t I = 0; I < Nums.size(); ++I)
+    if (Nums[I] == Cell)
+      return static_cast<int>(I);
+  return -1;
+}
+
+bool DecisionTree::isBottom() const {
+  for (const Leaf &L : LeafData)
+    if (L.Reachable)
+      return false;
+  return true;
+}
+
+bool DecisionTree::leq(const DecisionTree &O) const {
+  for (size_t I = 0; I < LeafData.size(); ++I) {
+    const Leaf &A = LeafData[I], &B = O.LeafData[I];
+    if (!A.Reachable)
+      continue;
+    if (!B.Reachable)
+      return false;
+    for (size_t J = 0; J < A.Nums.size(); ++J)
+      if (!A.Nums[J].leq(B.Nums[J]))
+        return false;
+  }
+  return true;
+}
+
+bool DecisionTree::equal(const DecisionTree &O) const {
+  for (size_t I = 0; I < LeafData.size(); ++I) {
+    const Leaf &A = LeafData[I], &B = O.LeafData[I];
+    if (A.Reachable != B.Reachable)
+      return false;
+    if (!A.Reachable)
+      continue;
+    for (size_t J = 0; J < A.Nums.size(); ++J)
+      if (A.Nums[J] != B.Nums[J])
+        return false;
+  }
+  return true;
+}
+
+void DecisionTree::joinWith(const DecisionTree &O) {
+  for (size_t I = 0; I < LeafData.size(); ++I) {
+    Leaf &A = LeafData[I];
+    const Leaf &B = O.LeafData[I];
+    if (!B.Reachable)
+      continue;
+    if (!A.Reachable) {
+      A = B;
+      continue;
+    }
+    for (size_t J = 0; J < A.Nums.size(); ++J)
+      A.Nums[J] = A.Nums[J].join(B.Nums[J]);
+  }
+}
+
+void DecisionTree::meetWith(const DecisionTree &O) {
+  for (size_t I = 0; I < LeafData.size(); ++I) {
+    Leaf &A = LeafData[I];
+    const Leaf &B = O.LeafData[I];
+    if (!A.Reachable)
+      continue;
+    if (!B.Reachable) {
+      A.Reachable = false;
+      continue;
+    }
+    for (size_t J = 0; J < A.Nums.size(); ++J) {
+      A.Nums[J] = A.Nums[J].meet(B.Nums[J]);
+      if (A.Nums[J].isBottom()) {
+        A.Reachable = false;
+        break;
+      }
+    }
+  }
+}
+
+void DecisionTree::widenWith(const DecisionTree &O, const Thresholds &T,
+                             bool WithThresholds) {
+  for (size_t I = 0; I < LeafData.size(); ++I) {
+    Leaf &A = LeafData[I];
+    const Leaf &B = O.LeafData[I];
+    if (!B.Reachable)
+      continue;
+    if (!A.Reachable) {
+      A = B;
+      continue;
+    }
+    for (size_t J = 0; J < A.Nums.size(); ++J)
+      A.Nums[J] = WithThresholds ? A.Nums[J].widen(B.Nums[J], T)
+                                 : A.Nums[J].widen(B.Nums[J]);
+  }
+}
+
+void DecisionTree::narrowWith(const DecisionTree &O) {
+  for (size_t I = 0; I < LeafData.size(); ++I) {
+    Leaf &A = LeafData[I];
+    const Leaf &B = O.LeafData[I];
+    if (!A.Reachable)
+      continue;
+    if (!B.Reachable) {
+      A.Reachable = false;
+      continue;
+    }
+    for (size_t J = 0; J < A.Nums.size(); ++J)
+      A.Nums[J] = A.Nums[J].narrow(B.Nums[J]);
+  }
+}
+
+void DecisionTree::guardBool(int BoolIdx, bool Value) {
+  for (size_t L = 0; L < LeafData.size(); ++L)
+    if (leafBool(L, BoolIdx) != Value)
+      LeafData[L].Reachable = false;
+}
+
+void DecisionTree::forgetBool(int BoolIdx) {
+  size_t Bit = size_t(1) << BoolIdx;
+  for (size_t L = 0; L < LeafData.size(); ++L) {
+    if (L & Bit)
+      continue; // Handle each pair once, from the 0 side.
+    Leaf &A = LeafData[L];
+    Leaf &B = LeafData[L | Bit];
+    // Both valuations become the join of the pair.
+    if (A.Reachable && B.Reachable) {
+      for (size_t J = 0; J < A.Nums.size(); ++J)
+        A.Nums[J] = A.Nums[J].join(B.Nums[J]);
+      B = A;
+    } else if (A.Reachable) {
+      B = A;
+    } else if (B.Reachable) {
+      A = B;
+    }
+  }
+}
+
+void DecisionTree::assignBool(int BoolIdx, const std::vector<uint8_t> &Truth) {
+  assert(Truth.size() == LeafData.size());
+  size_t Bit = size_t(1) << BoolIdx;
+  std::vector<Leaf> NewLeaves(LeafData.size());
+  for (Leaf &L : NewLeaves) {
+    L.Reachable = false;
+    L.Nums.assign(Nums.size(), Interval::bottom());
+  }
+  auto Contribute = [&](size_t Target, const Leaf &Src) {
+    Leaf &Dst = NewLeaves[Target];
+    if (!Dst.Reachable) {
+      Dst = Src;
+      Dst.Reachable = true;
+      return;
+    }
+    for (size_t J = 0; J < Dst.Nums.size(); ++J)
+      Dst.Nums[J] = Dst.Nums[J].join(Src.Nums[J]);
+  };
+  for (size_t L = 0; L < LeafData.size(); ++L) {
+    const Leaf &Src = LeafData[L];
+    if (!Src.Reachable)
+      continue;
+    uint8_t T = Truth[L];
+    if (T == 1 || T == 2)
+      Contribute(L | Bit, Src);
+    if (T == 0 || T == 2)
+      Contribute(L & ~Bit, Src);
+  }
+  LeafData = std::move(NewLeaves);
+}
+
+void DecisionTree::assignNum(int NumIdx, const std::vector<Interval> &PerLeaf) {
+  assert(PerLeaf.size() == LeafData.size());
+  for (size_t L = 0; L < LeafData.size(); ++L) {
+    if (!LeafData[L].Reachable)
+      continue;
+    LeafData[L].Nums[NumIdx] = PerLeaf[L];
+    if (PerLeaf[L].isBottom())
+      LeafData[L].Reachable = false;
+  }
+}
+
+void DecisionTree::refineNum(int NumIdx,
+                             const std::vector<Interval> &PerLeaf) {
+  assert(PerLeaf.size() == LeafData.size());
+  for (size_t L = 0; L < LeafData.size(); ++L) {
+    Leaf &Lf = LeafData[L];
+    if (!Lf.Reachable)
+      continue;
+    Lf.Nums[NumIdx] = Lf.Nums[NumIdx].meet(PerLeaf[L]);
+    if (Lf.Nums[NumIdx].isBottom())
+      Lf.Reachable = false;
+  }
+}
+
+Interval DecisionTree::numInterval(int NumIdx) const {
+  Interval R = Interval::bottom();
+  for (const Leaf &L : LeafData)
+    if (L.Reachable)
+      R = R.join(L.Nums[NumIdx]);
+  return R;
+}
+
+uint8_t DecisionTree::boolValues(int BoolIdx) const {
+  bool SawTrue = false, SawFalse = false;
+  for (size_t L = 0; L < LeafData.size(); ++L) {
+    if (!LeafData[L].Reachable)
+      continue;
+    if (leafBool(L, BoolIdx))
+      SawTrue = true;
+    else
+      SawFalse = true;
+  }
+  if (SawTrue && SawFalse)
+    return 2;
+  return SawTrue ? 1 : 0;
+}
+
+bool DecisionTree::hasRelationalInfo() const {
+  bool AnyUnreachable = false;
+  for (const Leaf &L : LeafData)
+    if (!L.Reachable)
+      AnyUnreachable = true;
+  if (AnyUnreachable)
+    return true;
+  for (size_t J = 0; J < Nums.size(); ++J) {
+    Interval First = LeafData.empty() ? Interval::top() : LeafData[0].Nums[J];
+    for (const Leaf &L : LeafData)
+      if (L.Nums[J] != First)
+        return true;
+  }
+  return false;
+}
+
+std::string DecisionTree::toString() const {
+  std::string Out;
+  for (size_t L = 0; L < LeafData.size(); ++L) {
+    Out += "[";
+    for (size_t B = 0; B < Bools.size(); ++B)
+      Out += leafBool(L, static_cast<int>(B)) ? '1' : '0';
+    Out += "]: ";
+    if (!LeafData[L].Reachable) {
+      Out += "_|_; ";
+      continue;
+    }
+    for (size_t J = 0; J < Nums.size(); ++J)
+      Out += LeafData[L].Nums[J].toString() + " ";
+    Out += "; ";
+  }
+  return Out;
+}

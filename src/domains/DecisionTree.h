@@ -1,0 +1,111 @@
+//===- domains/DecisionTree.h - Boolean decision trees -----------*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The decision-tree abstract domain of Sect. 6.2.4: a relational domain
+/// relating boolean variables to numerical ones, "a decision tree with leaf
+/// an arithmetic abstract domain" (intervals suffice, per the paper's
+/// footnote). Booleans are ordered by cell id (BDD-style, cf. Bryant) and
+/// packs are limited to a few booleans (7.2.3 found three to be the sweet
+/// spot), so the tree is stored densely: one leaf per boolean valuation,
+/// each leaf holding one interval per pack numeric variable, or bottom for
+/// unreachable valuations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_DOMAINS_DECISIONTREE_H
+#define ASTRAL_DOMAINS_DECISIONTREE_H
+
+#include "domains/Interval.h"
+#include "domains/LinearForm.h"
+#include "support/MemoryTracker.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace astral {
+
+class Thresholds;
+
+class DecisionTree {
+public:
+  /// Creates a tree over \p BoolCells (<= 6) and \p NumCells, all leaves
+  /// reachable with top numeric intervals.
+  DecisionTree(std::vector<CellId> BoolCells, std::vector<CellId> NumCells);
+  ~DecisionTree();
+  DecisionTree(const DecisionTree &O);
+  DecisionTree &operator=(const DecisionTree &) = delete;
+
+  const std::vector<CellId> &boolCells() const { return Bools; }
+  const std::vector<CellId> &numCells() const { return Nums; }
+  size_t leafCount() const { return LeafData.size(); }
+  int boolIndexOf(CellId Cell) const;
+  int numIndexOf(CellId Cell) const;
+
+  struct Leaf {
+    bool Reachable = true;
+    std::vector<Interval> Nums;
+  };
+  const Leaf &leaf(size_t L) const { return LeafData[L]; }
+  Leaf &leafMutable(size_t L) { return LeafData[L]; }
+
+  /// Truth of boolean \p BoolIdx in leaf valuation \p L.
+  static bool leafBool(size_t L, int BoolIdx) {
+    return (L >> BoolIdx) & 1;
+  }
+
+  bool isBottom() const;
+
+  // -- Lattice (leaf-wise) ------------------------------------------------
+  bool leq(const DecisionTree &O) const;
+  void joinWith(const DecisionTree &O);
+  void meetWith(const DecisionTree &O);
+  void widenWith(const DecisionTree &O, const Thresholds &T,
+                 bool WithThresholds = true);
+  void narrowWith(const DecisionTree &O);
+  bool equal(const DecisionTree &O) const;
+
+  // -- Transfer ------------------------------------------------------------
+  /// Kills leaves where boolean \p BoolIdx differs from \p Value.
+  void guardBool(int BoolIdx, bool Value);
+  /// b := (unknown): new leaf(b=v) = join of old leaves with either value.
+  void forgetBool(int BoolIdx);
+  /// b := <per-leaf truth>: Truth[L] in {0=false, 1=true, 2=either} gives
+  /// the possible values of the condition in old leaf L; leaves flow to the
+  /// valuation(s) matching their truth.
+  void assignBool(int BoolIdx, const std::vector<uint8_t> &Truth);
+  /// x := per-leaf interval (computed by the caller under each leaf's
+  /// refinement).
+  void assignNum(int NumIdx, const std::vector<Interval> &PerLeaf);
+  /// Refines numeric variable \p NumIdx in every leaf.
+  void refineNum(int NumIdx, const std::vector<Interval> &PerLeaf);
+
+  /// Join of a numeric variable over reachable leaves (reduction towards
+  /// the interval domain).
+  Interval numInterval(int NumIdx) const;
+  /// Possible values of boolean \p BoolIdx: 0, 1 or 2 (both).
+  uint8_t boolValues(int BoolIdx) const;
+
+  /// True when some numeric interval differs across reachable leaves or
+  /// some valuation is unreachable — i.e. the tree carries information the
+  /// plain interval environment does not (pack usefulness, Sect. 7.2.3).
+  bool hasRelationalInfo() const;
+
+  size_t byteSize() const;
+  std::string toString() const;
+
+private:
+  std::vector<CellId> Bools;
+  std::vector<CellId> Nums;
+  std::vector<Leaf> LeafData;
+};
+
+} // namespace astral
+
+#endif // ASTRAL_DOMAINS_DECISIONTREE_H

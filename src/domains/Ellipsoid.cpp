@@ -1,0 +1,103 @@
+//===- domains/Ellipsoid.cpp - Ellipsoid abstract domain --------------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "domains/Ellipsoid.h"
+
+#include "domains/Thresholds.h"
+
+#include <cstdio>
+
+using namespace astral;
+using namespace astral::rounded;
+
+double FilterParams::minInvariantK(double TM) const {
+  double Denominator = subDown(1.0, sqrtUp(B));
+  if (Denominator <= 0)
+    return INFINITY;
+  double Ratio = divUp(TM, Denominator);
+  return mulUp(Ratio, Ratio);
+}
+
+Ellipsoid Ellipsoid::widen(const Ellipsoid &O, const Thresholds &T) const {
+  if (isBottom())
+    return O;
+  if (O.isBottom())
+    return *this;
+  if (O.K <= K)
+    return *this;
+  return Ellipsoid{T.nextAbove(O.K)};
+}
+
+Ellipsoid Ellipsoid::afterFilterStep(const FilterParams &P, double TM) const {
+  if (isBottom())
+    return bottom();
+  if (isTop() || !P.stable() || !std::isfinite(TM))
+    return top();
+  // In exact arithmetic: X'^2 - a X' X + b X^2 <= (sqrt(b k) + tM)^2.
+  // With rounding, the sqrt(b) factor is inflated by
+  //   eps_f = 4 f (|a| sqrt(b) + b) / sqrt(4b - a^2)
+  // and tM by (1+f) (Sect. 6.2.3, delta(k)).
+  double SqrtB = sqrtUp(P.B);
+  double Disc = subDown(mulDown(4.0, P.B), mulUp(P.A, P.A));
+  if (Disc <= 0)
+    return top();
+  double EpsF = divUp(mulUp(4.0 * P.F,
+                            addUp(mulUp(std::fabs(P.A), SqrtB), P.B)),
+                      sqrtDown(Disc));
+  double Factor = addUp(SqrtB, EpsF);
+  double Root = mulUp(Factor, sqrtUp(K));
+  double TErr = mulUp(addUp(1.0, P.F), TM);
+  double Sum = addUp(Root, TErr);
+  return Ellipsoid{mulUp(Sum, Sum)};
+}
+
+double Ellipsoid::boundX(const FilterParams &P) const {
+  if (isBottom())
+    return 0.0;
+  if (isTop() || !P.stable())
+    return INFINITY;
+  double Disc = subDown(mulDown(4.0, P.B), mulUp(P.A, P.A));
+  if (Disc <= 0)
+    return INFINITY;
+  // |X| <= 2 sqrt(b k / (4b - a^2)).
+  return mulUp(2.0, sqrtUp(divUp(mulUp(P.B, K), Disc)));
+}
+
+Ellipsoid Ellipsoid::reduceFromIntervals(const FilterParams &P,
+                                         const Interval &X,
+                                         const Interval &Y,
+                                         bool Equal) const {
+  if (isBottom() || X.isBottom() || Y.isBottom())
+    return *this;
+  if (!X.isFinite() || !Y.isFinite())
+    return *this;
+  double Candidate;
+  if (Equal) {
+    // X == Y: the quadratic form is (1 - a + b) X^2.
+    double Coef = addUp(subUp(1.0, P.A), P.B);
+    double M = X.magnitude();
+    Candidate = mulUp(std::max(Coef, 0.0), mulUp(M, M));
+  } else {
+    // Sup over the box of X^2 - a X Y + b Y^2 (upward rounding).
+    double MX = X.magnitude(), MY = Y.magnitude();
+    double Q1 = mulUp(MX, MX);
+    double Q2 = mulUp(std::fabs(P.A), mulUp(MX, MY));
+    double Q3 = mulUp(P.B, mulUp(MY, MY));
+    Candidate = addUp(addUp(Q1, Q2), Q3);
+  }
+  return Ellipsoid{std::min(K, Candidate)};
+}
+
+std::string Ellipsoid::toString() const {
+  if (isBottom())
+    return "_|_";
+  if (isTop())
+    return "T";
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "k<=%.9g", K);
+  return Buf;
+}

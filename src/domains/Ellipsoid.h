@@ -1,0 +1,110 @@
+//===- domains/Ellipsoid.h - Ellipsoid abstract domain -----------*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ellipsoid abstract domain eps_{a,b} of Sect. 6.2.3, designed for the
+/// simplified second-order digital filter of Fig. 1:
+///
+///   if (B) { Y := i; X := j; }
+///   else   { X' := a*X - b*Y + t;  Y := X;  X := X'; }
+///
+/// An abstract element tracks k such that X^2 - a*X*Y + b*Y^2 <= k.
+/// Proposition 1: for 0 < b < 1 and a^2 - 4b < 0, the constraint is
+/// preserved by the affine transformation whenever k >= (tM / (1-sqrt(b)))^2
+/// with |t| <= tM. The transfer function delta(k) accounts for float
+/// rounding via the relative error constant f:
+///
+///   delta(k) = ( (sqrt(b) + eps_f) * sqrt(k) + (1+f) * tM )^2,
+///   eps_f    = 4 f (|a| sqrt(b) + b) / sqrt(4b - a^2),
+///
+/// computed with upward rounding. Interval extraction:
+///   |X| <= 2 sqrt(b * k / (4b - a^2)).
+///
+/// The domain cannot be precise alone (reinitialization, guards); the
+/// reduction with the interval domain (reduceFromIntervals) implements the
+/// approximate reduced product the paper describes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_DOMAINS_ELLIPSOID_H
+#define ASTRAL_DOMAINS_ELLIPSOID_H
+
+#include "domains/Interval.h"
+
+#include <string>
+
+namespace astral {
+
+class Thresholds;
+
+/// Static shape of one filter site: X' := A*X - B*Y + t.
+struct FilterParams {
+  double A = 0.0;
+  double B = 0.0;
+  /// Relative float error of the analyzed program's arithmetic (binary32 by
+  /// default; binary64 when the filter state is double).
+  double F = rounded::RelErrFloat32;
+
+  /// Prop. 1 applicability: 0 < b < 1 and a^2 - 4b < 0.
+  bool stable() const { return B > 0.0 && B < 1.0 && A * A - 4.0 * B < 0.0; }
+  /// Prop. 1 threshold (tM / (1 - sqrt b))^2: any k above this is invariant.
+  double minInvariantK(double TM) const;
+};
+
+/// One ellipsoidal constraint X^2 - a*X*Y + b*Y^2 <= K. K = +inf is top;
+/// K < 0 encodes bottom (unreachable).
+struct Ellipsoid {
+  double K = INFINITY;
+
+  static Ellipsoid top() { return Ellipsoid{INFINITY}; }
+  static Ellipsoid bottom() { return Ellipsoid{-1.0}; }
+  bool isTop() const { return std::isinf(K) && K > 0; }
+  bool isBottom() const { return K < 0; }
+
+  bool operator==(const Ellipsoid &O) const { return K == O.K; }
+
+  bool leq(const Ellipsoid &O) const {
+    return isBottom() || K <= O.K;
+  }
+  Ellipsoid join(const Ellipsoid &O) const {
+    if (isBottom())
+      return O;
+    if (O.isBottom())
+      return *this;
+    return Ellipsoid{std::max(K, O.K)};
+  }
+  Ellipsoid meet(const Ellipsoid &O) const {
+    if (isBottom() || O.isBottom())
+      return bottom();
+    return Ellipsoid{std::min(K, O.K)};
+  }
+  Ellipsoid widen(const Ellipsoid &O, const Thresholds &T) const;
+  Ellipsoid narrow(const Ellipsoid &O) const {
+    if (isBottom() || O.isBottom())
+      return bottom();
+    return Ellipsoid{std::isinf(K) ? O.K : K};
+  }
+
+  /// delta(k): the new K after X' := aX - bY + t with |t| <= TM, including
+  /// rounding (Sect. 6.2.3, assignment case 2).
+  Ellipsoid afterFilterStep(const FilterParams &P, double TM) const;
+
+  /// Largest |X| compatible with the constraint (upward-rounded).
+  double boundX(const FilterParams &P) const;
+
+  /// Reduction from the interval domain: K can be lowered to the sup of
+  /// X^2 - a*X*Y + b*Y^2 over the boxes; when X and Y are provably equal the
+  /// sharper (1 - a + b) * X^2 bound applies (paper's reduction step).
+  Ellipsoid reduceFromIntervals(const FilterParams &P, const Interval &X,
+                                const Interval &Y, bool Equal) const;
+
+  std::string toString() const;
+};
+
+} // namespace astral
+
+#endif // ASTRAL_DOMAINS_ELLIPSOID_H

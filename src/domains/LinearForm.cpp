@@ -1,0 +1,130 @@
+//===- domains/LinearForm.cpp - Interval linear forms ----------------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "domains/LinearForm.h"
+
+using namespace astral;
+
+Interval LinearForm::coeff(CellId Cell) const {
+  for (const auto &[C, Coef] : TermList)
+    if (C == Cell)
+      return Coef;
+  return Interval::point(0);
+}
+
+void LinearForm::addError(double E) {
+  if (E <= 0)
+    return;
+  ConstTerm = Interval::fadd(ConstTerm, Interval(-E, E));
+}
+
+void LinearForm::addConstant(Interval C) {
+  ConstTerm = Interval::fadd(ConstTerm, C);
+}
+
+LinearForm LinearForm::add(const LinearForm &O) const {
+  if (!IsValid || !O.IsValid)
+    return invalid();
+  LinearForm R;
+  R.ConstTerm = Interval::fadd(ConstTerm, O.ConstTerm);
+  size_t I = 0, J = 0;
+  while (I < TermList.size() || J < O.TermList.size()) {
+    if (J >= O.TermList.size() ||
+        (I < TermList.size() && TermList[I].first < O.TermList[J].first)) {
+      R.TermList.push_back(TermList[I++]);
+    } else if (I >= TermList.size() ||
+               O.TermList[J].first < TermList[I].first) {
+      R.TermList.push_back(O.TermList[J++]);
+    } else {
+      Interval Sum = Interval::fadd(TermList[I].second, O.TermList[J].second);
+      if (!(Sum == Interval::point(0)))
+        R.TermList.push_back({TermList[I].first, Sum});
+      ++I;
+      ++J;
+    }
+  }
+  return R;
+}
+
+LinearForm LinearForm::negate() const {
+  if (!IsValid)
+    return invalid();
+  LinearForm R;
+  R.ConstTerm = Interval::fneg(ConstTerm);
+  for (const auto &[C, Coef] : TermList)
+    R.TermList.push_back({C, Interval::fneg(Coef)});
+  return R;
+}
+
+LinearForm LinearForm::sub(const LinearForm &O) const {
+  return add(O.negate());
+}
+
+LinearForm LinearForm::scale(Interval C) const {
+  if (!IsValid)
+    return invalid();
+  LinearForm R;
+  R.ConstTerm = Interval::fmul(ConstTerm, C);
+  for (const auto &[Cell, Coef] : TermList) {
+    Interval NC = Interval::fmul(Coef, C);
+    if (!(NC == Interval::point(0)))
+      R.TermList.push_back({Cell, NC});
+  }
+  return R;
+}
+
+LinearForm LinearForm::without(CellId Cell, Interval *CoeffOut) const {
+  LinearForm R;
+  R.IsValid = IsValid;
+  R.ConstTerm = ConstTerm;
+  if (CoeffOut)
+    *CoeffOut = Interval::point(0);
+  for (const auto &[C, Coef] : TermList) {
+    if (C == Cell) {
+      if (CoeffOut)
+        *CoeffOut = Coef;
+      continue;
+    }
+    R.TermList.push_back({C, Coef});
+  }
+  return R;
+}
+
+LinearForm::OctShape LinearForm::octagonShape() const {
+  OctShape S;
+  S.NumVars = -1;
+  if (!IsValid || TermList.size() > 2)
+    return S;
+  auto UnitSign = [](const Interval &C) -> int {
+    if (C == Interval::point(1.0))
+      return 1;
+    if (C == Interval::point(-1.0))
+      return -1;
+    return 0;
+  };
+  S.C = ConstTerm;
+  if (TermList.empty()) {
+    S.NumVars = 0;
+    return S;
+  }
+  int Sign1 = UnitSign(TermList[0].second);
+  if (Sign1 == 0)
+    return S;
+  S.V1 = TermList[0].first;
+  S.S1 = Sign1;
+  if (TermList.size() == 1) {
+    S.NumVars = 1;
+    return S;
+  }
+  int Sign2 = UnitSign(TermList[1].second);
+  if (Sign2 == 0)
+    return S;
+  S.V2 = TermList[1].first;
+  S.S2 = Sign2;
+  S.NumVars = 2;
+  return S;
+}

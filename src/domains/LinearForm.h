@@ -1,0 +1,91 @@
+//===- domains/LinearForm.h - Interval linear forms --------------*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Linear forms with interval coefficients (Sect. 6.3): sum_i [a_i,b_i]*v_i +
+/// [a,b] over abstract cells. The linearizer turns program expressions into
+/// these forms (adding rounding-error terms for float operations); the
+/// interval, octagon and ellipsoid transfer functions consume them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_DOMAINS_LINEARFORM_H
+#define ASTRAL_DOMAINS_LINEARFORM_H
+
+#include "domains/Interval.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace astral {
+
+using CellId = uint32_t;
+
+class LinearForm {
+public:
+  /// An unusable form (non-linear construct); operations propagate it.
+  static LinearForm invalid() {
+    LinearForm F;
+    F.IsValid = false;
+    return F;
+  }
+  static LinearForm constant(Interval C) {
+    LinearForm F;
+    F.ConstTerm = C;
+    return F;
+  }
+  static LinearForm var(CellId Cell) {
+    LinearForm F;
+    F.ConstTerm = Interval::point(0);
+    F.TermList.push_back({Cell, Interval::point(1.0)});
+    return F;
+  }
+
+  bool valid() const { return IsValid; }
+  const Interval &constTerm() const { return ConstTerm; }
+  const std::vector<std::pair<CellId, Interval>> &terms() const {
+    return TermList;
+  }
+  bool isConstant() const { return IsValid && TermList.empty(); }
+
+  /// Coefficient of \p Cell ([0,0] when absent).
+  Interval coeff(CellId Cell) const;
+
+  /// Adds [-E, E] to the constant term (rounding-error absorption).
+  void addError(double E);
+  /// Adds \p C to the constant term.
+  void addConstant(Interval C);
+
+  LinearForm add(const LinearForm &O) const;
+  LinearForm sub(const LinearForm &O) const;
+  LinearForm negate() const;
+  /// Multiplies every coefficient by the constant interval \p C.
+  LinearForm scale(Interval C) const;
+  /// Removes the term for \p Cell, returning its coefficient.
+  LinearForm without(CellId Cell, Interval *CoeffOut = nullptr) const;
+
+  /// True when the form is exactly +/-v + [a,b] or +/-v +/- w + [a,b] with
+  /// unit coefficients — the octagon-expressible shapes.
+  struct OctShape {
+    int NumVars = 0; ///< 0, 1 or 2 (-1: not octagonal).
+    CellId V1 = 0, V2 = 0;
+    int S1 = 1, S2 = 1; ///< Signs.
+    Interval C;
+  };
+  OctShape octagonShape() const;
+
+private:
+  bool IsValid = true;
+  Interval ConstTerm = Interval::point(0);
+  /// Sorted by cell id.
+  std::vector<std::pair<CellId, Interval>> TermList;
+};
+
+} // namespace astral
+
+#endif // ASTRAL_DOMAINS_LINEARFORM_H

@@ -1,0 +1,143 @@
+//===- domains/Octagon.h - Octagon abstract domain ---------------*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The octagon abstract domain of Sect. 6.2.2 (Miné, "The octagon abstract
+/// domain", WCRE 2001): conjunctions of constraints +/-x +/-y <= c over a
+/// small pack of variables, O(k^3) time / O(k^2) space in the pack size.
+///
+/// Following the paper's two-step recipe for floating point, the domain
+/// itself is sound for *real-valued* variables; rounding is accounted for
+/// before the octagon sees an expression, by the linearizer (Sect. 6.3).
+/// Internally bounds are doubles and every internal addition rounds up,
+/// which keeps the abstract operations sound despite the float
+/// representation (the second half of the recipe).
+///
+/// Encoding (standard DBM over 2k nodes): node 2i is +v_i, node 2i+1 is
+/// -v_i, and M[p][q] is an upper bound on x_p - x_q. Hence
+///   v_i - v_j <= c  ->  M[2i][2j]   = c
+///   v_i + v_j <= c  ->  M[2i][2j+1] = c
+///  -v_i - v_j <= c  ->  M[2i+1][2j] = c
+///   v_i <= c        ->  M[2i][2i+1] = 2c
+///   v_i >= c        ->  M[2i+1][2i] = -2c
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_DOMAINS_OCTAGON_H
+#define ASTRAL_DOMAINS_OCTAGON_H
+
+#include "domains/Interval.h"
+#include "domains/LinearForm.h"
+#include "support/MemoryTracker.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace astral {
+
+class Thresholds;
+
+class Octagon {
+public:
+  /// Creates the top octagon over \p Cells (the pack, <= 16 variables).
+  explicit Octagon(std::vector<CellId> Cells);
+  ~Octagon();
+  Octagon(const Octagon &O);
+  Octagon &operator=(const Octagon &) = delete;
+
+  const std::vector<CellId> &cells() const { return Vars; }
+  size_t size() const { return Vars.size(); }
+  /// Index of \p Cell in the pack, or -1.
+  int indexOf(CellId Cell) const;
+
+  bool isBottom() const;
+
+  /// Strong closure (Floyd-Warshall + strengthening); idempotent. Returns
+  /// false when the octagon is empty.
+  bool close();
+  bool isClosed() const { return Closed; }
+
+  /// Number of closures performed across all octagons (for the statistics
+  /// and bench E7).
+  static uint64_t closureCount();
+
+  // -- Lattice ----------------------------------------------------------
+  bool leq(const Octagon &O) const;    ///< Requires *this closed.
+  void joinWith(const Octagon &O);     ///< Requires both closed.
+  void meetWith(const Octagon &O);
+  void widenWith(const Octagon &O, const Thresholds &T,
+                 bool WithThresholds = true);
+  void narrowWith(const Octagon &O);
+  bool equal(const Octagon &O) const;
+
+  // -- Transfer functions ------------------------------------------------
+  /// Removes all constraints on \p Idx (pack index).
+  void forget(int Idx);
+  /// v_idx := form, where form is a linear form over cells; pack-external
+  /// cells contribute through \p CellRange (their current interval). Exact
+  /// for the octagonal shapes +/-w + [a,b]; otherwise falls back to
+  /// interval-bounded constraints against every pack variable (the
+  /// "smart" transfer of Sect. 6.2.2).
+  void assign(int Idx, const LinearForm &Form,
+              const std::function<Interval(CellId)> &CellRange);
+  /// Refines by the constraint (form <= 0). Only octagonal shapes refine;
+  /// others are ignored (sound).
+  void guardLe(const LinearForm &Form,
+               const std::function<Interval(CellId)> &CellRange);
+
+  // -- Reductions --------------------------------------------------------
+  /// Interval of v_idx implied by the (closed) octagon.
+  Interval varInterval(int Idx) const;
+  /// Tightens v_idx with an externally known interval.
+  void meetVarInterval(int Idx, const Interval &I);
+  /// Upper bound of a linear form over the (closed) octagon, using pairwise
+  /// constraints for unit-coefficient term pairs and unary bounds plus
+  /// \p CellRange for the rest.
+  double formUpperBound(const LinearForm &Form,
+                        const std::function<Interval(CellId)> &CellRange)
+      const;
+
+  /// True when some binary (two-variable) constraint is strictly tighter
+  /// than the unary bounds imply — used by the pack-usefulness optimization
+  /// of Sect. 7.2.2.
+  bool hasRelationalInfo() const;
+  /// Whether one DBM entry carries information beyond the unary bounds.
+  bool entryIsInformative(int P, int Q) const;
+  /// Counts finite additive (x+y) and subtractive (x-y) constraints, for the
+  /// invariant census (Sect. 9.4.1).
+  void countConstraints(uint64_t &Additive, uint64_t &Subtractive) const;
+
+  std::string toString() const;
+
+  size_t byteSize() const { return M.size() * sizeof(double); }
+
+private:
+  double &at(int P, int Q) { return M[static_cast<size_t>(P) * N + Q]; }
+  double at(int P, int Q) const { return M[static_cast<size_t>(P) * N + Q]; }
+  void setBound(int P, int Q, double C) {
+    double &Slot = at(P, Q);
+    if (C < Slot) {
+      Slot = C;
+      Closed = false;
+    }
+  }
+  /// v := v + [a, b] (in-place shift, no closure lost).
+  void shiftVar(int Idx, const Interval &Delta);
+
+  std::vector<CellId> Vars;
+  int N; ///< 2 * Vars.size().
+  std::vector<double> M;
+  bool Closed = false;
+  bool Empty = false;
+};
+
+} // namespace astral
+
+#endif // ASTRAL_DOMAINS_OCTAGON_H

@@ -1,0 +1,54 @@
+//===- domains/Thresholds.cpp - Widening thresholds ------------------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "domains/Thresholds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+using namespace astral;
+
+Thresholds Thresholds::geometric(double Alpha, double Lambda, unsigned N) {
+  std::vector<double> V;
+  V.push_back(0.0);
+  double X = Alpha;
+  for (unsigned K = 0; K <= N; ++K) {
+    V.push_back(X);
+    V.push_back(-X);
+    X *= Lambda;
+    if (!std::isfinite(X))
+      break;
+  }
+  return fromValues(V);
+}
+
+Thresholds Thresholds::fromValues(const std::vector<double> &Values) {
+  Thresholds T;
+  T.Sorted = Values;
+  for (double V : Values)
+    T.Sorted.push_back(-V);
+  T.Sorted.push_back(0.0);
+  T.Sorted.push_back(-std::numeric_limits<double>::infinity());
+  T.Sorted.push_back(std::numeric_limits<double>::infinity());
+  std::sort(T.Sorted.begin(), T.Sorted.end());
+  T.Sorted.erase(std::unique(T.Sorted.begin(), T.Sorted.end()),
+                 T.Sorted.end());
+  return T;
+}
+
+double Thresholds::nextAbove(double V) const {
+  auto It = std::lower_bound(Sorted.begin(), Sorted.end(), V);
+  return It == Sorted.end() ? std::numeric_limits<double>::infinity() : *It;
+}
+
+double Thresholds::nextBelow(double V) const {
+  auto It = std::upper_bound(Sorted.begin(), Sorted.end(), V);
+  if (It == Sorted.begin())
+    return -std::numeric_limits<double>::infinity();
+  return *(It - 1);
+}

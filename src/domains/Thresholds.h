@@ -1,0 +1,55 @@
+//===- domains/Thresholds.h - Widening thresholds ----------------*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The threshold set T of Sect. 7.1.2: "in practice we have chosen T to be
+/// (+/- alpha * lambda^k) for 0 <= k <= N", always containing -inf and +inf.
+/// The widening with thresholds jumps an unstable bound to the next
+/// threshold instead of straight to infinity, which is what lets counter
+/// and accumulator variables stabilize below their physical limit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_DOMAINS_THRESHOLDS_H
+#define ASTRAL_DOMAINS_THRESHOLDS_H
+
+#include <vector>
+
+namespace astral {
+
+class Thresholds {
+public:
+  /// Builds the paper's geometric ladder {0, +/-Alpha*Lambda^k : 0<=k<=N}
+  /// plus +/-inf.
+  static Thresholds geometric(double Alpha = 1.0, double Lambda = 10.0,
+                              unsigned N = 40);
+  /// Builds from explicit user-supplied values (symmetrized, 0 and
+  /// infinities added) — the end-user parametrization of Sect. 3.2.
+  static Thresholds fromValues(const std::vector<double> &Values);
+
+  /// Smallest threshold >= v.
+  double nextAbove(double V) const;
+  /// Largest threshold <= v.
+  double nextBelow(double V) const;
+
+  const std::vector<double> &values() const { return Sorted; }
+
+  /// Relative slack of the floating iteration perturbation (Sect. 7.1.4):
+  /// a bound that grows by at most eps*|bound| is inflated in place instead
+  /// of jumping to the next threshold, so abstract rounding noise cannot
+  /// escalate the widening. 0 disables the perturbation.
+  double eps() const { return Eps; }
+  void setEps(double E) { Eps = E; }
+
+private:
+  std::vector<double> Sorted; ///< Ascending, includes +/-inf.
+  double Eps = 0.0;
+};
+
+} // namespace astral
+
+#endif // ASTRAL_DOMAINS_THRESHOLDS_H

@@ -1,0 +1,512 @@
+//===- ir/ConstFold.cpp - Constant folding & global census -----------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/ConstFold.h"
+
+#include <cmath>
+#include <map>
+#include <optional>
+
+using namespace astral;
+using namespace astral::ir;
+
+namespace {
+
+class ConstFolder {
+public:
+  explicit ConstFolder(Program &P) : P(P) {}
+
+  ConstFoldStats run();
+
+private:
+  /// Flat scalar offset of a fully-constant lvalue path, or nullopt.
+  std::optional<int64_t> flatOffset(const LValue &Lv);
+  static int64_t scalarCount(const Type *Ty);
+
+  void collectConstTable();
+  const Expr *foldExpr(const Expr *E);
+  void foldLValue(LValue &Lv);
+  void foldStmt(Stmt *S);
+
+  void censusExpr(const Expr *E);
+  void censusLValue(const LValue &Lv);
+  void censusStmt(const Stmt *S);
+
+  Program &P;
+  ConstFoldStats Stats;
+  /// (var, flat offset) -> folded constant initializer.
+  std::map<std::pair<VarId, int64_t>, const Expr *> ConstTable;
+};
+
+} // namespace
+
+int64_t ConstFolder::scalarCount(const Type *Ty) {
+  switch (Ty->Kind) {
+  case TypeKind::Array:
+    return static_cast<int64_t>(Ty->ArraySize) * scalarCount(Ty->Elem);
+  case TypeKind::Struct: {
+    int64_t N = 0;
+    for (const StructField &F : Ty->Fields)
+      N += scalarCount(F.FieldType);
+    return N;
+  }
+  default:
+    return 1;
+  }
+}
+
+std::optional<int64_t> ConstFolder::flatOffset(const LValue &Lv) {
+  const Type *Ty = P.var(Lv.Base).Ty;
+  int64_t Off = 0;
+  for (const Access &A : Lv.Path) {
+    switch (A.K) {
+    case Access::Kind::Deref:
+      return std::nullopt; // Reference parameters are not constant storage.
+    case Access::Kind::Field: {
+      if (!Ty->isStruct() || A.FieldIdx < 0 ||
+          static_cast<size_t>(A.FieldIdx) >= Ty->Fields.size())
+        return std::nullopt;
+      for (int I = 0; I < A.FieldIdx; ++I)
+        Off += scalarCount(Ty->Fields[I].FieldType);
+      Ty = Ty->Fields[A.FieldIdx].FieldType;
+      break;
+    }
+    case Access::Kind::Index: {
+      if (!Ty->isArray() || !A.Index ||
+          A.Index->Kind != ExprKind::ConstInt)
+        return std::nullopt;
+      int64_t Idx = A.Index->IntVal;
+      if (Idx < 0 || static_cast<uint64_t>(Idx) >= Ty->ArraySize)
+        return std::nullopt; // Out of bounds: leave for checking mode.
+      Off += Idx * scalarCount(Ty->Elem);
+      Ty = Ty->Elem;
+      break;
+    }
+    }
+  }
+  return Off;
+}
+
+void ConstFolder::collectConstTable() {
+  if (!P.GlobalInit)
+    return;
+  std::vector<Stmt *> Work{P.GlobalInit};
+  while (!Work.empty()) {
+    Stmt *S = Work.back();
+    Work.pop_back();
+    if (!S)
+      continue;
+    if (S->is(StmtKind::Seq)) {
+      for (Stmt *C : S->Stmts)
+        Work.push_back(C);
+      continue;
+    }
+    if (!S->is(StmtKind::Assign) || !S->Rhs || !S->Rhs->isConst())
+      continue;
+    const VarInfo &VI = P.var(S->Lhs.Base);
+    if (!VI.IsConst)
+      continue;
+    std::optional<int64_t> Off = flatOffset(S->Lhs);
+    if (Off)
+      ConstTable[{S->Lhs.Base, *Off}] = S->Rhs;
+  }
+}
+
+const Expr *ConstFolder::foldExpr(const Expr *E) {
+  if (!E)
+    return nullptr;
+  switch (E->Kind) {
+  case ExprKind::ConstInt:
+  case ExprKind::ConstFloat:
+    return E;
+  case ExprKind::Load: {
+    // Fold indices first.
+    LValue Lv = E->Lv;
+    bool Changed = false;
+    for (Access &A : Lv.Path) {
+      if (A.K == Access::Kind::Index) {
+        const Expr *Folded = foldExpr(A.Index);
+        if (Folded != A.Index) {
+          A.Index = Folded;
+          Changed = true;
+        }
+      }
+    }
+    const VarInfo &VI = P.var(Lv.Base);
+    if (VI.IsConst) {
+      std::optional<int64_t> Off = flatOffset(Lv);
+      if (Off) {
+        auto It = ConstTable.find({Lv.Base, *Off});
+        if (It != ConstTable.end()) {
+          ++Stats.ConstLoadsReplaced;
+          // Clone with the load's type (initializers were cast already).
+          if (It->second->Ty == E->Ty)
+            return It->second;
+        }
+      }
+    }
+    if (!Changed)
+      return E;
+    Expr *N = P.newExpr(ExprKind::Load, E->Ty, E->Loc);
+    N->Lv = std::move(Lv);
+    return N;
+  }
+  case ExprKind::Unary: {
+    const Expr *A = foldExpr(E->A);
+    if (A->is(ExprKind::ConstInt)) {
+      int64_t V = A->IntVal;
+      int64_t R = 0;
+      switch (E->UO) {
+      case UnOp::Neg:
+        if (V == INT64_MIN)
+          break;
+        R = -V;
+        goto FoldInt;
+      case UnOp::LogicalNot:
+        R = (V == 0);
+        goto FoldInt;
+      case UnOp::BitNot:
+        R = ~V;
+        goto FoldInt;
+      }
+      goto NoFoldUnary;
+    FoldInt:
+      if (E->Ty->isInt() && R >= E->Ty->intMin() && R <= E->Ty->intMax()) {
+        ++Stats.FoldedExprs;
+        Expr *N = P.newExpr(ExprKind::ConstInt, E->Ty, E->Loc);
+        N->IntVal = R;
+        return N;
+      }
+    }
+    if (A->is(ExprKind::ConstFloat) && E->UO == UnOp::Neg) {
+      ++Stats.FoldedExprs;
+      Expr *N = P.newExpr(ExprKind::ConstFloat, E->Ty, E->Loc);
+      N->FloatVal = -A->FloatVal;
+      return N;
+    }
+  NoFoldUnary:
+    if (A == E->A)
+      return E;
+    {
+      Expr *N = P.newExpr(ExprKind::Unary, E->Ty, E->Loc);
+      N->UO = E->UO;
+      N->A = A;
+      return N;
+    }
+  }
+  case ExprKind::Binary: {
+    const Expr *A = foldExpr(E->A);
+    const Expr *B = foldExpr(E->B);
+    if (A->is(ExprKind::ConstInt) && B->is(ExprKind::ConstInt) &&
+        E->Ty->isInt()) {
+      int64_t X = A->IntVal, Y = B->IntVal;
+      bool Ok = true;
+      int64_t R = 0;
+      switch (E->BO) {
+      case BinOp::Add: Ok = !__builtin_add_overflow(X, Y, &R); break;
+      case BinOp::Sub: Ok = !__builtin_sub_overflow(X, Y, &R); break;
+      case BinOp::Mul: Ok = !__builtin_mul_overflow(X, Y, &R); break;
+      case BinOp::Div:
+        Ok = Y != 0 && !(X == INT64_MIN && Y == -1);
+        if (Ok)
+          R = X / Y;
+        break;
+      case BinOp::Rem:
+        Ok = Y != 0 && !(X == INT64_MIN && Y == -1);
+        if (Ok)
+          R = X % Y;
+        break;
+      case BinOp::Shl:
+        Ok = Y >= 0 && Y < 63 && X >= 0 && (X >> (62 - Y)) == 0;
+        if (Ok)
+          R = X << Y;
+        break;
+      case BinOp::Shr:
+        Ok = Y >= 0 && Y < 64;
+        if (Ok)
+          R = X >> Y;
+        break;
+      case BinOp::And: R = X & Y; break;
+      case BinOp::Or: R = X | Y; break;
+      case BinOp::Xor: R = X ^ Y; break;
+      case BinOp::Lt: R = X < Y; break;
+      case BinOp::Le: R = X <= Y; break;
+      case BinOp::Gt: R = X > Y; break;
+      case BinOp::Ge: R = X >= Y; break;
+      case BinOp::Eq: R = X == Y; break;
+      case BinOp::Ne: R = X != Y; break;
+      case BinOp::LogicalAnd: R = (X != 0) && (Y != 0); break;
+      case BinOp::LogicalOr: R = (X != 0) || (Y != 0); break;
+      }
+      if (Ok && R >= E->Ty->intMin() && R <= E->Ty->intMax()) {
+        ++Stats.FoldedExprs;
+        Expr *N = P.newExpr(ExprKind::ConstInt, E->Ty, E->Loc);
+        N->IntVal = R;
+        return N;
+      }
+    }
+    if (A->is(ExprKind::ConstFloat) && B->is(ExprKind::ConstFloat) &&
+        E->Ty->isFloat()) {
+      double X = A->FloatVal, Y = B->FloatVal;
+      double R = 0.0;
+      bool Ok = true;
+      switch (E->BO) {
+      case BinOp::Add: R = X + Y; break;
+      case BinOp::Sub: R = X - Y; break;
+      case BinOp::Mul: R = X * Y; break;
+      case BinOp::Div:
+        Ok = Y != 0.0;
+        if (Ok)
+          R = X / Y;
+        break;
+      default: Ok = false; break;
+      }
+      if (!E->Ty->IsDouble)
+        R = static_cast<float>(R);
+      if (Ok && std::isfinite(R)) {
+        ++Stats.FoldedExprs;
+        Expr *N = P.newExpr(ExprKind::ConstFloat, E->Ty, E->Loc);
+        N->FloatVal = R;
+        return N;
+      }
+    }
+    if (A == E->A && B == E->B)
+      return E;
+    Expr *N = P.newExpr(ExprKind::Binary, E->Ty, E->Loc);
+    N->BO = E->BO;
+    N->A = A;
+    N->B = B;
+    return N;
+  }
+  case ExprKind::Cast: {
+    const Expr *A = foldExpr(E->A);
+    if (A->is(ExprKind::ConstInt)) {
+      if (E->Ty->isInt() && A->IntVal >= E->Ty->intMin() &&
+          A->IntVal <= E->Ty->intMax()) {
+        ++Stats.FoldedExprs;
+        Expr *N = P.newExpr(ExprKind::ConstInt, E->Ty, E->Loc);
+        N->IntVal = A->IntVal;
+        return N;
+      }
+      if (E->Ty->isFloat()) {
+        ++Stats.FoldedExprs;
+        Expr *N = P.newExpr(ExprKind::ConstFloat, E->Ty, E->Loc);
+        double V = static_cast<double>(A->IntVal);
+        N->FloatVal = E->Ty->IsDouble ? V : static_cast<float>(V);
+        return N;
+      }
+    }
+    if (A->is(ExprKind::ConstFloat)) {
+      if (E->Ty->isFloat()) {
+        ++Stats.FoldedExprs;
+        Expr *N = P.newExpr(ExprKind::ConstFloat, E->Ty, E->Loc);
+        N->FloatVal = E->Ty->IsDouble ? A->FloatVal
+                                      : static_cast<float>(A->FloatVal);
+        if (!E->Ty->IsDouble && !std::isfinite(N->FloatVal))
+          break; // float overflow: keep the cast for checking mode.
+        return N;
+      }
+      if (E->Ty->isInt()) {
+        double V = std::trunc(A->FloatVal);
+        if (V >= static_cast<double>(E->Ty->intMin()) &&
+            V <= static_cast<double>(E->Ty->intMax())) {
+          ++Stats.FoldedExprs;
+          Expr *N = P.newExpr(ExprKind::ConstInt, E->Ty, E->Loc);
+          N->IntVal = static_cast<int64_t>(V);
+          return N;
+        }
+      }
+    }
+    break;
+  }
+  }
+  if (E->Kind == ExprKind::Cast && E->A) {
+    const Expr *A = foldExpr(E->A);
+    if (A == E->A)
+      return E;
+    Expr *N = P.newExpr(ExprKind::Cast, E->Ty, E->Loc);
+    N->A = A;
+    return N;
+  }
+  return E;
+}
+
+void ConstFolder::foldLValue(LValue &Lv) {
+  for (Access &A : Lv.Path)
+    if (A.K == Access::Kind::Index)
+      A.Index = foldExpr(A.Index);
+}
+
+void ConstFolder::foldStmt(Stmt *S) {
+  if (!S)
+    return;
+  switch (S->Kind) {
+  case StmtKind::Assign:
+    foldLValue(S->Lhs);
+    if (S->Rhs)
+      S->Rhs = foldExpr(S->Rhs);
+    return;
+  case StmtKind::If:
+    S->Cond = foldExpr(S->Cond);
+    foldStmt(S->Then);
+    foldStmt(S->Else);
+    return;
+  case StmtKind::While:
+    S->Cond = foldExpr(S->Cond);
+    foldStmt(S->Body);
+    foldStmt(S->Step);
+    return;
+  case StmtKind::Seq:
+    for (Stmt *C : S->Stmts)
+      foldStmt(C);
+    return;
+  case StmtKind::Call:
+    for (CallArg &A : S->Args) {
+      if (A.IsRef)
+        foldLValue(A.Ref);
+      else
+        A.Value = foldExpr(A.Value);
+    }
+    if (S->RetTo)
+      foldLValue(*S->RetTo);
+    return;
+  case StmtKind::Assume:
+  case StmtKind::Assert:
+    S->Cond = foldExpr(S->Cond);
+    return;
+  case StmtKind::Return:
+  case StmtKind::Break:
+  case StmtKind::Continue:
+  case StmtKind::Wait:
+  case StmtKind::Nop:
+    return;
+  }
+}
+
+void ConstFolder::censusExpr(const Expr *E) {
+  if (!E)
+    return;
+  switch (E->Kind) {
+  case ExprKind::Load:
+    censusLValue(E->Lv);
+    return;
+  case ExprKind::Unary:
+  case ExprKind::Cast:
+    censusExpr(E->A);
+    return;
+  case ExprKind::Binary:
+    censusExpr(E->A);
+    censusExpr(E->B);
+    return;
+  default:
+    return;
+  }
+}
+
+void ConstFolder::censusLValue(const LValue &Lv) {
+  P.Vars[Lv.Base].IsUsed = true;
+  for (const Access &A : Lv.Path)
+    if (A.K == Access::Kind::Index)
+      censusExpr(A.Index);
+}
+
+void ConstFolder::censusStmt(const Stmt *S) {
+  if (!S)
+    return;
+  switch (S->Kind) {
+  case StmtKind::Assign:
+    censusLValue(S->Lhs);
+    censusExpr(S->Rhs);
+    return;
+  case StmtKind::If:
+    censusExpr(S->Cond);
+    censusStmt(S->Then);
+    censusStmt(S->Else);
+    return;
+  case StmtKind::While:
+    censusExpr(S->Cond);
+    censusStmt(S->Body);
+    censusStmt(S->Step);
+    return;
+  case StmtKind::Seq:
+    for (const Stmt *C : S->Stmts)
+      censusStmt(C);
+    return;
+  case StmtKind::Call:
+    for (const CallArg &A : S->Args) {
+      if (A.IsRef)
+        censusLValue(A.Ref);
+      else
+        censusExpr(A.Value);
+    }
+    if (S->RetTo)
+      censusLValue(*S->RetTo);
+    return;
+  case StmtKind::Assume:
+  case StmtKind::Assert:
+    censusExpr(S->Cond);
+    return;
+  default:
+    return;
+  }
+}
+
+ConstFoldStats ConstFolder::run() {
+  collectConstTable();
+
+  for (Function &F : P.Functions)
+    foldStmt(F.Body);
+  foldStmt(P.GlobalInit);
+
+  // Usage census over function bodies (not the init code): a global that is
+  // only initialized but never read or written by the program proper is
+  // unused and its cells (and init assignments) are dropped.
+  for (VarInfo &VI : P.Vars)
+    VI.IsUsed = false;
+  for (const Function &F : P.Functions) {
+    censusStmt(F.Body);
+    // Parameters and return holders of analyzed functions are always live.
+    for (VarId V : F.Params)
+      P.Vars[V].IsUsed = true;
+    if (F.RetVar != NoVar)
+      P.Vars[F.RetVar].IsUsed = true;
+  }
+
+  // Drop init assignments whose target is unused.
+  if (P.GlobalInit) {
+    std::vector<Stmt *> Work{P.GlobalInit};
+    while (!Work.empty()) {
+      Stmt *S = Work.back();
+      Work.pop_back();
+      if (!S || !S->is(StmtKind::Seq))
+        continue;
+      std::vector<Stmt *> Kept;
+      for (Stmt *C : S->Stmts) {
+        if (C->is(StmtKind::Assign) && !P.var(C->Lhs.Base).IsUsed) {
+          ++Stats.InitAssignsDropped;
+          continue;
+        }
+        if (C->is(StmtKind::Seq))
+          Work.push_back(C);
+        Kept.push_back(C);
+      }
+      S->Stmts = std::move(Kept);
+    }
+    // Index expressions of surviving init assignments may still read vars.
+    censusStmt(P.GlobalInit);
+  }
+
+  for (const VarInfo &VI : P.Vars)
+    if (!VI.IsUsed && VI.IsPersistent)
+      ++Stats.GlobalsDeleted;
+  return Stats;
+}
+
+ConstFoldStats ir::foldConstants(Program &P) {
+  ConstFolder F(P);
+  return F.run();
+}

@@ -1,0 +1,42 @@
+//===- ir/ConstFold.h - Constant folding & global census ---------*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements the Sect. 5.1 preprocessing optimizations: "syntactically
+/// constant expressions are evaluated and replaced by their value. Unused
+/// global variables are then deleted. This phase is important since the
+/// analyzed programs use large arrays representing hardware features with
+/// constant subscripts; those arrays are thus optimized away."
+///
+/// Folding is conservative: an operation is only folded when it provably has
+/// no run-time error (no overflow, no division by zero), so checking mode
+/// still sees every possibly-erroneous operation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_IR_CONSTFOLD_H
+#define ASTRAL_IR_CONSTFOLD_H
+
+#include "ir/Ir.h"
+
+namespace astral {
+namespace ir {
+
+struct ConstFoldStats {
+  uint64_t FoldedExprs = 0;
+  uint64_t ConstLoadsReplaced = 0;
+  uint64_t GlobalsDeleted = 0;
+  uint64_t InitAssignsDropped = 0;
+};
+
+/// Runs folding + the usage census over \p P in place. Returns statistics.
+ConstFoldStats foldConstants(Program &P);
+
+} // namespace ir
+} // namespace astral
+
+#endif // ASTRAL_IR_CONSTFOLD_H

@@ -1,0 +1,797 @@
+//===- ir/Lowering.cpp - AST to IR lowering --------------------------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Lowering.h"
+
+#include <cassert>
+
+using namespace astral::ir;
+using astral::AstContext;
+using astral::BinaryOp;
+using astral::DiagnosticsEngine;
+using astral::SourceLocation;
+using astral::StorageKind;
+using astral::Type;
+using astral::UnaryOp;
+using astral::VarDecl;
+using astral::FuncDecl;
+
+//===----------------------------------------------------------------------===//
+// Small helpers
+//===----------------------------------------------------------------------===//
+
+VarId Lowering::newTemp(const Type *Ty, const char *Prefix) {
+  VarInfo VI;
+  VI.Name = std::string(Prefix) + std::to_string(P->Vars.size());
+  VI.Ty = Ty;
+  VI.IsTemp = true;
+  VI.Owner = CurFunc;
+  P->Vars.push_back(std::move(VI));
+  return static_cast<VarId>(P->Vars.size() - 1);
+}
+
+LValue Lowering::tempLValue(VarId V, const Type *Ty,
+                            SourceLocation Loc) const {
+  LValue Lv;
+  Lv.Base = V;
+  Lv.Ty = Ty;
+  Lv.Loc = Loc;
+  return Lv;
+}
+
+const Expr *Lowering::constInt(int64_t V, const Type *Ty,
+                               SourceLocation Loc) {
+  Expr *E = P->newExpr(ExprKind::ConstInt, Ty, Loc);
+  E->IntVal = V;
+  return E;
+}
+
+const Expr *Lowering::castTo(const Expr *E, const Type *Ty) {
+  if (E->Ty == Ty)
+    return E;
+  Expr *C = P->newExpr(ExprKind::Cast, Ty, E->Loc);
+  C->A = E;
+  return C;
+}
+
+const Expr *Lowering::loadOf(const LValue &Lv) {
+  Expr *L = P->newExpr(ExprKind::Load, Lv.Ty, Lv.Loc);
+  L->Lv = Lv;
+  return L;
+}
+
+void Lowering::emitAssign(std::vector<Stmt *> &Out, LValue Lv, const Expr *E,
+                          SourceLocation Loc) {
+  Stmt *S = P->newStmt(StmtKind::Assign, Loc);
+  S->Lhs = std::move(Lv);
+  S->Rhs = E;
+  Out.push_back(S);
+}
+
+Stmt *Lowering::seq(std::vector<Stmt *> Stmts, SourceLocation Loc) {
+  if (Stmts.size() == 1)
+    return Stmts[0];
+  Stmt *S = P->newStmt(StmtKind::Seq, Loc);
+  S->Stmts = std::move(Stmts);
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// LValues
+//===----------------------------------------------------------------------===//
+
+LValue Lowering::lowerLValue(const astral::Expr *E, std::vector<Stmt *> &Out) {
+  LValue Lv;
+  Lv.Ty = E->Ty;
+  Lv.Loc = E->Loc;
+  switch (E->Kind) {
+  case astral::ExprKind::DeclRef:
+    assert(E->Var && "lvalue DeclRef without decl");
+    Lv.Base = E->Var->UniqueId;
+    return Lv;
+  case astral::ExprKind::ArraySubscript: {
+    Lv = lowerLValue(E->Lhs, Out);
+    // Subscripting a pointer parameter means indexing the bound array.
+    if (E->Lhs->Ty->isPointer())
+      Lv.Path.push_back(Access{Access::Kind::Deref, -1, nullptr});
+    const Expr *Idx = lowerExpr(E->Rhs, Out);
+    Lv.Path.push_back(Access{Access::Kind::Index, -1, Idx});
+    Lv.Ty = E->Ty;
+    Lv.Loc = E->Loc;
+    return Lv;
+  }
+  case astral::ExprKind::Member: {
+    Lv = lowerLValue(E->Lhs, Out);
+    if (E->IsArrow)
+      Lv.Path.push_back(Access{Access::Kind::Deref, -1, nullptr});
+    Lv.Path.push_back(Access{Access::Kind::Field, E->FieldIdx, nullptr});
+    Lv.Ty = E->Ty;
+    Lv.Loc = E->Loc;
+    return Lv;
+  }
+  case astral::ExprKind::Unary:
+    if (E->UOp == UnaryOp::Deref) {
+      Lv = lowerLValue(E->Lhs, Out);
+      Lv.Path.push_back(Access{Access::Kind::Deref, -1, nullptr});
+      Lv.Ty = E->Ty;
+      Lv.Loc = E->Loc;
+      return Lv;
+    }
+    break;
+  default:
+    break;
+  }
+  Diags.error(E->Loc, "expression is not an assignable location");
+  Lv.Base = 0;
+  return Lv;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+static BinOp lowerBinOp(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add: return BinOp::Add;
+  case BinaryOp::Sub: return BinOp::Sub;
+  case BinaryOp::Mul: return BinOp::Mul;
+  case BinaryOp::Div: return BinOp::Div;
+  case BinaryOp::Rem: return BinOp::Rem;
+  case BinaryOp::Shl: return BinOp::Shl;
+  case BinaryOp::Shr: return BinOp::Shr;
+  case BinaryOp::BitAnd: return BinOp::And;
+  case BinaryOp::BitOr: return BinOp::Or;
+  case BinaryOp::BitXor: return BinOp::Xor;
+  case BinaryOp::Lt: return BinOp::Lt;
+  case BinaryOp::Le: return BinOp::Le;
+  case BinaryOp::Gt: return BinOp::Gt;
+  case BinaryOp::Ge: return BinOp::Ge;
+  case BinaryOp::Eq: return BinOp::Eq;
+  case BinaryOp::Ne: return BinOp::Ne;
+  case BinaryOp::LogicalAnd: return BinOp::LogicalAnd;
+  case BinaryOp::LogicalOr: return BinOp::LogicalOr;
+  case BinaryOp::Comma: return BinOp::Add; // Handled before dispatch.
+  }
+  return BinOp::Add;
+}
+
+const Expr *Lowering::lowerAssign(const astral::Expr *E,
+                                  std::vector<Stmt *> &Out) {
+  LValue Lv = lowerLValue(E->Lhs, Out);
+  const Type *LTy = E->Lhs->Ty;
+
+  if (LTy->isStruct()) {
+    // Aggregate copy, expanded field-wise (field-sensitive abstraction,
+    // Sect. 6.1.1).
+    LValue Src = lowerLValue(E->Rhs, Out);
+    lowerAggregateCopy(Lv, Src, LTy, E->Loc, Out);
+    return loadOf(Lv); // Struct loads are never consumed as scalars.
+  }
+
+  const Expr *Stored;
+  if (E->IsPlainAssign) {
+    Stored = castTo(lowerExpr(E->Rhs, Out), LTy);
+  } else {
+    // lhs op= rhs computes in the usual arithmetic type, then converts back.
+    const Expr *L = loadOf(Lv);
+    const Expr *R = lowerExpr(E->Rhs, Out);
+    const Type *CTy = E->Rhs->Ty; // Sema checked both are arithmetic.
+    // Usual arithmetic conversion between LTy and the rhs type.
+    if (LTy->isFloat() || CTy->isFloat()) {
+      bool Dbl = (LTy->isFloat() && LTy->IsDouble) ||
+                 (CTy->isFloat() && CTy->IsDouble);
+      CTy = Dbl ? Ast.Types.doubleType() : Ast.Types.floatType();
+    } else {
+      unsigned W = std::max(32u, std::max(LTy->IntWidth, CTy->IntWidth));
+      bool Sgn = LTy->IntSigned && CTy->IntSigned;
+      CTy = Ast.Types.intType(W, Sgn);
+    }
+    Expr *Bin = P->newExpr(ExprKind::Binary, CTy, E->Loc);
+    Bin->BO = lowerBinOp(E->BOp);
+    Bin->A = castTo(L, CTy);
+    Bin->B = castTo(R, CTy);
+    Stored = castTo(Bin, LTy);
+  }
+  emitAssign(Out, Lv, Stored, E->Loc);
+  return Stored;
+}
+
+const Expr *Lowering::lowerIncDec(const astral::Expr *E,
+                                  std::vector<Stmt *> &Out) {
+  LValue Lv = lowerLValue(E->Lhs, Out);
+  const Type *Ty = E->Lhs->Ty;
+  bool IsInc = E->UOp == UnaryOp::PreInc || E->UOp == UnaryOp::PostInc;
+  bool IsPost = E->UOp == UnaryOp::PostInc || E->UOp == UnaryOp::PostDec;
+
+  const Expr *Old = loadOf(Lv);
+  const Expr *SavedOld = nullptr;
+  if (IsPost) {
+    VarId T = newTemp(Ty, "__old");
+    LValue TLv = tempLValue(T, Ty, E->Loc);
+    emitAssign(Out, TLv, Old, E->Loc);
+    SavedOld = loadOf(TLv);
+    Old = SavedOld;
+  }
+  const Type *CTy = Ty->isFloat()
+                        ? Ty
+                        : Ast.Types.intType(std::max(32u, Ty->IntWidth),
+                                            Ty->IntSigned);
+  const Expr *One = Ty->isFloat()
+                        ? [&] {
+                            Expr *F = P->newExpr(ExprKind::ConstFloat, CTy,
+                                                 E->Loc);
+                            F->FloatVal = 1.0;
+                            return static_cast<const Expr *>(F);
+                          }()
+                        : constInt(1, CTy, E->Loc);
+  Expr *Bin = P->newExpr(ExprKind::Binary, CTy, E->Loc);
+  Bin->BO = IsInc ? BinOp::Add : BinOp::Sub;
+  Bin->A = castTo(Old, CTy);
+  Bin->B = One;
+  const Expr *Stored = castTo(Bin, Ty);
+  emitAssign(Out, Lv, Stored, E->Loc);
+  return IsPost ? SavedOld : Stored;
+}
+
+void Lowering::lowerCall(const astral::Expr *E, std::optional<LValue> RetTo,
+                         std::vector<Stmt *> &Out) {
+  FuncDecl *F = E->Callee;
+  assert(F && "call without callee");
+
+  // Builtin directives.
+  if (F->IsBuiltin) {
+    if (F->Name == "__astral_wait") {
+      Out.push_back(P->newStmt(StmtKind::Wait, E->Loc));
+      return;
+    }
+    if (F->Name == "__astral_assume" || F->Name == "__astral_assert") {
+      Stmt *S = P->newStmt(F->Name == "__astral_assume" ? StmtKind::Assume
+                                                        : StmtKind::Assert,
+                           E->Loc);
+      if (E->Args.size() == 1)
+        S->Cond = lowerCond(E->Args[0], Out);
+      else
+        S->Cond = constInt(1, Ast.Types.intTy(), E->Loc);
+      Out.push_back(S);
+      return;
+    }
+  }
+
+  Stmt *S = P->newStmt(StmtKind::Call, E->Loc);
+  S->Callee = F->UniqueId;
+  for (size_t I = 0; I < E->Args.size(); ++I) {
+    const astral::Expr *Arg = E->Args[I];
+    const Type *PTy = I < F->FnTy->Params.size() ? F->FnTy->Params[I]
+                                                 : Arg->Ty;
+    CallArg CA;
+    if (PTy->isPointer()) {
+      CA.IsRef = true;
+      if (Arg->is(astral::ExprKind::Unary) && Arg->UOp == UnaryOp::AddrOf) {
+        CA.Ref = lowerLValue(Arg->Lhs, Out);
+      } else if (Arg->Ty->isArray() || Arg->Ty->isPointer()) {
+        CA.Ref = lowerLValue(Arg, Out); // Array name or forwarded reference.
+      } else {
+        Diags.error(Arg->Loc, "reference argument must be '&lvalue' or an "
+                              "array");
+        CA.Ref = tempLValue(0, Arg->Ty, Arg->Loc);
+      }
+    } else {
+      CA.Value = lowerExpr(Arg, Out);
+    }
+    S->Args.push_back(std::move(CA));
+  }
+  S->RetTo = std::move(RetTo);
+  Out.push_back(S);
+}
+
+const Expr *Lowering::lowerExpr(const astral::Expr *E,
+                                std::vector<Stmt *> &Out) {
+  switch (E->Kind) {
+  case astral::ExprKind::IntLit:
+    return constInt(E->IntValue, E->Ty, E->Loc);
+  case astral::ExprKind::FloatLit: {
+    Expr *F = P->newExpr(ExprKind::ConstFloat, E->Ty, E->Loc);
+    F->FloatVal = E->FloatValue;
+    return F;
+  }
+  case astral::ExprKind::DeclRef: {
+    if (E->IsEnumConstant)
+      return constInt(E->EnumValue, E->Ty, E->Loc);
+    LValue Lv;
+    Lv.Base = E->Var->UniqueId;
+    Lv.Ty = E->Ty;
+    Lv.Loc = E->Loc;
+    return loadOf(Lv);
+  }
+  case astral::ExprKind::ArraySubscript:
+  case astral::ExprKind::Member:
+    return loadOf(lowerLValue(E, Out));
+  case astral::ExprKind::Call: {
+    const Type *RetTy = E->Ty;
+    if (RetTy->isVoid()) {
+      lowerCall(E, std::nullopt, Out);
+      return constInt(0, Ast.Types.intTy(), E->Loc);
+    }
+    VarId T = newTemp(RetTy, "__ret");
+    LValue TLv = tempLValue(T, RetTy, E->Loc);
+    lowerCall(E, TLv, Out);
+    return loadOf(TLv);
+  }
+  case astral::ExprKind::Unary: {
+    switch (E->UOp) {
+    case UnaryOp::Plus:
+      return lowerExpr(E->Lhs, Out);
+    case UnaryOp::Neg: {
+      Expr *U = P->newExpr(ExprKind::Unary, E->Ty, E->Loc);
+      U->UO = UnOp::Neg;
+      U->A = lowerExpr(E->Lhs, Out);
+      return U;
+    }
+    case UnaryOp::LogicalNot: {
+      Expr *U = P->newExpr(ExprKind::Unary, E->Ty, E->Loc);
+      U->UO = UnOp::LogicalNot;
+      U->A = lowerCond(E->Lhs, Out);
+      return U;
+    }
+    case UnaryOp::BitNot: {
+      Expr *U = P->newExpr(ExprKind::Unary, E->Ty, E->Loc);
+      U->UO = UnOp::BitNot;
+      U->A = lowerExpr(E->Lhs, Out);
+      return U;
+    }
+    case UnaryOp::Deref:
+      return loadOf(lowerLValue(E, Out));
+    case UnaryOp::AddrOf:
+      Diags.error(E->Loc, "'&' is only allowed in call arguments "
+                          "(call-by-reference subset)");
+      return constInt(0, Ast.Types.intTy(), E->Loc);
+    case UnaryOp::PreInc:
+    case UnaryOp::PreDec:
+    case UnaryOp::PostInc:
+    case UnaryOp::PostDec:
+      return lowerIncDec(E, Out);
+    }
+    return constInt(0, Ast.Types.intTy(), E->Loc);
+  }
+  case astral::ExprKind::Binary: {
+    if (E->BOp == BinaryOp::Comma) {
+      lowerDiscard(E->Lhs, Out);
+      return lowerExpr(E->Rhs, Out);
+    }
+    if (E->BOp == BinaryOp::LogicalAnd || E->BOp == BinaryOp::LogicalOr) {
+      // Short-circuit materialization in value position.
+      bool IsAnd = E->BOp == BinaryOp::LogicalAnd;
+      VarId T = newTemp(Ast.Types.intTy(), "__bool");
+      LValue TLv = tempLValue(T, Ast.Types.intTy(), E->Loc);
+      const Expr *CondA = lowerCond(E->Lhs, Out);
+
+      std::vector<Stmt *> RhsSide;
+      const Expr *CondB = lowerCond(E->Rhs, RhsSide);
+      Stmt *InnerIf = P->newStmt(StmtKind::If, E->Loc);
+      InnerIf->Cond = CondB;
+      std::vector<Stmt *> T1, T0;
+      emitAssign(T1, TLv, constInt(1, TLv.Ty, E->Loc), E->Loc);
+      emitAssign(T0, TLv, constInt(0, TLv.Ty, E->Loc), E->Loc);
+      InnerIf->Then = seq(std::move(T1), E->Loc);
+      InnerIf->Else = seq(std::move(T0), E->Loc);
+      RhsSide.push_back(InnerIf);
+
+      Stmt *OuterIf = P->newStmt(StmtKind::If, E->Loc);
+      OuterIf->Cond = CondA;
+      std::vector<Stmt *> Short;
+      emitAssign(Short, TLv, constInt(IsAnd ? 0 : 1, TLv.Ty, E->Loc), E->Loc);
+      if (IsAnd) {
+        OuterIf->Then = seq(std::move(RhsSide), E->Loc);
+        OuterIf->Else = seq(std::move(Short), E->Loc);
+      } else {
+        OuterIf->Then = seq(std::move(Short), E->Loc);
+        OuterIf->Else = seq(std::move(RhsSide), E->Loc);
+      }
+      Out.push_back(OuterIf);
+      return loadOf(TLv);
+    }
+    Expr *Bin = P->newExpr(ExprKind::Binary, E->Ty, E->Loc);
+    Bin->BO = lowerBinOp(E->BOp);
+    Bin->A = lowerExpr(E->Lhs, Out);
+    Bin->B = lowerExpr(E->Rhs, Out);
+    return Bin;
+  }
+  case astral::ExprKind::Assign:
+    return lowerAssign(E, Out);
+  case astral::ExprKind::Cast: {
+    if (E->Ty->isVoid()) {
+      lowerDiscard(E->Lhs, Out);
+      return constInt(0, Ast.Types.intTy(), E->Loc);
+    }
+    return castTo(lowerExpr(E->Lhs, Out), E->Ty);
+  }
+  case astral::ExprKind::Conditional: {
+    VarId T = newTemp(E->Ty, "__sel");
+    LValue TLv = tempLValue(T, E->Ty, E->Loc);
+    const Expr *C = lowerCond(E->Lhs, Out);
+    Stmt *If = P->newStmt(StmtKind::If, E->Loc);
+    If->Cond = C;
+    std::vector<Stmt *> TS, FS;
+    emitAssign(TS, TLv, castTo(lowerExpr(E->Rhs, TS), E->Ty), E->Loc);
+    emitAssign(FS, TLv, castTo(lowerExpr(E->Third, FS), E->Ty), E->Loc);
+    If->Then = seq(std::move(TS), E->Loc);
+    If->Else = seq(std::move(FS), E->Loc);
+    Out.push_back(If);
+    return loadOf(TLv);
+  }
+  }
+  return constInt(0, Ast.Types.intTy(), E->Loc);
+}
+
+void Lowering::lowerDiscard(const astral::Expr *E, std::vector<Stmt *> &Out) {
+  switch (E->Kind) {
+  case astral::ExprKind::Assign:
+    lowerAssign(E, Out);
+    return;
+  case astral::ExprKind::Call:
+    if (E->Ty->isVoid()) {
+      lowerCall(E, std::nullopt, Out);
+    } else {
+      VarId T = newTemp(E->Ty, "__ret");
+      lowerCall(E, tempLValue(T, E->Ty, E->Loc), Out);
+    }
+    return;
+  case astral::ExprKind::Unary:
+    if (E->UOp == UnaryOp::PreInc || E->UOp == UnaryOp::PreDec ||
+        E->UOp == UnaryOp::PostInc || E->UOp == UnaryOp::PostDec) {
+      lowerIncDec(E, Out);
+      return;
+    }
+    break;
+  case astral::ExprKind::Binary:
+    if (E->BOp == BinaryOp::Comma) {
+      lowerDiscard(E->Lhs, Out);
+      lowerDiscard(E->Rhs, Out);
+      return;
+    }
+    break;
+  default:
+    break;
+  }
+  // Pure expression in statement position: materialize it into a discard
+  // temporary so checking mode still inspects its operations.
+  const Expr *V = lowerExpr(E, Out);
+  if (V->isConst())
+    return; // Nothing to check.
+  VarId T = newTemp(E->Ty->isVoid() ? Ast.Types.intTy() : E->Ty, "__dis");
+  emitAssign(Out, tempLValue(T, V->Ty, E->Loc), V, E->Loc);
+}
+
+const Expr *Lowering::lowerCond(const astral::Expr *E,
+                                std::vector<Stmt *> &Out) {
+  switch (E->Kind) {
+  case astral::ExprKind::Binary:
+    if (E->BOp == BinaryOp::LogicalAnd || E->BOp == BinaryOp::LogicalOr) {
+      // Keep the boolean structure; the guard transfer decomposes it.
+      // Side effects of the RHS would not be properly short-circuited here,
+      // so detect and reject them (conditions in the family are pure).
+      Expr *Bin = P->newExpr(ExprKind::Binary, Ast.Types.intTy(), E->Loc);
+      Bin->BO = E->BOp == BinaryOp::LogicalAnd ? BinOp::LogicalAnd
+                                               : BinOp::LogicalOr;
+      Bin->A = lowerCond(E->Lhs, Out);
+      size_t Before = Out.size();
+      Bin->B = lowerCond(E->Rhs, Out);
+      if (Out.size() != Before)
+        Diags.error(E->Loc, "side effects in the right operand of '&&'/'||' "
+                            "conditions are not supported");
+      return Bin;
+    }
+    return lowerExpr(E, Out);
+  case astral::ExprKind::Unary:
+    if (E->UOp == UnaryOp::LogicalNot) {
+      Expr *U = P->newExpr(ExprKind::Unary, Ast.Types.intTy(), E->Loc);
+      U->UO = UnOp::LogicalNot;
+      U->A = lowerCond(E->Lhs, Out);
+      return U;
+    }
+    return lowerExpr(E, Out);
+  default:
+    return lowerExpr(E, Out);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Aggregates and initialization
+//===----------------------------------------------------------------------===//
+
+void Lowering::lowerAggregateCopy(const LValue &Dst, const LValue &Src,
+                                  const Type *Ty, SourceLocation Loc,
+                                  std::vector<Stmt *> &Out) {
+  if (Ty->isStruct()) {
+    for (size_t I = 0; I < Ty->Fields.size(); ++I) {
+      LValue D = Dst, S = Src;
+      D.Path.push_back(Access{Access::Kind::Field, static_cast<int>(I),
+                              nullptr});
+      S.Path.push_back(Access{Access::Kind::Field, static_cast<int>(I),
+                              nullptr});
+      D.Ty = S.Ty = Ty->Fields[I].FieldType;
+      lowerAggregateCopy(D, S, Ty->Fields[I].FieldType, Loc, Out);
+    }
+    return;
+  }
+  if (Ty->isArray()) {
+    for (uint64_t I = 0; I < Ty->ArraySize; ++I) {
+      LValue D = Dst, S = Src;
+      const Expr *Idx = constInt(static_cast<int64_t>(I), Ast.Types.intTy(),
+                                 Loc);
+      D.Path.push_back(Access{Access::Kind::Index, -1, Idx});
+      S.Path.push_back(Access{Access::Kind::Index, -1, Idx});
+      D.Ty = S.Ty = Ty->Elem;
+      lowerAggregateCopy(D, S, Ty->Elem, Loc, Out);
+    }
+    return;
+  }
+  LValue D = Dst;
+  D.Ty = Ty;
+  emitAssign(Out, D, loadOf(Src), Loc);
+}
+
+/// Recursively emits initializer assignments for the scalar leaves of \p Ty,
+/// consuming expressions from a flattened initializer list; missing entries
+/// become zeroes when \p ZeroDefault is set (C static initialization).
+void Lowering::initLeaves(const LValue &Base, const Type *Ty,
+                          const std::vector<astral::Expr *> &Flat,
+                          size_t &Next, bool ZeroDefault, SourceLocation Loc,
+                          std::vector<Stmt *> &Out) {
+  if (Ty->isArray()) {
+    for (uint64_t I = 0; I < Ty->ArraySize; ++I) {
+      LValue Elem = Base;
+      const Expr *Idx = constInt(static_cast<int64_t>(I), Ast.Types.intTy(),
+                                 Loc);
+      Elem.Path.push_back(Access{Access::Kind::Index, -1, Idx});
+      Elem.Ty = Ty->Elem;
+      initLeaves(Elem, Ty->Elem, Flat, Next, ZeroDefault, Loc, Out);
+    }
+    return;
+  }
+  if (Ty->isStruct()) {
+    for (size_t I = 0; I < Ty->Fields.size(); ++I) {
+      LValue F = Base;
+      F.Path.push_back(Access{Access::Kind::Field, static_cast<int>(I),
+                              nullptr});
+      F.Ty = Ty->Fields[I].FieldType;
+      initLeaves(F, Ty->Fields[I].FieldType, Flat, Next, ZeroDefault, Loc,
+                 Out);
+    }
+    return;
+  }
+  const Expr *Val = nullptr;
+  if (Next < Flat.size()) {
+    Val = castTo(lowerExpr(Flat[Next], Out), Ty);
+    ++Next;
+  } else if (ZeroDefault) {
+    if (Ty->isFloat()) {
+      Expr *Z = P->newExpr(ExprKind::ConstFloat, Ty, Loc);
+      Z->FloatVal = 0.0;
+      Val = Z;
+    } else {
+      Val = constInt(0, Ty, Loc);
+    }
+  } else {
+    return; // Locals without initializer stay unknown.
+  }
+  LValue Dst = Base;
+  Dst.Ty = Ty;
+  emitAssign(Out, Dst, Val, Loc);
+}
+
+void Lowering::lowerVarInit(VarId Target, VarDecl *V, std::vector<Stmt *> &Out,
+                            bool ZeroDefault) {
+  LValue Base = tempLValue(Target, V->Ty, V->Loc);
+
+  if (V->Init) {
+    const Expr *E = castTo(lowerExpr(V->Init, Out), V->Ty);
+    emitAssign(Out, Base, E, V->Loc);
+    return;
+  }
+  if (!V->HasInitList && !ZeroDefault)
+    return; // Uninitialized local: unknown value until first write.
+  size_t Next = 0;
+  initLeaves(Base, V->Ty, V->InitList, Next, ZeroDefault, V->Loc, Out);
+}
+
+void Lowering::lowerLocalDecl(VarDecl *V, std::vector<Stmt *> &Out) {
+  bool Persistent = V->Storage == StorageKind::StaticLocal;
+  if (Persistent)
+    return; // Static locals are initialized in GlobalInit.
+  lowerVarInit(V->UniqueId, V, Out, /*ZeroDefault=*/V->HasInitList);
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void Lowering::lowerStmtInto(const astral::Stmt *S, std::vector<Stmt *> &Out) {
+  if (!S)
+    return;
+  switch (S->Kind) {
+  case astral::StmtKind::Expr:
+    lowerDiscard(S->E, Out);
+    return;
+  case astral::StmtKind::Decl:
+    lowerLocalDecl(S->DeclVar, Out);
+    return;
+  case astral::StmtKind::Compound:
+    for (const astral::Stmt *Child : S->Body)
+      lowerStmtInto(Child, Out);
+    return;
+  case astral::StmtKind::If: {
+    Stmt *If = P->newStmt(StmtKind::If, S->Loc);
+    If->Cond = lowerCond(S->E, Out);
+    std::vector<Stmt *> TS, ES;
+    lowerStmtInto(S->Then, TS);
+    lowerStmtInto(S->Else, ES);
+    If->Then = seq(std::move(TS), S->Loc);
+    If->Else = S->Else ? seq(std::move(ES), S->Loc) : nullptr;
+    Out.push_back(If);
+    return;
+  }
+  case astral::StmtKind::While: {
+    Stmt *W = P->newStmt(StmtKind::While, S->Loc);
+    W->LoopId = P->NumLoops++;
+    std::vector<Stmt *> Hoisted;
+    W->Cond = lowerCond(S->E, Hoisted);
+    if (!Hoisted.empty())
+      Diags.error(S->Loc, "loop conditions with side effects are not "
+                          "supported");
+    std::vector<Stmt *> BS;
+    lowerStmtInto(S->Then, BS);
+    W->Body = seq(std::move(BS), S->Loc);
+    Out.push_back(W);
+    return;
+  }
+  case astral::StmtKind::DoWhile: {
+    // do { B } while (c)  =>  B; while (c) { B }
+    lowerStmtInto(S->Then, Out);
+    Stmt *W = P->newStmt(StmtKind::While, S->Loc);
+    W->LoopId = P->NumLoops++;
+    std::vector<Stmt *> Hoisted;
+    W->Cond = lowerCond(S->E, Hoisted);
+    if (!Hoisted.empty())
+      Diags.error(S->Loc, "loop conditions with side effects are not "
+                          "supported");
+    std::vector<Stmt *> BS;
+    lowerStmtInto(S->Then, BS);
+    W->Body = seq(std::move(BS), S->Loc);
+    Out.push_back(W);
+    return;
+  }
+  case astral::StmtKind::For: {
+    if (S->ForInit)
+      lowerStmtInto(S->ForInit, Out);
+    Stmt *W = P->newStmt(StmtKind::While, S->Loc);
+    W->LoopId = P->NumLoops++;
+    if (S->E) {
+      std::vector<Stmt *> Hoisted;
+      W->Cond = lowerCond(S->E, Hoisted);
+      if (!Hoisted.empty())
+        Diags.error(S->Loc, "loop conditions with side effects are not "
+                            "supported");
+    } else {
+      W->Cond = constInt(1, Ast.Types.intTy(), S->Loc);
+    }
+    std::vector<Stmt *> BS;
+    lowerStmtInto(S->Then, BS);
+    W->Body = seq(std::move(BS), S->Loc);
+    if (S->ForStep) {
+      std::vector<Stmt *> SS;
+      lowerDiscard(S->ForStep, SS);
+      W->Step = seq(std::move(SS), S->Loc);
+    }
+    Out.push_back(W);
+    return;
+  }
+  case astral::StmtKind::Return: {
+    if (S->E && CurRetVar != NoVar) {
+      const Expr *V = lowerExpr(S->E, Out);
+      emitAssign(Out, tempLValue(CurRetVar, V->Ty, S->Loc), V, S->Loc);
+    }
+    Stmt *R = P->newStmt(StmtKind::Return, S->Loc);
+    Out.push_back(R);
+    return;
+  }
+  case astral::StmtKind::Break:
+    Out.push_back(P->newStmt(StmtKind::Break, S->Loc));
+    return;
+  case astral::StmtKind::Continue:
+    Out.push_back(P->newStmt(StmtKind::Continue, S->Loc));
+    return;
+  case astral::StmtKind::Empty:
+    return;
+  }
+}
+
+Stmt *Lowering::lowerStmt(const astral::Stmt *S) {
+  std::vector<Stmt *> Out;
+  lowerStmtInto(S, Out);
+  if (Out.empty())
+    return P->newStmt(StmtKind::Nop, S ? S->Loc : SourceLocation());
+  return seq(std::move(Out), S->Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Driver
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Program> Lowering::run(const std::string &EntryName) {
+  P = std::make_unique<Program>();
+
+  // Mirror AST variables: VarDecl::UniqueId == ir::VarId.
+  for (VarDecl *V : Ast.TU.AllVars) {
+    VarInfo VI;
+    VI.Name = V->Name;
+    VI.Ty = V->Ty;
+    VI.IsVolatile = V->IsVolatile;
+    VI.IsConst = V->IsConst;
+    VI.IsPersistent = V->Storage == StorageKind::Global ||
+                      V->Storage == StorageKind::StaticGlobal ||
+                      V->Storage == StorageKind::StaticLocal;
+    VI.IsParam = V->Storage == StorageKind::Param;
+    VI.IsRef = VI.IsParam && V->Ty->isPointer();
+    VI.Owner = V->Owner ? V->Owner->UniqueId : NoFunc;
+    P->Vars.push_back(std::move(VI));
+  }
+
+  // Function table (including builtins, so FuncIds align with the AST).
+  P->Functions.resize(Ast.TU.Functions.size());
+  for (FuncDecl *F : Ast.TU.Functions) {
+    Function &IF = P->Functions[F->UniqueId];
+    IF.Name = F->Name;
+    IF.Id = F->UniqueId;
+    IF.RetTy = F->FnTy ? F->FnTy->Ret : Ast.Types.voidType();
+    for (VarDecl *Param : F->Params)
+      IF.Params.push_back(Param->UniqueId);
+  }
+
+  // Global / static initialization (zero-filled by default, Sect. 5.2 "the
+  // abstract interpreter first creates the global and static variables").
+  std::vector<Stmt *> InitStmts;
+  CurFunc = NoFunc;
+  for (VarDecl *V : Ast.TU.AllVars) {
+    bool Persistent = V->Storage == StorageKind::Global ||
+                      V->Storage == StorageKind::StaticGlobal ||
+                      V->Storage == StorageKind::StaticLocal;
+    if (!Persistent || V->IsVolatile)
+      continue;
+    lowerVarInit(V->UniqueId, V, InitStmts, /*ZeroDefault=*/true);
+  }
+  P->GlobalInit = seq(std::move(InitStmts), SourceLocation());
+  if (P->GlobalInit->is(StmtKind::Seq) && P->GlobalInit->Stmts.empty())
+    P->GlobalInit = nullptr;
+
+  // Function bodies.
+  for (FuncDecl *F : Ast.TU.Functions) {
+    if (!F->BodyStmt)
+      continue;
+    Function &IF = P->Functions[F->UniqueId];
+    CurFunc = F->UniqueId;
+    CurRetVar = NoVar;
+    if (!IF.RetTy->isVoid())
+      CurRetVar = newTemp(IF.RetTy, "__retval");
+    IF.RetVar = CurRetVar;
+    IF.Body = lowerStmt(F->BodyStmt);
+    CurFunc = NoFunc;
+    CurRetVar = NoVar;
+  }
+
+  const Function *Entry = P->findFunction(EntryName);
+  if (!Entry || !Entry->Body) {
+    Diags.error(SourceLocation(),
+                "entry function '" + EntryName + "' not found");
+    return nullptr;
+  }
+  P->Entry = Entry->Id;
+
+  if (Diags.hasErrors())
+    return nullptr;
+  return std::move(P);
+}

@@ -1,0 +1,88 @@
+//===- ir/Lowering.h - AST to IR lowering ------------------------*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers the type-checked AST into the analyzer IR (Sect. 5.1). This is the
+/// "program transformation" step of Sect. 5.4: side effects and function
+/// calls are hoisted out of conditions, short-circuit operators and ?: in
+/// value position are materialized through temporaries and explicit control
+/// flow, for/do-while are rewritten to while, aggregate copies are expanded
+/// field-wise, and every variable gets a VarInfo record.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_IR_LOWERING_H
+#define ASTRAL_IR_LOWERING_H
+
+#include "ir/Ir.h"
+#include "lang/Ast.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+
+namespace astral {
+namespace ir {
+
+class Lowering {
+public:
+  Lowering(AstContext &Ast, DiagnosticsEngine &Diags)
+      : Ast(Ast), Diags(Diags) {}
+
+  /// Lowers the translation unit; \p EntryName is the analysis entry point
+  /// (Sect. 5.3 "a user-supplied entry point ... such as the main function").
+  /// Returns null if errors were reported.
+  std::unique_ptr<Program> run(const std::string &EntryName = "main");
+
+private:
+  VarId newTemp(const Type *Ty, const char *Prefix);
+  LValue tempLValue(VarId V, const Type *Ty, SourceLocation Loc) const;
+
+  void emitAssign(std::vector<Stmt *> &Out, LValue Lv, const Expr *E,
+                  SourceLocation Loc);
+  Stmt *seq(std::vector<Stmt *> Stmts, SourceLocation Loc);
+
+  Stmt *lowerStmt(const astral::Stmt *S);
+  void lowerStmtInto(const astral::Stmt *S, std::vector<Stmt *> &Out);
+  void lowerLocalDecl(VarDecl *V, std::vector<Stmt *> &Out);
+  void lowerVarInit(VarId Target, VarDecl *V, std::vector<Stmt *> &Out,
+                    bool ZeroDefault);
+  void initLeaves(const LValue &Base, const Type *Ty,
+                  const std::vector<astral::Expr *> &Flat, size_t &Next,
+                  bool ZeroDefault, SourceLocation Loc,
+                  std::vector<Stmt *> &Out);
+
+  const Expr *lowerExpr(const astral::Expr *E, std::vector<Stmt *> &Out);
+  /// Lowers an expression used only for its effects and checks.
+  void lowerDiscard(const astral::Expr *E, std::vector<Stmt *> &Out);
+  /// Lowers a condition, preserving comparison / &&, ||, ! structure for the
+  /// guard transfer function; hoisted side effects go to \p Out.
+  const Expr *lowerCond(const astral::Expr *E, std::vector<Stmt *> &Out);
+  LValue lowerLValue(const astral::Expr *E, std::vector<Stmt *> &Out);
+  const Expr *lowerAssign(const astral::Expr *E, std::vector<Stmt *> &Out);
+  const Expr *lowerIncDec(const astral::Expr *E, std::vector<Stmt *> &Out);
+  void lowerCall(const astral::Expr *E, std::optional<LValue> RetTo,
+                 std::vector<Stmt *> &Out);
+  void lowerAggregateCopy(const LValue &Dst, const LValue &Src,
+                          const Type *Ty, SourceLocation Loc,
+                          std::vector<Stmt *> &Out);
+
+  const Expr *constInt(int64_t V, const Type *Ty, SourceLocation Loc);
+  const Expr *castTo(const Expr *E, const Type *Ty);
+  const Expr *loadOf(const LValue &Lv);
+
+  AstContext &Ast;
+  DiagnosticsEngine &Diags;
+  std::unique_ptr<Program> P;
+  FuncId CurFunc = NoFunc;
+  /// Return-value holder of the function being lowered.
+  VarId CurRetVar = NoVar;
+};
+
+} // namespace ir
+} // namespace astral
+
+#endif // ASTRAL_IR_LOWERING_H

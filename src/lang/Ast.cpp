@@ -1,0 +1,15 @@
+//===- lang/Ast.cpp - C-subset abstract syntax tree -----------------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+// The AST is a header-mostly component; this file anchors the translation
+// unit so the library has a stable object for the linker.
+//===----------------------------------------------------------------------===//
+
+#include "lang/Ast.h"
+
+namespace astral {
+// No out-of-line members currently.
+} // namespace astral

@@ -1,0 +1,232 @@
+//===- lang/Ast.h - C-subset abstract syntax tree ----------------*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract syntax tree produced by the parser and annotated by Sema
+/// (Sect. 5.1: "compiled to an intermediate representation, a simplified
+/// version of the abstract syntax tree with all types explicit and variables
+/// given unique identifiers" — that later step lives in ir/Lowering).
+///
+/// Nodes are owned by an AstContext arena; the tree holds raw pointers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_LANG_AST_H
+#define ASTRAL_LANG_AST_H
+
+#include "lang/Type.h"
+#include "support/SourceLocation.h"
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace astral {
+
+class Expr;
+class Stmt;
+struct VarDecl;
+struct FuncDecl;
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind : uint8_t {
+  IntLit,
+  FloatLit,
+  DeclRef,        ///< Variable or enum-constant reference.
+  ArraySubscript, ///< a[i]
+  Member,         ///< s.f or p->f
+  Call,           ///< f(args)
+  Unary,
+  Binary,
+  Assign,         ///< lhs op= rhs (op may be plain '=')
+  Cast,           ///< (T)e, and Sema-inserted implicit conversions
+  Conditional,    ///< c ? a : b
+};
+
+enum class UnaryOp : uint8_t {
+  Plus, Neg, LogicalNot, BitNot, Deref, AddrOf,
+  PreInc, PreDec, PostInc, PostDec,
+};
+
+enum class BinaryOp : uint8_t {
+  Add, Sub, Mul, Div, Rem,
+  Shl, Shr, BitAnd, BitOr, BitXor,
+  Lt, Le, Gt, Ge, Eq, Ne,
+  LogicalAnd, LogicalOr,
+  Comma,
+};
+
+/// A typed expression node. One class with a kind tag (closed hierarchy,
+/// tag-dispatched, per the LLVM style guidance for such IRs).
+class Expr {
+public:
+  ExprKind Kind;
+  SourceLocation Loc;
+  /// Set by Sema; null until type checking.
+  const Type *Ty = nullptr;
+
+  // IntLit.
+  int64_t IntValue = 0;
+  // FloatLit (value already rounded to the literal's own type).
+  double FloatValue = 0.0;
+
+  // DeclRef.
+  VarDecl *Var = nullptr;
+  bool IsEnumConstant = false;
+  int64_t EnumValue = 0;
+  std::string Name; ///< Spelling, for diagnostics.
+
+  // Member.
+  int FieldIdx = -1;
+  bool IsArrow = false;
+
+  // Call.
+  FuncDecl *Callee = nullptr;
+  std::vector<Expr *> Args;
+
+  // Unary / Binary / Assign / Cast / Conditional / ArraySubscript operands.
+  UnaryOp UOp = UnaryOp::Plus;
+  BinaryOp BOp = BinaryOp::Add;
+  /// For Assign: the compound operator, or nullopt-equivalent via IsPlain.
+  bool IsPlainAssign = true;
+  Expr *Lhs = nullptr; ///< Also: subscript base, member base, cast operand,
+                       ///< unary operand, conditional condition.
+  Expr *Rhs = nullptr; ///< Also: subscript index, conditional true-arm.
+  Expr *Third = nullptr; ///< Conditional false-arm.
+
+  bool is(ExprKind K) const { return Kind == K; }
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind : uint8_t {
+  Expr,     ///< Expression statement (incl. assignments and calls).
+  Decl,     ///< Local variable declaration.
+  Compound,
+  If,
+  While,
+  DoWhile,
+  For,
+  Return,
+  Break,
+  Continue,
+  Empty,
+};
+
+class Stmt {
+public:
+  StmtKind Kind;
+  SourceLocation Loc;
+
+  Expr *E = nullptr;          ///< Expr stmt; condition of If/While/DoWhile;
+                              ///< Return value (may be null).
+  VarDecl *DeclVar = nullptr; ///< Decl.
+  std::vector<Stmt *> Body;   ///< Compound children.
+  Stmt *Then = nullptr;       ///< If then / loop body.
+  Stmt *Else = nullptr;       ///< If else (may be null).
+  Stmt *ForInit = nullptr;    ///< For init statement (may be null).
+  Expr *ForStep = nullptr;    ///< For step expression (may be null).
+
+  bool is(StmtKind K) const { return Kind == K; }
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+enum class StorageKind : uint8_t { Global, StaticGlobal, StaticLocal, Local,
+                                   Param };
+
+struct VarDecl {
+  std::string Name;
+  const Type *Ty = nullptr;
+  StorageKind Storage = StorageKind::Global;
+  bool IsConst = false;
+  bool IsVolatile = false;
+  SourceLocation Loc;
+  /// Scalar initializer, or null.
+  Expr *Init = nullptr;
+  /// Array / struct initializer list (flattened), or empty.
+  std::vector<Expr *> InitList;
+  bool HasInitList = false;
+  /// Unique id assigned by Sema (index into TranslationUnit::AllVars).
+  uint32_t UniqueId = 0;
+  /// Owning function, null for globals (set by Sema).
+  FuncDecl *Owner = nullptr;
+};
+
+struct FuncDecl {
+  std::string Name;
+  const Type *FnTy = nullptr; ///< Function type.
+  std::vector<VarDecl *> Params;
+  Stmt *BodyStmt = nullptr; ///< Null for prototypes.
+  SourceLocation Loc;
+  uint32_t UniqueId = 0;
+  bool IsBuiltin = false; ///< __astral_wait and friends.
+};
+
+/// A parsed translation unit (after the paper's "simple linker" all files
+/// have been merged into one token stream, so one TU is the whole program).
+struct TranslationUnit {
+  std::vector<VarDecl *> Globals;
+  std::vector<FuncDecl *> Functions;
+  /// All variables (globals + locals + params) indexed by UniqueId.
+  std::vector<VarDecl *> AllVars;
+
+  FuncDecl *findFunction(const std::string &Name) const {
+    for (FuncDecl *F : Functions)
+      if (F->Name == Name)
+        return F;
+    return nullptr;
+  }
+};
+
+/// Arena owning every AST node.
+class AstContext {
+public:
+  Expr *expr(ExprKind K, SourceLocation Loc) {
+    Exprs.emplace_back(std::make_unique<Expr>());
+    Expr *E = Exprs.back().get();
+    E->Kind = K;
+    E->Loc = Loc;
+    return E;
+  }
+  Stmt *stmt(StmtKind K, SourceLocation Loc) {
+    Stmts.emplace_back(std::make_unique<Stmt>());
+    Stmt *S = Stmts.back().get();
+    S->Kind = K;
+    S->Loc = Loc;
+    return S;
+  }
+  VarDecl *varDecl() {
+    Vars.emplace_back(std::make_unique<VarDecl>());
+    return Vars.back().get();
+  }
+  FuncDecl *funcDecl() {
+    Funcs.emplace_back(std::make_unique<FuncDecl>());
+    return Funcs.back().get();
+  }
+
+  TypeContext Types;
+  TranslationUnit TU;
+
+private:
+  std::deque<std::unique_ptr<Expr>> Exprs;
+  std::deque<std::unique_ptr<Stmt>> Stmts;
+  std::deque<std::unique_ptr<VarDecl>> Vars;
+  std::deque<std::unique_ptr<FuncDecl>> Funcs;
+};
+
+} // namespace astral
+
+#endif // ASTRAL_LANG_AST_H

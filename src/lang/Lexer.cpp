@@ -1,0 +1,470 @@
+//===- lang/Lexer.cpp - C-subset lexer ------------------------------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace astral;
+
+const char *astral::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Eof: return "end of file";
+  case TokKind::Identifier: return "identifier";
+  case TokKind::IntLiteral: return "integer literal";
+  case TokKind::FloatLiteral: return "floating literal";
+  case TokKind::CharLiteral: return "character literal";
+  case TokKind::StringLiteral: return "string literal";
+  case TokKind::KwVoid: return "'void'";
+  case TokKind::KwChar: return "'char'";
+  case TokKind::KwShort: return "'short'";
+  case TokKind::KwInt: return "'int'";
+  case TokKind::KwLong: return "'long'";
+  case TokKind::KwFloat: return "'float'";
+  case TokKind::KwDouble: return "'double'";
+  case TokKind::KwSigned: return "'signed'";
+  case TokKind::KwUnsigned: return "'unsigned'";
+  case TokKind::KwBool: return "'_Bool'";
+  case TokKind::KwStruct: return "'struct'";
+  case TokKind::KwEnum: return "'enum'";
+  case TokKind::KwTypedef: return "'typedef'";
+  case TokKind::KwUnion: return "'union'";
+  case TokKind::KwConst: return "'const'";
+  case TokKind::KwVolatile: return "'volatile'";
+  case TokKind::KwStatic: return "'static'";
+  case TokKind::KwExtern: return "'extern'";
+  case TokKind::KwRegister: return "'register'";
+  case TokKind::KwIf: return "'if'";
+  case TokKind::KwElse: return "'else'";
+  case TokKind::KwWhile: return "'while'";
+  case TokKind::KwDo: return "'do'";
+  case TokKind::KwFor: return "'for'";
+  case TokKind::KwReturn: return "'return'";
+  case TokKind::KwBreak: return "'break'";
+  case TokKind::KwContinue: return "'continue'";
+  case TokKind::KwSwitch: return "'switch'";
+  case TokKind::KwCase: return "'case'";
+  case TokKind::KwDefault: return "'default'";
+  case TokKind::KwGoto: return "'goto'";
+  case TokKind::KwSizeof: return "'sizeof'";
+  case TokKind::LParen: return "'('";
+  case TokKind::RParen: return "')'";
+  case TokKind::LBrace: return "'{'";
+  case TokKind::RBrace: return "'}'";
+  case TokKind::LBracket: return "'['";
+  case TokKind::RBracket: return "']'";
+  case TokKind::Semi: return "';'";
+  case TokKind::Comma: return "','";
+  case TokKind::Dot: return "'.'";
+  case TokKind::Arrow: return "'->'";
+  case TokKind::Ellipsis: return "'...'";
+  case TokKind::Plus: return "'+'";
+  case TokKind::Minus: return "'-'";
+  case TokKind::Star: return "'*'";
+  case TokKind::Slash: return "'/'";
+  case TokKind::Percent: return "'%'";
+  case TokKind::PlusPlus: return "'++'";
+  case TokKind::MinusMinus: return "'--'";
+  case TokKind::Amp: return "'&'";
+  case TokKind::Pipe: return "'|'";
+  case TokKind::Caret: return "'^'";
+  case TokKind::Tilde: return "'~'";
+  case TokKind::Bang: return "'!'";
+  case TokKind::AmpAmp: return "'&&'";
+  case TokKind::PipePipe: return "'||'";
+  case TokKind::Shl: return "'<<'";
+  case TokKind::Shr: return "'>>'";
+  case TokKind::Lt: return "'<'";
+  case TokKind::Gt: return "'>'";
+  case TokKind::Le: return "'<='";
+  case TokKind::Ge: return "'>='";
+  case TokKind::EqEq: return "'=='";
+  case TokKind::BangEq: return "'!='";
+  case TokKind::Question: return "'?'";
+  case TokKind::Colon: return "':'";
+  case TokKind::Assign: return "'='";
+  case TokKind::PlusAssign: return "'+='";
+  case TokKind::MinusAssign: return "'-='";
+  case TokKind::StarAssign: return "'*='";
+  case TokKind::SlashAssign: return "'/='";
+  case TokKind::PercentAssign: return "'%='";
+  case TokKind::AmpAssign: return "'&='";
+  case TokKind::PipeAssign: return "'|='";
+  case TokKind::CaretAssign: return "'^='";
+  case TokKind::ShlAssign: return "'<<='";
+  case TokKind::ShrAssign: return "'>>='";
+  case TokKind::Hash: return "'#'";
+  case TokKind::HashHash: return "'##'";
+  }
+  return "<token>";
+}
+
+TokKind Lexer::keywordKind(std::string_view Text) {
+  static const std::unordered_map<std::string_view, TokKind> Keywords = {
+      {"void", TokKind::KwVoid},         {"char", TokKind::KwChar},
+      {"short", TokKind::KwShort},       {"int", TokKind::KwInt},
+      {"long", TokKind::KwLong},         {"float", TokKind::KwFloat},
+      {"double", TokKind::KwDouble},     {"signed", TokKind::KwSigned},
+      {"unsigned", TokKind::KwUnsigned}, {"_Bool", TokKind::KwBool},
+      {"struct", TokKind::KwStruct},     {"enum", TokKind::KwEnum},
+      {"typedef", TokKind::KwTypedef},   {"union", TokKind::KwUnion},
+      {"const", TokKind::KwConst},       {"volatile", TokKind::KwVolatile},
+      {"static", TokKind::KwStatic},     {"extern", TokKind::KwExtern},
+      {"register", TokKind::KwRegister}, {"if", TokKind::KwIf},
+      {"else", TokKind::KwElse},         {"while", TokKind::KwWhile},
+      {"do", TokKind::KwDo},             {"for", TokKind::KwFor},
+      {"return", TokKind::KwReturn},     {"break", TokKind::KwBreak},
+      {"continue", TokKind::KwContinue}, {"switch", TokKind::KwSwitch},
+      {"case", TokKind::KwCase},         {"default", TokKind::KwDefault},
+      {"goto", TokKind::KwGoto},         {"sizeof", TokKind::KwSizeof},
+  };
+  auto It = Keywords.find(Text);
+  return It == Keywords.end() ? TokKind::Identifier : It->second;
+}
+
+Lexer::Lexer(std::string_view Source, uint32_t File, DiagnosticsEngine &D)
+    : Src(Source), FileId(File), Diags(D) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  size_t P = Pos + Ahead;
+  return P < Src.size() ? Src[P] : '\0';
+}
+
+char Lexer::advance() {
+  char C = peek();
+  if (C == '\0')
+    return C;
+  ++Pos;
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+bool Lexer::match(char C) {
+  if (peek() != C)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  for (;;) {
+    char C = peek();
+    if (C == '\\' && peek(1) == '\n') {
+      // Line splice: continues the logical line.
+      advance();
+      advance();
+      SawSpace = true;
+      continue;
+    }
+    if (C == '\n') {
+      advance();
+      SawNewline = true;
+      SawSpace = true;
+      continue;
+    }
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\v' || C == '\f') {
+      advance();
+      SawSpace = true;
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      SawSpace = true;
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLocation Loc(FileId, Line, Column);
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          Diags.error(Loc, "unterminated block comment");
+          return;
+        }
+        advance();
+      }
+      advance();
+      advance();
+      SawSpace = true;
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokKind K, SourceLocation Loc) {
+  Token T;
+  T.Kind = K;
+  T.Loc = Loc;
+  T.LeadingSpace = SawSpace;
+  T.AtLineStart = SawNewline;
+  SawSpace = false;
+  SawNewline = false;
+  return T;
+}
+
+Token Lexer::lexNumber(SourceLocation Loc) {
+  size_t Start = Pos;
+  bool IsFloat = false;
+  bool IsHex = false;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    IsHex = true;
+    advance();
+    advance();
+    while (std::isxdigit(static_cast<unsigned char>(peek())))
+      advance();
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+    if (peek() == '.') {
+      IsFloat = true;
+      advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      char Next = peek(1);
+      if (std::isdigit(static_cast<unsigned char>(Next)) || Next == '+' ||
+          Next == '-') {
+        IsFloat = true;
+        advance();
+        if (peek() == '+' || peek() == '-')
+          advance();
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+          advance();
+      }
+    }
+  }
+
+  std::string Spelling(Src.substr(Start, Pos - Start));
+  Token T = makeToken(IsFloat ? TokKind::FloatLiteral : TokKind::IntLiteral,
+                      Loc);
+
+  // Suffixes.
+  bool Unsigned = false, Float32 = false;
+  while (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L' ||
+         peek() == 'f' || peek() == 'F') {
+    char S = advance();
+    if (S == 'u' || S == 'U')
+      Unsigned = true;
+    if (S == 'f' || S == 'F') {
+      Float32 = true;
+      T.Kind = TokKind::FloatLiteral;
+    }
+  }
+
+  T.Text = Spelling;
+  T.IsUnsigned = Unsigned;
+  T.IsFloat32 = Float32;
+  if (T.Kind == TokKind::IntLiteral) {
+    T.IntValue = std::strtoull(Spelling.c_str(), nullptr, IsHex ? 16 : 10);
+  } else {
+    T.FloatValue = std::strtod(Spelling.c_str(), nullptr);
+    if (Float32)
+      T.FloatValue = static_cast<float>(T.FloatValue);
+  }
+  return T;
+}
+
+Token Lexer::lexIdentifier(SourceLocation Loc) {
+  size_t Start = Pos;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    advance();
+  std::string Spelling(Src.substr(Start, Pos - Start));
+  Token T = makeToken(keywordKind(Spelling), Loc);
+  T.Text = std::move(Spelling);
+  return T;
+}
+
+Token Lexer::lexCharLiteral(SourceLocation Loc) {
+  advance(); // consume '
+  uint64_t Value = 0;
+  if (peek() == '\\') {
+    advance();
+    char E = advance();
+    switch (E) {
+    case 'n': Value = '\n'; break;
+    case 't': Value = '\t'; break;
+    case 'r': Value = '\r'; break;
+    case '0': Value = 0; break;
+    case '\\': Value = '\\'; break;
+    case '\'': Value = '\''; break;
+    case '"': Value = '"'; break;
+    default:
+      Diags.error(Loc, std::string("unsupported escape sequence '\\") + E +
+                           "'");
+      break;
+    }
+  } else {
+    Value = static_cast<unsigned char>(advance());
+  }
+  if (!match('\''))
+    Diags.error(Loc, "unterminated character literal");
+  Token T = makeToken(TokKind::CharLiteral, Loc);
+  T.IntValue = Value;
+  return T;
+}
+
+Token Lexer::lexStringLiteral(SourceLocation Loc) {
+  advance(); // consume "
+  std::string Value;
+  while (peek() != '"') {
+    if (peek() == '\0' || peek() == '\n') {
+      Diags.error(Loc, "unterminated string literal");
+      break;
+    }
+    char C = advance();
+    if (C == '\\' && peek() != '\0') {
+      char E = advance();
+      switch (E) {
+      case 'n': Value += '\n'; break;
+      case 't': Value += '\t'; break;
+      case '\\': Value += '\\'; break;
+      case '"': Value += '"'; break;
+      default: Value += E; break;
+      }
+    } else {
+      Value += C;
+    }
+  }
+  match('"');
+  Token T = makeToken(TokKind::StringLiteral, Loc);
+  T.Text = std::move(Value);
+  return T;
+}
+
+Token Lexer::lex() {
+  skipWhitespaceAndComments();
+  SourceLocation Loc(FileId, Line, Column);
+  char C = peek();
+  if (C == '\0')
+    return makeToken(TokKind::Eof, Loc);
+
+  if (std::isdigit(static_cast<unsigned char>(C)) ||
+      (C == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))))
+    return lexNumber(Loc);
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifier(Loc);
+  if (C == '\'')
+    return lexCharLiteral(Loc);
+  if (C == '"')
+    return lexStringLiteral(Loc);
+
+  advance();
+  switch (C) {
+  case '(': return makeToken(TokKind::LParen, Loc);
+  case ')': return makeToken(TokKind::RParen, Loc);
+  case '{': return makeToken(TokKind::LBrace, Loc);
+  case '}': return makeToken(TokKind::RBrace, Loc);
+  case '[': return makeToken(TokKind::LBracket, Loc);
+  case ']': return makeToken(TokKind::RBracket, Loc);
+  case ';': return makeToken(TokKind::Semi, Loc);
+  case ',': return makeToken(TokKind::Comma, Loc);
+  case '?': return makeToken(TokKind::Question, Loc);
+  case ':': return makeToken(TokKind::Colon, Loc);
+  case '~': return makeToken(TokKind::Tilde, Loc);
+  case '.':
+    if (peek() == '.' && peek(1) == '.') {
+      advance();
+      advance();
+      return makeToken(TokKind::Ellipsis, Loc);
+    }
+    return makeToken(TokKind::Dot, Loc);
+  case '+':
+    if (match('+'))
+      return makeToken(TokKind::PlusPlus, Loc);
+    if (match('='))
+      return makeToken(TokKind::PlusAssign, Loc);
+    return makeToken(TokKind::Plus, Loc);
+  case '-':
+    if (match('-'))
+      return makeToken(TokKind::MinusMinus, Loc);
+    if (match('='))
+      return makeToken(TokKind::MinusAssign, Loc);
+    if (match('>'))
+      return makeToken(TokKind::Arrow, Loc);
+    return makeToken(TokKind::Minus, Loc);
+  case '*':
+    if (match('='))
+      return makeToken(TokKind::StarAssign, Loc);
+    return makeToken(TokKind::Star, Loc);
+  case '/':
+    if (match('='))
+      return makeToken(TokKind::SlashAssign, Loc);
+    return makeToken(TokKind::Slash, Loc);
+  case '%':
+    if (match('='))
+      return makeToken(TokKind::PercentAssign, Loc);
+    return makeToken(TokKind::Percent, Loc);
+  case '&':
+    if (match('&'))
+      return makeToken(TokKind::AmpAmp, Loc);
+    if (match('='))
+      return makeToken(TokKind::AmpAssign, Loc);
+    return makeToken(TokKind::Amp, Loc);
+  case '|':
+    if (match('|'))
+      return makeToken(TokKind::PipePipe, Loc);
+    if (match('='))
+      return makeToken(TokKind::PipeAssign, Loc);
+    return makeToken(TokKind::Pipe, Loc);
+  case '^':
+    if (match('='))
+      return makeToken(TokKind::CaretAssign, Loc);
+    return makeToken(TokKind::Caret, Loc);
+  case '!':
+    if (match('='))
+      return makeToken(TokKind::BangEq, Loc);
+    return makeToken(TokKind::Bang, Loc);
+  case '<':
+    if (match('<')) {
+      if (match('='))
+        return makeToken(TokKind::ShlAssign, Loc);
+      return makeToken(TokKind::Shl, Loc);
+    }
+    if (match('='))
+      return makeToken(TokKind::Le, Loc);
+    return makeToken(TokKind::Lt, Loc);
+  case '>':
+    if (match('>')) {
+      if (match('='))
+        return makeToken(TokKind::ShrAssign, Loc);
+      return makeToken(TokKind::Shr, Loc);
+    }
+    if (match('='))
+      return makeToken(TokKind::Ge, Loc);
+    return makeToken(TokKind::Gt, Loc);
+  case '=':
+    if (match('='))
+      return makeToken(TokKind::EqEq, Loc);
+    return makeToken(TokKind::Assign, Loc);
+  case '#':
+    if (match('#'))
+      return makeToken(TokKind::HashHash, Loc);
+    return makeToken(TokKind::Hash, Loc);
+  default:
+    Diags.error(Loc, std::string("unexpected character '") + C + "'");
+    return lex();
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Out;
+  for (;;) {
+    Out.push_back(lex());
+    if (Out.back().is(TokKind::Eof))
+      return Out;
+  }
+}

@@ -1,0 +1,64 @@
+//===- lang/Lexer.h - C-subset lexer -----------------------------*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for the C subset. Comments and line splices are
+/// handled here; preprocessing directives are left as Hash tokens for the
+/// Preprocessor, which runs on the token stream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_LANG_LEXER_H
+#define ASTRAL_LANG_LEXER_H
+
+#include "lang/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string_view>
+#include <vector>
+
+namespace astral {
+
+class Lexer {
+public:
+  /// Lexes \p Source (owned by the caller, must outlive the lexer) reporting
+  /// problems against \p FileId.
+  Lexer(std::string_view Source, uint32_t FileId, DiagnosticsEngine &Diags);
+
+  /// Returns the next token (Eof forever at end of input).
+  Token lex();
+
+  /// Lexes the whole input into a vector ending with Eof.
+  std::vector<Token> lexAll();
+
+  /// Maps an identifier spelling to its keyword kind, or Identifier.
+  static TokKind keywordKind(std::string_view Text);
+
+private:
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool match(char C);
+  void skipWhitespaceAndComments();
+  Token makeToken(TokKind K, SourceLocation Loc);
+  Token lexNumber(SourceLocation Loc);
+  Token lexIdentifier(SourceLocation Loc);
+  Token lexCharLiteral(SourceLocation Loc);
+  Token lexStringLiteral(SourceLocation Loc);
+
+  std::string_view Src;
+  size_t Pos = 0;
+  uint32_t FileId;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+  bool SawSpace = false;
+  bool SawNewline = true;
+  DiagnosticsEngine &Diags;
+};
+
+} // namespace astral
+
+#endif // ASTRAL_LANG_LEXER_H

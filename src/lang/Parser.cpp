@@ -1,0 +1,1105 @@
+//===- lang/Parser.cpp - C-subset parser ----------------------------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace astral;
+
+Parser::Parser(std::vector<Token> T, AstContext &C, DiagnosticsEngine &D)
+    : Toks(std::move(T)), Ctx(C), Diags(D) {
+  Scopes.emplace_back(); // File scope.
+
+  // Builtins available to every program in the family.
+  auto AddBuiltin = [&](const char *Name, const Type *Ret,
+                        std::vector<const Type *> Params) {
+    FuncDecl *F = Ctx.funcDecl();
+    F->Name = Name;
+    F->FnTy = Ctx.Types.functionType(Ret, Params);
+    F->IsBuiltin = true;
+    for (const Type *PT : Params) {
+      VarDecl *P = Ctx.varDecl();
+      P->Name = "__arg" + std::to_string(F->Params.size());
+      P->Ty = PT;
+      P->Storage = StorageKind::Param;
+      P->Owner = F;
+      F->Params.push_back(P);
+    }
+    Functions[Name] = F;
+  };
+  const Type *VoidTy = Ctx.Types.voidType();
+  const Type *IntTy = Ctx.Types.intTy();
+  // Clock tick at the end of the synchronous loop body (Sect. 4).
+  AddBuiltin("__astral_wait", VoidTy, {});
+  // Hypothesis injection: __astral_assume(c) restricts to states where c
+  // holds (used for environment specifications).
+  AddBuiltin("__astral_assume", VoidTy, {IntTy});
+  // Checked assertion: raises an alarm when c may be false.
+  AddBuiltin("__astral_assert", VoidTy, {IntTy});
+}
+
+//===----------------------------------------------------------------------===//
+// Token helpers
+//===----------------------------------------------------------------------===//
+
+const Token &Parser::peek(unsigned Ahead) const {
+  size_t P = Pos + Ahead;
+  if (P >= Toks.size())
+    P = Toks.size() - 1; // Trailing Eof.
+  return Toks[P];
+}
+
+Token Parser::consume() {
+  Token T = cur();
+  if (Pos + 1 < Toks.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::tryConsume(TokKind K) {
+  if (cur().isNot(K))
+    return false;
+  consume();
+  return true;
+}
+
+bool Parser::expect(TokKind K, const char *Context) {
+  if (tryConsume(K))
+    return true;
+  error(std::string("expected ") + tokKindName(K) + " " + Context + ", got " +
+        tokKindName(cur().Kind));
+  return false;
+}
+
+void Parser::error(const std::string &Msg) { Diags.error(cur().Loc, Msg); }
+
+/// Skips to the next ';' or '}' to resynchronize after an error.
+void Parser::skipToSync() {
+  int Depth = 0;
+  while (cur().isNot(TokKind::Eof)) {
+    if (cur().is(TokKind::LBrace))
+      ++Depth;
+    if (cur().is(TokKind::RBrace)) {
+      if (Depth == 0) {
+        consume();
+        return;
+      }
+      --Depth;
+    }
+    if (cur().is(TokKind::Semi) && Depth == 0) {
+      consume();
+      return;
+    }
+    consume();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Scopes
+//===----------------------------------------------------------------------===//
+
+void Parser::pushScope() { Scopes.emplace_back(); }
+void Parser::popScope() { Scopes.pop_back(); }
+
+void Parser::declare(const std::string &Name, Symbol Sym) {
+  Scopes.back()[Name] = Sym;
+}
+
+const Parser::Symbol *Parser::lookup(const std::string &Name) const {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto Found = It->find(Name);
+    if (Found != It->end())
+      return &Found->second;
+  }
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+static bool isTypeKeyword(TokKind K) {
+  switch (K) {
+  case TokKind::KwVoid: case TokKind::KwChar: case TokKind::KwShort:
+  case TokKind::KwInt: case TokKind::KwLong: case TokKind::KwFloat:
+  case TokKind::KwDouble: case TokKind::KwSigned: case TokKind::KwUnsigned:
+  case TokKind::KwBool: case TokKind::KwStruct: case TokKind::KwEnum:
+  case TokKind::KwConst: case TokKind::KwVolatile:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool Parser::isDeclarationStart() const {
+  TokKind K = cur().Kind;
+  if (isTypeKeyword(K) || K == TokKind::KwTypedef || K == TokKind::KwStatic ||
+      K == TokKind::KwExtern || K == TokKind::KwRegister ||
+      K == TokKind::KwUnion)
+    return true;
+  if (K == TokKind::Identifier) {
+    const Symbol *S = lookup(cur().Text);
+    return S && S->Kind == Symbol::SymKind::Typedef;
+  }
+  return false;
+}
+
+Parser::DeclSpec Parser::parseDeclSpecifiers() {
+  DeclSpec DS;
+  bool SawUnsigned = false, SawSigned = false;
+  int LongCount = 0;
+  bool SawShort = false;
+  const Type *Base = nullptr;
+
+  for (;;) {
+    switch (cur().Kind) {
+    case TokKind::KwTypedef: DS.IsTypedef = true; consume(); continue;
+    case TokKind::KwStatic: DS.IsStatic = true; consume(); continue;
+    case TokKind::KwExtern: DS.IsExtern = true; consume(); continue;
+    case TokKind::KwRegister: consume(); continue; // Accepted, ignored.
+    case TokKind::KwConst: DS.IsConst = true; consume(); continue;
+    case TokKind::KwVolatile: DS.IsVolatile = true; consume(); continue;
+    case TokKind::KwVoid: Base = Ctx.Types.voidType(); consume(); continue;
+    case TokKind::KwBool: Base = Ctx.Types.boolType(); consume(); continue;
+    case TokKind::KwChar: Base = Ctx.Types.intType(8, true); consume();
+      continue;
+    case TokKind::KwShort: SawShort = true; consume(); continue;
+    case TokKind::KwInt:
+      if (!Base)
+        Base = Ctx.Types.intTy();
+      consume();
+      continue;
+    case TokKind::KwLong: ++LongCount; consume(); continue;
+    case TokKind::KwFloat: Base = Ctx.Types.floatType(); consume(); continue;
+    case TokKind::KwDouble: Base = Ctx.Types.doubleType(); consume();
+      continue;
+    case TokKind::KwSigned: SawSigned = true; consume(); continue;
+    case TokKind::KwUnsigned: SawUnsigned = true; consume(); continue;
+    case TokKind::KwStruct: Base = parseStructSpecifier(); continue;
+    case TokKind::KwEnum: Base = parseEnumSpecifier(); continue;
+    case TokKind::KwUnion:
+      error("unions are not supported by the considered C subset");
+      consume();
+      continue;
+    case TokKind::Identifier: {
+      if (!Base && !SawShort && !LongCount && !SawSigned && !SawUnsigned) {
+        const Symbol *S = lookup(cur().Text);
+        if (S && S->Kind == Symbol::SymKind::Typedef) {
+          Base = S->TypedefTy;
+          consume();
+          continue;
+        }
+      }
+      break;
+    }
+    default:
+      break;
+    }
+    break;
+  }
+
+  // Resolve integer modifiers.
+  if (SawShort)
+    Base = Ctx.Types.intType(16, !SawUnsigned);
+  else if (LongCount > 0) {
+    if (Base && Base->isFloat() && Base->IsDouble) {
+      // long double: treated as double (target environment decision).
+    } else {
+      Base = Ctx.Types.intType(64, !SawUnsigned);
+    }
+  } else if (SawUnsigned || SawSigned) {
+    unsigned Width = 32;
+    if (Base && Base->isInt())
+      Width = Base->IntWidth;
+    Base = Ctx.Types.intType(Width, !SawUnsigned);
+  }
+
+  DS.Ty = Base;
+  return DS;
+}
+
+const Type *Parser::parseStructSpecifier() {
+  consume(); // struct
+  std::string Name;
+  if (cur().is(TokKind::Identifier))
+    Name = consume().Text;
+  else
+    Name = "__anon" + std::to_string(Pos);
+  Type *ST = Ctx.Types.structType(Name);
+  if (!tryConsume(TokKind::LBrace))
+    return ST;
+  if (ST->StructComplete)
+    error("redefinition of struct " + Name);
+  while (cur().isNot(TokKind::RBrace) && cur().isNot(TokKind::Eof)) {
+    DeclSpec FieldDS = parseDeclSpecifiers();
+    if (!FieldDS.Ty) {
+      error("expected type in struct field");
+      skipToSync();
+      break;
+    }
+    for (;;) {
+      auto [FieldTy, FieldName] = parseDeclarator(FieldDS.Ty);
+      ST->Fields.push_back(StructField{FieldName, FieldTy});
+      if (!tryConsume(TokKind::Comma))
+        break;
+    }
+    expect(TokKind::Semi, "after struct field");
+  }
+  expect(TokKind::RBrace, "to close struct");
+  ST->StructComplete = true;
+  return ST;
+}
+
+const Type *Parser::parseEnumSpecifier() {
+  consume(); // enum
+  if (cur().is(TokKind::Identifier))
+    consume(); // Tag name: enums are just ints, the tag is not tracked.
+  if (tryConsume(TokKind::LBrace)) {
+    int64_t NextValue = 0;
+    while (cur().isNot(TokKind::RBrace) && cur().isNot(TokKind::Eof)) {
+      if (cur().isNot(TokKind::Identifier)) {
+        error("expected enumerator name");
+        skipToSync();
+        break;
+      }
+      std::string EName = consume().Text;
+      if (tryConsume(TokKind::Assign)) {
+        Expr *V = parseConditional();
+        NextValue = evalArraySize(V); // Constant-evaluates the expression.
+      }
+      Symbol Sym;
+      Sym.Kind = Symbol::SymKind::EnumConst;
+      Sym.EnumValue = NextValue;
+      declare(EName, Sym);
+      ++NextValue;
+      if (!tryConsume(TokKind::Comma))
+        break;
+    }
+    expect(TokKind::RBrace, "to close enum");
+  }
+  return Ctx.Types.intTy();
+}
+
+std::pair<const Type *, std::string>
+Parser::parseDeclarator(const Type *Base) {
+  const Type *Ty = Base;
+  while (tryConsume(TokKind::Star))
+    Ty = Ctx.Types.pointerType(Ty);
+  while (cur().is(TokKind::KwConst) || cur().is(TokKind::KwVolatile))
+    consume(); // Qualifiers on the pointee are accepted and ignored.
+
+  std::string Name;
+  if (cur().is(TokKind::Identifier))
+    Name = consume().Text;
+  else if (cur().isNot(TokKind::LBracket) && cur().isNot(TokKind::RParen) &&
+           cur().isNot(TokKind::Comma))
+    error("expected declarator name");
+
+  // Array suffixes: a[N][M] declares array-of-array.
+  std::vector<uint64_t> Dims;
+  while (tryConsume(TokKind::LBracket)) {
+    if (cur().is(TokKind::RBracket)) {
+      error("arrays must have a compile-time size in the considered subset");
+      Dims.push_back(1);
+    } else {
+      Expr *SizeE = parseConditional();
+      Dims.push_back(evalArraySize(SizeE));
+    }
+    expect(TokKind::RBracket, "to close array size");
+  }
+  for (auto It = Dims.rbegin(); It != Dims.rend(); ++It)
+    Ty = Ctx.Types.arrayType(Ty, *It);
+  return {Ty, Name};
+}
+
+uint64_t Parser::evalArraySize(Expr *E) {
+  // Minimal constant folding over the AST for array sizes and enum values;
+  // full folding happens in ir/ConstFold after Sema.
+  if (!E)
+    return 1;
+  switch (E->Kind) {
+  case ExprKind::IntLit:
+    return static_cast<uint64_t>(E->IntValue);
+  case ExprKind::DeclRef:
+    if (E->IsEnumConstant)
+      return static_cast<uint64_t>(E->EnumValue);
+    break;
+  case ExprKind::Unary:
+    if (E->UOp == UnaryOp::Neg)
+      return static_cast<uint64_t>(-static_cast<int64_t>(
+          evalArraySize(E->Lhs)));
+    break;
+  case ExprKind::Binary: {
+    int64_t L = static_cast<int64_t>(evalArraySize(E->Lhs));
+    int64_t R = static_cast<int64_t>(evalArraySize(E->Rhs));
+    switch (E->BOp) {
+    case BinaryOp::Add: return static_cast<uint64_t>(L + R);
+    case BinaryOp::Sub: return static_cast<uint64_t>(L - R);
+    case BinaryOp::Mul: return static_cast<uint64_t>(L * R);
+    case BinaryOp::Div: return R ? static_cast<uint64_t>(L / R) : 1;
+    case BinaryOp::Shl: return static_cast<uint64_t>(L << (R & 63));
+    default: break;
+    }
+    break;
+  }
+  default:
+    break;
+  }
+  Diags.error(E->Loc, "expected integer constant expression");
+  return 1;
+}
+
+int64_t Parser::sizeOfType(const Type *T) {
+  switch (T->Kind) {
+  case TypeKind::Void: return 1;
+  case TypeKind::Int: return T->IntWidth / 8;
+  case TypeKind::Float: return T->IsDouble ? 8 : 4;
+  case TypeKind::Array: return sizeOfType(T->Elem) *
+                               static_cast<int64_t>(T->ArraySize);
+  case TypeKind::Pointer: return 4; // 32-bit target (Sect. 5.3 environment).
+  case TypeKind::Struct: {
+    int64_t Sum = 0;
+    for (const StructField &F : T->Fields)
+      Sum += sizeOfType(F.FieldType);
+    return Sum;
+  }
+  case TypeKind::Function: return 4;
+  }
+  return 4;
+}
+
+VarDecl *Parser::finishVarDecl(const DeclSpec &DS, const Type *Ty,
+                               const std::string &Name, SourceLocation Loc,
+                               bool IsLocal) {
+  VarDecl *V = Ctx.varDecl();
+  V->Name = Name;
+  V->Ty = Ty;
+  V->Loc = Loc;
+  V->IsConst = DS.IsConst;
+  V->IsVolatile = DS.IsVolatile;
+  V->Owner = CurFunction;
+  if (IsLocal)
+    V->Storage = DS.IsStatic ? StorageKind::StaticLocal : StorageKind::Local;
+  else
+    V->Storage = DS.IsStatic ? StorageKind::StaticGlobal : StorageKind::Global;
+
+  if (tryConsume(TokKind::Assign)) {
+    bool IsList = false;
+    Expr *Single = parseInitializer(V->InitList, IsList);
+    if (IsList)
+      V->HasInitList = true;
+    else
+      V->Init = Single;
+  }
+
+  Symbol Sym;
+  Sym.Kind = Symbol::SymKind::Var;
+  Sym.Var = V;
+  declare(Name, Sym);
+  if (!IsLocal)
+    Ctx.TU.Globals.push_back(V);
+  return V;
+}
+
+Expr *Parser::parseInitializer(std::vector<Expr *> &ListOut, bool &IsList) {
+  if (cur().is(TokKind::LBrace)) {
+    IsList = true;
+    parseInitializerList(ListOut);
+    return nullptr;
+  }
+  IsList = false;
+  return parseAssignment();
+}
+
+void Parser::parseInitializerList(std::vector<Expr *> &Out) {
+  expect(TokKind::LBrace, "to open initializer list");
+  while (cur().isNot(TokKind::RBrace) && cur().isNot(TokKind::Eof)) {
+    if (cur().is(TokKind::LBrace)) {
+      parseInitializerList(Out); // Nested dimensions are flattened.
+    } else {
+      Out.push_back(parseAssignment());
+    }
+    if (!tryConsume(TokKind::Comma))
+      break;
+  }
+  expect(TokKind::RBrace, "to close initializer list");
+}
+
+void Parser::parseFunctionDefinition(const DeclSpec &DS, const Type *RetTy,
+                                     const std::string &Name,
+                                     SourceLocation Loc) {
+  FuncDecl *F;
+  auto Existing = Functions.find(Name);
+  if (Existing != Functions.end()) {
+    F = Existing->second;
+  } else {
+    F = Ctx.funcDecl();
+    F->Name = Name;
+    F->Loc = Loc;
+    Functions[Name] = F;
+  }
+
+  pushScope();
+  CurFunction = F;
+  std::vector<const Type *> ParamTypes;
+  std::vector<VarDecl *> Params;
+  if (cur().isNot(TokKind::RParen)) {
+    if (cur().is(TokKind::KwVoid) && peek(1).is(TokKind::RParen)) {
+      consume();
+    } else {
+      for (;;) {
+        DeclSpec PDS = parseDeclSpecifiers();
+        if (!PDS.Ty) {
+          error("expected parameter type");
+          break;
+        }
+        auto [PTy, PName] = parseDeclarator(PDS.Ty);
+        // Array parameters decay to pointers (call-by-reference).
+        if (PTy->isArray())
+          PTy = Ctx.Types.pointerType(PTy->Elem);
+        VarDecl *P = Ctx.varDecl();
+        P->Name = PName;
+        P->Ty = PTy;
+        P->Loc = Loc;
+        P->Storage = StorageKind::Param;
+        P->IsConst = PDS.IsConst;
+        P->Owner = F;
+        Params.push_back(P);
+        ParamTypes.push_back(PTy);
+        if (!PName.empty()) {
+          Symbol Sym;
+          Sym.Kind = Symbol::SymKind::Var;
+          Sym.Var = P;
+          declare(PName, Sym);
+        }
+        if (!tryConsume(TokKind::Comma))
+          break;
+      }
+    }
+  }
+  expect(TokKind::RParen, "to close parameter list");
+
+  F->FnTy = Ctx.Types.functionType(RetTy, ParamTypes);
+  F->Params = std::move(Params);
+
+  if (tryConsume(TokKind::Semi)) {
+    // Prototype only.
+    popScope();
+    CurFunction = nullptr;
+    if (Existing == Functions.end())
+      Ctx.TU.Functions.push_back(F);
+    return;
+  }
+
+  if (F->BodyStmt)
+    Diags.error(Loc, "redefinition of function '" + Name + "'");
+  F->BodyStmt = parseCompound();
+  popScope();
+  CurFunction = nullptr;
+  if (Existing == Functions.end() ||
+      std::find(Ctx.TU.Functions.begin(), Ctx.TU.Functions.end(), F) ==
+          Ctx.TU.Functions.end())
+    Ctx.TU.Functions.push_back(F);
+}
+
+bool Parser::parseTopLevel() {
+  if (cur().is(TokKind::Eof))
+    return false;
+  if (tryConsume(TokKind::Semi))
+    return true;
+
+  DeclSpec DS = parseDeclSpecifiers();
+  if (!DS.Ty) {
+    error("expected declaration");
+    skipToSync();
+    return true;
+  }
+
+  // Bare "struct S { ... };" or "enum {...};".
+  if (tryConsume(TokKind::Semi))
+    return true;
+
+  for (;;) {
+    SourceLocation Loc = cur().Loc;
+    auto [Ty, Name] = parseDeclarator(DS.Ty);
+    if (Name.empty()) {
+      error("expected declarator name at file scope");
+      skipToSync();
+      return true;
+    }
+
+    if (DS.IsTypedef) {
+      Symbol Sym;
+      Sym.Kind = Symbol::SymKind::Typedef;
+      Sym.TypedefTy = Ty;
+      declare(Name, Sym);
+    } else if (cur().is(TokKind::LParen)) {
+      consume();
+      parseFunctionDefinition(DS, Ty, Name, Loc);
+      return true; // Function definitions end the declaration group.
+    } else {
+      finishVarDecl(DS, Ty, Name, Loc, /*IsLocal=*/false);
+    }
+
+    if (tryConsume(TokKind::Comma))
+      continue;
+    expect(TokKind::Semi, "after declaration");
+    return true;
+  }
+}
+
+bool Parser::parseTranslationUnit() {
+  while (parseTopLevel()) {
+  }
+  // Register builtins so Sema / Lowering can find them.
+  for (auto &[Name, F] : Functions)
+    if (F->IsBuiltin)
+      Ctx.TU.Functions.push_back(F);
+  return !Diags.hasErrors();
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+Stmt *Parser::parseCompound() {
+  SourceLocation Loc = cur().Loc;
+  expect(TokKind::LBrace, "to open block");
+  pushScope();
+  Stmt *S = Ctx.stmt(StmtKind::Compound, Loc);
+  while (cur().isNot(TokKind::RBrace) && cur().isNot(TokKind::Eof)) {
+    Stmt *Child = parseStmt();
+    if (Child)
+      S->Body.push_back(Child);
+  }
+  expect(TokKind::RBrace, "to close block");
+  popScope();
+  return S;
+}
+
+Stmt *Parser::parseLocalDeclaration() {
+  SourceLocation Loc = cur().Loc;
+  DeclSpec DS = parseDeclSpecifiers();
+  if (!DS.Ty) {
+    error("expected type in declaration");
+    skipToSync();
+    return nullptr;
+  }
+  if (tryConsume(TokKind::Semi))
+    return Ctx.stmt(StmtKind::Empty, Loc); // struct/enum declaration only
+
+  Stmt *Group = Ctx.stmt(StmtKind::Compound, Loc);
+  for (;;) {
+    SourceLocation DLoc = cur().Loc;
+    auto [Ty, Name] = parseDeclarator(DS.Ty);
+    if (DS.IsTypedef) {
+      Symbol Sym;
+      Sym.Kind = Symbol::SymKind::Typedef;
+      Sym.TypedefTy = Ty;
+      declare(Name, Sym);
+    } else {
+      VarDecl *V = finishVarDecl(DS, Ty, Name, DLoc, /*IsLocal=*/true);
+      Stmt *DS2 = Ctx.stmt(StmtKind::Decl, DLoc);
+      DS2->DeclVar = V;
+      Group->Body.push_back(DS2);
+    }
+    if (tryConsume(TokKind::Comma))
+      continue;
+    expect(TokKind::Semi, "after declaration");
+    break;
+  }
+  if (Group->Body.size() == 1)
+    return Group->Body[0];
+  return Group;
+}
+
+Stmt *Parser::parseStmt() {
+  SourceLocation Loc = cur().Loc;
+  switch (cur().Kind) {
+  case TokKind::LBrace:
+    return parseCompound();
+  case TokKind::Semi:
+    consume();
+    return Ctx.stmt(StmtKind::Empty, Loc);
+  case TokKind::KwIf: {
+    consume();
+    expect(TokKind::LParen, "after 'if'");
+    Stmt *S = Ctx.stmt(StmtKind::If, Loc);
+    S->E = parseExpr();
+    expect(TokKind::RParen, "after if condition");
+    S->Then = parseStmt();
+    if (tryConsume(TokKind::KwElse))
+      S->Else = parseStmt();
+    return S;
+  }
+  case TokKind::KwWhile: {
+    consume();
+    expect(TokKind::LParen, "after 'while'");
+    Stmt *S = Ctx.stmt(StmtKind::While, Loc);
+    S->E = parseExpr();
+    expect(TokKind::RParen, "after while condition");
+    S->Then = parseStmt();
+    return S;
+  }
+  case TokKind::KwDo: {
+    consume();
+    Stmt *S = Ctx.stmt(StmtKind::DoWhile, Loc);
+    S->Then = parseStmt();
+    expect(TokKind::KwWhile, "after do body");
+    expect(TokKind::LParen, "after 'while'");
+    S->E = parseExpr();
+    expect(TokKind::RParen, "after do-while condition");
+    expect(TokKind::Semi, "after do-while");
+    return S;
+  }
+  case TokKind::KwFor: {
+    consume();
+    expect(TokKind::LParen, "after 'for'");
+    pushScope();
+    Stmt *S = Ctx.stmt(StmtKind::For, Loc);
+    if (cur().isNot(TokKind::Semi)) {
+      if (isDeclarationStart()) {
+        S->ForInit = parseLocalDeclaration();
+      } else {
+        Stmt *InitS = Ctx.stmt(StmtKind::Expr, cur().Loc);
+        InitS->E = parseExpr();
+        S->ForInit = InitS;
+        expect(TokKind::Semi, "after for-init");
+      }
+    } else {
+      consume();
+    }
+    if (cur().isNot(TokKind::Semi))
+      S->E = parseExpr();
+    expect(TokKind::Semi, "after for-condition");
+    if (cur().isNot(TokKind::RParen))
+      S->ForStep = parseExpr();
+    expect(TokKind::RParen, "to close for header");
+    S->Then = parseStmt();
+    popScope();
+    return S;
+  }
+  case TokKind::KwReturn: {
+    consume();
+    Stmt *S = Ctx.stmt(StmtKind::Return, Loc);
+    if (cur().isNot(TokKind::Semi))
+      S->E = parseExpr();
+    expect(TokKind::Semi, "after return");
+    return S;
+  }
+  case TokKind::KwBreak:
+    consume();
+    expect(TokKind::Semi, "after break");
+    return Ctx.stmt(StmtKind::Break, Loc);
+  case TokKind::KwContinue:
+    consume();
+    expect(TokKind::Semi, "after continue");
+    return Ctx.stmt(StmtKind::Continue, Loc);
+  case TokKind::KwSwitch:
+    error("switch is not supported by the considered C subset");
+    skipToSync();
+    return nullptr;
+  case TokKind::KwGoto:
+    error("goto is not supported by the considered C subset");
+    skipToSync();
+    return nullptr;
+  default:
+    break;
+  }
+
+  if (isDeclarationStart())
+    return parseLocalDeclaration();
+
+  Stmt *S = Ctx.stmt(StmtKind::Expr, Loc);
+  S->E = parseExpr();
+  expect(TokKind::Semi, "after expression");
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+static int binaryPrecedence(TokKind K) {
+  switch (K) {
+  case TokKind::PipePipe: return 1;
+  case TokKind::AmpAmp: return 2;
+  case TokKind::Pipe: return 3;
+  case TokKind::Caret: return 4;
+  case TokKind::Amp: return 5;
+  case TokKind::EqEq: case TokKind::BangEq: return 6;
+  case TokKind::Lt: case TokKind::Le: case TokKind::Gt: case TokKind::Ge:
+    return 7;
+  case TokKind::Shl: case TokKind::Shr: return 8;
+  case TokKind::Plus: case TokKind::Minus: return 9;
+  case TokKind::Star: case TokKind::Slash: case TokKind::Percent: return 10;
+  default: return -1;
+  }
+}
+
+static BinaryOp binaryOpFor(TokKind K) {
+  switch (K) {
+  case TokKind::PipePipe: return BinaryOp::LogicalOr;
+  case TokKind::AmpAmp: return BinaryOp::LogicalAnd;
+  case TokKind::Pipe: return BinaryOp::BitOr;
+  case TokKind::Caret: return BinaryOp::BitXor;
+  case TokKind::Amp: return BinaryOp::BitAnd;
+  case TokKind::EqEq: return BinaryOp::Eq;
+  case TokKind::BangEq: return BinaryOp::Ne;
+  case TokKind::Lt: return BinaryOp::Lt;
+  case TokKind::Le: return BinaryOp::Le;
+  case TokKind::Gt: return BinaryOp::Gt;
+  case TokKind::Ge: return BinaryOp::Ge;
+  case TokKind::Shl: return BinaryOp::Shl;
+  case TokKind::Shr: return BinaryOp::Shr;
+  case TokKind::Plus: return BinaryOp::Add;
+  case TokKind::Minus: return BinaryOp::Sub;
+  case TokKind::Star: return BinaryOp::Mul;
+  case TokKind::Slash: return BinaryOp::Div;
+  case TokKind::Percent: return BinaryOp::Rem;
+  default: return BinaryOp::Add;
+  }
+}
+
+Expr *Parser::parseExpr() {
+  Expr *E = parseAssignment();
+  while (cur().is(TokKind::Comma)) {
+    SourceLocation Loc = consume().Loc;
+    Expr *RHS = parseAssignment();
+    Expr *C = Ctx.expr(ExprKind::Binary, Loc);
+    C->BOp = BinaryOp::Comma;
+    C->Lhs = E;
+    C->Rhs = RHS;
+    E = C;
+  }
+  return E;
+}
+
+Expr *Parser::parseAssignment() {
+  Expr *LHS = parseConditional();
+  TokKind K = cur().Kind;
+  bool IsAssign = true;
+  BinaryOp Op = BinaryOp::Add;
+  switch (K) {
+  case TokKind::Assign: break;
+  case TokKind::PlusAssign: Op = BinaryOp::Add; break;
+  case TokKind::MinusAssign: Op = BinaryOp::Sub; break;
+  case TokKind::StarAssign: Op = BinaryOp::Mul; break;
+  case TokKind::SlashAssign: Op = BinaryOp::Div; break;
+  case TokKind::PercentAssign: Op = BinaryOp::Rem; break;
+  case TokKind::AmpAssign: Op = BinaryOp::BitAnd; break;
+  case TokKind::PipeAssign: Op = BinaryOp::BitOr; break;
+  case TokKind::CaretAssign: Op = BinaryOp::BitXor; break;
+  case TokKind::ShlAssign: Op = BinaryOp::Shl; break;
+  case TokKind::ShrAssign: Op = BinaryOp::Shr; break;
+  default: IsAssign = false; break;
+  }
+  if (!IsAssign)
+    return LHS;
+  SourceLocation Loc = consume().Loc;
+  Expr *RHS = parseAssignment();
+  Expr *A = Ctx.expr(ExprKind::Assign, Loc);
+  A->IsPlainAssign = (K == TokKind::Assign);
+  A->BOp = Op;
+  A->Lhs = LHS;
+  A->Rhs = RHS;
+  return A;
+}
+
+Expr *Parser::parseConditional() {
+  Expr *Cond = parseBinary(1);
+  if (cur().isNot(TokKind::Question))
+    return Cond;
+  SourceLocation Loc = consume().Loc;
+  Expr *TrueE = parseExpr();
+  expect(TokKind::Colon, "in conditional expression");
+  Expr *FalseE = parseConditional();
+  Expr *C = Ctx.expr(ExprKind::Conditional, Loc);
+  C->Lhs = Cond;
+  C->Rhs = TrueE;
+  C->Third = FalseE;
+  return C;
+}
+
+Expr *Parser::parseBinary(int MinPrec) {
+  Expr *LHS = parseCast();
+  for (;;) {
+    int Prec = binaryPrecedence(cur().Kind);
+    if (Prec < MinPrec)
+      return LHS;
+    Token Op = consume();
+    Expr *RHS = parseBinary(Prec + 1);
+    Expr *B = Ctx.expr(ExprKind::Binary, Op.Loc);
+    B->BOp = binaryOpFor(Op.Kind);
+    B->Lhs = LHS;
+    B->Rhs = RHS;
+    LHS = B;
+  }
+}
+
+bool Parser::startsTypeName(unsigned Ahead) const {
+  const Token &T = peek(Ahead);
+  if (isTypeKeyword(T.Kind))
+    return true;
+  if (T.is(TokKind::Identifier)) {
+    const Symbol *S = lookup(T.Text);
+    return S && S->Kind == Symbol::SymKind::Typedef;
+  }
+  return false;
+}
+
+const Type *Parser::parseTypeName() {
+  DeclSpec DS = parseDeclSpecifiers();
+  const Type *Ty = DS.Ty ? DS.Ty : Ctx.Types.intTy();
+  while (tryConsume(TokKind::Star))
+    Ty = Ctx.Types.pointerType(Ty);
+  // Abstract array declarators: sizeof(float[4]).
+  std::vector<uint64_t> Dims;
+  while (tryConsume(TokKind::LBracket)) {
+    Expr *SizeE = parseConditional();
+    Dims.push_back(evalArraySize(SizeE));
+    expect(TokKind::RBracket, "to close array size");
+  }
+  for (auto It = Dims.rbegin(); It != Dims.rend(); ++It)
+    Ty = Ctx.Types.arrayType(Ty, *It);
+  return Ty;
+}
+
+Expr *Parser::parseCast() {
+  if (cur().is(TokKind::LParen) && startsTypeName(1)) {
+    SourceLocation Loc = consume().Loc; // '('
+    const Type *Ty = parseTypeName();
+    expect(TokKind::RParen, "after cast type");
+    Expr *Operand = parseCast();
+    Expr *C = Ctx.expr(ExprKind::Cast, Loc);
+    C->Ty = Ty;
+    C->Lhs = Operand;
+    return C;
+  }
+  return parseUnary();
+}
+
+Expr *Parser::parseUnary() {
+  SourceLocation Loc = cur().Loc;
+  switch (cur().Kind) {
+  case TokKind::Plus: {
+    consume();
+    Expr *E = Ctx.expr(ExprKind::Unary, Loc);
+    E->UOp = UnaryOp::Plus;
+    E->Lhs = parseCast();
+    return E;
+  }
+  case TokKind::Minus: {
+    consume();
+    Expr *E = Ctx.expr(ExprKind::Unary, Loc);
+    E->UOp = UnaryOp::Neg;
+    E->Lhs = parseCast();
+    return E;
+  }
+  case TokKind::Bang: {
+    consume();
+    Expr *E = Ctx.expr(ExprKind::Unary, Loc);
+    E->UOp = UnaryOp::LogicalNot;
+    E->Lhs = parseCast();
+    return E;
+  }
+  case TokKind::Tilde: {
+    consume();
+    Expr *E = Ctx.expr(ExprKind::Unary, Loc);
+    E->UOp = UnaryOp::BitNot;
+    E->Lhs = parseCast();
+    return E;
+  }
+  case TokKind::Star: {
+    consume();
+    Expr *E = Ctx.expr(ExprKind::Unary, Loc);
+    E->UOp = UnaryOp::Deref;
+    E->Lhs = parseCast();
+    return E;
+  }
+  case TokKind::Amp: {
+    consume();
+    Expr *E = Ctx.expr(ExprKind::Unary, Loc);
+    E->UOp = UnaryOp::AddrOf;
+    E->Lhs = parseCast();
+    return E;
+  }
+  case TokKind::PlusPlus: {
+    consume();
+    Expr *E = Ctx.expr(ExprKind::Unary, Loc);
+    E->UOp = UnaryOp::PreInc;
+    E->Lhs = parseUnary();
+    return E;
+  }
+  case TokKind::MinusMinus: {
+    consume();
+    Expr *E = Ctx.expr(ExprKind::Unary, Loc);
+    E->UOp = UnaryOp::PreDec;
+    E->Lhs = parseUnary();
+    return E;
+  }
+  case TokKind::KwSizeof: {
+    consume();
+    int64_t Size = 4;
+    if (cur().is(TokKind::LParen) && startsTypeName(1)) {
+      consume();
+      const Type *Ty = parseTypeName();
+      expect(TokKind::RParen, "after sizeof type");
+      Size = sizeOfType(Ty);
+    } else {
+      Expr *Operand = parseUnary();
+      Size = Operand->Ty ? sizeOfType(Operand->Ty) : 4;
+    }
+    Expr *E = Ctx.expr(ExprKind::IntLit, Loc);
+    E->IntValue = Size;
+    return E;
+  }
+  default:
+    return parsePostfix();
+  }
+}
+
+std::vector<Expr *> Parser::parseCallArgs() {
+  std::vector<Expr *> Args;
+  if (cur().isNot(TokKind::RParen)) {
+    for (;;) {
+      Args.push_back(parseAssignment());
+      if (!tryConsume(TokKind::Comma))
+        break;
+    }
+  }
+  expect(TokKind::RParen, "to close call arguments");
+  return Args;
+}
+
+Expr *Parser::parsePostfix() {
+  Expr *E = parsePrimary();
+  for (;;) {
+    SourceLocation Loc = cur().Loc;
+    if (tryConsume(TokKind::LBracket)) {
+      Expr *Index = parseExpr();
+      expect(TokKind::RBracket, "to close subscript");
+      Expr *S = Ctx.expr(ExprKind::ArraySubscript, Loc);
+      S->Lhs = E;
+      S->Rhs = Index;
+      E = S;
+      continue;
+    }
+    if (tryConsume(TokKind::Dot)) {
+      Expr *M = Ctx.expr(ExprKind::Member, Loc);
+      M->Lhs = E;
+      M->Name = cur().Text;
+      expect(TokKind::Identifier, "after '.'");
+      E = M;
+      continue;
+    }
+    if (tryConsume(TokKind::Arrow)) {
+      Expr *M = Ctx.expr(ExprKind::Member, Loc);
+      M->Lhs = E;
+      M->IsArrow = true;
+      M->Name = cur().Text;
+      expect(TokKind::Identifier, "after '->'");
+      E = M;
+      continue;
+    }
+    if (cur().is(TokKind::PlusPlus) || cur().is(TokKind::MinusMinus)) {
+      bool IsInc = consume().is(TokKind::PlusPlus);
+      Expr *U = Ctx.expr(ExprKind::Unary, Loc);
+      U->UOp = IsInc ? UnaryOp::PostInc : UnaryOp::PostDec;
+      U->Lhs = E;
+      E = U;
+      continue;
+    }
+    return E;
+  }
+}
+
+Expr *Parser::parsePrimary() {
+  SourceLocation Loc = cur().Loc;
+  switch (cur().Kind) {
+  case TokKind::IntLiteral: {
+    Token T = consume();
+    Expr *E = Ctx.expr(ExprKind::IntLit, Loc);
+    E->IntValue = static_cast<int64_t>(T.IntValue);
+    E->Ty = T.IsUnsigned ? Ctx.Types.intType(32, false) : Ctx.Types.intTy();
+    return E;
+  }
+  case TokKind::CharLiteral: {
+    Token T = consume();
+    Expr *E = Ctx.expr(ExprKind::IntLit, Loc);
+    E->IntValue = static_cast<int64_t>(T.IntValue);
+    E->Ty = Ctx.Types.intTy();
+    return E;
+  }
+  case TokKind::FloatLiteral: {
+    Token T = consume();
+    Expr *E = Ctx.expr(ExprKind::FloatLit, Loc);
+    E->FloatValue = T.FloatValue;
+    E->Ty = T.IsFloat32 ? Ctx.Types.floatType() : Ctx.Types.doubleType();
+    return E;
+  }
+  case TokKind::Identifier: {
+    Token T = consume();
+    // Function call?
+    if (cur().is(TokKind::LParen)) {
+      auto FIt = Functions.find(T.Text);
+      if (FIt != Functions.end()) {
+        consume();
+        Expr *Call = Ctx.expr(ExprKind::Call, Loc);
+        Call->Callee = FIt->second;
+        Call->Name = T.Text;
+        Call->Args = parseCallArgs();
+        return Call;
+      }
+      Diags.error(Loc, "call to undeclared function '" + T.Text + "'");
+      consume();
+      parseCallArgs();
+      Expr *E = Ctx.expr(ExprKind::IntLit, Loc);
+      return E;
+    }
+    const Symbol *S = lookup(T.Text);
+    if (!S) {
+      Diags.error(Loc, "use of undeclared identifier '" + T.Text + "'");
+      Expr *E = Ctx.expr(ExprKind::IntLit, Loc);
+      return E;
+    }
+    if (S->Kind == Symbol::SymKind::EnumConst) {
+      Expr *E = Ctx.expr(ExprKind::DeclRef, Loc);
+      E->IsEnumConstant = true;
+      E->EnumValue = S->EnumValue;
+      E->Name = T.Text;
+      E->Ty = Ctx.Types.intTy();
+      return E;
+    }
+    if (S->Kind == Symbol::SymKind::Typedef) {
+      Diags.error(Loc, "unexpected type name '" + T.Text + "'");
+      Expr *E = Ctx.expr(ExprKind::IntLit, Loc);
+      return E;
+    }
+    Expr *E = Ctx.expr(ExprKind::DeclRef, Loc);
+    E->Var = S->Var;
+    E->Name = T.Text;
+    return E;
+  }
+  case TokKind::LParen: {
+    consume();
+    Expr *E = parseExpr();
+    expect(TokKind::RParen, "to close parenthesized expression");
+    return E;
+  }
+  case TokKind::StringLiteral:
+    error("string literals are not supported by the considered C subset");
+    consume();
+    return Ctx.expr(ExprKind::IntLit, Loc);
+  default:
+    error(std::string("expected expression, got ") + tokKindName(cur().Kind));
+    consume();
+    return Ctx.expr(ExprKind::IntLit, Loc);
+  }
+}

@@ -1,0 +1,122 @@
+//===- lang/Parser.h - C-subset parser ---------------------------*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the reduced C subset (C99-compatible on the
+/// constructs the considered family uses, Sect. 5.1). Unsupported constructs
+/// — goto, switch, unions, dynamic allocation, general pointer arithmetic —
+/// are rejected with an error, exactly as the paper's frontend does.
+///
+/// The parser resolves names (variables, enum constants, typedefs, function
+/// declarations) against lexical scopes while parsing; Sema then runs type
+/// checking and inserts implicit conversions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_LANG_PARSER_H
+#define ASTRAL_LANG_PARSER_H
+
+#include "lang/Ast.h"
+#include "lang/Token.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <vector>
+
+namespace astral {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Toks, AstContext &Ctx, DiagnosticsEngine &Diags);
+
+  /// Parses the whole token stream into Ctx.TU. Returns false if errors were
+  /// reported.
+  bool parseTranslationUnit();
+
+private:
+  struct Symbol {
+    enum class SymKind { Var, EnumConst, Typedef } Kind;
+    VarDecl *Var = nullptr;
+    int64_t EnumValue = 0;
+    const Type *TypedefTy = nullptr;
+  };
+
+  struct DeclSpec {
+    const Type *Ty = nullptr;
+    bool IsTypedef = false;
+    bool IsStatic = false;
+    bool IsExtern = false;
+    bool IsConst = false;
+    bool IsVolatile = false;
+  };
+
+  // Token stream.
+  const Token &peek(unsigned Ahead = 0) const;
+  const Token &cur() const { return peek(0); }
+  Token consume();
+  bool tryConsume(TokKind K);
+  bool expect(TokKind K, const char *Context);
+  void error(const std::string &Msg);
+  void skipToSync();
+
+  // Scopes.
+  void pushScope();
+  void popScope();
+  void declare(const std::string &Name, Symbol Sym);
+  const Symbol *lookup(const std::string &Name) const;
+
+  // Declarations.
+  bool isDeclarationStart() const;
+  bool parseTopLevel();
+  DeclSpec parseDeclSpecifiers();
+  /// Parses a declarator on top of \p Base: pointers, name, array suffixes.
+  /// Returns the declared type and name.
+  std::pair<const Type *, std::string> parseDeclarator(const Type *Base);
+  const Type *parseStructSpecifier();
+  const Type *parseEnumSpecifier();
+  void parseInitializerList(std::vector<Expr *> &Out);
+  Expr *parseInitializer(std::vector<Expr *> &ListOut, bool &IsList);
+  void parseFunctionDefinition(const DeclSpec &DS, const Type *RetTy,
+                               const std::string &Name, SourceLocation Loc);
+  VarDecl *finishVarDecl(const DeclSpec &DS, const Type *Ty,
+                         const std::string &Name, SourceLocation Loc,
+                         bool IsLocal);
+
+  // Statements.
+  Stmt *parseStmt();
+  Stmt *parseCompound();
+  Stmt *parseLocalDeclaration();
+
+  // Expressions.
+  Expr *parseExpr();           ///< Comma expression.
+  Expr *parseAssignment();
+  Expr *parseConditional();
+  Expr *parseBinary(int MinPrec);
+  Expr *parseCast();
+  Expr *parseUnary();
+  Expr *parsePostfix();
+  Expr *parsePrimary();
+  std::vector<Expr *> parseCallArgs();
+  /// True when the parenthesized tokens at the cursor start a type name.
+  bool startsTypeName(unsigned Ahead) const;
+  const Type *parseTypeName();
+
+  uint64_t evalArraySize(Expr *E);
+  int64_t sizeOfType(const Type *T);
+
+  std::vector<Token> Toks;
+  size_t Pos = 0;
+  AstContext &Ctx;
+  DiagnosticsEngine &Diags;
+  std::vector<std::map<std::string, Symbol>> Scopes;
+  std::map<std::string, FuncDecl *> Functions;
+  FuncDecl *CurFunction = nullptr;
+};
+
+} // namespace astral
+
+#endif // ASTRAL_LANG_PARSER_H

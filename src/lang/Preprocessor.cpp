@@ -1,0 +1,574 @@
+//===- lang/Preprocessor.cpp - Mini C preprocessor ------------------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Preprocessor.h"
+
+#include "lang/Lexer.h"
+
+#include <cassert>
+
+using namespace astral;
+
+namespace {
+
+/// Precedence-climbing evaluator for #if constant expressions.
+class CondParser {
+public:
+  CondParser(const std::vector<Token> &Toks, DiagnosticsEngine &Diags)
+      : Toks(Toks), Diags(Diags) {}
+
+  long long parse() {
+    long long V = parseExpr(0);
+    return V;
+  }
+
+private:
+  const Token &peek() const {
+    static const Token EofTok{};
+    return Pos < Toks.size() ? Toks[Pos] : EofTok;
+  }
+  Token next() {
+    Token T = peek();
+    if (Pos < Toks.size())
+      ++Pos;
+    return T;
+  }
+
+  static int precedence(TokKind K) {
+    switch (K) {
+    case TokKind::PipePipe: return 1;
+    case TokKind::AmpAmp: return 2;
+    case TokKind::Pipe: return 3;
+    case TokKind::Caret: return 4;
+    case TokKind::Amp: return 5;
+    case TokKind::EqEq:
+    case TokKind::BangEq: return 6;
+    case TokKind::Lt:
+    case TokKind::Le:
+    case TokKind::Gt:
+    case TokKind::Ge: return 7;
+    case TokKind::Shl:
+    case TokKind::Shr: return 8;
+    case TokKind::Plus:
+    case TokKind::Minus: return 9;
+    case TokKind::Star:
+    case TokKind::Slash:
+    case TokKind::Percent: return 10;
+    default: return -1;
+    }
+  }
+
+  long long parsePrimary() {
+    Token T = next();
+    switch (T.Kind) {
+    case TokKind::IntLiteral:
+    case TokKind::CharLiteral:
+      return static_cast<long long>(T.IntValue);
+    case TokKind::Identifier:
+      return 0; // Undefined identifiers evaluate to 0 in #if.
+    case TokKind::Bang:
+      return !parsePrimary();
+    case TokKind::Tilde:
+      return ~parsePrimary();
+    case TokKind::Minus:
+      return -parsePrimary();
+    case TokKind::Plus:
+      return parsePrimary();
+    case TokKind::LParen: {
+      long long V = parseExpr(0);
+      if (peek().isNot(TokKind::RParen))
+        Diags.error(T.Loc, "expected ')' in preprocessor expression");
+      else
+        next();
+      return V;
+    }
+    default:
+      Diags.error(T.Loc, "unexpected token in preprocessor expression");
+      return 0;
+    }
+  }
+
+  long long parseExpr(int MinPrec) {
+    long long LHS = parsePrimary();
+    for (;;) {
+      int Prec = precedence(peek().Kind);
+      if (Prec < MinPrec || Prec < 0)
+        return LHS;
+      Token Op = next();
+      long long RHS = parseExpr(Prec + 1);
+      switch (Op.Kind) {
+      case TokKind::PipePipe: LHS = (LHS || RHS); break;
+      case TokKind::AmpAmp: LHS = (LHS && RHS); break;
+      case TokKind::Pipe: LHS = LHS | RHS; break;
+      case TokKind::Caret: LHS = LHS ^ RHS; break;
+      case TokKind::Amp: LHS = LHS & RHS; break;
+      case TokKind::EqEq: LHS = (LHS == RHS); break;
+      case TokKind::BangEq: LHS = (LHS != RHS); break;
+      case TokKind::Lt: LHS = (LHS < RHS); break;
+      case TokKind::Le: LHS = (LHS <= RHS); break;
+      case TokKind::Gt: LHS = (LHS > RHS); break;
+      case TokKind::Ge: LHS = (LHS >= RHS); break;
+      case TokKind::Shl: LHS = LHS << (RHS & 63); break;
+      case TokKind::Shr: LHS = LHS >> (RHS & 63); break;
+      case TokKind::Plus: LHS = LHS + RHS; break;
+      case TokKind::Minus: LHS = LHS - RHS; break;
+      case TokKind::Star: LHS = LHS * RHS; break;
+      case TokKind::Slash:
+        if (RHS == 0) {
+          Diags.error(Op.Loc, "division by zero in preprocessor expression");
+          LHS = 0;
+        } else {
+          LHS = LHS / RHS;
+        }
+        break;
+      case TokKind::Percent:
+        if (RHS == 0) {
+          Diags.error(Op.Loc, "modulo by zero in preprocessor expression");
+          LHS = 0;
+        } else {
+          LHS = LHS % RHS;
+        }
+        break;
+      default:
+        return LHS;
+      }
+    }
+  }
+
+  const std::vector<Token> &Toks;
+  DiagnosticsEngine &Diags;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+void Preprocessor::predefine(const std::string &Name,
+                             const std::string &Replacement) {
+  uint32_t FileId = Diags.addFile("<command line>");
+  Lexer Lex(Replacement, FileId, Diags);
+  Macro M;
+  for (Token T = Lex.lex(); T.isNot(TokKind::Eof); T = Lex.lex())
+    M.Body.push_back(T);
+  Macros[Name] = std::move(M);
+}
+
+void Preprocessor::pushFile(const std::string &Source,
+                            const std::string &FileName) {
+  uint32_t FileId = Diags.addFile(FileName);
+  Lexer Lex(Source, FileId, Diags);
+  Frame F;
+  F.Toks = Lex.lexAll();
+  // Drop the trailing Eof; the outer loop synthesizes one at the end.
+  if (!F.Toks.empty() && F.Toks.back().is(TokKind::Eof))
+    F.Toks.pop_back();
+  Stack.push_back(std::move(F));
+}
+
+bool Preprocessor::frameExhausted() const {
+  return Stack.back().Pos >= Stack.back().Toks.size();
+}
+
+const Token &Preprocessor::peek() const {
+  static const Token EofTok{};
+  for (auto It = Stack.rbegin(); It != Stack.rend(); ++It)
+    if (It->Pos < It->Toks.size())
+      return It->Toks[It->Pos];
+  return EofTok;
+}
+
+Token Preprocessor::next() {
+  while (!Stack.empty() && frameExhausted())
+    Stack.pop_back();
+  if (Stack.empty())
+    return Token{};
+  return Stack.back().Toks[Stack.back().Pos++];
+}
+
+bool Preprocessor::macroActive(const std::string &Name) const {
+  for (const Frame &F : Stack)
+    if (F.HideName == Name)
+      return true;
+  return false;
+}
+
+std::vector<Token> Preprocessor::readDirectiveLine() {
+  std::vector<Token> Line;
+  Frame &F = Stack.back();
+  while (F.Pos < F.Toks.size() && !F.Toks[F.Pos].AtLineStart)
+    Line.push_back(F.Toks[F.Pos++]);
+  return Line;
+}
+
+std::vector<Token> Preprocessor::expandAll(const std::vector<Token> &In) {
+  // Run a nested expansion by pushing a frame and draining it into a buffer.
+  // The frame boundary marker lets us stop exactly when the pushed tokens
+  // (and their expansions) are consumed.
+  size_t Depth = Stack.size();
+  Frame F;
+  F.Toks = In;
+  Stack.push_back(std::move(F));
+  std::vector<Token> Out;
+  while (Stack.size() > Depth ||
+         (Stack.size() == Depth && false)) {
+    // Pop exhausted frames above the marker depth.
+    while (Stack.size() > Depth && frameExhausted())
+      Stack.pop_back();
+    if (Stack.size() <= Depth)
+      break;
+    Token T = Stack.back().Toks[Stack.back().Pos++];
+    emitOrExpand(T, Out);
+  }
+  return Out;
+}
+
+void Preprocessor::emitOrExpand(Token T, std::vector<Token> &Out) {
+  if (T.isNot(TokKind::Identifier)) {
+    Out.push_back(std::move(T));
+    return;
+  }
+  auto It = Macros.find(T.Text);
+  if (It == Macros.end() || macroActive(T.Text)) {
+    Out.push_back(std::move(T));
+    return;
+  }
+  const Macro &M = It->second;
+  if (!M.IsFunctionLike) {
+    Frame F;
+    F.Toks = M.Body;
+    for (Token &B : F.Toks) {
+      B.Loc = T.Loc;
+      B.AtLineStart = false;
+    }
+    F.HideName = T.Text;
+    Stack.push_back(std::move(F));
+    return;
+  }
+
+  // Function-like: only an invocation when followed by '('.
+  if (peek().isNot(TokKind::LParen)) {
+    Out.push_back(std::move(T));
+    return;
+  }
+  next(); // consume '('
+  std::vector<std::vector<Token>> Args;
+  std::vector<Token> Cur;
+  int Depth = 1;
+  for (;;) {
+    Token A = next();
+    if (A.is(TokKind::Eof)) {
+      Diags.error(T.Loc, "unterminated macro invocation of '" + T.Text + "'");
+      break;
+    }
+    if (A.is(TokKind::LParen))
+      ++Depth;
+    if (A.is(TokKind::RParen)) {
+      --Depth;
+      if (Depth == 0)
+        break;
+    }
+    if (A.is(TokKind::Comma) && Depth == 1) {
+      Args.push_back(std::move(Cur));
+      Cur.clear();
+      continue;
+    }
+    Cur.push_back(std::move(A));
+  }
+  if (!Cur.empty() || !Args.empty() || !M.Params.empty())
+    Args.push_back(std::move(Cur));
+  if (Args.size() != M.Params.size()) {
+    Diags.error(T.Loc, "macro '" + T.Text + "' expects " +
+                           std::to_string(M.Params.size()) +
+                           " argument(s), got " + std::to_string(Args.size()));
+    return;
+  }
+
+  // Arguments are macro-expanded before substitution (call-by-value
+  // expansion).
+  for (auto &Arg : Args)
+    Arg = expandAll(Arg);
+
+  std::vector<Token> Body;
+  for (const Token &B : M.Body) {
+    bool Substituted = false;
+    if (B.is(TokKind::Identifier)) {
+      for (size_t I = 0; I < M.Params.size(); ++I) {
+        if (B.Text == M.Params[I]) {
+          for (Token A : Args[I]) {
+            A.Loc = T.Loc;
+            A.AtLineStart = false;
+            Body.push_back(std::move(A));
+          }
+          Substituted = true;
+          break;
+        }
+      }
+    }
+    if (!Substituted) {
+      Token C = B;
+      C.Loc = T.Loc;
+      C.AtLineStart = false;
+      Body.push_back(std::move(C));
+    }
+  }
+  Frame F;
+  F.Toks = std::move(Body);
+  F.HideName = T.Text;
+  Stack.push_back(std::move(F));
+}
+
+void Preprocessor::handleDefine(std::vector<Token> &Line) {
+  if (Line.empty() || Line[0].isNot(TokKind::Identifier)) {
+    SourceLocation Loc = Line.empty() ? SourceLocation() : Line[0].Loc;
+    Diags.error(Loc, "expected macro name after #define");
+    return;
+  }
+  Macro M;
+  std::string Name = Line[0].Text;
+  size_t I = 1;
+  // Function-like iff '(' immediately follows the name with no space.
+  if (I < Line.size() && Line[I].is(TokKind::LParen) &&
+      !Line[I].LeadingSpace) {
+    M.IsFunctionLike = true;
+    ++I;
+    if (I < Line.size() && Line[I].is(TokKind::RParen)) {
+      ++I;
+    } else {
+      for (;;) {
+        if (I >= Line.size() || Line[I].isNot(TokKind::Identifier)) {
+          Diags.error(Line[0].Loc, "expected parameter name in #define");
+          return;
+        }
+        M.Params.push_back(Line[I].Text);
+        ++I;
+        if (I < Line.size() && Line[I].is(TokKind::Comma)) {
+          ++I;
+          continue;
+        }
+        if (I < Line.size() && Line[I].is(TokKind::RParen)) {
+          ++I;
+          break;
+        }
+        Diags.error(Line[0].Loc, "expected ',' or ')' in #define");
+        return;
+      }
+    }
+  }
+  for (; I < Line.size(); ++I) {
+    if (Line[I].is(TokKind::Hash) || Line[I].is(TokKind::HashHash)) {
+      Diags.error(Line[I].Loc,
+                  "token pasting / stringizing is not supported");
+      return;
+    }
+    M.Body.push_back(Line[I]);
+  }
+  Macros[Name] = std::move(M);
+}
+
+void Preprocessor::handleInclude(std::vector<Token> &Line,
+                                 SourceLocation Loc) {
+  if (IncludeDepth > 64) {
+    Diags.error(Loc, "#include nesting too deep");
+    return;
+  }
+  std::string Name;
+  if (!Line.empty() && Line[0].is(TokKind::StringLiteral)) {
+    Name = Line[0].Text;
+  } else if (!Line.empty() && Line[0].is(TokKind::Lt)) {
+    // Angle include: reconstruct the name from the raw tokens.
+    for (size_t I = 1; I < Line.size() && Line[I].isNot(TokKind::Gt); ++I) {
+      if (!Name.empty() && Line[I].LeadingSpace)
+        Name += ' ';
+      Name += Line[I].Text.empty() ? std::string(tokKindName(Line[I].Kind))
+                                   : Line[I].Text;
+      // Punctuation spellings come quoted; strip the quotes.
+      while (Name.find('\'') != std::string::npos)
+        Name.erase(Name.find('\''), 1);
+    }
+  } else {
+    Diags.error(Loc, "expected \"file\" or <file> after #include");
+    return;
+  }
+  if (!Provider) {
+    Diags.error(Loc, "#include of '" + Name + "' but no file provider set");
+    return;
+  }
+  std::optional<std::string> Content = Provider(Name);
+  if (!Content) {
+    Diags.error(Loc, "include file '" + Name + "' not found");
+    return;
+  }
+  ++IncludeDepth;
+  pushFile(*Content, Name);
+  --IncludeDepth;
+}
+
+long long Preprocessor::evalCondition(std::vector<Token> Line,
+                                      SourceLocation Loc) {
+  // Resolve defined(X) / defined X before macro expansion.
+  std::vector<Token> Resolved;
+  for (size_t I = 0; I < Line.size(); ++I) {
+    const Token &T = Line[I];
+    if (T.is(TokKind::Identifier) && T.Text == "defined") {
+      std::string Name;
+      if (I + 1 < Line.size() && Line[I + 1].is(TokKind::Identifier)) {
+        Name = Line[I + 1].Text;
+        I += 1;
+      } else if (I + 3 < Line.size() && Line[I + 1].is(TokKind::LParen) &&
+                 Line[I + 2].is(TokKind::Identifier) &&
+                 Line[I + 3].is(TokKind::RParen)) {
+        Name = Line[I + 2].Text;
+        I += 3;
+      } else {
+        Diags.error(T.Loc, "malformed defined() operator");
+        return 0;
+      }
+      Token R;
+      R.Kind = TokKind::IntLiteral;
+      R.Loc = T.Loc;
+      R.IntValue = Macros.count(Name) ? 1 : 0;
+      R.Text = std::to_string(R.IntValue);
+      Resolved.push_back(std::move(R));
+      continue;
+    }
+    Resolved.push_back(T);
+  }
+  std::vector<Token> Expanded = expandAll(Resolved);
+  CondParser P(Expanded, Diags);
+  return P.parse();
+}
+
+void Preprocessor::handleDirective() {
+  Frame &F = Stack.back();
+  Token HashTok = F.Toks[F.Pos++]; // consume '#'
+  if (F.Pos >= F.Toks.size() || F.Toks[F.Pos].AtLineStart)
+    return; // Null directive "#".
+  Token Name = F.Toks[F.Pos++];
+  std::vector<Token> Line = readDirectiveLine();
+
+  bool Live = true;
+  for (auto &[Taken, Active] : CondStack)
+    Live = Live && Active;
+
+  const std::string &D = Name.Text;
+  if (D == "if" || D == "ifdef" || D == "ifndef") {
+    if (!Live) {
+      CondStack.push_back({true, false}); // Dead region: never activates.
+      return;
+    }
+    bool Cond;
+    if (D == "if") {
+      Cond = evalCondition(Line, Name.Loc) != 0;
+    } else {
+      if (Line.empty() || Line[0].isNot(TokKind::Identifier)) {
+        Diags.error(Name.Loc, "expected identifier after #" + D);
+        Cond = false;
+      } else {
+        Cond = Macros.count(Line[0].Text) != 0;
+        if (D == "ifndef")
+          Cond = !Cond;
+      }
+    }
+    CondStack.push_back({Cond, Cond});
+    return;
+  }
+  if (D == "elif") {
+    if (CondStack.empty()) {
+      Diags.error(Name.Loc, "#elif without #if");
+      return;
+    }
+    auto &[Taken, Active] = CondStack.back();
+    bool ParentLive = true;
+    for (size_t I = 0; I + 1 < CondStack.size(); ++I)
+      ParentLive = ParentLive && CondStack[I].second;
+    if (Taken || !ParentLive) {
+      Active = false;
+    } else {
+      Active = evalCondition(Line, Name.Loc) != 0;
+      Taken = Taken || Active;
+    }
+    return;
+  }
+  if (D == "else") {
+    if (CondStack.empty()) {
+      Diags.error(Name.Loc, "#else without #if");
+      return;
+    }
+    auto &[Taken, Active] = CondStack.back();
+    bool ParentLive = true;
+    for (size_t I = 0; I + 1 < CondStack.size(); ++I)
+      ParentLive = ParentLive && CondStack[I].second;
+    Active = !Taken && ParentLive;
+    Taken = true;
+    return;
+  }
+  if (D == "endif") {
+    if (CondStack.empty())
+      Diags.error(Name.Loc, "#endif without #if");
+    else
+      CondStack.pop_back();
+    return;
+  }
+
+  if (!Live)
+    return; // Non-conditional directives are ignored in dead regions.
+
+  if (D == "define") {
+    handleDefine(Line);
+  } else if (D == "undef") {
+    if (Line.empty() || Line[0].isNot(TokKind::Identifier))
+      Diags.error(Name.Loc, "expected identifier after #undef");
+    else
+      Macros.erase(Line[0].Text);
+  } else if (D == "include") {
+    handleInclude(Line, Name.Loc);
+  } else if (D == "error") {
+    std::string Msg = "#error";
+    for (const Token &T : Line) {
+      Msg += ' ';
+      Msg += T.Text.empty() ? tokKindName(T.Kind) : T.Text;
+    }
+    Diags.error(Name.Loc, Msg);
+  } else if (D == "pragma" || D == "line") {
+    // Ignored.
+  } else {
+    Diags.error(Name.Loc, "unknown preprocessing directive #" + D);
+  }
+}
+
+std::vector<Token> Preprocessor::run(const std::string &Source,
+                                     const std::string &FileName) {
+  pushFile(Source, FileName);
+  std::vector<Token> Out;
+  while (!Stack.empty()) {
+    while (!Stack.empty() && frameExhausted())
+      Stack.pop_back();
+    if (Stack.empty())
+      break;
+    Frame &F = Stack.back();
+    const Token &T = F.Toks[F.Pos];
+    bool IsFileFrame = F.HideName.empty();
+    if (IsFileFrame && T.is(TokKind::Hash) && T.AtLineStart) {
+      handleDirective();
+      continue;
+    }
+    bool Live = true;
+    for (auto &[Taken, Active] : CondStack)
+      Live = Live && Active;
+    if (!Live) {
+      ++F.Pos;
+      continue;
+    }
+    Token Consumed = F.Toks[F.Pos++];
+    emitOrExpand(std::move(Consumed), Out);
+  }
+  if (!CondStack.empty())
+    Diags.error(SourceLocation(), "unterminated #if at end of input");
+  Token Eof;
+  Eof.Kind = TokKind::Eof;
+  Out.push_back(Eof);
+  return Out;
+}

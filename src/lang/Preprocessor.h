@@ -1,0 +1,98 @@
+//===- lang/Preprocessor.h - Mini C preprocessor -----------------*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token-stream preprocessor covering the directives the considered program
+/// family uses (Sect. 5.1: "the source code is first preprocessed using a
+/// standard C preprocessor"): #define (object- and function-like), #undef,
+/// #include, #if/#ifdef/#ifndef/#elif/#else/#endif with integer constant
+/// expressions and defined(), #error, and #pragma (ignored). Token pasting
+/// (##) and stringizing (#) are rejected as unsupported constructs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_LANG_PREPROCESSOR_H
+#define ASTRAL_LANG_PREPROCESSOR_H
+
+#include "lang/Token.h"
+#include "support/Diagnostics.h"
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace astral {
+
+/// Resolves an #include name to file contents; returning nullopt means "not
+/// found". Lets callers feed in-memory header sets (the analyzer's "simple
+/// linker" for multi-file programs).
+using FileProvider =
+    std::function<std::optional<std::string>(const std::string &Name)>;
+
+class Preprocessor {
+public:
+  Preprocessor(DiagnosticsEngine &Diags, FileProvider Provider = nullptr)
+      : Diags(Diags), Provider(std::move(Provider)) {}
+
+  /// Defines an object-like macro before processing (a -D flag).
+  void predefine(const std::string &Name, const std::string &Replacement);
+
+  /// Preprocesses \p Source (registered under \p FileName) and returns the
+  /// expanded token stream ending with Eof.
+  std::vector<Token> run(const std::string &Source,
+                         const std::string &FileName);
+
+private:
+  struct Macro {
+    bool IsFunctionLike = false;
+    std::vector<std::string> Params;
+    std::vector<Token> Body;
+  };
+
+  /// One frame of pending tokens (a file or a macro expansion).
+  struct Frame {
+    std::vector<Token> Toks;
+    size_t Pos = 0;
+    /// Macro name blocked from re-expansion inside this frame ("" for file
+    /// frames).
+    std::string HideName;
+  };
+
+  void pushFile(const std::string &Source, const std::string &FileName);
+  bool frameExhausted() const;
+  const Token &peek() const;
+  Token next();
+  bool macroActive(const std::string &Name) const;
+
+  void handleDirective();
+  void handleDefine(std::vector<Token> &Line);
+  void handleInclude(std::vector<Token> &Line, SourceLocation Loc);
+  /// Reads the rest of the current directive line.
+  std::vector<Token> readDirectiveLine();
+
+  /// Expands macros in \p In (used for #if expressions and macro arguments).
+  std::vector<Token> expandAll(const std::vector<Token> &In);
+
+  /// Emits one token (or starts a macro expansion) to \p Out.
+  void emitOrExpand(Token T, std::vector<Token> &Out);
+
+  long long evalCondition(std::vector<Token> Line, SourceLocation Loc);
+
+  DiagnosticsEngine &Diags;
+  FileProvider Provider;
+  std::map<std::string, Macro> Macros;
+  std::vector<Frame> Stack;
+  /// Conditional-inclusion stack: (taken-a-branch-already, currently-live).
+  std::vector<std::pair<bool, bool>> CondStack;
+  int IncludeDepth = 0;
+};
+
+} // namespace astral
+
+#endif // ASTRAL_LANG_PREPROCESSOR_H

@@ -1,0 +1,462 @@
+//===- lang/Sema.cpp - Type checking and AST annotation -------------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Sema.h"
+
+#include <cassert>
+
+using namespace astral;
+
+bool Sema::isLvalue(const Expr *E) const {
+  switch (E->Kind) {
+  case ExprKind::DeclRef:
+    return !E->IsEnumConstant;
+  case ExprKind::ArraySubscript:
+  case ExprKind::Member:
+    return true;
+  case ExprKind::Unary:
+    return E->UOp == UnaryOp::Deref;
+  default:
+    return false;
+  }
+}
+
+const Type *Sema::promote(const Type *T) {
+  if (T->isInt() && T->IntWidth < 32)
+    return Ctx.Types.intTy();
+  return T;
+}
+
+const Type *Sema::usualArithmetic(const Type *A, const Type *B) {
+  if (A->isFloat() || B->isFloat()) {
+    bool Double = (A->isFloat() && A->IsDouble) || (B->isFloat() && B->IsDouble);
+    return Double ? Ctx.Types.doubleType() : Ctx.Types.floatType();
+  }
+  const Type *PA = promote(A), *PB = promote(B);
+  unsigned Width = std::max(PA->IntWidth, PB->IntWidth);
+  bool Signed = PA->IntSigned && PB->IntSigned;
+  // If the widths differ and the wider is signed, it can represent the
+  // narrower unsigned, so the result stays signed.
+  if (PA->IntWidth != PB->IntWidth) {
+    const Type *Wider = PA->IntWidth > PB->IntWidth ? PA : PB;
+    Signed = Wider->IntSigned;
+  }
+  return Ctx.Types.intType(Width, Signed);
+}
+
+Expr *Sema::implicitCast(Expr *E, const Type *Target) {
+  if (E->Ty == Target)
+    return E;
+  Expr *C = Ctx.expr(ExprKind::Cast, E->Loc);
+  C->Ty = Target;
+  C->Lhs = E;
+  return C;
+}
+
+Expr *Sema::checkAndDecay(Expr *E) {
+  Expr *R = checkExpr(E);
+  // Arrays decay to pointers in value contexts; the restricted subset only
+  // allows this as a call argument, which Call handles itself, so no decay
+  // node is needed here.
+  return R;
+}
+
+Expr *Sema::checkExpr(Expr *E) {
+  if (!E)
+    return nullptr;
+  switch (E->Kind) {
+  case ExprKind::IntLit:
+    if (!E->Ty)
+      E->Ty = Ctx.Types.intTy();
+    return E;
+  case ExprKind::FloatLit:
+    if (!E->Ty)
+      E->Ty = Ctx.Types.doubleType();
+    return E;
+  case ExprKind::DeclRef:
+    if (E->IsEnumConstant) {
+      E->Ty = Ctx.Types.intTy();
+    } else {
+      assert(E->Var && "unresolved DeclRef survived parsing");
+      E->Ty = E->Var->Ty;
+    }
+    return E;
+  case ExprKind::ArraySubscript: {
+    E->Lhs = checkExpr(E->Lhs);
+    E->Rhs = checkExpr(E->Rhs);
+    const Type *BaseTy = E->Lhs->Ty;
+    if (BaseTy->isArray()) {
+      E->Ty = BaseTy->Elem;
+    } else if (BaseTy->isPointer()) {
+      E->Ty = BaseTy->Pointee;
+    } else {
+      Diags.error(E->Loc, "subscripted value is not an array");
+      E->Ty = Ctx.Types.intTy();
+    }
+    if (!E->Rhs->Ty->isInt())
+      Diags.error(E->Loc, "array subscript is not an integer");
+    else
+      E->Rhs = implicitCast(E->Rhs, promote(E->Rhs->Ty));
+    return E;
+  }
+  case ExprKind::Member: {
+    E->Lhs = checkExpr(E->Lhs);
+    const Type *BaseTy = E->Lhs->Ty;
+    if (E->IsArrow) {
+      if (!BaseTy->isPointer() || !BaseTy->Pointee->isStruct()) {
+        Diags.error(E->Loc, "'->' on non-pointer-to-struct");
+        E->Ty = Ctx.Types.intTy();
+        return E;
+      }
+      BaseTy = BaseTy->Pointee;
+    }
+    if (!BaseTy->isStruct()) {
+      Diags.error(E->Loc, "member access on non-struct");
+      E->Ty = Ctx.Types.intTy();
+      return E;
+    }
+    int Idx = BaseTy->fieldIndex(E->Name);
+    if (Idx < 0) {
+      Diags.error(E->Loc, "no field '" + E->Name + "' in " +
+                              BaseTy->toString());
+      E->Ty = Ctx.Types.intTy();
+      return E;
+    }
+    E->FieldIdx = Idx;
+    E->Ty = BaseTy->Fields[Idx].FieldType;
+    return E;
+  }
+  case ExprKind::Call: {
+    FuncDecl *F = E->Callee;
+    assert(F && "unresolved call survived parsing");
+    const Type *FnTy = F->FnTy;
+    if (E->Args.size() != FnTy->Params.size()) {
+      Diags.error(E->Loc, "call to '" + F->Name + "' with " +
+                              std::to_string(E->Args.size()) +
+                              " arguments, expected " +
+                              std::to_string(FnTy->Params.size()));
+    }
+    for (size_t I = 0; I < E->Args.size(); ++I) {
+      E->Args[I] = checkExpr(E->Args[I]);
+      if (I >= FnTy->Params.size())
+        continue;
+      const Type *PTy = FnTy->Params[I];
+      const Type *ATy = E->Args[I]->Ty;
+      if (PTy->isPointer()) {
+        // Call-by-reference: accept &lvalue, an array (decays), or another
+        // pointer parameter being forwarded.
+        bool Ok = (ATy->isPointer()) ||
+                  (ATy->isArray() && ATy->Elem == PTy->Pointee) ||
+                  (E->Args[I]->is(ExprKind::Unary) &&
+                   E->Args[I]->UOp == UnaryOp::AddrOf);
+        if (!Ok)
+          Diags.error(E->Args[I]->Loc,
+                      "argument " + std::to_string(I + 1) + " to '" +
+                          F->Name + "' must be a reference");
+      } else if (PTy->isArithmetic()) {
+        if (!ATy->isArithmetic())
+          Diags.error(E->Args[I]->Loc, "argument type mismatch in call to '" +
+                                           F->Name + "'");
+        else
+          E->Args[I] = implicitCast(E->Args[I], PTy);
+      }
+    }
+    E->Ty = FnTy->Ret;
+    return E;
+  }
+  case ExprKind::Unary: {
+    E->Lhs = checkExpr(E->Lhs);
+    const Type *OpTy = E->Lhs->Ty;
+    switch (E->UOp) {
+    case UnaryOp::Plus:
+    case UnaryOp::Neg:
+      if (!OpTy->isArithmetic()) {
+        Diags.error(E->Loc, "unary +/- on non-arithmetic operand");
+        E->Ty = Ctx.Types.intTy();
+      } else {
+        E->Ty = promote(OpTy);
+        E->Lhs = implicitCast(E->Lhs, E->Ty);
+      }
+      return E;
+    case UnaryOp::LogicalNot:
+      E->Ty = Ctx.Types.intTy();
+      return E;
+    case UnaryOp::BitNot:
+      if (!OpTy->isInt()) {
+        Diags.error(E->Loc, "'~' on non-integer operand");
+        E->Ty = Ctx.Types.intTy();
+      } else {
+        E->Ty = promote(OpTy);
+        E->Lhs = implicitCast(E->Lhs, E->Ty);
+      }
+      return E;
+    case UnaryOp::Deref:
+      if (!OpTy->isPointer()) {
+        Diags.error(E->Loc, "dereference of non-pointer");
+        E->Ty = Ctx.Types.intTy();
+      } else {
+        E->Ty = OpTy->Pointee;
+      }
+      return E;
+    case UnaryOp::AddrOf:
+      if (!isLvalue(E->Lhs)) {
+        Diags.error(E->Loc, "address of non-lvalue");
+        E->Ty = Ctx.Types.pointerType(Ctx.Types.intTy());
+      } else {
+        E->Ty = Ctx.Types.pointerType(OpTy);
+      }
+      return E;
+    case UnaryOp::PreInc:
+    case UnaryOp::PreDec:
+    case UnaryOp::PostInc:
+    case UnaryOp::PostDec:
+      if (!isLvalue(E->Lhs))
+        Diags.error(E->Loc, "increment/decrement of non-lvalue");
+      if (!OpTy->isArithmetic())
+        Diags.error(E->Loc, "increment/decrement of non-arithmetic value");
+      E->Ty = OpTy;
+      return E;
+    }
+    return E;
+  }
+  case ExprKind::Binary: {
+    E->Lhs = checkExpr(E->Lhs);
+    E->Rhs = checkExpr(E->Rhs);
+    const Type *L = E->Lhs->Ty, *R = E->Rhs->Ty;
+    switch (E->BOp) {
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+    case BinaryOp::Mul:
+    case BinaryOp::Div: {
+      if (!L->isArithmetic() || !R->isArithmetic()) {
+        Diags.error(E->Loc, "arithmetic on non-arithmetic operands "
+                            "(pointer arithmetic is not in the subset)");
+        E->Ty = Ctx.Types.intTy();
+        return E;
+      }
+      const Type *C = usualArithmetic(L, R);
+      E->Lhs = implicitCast(E->Lhs, C);
+      E->Rhs = implicitCast(E->Rhs, C);
+      E->Ty = C;
+      return E;
+    }
+    case BinaryOp::Rem:
+    case BinaryOp::BitAnd:
+    case BinaryOp::BitOr:
+    case BinaryOp::BitXor: {
+      if (!L->isInt() || !R->isInt()) {
+        Diags.error(E->Loc, "integer operator on non-integer operands");
+        E->Ty = Ctx.Types.intTy();
+        return E;
+      }
+      const Type *C = usualArithmetic(L, R);
+      E->Lhs = implicitCast(E->Lhs, C);
+      E->Rhs = implicitCast(E->Rhs, C);
+      E->Ty = C;
+      return E;
+    }
+    case BinaryOp::Shl:
+    case BinaryOp::Shr: {
+      if (!L->isInt() || !R->isInt()) {
+        Diags.error(E->Loc, "shift on non-integer operands");
+        E->Ty = Ctx.Types.intTy();
+        return E;
+      }
+      E->Ty = promote(L);
+      E->Lhs = implicitCast(E->Lhs, E->Ty);
+      E->Rhs = implicitCast(E->Rhs, promote(R));
+      return E;
+    }
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge:
+    case BinaryOp::Eq:
+    case BinaryOp::Ne: {
+      if (L->isArithmetic() && R->isArithmetic()) {
+        const Type *C = usualArithmetic(L, R);
+        E->Lhs = implicitCast(E->Lhs, C);
+        E->Rhs = implicitCast(E->Rhs, C);
+      } else if (!(L->isPointer() && R->isPointer())) {
+        Diags.error(E->Loc, "invalid comparison operands");
+      }
+      E->Ty = Ctx.Types.intTy();
+      return E;
+    }
+    case BinaryOp::LogicalAnd:
+    case BinaryOp::LogicalOr:
+      E->Ty = Ctx.Types.intTy();
+      return E;
+    case BinaryOp::Comma:
+      E->Ty = R;
+      return E;
+    }
+    return E;
+  }
+  case ExprKind::Assign: {
+    E->Lhs = checkExpr(E->Lhs);
+    E->Rhs = checkExpr(E->Rhs);
+    if (!isLvalue(E->Lhs))
+      Diags.error(E->Loc, "assignment to non-lvalue");
+    else if (E->Lhs->is(ExprKind::DeclRef) && E->Lhs->Var &&
+             E->Lhs->Var->IsConst)
+      Diags.error(E->Loc, "assignment to const variable '" +
+                              E->Lhs->Var->Name + "'");
+    const Type *LTy = E->Lhs->Ty;
+    if (LTy->isArithmetic() && E->Rhs->Ty->isArithmetic()) {
+      // For compound assignments the conversion to the combined type happens
+      // during lowering; here we only record the final store type.
+      if (E->IsPlainAssign)
+        E->Rhs = implicitCast(E->Rhs, LTy);
+    } else if (LTy != E->Rhs->Ty) {
+      Diags.error(E->Loc, "incompatible types in assignment");
+    }
+    E->Ty = LTy;
+    return E;
+  }
+  case ExprKind::Cast: {
+    E->Lhs = checkExpr(E->Lhs);
+    if (!E->Ty->isScalar() && !E->Ty->isVoid())
+      Diags.error(E->Loc, "cast to non-scalar type");
+    return E;
+  }
+  case ExprKind::Conditional: {
+    E->Lhs = checkExpr(E->Lhs);
+    E->Rhs = checkExpr(E->Rhs);
+    E->Third = checkExpr(E->Third);
+    if (E->Rhs->Ty->isArithmetic() && E->Third->Ty->isArithmetic()) {
+      const Type *C = usualArithmetic(E->Rhs->Ty, E->Third->Ty);
+      E->Rhs = implicitCast(E->Rhs, C);
+      E->Third = implicitCast(E->Third, C);
+      E->Ty = C;
+    } else {
+      E->Ty = E->Rhs->Ty;
+    }
+    return E;
+  }
+  }
+  return E;
+}
+
+void Sema::checkStmt(Stmt *S, FuncDecl *F) {
+  if (!S)
+    return;
+  switch (S->Kind) {
+  case StmtKind::Expr:
+    S->E = checkExpr(S->E);
+    return;
+  case StmtKind::Decl: {
+    VarDecl *V = S->DeclVar;
+    if (V->Init) {
+      V->Init = checkExpr(V->Init);
+      if (V->Ty->isArithmetic() && V->Init->Ty->isArithmetic())
+        V->Init = implicitCast(V->Init, V->Ty);
+      else if (V->Ty != V->Init->Ty)
+        Diags.error(V->Loc, "incompatible initializer for '" + V->Name + "'");
+    }
+    for (Expr *&I : V->InitList)
+      I = checkExpr(I);
+    return;
+  }
+  case StmtKind::Compound:
+    for (Stmt *Child : S->Body)
+      checkStmt(Child, F);
+    return;
+  case StmtKind::If:
+    S->E = checkExpr(S->E);
+    checkStmt(S->Then, F);
+    checkStmt(S->Else, F);
+    return;
+  case StmtKind::While:
+  case StmtKind::DoWhile:
+    S->E = checkExpr(S->E);
+    checkStmt(S->Then, F);
+    return;
+  case StmtKind::For:
+    checkStmt(S->ForInit, F);
+    S->E = checkExpr(S->E);
+    S->ForStep = checkExpr(S->ForStep);
+    checkStmt(S->Then, F);
+    return;
+  case StmtKind::Return: {
+    const Type *Ret = F->FnTy->Ret;
+    if (S->E) {
+      S->E = checkExpr(S->E);
+      if (Ret->isVoid())
+        Diags.error(S->Loc, "return with a value in void function");
+      else if (Ret->isArithmetic() && S->E->Ty->isArithmetic())
+        S->E = implicitCast(S->E, Ret);
+    } else if (!Ret->isVoid()) {
+      Diags.error(S->Loc, "return without a value in non-void function");
+    }
+    return;
+  }
+  case StmtKind::Break:
+  case StmtKind::Continue:
+  case StmtKind::Empty:
+    return;
+  }
+}
+
+void Sema::checkFunction(FuncDecl *F) {
+  if (!F->BodyStmt)
+    return;
+  CurFn = F;
+  checkStmt(F->BodyStmt, F);
+  CurFn = nullptr;
+}
+
+void Sema::assignIds() {
+  uint32_t NextId = 0;
+  auto Assign = [&](VarDecl *V) {
+    V->UniqueId = NextId++;
+    Ctx.TU.AllVars.push_back(V);
+  };
+  for (VarDecl *G : Ctx.TU.Globals)
+    Assign(G);
+  // Walk function bodies for locals; params first.
+  for (FuncDecl *F : Ctx.TU.Functions) {
+    for (VarDecl *P : F->Params)
+      Assign(P);
+    if (!F->BodyStmt)
+      continue;
+    // Iterative statement walk collecting Decl statements.
+    std::vector<Stmt *> Work{F->BodyStmt};
+    while (!Work.empty()) {
+      Stmt *S = Work.back();
+      Work.pop_back();
+      if (!S)
+        continue;
+      if (S->is(StmtKind::Decl))
+        Assign(S->DeclVar);
+      for (Stmt *Child : S->Body)
+        Work.push_back(Child);
+      Work.push_back(S->Then);
+      Work.push_back(S->Else);
+      Work.push_back(S->ForInit);
+    }
+  }
+  uint32_t FnId = 0;
+  for (FuncDecl *F : Ctx.TU.Functions)
+    F->UniqueId = FnId++;
+}
+
+bool Sema::run() {
+  for (VarDecl *G : Ctx.TU.Globals) {
+    if (G->Init) {
+      G->Init = checkExpr(G->Init);
+      if (G->Ty->isArithmetic() && G->Init->Ty->isArithmetic())
+        G->Init = implicitCast(G->Init, G->Ty);
+    }
+    for (Expr *&I : G->InitList)
+      I = checkExpr(I);
+  }
+  for (FuncDecl *F : Ctx.TU.Functions)
+    checkFunction(F);
+  assignIds();
+  return !Diags.hasErrors();
+}

@@ -1,0 +1,52 @@
+//===- lang/Sema.h - Type checking and AST annotation ------------*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis: computes a type for every expression, inserts the
+/// implicit arithmetic conversions of the target environment (Sect. 5.3: the
+/// iterator needs "all types explicit"), verifies lvalue-ness and the
+/// call-by-reference pointer discipline of the subset (Sect. 4), and assigns
+/// each variable a unique identifier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_LANG_SEMA_H
+#define ASTRAL_LANG_SEMA_H
+
+#include "lang/Ast.h"
+#include "support/Diagnostics.h"
+
+namespace astral {
+
+class Sema {
+public:
+  Sema(AstContext &Ctx, DiagnosticsEngine &Diags) : Ctx(Ctx), Diags(Diags) {}
+
+  /// Type-checks the whole translation unit; returns false on errors.
+  bool run();
+
+private:
+  void checkFunction(FuncDecl *F);
+  void checkStmt(Stmt *S, FuncDecl *F);
+  /// Checks \p E and returns it (possibly wrapped); sets E->Ty.
+  Expr *checkExpr(Expr *E);
+  Expr *checkAndDecay(Expr *E);
+  /// Wraps \p E in an implicit cast to \p Target unless already of that type.
+  Expr *implicitCast(Expr *E, const Type *Target);
+  const Type *promote(const Type *T);
+  const Type *usualArithmetic(const Type *A, const Type *B);
+  bool isLvalue(const Expr *E) const;
+  void assignIds();
+
+  AstContext &Ctx;
+  DiagnosticsEngine &Diags;
+  FuncDecl *CurFn = nullptr;
+};
+
+} // namespace astral
+
+#endif // ASTRAL_LANG_SEMA_H

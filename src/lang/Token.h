@@ -1,0 +1,85 @@
+//===- lang/Token.h - C-subset tokens ----------------------------*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for the reduced C language of Sect. 4 ("the source codes we
+/// consider use only a reduced subset of C"): no goto, no dynamic allocation,
+/// pointers restricted to call-by-reference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_LANG_TOKEN_H
+#define ASTRAL_LANG_TOKEN_H
+
+#include "support/SourceLocation.h"
+
+#include <cstdint>
+#include <string>
+
+namespace astral {
+
+enum class TokKind : uint8_t {
+  Eof,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  CharLiteral,
+  StringLiteral,
+
+  // Keywords.
+  KwVoid, KwChar, KwShort, KwInt, KwLong, KwFloat, KwDouble,
+  KwSigned, KwUnsigned, KwBool,
+  KwStruct, KwEnum, KwTypedef, KwUnion,
+  KwConst, KwVolatile, KwStatic, KwExtern, KwRegister,
+  KwIf, KwElse, KwWhile, KwDo, KwFor, KwReturn, KwBreak, KwContinue,
+  KwSwitch, KwCase, KwDefault, KwGoto, KwSizeof,
+
+  // Punctuation / operators.
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Semi, Comma, Dot, Arrow, Ellipsis,
+  Plus, Minus, Star, Slash, Percent,
+  PlusPlus, MinusMinus,
+  Amp, Pipe, Caret, Tilde, Bang,
+  AmpAmp, PipePipe,
+  Shl, Shr,
+  Lt, Gt, Le, Ge, EqEq, BangEq,
+  Question, Colon,
+  Assign,
+  PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign,
+  AmpAssign, PipeAssign, CaretAssign, ShlAssign, ShrAssign,
+  Hash, HashHash,
+};
+
+/// Returns a printable spelling for diagnostics ("'+='", "identifier", ...).
+const char *tokKindName(TokKind K);
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  SourceLocation Loc;
+  /// Identifier / literal spelling.
+  std::string Text;
+  /// Value for IntLiteral / CharLiteral.
+  uint64_t IntValue = 0;
+  /// Value for FloatLiteral.
+  double FloatValue = 0.0;
+  /// True for IntLiteral with a 'u'/'U' suffix.
+  bool IsUnsigned = false;
+  /// True for FloatLiteral with an 'f'/'F' suffix (binary32 constant).
+  bool IsFloat32 = false;
+  /// True when this token had whitespace before it (used by the
+  /// preprocessor to distinguish FOO(x) calls from FOO (x)).
+  bool LeadingSpace = false;
+  /// True when this token begins a line (directive detection).
+  bool AtLineStart = false;
+
+  bool is(TokKind K) const { return Kind == K; }
+  bool isNot(TokKind K) const { return Kind != K; }
+};
+
+} // namespace astral
+
+#endif // ASTRAL_LANG_TOKEN_H

@@ -1,0 +1,137 @@
+//===- lang/Type.cpp - C-subset type system -------------------------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Type.h"
+
+using namespace astral;
+
+std::string Type::toString() const {
+  switch (Kind) {
+  case TypeKind::Void:
+    return "void";
+  case TypeKind::Int: {
+    if (IsBool)
+      return "_Bool";
+    std::string S = IntSigned ? "" : "unsigned ";
+    switch (IntWidth) {
+    case 8: return S + "char";
+    case 16: return S + "short";
+    case 32: return S + "int";
+    case 64: return S + "long";
+    default: return S + "int" + std::to_string(IntWidth);
+    }
+  }
+  case TypeKind::Float:
+    return IsDouble ? "double" : "float";
+  case TypeKind::Array:
+    return Elem->toString() + "[" + std::to_string(ArraySize) + "]";
+  case TypeKind::Pointer:
+    return Pointee->toString() + "*";
+  case TypeKind::Struct:
+    return "struct " + StructName;
+  case TypeKind::Function: {
+    std::string S = Ret->toString() + "(";
+    for (size_t I = 0; I < Params.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += Params[I]->toString();
+    }
+    return S + ")";
+  }
+  }
+  return "<type>";
+}
+
+TypeContext::TypeContext() {
+  Type *V = create();
+  V->Kind = TypeKind::Void;
+  VoidTy = V;
+
+  Type *B = create();
+  B->Kind = TypeKind::Int;
+  B->IntWidth = 8;
+  B->IntSigned = false;
+  B->IsBool = true;
+  BoolTy = B;
+
+  Type *F = create();
+  F->Kind = TypeKind::Float;
+  F->IsDouble = false;
+  FloatTy = F;
+
+  Type *D = create();
+  D->Kind = TypeKind::Float;
+  D->IsDouble = true;
+  DoubleTy = D;
+}
+
+Type *TypeContext::create() {
+  Storage.emplace_back();
+  return &Storage.back();
+}
+
+const Type *TypeContext::intType(unsigned Width, bool Signed) {
+  auto Key = std::make_pair(Width, Signed);
+  auto It = IntTypes.find(Key);
+  if (It != IntTypes.end())
+    return It->second;
+  Type *T = create();
+  T->Kind = TypeKind::Int;
+  T->IntWidth = Width;
+  T->IntSigned = Signed;
+  IntTypes[Key] = T;
+  return T;
+}
+
+const Type *TypeContext::arrayType(const Type *Elem, uint64_t Size) {
+  auto Key = std::make_pair(Elem, Size);
+  auto It = ArrayTypes.find(Key);
+  if (It != ArrayTypes.end())
+    return It->second;
+  Type *T = create();
+  T->Kind = TypeKind::Array;
+  T->Elem = Elem;
+  T->ArraySize = Size;
+  ArrayTypes[Key] = T;
+  return T;
+}
+
+const Type *TypeContext::pointerType(const Type *Pointee) {
+  auto It = PointerTypes.find(Pointee);
+  if (It != PointerTypes.end())
+    return It->second;
+  Type *T = create();
+  T->Kind = TypeKind::Pointer;
+  T->Pointee = Pointee;
+  PointerTypes[Pointee] = T;
+  return T;
+}
+
+Type *TypeContext::structType(const std::string &Name) {
+  auto It = StructTypes.find(Name);
+  if (It != StructTypes.end())
+    return It->second;
+  Type *T = create();
+  T->Kind = TypeKind::Struct;
+  T->StructName = Name;
+  StructTypes[Name] = T;
+  return T;
+}
+
+const Type *TypeContext::functionType(const Type *Ret,
+                                      std::vector<const Type *> Params) {
+  for (const Type *F : FunctionTypes) {
+    if (F->Ret == Ret && F->Params == Params)
+      return F;
+  }
+  Type *T = create();
+  T->Kind = TypeKind::Function;
+  T->Ret = Ret;
+  T->Params = std::move(Params);
+  FunctionTypes.push_back(T);
+  return T;
+}

@@ -1,0 +1,368 @@
+//===- memory/AbstractEnv.cpp - Abstract environments -----------------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "memory/AbstractEnv.h"
+
+#include "domains/Thresholds.h"
+
+using namespace astral;
+using namespace astral::memory;
+
+AbstractEnv AbstractEnv::join(const AbstractEnv &A, const AbstractEnv &B) {
+  if (A.IsBottom)
+    return B;
+  if (B.IsBottom)
+    return A;
+  AbstractEnv R = A;
+  R.ClockItv = A.ClockItv.join(B.ClockItv);
+  R.Cells = PersistentMap<ScalarAbs>::combine(
+      A.Cells, B.Cells,
+      [](CellId, const ScalarAbs *X, const ScalarAbs *Y)
+          -> std::optional<ScalarAbs> {
+        if (!X)
+          return *Y;
+        if (!Y)
+          return *X;
+        return ScalarAbs{X->Itv.join(Y->Itv), X->Clk.join(Y->Clk)};
+      });
+  R.Octs = PersistentMap<std::shared_ptr<const Octagon>>::combine(
+      A.Octs, B.Octs,
+      [](PackId, const std::shared_ptr<const Octagon> *X,
+         const std::shared_ptr<const Octagon> *Y)
+          -> std::optional<std::shared_ptr<const Octagon>> {
+        if (!X)
+          return *Y;
+        if (!Y)
+          return *X;
+        if (*X == *Y)
+          return *X;
+        auto N = std::make_shared<Octagon>(**X);
+        N->close();
+        Octagon BC(**Y);
+        BC.close();
+        N->joinWith(BC);
+        return std::shared_ptr<const Octagon>(std::move(N));
+      });
+  R.Trees = PersistentMap<std::shared_ptr<const DecisionTree>>::combine(
+      A.Trees, B.Trees,
+      [](PackId, const std::shared_ptr<const DecisionTree> *X,
+         const std::shared_ptr<const DecisionTree> *Y)
+          -> std::optional<std::shared_ptr<const DecisionTree>> {
+        if (!X)
+          return *Y;
+        if (!Y)
+          return *X;
+        if (*X == *Y)
+          return *X;
+        auto N = std::make_shared<DecisionTree>(**X);
+        N->joinWith(**Y);
+        return std::shared_ptr<const DecisionTree>(std::move(N));
+      });
+  R.Ells = PersistentMap<std::shared_ptr<const EllipsoidState>>::combine(
+      A.Ells, B.Ells,
+      [](PackId, const std::shared_ptr<const EllipsoidState> *X,
+         const std::shared_ptr<const EllipsoidState> *Y)
+          -> std::optional<std::shared_ptr<const EllipsoidState>> {
+        if (!X)
+          return *Y;
+        if (!Y)
+          return *X;
+        if (*X == *Y)
+          return *X;
+        // Join = pointwise max; a pair missing on one side is top (+inf),
+        // so only pairs present on both sides survive.
+        auto N = std::make_shared<EllipsoidState>();
+        for (const auto &[Pair, KA] : (*X)->K) {
+          auto It = (*Y)->K.find(Pair);
+          if (It != (*Y)->K.end())
+            N->K[Pair] = std::max(KA, It->second);
+        }
+        return std::shared_ptr<const EllipsoidState>(std::move(N));
+      });
+  return R;
+}
+
+AbstractEnv AbstractEnv::widen(const AbstractEnv &A, const AbstractEnv &B,
+                               const Thresholds &T, bool WithThresholds,
+                               const std::function<bool(CellId)> *FloatCell) {
+  if (A.IsBottom)
+    return B;
+  if (B.IsBottom)
+    return A;
+  AbstractEnv R = A;
+  // The clock must be widened like any cell: it advances every iteration
+  // of the synchronous loop and a plain join would take ClockMax fixpoint
+  // steps to stabilize. The threshold ladder contains ClockMax itself (the
+  // Analyzer adds it), so the bound lands exactly there.
+  R.ClockItv = WithThresholds ? A.ClockItv.widen(B.ClockItv, T)
+                              : A.ClockItv.widen(B.ClockItv);
+  R.Cells = PersistentMap<ScalarAbs>::combine(
+      A.Cells, B.Cells,
+      [&](CellId C, const ScalarAbs *X, const ScalarAbs *Y)
+          -> std::optional<ScalarAbs> {
+        if (!X)
+          return *Y;
+        if (!Y)
+          return *X;
+        bool Slack = FloatCell && (*FloatCell)(C);
+        Interval WI = WithThresholds ? X->Itv.widen(Y->Itv, T, Slack)
+                                     : X->Itv.widen(Y->Itv);
+        return ScalarAbs{WI, X->Clk.widen(Y->Clk, T, WithThresholds)};
+      });
+  R.Octs = PersistentMap<std::shared_ptr<const Octagon>>::combine(
+      A.Octs, B.Octs,
+      [&](PackId, const std::shared_ptr<const Octagon> *X,
+          const std::shared_ptr<const Octagon> *Y)
+          -> std::optional<std::shared_ptr<const Octagon>> {
+        if (!X)
+          return *Y;
+        if (!Y)
+          return *X;
+        if (*X == *Y)
+          return *X;
+        auto N = std::make_shared<Octagon>(**X);
+        Octagon BC(**Y);
+        BC.close();
+        N->widenWith(BC, T, WithThresholds);
+        return std::shared_ptr<const Octagon>(std::move(N));
+      });
+  R.Trees = PersistentMap<std::shared_ptr<const DecisionTree>>::combine(
+      A.Trees, B.Trees,
+      [&](PackId, const std::shared_ptr<const DecisionTree> *X,
+          const std::shared_ptr<const DecisionTree> *Y)
+          -> std::optional<std::shared_ptr<const DecisionTree>> {
+        if (!X)
+          return *Y;
+        if (!Y)
+          return *X;
+        if (*X == *Y)
+          return *X;
+        auto N = std::make_shared<DecisionTree>(**X);
+        N->widenWith(**Y, T, WithThresholds);
+        return std::shared_ptr<const DecisionTree>(std::move(N));
+      });
+  R.Ells = PersistentMap<std::shared_ptr<const EllipsoidState>>::combine(
+      A.Ells, B.Ells,
+      [&](PackId, const std::shared_ptr<const EllipsoidState> *X,
+          const std::shared_ptr<const EllipsoidState> *Y)
+          -> std::optional<std::shared_ptr<const EllipsoidState>> {
+        if (!X)
+          return *Y;
+        if (!Y)
+          return *X;
+        if (*X == *Y)
+          return *X;
+        auto N = std::make_shared<EllipsoidState>();
+        for (const auto &[Pair, KA] : (*X)->K) {
+          auto It = (*Y)->K.find(Pair);
+          if (It == (*Y)->K.end())
+            continue;
+          double KB = It->second;
+          N->K[Pair] = KB <= KA ? KA
+                                : (WithThresholds ? T.nextAbove(KB)
+                                                  : INFINITY);
+        }
+        return std::shared_ptr<const EllipsoidState>(std::move(N));
+      });
+  return R;
+}
+
+AbstractEnv AbstractEnv::narrow(const AbstractEnv &A, const AbstractEnv &B) {
+  if (A.IsBottom || B.IsBottom)
+    return bottom();
+  AbstractEnv R = A;
+  R.ClockItv = A.ClockItv.meet(B.ClockItv);
+  if (R.ClockItv.isBottom())
+    R.ClockItv = A.ClockItv;
+  R.Cells = PersistentMap<ScalarAbs>::combine(
+      A.Cells, B.Cells,
+      [](CellId, const ScalarAbs *X, const ScalarAbs *Y)
+          -> std::optional<ScalarAbs> {
+        if (!X)
+          return *Y;
+        if (!Y)
+          return *X;
+        return ScalarAbs{X->Itv.narrow(Y->Itv), X->Clk.narrow(Y->Clk)};
+      });
+  R.Octs = PersistentMap<std::shared_ptr<const Octagon>>::combine(
+      A.Octs, B.Octs,
+      [](PackId, const std::shared_ptr<const Octagon> *X,
+         const std::shared_ptr<const Octagon> *Y)
+          -> std::optional<std::shared_ptr<const Octagon>> {
+        if (!X)
+          return *Y;
+        if (!Y)
+          return *X;
+        if (*X == *Y)
+          return *X;
+        auto N = std::make_shared<Octagon>(**X);
+        N->narrowWith(**Y);
+        return std::shared_ptr<const Octagon>(std::move(N));
+      });
+  R.Trees = PersistentMap<std::shared_ptr<const DecisionTree>>::combine(
+      A.Trees, B.Trees,
+      [](PackId, const std::shared_ptr<const DecisionTree> *X,
+         const std::shared_ptr<const DecisionTree> *Y)
+          -> std::optional<std::shared_ptr<const DecisionTree>> {
+        if (!X)
+          return *Y;
+        if (!Y)
+          return *X;
+        if (*X == *Y)
+          return *X;
+        auto N = std::make_shared<DecisionTree>(**X);
+        N->narrowWith(**Y);
+        return std::shared_ptr<const DecisionTree>(std::move(N));
+      });
+  R.Ells = A.Ells;
+  return R;
+}
+
+bool AbstractEnv::leq(const AbstractEnv &A, const AbstractEnv &B) {
+  if (A.IsBottom)
+    return true;
+  if (B.IsBottom)
+    return false;
+  if (!A.ClockItv.leq(B.ClockItv))
+    return false;
+  bool Ok = true;
+  static const ScalarAbs TopAbs{Interval::top(), Clocked::top()};
+  PersistentMap<ScalarAbs>::forEachDiff(
+      A.Cells, B.Cells, [&](CellId, const ScalarAbs *X, const ScalarAbs *Y) {
+        if (!Ok)
+          return;
+        // A missing binding means the cell is unconstrained (top).
+        const ScalarAbs &XV = X ? *X : TopAbs;
+        const ScalarAbs &YV = Y ? *Y : TopAbs;
+        if (!XV.leq(YV))
+          Ok = false;
+      });
+  if (!Ok)
+    return false;
+  PersistentMap<std::shared_ptr<const Octagon>>::forEachDiff(
+      A.Octs, B.Octs,
+      [&](PackId, const std::shared_ptr<const Octagon> *X,
+          const std::shared_ptr<const Octagon> *Y) {
+        if (!Ok || !X || !Y)
+          return;
+        Octagon AC(**X);
+        AC.close();
+        if (!AC.leq(**Y))
+          Ok = false;
+      });
+  if (!Ok)
+    return false;
+  PersistentMap<std::shared_ptr<const DecisionTree>>::forEachDiff(
+      A.Trees, B.Trees,
+      [&](PackId, const std::shared_ptr<const DecisionTree> *X,
+          const std::shared_ptr<const DecisionTree> *Y) {
+        if (!Ok || !X || !Y)
+          return;
+        if (!(*X)->leq(**Y))
+          Ok = false;
+      });
+  if (!Ok)
+    return false;
+  PersistentMap<std::shared_ptr<const EllipsoidState>>::forEachDiff(
+      A.Ells, B.Ells,
+      [&](PackId, const std::shared_ptr<const EllipsoidState> *X,
+          const std::shared_ptr<const EllipsoidState> *Y) {
+        if (!Ok || !X || !Y)
+          return;
+        // A <= B iff every constraint of B is implied by A.
+        for (const auto &[Pair, KB] : (*Y)->K) {
+          double KA = (*X)->get(Pair.first, Pair.second);
+          if (!(KA <= KB)) {
+            Ok = false;
+            return;
+          }
+        }
+      });
+  return Ok;
+}
+
+bool AbstractEnv::leqPerturbed(const AbstractEnv &A, const AbstractEnv &B,
+                               double Eps) {
+  if (A.IsBottom)
+    return true;
+  if (B.IsBottom)
+    return false;
+  if (!A.ClockItv.leq(B.ClockItv))
+    return false;
+  bool Ok = true;
+  auto Relaxed = [Eps](const Interval &X, const Interval &Y) {
+    if (X.isBottom())
+      return true;
+    if (Y.isBottom())
+      return false;
+    double LoSlack = Eps * std::fabs(Y.Lo);
+    double HiSlack = Eps * std::fabs(Y.Hi);
+    return X.Lo >= Y.Lo - LoSlack && X.Hi <= Y.Hi + HiSlack;
+  };
+  PersistentMap<ScalarAbs>::forEachDiff(
+      A.Cells, B.Cells, [&](CellId, const ScalarAbs *X, const ScalarAbs *Y) {
+        if (!Ok || !X || !Y)
+          return;
+        if (!Relaxed(X->Itv, Y->Itv) || !X->Clk.leq(Y->Clk))
+          Ok = false;
+      });
+  if (!Ok)
+    return false;
+  // Relational components use the exact check (their bounds are stable once
+  // the intervals are).
+  AbstractEnv ACells = A, BCells = B;
+  ACells.Cells = PersistentMap<ScalarAbs>();
+  BCells.Cells = PersistentMap<ScalarAbs>();
+  ACells.ClockItv = BCells.ClockItv = Interval::point(0);
+  return leq(ACells, BCells);
+}
+
+bool AbstractEnv::equal(const AbstractEnv &A, const AbstractEnv &B) {
+  if (A.IsBottom != B.IsBottom)
+    return false;
+  if (A.IsBottom)
+    return true;
+  if (A.ClockItv != B.ClockItv)
+    return false;
+  if (!PersistentMap<ScalarAbs>::equal(A.Cells, B.Cells))
+    return false;
+  bool Eq = true;
+  PersistentMap<std::shared_ptr<const Octagon>>::forEachDiff(
+      A.Octs, B.Octs,
+      [&](PackId, const std::shared_ptr<const Octagon> *X,
+          const std::shared_ptr<const Octagon> *Y) {
+        if (!X || !Y || !(*X)->equal(**Y))
+          Eq = false;
+      });
+  if (!Eq)
+    return false;
+  PersistentMap<std::shared_ptr<const DecisionTree>>::forEachDiff(
+      A.Trees, B.Trees,
+      [&](PackId, const std::shared_ptr<const DecisionTree> *X,
+          const std::shared_ptr<const DecisionTree> *Y) {
+        if (!X || !Y || !(*X)->equal(**Y))
+          Eq = false;
+      });
+  if (!Eq)
+    return false;
+  PersistentMap<std::shared_ptr<const EllipsoidState>>::forEachDiff(
+      A.Ells, B.Ells,
+      [&](PackId, const std::shared_ptr<const EllipsoidState> *X,
+          const std::shared_ptr<const EllipsoidState> *Y) {
+        if (!X || !Y || !(**X == **Y))
+          Eq = false;
+      });
+  return Eq;
+}
+
+void AbstractEnv::forEachChangedCell(const AbstractEnv &A,
+                                     const AbstractEnv &B,
+                                     const std::function<void(CellId)> &F) {
+  PersistentMap<ScalarAbs>::forEachDiff(
+      A.Cells, B.Cells,
+      [&](CellId C, const ScalarAbs *, const ScalarAbs *) { F(C); });
+}

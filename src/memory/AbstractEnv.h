@@ -1,0 +1,167 @@
+//===- memory/AbstractEnv.h - Abstract environments --------------*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract environments (Sect. 6.1): a map from cells to per-cell abstract
+/// values (the reduction of interval and clocked components), plus the
+/// relational components — one octagon per octagon pack (6.2.2), one
+/// decision tree per boolean pack (6.2.4), one ellipsoid constraint map per
+/// filter pack (6.2.3) — and the hidden clock interval.
+///
+/// All maps are persistent trees with physical-equality short-cuts
+/// (Sect. 6.1.2), so join/widen/inclusion cost is proportional to the number
+/// of differing entries. Relational states are held by shared_ptr and
+/// cloned on write (copy-on-write).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_MEMORY_ABSTRACTENV_H
+#define ASTRAL_MEMORY_ABSTRACTENV_H
+
+#include "domains/Clocked.h"
+#include "domains/DecisionTree.h"
+#include "domains/Ellipsoid.h"
+#include "domains/Interval.h"
+#include "domains/Octagon.h"
+#include "memory/Cell.h"
+#include "support/PersistentMap.h"
+
+#include <map>
+#include <memory>
+
+namespace astral {
+
+class Thresholds;
+
+namespace memory {
+
+/// Per-cell abstract value: the reduced product of the interval and clocked
+/// components (Sect. 6.1: "an abstract value in an abstract cell is the
+/// reduction of the abstract values provided by each basic abstract
+/// domain").
+struct ScalarAbs {
+  Interval Itv;
+  Clocked Clk = Clocked::top();
+
+  bool operator==(const ScalarAbs &O) const {
+    return Itv == O.Itv && Clk == O.Clk;
+  }
+  bool leq(const ScalarAbs &O) const {
+    return Itv.leq(O.Itv) && Clk.leq(O.Clk);
+  }
+};
+
+/// Ellipsoidal constraints of one filter pack: the paper's function r from
+/// variable pairs to bounds k (X^2 - aXY + bY^2 <= k).
+struct EllipsoidState {
+  std::map<std::pair<CellId, CellId>, double> K;
+
+  bool operator==(const EllipsoidState &O) const { return K == O.K; }
+  double get(CellId X, CellId Y) const {
+    auto It = K.find({X, Y});
+    return It == K.end() ? INFINITY : It->second;
+  }
+};
+
+class AbstractEnv {
+public:
+  /// The bottom (unreachable) environment.
+  static AbstractEnv bottom() {
+    AbstractEnv E;
+    E.IsBottom = true;
+    return E;
+  }
+
+  bool isBottom() const { return IsBottom; }
+  void markBottom() { IsBottom = true; }
+
+  // -- Cells --------------------------------------------------------------
+  const ScalarAbs *cell(CellId C) const { return Cells.get(C); }
+  Interval cellInterval(CellId C) const {
+    const ScalarAbs *S = Cells.get(C);
+    return S ? S->Itv : Interval::top();
+  }
+  void setCell(CellId C, const ScalarAbs &V) { Cells = Cells.set(C, V); }
+
+  // -- Clock ----------------------------------------------------------------
+  Interval clock() const { return ClockItv; }
+  void setClock(Interval I) { ClockItv = I; }
+
+  // -- Relational components -------------------------------------------------
+  std::shared_ptr<const Octagon> octagon(PackId P) const {
+    const std::shared_ptr<const Octagon> *O = Octs.get(P);
+    return O ? *O : nullptr;
+  }
+  void setOctagon(PackId P, std::shared_ptr<const Octagon> O) {
+    Octs = Octs.set(P, std::move(O));
+  }
+  std::shared_ptr<const DecisionTree> tree(PackId P) const {
+    const std::shared_ptr<const DecisionTree> *T = Trees.get(P);
+    return T ? *T : nullptr;
+  }
+  void setTree(PackId P, std::shared_ptr<const DecisionTree> T) {
+    Trees = Trees.set(P, std::move(T));
+  }
+  std::shared_ptr<const EllipsoidState> ellipsoids(PackId P) const {
+    const std::shared_ptr<const EllipsoidState> *E = Ells.get(P);
+    return E ? *E : nullptr;
+  }
+  void setEllipsoids(PackId P, std::shared_ptr<const EllipsoidState> E) {
+    Ells = Ells.set(P, std::move(E));
+  }
+
+  template <typename FnT> void forEachOctagon(FnT &&F) const {
+    Octs.forEach(F);
+  }
+  template <typename FnT> void forEachTree(FnT &&F) const {
+    Trees.forEach(F);
+  }
+  template <typename FnT> void forEachEllipsoids(FnT &&F) const {
+    Ells.forEach(F);
+  }
+  template <typename FnT> void forEachCell(FnT &&F) const {
+    Cells.forEach(F);
+  }
+
+  // -- Lattice operations (short-cut evaluated) -----------------------------
+  static AbstractEnv join(const AbstractEnv &A, const AbstractEnv &B);
+  /// \p FloatCell tells which cells hold floating-point values: only those
+  /// receive the F-hat slack of Sect. 7.1.4 (integer quantities would
+  /// ratchet). Null means "no cell is float" (no slack).
+  static AbstractEnv widen(const AbstractEnv &A, const AbstractEnv &B,
+                           const Thresholds &T, bool WithThresholds,
+                           const std::function<bool(CellId)> *FloatCell =
+                               nullptr);
+  static AbstractEnv narrow(const AbstractEnv &A, const AbstractEnv &B);
+  /// Abstract inclusion A (= B.
+  static bool leq(const AbstractEnv &A, const AbstractEnv &B);
+  static bool equal(const AbstractEnv &A, const AbstractEnv &B);
+
+  /// Widening stabilization with the float iteration perturbation of
+  /// Sect. 7.1.4: bounds of B are allowed to exceed A by Eps * |bound|.
+  static bool leqPerturbed(const AbstractEnv &A, const AbstractEnv &B,
+                           double Eps);
+
+  /// Cells whose abstraction differs between A and B (for the delayed
+  /// widening bookkeeping of Sect. 7.1.3).
+  static void forEachChangedCell(
+      const AbstractEnv &A, const AbstractEnv &B,
+      const std::function<void(CellId)> &F);
+
+private:
+  bool IsBottom = false;
+  PersistentMap<ScalarAbs> Cells;
+  Interval ClockItv = Interval::point(0);
+  PersistentMap<std::shared_ptr<const Octagon>> Octs;
+  PersistentMap<std::shared_ptr<const DecisionTree>> Trees;
+  PersistentMap<std::shared_ptr<const EllipsoidState>> Ells;
+};
+
+} // namespace memory
+} // namespace astral
+
+#endif // ASTRAL_MEMORY_ABSTRACTENV_H

@@ -1,0 +1,195 @@
+//===- memory/Cell.cpp - Memory cell model ----------------------------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "memory/Cell.h"
+
+#include <cassert>
+
+using namespace astral;
+using namespace astral::memory;
+
+const LayoutNode *CellLayout::build(const Type *Ty, ir::VarId V,
+                                    const std::string &Name, bool Volatile) {
+  NodeArena.emplace_back();
+  LayoutNode *N = &NodeArena.back();
+  N->FirstCell = static_cast<CellId>(Cells.size());
+
+  auto MakeCell = [&](const Type *CellTy, const std::string &CellName,
+                      bool Shrunk) {
+    CellInfo CI;
+    CI.Name = CellName;
+    CI.Ty = CellTy;
+    CI.Var = V;
+    CI.IsVolatile = Volatile;
+    CI.IsShrunk = Shrunk;
+    CI.IsBool = CellTy->isInt() && CellTy->IsBool;
+    Cells.push_back(std::move(CI));
+    return static_cast<CellId>(Cells.size() - 1);
+  };
+
+  if (Ty->isArray()) {
+    // Multi-dimensional arrays shrink when the *total* element count is
+    // large; the per-dimension product is what matters for cell count.
+    if (Ty->ArraySize > ExpandLimit) {
+      N->K = LayoutNode::Kind::ShrunkArray;
+      N->ArraySize = Ty->ArraySize;
+      // The shrunk cell holds the join of all scalar leaves; nested
+      // aggregates shrink into the same single cell, so find the leaf type.
+      const Type *Leaf = Ty->Elem;
+      while (Leaf->isArray())
+        Leaf = Leaf->Elem;
+      N->Cell = MakeCell(Leaf->isStruct() ? Leaf->Fields.empty()
+                                                ? Ty->Elem
+                                                : Leaf->Fields[0].FieldType
+                                          : Leaf,
+                         Name + "[*]", /*Shrunk=*/true);
+      N->CellCount = 1;
+      return N;
+    }
+    N->K = LayoutNode::Kind::ExpandedArray;
+    N->ArraySize = Ty->ArraySize;
+    // Build element 0, then replicate cells for the remaining elements;
+    // all elements share the same layout shape at a fixed stride.
+    const LayoutNode *Elem0 =
+        build(Ty->Elem, V, Name + "[0]", Volatile);
+    N->Elem = Elem0;
+    N->ElemStride = Elem0->CellCount;
+    for (uint64_t I = 1; I < Ty->ArraySize; ++I) {
+      for (uint32_t C = 0; C < Elem0->CellCount; ++C) {
+        const CellInfo &Proto = Cells[Elem0->FirstCell + C];
+        CellInfo CI = Proto;
+        // Rewrite the element index in the name.
+        CI.Name = Name + "[" + std::to_string(I) + "]" +
+                  Proto.Name.substr(Name.size() + 3);
+        Cells.push_back(std::move(CI));
+      }
+    }
+    N->CellCount = static_cast<uint32_t>(Elem0->CellCount * Ty->ArraySize);
+    ExpandedCells += N->CellCount;
+    return N;
+  }
+
+  if (Ty->isStruct()) {
+    N->K = LayoutNode::Kind::Record;
+    for (const StructField &F : Ty->Fields)
+      N->Fields.push_back(build(F.FieldType, V, Name + "." + F.Name,
+                                Volatile));
+    N->CellCount = static_cast<uint32_t>(Cells.size()) - N->FirstCell;
+    return N;
+  }
+
+  // Scalar (pointers only occur as reference parameters, which have no
+  // cells; a stray pointer-typed local is modeled as an opaque atomic cell).
+  N->K = LayoutNode::Kind::Atomic;
+  N->Cell = MakeCell(Ty, Name, /*Shrunk=*/false);
+  N->CellCount = 1;
+  return N;
+}
+
+CellLayout::CellLayout(const ir::Program &P, unsigned Limit)
+    : ExpandLimit(Limit) {
+  VarNodes.assign(P.Vars.size(), nullptr);
+  for (ir::VarId V = 0; V < P.Vars.size(); ++V) {
+    const ir::VarInfo &VI = P.Vars[V];
+    if (!VI.IsUsed || VI.IsRef)
+      continue; // Reference parameters alias caller storage.
+    VarNodes[V] = build(VI.Ty, V, VI.Name, VI.IsVolatile);
+  }
+}
+
+CellSel CellLayout::resolve(const LayoutNode *Node,
+                            const std::vector<ResolvedAccess> &Path) const {
+  CellSel Sel;
+  Sel.Strong = true;
+  const LayoutNode *N = Node;
+  // Element layouts describe element 0; Offset accumulates the cell
+  // displacement from precise index steps.
+  CellId Offset = 0;
+  for (size_t I = 0; I < Path.size(); ++I) {
+    const ResolvedAccess &A = Path[I];
+    switch (A.K) {
+    case ResolvedAccess::Kind::Field: {
+      if (!N || N->K != LayoutNode::Kind::Record) {
+        if (N && N->K == LayoutNode::Kind::ShrunkArray)
+          break; // Fields inside shrunk aggregates collapse to the cell.
+        return Sel;
+      }
+      if (A.FieldIdx < 0 ||
+          static_cast<size_t>(A.FieldIdx) >= N->Fields.size())
+        return Sel;
+      N = N->Fields[A.FieldIdx];
+      break;
+    }
+    case ResolvedAccess::Kind::Index: {
+      if (!N)
+        return Sel;
+      if (N->K == LayoutNode::Kind::ShrunkArray) {
+        const Interval &Idx = A.Idx;
+        if (!Idx.isBottom()) {
+          if (Idx.Hi >= static_cast<double>(N->ArraySize) || Idx.Lo < 0)
+            Sel.MayBeOutOfBounds = true;
+          if (Idx.Lo >= static_cast<double>(N->ArraySize) || Idx.Hi < 0)
+            Sel.DefinitelyOutOfBounds = true;
+        }
+        // Stay on the shrunk node; nested indices collapse too.
+        Sel.Strong = false;
+        break;
+      }
+      if (N->K != LayoutNode::Kind::ExpandedArray)
+        return Sel;
+      const Interval &Idx = A.Idx;
+      if (Idx.isBottom())
+        return Sel; // Unreachable.
+      double Size = static_cast<double>(N->ArraySize);
+      if (Idx.Hi >= Size || Idx.Lo < 0)
+        Sel.MayBeOutOfBounds = true;
+      if (Idx.Lo >= Size || Idx.Hi < 0) {
+        Sel.DefinitelyOutOfBounds = true;
+        return Sel; // No valid cells at all.
+      }
+      double ClampedLo = std::max(Idx.Lo, 0.0);
+      double ClampedHi = std::min(Idx.Hi, Size - 1);
+      uint64_t Lo = static_cast<uint64_t>(ClampedLo);
+      uint64_t Hi = static_cast<uint64_t>(ClampedHi);
+      if (Lo == Hi) {
+        // Precise index: step into that element.
+        Offset += static_cast<CellId>(Lo * N->ElemStride);
+        N = N->Elem;
+        break;
+      }
+      // Range of elements: weak selection over the whole span; remaining
+      // path accesses stay within each element, so the conservative result
+      // is the full cell range of the spanned elements.
+      Sel.Strong = false;
+      Sel.First = N->FirstCell + Offset +
+                  static_cast<CellId>(Lo * N->ElemStride);
+      Sel.Count = static_cast<uint32_t>((Hi - Lo + 1) * N->ElemStride);
+      return Sel;
+    }
+    }
+  }
+  if (!N)
+    return Sel;
+  switch (N->K) {
+  case LayoutNode::Kind::Atomic:
+    Sel.First = N->Cell + Offset;
+    Sel.Count = 1;
+    break;
+  case LayoutNode::Kind::ShrunkArray:
+    Sel.First = N->Cell + Offset;
+    Sel.Count = 1;
+    Sel.Strong = false; // Shrunk cells only take weak updates.
+    break;
+  default:
+    // Aggregate selection (whole array/record): all cells, weak.
+    Sel.First = N->FirstCell + Offset;
+    Sel.Count = N->CellCount;
+    Sel.Strong = false;
+    break;
+  }
+  return Sel;
+}

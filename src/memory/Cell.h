@@ -1,0 +1,130 @@
+//===- memory/Cell.h - Memory cell model -------------------------*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The memory abstract domain's cell model (Sect. 6.1.1). Every used program
+/// variable is laid out as a tree of cells:
+///   - atomic cells for scalars (enums and booleans are integers);
+///   - expanded arrays: one cell per element (element-wise abstraction);
+///   - shrunk arrays: one cell for all elements of large arrays, "where all
+///     that matters is the range of the stored data";
+///   - records: one cell per field (field-sensitive).
+/// Unused variables get no cells (Sect. 5.1 optimization).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_MEMORY_CELL_H
+#define ASTRAL_MEMORY_CELL_H
+
+#include "domains/Interval.h"
+#include "domains/LinearForm.h"
+#include "ir/Ir.h"
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace astral {
+namespace memory {
+
+using astral::CellId; ///< Shared with the domains (LinearForm.h).
+inline constexpr CellId NoCell = UINT32_MAX;
+
+/// Identifier of a relational-domain pack (octagon / decision tree /
+/// ellipsoid), assigned by the packing phase.
+using PackId = uint32_t;
+
+struct CellInfo {
+  std::string Name;
+  const Type *Ty = nullptr; ///< Scalar type of the cell's contents.
+  ir::VarId Var = ir::NoVar;
+  bool IsVolatile = false;
+  bool IsShrunk = false;
+  bool IsBool = false; ///< _Bool-typed: decision-tree candidate.
+};
+
+/// Layout node mirroring the variable's type structure.
+struct LayoutNode {
+  enum class Kind : uint8_t { Atomic, ExpandedArray, ShrunkArray, Record };
+  Kind K = Kind::Atomic;
+  CellId Cell = NoCell;            ///< Atomic / ShrunkArray.
+  uint64_t ArraySize = 0;          ///< Arrays.
+  const LayoutNode *Elem = nullptr;///< ExpandedArray: layout of element 0;
+                                   ///< elements are cell-contiguous copies.
+  uint32_t ElemStride = 0;         ///< Cells per element (ExpandedArray).
+  std::vector<const LayoutNode *> Fields; ///< Record.
+  CellId FirstCell = NoCell;       ///< First cell of this subtree.
+  uint32_t CellCount = 0;          ///< Cells in this subtree.
+};
+
+/// One lvalue access with its dynamic parts already evaluated: either a
+/// record field selection or an array subscript whose index has been
+/// abstracted to an interval. Reference bindings fix these at call time, so
+/// the designated region cannot drift if the index variables later change.
+struct ResolvedAccess {
+  enum class Kind : uint8_t { Field, Index } K = Kind::Field;
+  int FieldIdx = -1;
+  Interval Idx;
+};
+
+/// The result of resolving an lvalue to cells.
+struct CellSel {
+  /// Candidate cells ([First, First+Count) contiguous range).
+  CellId First = NoCell;
+  uint32_t Count = 0;
+  /// True when the lvalue designates exactly one concrete location (strong
+  /// update allowed). Shrunk arrays are never strong.
+  bool Strong = false;
+  /// The evaluated index may fall outside the array bounds.
+  bool MayBeOutOfBounds = false;
+  /// The index is certainly outside the bounds (definite error).
+  bool DefinitelyOutOfBounds = false;
+
+  bool empty() const { return Count == 0; }
+};
+
+/// Builds and owns the cell table for a program.
+class CellLayout {
+public:
+  /// Arrays larger than \p ExpandLimit elements are shrunk.
+  CellLayout(const ir::Program &P, unsigned ExpandLimit);
+
+  const std::vector<CellInfo> &cells() const { return Cells; }
+  size_t numCells() const { return Cells.size(); }
+  const CellInfo &cell(CellId C) const { return Cells[C]; }
+
+  /// Layout of \p V, or null when the variable has no cells (unused, or a
+  /// reference parameter).
+  const LayoutNode *varLayout(ir::VarId V) const {
+    return V < VarNodes.size() ? VarNodes[V] : nullptr;
+  }
+
+  /// Resolves a pre-evaluated access path against \p Node (Derefs must have
+  /// been substituted through reference bindings by the caller).
+  CellSel resolve(const LayoutNode *Node,
+                  const std::vector<ResolvedAccess> &Path) const;
+
+  /// Number of expanded cells created for statistics ("21,000 after array
+  /// expansion", Sect. 8).
+  uint64_t expandedArrayCells() const { return ExpandedCells; }
+
+private:
+  const LayoutNode *build(const Type *Ty, ir::VarId V,
+                          const std::string &Name, bool Volatile);
+
+  std::vector<CellInfo> Cells;
+  std::vector<const LayoutNode *> VarNodes;
+  std::deque<LayoutNode> NodeArena;
+  unsigned ExpandLimit;
+  uint64_t ExpandedCells = 0;
+};
+
+} // namespace memory
+} // namespace astral
+
+#endif // ASTRAL_MEMORY_CELL_H

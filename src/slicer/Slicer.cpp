@@ -1,0 +1,313 @@
+//===- slicer/Slicer.cpp - Backward slicing for alarm inspection -------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "slicer/Slicer.h"
+
+using namespace astral;
+using namespace astral::ir;
+
+void Slicer::exprUses(const Expr *E, std::set<VarId> &Out) const {
+  if (!E)
+    return;
+  switch (E->Kind) {
+  case ExprKind::Load:
+    lvalueUses(E->Lv, Out);
+    Out.insert(E->Lv.Base);
+    return;
+  case ExprKind::Unary:
+  case ExprKind::Cast:
+    exprUses(E->A, Out);
+    return;
+  case ExprKind::Binary:
+    exprUses(E->A, Out);
+    exprUses(E->B, Out);
+    return;
+  default:
+    return;
+  }
+}
+
+void Slicer::lvalueUses(const LValue &Lv, std::set<VarId> &Out) const {
+  for (const Access &A : Lv.Path)
+    if (A.K == Access::Kind::Index)
+      exprUses(A.Index, Out);
+}
+
+void Slicer::indexStmt(const Stmt *S, std::vector<size_t> &ControlStack) {
+  if (!S)
+    return;
+  auto Record = [&](std::set<VarId> Defs, std::set<VarId> Uses) {
+    StmtInfo Info;
+    Info.S = S;
+    Info.Defs = std::move(Defs);
+    Info.Uses = std::move(Uses);
+    Info.Controls = ControlStack;
+    Info.Order = Stmts.size();
+    PointToStmt[S->Point] = Stmts.size();
+    Stmts.push_back(std::move(Info));
+  };
+  auto MapExprPoints = [&](const Expr *E, size_t Idx) {
+    std::vector<const Expr *> Work{E};
+    while (!Work.empty()) {
+      const Expr *X = Work.back();
+      Work.pop_back();
+      if (!X)
+        continue;
+      PointToStmt[X->Point] = Idx;
+      Work.push_back(X->A);
+      Work.push_back(X->B);
+      if (X->is(ExprKind::Load))
+        for (const Access &A : X->Lv.Path)
+          if (A.K == Access::Kind::Index)
+            Work.push_back(A.Index);
+    }
+  };
+
+  switch (S->Kind) {
+  case StmtKind::Assign: {
+    std::set<VarId> Uses, Defs{S->Lhs.Base};
+    lvalueUses(S->Lhs, Uses);
+    exprUses(S->Rhs, Uses);
+    Record(std::move(Defs), std::move(Uses));
+    MapExprPoints(S->Rhs, Stmts.size() - 1);
+    for (const Access &A : S->Lhs.Path)
+      if (A.K == Access::Kind::Index)
+        MapExprPoints(A.Index, Stmts.size() - 1);
+    return;
+  }
+  case StmtKind::If: {
+    std::set<VarId> Uses;
+    exprUses(S->Cond, Uses);
+    Record({}, std::move(Uses));
+    size_t CondIdx = Stmts.size() - 1;
+    MapExprPoints(S->Cond, CondIdx);
+    ControlStack.push_back(CondIdx);
+    indexStmt(S->Then, ControlStack);
+    indexStmt(S->Else, ControlStack);
+    ControlStack.pop_back();
+    return;
+  }
+  case StmtKind::While: {
+    std::set<VarId> Uses;
+    exprUses(S->Cond, Uses);
+    Record({}, std::move(Uses));
+    size_t CondIdx = Stmts.size() - 1;
+    MapExprPoints(S->Cond, CondIdx);
+    ControlStack.push_back(CondIdx);
+    indexStmt(S->Body, ControlStack);
+    indexStmt(S->Step, ControlStack);
+    ControlStack.pop_back();
+    return;
+  }
+  case StmtKind::Seq:
+    for (const Stmt *C : S->Stmts)
+      indexStmt(C, ControlStack);
+    return;
+  case StmtKind::Call: {
+    std::set<VarId> Uses, Defs;
+    for (const CallArg &A : S->Args) {
+      if (A.IsRef) {
+        Defs.insert(A.Ref.Base); // May write through the reference.
+        Uses.insert(A.Ref.Base);
+        lvalueUses(A.Ref, Uses);
+      } else {
+        exprUses(A.Value, Uses);
+      }
+    }
+    if (S->RetTo) {
+      Defs.insert(S->RetTo->Base);
+      lvalueUses(*S->RetTo, Uses);
+    }
+    // Callee summary: its defs/uses of globals flow through the call.
+    if (S->Callee < FnDefs.size()) {
+      for (VarId V : FnDefs[S->Callee])
+        Defs.insert(V);
+      for (VarId V : FnUses[S->Callee])
+        Uses.insert(V);
+    }
+    Record(std::move(Defs), std::move(Uses));
+    for (const CallArg &A : S->Args)
+      if (!A.IsRef)
+        MapExprPoints(A.Value, Stmts.size() - 1);
+    return;
+  }
+  case StmtKind::Return: {
+    std::set<VarId> Uses;
+    exprUses(S->RetVal, Uses);
+    Record({}, std::move(Uses));
+    return;
+  }
+  case StmtKind::Assume:
+  case StmtKind::Assert: {
+    std::set<VarId> Uses;
+    exprUses(S->Cond, Uses);
+    Record({}, std::move(Uses));
+    MapExprPoints(S->Cond, Stmts.size() - 1);
+    return;
+  }
+  case StmtKind::Wait:
+  case StmtKind::Break:
+  case StmtKind::Continue:
+  case StmtKind::Nop:
+    Record({}, {});
+    return;
+  }
+}
+
+Slicer::Slicer(const Program &Prog) : P(Prog) {
+  // Callee summaries first (iterate to a fixpoint over the call graph; the
+  // subset has no recursion, so |functions| passes suffice).
+  FnDefs.assign(P.Functions.size(), {});
+  FnUses.assign(P.Functions.size(), {});
+  for (size_t Pass = 0; Pass < P.Functions.size(); ++Pass) {
+    bool Changed = false;
+    for (const Function &F : P.Functions) {
+      if (!F.Body)
+        continue;
+      std::set<VarId> Defs, Uses;
+      std::vector<const Stmt *> Work{F.Body};
+      while (!Work.empty()) {
+        const Stmt *S = Work.back();
+        Work.pop_back();
+        if (!S)
+          continue;
+        switch (S->Kind) {
+        case StmtKind::Assign: {
+          Defs.insert(S->Lhs.Base);
+          std::set<VarId> U;
+          exprUses(S->Rhs, U);
+          lvalueUses(S->Lhs, U);
+          Uses.insert(U.begin(), U.end());
+          break;
+        }
+        case StmtKind::Call: {
+          for (const CallArg &A : S->Args) {
+            if (A.IsRef) {
+              Defs.insert(A.Ref.Base);
+              Uses.insert(A.Ref.Base);
+            } else {
+              std::set<VarId> U;
+              exprUses(A.Value, U);
+              Uses.insert(U.begin(), U.end());
+            }
+          }
+          if (S->RetTo)
+            Defs.insert(S->RetTo->Base);
+          if (S->Callee < FnDefs.size()) {
+            Defs.insert(FnDefs[S->Callee].begin(), FnDefs[S->Callee].end());
+            Uses.insert(FnUses[S->Callee].begin(), FnUses[S->Callee].end());
+          }
+          break;
+        }
+        default: {
+          std::set<VarId> U;
+          exprUses(S->Cond, U);
+          exprUses(S->RetVal, U);
+          Uses.insert(U.begin(), U.end());
+          break;
+        }
+        }
+        Work.push_back(S->Then);
+        Work.push_back(S->Else);
+        Work.push_back(S->Body);
+        Work.push_back(S->Step);
+        for (const Stmt *C : S->Stmts)
+          Work.push_back(C);
+      }
+      if (Defs != FnDefs[F.Id] || Uses != FnUses[F.Id]) {
+        FnDefs[F.Id] = std::move(Defs);
+        FnUses[F.Id] = std::move(Uses);
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      break;
+  }
+
+  // Index statements in execution order: init, then every function body
+  // (so intraprocedural order is respected; calls rely on summaries).
+  std::vector<size_t> Controls;
+  indexStmt(P.GlobalInit, Controls);
+  for (const Function &F : P.Functions)
+    indexStmt(F.Body, Controls);
+}
+
+SliceResult Slicer::backwardSlice(uint32_t Point) const {
+  return backwardSlice(Point, [](VarId) { return true; });
+}
+
+SliceResult Slicer::backwardSlice(
+    uint32_t Point, const std::function<bool(VarId)> &Tracked) const {
+  SliceResult R;
+  auto It = PointToStmt.find(Point);
+  if (It == PointToStmt.end())
+    return R;
+
+  std::vector<bool> InSlice(Stmts.size(), false);
+  std::set<VarId> Needed;
+  size_t Criterion = It->second;
+  InSlice[Criterion] = true;
+  for (VarId V : Stmts[Criterion].Uses)
+    if (Tracked(V))
+      Needed.insert(V);
+  for (size_t Ctrl : Stmts[Criterion].Controls) {
+    InSlice[Ctrl] = true;
+    for (VarId V : Stmts[Ctrl].Uses)
+      if (Tracked(V))
+        Needed.insert(V);
+  }
+
+  // Iterate to a fixpoint (loops create backward dependences).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = Stmts.size(); I-- > 0;) {
+      if (InSlice[I])
+        continue;
+      const StmtInfo &Info = Stmts[I];
+      bool DefinesNeeded = false;
+      for (VarId V : Info.Defs)
+        if (Needed.count(V)) {
+          DefinesNeeded = true;
+          break;
+        }
+      if (!DefinesNeeded)
+        continue;
+      InSlice[I] = true;
+      Changed = true;
+      for (VarId V : Info.Uses)
+        if (Tracked(V))
+          Needed.insert(V);
+      for (size_t Ctrl : Info.Controls) {
+        if (!InSlice[Ctrl]) {
+          InSlice[Ctrl] = true;
+          for (VarId V : Stmts[Ctrl].Uses)
+            if (Tracked(V))
+              Needed.insert(V);
+        }
+      }
+    }
+  }
+
+  for (size_t I = 0; I < Stmts.size(); ++I) {
+    if (!InSlice[I])
+      continue;
+    ++R.StmtCount;
+    const Stmt *S = Stmts[I].S;
+    R.Points.insert(S->Point);
+    // Control statements are rendered as their head only (the sliced body
+    // statements appear on their own lines).
+    if (S->is(StmtKind::If))
+      R.Rendering += "if (" + exprToString(P, S->Cond) + ") ...\n";
+    else if (S->is(StmtKind::While))
+      R.Rendering += "while (" + exprToString(P, S->Cond) + ") ...\n";
+    else
+      R.Rendering += stmtToString(P, S, 0);
+  }
+  R.Vars = std::move(Needed);
+  return R;
+}

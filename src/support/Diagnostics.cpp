@@ -1,0 +1,58 @@
+//===- support/Diagnostics.cpp - Diagnostic engine ------------------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace astral;
+
+static const std::string UnknownFile = "<unknown>";
+
+uint32_t DiagnosticsEngine::addFile(const std::string &FileName) {
+  for (uint32_t I = 0, E = static_cast<uint32_t>(Files.size()); I != E; ++I)
+    if (Files[I] == FileName)
+      return I;
+  Files.push_back(FileName);
+  return static_cast<uint32_t>(Files.size() - 1);
+}
+
+const std::string &DiagnosticsEngine::fileName(uint32_t FileId) const {
+  if (FileId >= Files.size())
+    return UnknownFile;
+  return Files[FileId];
+}
+
+void DiagnosticsEngine::report(DiagSeverity Severity, SourceLocation Loc,
+                               const std::string &Message) {
+  Diags.push_back(Diagnostic{Severity, Loc, Message});
+  if (Severity == DiagSeverity::Error)
+    ++NumErrors;
+}
+
+std::string DiagnosticsEngine::format(const Diagnostic &D) const {
+  const char *Sev = "note";
+  if (D.Severity == DiagSeverity::Warning)
+    Sev = "warning";
+  else if (D.Severity == DiagSeverity::Error)
+    Sev = "error";
+  std::string Out = fileName(D.Loc.FileId);
+  Out += ":";
+  Out += D.Loc.toString();
+  Out += ": ";
+  Out += Sev;
+  Out += ": ";
+  Out += D.Message;
+  return Out;
+}
+
+std::string DiagnosticsEngine::formatAll() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += format(D);
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,39 @@
+//===- support/MemoryTracker.cpp - Abstract-state memory accounting -------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MemoryTracker.h"
+
+#include <atomic>
+
+namespace astral {
+namespace memtrack {
+
+namespace {
+std::atomic<size_t> Live{0};
+std::atomic<size_t> Peak{0};
+} // namespace
+
+void noteAlloc(size_t Bytes) {
+  size_t Now = Live.fetch_add(Bytes, std::memory_order_relaxed) + Bytes;
+  size_t Old = Peak.load(std::memory_order_relaxed);
+  while (Now > Old &&
+         !Peak.compare_exchange_weak(Old, Now, std::memory_order_relaxed)) {
+  }
+}
+
+void noteFree(size_t Bytes) {
+  Live.fetch_sub(Bytes, std::memory_order_relaxed);
+}
+
+size_t liveBytes() { return Live.load(std::memory_order_relaxed); }
+
+size_t peakBytes() { return Peak.load(std::memory_order_relaxed); }
+
+void resetPeak() { Peak.store(liveBytes(), std::memory_order_relaxed); }
+
+} // namespace memtrack
+} // namespace astral

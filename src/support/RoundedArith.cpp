@@ -1,0 +1,114 @@
+//===- support/RoundedArith.cpp - Directed-rounding float ops -------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/RoundedArith.h"
+
+namespace astral {
+namespace rounded {
+
+// A nearest-rounded result R of an exact value V satisfies
+// nextafter(R, -inf) < V < nextafter(R, +inf) whenever R is finite, so one
+// outward nudge yields sound directed bounds. When the operation is provably
+// exact (no rounding happened) the nudge is skipped: point values like unit
+// coefficients and integral bounds then stay points, which the octagon shape
+// detection and linear-form cancellation rely on.
+
+/// True when X + Y was computed without rounding (Sterbenz-style residual
+/// check; sufficient, not necessary, which is fine for soundness).
+static bool addExact(double X, double Y, double R) {
+  if (!std::isfinite(R))
+    return false;
+  return R - X == Y && R - Y == X;
+}
+
+/// True when X * Y was computed without rounding (FMA residual).
+static bool mulExact(double X, double Y, double R) {
+  if (!std::isfinite(R))
+    return false;
+  return std::fma(X, Y, -R) == 0.0;
+}
+
+/// True when X / Y was computed without rounding.
+static bool divExact(double X, double Y, double R) {
+  if (!std::isfinite(R) || Y == 0.0)
+    return false;
+  return std::fma(R, Y, -X) == 0.0 && std::isfinite(R * Y);
+}
+
+double addDown(double X, double Y) {
+  double R = X + Y;
+  if (std::isnan(R) || addExact(X, Y, R))
+    return R;
+  return nudgeDown(R);
+}
+
+double addUp(double X, double Y) {
+  double R = X + Y;
+  if (std::isnan(R) || addExact(X, Y, R))
+    return R;
+  return nudgeUp(R);
+}
+
+double subDown(double X, double Y) {
+  double R = X - Y;
+  if (std::isnan(R) || addExact(X, -Y, R))
+    return R;
+  return nudgeDown(R);
+}
+
+double subUp(double X, double Y) {
+  double R = X - Y;
+  if (std::isnan(R) || addExact(X, -Y, R))
+    return R;
+  return nudgeUp(R);
+}
+
+double mulDown(double X, double Y) {
+  double R = X * Y;
+  if (std::isnan(R) || mulExact(X, Y, R))
+    return R;
+  return nudgeDown(R);
+}
+
+double mulUp(double X, double Y) {
+  double R = X * Y;
+  if (std::isnan(R) || mulExact(X, Y, R))
+    return R;
+  return nudgeUp(R);
+}
+
+double divDown(double X, double Y) {
+  double R = X / Y;
+  if (std::isnan(R) || divExact(X, Y, R))
+    return R;
+  return nudgeDown(R);
+}
+
+double divUp(double X, double Y) {
+  double R = X / Y;
+  if (std::isnan(R) || divExact(X, Y, R))
+    return R;
+  return nudgeUp(R);
+}
+
+double sqrtDown(double X) {
+  double R = std::sqrt(X);
+  if (std::isnan(R))
+    return R;
+  double Down = nudgeDown(R);
+  return Down < 0.0 ? 0.0 : Down;
+}
+
+double sqrtUp(double X) {
+  double R = std::sqrt(X);
+  if (std::isnan(R))
+    return R;
+  return nudgeUp(R);
+}
+
+} // namespace rounded
+} // namespace astral

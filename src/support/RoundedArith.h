@@ -1,0 +1,78 @@
+//===- support/RoundedArith.h - Directed-rounding float ops ------*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sound directed rounding for the floating-point interval arithmetic of
+/// Sect. 6.2.1 ("special care has to be taken ... to always perform rounding
+/// in the right direction and to handle special IEEE values").
+///
+/// Instead of toggling the FPU rounding mode (slow, thread-hostile, easy to
+/// leak), every operation is computed in round-to-nearest and then nudged one
+/// ulp outward with std::nextafter when an exact result cannot be guaranteed.
+/// The result is a superset of what any IEEE rounding mode could produce,
+/// which is all interval soundness requires. Infinities are preserved (they
+/// are already the widest bounds); NaN operands are handled by the interval
+/// layer, not here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_SUPPORT_ROUNDEDARITH_H
+#define ASTRAL_SUPPORT_ROUNDEDARITH_H
+
+#include <cmath>
+#include <limits>
+
+namespace astral {
+namespace rounded {
+
+/// Largest relative error of one rounded binary64 operation (2^-52, one ulp;
+/// a sound upper bound for the 1/2 ulp of round-to-nearest).
+inline constexpr double RelErr = 2.220446049250313e-16;
+
+/// Largest relative error of one rounded binary32 operation (2^-23), used
+/// when modeling the analyzed program's `float` computations (the paper's
+/// constant f in the delta(k) formula of Sect. 6.2.3).
+inline constexpr double RelErrFloat32 = 1.1920928955078125e-7;
+
+/// Smallest positive subnormal binary64 (absolute error floor).
+inline constexpr double AbsErrMin = 4.9406564584124654e-324;
+
+/// Smallest positive subnormal binary32 for analyzed `float` code.
+inline constexpr double AbsErrMinFloat32 = 1.4012984643248171e-45;
+
+inline double nudgeDown(double X) {
+  if (std::isinf(X) || std::isnan(X))
+    return X;
+  return std::nextafter(X, -std::numeric_limits<double>::infinity());
+}
+
+inline double nudgeUp(double X) {
+  if (std::isinf(X) || std::isnan(X))
+    return X;
+  return std::nextafter(X, std::numeric_limits<double>::infinity());
+}
+
+/// Lower bound of x + y under any rounding mode.
+double addDown(double X, double Y);
+/// Upper bound of x + y under any rounding mode.
+double addUp(double X, double Y);
+double subDown(double X, double Y);
+double subUp(double X, double Y);
+double mulDown(double X, double Y);
+double mulUp(double X, double Y);
+/// Division; callers must not pass Y spanning zero (the interval layer
+/// handles that case by splitting).
+double divDown(double X, double Y);
+double divUp(double X, double Y);
+/// Lower bound of sqrt(x); X must be >= 0.
+double sqrtDown(double X);
+double sqrtUp(double X);
+
+} // namespace rounded
+} // namespace astral
+
+#endif // ASTRAL_SUPPORT_ROUNDEDARITH_H

@@ -1,0 +1,60 @@
+//===- support/SourceLocation.h - Source positions --------------*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight source coordinates used by the lexer, parser, diagnostics and
+/// alarms. A SourceLocation is a (file, line, column) triple; files are
+/// interned by the frontend and referenced by index.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_SUPPORT_SOURCELOCATION_H
+#define ASTRAL_SUPPORT_SOURCELOCATION_H
+
+#include <cstdint>
+#include <string>
+
+namespace astral {
+
+/// A position in a source file. Line/column are 1-based; 0 means "unknown".
+struct SourceLocation {
+  uint32_t FileId = 0;
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  constexpr SourceLocation() = default;
+  constexpr SourceLocation(uint32_t File, uint32_t L, uint32_t C)
+      : FileId(File), Line(L), Column(C) {}
+
+  bool isValid() const { return Line != 0; }
+
+  friend bool operator==(const SourceLocation &A, const SourceLocation &B) {
+    return A.FileId == B.FileId && A.Line == B.Line && A.Column == B.Column;
+  }
+  friend bool operator!=(const SourceLocation &A, const SourceLocation &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const SourceLocation &A, const SourceLocation &B) {
+    if (A.FileId != B.FileId)
+      return A.FileId < B.FileId;
+    if (A.Line != B.Line)
+      return A.Line < B.Line;
+    return A.Column < B.Column;
+  }
+
+  /// Renders "line:col" (file name resolution is owned by the diagnostics
+  /// engine, which knows the interned file table).
+  std::string toString() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Column);
+  }
+};
+
+} // namespace astral
+
+#endif // ASTRAL_SUPPORT_SOURCELOCATION_H

@@ -1,0 +1,21 @@
+//===- support/Statistics.cpp - Analysis statistics registry --------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+using namespace astral;
+
+std::string Statistics::toString() const {
+  std::string Out;
+  for (const auto &[Name, Value] : Counters) {
+    Out += Name;
+    Out += " = ";
+    Out += std::to_string(Value);
+    Out += '\n';
+  }
+  return Out;
+}

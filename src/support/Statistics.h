@@ -1,0 +1,47 @@
+//===- support/Statistics.h - Analysis statistics registry -------*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named counters collected during an analysis run (fixpoint iterations,
+/// widening applications, octagon closures, alarms by category, ...). The
+/// registry is per-run, not global, so benches can run many analyses and
+/// compare counters side by side.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_SUPPORT_STATISTICS_H
+#define ASTRAL_SUPPORT_STATISTICS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace astral {
+
+/// A per-run bag of named counters.
+class Statistics {
+public:
+  void add(const std::string &Name, uint64_t Delta = 1) {
+    Counters[Name] += Delta;
+  }
+  void set(const std::string &Name, uint64_t Value) { Counters[Name] = Value; }
+  uint64_t get(const std::string &Name) const {
+    auto It = Counters.find(Name);
+    return It == Counters.end() ? 0 : It->second;
+  }
+  const std::map<std::string, uint64_t> &all() const { return Counters; }
+
+  /// Renders "name = value" lines sorted by name.
+  std::string toString() const;
+
+private:
+  std::map<std::string, uint64_t> Counters;
+};
+
+} // namespace astral
+
+#endif // ASTRAL_SUPPORT_STATISTICS_H

@@ -1,0 +1,41 @@
+//===- support/Timer.h - Wall-clock timing ------------------------*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal steady-clock stopwatch used by the analyzer driver and the
+/// experiment harnesses (Fig. 2 reports total analysis time).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_SUPPORT_TIMER_H
+#define ASTRAL_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace astral {
+
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace astral
+
+#endif // ASTRAL_SUPPORT_TIMER_H

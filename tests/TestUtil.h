@@ -1,0 +1,93 @@
+//===- tests/TestUtil.h - Shared test helpers --------------------*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_TESTS_TESTUTIL_H
+#define ASTRAL_TESTS_TESTUTIL_H
+
+#include "analyzer/Analyzer.h"
+#include "ir/ConstFold.h"
+#include "ir/Lowering.h"
+#include "lang/Parser.h"
+#include "lang/Preprocessor.h"
+#include "lang/Sema.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace astral {
+namespace testutil {
+
+/// Runs the whole analyzer on \p Source with optional option tweaks.
+inline AnalysisResult
+analyzeSource(const std::string &Source,
+              const std::function<void(AnalyzerOptions &)> &Tweak = nullptr) {
+  AnalysisInput In;
+  In.Source = Source;
+  In.Options.ClockMax = 1.0e6;
+  if (Tweak)
+    Tweak(In.Options);
+  return Analyzer::analyze(In);
+}
+
+/// Range of a named variable in the result (bottom when missing).
+inline Interval rangeOf(const AnalysisResult &R, const std::string &Name) {
+  for (const auto &[N, I] : R.VariableRanges)
+    if (N == Name)
+      return I;
+  return Interval::bottom();
+}
+
+inline size_t alarmsOfKind(const AnalysisResult &R, AlarmKind K) {
+  size_t N = 0;
+  for (const Alarm &A : R.Alarms)
+    if (A.Kind == K)
+      ++N;
+  return N;
+}
+
+/// Frontend-only pipeline: preprocess, parse, check, lower, fold.
+/// Asserts success; returns the IR program (AstContext kept alive via
+/// the out-param).
+inline std::unique_ptr<ir::Program>
+lowerSource(const std::string &Source, std::unique_ptr<AstContext> &AstOut,
+            std::string *Errors = nullptr) {
+  DiagnosticsEngine Diags;
+  Preprocessor PP(Diags);
+  std::vector<Token> Toks = PP.run(Source, "test.c");
+  AstOut = std::make_unique<AstContext>();
+  Parser P(std::move(Toks), *AstOut, Diags);
+  std::unique_ptr<ir::Program> Prog;
+  if (P.parseTranslationUnit()) {
+    Sema S(*AstOut, Diags);
+    if (S.run()) {
+      ir::Lowering L(*AstOut, Diags);
+      Prog = L.run("main");
+      if (Prog)
+        ir::foldConstants(*Prog);
+    }
+  }
+  if (Errors)
+    *Errors = Diags.formatAll();
+  return Prog;
+}
+
+/// Wraps a loop-free body in the standard synchronous skeleton.
+inline std::string inMain(const std::string &Body) {
+  return "int main(void) {\n" + Body + "\n  return 0;\n}\n";
+}
+
+/// Wraps a body in the periodic synchronous loop (Sect. 4 shape).
+inline std::string inLoop(const std::string &Decls, const std::string &Body) {
+  return Decls + "\nint main(void) {\n  while (1) {\n" + Body +
+         "\n    __astral_wait();\n  }\n  return 0;\n}\n";
+}
+
+} // namespace testutil
+} // namespace astral
+
+#endif // ASTRAL_TESTS_TESTUTIL_H

@@ -1,0 +1,160 @@
+//===- tests/test_abstract_env.cpp - Abstract environment tests ---------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "memory/AbstractEnv.h"
+
+#include "domains/Thresholds.h"
+
+#include <gtest/gtest.h>
+
+using namespace astral;
+using namespace astral::memory;
+
+namespace {
+AbstractEnv envWithCells(std::initializer_list<std::pair<CellId, Interval>>
+                             Cells) {
+  AbstractEnv E;
+  for (auto &[C, I] : Cells)
+    E.setCell(C, ScalarAbs{I, Clocked::top()});
+  return E;
+}
+} // namespace
+
+TEST(AbstractEnv, BottomBasics) {
+  AbstractEnv B = AbstractEnv::bottom();
+  EXPECT_TRUE(B.isBottom());
+  AbstractEnv E = envWithCells({{0, Interval(0, 1)}});
+  EXPECT_TRUE(AbstractEnv::leq(B, E));
+  EXPECT_FALSE(AbstractEnv::leq(E, B));
+  AbstractEnv J = AbstractEnv::join(B, E);
+  EXPECT_FALSE(J.isBottom());
+  EXPECT_EQ(J.cellInterval(0), Interval(0, 1));
+}
+
+TEST(AbstractEnv, JoinCellwise) {
+  AbstractEnv A = envWithCells({{0, Interval(0, 1)}, {1, Interval(5, 6)}});
+  AbstractEnv B = envWithCells({{0, Interval(2, 3)}, {1, Interval(5, 6)}});
+  AbstractEnv J = AbstractEnv::join(A, B);
+  EXPECT_EQ(J.cellInterval(0), Interval(0, 3));
+  EXPECT_EQ(J.cellInterval(1), Interval(5, 6));
+}
+
+TEST(AbstractEnv, LeqAndEqual) {
+  AbstractEnv A = envWithCells({{0, Interval(0, 1)}});
+  AbstractEnv B = envWithCells({{0, Interval(-1, 2)}});
+  EXPECT_TRUE(AbstractEnv::leq(A, B));
+  EXPECT_FALSE(AbstractEnv::leq(B, A));
+  EXPECT_FALSE(AbstractEnv::equal(A, B));
+  EXPECT_TRUE(AbstractEnv::equal(A, A));
+}
+
+TEST(AbstractEnv, WidenWithThresholds) {
+  Thresholds T = Thresholds::geometric(1.0, 10.0, 4);
+  AbstractEnv A = envWithCells({{0, Interval(0, 1)}});
+  AbstractEnv B = envWithCells({{0, Interval(0, 2)}});
+  AbstractEnv W = AbstractEnv::widen(A, B, T, /*WithThresholds=*/true);
+  EXPECT_EQ(W.cellInterval(0).Hi, 10.0);
+  AbstractEnv WP = AbstractEnv::widen(A, B, T, /*WithThresholds=*/false);
+  EXPECT_TRUE(std::isinf(WP.cellInterval(0).Hi));
+}
+
+TEST(AbstractEnv, NarrowRefinesInfinity) {
+  Thresholds T = Thresholds::geometric(1.0, 10.0, 4);
+  AbstractEnv X = envWithCells({{0, Interval(0, INFINITY)}});
+  AbstractEnv F = envWithCells({{0, Interval(0, 7)}});
+  AbstractEnv N = AbstractEnv::narrow(X, F);
+  EXPECT_EQ(N.cellInterval(0), Interval(0, 7));
+}
+
+TEST(AbstractEnv, ClockJoinsAndTicks) {
+  AbstractEnv A;
+  A.setClock(Interval(0, 5));
+  AbstractEnv B;
+  B.setClock(Interval(2, 9));
+  AbstractEnv J = AbstractEnv::join(A, B);
+  EXPECT_EQ(J.clock(), Interval(0, 9));
+}
+
+TEST(AbstractEnv, OctagonSharingShortcut) {
+  AbstractEnv A;
+  auto O = std::make_shared<const Octagon>(std::vector<CellId>{1, 2});
+  A.setOctagon(0, O);
+  AbstractEnv B = A; // Shares the octagon pointer.
+  AbstractEnv J = AbstractEnv::join(A, B);
+  EXPECT_EQ(J.octagon(0).get(), O.get())
+      << "physically equal octagons must not be cloned on join";
+}
+
+TEST(AbstractEnv, OctagonJoinCombines) {
+  std::vector<CellId> Pack{1, 2};
+  auto OA = std::make_shared<Octagon>(Pack);
+  OA->meetVarInterval(0, Interval(0, 1));
+  OA->close();
+  auto OB = std::make_shared<Octagon>(Pack);
+  OB->meetVarInterval(0, Interval(5, 6));
+  OB->close();
+  AbstractEnv A, B;
+  A.setOctagon(0, std::move(OA));
+  B.setOctagon(0, std::move(OB));
+  AbstractEnv J = AbstractEnv::join(A, B);
+  std::shared_ptr<const Octagon> OJ = J.octagon(0);
+  ASSERT_NE(OJ, nullptr);
+  Interval V = OJ->varInterval(0);
+  EXPECT_LE(V.Lo, 0.0);
+  EXPECT_GE(V.Hi, 6.0);
+}
+
+TEST(AbstractEnv, TreeJoinLeafwise) {
+  std::vector<CellId> Bools{1};
+  std::vector<CellId> Nums{10};
+  auto TA = std::make_shared<DecisionTree>(Bools, Nums);
+  TA->guardBool(0, true);
+  auto TB = std::make_shared<DecisionTree>(Bools, Nums);
+  TB->guardBool(0, false);
+  AbstractEnv A, B;
+  A.setTree(0, std::move(TA));
+  B.setTree(0, std::move(TB));
+  AbstractEnv J = AbstractEnv::join(A, B);
+  std::shared_ptr<const DecisionTree> TJ = J.tree(0);
+  ASSERT_NE(TJ, nullptr);
+  EXPECT_EQ(TJ->boolValues(0), 2);
+}
+
+TEST(AbstractEnv, EllipsoidJoinKeepsCommonPairs) {
+  auto EA = std::make_shared<EllipsoidState>();
+  EA->K[{1, 2}] = 10.0;
+  EA->K[{3, 4}] = 5.0;
+  auto EB = std::make_shared<EllipsoidState>();
+  EB->K[{1, 2}] = 20.0;
+  AbstractEnv A, B;
+  A.setEllipsoids(0, std::move(EA));
+  B.setEllipsoids(0, std::move(EB));
+  AbstractEnv J = AbstractEnv::join(A, B);
+  std::shared_ptr<const EllipsoidState> EJ = J.ellipsoids(0);
+  ASSERT_NE(EJ, nullptr);
+  EXPECT_EQ(EJ->get(1, 2), 20.0);            // Pointwise max.
+  EXPECT_TRUE(std::isinf(EJ->get(3, 4)));    // Missing on one side -> top.
+}
+
+TEST(AbstractEnv, PerturbedLeqAcceptsEpsilon) {
+  AbstractEnv A = envWithCells({{0, Interval(0, 1.0000001)}});
+  AbstractEnv B = envWithCells({{0, Interval(0, 1.0)}});
+  EXPECT_FALSE(AbstractEnv::leq(A, B));
+  EXPECT_TRUE(AbstractEnv::leqPerturbed(A, B, 1e-5));
+  EXPECT_FALSE(AbstractEnv::leqPerturbed(A, B, 1e-9));
+}
+
+TEST(AbstractEnv, ChangedCellsDetected) {
+  AbstractEnv A = envWithCells(
+      {{0, Interval(0, 1)}, {1, Interval(2, 3)}, {2, Interval(4, 5)}});
+  AbstractEnv B = A;
+  B.setCell(1, ScalarAbs{Interval(2, 9), Clocked::top()});
+  std::vector<CellId> Changed;
+  AbstractEnv::forEachChangedCell(A, B,
+                                  [&](CellId C) { Changed.push_back(C); });
+  EXPECT_EQ(Changed, std::vector<CellId>{1});
+}

@@ -1,0 +1,210 @@
+//===- tests/test_cells.cpp - Cell layout tests --------------------------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003). Tests the Sect. 6.1.1 memory
+// model: atomic / expanded / shrunk / record cells.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memory/Cell.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace astral;
+using namespace astral::memory;
+using testutil::lowerSource;
+
+namespace {
+struct LayoutFixture {
+  std::unique_ptr<AstContext> Ast;
+  std::unique_ptr<ir::Program> P;
+  std::unique_ptr<CellLayout> Layout;
+};
+
+LayoutFixture layoutOf(const std::string &Src, unsigned ExpandLimit = 16) {
+  LayoutFixture F;
+  F.P = lowerSource(Src, F.Ast);
+  EXPECT_NE(F.P, nullptr);
+  if (F.P)
+    F.Layout = std::make_unique<CellLayout>(*F.P, ExpandLimit);
+  return F;
+}
+
+ir::VarId varByName(const ir::Program &P, const std::string &Name) {
+  for (ir::VarId V = 0; V < P.Vars.size(); ++V)
+    if (P.Vars[V].Name == Name)
+      return V;
+  return ir::NoVar;
+}
+
+ResolvedAccess idx(double Lo, double Hi) {
+  ResolvedAccess A;
+  A.K = ResolvedAccess::Kind::Index;
+  A.Idx = Interval(Lo, Hi);
+  return A;
+}
+
+ResolvedAccess field(int I) {
+  ResolvedAccess A;
+  A.K = ResolvedAccess::Kind::Field;
+  A.FieldIdx = I;
+  return A;
+}
+} // namespace
+
+TEST(Cells, AtomicScalar) {
+  LayoutFixture F = layoutOf("int a;\nint main(void) { a = 1; return 0; }");
+  ir::VarId A = varByName(*F.P, "a");
+  const LayoutNode *N = F.Layout->varLayout(A);
+  ASSERT_NE(N, nullptr);
+  EXPECT_EQ(N->K, LayoutNode::Kind::Atomic);
+  CellSel Sel = F.Layout->resolve(N, {});
+  EXPECT_EQ(Sel.Count, 1u);
+  EXPECT_TRUE(Sel.Strong);
+}
+
+TEST(Cells, SmallArrayExpanded) {
+  LayoutFixture F = layoutOf(
+      "float t[4];\nint main(void) { t[0] = 1.0f; return 0; }");
+  ir::VarId T = varByName(*F.P, "t");
+  const LayoutNode *N = F.Layout->varLayout(T);
+  ASSERT_NE(N, nullptr);
+  EXPECT_EQ(N->K, LayoutNode::Kind::ExpandedArray);
+  EXPECT_EQ(N->CellCount, 4u);
+  EXPECT_GE(F.Layout->expandedArrayCells(), 4u);
+}
+
+TEST(Cells, LargeArrayShrunk) {
+  LayoutFixture F = layoutOf(
+      "float big[100];\nint i;\nint main(void) { big[i] = 1.0f; return 0; }",
+      /*ExpandLimit=*/16);
+  ir::VarId B = varByName(*F.P, "big");
+  const LayoutNode *N = F.Layout->varLayout(B);
+  ASSERT_NE(N, nullptr);
+  EXPECT_EQ(N->K, LayoutNode::Kind::ShrunkArray);
+  EXPECT_EQ(N->CellCount, 1u);
+  CellSel Sel = F.Layout->resolve(N, {idx(0, 5)});
+  EXPECT_EQ(Sel.Count, 1u);
+  EXPECT_FALSE(Sel.Strong) << "shrunk cells take weak updates only";
+}
+
+TEST(Cells, RecordFieldSensitive) {
+  LayoutFixture F = layoutOf(
+      "struct S { float a; int b; };\nstruct S s;\n"
+      "int main(void) { s.b = 1; return 0; }");
+  ir::VarId S = varByName(*F.P, "s");
+  const LayoutNode *N = F.Layout->varLayout(S);
+  ASSERT_NE(N, nullptr);
+  EXPECT_EQ(N->K, LayoutNode::Kind::Record);
+  EXPECT_EQ(N->CellCount, 2u);
+  CellSel SelB = F.Layout->resolve(N, {field(1)});
+  ASSERT_EQ(SelB.Count, 1u);
+  EXPECT_TRUE(F.Layout->cell(SelB.First).Ty->isInt());
+  EXPECT_NE(F.Layout->cell(SelB.First).Name.find(".b"), std::string::npos);
+}
+
+TEST(Cells, PreciseIndexIsStrong) {
+  LayoutFixture F = layoutOf(
+      "int t[4];\nint main(void) { t[2] = 1; return 0; }");
+  ir::VarId T = varByName(*F.P, "t");
+  const LayoutNode *N = F.Layout->varLayout(T);
+  CellSel Sel = F.Layout->resolve(N, {idx(2, 2)});
+  EXPECT_EQ(Sel.Count, 1u);
+  EXPECT_TRUE(Sel.Strong);
+  EXPECT_EQ(F.Layout->cell(Sel.First).Name, "t[2]");
+}
+
+TEST(Cells, RangeIndexIsWeak) {
+  LayoutFixture F = layoutOf(
+      "int t[4]; int i;\nint main(void) { t[i] = 1; return 0; }");
+  ir::VarId T = varByName(*F.P, "t");
+  const LayoutNode *N = F.Layout->varLayout(T);
+  CellSel Sel = F.Layout->resolve(N, {idx(1, 3)});
+  EXPECT_EQ(Sel.Count, 3u);
+  EXPECT_FALSE(Sel.Strong);
+}
+
+TEST(Cells, OutOfBoundsFlags) {
+  LayoutFixture F = layoutOf(
+      "int t[4]; int i;\nint main(void) { t[i] = 1; return 0; }");
+  ir::VarId T = varByName(*F.P, "t");
+  const LayoutNode *N = F.Layout->varLayout(T);
+  CellSel May = F.Layout->resolve(N, {idx(2, 6)});
+  EXPECT_TRUE(May.MayBeOutOfBounds);
+  EXPECT_FALSE(May.DefinitelyOutOfBounds);
+  EXPECT_EQ(May.Count, 2u); // Elements 2..3 remain valid.
+  CellSel Def = F.Layout->resolve(N, {idx(10, 12)});
+  EXPECT_TRUE(Def.DefinitelyOutOfBounds);
+  EXPECT_EQ(Def.Count, 0u);
+  CellSel Neg = F.Layout->resolve(N, {idx(-3, -1)});
+  EXPECT_TRUE(Neg.DefinitelyOutOfBounds);
+}
+
+TEST(Cells, TwoDimensionalStride) {
+  LayoutFixture F = layoutOf(
+      "int g[3][4];\nint main(void) { g[1][2] = 1; return 0; }");
+  ir::VarId G = varByName(*F.P, "g");
+  const LayoutNode *N = F.Layout->varLayout(G);
+  ASSERT_NE(N, nullptr);
+  EXPECT_EQ(N->CellCount, 12u);
+  CellSel Sel = F.Layout->resolve(N, {idx(1, 1), idx(2, 2)});
+  ASSERT_EQ(Sel.Count, 1u);
+  EXPECT_TRUE(Sel.Strong);
+  EXPECT_EQ(F.Layout->cell(Sel.First).Name, "g[1][2]");
+  // Flat offset = 1*4 + 2 from the array base.
+  CellSel Base = F.Layout->resolve(N, {idx(0, 0), idx(0, 0)});
+  EXPECT_EQ(Sel.First, Base.First + 6);
+}
+
+TEST(Cells, ArrayOfStructs) {
+  LayoutFixture F = layoutOf(
+      "struct P { float x; float y; };\nstruct P ps[3];\n"
+      "int main(void) { ps[1].y = 2.0f; return 0; }");
+  ir::VarId PS = varByName(*F.P, "ps");
+  const LayoutNode *N = F.Layout->varLayout(PS);
+  ASSERT_NE(N, nullptr);
+  EXPECT_EQ(N->CellCount, 6u);
+  CellSel Sel = F.Layout->resolve(N, {idx(1, 1), field(1)});
+  ASSERT_EQ(Sel.Count, 1u);
+  EXPECT_EQ(F.Layout->cell(Sel.First).Name, "ps[1].y");
+}
+
+TEST(Cells, WholeArraySelection) {
+  LayoutFixture F = layoutOf(
+      "int t[4];\nint main(void) { t[0] = 1; return 0; }");
+  ir::VarId T = varByName(*F.P, "t");
+  const LayoutNode *N = F.Layout->varLayout(T);
+  CellSel All = F.Layout->resolve(N, {});
+  EXPECT_EQ(All.Count, 4u);
+  EXPECT_FALSE(All.Strong);
+}
+
+TEST(Cells, UnusedVariablesGetNoCells) {
+  LayoutFixture F = layoutOf(
+      "int used; int unused_thing;\n"
+      "int main(void) { used = 1; return 0; }");
+  ir::VarId U = varByName(*F.P, "unused_thing");
+  ASSERT_NE(U, ir::NoVar);
+  EXPECT_EQ(F.Layout->varLayout(U), nullptr);
+}
+
+TEST(Cells, BoolCellsFlagged) {
+  LayoutFixture F = layoutOf(
+      "_Bool b;\nint main(void) { b = 1; return 0; }");
+  ir::VarId B = varByName(*F.P, "b");
+  const LayoutNode *N = F.Layout->varLayout(B);
+  ASSERT_NE(N, nullptr);
+  EXPECT_TRUE(F.Layout->cell(N->Cell).IsBool);
+}
+
+TEST(Cells, VolatileFlagPropagates) {
+  LayoutFixture F = layoutOf(
+      "volatile float in;\nfloat x;\n"
+      "int main(void) { x = in; return 0; }");
+  ir::VarId In = varByName(*F.P, "in");
+  const LayoutNode *N = F.Layout->varLayout(In);
+  ASSERT_NE(N, nullptr);
+  EXPECT_TRUE(F.Layout->cell(N->Cell).IsVolatile);
+}

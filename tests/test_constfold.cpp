@@ -1,0 +1,138 @@
+//===- tests/test_constfold.cpp - Constant folding tests ----------------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003). Tests the Sect. 5.1 preprocessing
+// optimizations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/ConstFold.h"
+
+#include "ir/Lowering.h"
+#include "lang/Parser.h"
+#include "lang/Preprocessor.h"
+#include "lang/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace astral;
+using namespace astral::ir;
+
+namespace {
+struct FoldFixture {
+  std::unique_ptr<AstContext> Ast;
+  std::unique_ptr<Program> P;
+  ConstFoldStats Stats;
+};
+
+FoldFixture fold(const std::string &Src) {
+  FoldFixture F;
+  DiagnosticsEngine Diags;
+  Preprocessor PP(Diags);
+  std::vector<Token> Toks = PP.run(Src, "test.c");
+  F.Ast = std::make_unique<AstContext>();
+  Parser P(std::move(Toks), *F.Ast, Diags);
+  EXPECT_TRUE(P.parseTranslationUnit()) << Diags.formatAll();
+  Sema S(*F.Ast, Diags);
+  EXPECT_TRUE(S.run()) << Diags.formatAll();
+  Lowering L(*F.Ast, Diags);
+  F.P = L.run("main");
+  EXPECT_NE(F.P, nullptr) << Diags.formatAll();
+  if (F.P)
+    F.Stats = foldConstants(*F.P);
+  return F;
+}
+} // namespace
+
+TEST(ConstFold, FoldsArithmetic) {
+  FoldFixture F = fold("int x;\nint main(void) { x = 2 + 3 * 4; return 0; }");
+  EXPECT_GE(F.Stats.FoldedExprs, 1u);
+  std::string D = F.P->dump();
+  EXPECT_NE(D.find(":= 14"), std::string::npos) << D;
+}
+
+TEST(ConstFold, DoesNotFoldOverflow) {
+  FoldFixture F = fold(
+      "int x;\nint main(void) { x = 2000000000 + 2000000000; return 0; }");
+  std::string D = F.P->dump();
+  // The overflowing addition must stay visible for checking mode.
+  EXPECT_NE(D.find("+"), std::string::npos) << D;
+}
+
+TEST(ConstFold, DoesNotFoldDivByZero) {
+  FoldFixture F = fold("int x;\nint main(void) { x = 1 / 0; return 0; }");
+  std::string D = F.P->dump();
+  EXPECT_NE(D.find("/"), std::string::npos) << D;
+}
+
+TEST(ConstFold, FoldsFloats) {
+  FoldFixture F = fold(
+      "float x;\nint main(void) { x = 0.5f * 4.0f; return 0; }");
+  std::string D = F.P->dump();
+  EXPECT_NE(D.find(":= 2"), std::string::npos) << D;
+}
+
+TEST(ConstFold, ConstArrayLoadsReplaced) {
+  FoldFixture F = fold(
+      "const int tab[4] = { 10, 20, 30, 40 };\n"
+      "int x;\nint main(void) { x = tab[2]; return 0; }");
+  EXPECT_GE(F.Stats.ConstLoadsReplaced, 1u);
+  std::string D = F.P->dump();
+  EXPECT_NE(D.find(":= 30"), std::string::npos) << D;
+}
+
+TEST(ConstFold, UnusedGlobalsDeleted) {
+  FoldFixture F = fold(
+      "int used;\nconst int hardware_map[64] = { 1, 2, 3 };\n"
+      "int main(void) { used = 1; return 0; }");
+  EXPECT_GE(F.Stats.GlobalsDeleted, 1u);
+  // The big array's variable is unused.
+  bool FoundUnused = false;
+  for (const VarInfo &VI : F.P->Vars)
+    if (VI.Name == "hardware_map")
+      FoundUnused = !VI.IsUsed;
+  EXPECT_TRUE(FoundUnused);
+  EXPECT_GE(F.Stats.InitAssignsDropped, 3u);
+}
+
+TEST(ConstFold, ConstArrayFullyFoldedBecomesUnused) {
+  // The paper's headline case: "large arrays representing hardware features
+  // with constant subscripts; those arrays are thus optimized away".
+  FoldFixture F = fold(
+      "const int hw[8] = { 1, 2, 3, 4, 5, 6, 7, 8 };\n"
+      "int x;\nint main(void) { x = hw[0] + hw[7]; return 0; }");
+  EXPECT_GE(F.Stats.ConstLoadsReplaced, 2u);
+  for (const VarInfo &VI : F.P->Vars)
+    if (VI.Name == "hw")
+      EXPECT_FALSE(VI.IsUsed);
+}
+
+TEST(ConstFold, DynamicConstArrayStaysUsed) {
+  FoldFixture F = fold(
+      "const int tab[4] = { 1, 2, 3, 4 };\nint i; int x;\n"
+      "int main(void) { x = tab[i]; return 0; }");
+  for (const VarInfo &VI : F.P->Vars)
+    if (VI.Name == "tab")
+      EXPECT_TRUE(VI.IsUsed);
+}
+
+TEST(ConstFold, CastsFolded) {
+  FoldFixture F = fold(
+      "float x;\nint main(void) { x = (float)3; return 0; }");
+  std::string D = F.P->dump();
+  EXPECT_NE(D.find(":= 3"), std::string::npos) << D;
+}
+
+TEST(ConstFold, ComparisonFolded) {
+  FoldFixture F = fold("int x;\nint main(void) { x = 3 < 4; return 0; }");
+  std::string D = F.P->dump();
+  EXPECT_NE(D.find(":= 1"), std::string::npos) << D;
+}
+
+TEST(ConstFold, IndexExpressionsFolded) {
+  FoldFixture F = fold(
+      "#define BASE 2\nint t[8]; int x;\n"
+      "int main(void) { x = t[BASE + 1]; return 0; }");
+  std::string D = F.P->dump();
+  EXPECT_NE(D.find("t[3]"), std::string::npos) << D;
+}

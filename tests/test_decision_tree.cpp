@@ -1,0 +1,171 @@
+//===- tests/test_decision_tree.cpp - Decision tree domain tests --------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "domains/DecisionTree.h"
+
+#include "domains/Thresholds.h"
+
+#include <gtest/gtest.h>
+
+using namespace astral;
+
+TEST(DecisionTree, Construction) {
+  DecisionTree T({1, 2}, {10, 11});
+  EXPECT_EQ(T.leafCount(), 4u);
+  EXPECT_EQ(T.boolIndexOf(1), 0);
+  EXPECT_EQ(T.boolIndexOf(2), 1);
+  EXPECT_EQ(T.boolIndexOf(99), -1);
+  EXPECT_EQ(T.numIndexOf(11), 1);
+  EXPECT_FALSE(T.isBottom());
+  EXPECT_FALSE(T.hasRelationalInfo()); // All leaves identical tops.
+}
+
+TEST(DecisionTree, LeafBoolDecoding) {
+  EXPECT_FALSE(DecisionTree::leafBool(0, 0));
+  EXPECT_TRUE(DecisionTree::leafBool(1, 0));
+  EXPECT_FALSE(DecisionTree::leafBool(1, 1));
+  EXPECT_TRUE(DecisionTree::leafBool(3, 1));
+}
+
+TEST(DecisionTree, GuardBoolKillsLeaves) {
+  DecisionTree T({1}, {10});
+  T.guardBool(0, true);
+  EXPECT_FALSE(T.leaf(0).Reachable);
+  EXPECT_TRUE(T.leaf(1).Reachable);
+  EXPECT_EQ(T.boolValues(0), 1);
+  EXPECT_TRUE(T.hasRelationalInfo());
+}
+
+TEST(DecisionTree, RefineAndQueryNums) {
+  DecisionTree T({1}, {10});
+  std::vector<Interval> PerLeaf{Interval(0, 0), Interval(1, 10)};
+  T.refineNum(0, PerLeaf);
+  EXPECT_EQ(T.leaf(0).Nums[0], Interval(0, 0));
+  EXPECT_EQ(T.leaf(1).Nums[0], Interval(1, 10));
+  EXPECT_EQ(T.numInterval(0), Interval(0, 10));
+  T.guardBool(0, false); // b = 0 leaf only.
+  EXPECT_EQ(T.numInterval(0), Interval(0, 0));
+}
+
+TEST(DecisionTree, AssignNumOverwrites) {
+  DecisionTree T({1}, {10});
+  T.assignNum(0, {Interval(1, 2), Interval(3, 4)});
+  EXPECT_EQ(T.leaf(0).Nums[0], Interval(1, 2));
+  EXPECT_EQ(T.leaf(1).Nums[0], Interval(3, 4));
+}
+
+TEST(DecisionTree, ForgetBoolJoinsPairs) {
+  DecisionTree T({1}, {10});
+  T.assignNum(0, {Interval(0, 0), Interval(5, 5)});
+  T.forgetBool(0);
+  EXPECT_EQ(T.leaf(0).Nums[0], Interval(0, 5));
+  EXPECT_EQ(T.leaf(1).Nums[0], Interval(0, 5));
+  EXPECT_EQ(T.boolValues(0), 2);
+}
+
+TEST(DecisionTree, AssignBoolRoutesLeaves) {
+  DecisionTree T({1}, {10});
+  T.assignNum(0, {Interval(0, 0), Interval(5, 5)});
+  // Truth: leaf0 -> definitely true, leaf1 -> definitely false.
+  T.assignBool(0, {1, 0});
+  // New leaf(b=1) holds old leaf0's nums; leaf(b=0) holds old leaf1's.
+  EXPECT_EQ(T.leaf(1).Nums[0], Interval(0, 0));
+  EXPECT_EQ(T.leaf(0).Nums[0], Interval(5, 5));
+}
+
+TEST(DecisionTree, AssignBoolUnknownSplits) {
+  DecisionTree T({1}, {10});
+  T.assignNum(0, {Interval(2, 3), Interval(2, 3)});
+  T.forgetBool(0);
+  T.assignBool(0, {2, 2}); // Unknown truth everywhere.
+  EXPECT_TRUE(T.leaf(0).Reachable);
+  EXPECT_TRUE(T.leaf(1).Reachable);
+  EXPECT_EQ(T.numInterval(0), Interval(2, 3));
+}
+
+TEST(DecisionTree, JoinLeafwise) {
+  DecisionTree A({1}, {10});
+  A.guardBool(0, true);
+  A.assignNum(0, {Interval::bottom(), Interval(1, 1)});
+  DecisionTree B({1}, {10});
+  B.guardBool(0, false);
+  B.assignNum(0, {Interval(9, 9), Interval::bottom()});
+  A.joinWith(B);
+  EXPECT_TRUE(A.leaf(0).Reachable);
+  EXPECT_TRUE(A.leaf(1).Reachable);
+  EXPECT_EQ(A.leaf(0).Nums[0], Interval(9, 9));
+  EXPECT_EQ(A.leaf(1).Nums[0], Interval(1, 1));
+  // The join keeps the per-boolean distinction the plain intervals lose.
+  EXPECT_TRUE(A.hasRelationalInfo());
+}
+
+TEST(DecisionTree, MeetDetectsConflicts) {
+  DecisionTree A({1}, {10});
+  A.guardBool(0, true);
+  DecisionTree B({1}, {10});
+  B.guardBool(0, false);
+  A.meetWith(B);
+  EXPECT_TRUE(A.isBottom());
+}
+
+TEST(DecisionTree, LeqOrder) {
+  DecisionTree A({1}, {10});
+  A.assignNum(0, {Interval(0, 1), Interval(0, 1)});
+  DecisionTree B({1}, {10});
+  B.assignNum(0, {Interval(0, 5), Interval(0, 5)});
+  EXPECT_TRUE(A.leq(B));
+  EXPECT_FALSE(B.leq(A));
+  DecisionTree C({1}, {10});
+  C.assignNum(0, {Interval(0, 1), Interval(0, 1)});
+  C.guardBool(0, true);
+  EXPECT_TRUE(C.leq(B)) << "killed leaves are below reachable ones";
+  EXPECT_FALSE(B.leq(C));
+}
+
+TEST(DecisionTree, WidenWithThresholds) {
+  Thresholds Thr = Thresholds::geometric(1.0, 10.0, 4);
+  DecisionTree A({1}, {10});
+  A.assignNum(0, {Interval(0, 1), Interval(0, 1)});
+  DecisionTree B({1}, {10});
+  B.assignNum(0, {Interval(0, 2), Interval(0, 1)});
+  A.widenWith(B, Thr);
+  EXPECT_EQ(A.leaf(0).Nums[0].Hi, 10.0);
+  EXPECT_EQ(A.leaf(1).Nums[0].Hi, 1.0); // Stable leaf untouched.
+}
+
+TEST(DecisionTree, NarrowRecoversInfinity) {
+  DecisionTree A({1}, {10});
+  A.assignNum(0, {Interval(0, INFINITY), Interval(0, INFINITY)});
+  DecisionTree B({1}, {10});
+  B.assignNum(0, {Interval(0, 7), Interval(0, 8)});
+  A.narrowWith(B);
+  EXPECT_EQ(A.leaf(0).Nums[0].Hi, 7.0);
+  EXPECT_EQ(A.leaf(1).Nums[0].Hi, 8.0);
+}
+
+TEST(DecisionTree, ThreeBoolsEightLeaves) {
+  DecisionTree T({1, 2, 3}, {10});
+  EXPECT_EQ(T.leafCount(), 8u);
+  T.guardBool(1, true);
+  int Reachable = 0;
+  for (size_t L = 0; L < 8; ++L)
+    if (T.leaf(L).Reachable)
+      ++Reachable;
+  EXPECT_EQ(Reachable, 4);
+}
+
+TEST(DecisionTree, DivisionGuardScenario) {
+  // The paper's B := (X == 0); if (!B) 1/X example, at domain level:
+  // leaf(b=1) pins x = 0, leaf(b=0) excludes 0; the !B branch then knows
+  // x != 0.
+  DecisionTree T({/*b=*/1}, {/*x=*/10});
+  T.refineNum(0, {Interval(1, 10), Interval(0, 0)});
+  T.guardBool(0, false); // !B.
+  Interval X = T.numInterval(0);
+  EXPECT_FALSE(X.containsZero());
+  EXPECT_EQ(X, Interval(1, 10));
+}

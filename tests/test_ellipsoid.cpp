@@ -1,0 +1,132 @@
+//===- tests/test_ellipsoid.cpp - Ellipsoid domain tests ---------------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003). Tests Proposition 1 and the
+// delta(k) transfer of Sect. 6.2.3 against concrete filter executions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "domains/Ellipsoid.h"
+
+#include "domains/Thresholds.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace astral;
+
+TEST(Ellipsoid, StabilityPredicate) {
+  EXPECT_TRUE((FilterParams{1.5, 0.7}).stable());
+  EXPECT_TRUE((FilterParams{0.5, 0.3}).stable());
+  EXPECT_FALSE((FilterParams{2.0, 1.0}).stable());  // b = 1.
+  EXPECT_FALSE((FilterParams{2.0, 0.9}).stable());  // a^2 >= 4b.
+  EXPECT_FALSE((FilterParams{0.5, -0.1}).stable()); // b <= 0.
+}
+
+TEST(Ellipsoid, LatticeBasics) {
+  Ellipsoid A{10.0}, B{20.0};
+  EXPECT_TRUE(A.leq(B));
+  EXPECT_FALSE(B.leq(A));
+  EXPECT_EQ(A.join(B).K, 20.0);
+  EXPECT_EQ(A.meet(B).K, 10.0);
+  EXPECT_TRUE(Ellipsoid::bottom().leq(A));
+  EXPECT_TRUE(A.leq(Ellipsoid::top()));
+}
+
+TEST(Ellipsoid, Prop1InvarianceAboveThreshold) {
+  FilterParams P{1.5, 0.7};
+  double TM = 1.0;
+  double KMin = P.minInvariantK(TM);
+  EXPECT_TRUE(std::isfinite(KMin));
+  // For k >= the Prop. 1 threshold, delta(k) <= k (the constraint is
+  // preserved); allow the tiny rounding inflation of delta.
+  for (double K : {KMin * 1.01, KMin * 2, KMin * 100}) {
+    Ellipsoid E{K};
+    Ellipsoid Next = E.afterFilterStep(P, TM);
+    EXPECT_LE(Next.K, K * 1.0001) << "K = " << K;
+  }
+}
+
+TEST(Ellipsoid, DeltaContractsLargeK) {
+  FilterParams P{1.5, 0.7};
+  Ellipsoid E{1e6};
+  Ellipsoid Next = E.afterFilterStep(P, 1.0);
+  EXPECT_LT(Next.K, 1e6); // sqrt(b) < 1 pulls large k down.
+}
+
+TEST(Ellipsoid, BoundXFormula) {
+  FilterParams P{1.5, 0.7};
+  Ellipsoid E{40.0};
+  double Bound = E.boundX(P);
+  // |X| <= 2*sqrt(b*k/(4b - a^2)) = 2*sqrt(0.7*40/0.55) ~ 14.27.
+  EXPECT_NEAR(Bound, 2.0 * std::sqrt(0.7 * 40.0 / 0.55), 1e-6);
+  EXPECT_TRUE(std::isinf(Ellipsoid::top().boundX(P)));
+}
+
+TEST(Ellipsoid, ReduceFromIntervals) {
+  FilterParams P{1.5, 0.7};
+  Ellipsoid E = Ellipsoid::top().reduceFromIntervals(
+      P, Interval(-1, 1), Interval(-1, 1), /*Equal=*/false);
+  // X^2 - aXY + bY^2 <= 1 + 1.5 + 0.7 = 3.2 on the unit box.
+  EXPECT_LE(E.K, 3.2001);
+  // The X == Y case is sharper: (1 - a + b) = 0.2.
+  Ellipsoid Eq = Ellipsoid::top().reduceFromIntervals(
+      P, Interval(-1, 1), Interval(-1, 1), /*Equal=*/true);
+  EXPECT_LE(Eq.K, 0.2001);
+}
+
+TEST(Ellipsoid, WidenUsesThresholds) {
+  Thresholds T = Thresholds::geometric(1.0, 10.0, 6);
+  Ellipsoid A{5.0}, B{12.0};
+  Ellipsoid W = A.widen(B, T);
+  EXPECT_EQ(W.K, 100.0);
+  // Stable stays.
+  EXPECT_EQ(A.widen(Ellipsoid{4.0}, T).K, 5.0);
+}
+
+// Property: the abstract filter step over-approximates concrete filter
+// executions — the core soundness claim behind Fig. 1 verification.
+class EllipsoidSoundness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EllipsoidSoundness, TracksConcreteSecondOrderFilter) {
+  std::mt19937_64 Rng(GetParam());
+  std::uniform_real_distribution<double> Coef(0.5, 0.85);
+  FilterParams P;
+  // Coefficients are binary32 literals in the analyzed programs; snap them
+  // so the concrete (float) and abstract (double) computations agree.
+  P.B = static_cast<float>(Coef(Rng));
+  P.A = static_cast<float>(
+      std::sqrt(P.B) *
+      std::uniform_real_distribution<double>(0.3, 1.7)(Rng));
+  ASSERT_TRUE(P.stable());
+  double TM = 1.0;
+  std::uniform_real_distribution<double> Input(-TM, TM);
+
+  // Concrete state (float, like the analyzed programs).
+  float X = 0.0f, Y = 0.0f;
+  Ellipsoid K = Ellipsoid::top().reduceFromIntervals(
+      P, Interval::point(0), Interval::point(0), /*Equal=*/true);
+
+  auto Q = [&](double XV, double YV) {
+    return XV * XV - P.A * XV * YV + P.B * YV * YV;
+  };
+
+  for (int Step = 0; Step < 2000; ++Step) {
+    float T = static_cast<float>(Input(Rng));
+    float XN = static_cast<float>(P.A) * X - static_cast<float>(P.B) * Y + T;
+    Y = X;
+    X = XN;
+    K = K.afterFilterStep(P, TM);
+    ASSERT_LE(Q(X, Y), K.K + 1e-6)
+        << "concrete quadratic escaped the abstract ellipsoid at step "
+        << Step;
+    // And the interval extraction bounds |X|.
+    ASSERT_LE(std::fabs(X), K.boundX(P) + 1e-6);
+  }
+  // The abstract K must stay bounded (no divergence).
+  EXPECT_TRUE(std::isfinite(K.K));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EllipsoidSoundness,
+                         ::testing::Values(5, 55, 555, 5555));

@@ -1,0 +1,148 @@
+//===- tests/test_lexer.cpp - Lexer tests -------------------------------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace astral;
+
+namespace {
+std::vector<Token> lexAll(const std::string &Src, DiagnosticsEngine &Diags) {
+  uint32_t File = Diags.addFile("test.c");
+  Lexer L(Src, File, Diags);
+  return L.lexAll();
+}
+std::vector<Token> lexOk(const std::string &Src) {
+  DiagnosticsEngine Diags;
+  std::vector<Token> T = lexAll(Src, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.formatAll();
+  return T;
+}
+} // namespace
+
+TEST(Lexer, EmptyInput) {
+  std::vector<Token> T = lexOk("");
+  ASSERT_EQ(T.size(), 1u);
+  EXPECT_TRUE(T[0].is(TokKind::Eof));
+}
+
+TEST(Lexer, Keywords) {
+  std::vector<Token> T = lexOk("int float while if volatile _Bool");
+  EXPECT_TRUE(T[0].is(TokKind::KwInt));
+  EXPECT_TRUE(T[1].is(TokKind::KwFloat));
+  EXPECT_TRUE(T[2].is(TokKind::KwWhile));
+  EXPECT_TRUE(T[3].is(TokKind::KwIf));
+  EXPECT_TRUE(T[4].is(TokKind::KwVolatile));
+  EXPECT_TRUE(T[5].is(TokKind::KwBool));
+}
+
+TEST(Lexer, Identifiers) {
+  std::vector<Token> T = lexOk("foo _bar x42 intx");
+  for (int I = 0; I < 4; ++I)
+    EXPECT_TRUE(T[I].is(TokKind::Identifier));
+  EXPECT_EQ(T[0].Text, "foo");
+  EXPECT_EQ(T[3].Text, "intx");
+}
+
+TEST(Lexer, IntegerLiterals) {
+  std::vector<Token> T = lexOk("0 42 0x1F 7u 100L");
+  EXPECT_EQ(T[0].IntValue, 0u);
+  EXPECT_EQ(T[1].IntValue, 42u);
+  EXPECT_EQ(T[2].IntValue, 31u);
+  EXPECT_EQ(T[3].IntValue, 7u);
+  EXPECT_TRUE(T[3].IsUnsigned);
+  EXPECT_EQ(T[4].IntValue, 100u);
+}
+
+TEST(Lexer, FloatLiterals) {
+  std::vector<Token> T = lexOk("1.5 2e3 0.5f 1.25e-2 3.f");
+  EXPECT_TRUE(T[0].is(TokKind::FloatLiteral));
+  EXPECT_DOUBLE_EQ(T[0].FloatValue, 1.5);
+  EXPECT_DOUBLE_EQ(T[1].FloatValue, 2000.0);
+  EXPECT_TRUE(T[2].IsFloat32);
+  EXPECT_DOUBLE_EQ(T[2].FloatValue, 0.5);
+  EXPECT_DOUBLE_EQ(T[3].FloatValue, 0.0125);
+  EXPECT_TRUE(T[4].IsFloat32);
+}
+
+TEST(Lexer, Float32LiteralIsRounded) {
+  std::vector<Token> T = lexOk("0.1f 0.1");
+  EXPECT_EQ(T[0].FloatValue, static_cast<double>(0.1f));
+  EXPECT_EQ(T[1].FloatValue, 0.1);
+  EXPECT_NE(T[0].FloatValue, T[1].FloatValue);
+}
+
+TEST(Lexer, CharLiterals) {
+  std::vector<Token> T = lexOk("'a' '\\n' '\\0'");
+  EXPECT_EQ(T[0].IntValue, static_cast<uint64_t>('a'));
+  EXPECT_EQ(T[1].IntValue, static_cast<uint64_t>('\n'));
+  EXPECT_EQ(T[2].IntValue, 0u);
+}
+
+TEST(Lexer, Operators) {
+  std::vector<Token> T =
+      lexOk("+ ++ += - -- -> << <<= <= < == = != ! && & || |");
+  TokKind Expected[] = {
+      TokKind::Plus, TokKind::PlusPlus, TokKind::PlusAssign, TokKind::Minus,
+      TokKind::MinusMinus, TokKind::Arrow, TokKind::Shl, TokKind::ShlAssign,
+      TokKind::Le, TokKind::Lt, TokKind::EqEq, TokKind::Assign,
+      TokKind::BangEq, TokKind::Bang, TokKind::AmpAmp, TokKind::Amp,
+      TokKind::PipePipe, TokKind::Pipe};
+  for (size_t I = 0; I < std::size(Expected); ++I)
+    EXPECT_TRUE(T[I].is(Expected[I])) << "token " << I;
+}
+
+TEST(Lexer, CommentsSkipped) {
+  std::vector<Token> T = lexOk("a // line comment\nb /* block\n * x */ c");
+  ASSERT_EQ(T.size(), 4u); // a b c eof.
+  EXPECT_EQ(T[0].Text, "a");
+  EXPECT_EQ(T[1].Text, "b");
+  EXPECT_EQ(T[2].Text, "c");
+}
+
+TEST(Lexer, LineSplice) {
+  std::vector<Token> T = lexOk("ab\\\ncd");
+  // The splice separates tokens in our model but keeps one logical line.
+  EXPECT_EQ(T[0].Text, "ab");
+  EXPECT_EQ(T[1].Text, "cd");
+  EXPECT_FALSE(T[1].AtLineStart);
+}
+
+TEST(Lexer, LocationsTracked) {
+  std::vector<Token> T = lexOk("a\n  b");
+  EXPECT_EQ(T[0].Loc.Line, 1u);
+  EXPECT_EQ(T[0].Loc.Column, 1u);
+  EXPECT_EQ(T[1].Loc.Line, 2u);
+  EXPECT_EQ(T[1].Loc.Column, 3u);
+  EXPECT_TRUE(T[1].AtLineStart);
+}
+
+TEST(Lexer, LeadingSpaceFlag) {
+  std::vector<Token> T = lexOk("f(x) g (y)");
+  EXPECT_FALSE(T[1].LeadingSpace); // '(' after f.
+  EXPECT_TRUE(T[5].LeadingSpace);  // '(' after 'g '.
+}
+
+TEST(Lexer, HashTokens) {
+  std::vector<Token> T = lexOk("#define X 1");
+  EXPECT_TRUE(T[0].is(TokKind::Hash));
+  EXPECT_TRUE(T[0].AtLineStart);
+  EXPECT_EQ(T[1].Text, "define");
+}
+
+TEST(Lexer, UnterminatedCommentError) {
+  DiagnosticsEngine Diags;
+  lexAll("a /* never closed", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, UnexpectedCharacterError) {
+  DiagnosticsEngine Diags;
+  lexAll("a @ b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}

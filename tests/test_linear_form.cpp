@@ -1,0 +1,113 @@
+//===- tests/test_linear_form.cpp - Interval linear form tests --------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "domains/LinearForm.h"
+
+#include <gtest/gtest.h>
+
+using namespace astral;
+
+TEST(LinearForm, ConstantAndVar) {
+  LinearForm C = LinearForm::constant(Interval(1, 2));
+  EXPECT_TRUE(C.valid());
+  EXPECT_TRUE(C.isConstant());
+  LinearForm V = LinearForm::var(7);
+  EXPECT_FALSE(V.isConstant());
+  EXPECT_EQ(V.coeff(7), Interval::point(1));
+  EXPECT_EQ(V.coeff(8), Interval::point(0));
+}
+
+TEST(LinearForm, AddMergesTerms) {
+  LinearForm A = LinearForm::var(1).add(LinearForm::var(2));
+  LinearForm B = LinearForm::var(2).add(LinearForm::constant(
+      Interval::point(5)));
+  LinearForm S = A.add(B);
+  EXPECT_EQ(S.coeff(1), Interval::point(1));
+  EXPECT_EQ(S.coeff(2), Interval::point(2));
+  EXPECT_EQ(S.constTerm().Lo, 5.0);
+}
+
+TEST(LinearForm, SubCancelsTerms) {
+  // x - 0.2*x = 0.8*x, the Sect. 6.3 example (modulo rounding widening).
+  LinearForm X = LinearForm::var(1);
+  LinearForm Fifth = X.scale(Interval::point(0.2));
+  LinearForm R = X.sub(Fifth);
+  Interval C = R.coeff(1);
+  EXPECT_NEAR(C.Lo, 0.8, 1e-12);
+  EXPECT_NEAR(C.Hi, 0.8, 1e-12);
+}
+
+TEST(LinearForm, FullCancellationDropsTerm) {
+  LinearForm R = LinearForm::var(1).sub(LinearForm::var(1));
+  EXPECT_TRUE(R.terms().empty());
+}
+
+TEST(LinearForm, NegateFlipsEverything) {
+  LinearForm F = LinearForm::var(3).add(LinearForm::constant(
+      Interval(1, 2)));
+  LinearForm N = F.negate();
+  EXPECT_EQ(N.coeff(3), Interval::point(-1));
+  EXPECT_EQ(N.constTerm(), Interval(-2, -1));
+}
+
+TEST(LinearForm, ScaleByInterval) {
+  LinearForm F = LinearForm::var(3);
+  LinearForm S = F.scale(Interval(2, 4));
+  Interval C = S.coeff(3);
+  EXPECT_LE(C.Lo, 2.0);
+  EXPECT_GE(C.Hi, 4.0);
+}
+
+TEST(LinearForm, AddErrorWidensConst) {
+  LinearForm F = LinearForm::constant(Interval::point(0));
+  F.addError(0.5);
+  EXPECT_LE(F.constTerm().Lo, -0.5);
+  EXPECT_GE(F.constTerm().Hi, 0.5);
+  F.addError(0.0); // No-op.
+  EXPECT_LE(F.constTerm().Lo, -0.5);
+}
+
+TEST(LinearForm, InvalidPropagates) {
+  LinearForm Bad = LinearForm::invalid();
+  EXPECT_FALSE(Bad.valid());
+  EXPECT_FALSE(Bad.add(LinearForm::var(1)).valid());
+  EXPECT_FALSE(LinearForm::var(1).sub(Bad).valid());
+  EXPECT_FALSE(Bad.scale(Interval::point(2)).valid());
+}
+
+TEST(LinearForm, Without) {
+  LinearForm F = LinearForm::var(1).add(LinearForm::var(2));
+  Interval Coef;
+  LinearForm R = F.without(1, &Coef);
+  EXPECT_EQ(Coef, Interval::point(1));
+  EXPECT_EQ(R.coeff(1), Interval::point(0));
+  EXPECT_EQ(R.coeff(2), Interval::point(1));
+}
+
+TEST(LinearForm, OctagonShapes) {
+  auto S0 = LinearForm::constant(Interval::point(3)).octagonShape();
+  EXPECT_EQ(S0.NumVars, 0);
+
+  auto S1 = LinearForm::var(4).octagonShape();
+  EXPECT_EQ(S1.NumVars, 1);
+  EXPECT_EQ(S1.V1, 4u);
+  EXPECT_EQ(S1.S1, 1);
+
+  auto S2 = LinearForm::var(4).sub(LinearForm::var(9)).octagonShape();
+  EXPECT_EQ(S2.NumVars, 2);
+  EXPECT_EQ(S2.S1, 1);
+  EXPECT_EQ(S2.S2, -1);
+
+  auto Bad = LinearForm::var(4).scale(Interval::point(2)).octagonShape();
+  EXPECT_EQ(Bad.NumVars, -1);
+
+  auto Three = LinearForm::var(1)
+                   .add(LinearForm::var(2))
+                   .add(LinearForm::var(3))
+                   .octagonShape();
+  EXPECT_EQ(Three.NumVars, -1);
+}

@@ -1,0 +1,228 @@
+//===- tests/test_lowering.cpp - AST-to-IR lowering tests ---------------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace astral::ir;
+using astral::AstContext;
+using astral::testutil::lowerSource;
+
+namespace {
+/// Counts statements of a kind in a subtree.
+size_t countKind(const Stmt *S, StmtKind K) {
+  if (!S)
+    return 0;
+  size_t N = S->is(K) ? 1 : 0;
+  N += countKind(S->Then, K);
+  N += countKind(S->Else, K);
+  N += countKind(S->Body, K);
+  N += countKind(S->Step, K);
+  for (const Stmt *C : S->Stmts)
+    N += countKind(C, K);
+  return N;
+}
+} // namespace
+
+TEST(Lowering, SimpleAssignment) {
+  std::unique_ptr<AstContext> Ast;
+  auto P = lowerSource("int x;\nint main(void) { x = 1 + 2; return 0; }",
+                       Ast);
+  ASSERT_NE(P, nullptr);
+  const Function *Main = P->findFunction("main");
+  ASSERT_NE(Main, nullptr);
+  EXPECT_GE(countKind(Main->Body, StmtKind::Assign), 1u);
+}
+
+TEST(Lowering, ForBecomesWhileWithStep) {
+  std::unique_ptr<AstContext> Ast;
+  auto P = lowerSource(
+      "int main(void) { int i; int s = 0;\n"
+      "  for (i = 0; i < 4; i = i + 1) { s = s + i; }\n  return s; }",
+      Ast);
+  ASSERT_NE(P, nullptr);
+  const Function *Main = P->findFunction("main");
+  EXPECT_EQ(countKind(Main->Body, StmtKind::While), 1u);
+  // Find the While and check it has a Step? For-steps written as i = i + 1
+  // in the source end up inside the body (our For lowering uses Step only
+  // for the ForStep expression).
+  std::vector<const Stmt *> Work{Main->Body};
+  const Stmt *W = nullptr;
+  while (!Work.empty()) {
+    const Stmt *S = Work.back();
+    Work.pop_back();
+    if (!S)
+      continue;
+    if (S->is(StmtKind::While)) {
+      W = S;
+      break;
+    }
+    for (const Stmt *C : S->Stmts)
+      Work.push_back(C);
+    Work.push_back(S->Then);
+    Work.push_back(S->Else);
+  }
+  ASSERT_NE(W, nullptr);
+  EXPECT_NE(W->Step, nullptr);
+}
+
+TEST(Lowering, ShortCircuitValueMaterialized) {
+  std::unique_ptr<AstContext> Ast;
+  auto P = lowerSource(
+      "int a; int b; int r;\nint main(void) { r = a && b; return 0; }", Ast);
+  ASSERT_NE(P, nullptr);
+  const Function *Main = P->findFunction("main");
+  // Materialization creates nested Ifs.
+  EXPECT_GE(countKind(Main->Body, StmtKind::If), 2u);
+}
+
+TEST(Lowering, ConditionKeepsLogicalStructure) {
+  std::unique_ptr<AstContext> Ast;
+  auto P = lowerSource(
+      "int a; int b;\nint main(void) { if (a > 0 && b > 0) { a = 1; } "
+      "return 0; }",
+      Ast);
+  ASSERT_NE(P, nullptr);
+  const Function *Main = P->findFunction("main");
+  // Only the If from the source (no materialization Ifs for the condition).
+  EXPECT_EQ(countKind(Main->Body, StmtKind::If), 1u);
+}
+
+TEST(Lowering, CompoundAssignExpands) {
+  std::unique_ptr<AstContext> Ast;
+  auto P = lowerSource(
+      "float x;\nint main(void) { x += 2.5f; return 0; }", Ast);
+  ASSERT_NE(P, nullptr);
+  std::string Dump = P->dump();
+  EXPECT_NE(Dump.find("+"), std::string::npos);
+}
+
+TEST(Lowering, PostIncrementPreservesOldValue) {
+  std::unique_ptr<AstContext> Ast;
+  auto P = lowerSource(
+      "int i; int j;\nint main(void) { j = i++; return 0; }", Ast);
+  ASSERT_NE(P, nullptr);
+  const Function *Main = P->findFunction("main");
+  // old-temp assign, i update, j assign.
+  EXPECT_GE(countKind(Main->Body, StmtKind::Assign), 3u);
+}
+
+TEST(Lowering, CallsBecomeStatements) {
+  std::unique_ptr<AstContext> Ast;
+  auto P = lowerSource(
+      "int g(int v) { return v + 1; }\n"
+      "int r;\nint main(void) { r = g(3) * 2; return 0; }",
+      Ast);
+  ASSERT_NE(P, nullptr);
+  const Function *Main = P->findFunction("main");
+  EXPECT_EQ(countKind(Main->Body, StmtKind::Call), 1u);
+}
+
+TEST(Lowering, RefArgsBound) {
+  std::unique_ptr<AstContext> Ast;
+  auto P = lowerSource(
+      "void g(float *o) { *o = 1.0f; }\n"
+      "float s; float buf[3];\n"
+      "int main(void) { g(&s); g(buf); return 0; }",
+      Ast);
+  ASSERT_NE(P, nullptr);
+  const Function *Main = P->findFunction("main");
+  size_t Calls = 0;
+  std::vector<const Stmt *> Work{Main->Body};
+  while (!Work.empty()) {
+    const Stmt *S = Work.back();
+    Work.pop_back();
+    if (!S)
+      continue;
+    if (S->is(StmtKind::Call)) {
+      ++Calls;
+      ASSERT_EQ(S->Args.size(), 1u);
+      EXPECT_TRUE(S->Args[0].IsRef);
+    }
+    for (const Stmt *C : S->Stmts)
+      Work.push_back(C);
+  }
+  EXPECT_EQ(Calls, 2u);
+}
+
+TEST(Lowering, StructCopyExpandsFieldwise) {
+  std::unique_ptr<AstContext> Ast;
+  auto P = lowerSource(
+      "struct V { float x; float y; float z; };\n"
+      "struct V a; struct V b;\n"
+      "int main(void) { a = b; return 0; }",
+      Ast);
+  ASSERT_NE(P, nullptr);
+  const Function *Main = P->findFunction("main");
+  EXPECT_GE(countKind(Main->Body, StmtKind::Assign), 3u);
+}
+
+TEST(Lowering, GlobalsZeroInitialized) {
+  std::unique_ptr<AstContext> Ast;
+  auto P = lowerSource("int a; float t[2];\nint main(void) { return 0; }",
+                       Ast);
+  ASSERT_NE(P, nullptr);
+  // Unused globals are deleted by the census, so use them.
+  auto P2 = lowerSource(
+      "int a; float t[2];\nint main(void) { a = (int)t[0]; return 0; }",
+      Ast);
+  ASSERT_NE(P2, nullptr);
+  ASSERT_NE(P2->GlobalInit, nullptr);
+  EXPECT_GE(countKind(P2->GlobalInit, StmtKind::Assign), 3u);
+}
+
+TEST(Lowering, BuiltinsBecomeIntrinsics) {
+  std::unique_ptr<AstContext> Ast;
+  auto P = lowerSource(
+      "int x;\nint main(void) { __astral_assume(x > 0); "
+      "__astral_assert(x < 10); __astral_wait(); return 0; }",
+      Ast);
+  ASSERT_NE(P, nullptr);
+  const Function *Main = P->findFunction("main");
+  EXPECT_EQ(countKind(Main->Body, StmtKind::Assume), 1u);
+  EXPECT_EQ(countKind(Main->Body, StmtKind::Assert), 1u);
+  EXPECT_EQ(countKind(Main->Body, StmtKind::Wait), 1u);
+}
+
+TEST(Lowering, TernaryMaterialized) {
+  std::unique_ptr<AstContext> Ast;
+  auto P = lowerSource(
+      "int a; int r;\nint main(void) { r = a > 0 ? 1 : 2; return 0; }", Ast);
+  ASSERT_NE(P, nullptr);
+  const Function *Main = P->findFunction("main");
+  EXPECT_GE(countKind(Main->Body, StmtKind::If), 1u);
+}
+
+TEST(Lowering, MissingEntryIsError) {
+  std::unique_ptr<AstContext> Ast;
+  std::string Errors;
+  auto P = lowerSource("int f(void) { return 1; }", Ast, &Errors);
+  EXPECT_EQ(P, nullptr);
+  EXPECT_NE(Errors.find("entry"), std::string::npos);
+}
+
+TEST(Lowering, LoopIdsAssigned) {
+  std::unique_ptr<AstContext> Ast;
+  auto P = lowerSource(
+      "int main(void) { int i = 0; while (i < 3) { i = i + 1; } "
+      "while (i > 0) { i = i - 1; } return 0; }",
+      Ast);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(P->NumLoops, 2u);
+}
+
+TEST(Lowering, DumpIsStable) {
+  std::unique_ptr<AstContext> Ast;
+  auto P = lowerSource(
+      "int x;\nint main(void) { x = 3; if (x > 1) { x = 0; } return 0; }",
+      Ast);
+  ASSERT_NE(P, nullptr);
+  std::string D = P->dump();
+  EXPECT_NE(D.find("main"), std::string::npos);
+  EXPECT_NE(D.find("if ("), std::string::npos);
+}

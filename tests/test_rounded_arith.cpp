@@ -1,0 +1,112 @@
+//===- tests/test_rounded_arith.cpp - Directed rounding tests ---------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/RoundedArith.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace astral;
+using namespace astral::rounded;
+
+TEST(RoundedArith, NudgeDirections) {
+  EXPECT_LT(nudgeDown(1.0), 1.0);
+  EXPECT_GT(nudgeUp(1.0), 1.0);
+  EXPECT_LT(nudgeDown(0.0), 0.0);
+  EXPECT_GT(nudgeUp(0.0), 0.0);
+  EXPECT_LT(nudgeDown(-1.0), -1.0);
+}
+
+TEST(RoundedArith, NudgePreservesSpecials) {
+  double Inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(nudgeUp(Inf), Inf);
+  EXPECT_EQ(nudgeDown(-Inf), -Inf);
+  EXPECT_TRUE(std::isnan(nudgeUp(std::nan(""))));
+}
+
+TEST(RoundedArith, AddBracketsExact) {
+  EXPECT_LE(addDown(0.1, 0.2), 0.1 + 0.2);
+  EXPECT_GE(addUp(0.1, 0.2), 0.1 + 0.2);
+  EXPECT_LT(addDown(0.1, 0.2), addUp(0.1, 0.2));
+}
+
+TEST(RoundedArith, DivisionBrackets) {
+  EXPECT_LE(divDown(1.0, 3.0), 1.0 / 3.0);
+  EXPECT_GE(divUp(1.0, 3.0), 1.0 / 3.0);
+}
+
+TEST(RoundedArith, SqrtBrackets) {
+  EXPECT_LE(sqrtDown(2.0), std::sqrt(2.0));
+  EXPECT_GE(sqrtUp(2.0), std::sqrt(2.0));
+  EXPECT_GE(sqrtDown(0.0), 0.0);
+}
+
+TEST(RoundedArith, InfinityPropagation) {
+  double Inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(addUp(Inf, 1.0), Inf);
+  EXPECT_EQ(subDown(-Inf, 1.0), -Inf);
+  EXPECT_EQ(mulUp(Inf, 2.0), Inf);
+}
+
+TEST(RoundedArith, ExactOperationsStayExact) {
+  // Provably exact operations must not be nudged: unit coefficients and
+  // integral bounds have to stay points (octagon shape detection and
+  // linear-form cancellation rely on this).
+  EXPECT_EQ(addDown(1.0, 2.0), 3.0);
+  EXPECT_EQ(addUp(1.0, 2.0), 3.0);
+  EXPECT_EQ(subUp(1.0, 1.0), 0.0);
+  EXPECT_EQ(subDown(5.0, 2.0), 3.0);
+  EXPECT_EQ(mulUp(0.5, 8.0), 4.0);
+  EXPECT_EQ(mulDown(-3.0, 2.0), -6.0);
+  EXPECT_EQ(divUp(1.0, 4.0), 0.25);
+  EXPECT_EQ(divDown(6.0, 2.0), 3.0);
+}
+
+TEST(RoundedArith, InexactOperationsWiden) {
+  EXPECT_LT(addDown(0.1, 0.2), addUp(0.1, 0.2));
+  EXPECT_LT(divDown(1.0, 3.0), divUp(1.0, 3.0));
+  EXPECT_LT(mulDown(0.1, 0.1), mulUp(0.1, 0.1));
+}
+
+TEST(RoundedArith, ErrorConstants) {
+  // One ulp at 1.0 for binary64 / binary32.
+  EXPECT_DOUBLE_EQ(RelErr, std::nextafter(1.0, 2.0) - 1.0);
+  EXPECT_DOUBLE_EQ(RelErrFloat32,
+                   static_cast<double>(std::nextafterf(1.0f, 2.0f) - 1.0f));
+  EXPECT_GT(AbsErrMin, 0.0);
+  EXPECT_GT(AbsErrMinFloat32, 0.0);
+}
+
+// Property: directed bounds always bracket the long-double reference for
+// random operands (the soundness contract of the interval domain).
+class RoundingProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoundingProperty, BoundsBracketReference) {
+  std::mt19937_64 Rng(GetParam());
+  std::uniform_real_distribution<double> Dist(-1e12, 1e12);
+  for (int I = 0; I < 20000; ++I) {
+    double X = Dist(Rng), Y = Dist(Rng);
+    long double RefAdd = static_cast<long double>(X) + Y;
+    ASSERT_LE(static_cast<long double>(addDown(X, Y)), RefAdd);
+    ASSERT_GE(static_cast<long double>(addUp(X, Y)), RefAdd);
+    long double RefSub = static_cast<long double>(X) - Y;
+    ASSERT_LE(static_cast<long double>(subDown(X, Y)), RefSub);
+    ASSERT_GE(static_cast<long double>(subUp(X, Y)), RefSub);
+    long double RefMul = static_cast<long double>(X) * Y;
+    ASSERT_LE(static_cast<long double>(mulDown(X, Y)), RefMul);
+    ASSERT_GE(static_cast<long double>(mulUp(X, Y)), RefMul);
+    if (Y != 0.0) {
+      long double RefDiv = static_cast<long double>(X) / Y;
+      ASSERT_LE(static_cast<long double>(divDown(X, Y)), RefDiv);
+      ASSERT_GE(static_cast<long double>(divUp(X, Y)), RefDiv);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundingProperty,
+                         ::testing::Values(7, 21, 1234));

@@ -1,0 +1,203 @@
+//===- tests/test_soundness.cpp - Soundness / failure injection -----------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+// Soundness discipline: a genuine run-time error must be reported under
+// EVERY analyzer configuration — refinements may only remove *false*
+// alarms. These tests sweep the configuration matrix over programs with
+// injected bugs, and check concrete executions against inferred ranges.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace astral;
+using testutil::alarmsOfKind;
+using testutil::analyzeSource;
+using testutil::rangeOf;
+
+namespace {
+/// The 32 on/off combinations of the five domain refinements.
+struct Config {
+  bool Clock, Oct, Ell, Tree, Lin;
+};
+
+Config configFromMask(unsigned Mask) {
+  return Config{(Mask & 1) != 0, (Mask & 2) != 0, (Mask & 4) != 0,
+                (Mask & 8) != 0, (Mask & 16) != 0};
+}
+
+void applyConfig(AnalyzerOptions &O, Config C) {
+  O.EnableClock = C.Clock;
+  O.EnableOctagons = C.Oct;
+  O.EnableEllipsoids = C.Ell;
+  O.EnableDecisionTrees = C.Tree;
+  O.EnableLinearization = C.Lin;
+}
+} // namespace
+
+class ConfigSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ConfigSweep, RealDivisionByZeroAlwaysReported) {
+  Config C = configFromMask(GetParam());
+  auto R = analyzeSource(
+      "volatile int in;\nint q;\n"
+      "int main(void) {\n"
+      "  while (1) {\n"
+      "    int d = in;\n"
+      "    q = 100 / d; /* divisor range includes 0: genuine bug */\n"
+      "    __astral_wait();\n"
+      "  }\n"
+      "  return 0;\n"
+      "}",
+      [&](AnalyzerOptions &O) {
+        O.VolatileRanges["in"] = Interval(0, 3);
+        applyConfig(O, C);
+      });
+  ASSERT_TRUE(R.FrontendOk) << R.FrontendErrors;
+  EXPECT_GE(alarmsOfKind(R, AlarmKind::DivByZero), 1u)
+      << "mask=" << GetParam();
+}
+
+TEST_P(ConfigSweep, RealOutOfBoundsAlwaysReported) {
+  Config C = configFromMask(GetParam());
+  auto R = analyzeSource(
+      "volatile int in;\nint t[4]; int x;\n"
+      "int main(void) {\n"
+      "  int i = in; /* in [0, 4]: index 4 overflows */\n"
+      "  x = t[i];\n"
+      "  return 0;\n"
+      "}",
+      [&](AnalyzerOptions &O) {
+        O.VolatileRanges["in"] = Interval(0, 4);
+        applyConfig(O, C);
+      });
+  EXPECT_GE(alarmsOfKind(R, AlarmKind::ArrayBounds), 1u)
+      << "mask=" << GetParam();
+}
+
+TEST_P(ConfigSweep, DefiniteOverflowAlwaysReported) {
+  Config C = configFromMask(GetParam());
+  auto R = analyzeSource(
+      "int x;\n"
+      "int main(void) { x = 2147483647; x = x + 1; return 0; }",
+      [&](AnalyzerOptions &O) { applyConfig(O, C); });
+  EXPECT_GE(alarmsOfKind(R, AlarmKind::IntOverflow), 1u)
+      << "mask=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, ConfigSweep, ::testing::Range(0u, 32u));
+
+// --- Concrete-execution cross-checks ---------------------------------------
+
+TEST(Soundness, RangesContainConcreteRun) {
+  // Simulate the program concretely with specific volatile sequences and
+  // check every state is inside the inferred invariant ranges.
+  auto R = analyzeSource(
+      "volatile float in;\nfloat y;\n"
+      "int main(void) {\n"
+      "  while (1) {\n"
+      "    float u = in;\n"
+      "    if (u - y > 8.0f) { y = y + 8.0f; }\n"
+      "    else { if (y - u > 8.0f) { y = y - 8.0f; } else { y = u; } }\n"
+      "    __astral_wait();\n"
+      "  }\n"
+      "  return 0;\n"
+      "}",
+      [](AnalyzerOptions &O) {
+        O.VolatileRanges["in"] = Interval(-100, 100);
+      });
+  ASSERT_TRUE(R.FrontendOk) << R.FrontendErrors;
+  Interval YRange = rangeOf(R, "y");
+  ASSERT_FALSE(YRange.isBottom());
+
+  // Concrete rate limiter with adversarial inputs.
+  float Y = 0.0f;
+  std::vector<float> Inputs{100, 100, 100, 100, -100, -100, 0, 50, -50};
+  for (int Round = 0; Round < 200; ++Round) {
+    float U = Inputs[Round % Inputs.size()];
+    if (U - Y > 8.0f)
+      Y = Y + 8.0f;
+    else if (Y - U > 8.0f)
+      Y = Y - 8.0f;
+    else
+      Y = U;
+    ASSERT_TRUE(YRange.contains(Y)) << "concrete y=" << Y << " escapes "
+                                    << YRange.toString();
+  }
+}
+
+TEST(Soundness, CounterRangeContainsConcrete) {
+  auto R = analyzeSource(
+      "volatile int ev;\nint cnt;\n"
+      "int main(void) {\n"
+      "  while (1) {\n"
+      "    if (ev > 0) { cnt = cnt + 1; }\n"
+      "    __astral_wait();\n"
+      "  }\n"
+      "  return 0;\n"
+      "}",
+      [](AnalyzerOptions &O) {
+        O.VolatileRanges["ev"] = Interval(0, 1);
+        O.ClockMax = 1000;
+      });
+  Interval Cnt = rangeOf(R, "cnt");
+  // Concrete worst case: the event fires every tick for ClockMax ticks.
+  int Concrete = 0;
+  for (int Tick = 0; Tick < 1000; ++Tick)
+    ++Concrete;
+  EXPECT_TRUE(Cnt.contains(Concrete));
+  EXPECT_TRUE(Cnt.contains(0));
+}
+
+TEST(Soundness, RefinementsOnlyRemoveFalseAlarms) {
+  // On a correct program, turning domains ON must never create alarms that
+  // the baseline lacks at the same (point, kind).
+  const char *Src =
+      "volatile int sens;\n_Bool b; int q;\n"
+      "int main(void) {\n"
+      "  while (1) {\n"
+      "    int s = sens;\n"
+      "    b = (s == 0);\n"
+      "    if (!b) { q = 1000 / s; } else { q = 0; }\n"
+      "    __astral_wait();\n"
+      "  }\n"
+      "  return 0;\n"
+      "}";
+  auto Tweak = [](AnalyzerOptions &O) {
+    O.VolatileRanges["sens"] = Interval(0, 10);
+  };
+  auto Full = analyzeSource(Src, Tweak);
+  auto Base = analyzeSource(Src, [&](AnalyzerOptions &O) {
+    Tweak(O);
+    O.EnableClock = false;
+    O.EnableOctagons = false;
+    O.EnableEllipsoids = false;
+    O.EnableDecisionTrees = false;
+    O.EnableLinearization = false;
+  });
+  std::set<std::pair<uint32_t, int>> BaseAlarms;
+  for (const Alarm &A : Base.Alarms)
+    BaseAlarms.insert({A.Point, static_cast<int>(A.Kind)});
+  for (const Alarm &A : Full.Alarms)
+    EXPECT_TRUE(BaseAlarms.count({A.Point, static_cast<int>(A.Kind)}))
+        << "refinement introduced a new alarm: " << A.Message;
+}
+
+TEST(Soundness, AssertNeverMasked) {
+  // An assertion that genuinely fails must alarm even with every domain on.
+  auto R = analyzeSource(
+      "volatile int in;\n"
+      "int main(void) {\n"
+      "  int v = in;\n"
+      "  __astral_assert(v < 5); /* v may be 5 */\n"
+      "  return 0;\n"
+      "}",
+      [](AnalyzerOptions &O) {
+        O.VolatileRanges["in"] = Interval(0, 5);
+      });
+  EXPECT_EQ(alarmsOfKind(R, AlarmKind::AssertFail), 1u);
+}

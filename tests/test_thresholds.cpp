@@ -1,0 +1,66 @@
+//===- tests/test_thresholds.cpp - Widening threshold tests -----------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "domains/Thresholds.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace astral;
+
+TEST(Thresholds, GeometricLadderContents) {
+  Thresholds T = Thresholds::geometric(1.0, 10.0, 3);
+  const std::vector<double> &V = T.values();
+  // -inf, -1000, -100, -10, -1, 0, 1, 10, 100, 1000, +inf.
+  EXPECT_EQ(V.size(), 11u);
+  EXPECT_TRUE(std::isinf(V.front()) && V.front() < 0);
+  EXPECT_TRUE(std::isinf(V.back()) && V.back() > 0);
+  EXPECT_EQ(V[5], 0.0);
+}
+
+TEST(Thresholds, NextAboveBelow) {
+  Thresholds T = Thresholds::geometric(1.0, 10.0, 3);
+  EXPECT_EQ(T.nextAbove(5.0), 10.0);
+  EXPECT_EQ(T.nextAbove(10.0), 10.0); // Exact hits stay.
+  EXPECT_EQ(T.nextAbove(11.0), 100.0);
+  EXPECT_EQ(T.nextBelow(-5.0), -10.0);
+  EXPECT_EQ(T.nextBelow(-1.0), -1.0);
+  EXPECT_EQ(T.nextBelow(0.5), 0.0);
+}
+
+TEST(Thresholds, BeyondLadderGoesInfinite) {
+  Thresholds T = Thresholds::geometric(1.0, 10.0, 2);
+  EXPECT_TRUE(std::isinf(T.nextAbove(1e6)));
+  EXPECT_TRUE(std::isinf(T.nextBelow(-1e6)));
+}
+
+TEST(Thresholds, FromValuesSymmetrizes) {
+  Thresholds T = Thresholds::fromValues({42.0, 7.0});
+  EXPECT_EQ(T.nextAbove(40.0), 42.0);
+  EXPECT_EQ(T.nextBelow(-10.0), -42.0);
+  EXPECT_EQ(T.nextAbove(6.0), 7.0);
+}
+
+TEST(Thresholds, MonotonicSorted) {
+  Thresholds T = Thresholds::geometric(1.5, 3.0, 10);
+  const std::vector<double> &V = T.values();
+  for (size_t I = 1; I < V.size(); ++I)
+    EXPECT_LT(V[I - 1], V[I]);
+}
+
+TEST(Thresholds, CounterBoundExample) {
+  // Sect. 7.1.2: the analysis proves X bounded as soon as some threshold
+  // exceeds M = max(|x0|, |beta|/(1-alpha)). alpha=0.9, beta=10 -> M=100.
+  Thresholds T = Thresholds::geometric(1.0, 4.0, 16);
+  double M = 100.0;
+  double Rung = T.nextAbove(M);
+  EXPECT_TRUE(std::isfinite(Rung));
+  EXPECT_GE(Rung, M);
+  // The iteration x' = 0.9x + 10 maps [0, Rung] into itself.
+  EXPECT_LE(0.9 * Rung + 10.0, Rung);
+}

@@ -1,0 +1,272 @@
+//===- tests/test_transfer.cpp - Transfer function tests -----------------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003). End-to-end tests of assignment /
+// guard / checking semantics (Sect. 5.3, 5.4, 6.1.3).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace astral;
+using testutil::alarmsOfKind;
+using testutil::analyzeSource;
+using testutil::rangeOf;
+
+TEST(Transfer, ConstantPropagation) {
+  AnalysisResult R = analyzeSource(
+      "int x; float f;\nint main(void) { x = 42; f = 1.5f; return 0; }");
+  ASSERT_TRUE(R.FrontendOk) << R.FrontendErrors;
+  EXPECT_EQ(rangeOf(R, "x"), Interval(42, 42));
+  EXPECT_EQ(rangeOf(R, "f"), Interval(1.5, 1.5));
+  EXPECT_TRUE(R.Alarms.empty());
+}
+
+TEST(Transfer, VolatileRangeSpec) {
+  AnalysisResult R = analyzeSource(
+      "volatile float in;\nfloat x;\nint main(void) { x = in; return 0; }",
+      [](AnalyzerOptions &O) {
+        O.VolatileRanges["in"] = Interval(-5, 5);
+      });
+  EXPECT_EQ(rangeOf(R, "x"), Interval(-5, 5));
+}
+
+TEST(Transfer, UnspecifiedVolatileGetsTypeRange) {
+  AnalysisResult R = analyzeSource(
+      "volatile int in;\nint x;\nint main(void) { x = in; return 0; }");
+  Interval X = rangeOf(R, "x");
+  EXPECT_EQ(X.Lo, -2147483648.0);
+  EXPECT_EQ(X.Hi, 2147483647.0);
+}
+
+TEST(Transfer, GuardsRefineBothSides) {
+  AnalysisResult R = analyzeSource(
+      "volatile int in;\nint lo; int hi;\n"
+      "int main(void) {\n"
+      "  int x = in;\n"
+      "  if (x > 10) { hi = x; } else { lo = x; }\n"
+      "  return 0;\n"
+      "}",
+      [](AnalyzerOptions &O) {
+        O.VolatileRanges["in"] = Interval(0, 20);
+      });
+  EXPECT_EQ(rangeOf(R, "hi"), Interval(0, 20).meetGt(10, true).join(
+                                  Interval::point(0)));
+  // hi was 0-initialized and assigned 11..20 in the branch.
+  Interval Hi = rangeOf(R, "hi");
+  EXPECT_EQ(Hi.Lo, 0.0);
+  EXPECT_EQ(Hi.Hi, 20.0);
+  Interval Lo = rangeOf(R, "lo");
+  EXPECT_EQ(Lo.Hi, 10.0);
+}
+
+TEST(Transfer, EqualityGuard) {
+  AnalysisResult R = analyzeSource(
+      "volatile int in;\nint y;\n"
+      "int main(void) { int x = in; if (x == 7) { y = x; } return 0; }",
+      [](AnalyzerOptions &O) {
+        O.VolatileRanges["in"] = Interval(0, 100);
+      });
+  Interval Y = rangeOf(R, "y");
+  EXPECT_EQ(Y, Interval(0, 7)); // 0 from init joined with 7.
+}
+
+TEST(Transfer, CompoundConditions) {
+  AnalysisResult R = analyzeSource(
+      "volatile int in;\nint y;\n"
+      "int main(void) {\n"
+      "  int x = in;\n"
+      "  if (x >= 2 && x <= 5) { y = x; }\n"
+      "  return 0;\n"
+      "}",
+      [](AnalyzerOptions &O) {
+        O.VolatileRanges["in"] = Interval(-100, 100);
+      });
+  Interval Y = rangeOf(R, "y");
+  EXPECT_EQ(Y.Lo, 0.0);
+  EXPECT_EQ(Y.Hi, 5.0);
+}
+
+TEST(Transfer, DivisionByZeroAlarm) {
+  AnalysisResult R = analyzeSource(
+      "volatile int in;\nint q;\n"
+      "int main(void) { int d = in; q = 10 / d; return 0; }",
+      [](AnalyzerOptions &O) {
+        O.VolatileRanges["in"] = Interval(0, 5);
+      });
+  EXPECT_EQ(alarmsOfKind(R, AlarmKind::DivByZero), 1u);
+}
+
+TEST(Transfer, GuardedDivisionNoAlarm) {
+  AnalysisResult R = analyzeSource(
+      "volatile int in;\nint q;\n"
+      "int main(void) { int d = in; if (d > 0) { q = 10 / d; } return 0; }",
+      [](AnalyzerOptions &O) {
+        O.VolatileRanges["in"] = Interval(0, 5);
+      });
+  EXPECT_EQ(alarmsOfKind(R, AlarmKind::DivByZero), 0u);
+}
+
+TEST(Transfer, DefiniteDivisionByZero) {
+  AnalysisResult R = analyzeSource(
+      "int q;\nint main(void) { int d = 0; q = 10 / d; return 0; }");
+  ASSERT_EQ(alarmsOfKind(R, AlarmKind::DivByZero), 1u);
+  for (const Alarm &A : R.Alarms)
+    if (A.Kind == AlarmKind::DivByZero)
+      EXPECT_TRUE(A.Definite);
+}
+
+TEST(Transfer, IntOverflowAlarmAndWipe) {
+  AnalysisResult R = analyzeSource(
+      "volatile int in;\nint x;\n"
+      "int main(void) { int v = in; x = v + 1; return 0; }");
+  // v spans the full int range: v+1 may overflow.
+  EXPECT_EQ(alarmsOfKind(R, AlarmKind::IntOverflow), 1u);
+  // The result continues with the wiped (clamped) value.
+  Interval X = rangeOf(R, "x");
+  EXPECT_EQ(X.Hi, 2147483647.0);
+}
+
+TEST(Transfer, FloatOverflowAlarm) {
+  AnalysisResult R = analyzeSource(
+      "volatile float in;\nfloat x;\n"
+      "int main(void) { float v = in; x = v * 3.0f; return 0; }");
+  EXPECT_EQ(alarmsOfKind(R, AlarmKind::FloatOverflow), 1u);
+}
+
+TEST(Transfer, ArrayBoundsAlarm) {
+  AnalysisResult R = analyzeSource(
+      "volatile int in;\nint t[4]; int x;\n"
+      "int main(void) { int i = in; x = t[i]; return 0; }",
+      [](AnalyzerOptions &O) {
+        O.VolatileRanges["in"] = Interval(0, 10);
+      });
+  EXPECT_EQ(alarmsOfKind(R, AlarmKind::ArrayBounds), 1u);
+}
+
+TEST(Transfer, InBoundsNoAlarm) {
+  AnalysisResult R = analyzeSource(
+      "volatile int in;\nint t[4]; int x;\n"
+      "int main(void) { int i = in; if (i >= 0 && i < 4) { x = t[i]; } "
+      "return 0; }",
+      [](AnalyzerOptions &O) {
+        O.VolatileRanges["in"] = Interval(-100, 100);
+      });
+  EXPECT_EQ(alarmsOfKind(R, AlarmKind::ArrayBounds), 0u);
+}
+
+TEST(Transfer, WeakArrayUpdateJoins) {
+  AnalysisResult R = analyzeSource(
+      "volatile int in;\nint t[4]; int x;\n"
+      "int main(void) {\n"
+      "  t[0] = 5; t[1] = 5; t[2] = 5; t[3] = 5;\n"
+      "  int i = in;\n"
+      "  if (i >= 0 && i < 4) { t[i] = 9; }\n"
+      "  x = t[0];\n"
+      "  return 0;\n"
+      "}",
+      [](AnalyzerOptions &O) {
+        O.VolatileRanges["in"] = Interval(-100, 100);
+      });
+  Interval X = rangeOf(R, "x");
+  EXPECT_EQ(X.Lo, 5.0);
+  EXPECT_EQ(X.Hi, 9.0);
+}
+
+TEST(Transfer, StrongArrayUpdateOverwrites) {
+  AnalysisResult R = analyzeSource(
+      "int t[4]; int x;\n"
+      "int main(void) { t[2] = 5; t[2] = 9; x = t[2]; return 0; }");
+  EXPECT_EQ(rangeOf(R, "x"), Interval(9, 9));
+}
+
+TEST(Transfer, ShrunkArraySummarizes) {
+  AnalysisResult R = analyzeSource(
+      "float big[1000]; float x;\n"
+      "int main(void) { big[3] = 2.0f; x = big[900]; return 0; }",
+      [](AnalyzerOptions &O) { O.ArrayExpandLimit = 16; });
+  Interval X = rangeOf(R, "x");
+  // The shrunk cell joins 0-init and 2.0.
+  EXPECT_EQ(X.Lo, 0.0);
+  EXPECT_EQ(X.Hi, 2.0);
+}
+
+TEST(Transfer, InvalidShiftAlarm) {
+  AnalysisResult R = analyzeSource(
+      "volatile int in;\nint x;\n"
+      "int main(void) { int s = in; x = 1 << s; return 0; }",
+      [](AnalyzerOptions &O) {
+        O.VolatileRanges["in"] = Interval(0, 64);
+      });
+  EXPECT_EQ(alarmsOfKind(R, AlarmKind::InvalidShift), 1u);
+}
+
+TEST(Transfer, ConversionOverflowAlarm) {
+  AnalysisResult R = analyzeSource(
+      "volatile float in;\nint x;\n"
+      "int main(void) { float v = in; x = (int)v; return 0; }",
+      [](AnalyzerOptions &O) {
+        O.VolatileRanges["in"] = Interval(0, 1e12);
+      });
+  EXPECT_EQ(alarmsOfKind(R, AlarmKind::ConvOverflow), 1u);
+}
+
+TEST(Transfer, NarrowingIntCast) {
+  AnalysisResult R = analyzeSource(
+      "volatile int in;\nchar c;\n"
+      "int main(void) { int v = in; c = (char)v; return 0; }",
+      [](AnalyzerOptions &O) {
+        O.VolatileRanges["in"] = Interval(0, 50);
+      });
+  EXPECT_EQ(alarmsOfKind(R, AlarmKind::ConvOverflow), 0u);
+  EXPECT_EQ(rangeOf(R, "c"), Interval(0, 50));
+}
+
+TEST(Transfer, AssumeRefines) {
+  AnalysisResult R = analyzeSource(
+      "volatile int in;\nint x;\n"
+      "int main(void) { int v = in; __astral_assume(v >= 0); "
+      "__astral_assume(v <= 9); x = v; return 0; }");
+  EXPECT_EQ(rangeOf(R, "x"), Interval(0, 9));
+}
+
+TEST(Transfer, AssertAlarmsWhenUnprovable) {
+  AnalysisResult R = analyzeSource(
+      "volatile int in;\n"
+      "int main(void) { int v = in; __astral_assert(v > 0); return 0; }",
+      [](AnalyzerOptions &O) {
+        O.VolatileRanges["in"] = Interval(-1, 5);
+      });
+  EXPECT_EQ(alarmsOfKind(R, AlarmKind::AssertFail), 1u);
+  AnalysisResult R2 = analyzeSource(
+      "volatile int in;\n"
+      "int main(void) { int v = in; __astral_assert(v >= -1); return 0; }",
+      [](AnalyzerOptions &O) {
+        O.VolatileRanges["in"] = Interval(-1, 5);
+      });
+  EXPECT_EQ(alarmsOfKind(R2, AlarmKind::AssertFail), 0u);
+}
+
+TEST(Transfer, RemainderSemantics) {
+  AnalysisResult R = analyzeSource(
+      "volatile int in;\nint m;\n"
+      "int main(void) { int v = in; if (v >= 0) { m = v % 10; } "
+      "return 0; }",
+      [](AnalyzerOptions &O) {
+        O.VolatileRanges["in"] = Interval(0, 1000);
+      });
+  Interval M = rangeOf(R, "m");
+  EXPECT_GE(M.Lo, 0.0);
+  EXPECT_LE(M.Hi, 9.0);
+}
+
+TEST(Transfer, BooleanCellRange) {
+  AnalysisResult R = analyzeSource(
+      "volatile int in;\n_Bool b;\n"
+      "int main(void) { b = (in > 0); return 0; }");
+  Interval B = rangeOf(R, "b");
+  EXPECT_GE(B.Lo, 0.0);
+  EXPECT_LE(B.Hi, 1.0);
+}
