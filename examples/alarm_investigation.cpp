@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analyzer/Analyzer.h"
+#include "analyzer/SpecDirectives.h"
 #include "ir/ConstFold.h"
 #include "ir/Lowering.h"
 #include "lang/Parser.h"
@@ -27,6 +28,8 @@ using namespace astral;
 
 namespace {
 const char *BuggyProgram = R"(
+  /* @astral volatile raw 0 8
+     @astral clock-max 1e6 */
   volatile int raw;         /* sensor, spec: [0, 8] */
   int calib;                /* calibration state */
   int gain;                 /* derived gain */
@@ -51,8 +54,9 @@ int main() {
   AnalysisInput In;
   In.FileName = "buggy.c";
   In.Source = BuggyProgram;
-  In.Options.VolatileRanges["raw"] = Interval(0, 8);
-  In.Options.ClockMax = 1e6;
+  for (const std::string &W : // the @astral directives above
+       applySpecDirectives(In.Source, In.Options))
+    std::fprintf(stderr, "spec warning: %s\n", W.c_str());
   AnalysisResult R = Analyzer::analyze(In);
   if (!R.FrontendOk) {
     std::printf("frontend errors:\n%s\n", R.FrontendErrors.c_str());

@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analyzer/Analyzer.h"
+#include "analyzer/SpecDirectives.h"
 
 #include <cstdio>
 
@@ -23,7 +24,10 @@ using namespace astral;
 namespace {
 const char *FilterProgram = R"(
   /* Fig. 1: second-order digital filtering system.
-     B selects reinitialization; otherwise X' = aX - bY + t. */
+     B selects reinitialization; otherwise X' = aX - bY + t.
+     @astral volatile input -1 1
+     @astral volatile reinit 0 1
+     @astral clock-max 3.6e6 */
   volatile float input;     /* x(n), bounded by the sensor spec */
   volatile int   reinit;    /* the B switch */
   float X; float Y;         /* unit delays */
@@ -55,9 +59,9 @@ AnalysisResult run(bool WithEllipsoids) {
   AnalysisInput In;
   In.FileName = "filter.c";
   In.Source = FilterProgram;
-  In.Options.VolatileRanges["input"] = Interval(-1.0, 1.0);
-  In.Options.VolatileRanges["reinit"] = Interval(0, 1);
-  In.Options.ClockMax = 3.6e6;
+  for (const std::string &W : // the @astral directives above
+       applySpecDirectives(In.Source, In.Options))
+    std::fprintf(stderr, "spec warning: %s\n", W.c_str());
   In.Options.EnableEllipsoids = WithEllipsoids;
   return Analyzer::analyze(In);
 }

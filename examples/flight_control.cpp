@@ -3,18 +3,22 @@
 // Part of ASTRAL, a reproduction of "A Static Analyzer for Large
 // Safety-Critical Software" (PLDI 2003).
 //
-// End-to-end scenario: generate a member of the periodic synchronous
-// program family (the fly-by-wire-style workload of Sect. 4), then verify
-// it with the full analyzer — the Sect. 3 workflow: the analyzer was
-// refined by specialists, the end-user adapts it "by appropriate choice of
-// some parameters" (input ranges, thresholds, functions to partition),
-// which the generator conveniently documents for its programs.
+// End-to-end scenario: verify a member of the periodic synchronous program
+// family (the fly-by-wire-style workload of Sect. 4) with the full
+// analyzer — the Sect. 3 workflow: the analyzer was refined by
+// specialists, the end-user adapts it "by appropriate choice of some
+// parameters" (input ranges, thresholds, functions to partition).
+//
+// With no arguments a hand-written reference member (embedded below, also
+// analyzable directly with `astral-cli examples/flight_control.cpp`) is
+// verified; with arguments a fresh member is generated:
 //
 //   $ ./examples/flight_control [lines] [seed]
 //
 //===----------------------------------------------------------------------===//
 
 #include "analyzer/Analyzer.h"
+#include "analyzer/SpecDirectives.h"
 #include "codegen/FamilyGenerator.h"
 
 #include <cstdio>
@@ -22,31 +26,106 @@
 
 using namespace astral;
 
+namespace {
+/// The reference member: a miniature fly-by-wire control loop — filtered
+/// stick input, gain scheduling, an autopilot integrator with engage
+/// logic, and a clamped surface command. The `@astral` comment directives
+/// carry the Sect. 4 environment specification so astral-cli can analyze
+/// the same program stand-alone.
+const char *ReferenceProgram = R"(
+  /* Reference member of the periodic synchronous family (Sect. 4).
+     @astral volatile stick -1 1
+     @astral volatile sensed_pitch -60 60
+     @astral volatile autopilot_on 0 1
+     @astral volatile gain_sel 0 3
+     @astral clock-max 3.6e6
+     @astral partition select_gain */
+  volatile float stick;        /* pilot stick, normalized  */
+  volatile float sensed_pitch; /* pitch sensor, degrees    */
+  volatile int   autopilot_on; /* engage switch, 0 or 1    */
+  volatile int   gain_sel;     /* gain schedule selector   */
+
+  float X; float Y;            /* second-order filter delays */
+  float filtered;
+  float integrator;
+  float command;
+  int   engaged_ticks;
+
+  float select_gain(void) {
+    float g = 0.25f;
+    if (gain_sel == 1) { g = 0.5f; }
+    if (gain_sel == 2) { g = 0.75f; }
+    if (gain_sel == 3) { g = 1.0f; }
+    return g;
+  }
+
+  void filter_step(void) {
+    float t = stick;
+    float Xn = 1.5f * X - 0.7f * Y + t;
+    Y = X;
+    X = Xn;
+    filtered = 0.5f * X;
+  }
+
+  int main(void) {
+    while (1) {
+      float err;
+      float g;
+      filter_step();
+      err = filtered * 30.0f - sensed_pitch;
+      g = select_gain();
+      if (autopilot_on != 0) {
+        integrator = integrator * 0.99f + err * 0.01f;
+        engaged_ticks = engaged_ticks + 1;
+      } else {
+        integrator = 0.0f;
+        engaged_ticks = 0;
+      }
+      command = g * (err + integrator);
+      if (command > 25.0f)  { command = 25.0f; }
+      if (command < -25.0f) { command = -25.0f; }
+      __astral_assert(command <= 25.0f);
+      __astral_wait();
+    }
+    return 0;
+  }
+)";
+} // namespace
+
 int main(int argc, char **argv) {
-  codegen::GeneratorConfig Config;
-  Config.TargetLines = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1]))
-                                : 2000;
-  Config.Seed = argc > 2 ? static_cast<uint64_t>(std::atoll(argv[2])) : 2026;
-
-  std::printf("generating a ~%u-line family member (seed %llu)...\n",
-              Config.TargetLines,
-              static_cast<unsigned long long>(Config.Seed));
-  codegen::FamilyProgram FP = codegen::generateFamilyProgram(Config);
-  std::printf("  %u lines, %u modules, %zu volatile inputs, %zu partitioned "
-              "functions\n",
-              FP.LineCount, FP.ModuleCount, FP.VolatileRanges.size(),
-              FP.PartitionFunctions.size());
-
-  // The end-user parametrization (Sect. 3.2): environment ranges, the
-  // documented widening thresholds, the functions to partition.
   AnalysisInput In;
   In.FileName = "flight_control.c";
-  In.Source = FP.Source;
-  In.Options.VolatileRanges = FP.VolatileRanges;
-  In.Options.PartitionFunctions = FP.PartitionFunctions;
-  for (double T : FP.DocumentedThresholds)
-    In.Options.ExtraThresholds.push_back(T);
-  In.Options.ClockMax = 3.6e6;
+
+  if (argc > 1) {
+    codegen::GeneratorConfig Config;
+    Config.TargetLines = static_cast<unsigned>(std::atoi(argv[1]));
+    Config.Seed = argc > 2 ? static_cast<uint64_t>(std::atoll(argv[2])) : 2026;
+
+    std::printf("generating a ~%u-line family member (seed %llu)...\n",
+                Config.TargetLines,
+                static_cast<unsigned long long>(Config.Seed));
+    codegen::FamilyProgram FP = codegen::generateFamilyProgram(Config);
+    std::printf("  %u lines, %u modules, %zu volatile inputs, %zu partitioned "
+                "functions\n",
+                FP.LineCount, FP.ModuleCount, FP.VolatileRanges.size(),
+                FP.PartitionFunctions.size());
+
+    // The end-user parametrization (Sect. 3.2): environment ranges, the
+    // documented widening thresholds, the functions to partition.
+    In.Source = FP.Source;
+    In.Options.VolatileRanges = FP.VolatileRanges;
+    In.Options.PartitionFunctions = FP.PartitionFunctions;
+    for (double T : FP.DocumentedThresholds)
+      In.Options.ExtraThresholds.push_back(T);
+    In.Options.ClockMax = 3.6e6;
+  } else {
+    std::puts("verifying the embedded reference member "
+              "(run with [lines] [seed] to generate one)...");
+    In.Source = ReferenceProgram;
+    for (const std::string &W : // the @astral block above
+         applySpecDirectives(In.Source, In.Options))
+      std::fprintf(stderr, "spec warning: %s\n", W.c_str());
+  }
 
   std::puts("analyzing with the full domain stack...");
   AnalysisResult R = Analyzer::analyze(In);

@@ -12,6 +12,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analyzer/Analyzer.h"
+#include "analyzer/SpecDirectives.h"
 
 #include <cstdio>
 
@@ -23,6 +24,12 @@ int main() {
   AnalysisInput In;
   In.FileName = "quickstart.c";
   In.Source = R"(
+    /* Environment specification (Sect. 4): ranges for the volatile inputs
+       and the maximal continuous operating time in clock ticks (e.g. 10 h
+       at 100 Hz). Applied below; astral-cli reads it the same way.
+       @astral volatile speed 0 300
+       @astral volatile brake 0 1
+       @astral clock-max 3.6e6 */
     volatile float speed;     /* hardware register, spec'd below */
     volatile int   brake;     /* 0 or 1 */
     float smoothed;
@@ -42,11 +49,10 @@ int main() {
     }
   )";
 
-  // Environment specification (Sect. 4): ranges for the volatile inputs
-  // and the maximal continuous operating time in clock ticks.
-  In.Options.VolatileRanges["speed"] = Interval(0.0, 300.0);
-  In.Options.VolatileRanges["brake"] = Interval(0, 1);
-  In.Options.ClockMax = 3.6e6; // e.g. 10 h at 100 Hz.
+  // The program carries its own environment specification as @astral
+  // comment directives; apply them.
+  for (const std::string &W : applySpecDirectives(In.Source, In.Options))
+    std::fprintf(stderr, "spec warning: %s\n", W.c_str());
 
   AnalysisResult R = Analyzer::analyze(In);
   if (!R.FrontendOk) {

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verify plus the sanitizer configuration. Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+echo "== tier-1: RelWithDebInfo build + ctest =="
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo
+echo "== sanitizers: ASan + UBSan build + ctest =="
+cmake -B build-asan -S . -DASTRAL_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo
+echo "== smoke: astral-cli end-to-end =="
+build/tools/astral-cli examples/flight_control.cpp --dump-invariants >/dev/null
+build/tools/astral-cli examples/quickstart.cpp --json --fail-on-alarms >/dev/null
+
+echo
+echo "all checks passed"

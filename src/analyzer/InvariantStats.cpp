@@ -94,7 +94,7 @@ InvariantCensus astral::censusInvariant(const AbstractEnv &Env,
 
 std::string astral::dumpInvariant(const AbstractEnv &Env,
                                   const CellLayout &Layout,
-                                  const Packing &Packs) {
+                                  const Packing & /*Packs*/) {
   std::string Out;
   Out.reserve(1 << 16);
   Env.forEachCell([&](CellId Cell, const ScalarAbs &S) {

@@ -293,13 +293,15 @@ void Iterator::execIf(const Stmt *S, AbstractEnv Env, Disjunction &Out) {
 }
 
 AbstractEnv Iterator::execLoopBody(const Stmt *W, AbstractEnv Env) {
-  LoopCtx &Ctx = LoopStack.back();
-  AbstractEnv SavedContinue = std::move(Ctx.ContinueAcc);
-  Ctx.ContinueAcc = AbstractEnv::bottom();
+  // Nested loops push onto LoopStack inside the body and may reallocate it:
+  // address this loop's context by index, never by reference across the body.
+  const size_t Depth = LoopStack.size() - 1;
+  AbstractEnv SavedContinue = std::move(LoopStack[Depth].ContinueAcc);
+  LoopStack[Depth].ContinueAcc = AbstractEnv::bottom();
 
   AbstractEnv R = execStmtSingle(W->Body, std::move(Env));
-  AbstractEnv Cont = std::move(Ctx.ContinueAcc);
-  Ctx.ContinueAcc = std::move(SavedContinue);
+  AbstractEnv Cont = std::move(LoopStack[Depth].ContinueAcc);
+  LoopStack[Depth].ContinueAcc = std::move(SavedContinue);
   T.preJoinReduce(R, Cont);
   R = AbstractEnv::join(R, Cont);
   if (W->Step)

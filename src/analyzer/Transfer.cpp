@@ -1169,8 +1169,8 @@ AbstractEnv Transfer::guardCompare(AbstractEnv Env, const Expr *A,
   }
 
   // Interval refinement of single-cell loads on either side.
-  auto RefineLoad = [&](const Expr *Side, Interval Mine,
-                        const Interval &Other, bool IsLeft) {
+  auto RefineLoad = [&](const Expr *Side, const Interval &Other,
+                        bool IsLeft) {
     if (!Side->is(ExprKind::Load))
       return;
     CellSel Sel = resolveLValue(Env, Side->Lv, /*Report=*/false);
@@ -1212,10 +1212,10 @@ AbstractEnv Transfer::guardCompare(AbstractEnv Env, const Expr *A,
     if (R != S->Itv)
       Env.setCell(C, ScalarAbs{R, S->Clk});
   };
-  RefineLoad(A, IA, IB, /*IsLeft=*/true);
+  RefineLoad(A, IB, /*IsLeft=*/true);
   if (Env.isBottom())
     return Env;
-  RefineLoad(B, IB, IA, /*IsLeft=*/false);
+  RefineLoad(B, IA, /*IsLeft=*/false);
   if (Env.isBottom())
     return Env;
 

@@ -431,7 +431,7 @@ void Parser::parseInitializerList(std::vector<Expr *> &Out) {
   expect(TokKind::RBrace, "to close initializer list");
 }
 
-void Parser::parseFunctionDefinition(const DeclSpec &DS, const Type *RetTy,
+void Parser::parseFunctionDefinition(const DeclSpec & /*DS*/, const Type *RetTy,
                                      const std::string &Name,
                                      SourceLocation Loc) {
   FuncDecl *F;

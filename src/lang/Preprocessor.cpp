@@ -407,7 +407,7 @@ void Preprocessor::handleInclude(std::vector<Token> &Line,
 }
 
 long long Preprocessor::evalCondition(std::vector<Token> Line,
-                                      SourceLocation Loc) {
+                                      SourceLocation /*Loc*/) {
   // Resolve defined(X) / defined X before macro expansion.
   std::vector<Token> Resolved;
   for (size_t I = 0; I < Line.size(); ++I) {

@@ -1,0 +1,74 @@
+# Golden-file end-to-end regression tests: run astral-cli over the
+# examples/ inputs and diff the normalized JSON reports (alarm counts,
+# invariant census, inferred ranges) against checked-in expectations.
+#
+# Invoked by CTest as:
+#   cmake -DASTRAL_CLI=<path> -DSOURCE_DIR=<repo> [-DOUT_DIR=<dir>] \
+#         -P run_golden.cmake
+#
+# Mismatching reports are saved under OUT_DIR (default: a golden-actual/
+# directory next to the CLI binary, never the source tree).
+#
+# To regenerate expectations after an intended precision change:
+#   cmake -DASTRAL_CLI=<path> -DSOURCE_DIR=<repo> -DREGEN=1 -P run_golden.cmake
+
+if(NOT DEFINED ASTRAL_CLI OR NOT DEFINED SOURCE_DIR)
+  message(FATAL_ERROR "ASTRAL_CLI and SOURCE_DIR must be defined")
+endif()
+if(NOT DEFINED OUT_DIR)
+  get_filename_component(OUT_DIR ${ASTRAL_CLI} DIRECTORY)
+  set(OUT_DIR ${OUT_DIR}/golden-actual)
+endif()
+
+set(CASES quickstart filter_verification alarm_investigation flight_control)
+set(NFAILED 0)
+
+foreach(case ${CASES})
+  set(input ${SOURCE_DIR}/examples/${case}.cpp)
+  set(expected_file ${SOURCE_DIR}/tests/golden/${case}.expected.json)
+
+  execute_process(COMMAND ${ASTRAL_CLI} ${input} --json
+                  OUTPUT_VARIABLE actual
+                  ERROR_VARIABLE stderr_out
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(SEND_ERROR "[${case}] astral-cli exited with ${rc}:\n${stderr_out}")
+    math(EXPR NFAILED "${NFAILED}+1")
+    continue()
+  endif()
+
+  # Normalize environment-dependent fields (wall-clock time, input path).
+  string(REGEX REPLACE "\"analysis_seconds\": [0-9.eE+-]+"
+         "\"analysis_seconds\": \"<time>\"" actual "${actual}")
+  string(REGEX REPLACE "\"file\": \"[^\"]*\"" "\"file\": \"<input>\""
+         actual "${actual}")
+
+  if(REGEN)
+    file(WRITE ${expected_file} "${actual}")
+    message(STATUS "[${case}] regenerated ${expected_file}")
+    continue()
+  endif()
+
+  if(NOT EXISTS ${expected_file})
+    message(SEND_ERROR "[${case}] missing expectation ${expected_file} "
+                       "(run with -DREGEN=1 to create)")
+    math(EXPR NFAILED "${NFAILED}+1")
+    continue()
+  endif()
+
+  file(READ ${expected_file} expected)
+  if(NOT actual STREQUAL expected)
+    file(WRITE ${OUT_DIR}/${case}.actual.json "${actual}")
+    message(SEND_ERROR
+        "[${case}] report drifted from ${expected_file}\n"
+        "actual saved to ${OUT_DIR}/${case}.actual.json\n"
+        "--- expected ---\n${expected}\n--- actual ---\n${actual}")
+    math(EXPR NFAILED "${NFAILED}+1")
+  else()
+    message(STATUS "[${case}] ok")
+  endif()
+endforeach()
+
+if(NFAILED GREATER 0)
+  message(FATAL_ERROR "${NFAILED} golden case(s) failed")
+endif()

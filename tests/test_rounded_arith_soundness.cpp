@@ -1,0 +1,200 @@
+//===- tests/test_rounded_arith_soundness.cpp - Rounding-mode soundness -----===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+// Soundness of support/RoundedArith against *actual* directed rounding: for
+// every hardware rounding mode, the [opDown, opUp] bracket must contain the
+// result the FPU produces in that mode (Sect. 6.2.1: "always perform
+// rounding in the right direction"). The seed suite checks brackets in
+// round-to-nearest only; this suite flips the FPU mode (the tests are built
+// with -frounding-math so the compiler cannot constant-fold across
+// fesetround) and also probes subnormals, overflow-to-infinity and huge
+// cancellations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/RoundedArith.h"
+
+#include <gtest/gtest.h>
+
+#include <cfenv>
+#include <cmath>
+#include <vector>
+
+using namespace astral;
+using namespace astral::rounded;
+
+namespace {
+
+const int AllModes[] = {FE_TONEAREST, FE_DOWNWARD, FE_UPWARD, FE_TOWARDZERO};
+
+/// Evaluates Op(X, Y) under rounding mode \p Mode, restoring the mode after.
+template <typename FnT> double underMode(int Mode, FnT &&Op) {
+  int Saved = std::fegetround();
+  std::fesetround(Mode);
+  volatile double R = Op();
+  std::fesetround(Saved);
+  return R;
+}
+
+/// Interesting values: zeros, subnormals, powers of two, odd mantissas,
+/// values near the binary64 overflow threshold, and infinities.
+std::vector<double> probeValues() {
+  const double Inf = std::numeric_limits<double>::infinity();
+  return {0.0,
+          -0.0,
+          4.9406564584124654e-324, // min subnormal
+          -4.9406564584124654e-324,
+          2.2250738585072014e-308, // min normal
+          1e-30,
+          0.1,
+          1.0 / 3.0,
+          0.5,
+          1.0,
+          1.5,
+          2.0,
+          3.141592653589793,
+          1e10,
+          12345678.9012345,
+          1.7976931348623157e308, // max finite
+          -1.7976931348623157e308,
+          Inf,
+          -Inf,
+          -1e-30,
+          -0.1,
+          -1.0,
+          -2.5};
+}
+
+} // namespace
+
+TEST(RoundedArithSoundness, AddBracketsEveryRoundingMode) {
+  for (double X : probeValues())
+    for (double Y : probeValues()) {
+      if (std::isinf(X) && std::isinf(Y) && std::signbit(X) != std::signbit(Y))
+        continue; // inf + -inf is NaN; the interval layer never asks for it.
+      double Lo = addDown(X, Y), Hi = addUp(X, Y);
+      ASSERT_LE(Lo, Hi);
+      for (int Mode : AllModes) {
+        volatile double VX = X, VY = Y;
+        double R = underMode(Mode, [&] { return VX + VY; });
+        ASSERT_LE(Lo, R) << "x=" << X << " y=" << Y << " mode=" << Mode;
+        ASSERT_GE(Hi, R) << "x=" << X << " y=" << Y << " mode=" << Mode;
+      }
+    }
+}
+
+TEST(RoundedArithSoundness, SubBracketsEveryRoundingMode) {
+  for (double X : probeValues())
+    for (double Y : probeValues()) {
+      if (std::isinf(X) && std::isinf(Y) && std::signbit(X) == std::signbit(Y))
+        continue;
+      double Lo = subDown(X, Y), Hi = subUp(X, Y);
+      ASSERT_LE(Lo, Hi);
+      for (int Mode : AllModes) {
+        volatile double VX = X, VY = Y;
+        double R = underMode(Mode, [&] { return VX - VY; });
+        ASSERT_LE(Lo, R) << "x=" << X << " y=" << Y << " mode=" << Mode;
+        ASSERT_GE(Hi, R) << "x=" << X << " y=" << Y << " mode=" << Mode;
+      }
+    }
+}
+
+TEST(RoundedArithSoundness, MulBracketsEveryRoundingMode) {
+  for (double X : probeValues())
+    for (double Y : probeValues()) {
+      if ((X == 0.0 && std::isinf(Y)) || (std::isinf(X) && Y == 0.0))
+        continue; // 0 * inf is NaN.
+      double Lo = mulDown(X, Y), Hi = mulUp(X, Y);
+      ASSERT_LE(Lo, Hi);
+      for (int Mode : AllModes) {
+        volatile double VX = X, VY = Y;
+        double R = underMode(Mode, [&] { return VX * VY; });
+        ASSERT_LE(Lo, R) << "x=" << X << " y=" << Y << " mode=" << Mode;
+        ASSERT_GE(Hi, R) << "x=" << X << " y=" << Y << " mode=" << Mode;
+      }
+    }
+}
+
+TEST(RoundedArithSoundness, DivBracketsEveryRoundingMode) {
+  for (double X : probeValues())
+    for (double Y : probeValues()) {
+      if (Y == 0.0)
+        continue; // Callers split zero-spanning divisors.
+      if (std::isinf(X) && std::isinf(Y))
+        continue; // inf / inf is NaN.
+      double Lo = divDown(X, Y), Hi = divUp(X, Y);
+      ASSERT_LE(Lo, Hi);
+      for (int Mode : AllModes) {
+        volatile double VX = X, VY = Y;
+        double R = underMode(Mode, [&] { return VX / VY; });
+        ASSERT_LE(Lo, R) << "x=" << X << " y=" << Y << " mode=" << Mode;
+        ASSERT_GE(Hi, R) << "x=" << X << " y=" << Y << " mode=" << Mode;
+      }
+    }
+}
+
+TEST(RoundedArithSoundness, SqrtBracketsEveryRoundingMode) {
+  for (double X : probeValues()) {
+    if (std::signbit(X) && X != 0.0)
+      continue;
+    double Lo = sqrtDown(X), Hi = sqrtUp(X);
+    ASSERT_LE(Lo, Hi);
+    for (int Mode : AllModes) {
+      volatile double VX = X;
+      double R = underMode(Mode, [&] { return std::sqrt(VX); });
+      ASSERT_LE(Lo, R) << "x=" << X << " mode=" << Mode;
+      ASSERT_GE(Hi, R) << "x=" << X << " mode=" << Mode;
+    }
+  }
+}
+
+TEST(RoundedArithSoundness, OverflowWidensToInfinityNotMaxFinite) {
+  const double Max = std::numeric_limits<double>::max();
+  // Up-rounded overflow must reach +inf: clamping at DBL_MAX would exclude
+  // concrete values representable under FE_UPWARD semantics.
+  EXPECT_EQ(addUp(Max, Max), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(mulUp(Max, 2.0), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(subDown(-Max, Max), -std::numeric_limits<double>::infinity());
+  // The opposite bound comes back from the overflow infinity to the
+  // largest finite value (the FE_DOWNWARD result).
+  EXPECT_EQ(addDown(Max, Max), Max);
+  EXPECT_EQ(mulDown(Max, 2.0), Max);
+  EXPECT_EQ(subUp(-Max, Max), -Max);
+}
+
+TEST(RoundedArithSoundness, SubnormalUnderflowKeepsSignedBracket) {
+  const double Tiny = 4.9406564584124654e-324; // min subnormal
+  // tiny * 0.5 rounds to 0 or tiny depending on mode: bracket must span both.
+  double Lo = mulDown(Tiny, 0.5), Hi = mulUp(Tiny, 0.5);
+  EXPECT_LE(Lo, 0.0);
+  EXPECT_GE(Hi, Tiny);
+  // Negative side mirrors.
+  double NLo = mulDown(-Tiny, 0.5), NHi = mulUp(-Tiny, 0.5);
+  EXPECT_LE(NLo, -Tiny);
+  EXPECT_GE(NHi, 0.0);
+}
+
+TEST(RoundedArithSoundness, MassiveCancellationIsBracketed) {
+  // (x + y) - x with |y| << |x|: catastrophic cancellation territory.
+  volatile double X = 1e16, Y = 1.0 / 3.0;
+  double Sum = X + Y;
+  double LoSum = addDown(X, Y), HiSum = addUp(X, Y);
+  EXPECT_LE(LoSum, Sum);
+  EXPECT_GE(HiSum, Sum);
+  double Lo = subDown(LoSum, X), Hi = subUp(HiSum, X);
+  // The true real value 1/3 must be inside the accumulated bracket.
+  EXPECT_LE(Lo, 1.0 / 3.0);
+  EXPECT_GE(Hi, 1.0 / 3.0);
+}
+
+TEST(RoundedArithSoundness, BracketWidthStaysOneUlpish) {
+  // The nudge strategy must not widen exact results by more than one ulp on
+  // each side — precision, not just soundness.
+  for (double X : {1.0, 2.0, 1024.0, 0.125}) {
+    double Lo = addDown(X, X), Hi = addUp(X, X);
+    EXPECT_GE(Lo, std::nextafter(2 * X, -INFINITY));
+    EXPECT_LE(Hi, std::nextafter(2 * X, INFINITY));
+  }
+}

@@ -1,0 +1,92 @@
+//===- tests/test_spec_directives.cpp - @astral directive parsing -----------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/SpecDirectives.h"
+
+#include <gtest/gtest.h>
+
+using namespace astral;
+
+TEST(SpecDirectives, ParsesAllKinds) {
+  AnalyzerOptions Opts;
+  std::vector<std::string> W = applySpecDirectives(
+      R"(/* @astral volatile speed 0 300
+            @astral volatile brake 0 1
+            @astral clock-max 1e6
+            @astral partition select_gain
+            @astral threshold 500
+            @astral unroll 2
+            @astral entry tick */)",
+      Opts);
+  EXPECT_TRUE(W.empty()) << W.front();
+  ASSERT_EQ(Opts.VolatileRanges.count("speed"), 1u);
+  EXPECT_EQ(Opts.VolatileRanges["speed"], Interval(0, 300));
+  EXPECT_EQ(Opts.VolatileRanges["brake"], Interval(0, 1));
+  EXPECT_EQ(Opts.ClockMax, 1e6);
+  EXPECT_EQ(Opts.PartitionFunctions.count("select_gain"), 1u);
+  ASSERT_EQ(Opts.ExtraThresholds.size(), 1u);
+  EXPECT_EQ(Opts.ExtraThresholds[0], 500.0);
+  EXPECT_EQ(Opts.DefaultUnroll, 2u);
+  EXPECT_EQ(Opts.EntryFunction, "tick");
+}
+
+TEST(SpecDirectives, TrailingCommentCloserIsTolerated) {
+  AnalyzerOptions Opts;
+  std::vector<std::string> W =
+      applySpecDirectives("/* @astral clock-max 3.6e6 */", Opts);
+  EXPECT_TRUE(W.empty());
+  EXPECT_EQ(Opts.ClockMax, 3.6e6);
+}
+
+TEST(SpecDirectives, MalformedDirectivesWarnAndDoNotApply) {
+  AnalyzerOptions Defaults;
+  AnalyzerOptions Opts;
+  std::vector<std::string> W = applySpecDirectives(
+      "/* @astral clock-max 3,6e6 */\n"   // half-parsable number
+      "/* @astral clock-max -5 */\n"      // non-positive
+      "/* @astral volatile speed 300 0 */\n" // inverted range
+      "/* @astral volatile speed */\n"    // missing bounds
+      "/* @astral unroll two */\n"        // non-numeric
+      "/* @astral frobnicate 1 */\n",     // unknown kind
+      Opts);
+  EXPECT_EQ(W.size(), 6u);
+  // Nothing was applied.
+  EXPECT_EQ(Opts.ClockMax, Defaults.ClockMax);
+  EXPECT_TRUE(Opts.VolatileRanges.empty());
+  EXPECT_EQ(Opts.DefaultUnroll, Defaults.DefaultUnroll);
+  // Warnings carry the line number and the expected shape.
+  EXPECT_NE(W[0].find("line 1"), std::string::npos);
+  EXPECT_NE(W[0].find("clock-max"), std::string::npos);
+  EXPECT_NE(W[5].find("frobnicate"), std::string::npos);
+}
+
+TEST(SpecDirectives, NonDirectiveTextIsIgnored) {
+  AnalyzerOptions Defaults;
+  AnalyzerOptions Opts;
+  std::vector<std::string> W = applySpecDirectives(
+      "int main(void) { return 0; } /* no directives here */", Opts);
+  EXPECT_TRUE(W.empty());
+  EXPECT_TRUE(Opts.VolatileRanges.empty());
+  EXPECT_EQ(Opts.ClockMax, Defaults.ClockMax);
+}
+
+TEST(SpecDirectives, MultipleDirectivesOnOneLine) {
+  AnalyzerOptions Opts;
+  std::vector<std::string> W = applySpecDirectives(
+      "/* @astral volatile a 0 1  @astral clock-max 1e6 */", Opts);
+  EXPECT_TRUE(W.empty()) << W.front();
+  EXPECT_EQ(Opts.VolatileRanges["a"], Interval(0, 1));
+  EXPECT_EQ(Opts.ClockMax, 1e6);
+}
+
+TEST(SpecDirectives, NegativeRangesParse) {
+  AnalyzerOptions Opts;
+  std::vector<std::string> W =
+      applySpecDirectives("/* @astral volatile stick -1 1 */", Opts);
+  EXPECT_TRUE(W.empty());
+  EXPECT_EQ(Opts.VolatileRanges["stick"], Interval(-1, 1));
+}
