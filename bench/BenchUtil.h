@@ -61,10 +61,7 @@ analyzeFamily(const codegen::FamilyProgram &FP,
 /// Disables every refinement this paper added over the starting-point
 /// analyzer [5] (interval baseline).
 inline void baselineConfig(AnalyzerOptions &O) {
-  O.EnableClock = false;
-  O.EnableOctagons = false;
-  O.EnableEllipsoids = false;
-  O.EnableDecisionTrees = false;
+  O.Domains = DomainSet::intervalOnly();
   O.EnableLinearization = false;
   O.PartitionFunctions.clear();
 }

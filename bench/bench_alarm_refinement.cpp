@@ -41,28 +41,28 @@ int main() {
       {"+ clocked domain (6.2.1)",
        [](AnalyzerOptions &O) {
          baselineConfig(O);
-         O.EnableClock = true;
+         O.Domains.enable(DomainKind::Clocked);
        }},
       {"+ linearization (6.3)",
        [](AnalyzerOptions &O) {
          baselineConfig(O);
-         O.EnableClock = true;
+         O.Domains.enable(DomainKind::Clocked);
          O.EnableLinearization = true;
        }},
       {"+ octagons (6.2.2)",
        [](AnalyzerOptions &O) {
          baselineConfig(O);
-         O.EnableClock = true;
+         O.Domains.enable(DomainKind::Clocked);
          O.EnableLinearization = true;
-         O.EnableOctagons = true;
+         O.Domains.enable(DomainKind::Octagon);
        }},
       {"+ ellipsoids (6.2.3)",
        [](AnalyzerOptions &O) {
          baselineConfig(O);
-         O.EnableClock = true;
+         O.Domains.enable(DomainKind::Clocked);
          O.EnableLinearization = true;
-         O.EnableOctagons = true;
-         O.EnableEllipsoids = true;
+         O.Domains.enable(DomainKind::Octagon);
+         O.Domains.enable(DomainKind::Ellipsoid);
        }},
       {"+ decision trees (6.2.4)",
        [](AnalyzerOptions &O) {

@@ -62,7 +62,7 @@ AnalysisResult run(bool WithEllipsoids) {
   for (const std::string &W : // the @astral directives above
        applySpecDirectives(In.Source, In.Options))
     std::fprintf(stderr, "spec warning: %s\n", W.c_str());
-  In.Options.EnableEllipsoids = WithEllipsoids;
+  In.Options.Domains.enable(DomainKind::Ellipsoid, WithEllipsoids);
   return Analyzer::analyze(In);
 }
 

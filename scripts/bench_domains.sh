@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Nightly bench trajectory: runs the paper-experiment harnesses that track
+# analyzer performance — bench_fig2_scaling (time vs kLOC, Fig. 2) and
+# bench_packing_opt (abstract-state memory, Sect. 7.2.2) — and folds their
+# numbers into a machine-readable BENCH_domains.json, so this and future
+# perf PRs show their trajectory.
+#
+# Usage: scripts/bench_domains.sh [build-dir] [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${1:-build}
+OUT=${2:-BENCH_domains.json}
+
+FIG2="$BUILD/bench/bench_fig2_scaling"
+PACKING="$BUILD/bench/bench_packing_opt"
+for bin in "$FIG2" "$PACKING"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "bench_domains: missing $bin (build with -DASTRAL_BUILD_BENCH=ON)" >&2
+    exit 1
+  fi
+done
+
+FIG2_OUT=$("$FIG2" 2>/dev/null)
+PACKING_OUT=$("$PACKING" 2>/dev/null)
+
+# bench_fig2_scaling data rows: lines kLOC time(s) s/kLOC alarms cells.
+SCALING_JSON=$(printf '%s\n' "$FIG2_OUT" | awk '
+  /^ +[0-9]+ +[0-9.]+ +[0-9.]+ +[0-9.]+ +[0-9]+ +[0-9]+ *$/ {
+    rows[n++] = sprintf("    {\"lines\": %s, \"kloc\": %s, \"seconds\": %s, \"s_per_kloc\": %s, \"alarms\": %s, \"cells\": %s}",
+                        $1, $2, $3, $4, $5, $6)
+  }
+  END { for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i + 1 < n ? "," : "") }')
+
+# bench_packing_opt summary rows: "<label> <all-packs> <useful-only>".
+mem_all=$(printf '%s\n' "$PACKING_OUT" | awk '/abstract-state peak/ {print $(NF-1)}')
+mem_opt=$(printf '%s\n' "$PACKING_OUT" | awk '/abstract-state peak/ {print $NF}')
+time_all=$(printf '%s\n' "$PACKING_OUT" | awk '/analysis time/ {print $(NF-1)}')
+time_opt=$(printf '%s\n' "$PACKING_OUT" | awk '/analysis time/ {print $NF}')
+packs_all=$(printf '%s\n' "$PACKING_OUT" | awk '/octagon packs/ {print $(NF-1)}')
+packs_opt=$(printf '%s\n' "$PACKING_OUT" | awk '/octagon packs/ {print $NF}')
+
+if [[ -z "$SCALING_JSON" || -z "$mem_all" ]]; then
+  echo "bench_domains: could not parse bench output" >&2
+  exit 1
+fi
+
+GIT_REV=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+DATE=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+
+cat > "$OUT" <<EOF
+{
+  "generated": "$DATE",
+  "git": "$GIT_REV",
+  "fig2_scaling": [
+$SCALING_JSON
+  ],
+  "packing_opt": {
+    "octagon_packs_all": $packs_all,
+    "octagon_packs_useful": $packs_opt,
+    "analysis_seconds_all": $time_all,
+    "analysis_seconds_useful": $time_opt,
+    "abstract_state_peak_mb_all": $mem_all,
+    "abstract_state_peak_mb_useful": $mem_opt
+  }
+}
+EOF
+
+echo "bench_domains: wrote $OUT"

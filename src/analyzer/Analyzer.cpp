@@ -7,6 +7,7 @@
 
 #include "analyzer/Analyzer.h"
 
+#include "analyzer/DomainRegistry.h"
 #include "analyzer/Iterator.h"
 #include "ir/ConstFold.h"
 #include "ir/Lowering.h"
@@ -118,8 +119,12 @@ AnalysisResult Analyzer::analyze(const AnalysisInput &Input) {
                          : static_cast<double>(TotalPackCells) /
                                static_cast<double>(Packs.OctPacks.size());
 
+  // The ordered set of enabled relational domains; every iterator/transfer
+  // interaction with a relational pack goes through this registry.
+  DomainRegistry Registry(Packs, Input.Options);
+
   AlarmSet Alarms;
-  Iterator Iter(*P, Layout, Packs, Input.Options, R.Stats, Alarms);
+  Iterator Iter(*P, Layout, Registry, Input.Options, R.Stats, Alarms);
 
   Timer AnalysisTimer;
   AbstractEnv Final = Iter.run();
@@ -137,16 +142,21 @@ AnalysisResult Analyzer::analyze(const AnalysisInput &Input) {
   }
   const AbstractEnv &Census = Inv ? *Inv : Final;
   if (Input.Options.RecordLoopInvariants) {
-    R.MainLoopCensus = censusInvariant(Census, Layout, Packs);
-    R.MainLoopInvariant = dumpInvariant(Census, Layout, Packs);
+    R.MainLoopCensus = censusInvariant(Census, Layout, Registry);
+    R.MainLoopInvariant = dumpInvariant(Census, Layout, Registry);
   }
 
   // Sect. 7.2.2: "our analyzer outputs, as part of the result, whether each
-  // octagon actually improved the precision of the analysis".
-  const std::vector<uint8_t> &Improved = Iter.transfer().OctPackImproved;
-  for (uint32_t Id = 0; Id < Improved.size(); ++Id)
-    if (Improved[Id])
-      R.UsefulOctPacks.push_back(Id);
+  // octagon actually improved the precision of the analysis". The transfer
+  // tracks usefulness uniformly per registered domain; pick the octagon row.
+  int OctDomain = Registry.indexOf(DomainKind::Octagon);
+  if (OctDomain >= 0) {
+    const std::vector<uint8_t> &Improved =
+        Iter.transfer().RelPackImproved[OctDomain];
+    for (uint32_t Id = 0; Id < Improved.size(); ++Id)
+      if (Improved[Id])
+        R.UsefulOctPacks.push_back(Id);
+  }
 
   for (CellId C = 0; C < Layout.numCells(); ++C) {
     const memory::CellInfo &CI = Layout.cell(C);

@@ -78,45 +78,17 @@ AbstractEnv Iterator::loopFixpoint(const Stmt *W, const AbstractEnv &E0) {
                        B->Clk.MinusClk.toString().c_str(),
                        B->Clk.PlusClk.toString().c_str());
       });
-      Fx.forEachOctagon([&](memory::PackId Id,
-                            const std::shared_ptr<const Octagon> &OF) {
-        std::shared_ptr<const Octagon> OX = X.octagon(Id);
-        if (!OX || !OF || OX == OF)
-          return;
-        Octagon FC(*OF);
-        FC.close();
-        if (!FC.leq(*OX))
-          std::fprintf(stderr, "  VIOLATION octagon#%u\n    X: %s\n    F: %s\n",
-                       Id, OX->toString().c_str(), OF->toString().c_str());
-      });
-      Fx.forEachTree([&](memory::PackId Id,
-                         const std::shared_ptr<const DecisionTree> &TF) {
-        std::shared_ptr<const DecisionTree> TX = X.tree(Id);
-        if (TX && TF && TX != TF && !TF->leq(*TX))
-          std::fprintf(stderr, "  VIOLATION dtree#%u\n    X: %s\n    F: %s\n",
-                       Id, TX->toString().c_str(), TF->toString().c_str());
-      });
-      Fx.forEachEllipsoids(
-          [&](memory::PackId Id,
-              const std::shared_ptr<const memory::EllipsoidState> &EF) {
-            std::shared_ptr<const memory::EllipsoidState> EX =
-                X.ellipsoids(Id);
-            if (!EX || !EF || EX == EF)
-              return;
-            for (const auto &[Pair, KX] : EX->K) {
-              double KF = EF->get(Pair.first, Pair.second);
-              (void)KF;
-            }
-            for (const auto &[Pair, KX] : EX->K)
-              if (!(EX->get(Pair.first, Pair.second) >= 0) ||
-                  !(EF->get(Pair.first, Pair.second) <=
-                    EX->get(Pair.first, Pair.second)))
-                std::fprintf(stderr,
-                             "  VIOLATION ellipsoid#%u pair (%u,%u): X=%g F=%g\n",
-                             Id, Pair.first, Pair.second,
-                             EX->get(Pair.first, Pair.second),
-                             EF->get(Pair.first, Pair.second));
-          });
+      for (size_t D = 0; D < Reg.size(); ++D)
+        Fx.forEachRel(D, [&](memory::PackId Id,
+                             const DomainState::Ptr &SF) {
+          DomainState::Ptr SX = X.rel(D, Id);
+          if (!SX || !SF || SX == SF)
+            return;
+          if (!SF->leq(*SX))
+            std::fprintf(stderr, "  VIOLATION %s#%u\n    X: %s\n    F: %s\n",
+                         Reg.domain(D).name(), Id, SX->toString().c_str(),
+                         SF->toString().c_str());
+        });
     }
 
     // Iterate with the inflated F-hat (7.1.4).

@@ -7,6 +7,8 @@
 
 #include "analyzer/InvariantStats.h"
 
+#include "analyzer/DomainRegistry.h"
+
 #include <cmath>
 #include <set>
 
@@ -17,10 +19,10 @@ using memory::ScalarAbs;
 
 InvariantCensus astral::censusInvariant(const AbstractEnv &Env,
                                         const CellLayout &Layout,
-                                        const Packing &Packs) {
+                                        const DomainRegistry &Registry) {
   InvariantCensus C;
   std::set<double> Constants;
-  auto NoteConst = [&](double V) {
+  std::function<void(double)> NoteConst = [&](double V) {
     if (std::isfinite(V))
       Constants.insert(V);
   };
@@ -58,43 +60,23 @@ InvariantCensus astral::censusInvariant(const AbstractEnv &Env,
     }
   });
 
-  Env.forEachOctagon([&](memory::PackId,
-                         const std::shared_ptr<const Octagon> &O) {
-    if (!O || O->isBottom())
-      return;
-    uint64_t Add = 0, Sub = 0;
-    O->countConstraints(Add, Sub);
-    C.OctAdditive += Add;
-    C.OctSubtractive += Sub;
-  });
-
-  Env.forEachTree([&](memory::PackId,
-                      const std::shared_ptr<const DecisionTree> &T) {
-    if (T && !T->isBottom() && T->hasRelationalInfo())
-      ++C.DecisionTrees;
-  });
-
-  Env.forEachEllipsoids(
-      [&](memory::PackId,
-          const std::shared_ptr<const memory::EllipsoidState> &E) {
-        if (!E)
-          return;
-        for (const auto &[Pair, K] : E->K) {
-          if (std::isfinite(K)) {
-            ++C.EllipsoidAssertions;
-            NoteConst(K);
-          }
-        }
-      });
+  // Relational assertions, one registered domain at a time.
+  for (size_t D = 0; D < Registry.size(); ++D) {
+    const RelationalDomain &Dom = Registry.domain(D);
+    Env.forEachRel(D, [&](memory::PackId, const DomainState::Ptr &S) {
+      if (S)
+        Dom.census(*S, C, NoteConst);
+    });
+  }
 
   C.DistinctConstants = Constants.size();
-  C.DumpBytes = dumpInvariant(Env, Layout, Packs).size();
+  C.DumpBytes = dumpInvariant(Env, Layout, Registry).size();
   return C;
 }
 
 std::string astral::dumpInvariant(const AbstractEnv &Env,
                                   const CellLayout &Layout,
-                                  const Packing & /*Packs*/) {
+                                  const DomainRegistry &Registry) {
   std::string Out;
   Out.reserve(1 << 16);
   Env.forEachCell([&](CellId Cell, const ScalarAbs &S) {
@@ -120,32 +102,12 @@ std::string astral::dumpInvariant(const AbstractEnv &Env,
     Out += '\n';
   });
   Out += "clock in " + Env.clock().toString() + "\n";
-  Env.forEachOctagon([&](memory::PackId Id,
-                         const std::shared_ptr<const Octagon> &O) {
-    if (!O || O->isBottom() || !O->hasRelationalInfo())
-      return;
-    Out += "octagon#" + std::to_string(Id) + ": " + O->toString() + "\n";
-  });
-  Env.forEachTree([&](memory::PackId Id,
-                      const std::shared_ptr<const DecisionTree> &T) {
-    if (!T || !T->hasRelationalInfo())
-      return;
-    Out += "dtree#" + std::to_string(Id) + ": " + T->toString() + "\n";
-  });
-  Env.forEachEllipsoids(
-      [&](memory::PackId Id,
-          const std::shared_ptr<const memory::EllipsoidState> &E) {
-        if (!E || E->K.empty())
-          return;
-        Out += "ellipsoid#" + std::to_string(Id) + ":";
-        for (const auto &[Pair, K] : E->K) {
-          if (!std::isfinite(K))
-            continue;
-          Out += " q(c" + std::to_string(Pair.first) + ",c" +
-                 std::to_string(Pair.second) + ")<=" + std::to_string(K) +
-                 ";";
-        }
-        Out += '\n';
-      });
+  for (size_t D = 0; D < Registry.size(); ++D) {
+    const RelationalDomain &Dom = Registry.domain(D);
+    Env.forEachRel(D, [&](memory::PackId Id, const DomainState::Ptr &S) {
+      if (S)
+        Dom.dump(*S, Id, Out);
+    });
+  }
   return Out;
 }

@@ -12,19 +12,22 @@
 /// clock assertions, 19,100 additive octagonal assertions, 19,200
 /// subtractive octagonal assertions, 100 decision trees and 1,900
 /// ellipsoidal assertions ... over 16,000 floating point constants ... a
-/// textual file over 4.5 Mb".
+/// textual file over 4.5 Mb". The relational contributions are gathered
+/// through the DomainRegistry — each registered domain reports its own
+/// assertions.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef ASTRAL_ANALYZER_INVARIANTSTATS_H
 #define ASTRAL_ANALYZER_INVARIANTSTATS_H
 
-#include "analyzer/Packing.h"
 #include "memory/AbstractEnv.h"
 
 #include <string>
 
 namespace astral {
+
+class DomainRegistry;
 
 struct InvariantCensus {
   uint64_t BoolAssertions = 0;      ///< Boolean cells pinned into [0,1].
@@ -42,13 +45,13 @@ struct InvariantCensus {
 /// Counts the assertions of \p Env.
 InvariantCensus censusInvariant(const memory::AbstractEnv &Env,
                                 const memory::CellLayout &Layout,
-                                const Packing &Packs);
+                                const DomainRegistry &Registry);
 
 /// Renders \p Env as text (one assertion per line) — the paper's "loop
 /// invariants ... can be saved for examination" (Sect. 5.3).
 std::string dumpInvariant(const memory::AbstractEnv &Env,
                           const memory::CellLayout &Layout,
-                          const Packing &Packs);
+                          const DomainRegistry &Registry);
 
 } // namespace astral
 

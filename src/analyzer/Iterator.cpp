@@ -70,12 +70,12 @@ static void collectConstantThresholds(const Program &Prog,
 }
 
 Iterator::Iterator(const Program &Prog, const memory::CellLayout &L,
-                   const Packing &Pk, const AnalyzerOptions &O,
+                   const DomainRegistry &Registry, const AnalyzerOptions &O,
                    Statistics &St, AlarmSet &Al)
-    : P(Prog), Layout(L), Opts(O), Stats(St), Alarms(Al),
+    : P(Prog), Layout(L), Reg(Registry), Opts(O), Stats(St), Alarms(Al),
       Thr(Thresholds::geometric(O.ThresholdAlpha, O.ThresholdLambda,
                                 O.ThresholdCount)),
-      T(Prog, L, Pk, O, St, Al) {
+      T(Prog, L, Registry, O, St, Al) {
   // Fold user thresholds, program constants and the clock bound into the
   // ladder (end-user parametrization, Sect. 3.2; widening thresholds are
   // "easily found in the program documentation" — and the program's own

@@ -31,7 +31,7 @@ namespace astral {
 class Iterator {
 public:
   Iterator(const ir::Program &P, const memory::CellLayout &Layout,
-           const Packing &Packs, const AnalyzerOptions &Opts,
+           const DomainRegistry &Registry, const AnalyzerOptions &Opts,
            Statistics &Stats, AlarmSet &Alarms);
 
   /// Abstract-executes the whole program (global initialization, then the
@@ -67,6 +67,7 @@ private:
 
   const ir::Program &P;
   const memory::CellLayout &Layout;
+  const DomainRegistry &Reg;
   const AnalyzerOptions &Opts;
   Statistics &Stats;
   AlarmSet &Alarms;

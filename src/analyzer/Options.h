@@ -19,6 +19,7 @@
 #define ASTRAL_ANALYZER_OPTIONS_H
 
 #include "domains/Interval.h"
+#include "domains/RelationalDomain.h"
 
 #include <map>
 #include <set>
@@ -29,12 +30,15 @@ namespace astral {
 
 struct AnalyzerOptions {
   // -- Abstract domain selection (Sect. 6.2; the refinement sequence of the
-  //    alarm experiment E2 toggles these) -----------------------------------
-  bool EnableClock = true;         ///< Clocked domain (6.2.1).
-  bool EnableOctagons = true;      ///< Octagon packs (6.2.2).
-  bool EnableEllipsoids = true;    ///< Ellipsoid / filter packs (6.2.3).
-  bool EnableDecisionTrees = true; ///< Boolean decision trees (6.2.4).
-  bool EnableLinearization = true; ///< Symbolic linearization (6.3).
+  //    alarm experiment E2 ablates these one by one) ------------------------
+  /// The enabled abstract domains, driven by --domains= / the `@astral
+  /// domains` spec directive. The DomainRegistry instantiates exactly the
+  /// pack-based members of this set; the interval base domain is always on.
+  DomainSet Domains = DomainSet::all();
+  bool domainEnabled(DomainKind K) const { return Domains.has(K); }
+
+  bool EnableLinearization = true; ///< Symbolic linearization (6.3) — an
+                                   ///< expression rewrite, not a domain.
 
   // -- Widening / iteration strategy (Sect. 5.5, 7.1) -----------------------
   bool WideningWithThresholds = true; ///< Off = plain interval widening.

@@ -594,14 +594,14 @@ Packing Packing::build(const Program &P, const CellLayout &Layout,
   for (const Function &F : P.Functions) {
     if (!F.Body)
       continue;
-    if (Opts.EnableOctagons)
+    if (Opts.domainEnabled(DomainKind::Octagon))
       B.scanBlockForOctagons(F.Body);
-    if (Opts.EnableEllipsoids)
+    if (Opts.domainEnabled(DomainKind::Ellipsoid))
       B.scanForFilters(F.Body);
-    if (Opts.EnableDecisionTrees)
+    if (Opts.domainEnabled(DomainKind::DecisionTree))
       B.scanForTreeTentatives(F.Body);
   }
-  if (Opts.EnableDecisionTrees)
+  if (Opts.domainEnabled(DomainKind::DecisionTree))
     B.finalizeTreePacks();
 
   // Sect. 7.2.2: restrict to the useful packs of a previous analysis.

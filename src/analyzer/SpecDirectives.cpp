@@ -8,6 +8,7 @@
 #include "analyzer/SpecDirectives.h"
 
 #include <cctype>
+#include <optional>
 #include <sstream>
 
 using namespace astral;
@@ -69,6 +70,20 @@ astral::applySpecDirectives(const std::string &Source, AnalyzerOptions &Opts) {
           Opts.ExtraThresholds.push_back(V);
         else
           Malformed("threshold", "<value>");
+      } else if (Kind == "domains") {
+        std::string List, Extra;
+        std::string Err;
+        std::optional<DomainSet> DS;
+        if (Dir >> List)
+          DS = DomainSet::parse(List, Err);
+        // The list must be one comma-separated token: a stray space after a
+        // comma would otherwise silently drop the rest of the domains.
+        if (DS && Dir >> Extra && Extra != "*/")
+          DS.reset();
+        if (DS)
+          Opts.Domains = *DS;
+        else
+          Malformed("domains", "<interval,clocked,octagon,tree,ellipsoid>");
       } else if (Kind == "entry") {
         std::string Fn;
         if (Dir >> Fn)

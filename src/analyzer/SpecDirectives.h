@@ -16,6 +16,7 @@
 ///      @astral partition select_gain
 ///      @astral threshold 500
 ///      @astral unroll 2
+///      @astral domains interval,clocked,octagon,tree,ellipsoid
 ///      @astral entry main */
 ///
 /// Shared by astral-cli and the example harnesses (one source of truth for

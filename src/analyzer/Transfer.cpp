@@ -12,17 +12,51 @@
 using namespace astral;
 using namespace astral::ir;
 using memory::CellSel;
-using memory::EllipsoidState;
 using memory::NoCell;
 using memory::PackId;
 using memory::ResolvedAccess;
 using memory::ScalarAbs;
 
+namespace astral {
+
+/// Binds one Transfer + one environment into the evaluation services a
+/// domain's transfer functions may use (DomainEvalContext). The environment
+/// is held by reference: domains see cell refinements applied earlier in
+/// the same statement, exactly as the hand-wired code did.
+class TransferEvalContext final : public DomainEvalContext {
+public:
+  TransferEvalContext(Transfer &T, const AbstractEnv &Env) : T(T), Env(Env) {}
+
+  Interval cellInterval(CellId C) const override {
+    return Env.cellInterval(C);
+  }
+  Interval eval(const Expr *E, const CellOverlay *Overlay) const override {
+    return T.evalNoCheck(Env, E, Overlay);
+  }
+  LinearForm linearize(const Expr *E) const override {
+    return T.linearize(Env, E);
+  }
+  CellId strongLoadCell(const Expr *E) const override {
+    if (!E || !E->is(ExprKind::Load))
+      return NoCellId;
+    CellSel Sel = T.resolveLValue(Env, E->Lv, /*Report=*/false);
+    return Sel.Strong && Sel.Count == 1 ? Sel.First : NoCellId;
+  }
+
+private:
+  Transfer &T;
+  const AbstractEnv &Env;
+};
+
+} // namespace astral
+
 Transfer::Transfer(const Program &Prog, const memory::CellLayout &L,
-                   const Packing &Pk, const AnalyzerOptions &O,
+                   const DomainRegistry &Registry, const AnalyzerOptions &O,
                    Statistics &St, AlarmSet &Al)
-    : P(Prog), Layout(L), Packs(Pk), Opts(O), Stats(St), Alarms(Al) {
-  OctPackImproved.assign(Packs.OctPacks.size(), 0);
+    : P(Prog), Layout(L), Reg(Registry), Opts(O), Stats(St), Alarms(Al) {
+  RelPackImproved.resize(Reg.size());
+  for (size_t D = 0; D < Reg.size(); ++D)
+    RelPackImproved[D].assign(Reg.domain(D).numPacks(), 0);
   CellRange.reserve(Layout.numCells());
   VolatileRng.reserve(Layout.numCells());
   for (const memory::CellInfo &CI : Layout.cells()) {
@@ -66,13 +100,11 @@ AbstractEnv Transfer::initialEnv() const {
     Env.setCell(C, V);
   }
   Env.setClock(Interval::point(0));
-  for (const OctPack &Pack : Packs.OctPacks)
-    Env.setOctagon(Pack.Id, std::make_shared<const Octagon>(Pack.Cells));
-  for (const TreePack &Pack : Packs.TreePacks)
-    Env.setTree(Pack.Id,
-                std::make_shared<const DecisionTree>(Pack.Bools, Pack.Nums));
-  for (const EllPack &Pack : Packs.EllPacks)
-    Env.setEllipsoids(Pack.Id, std::make_shared<const EllipsoidState>());
+  for (size_t D = 0; D < Reg.size(); ++D) {
+    const RelationalDomain &Dom = Reg.domain(D);
+    Dom.forEachPack(
+        [&](PackId Pack) { Env.setRel(D, Pack, Dom.topFor(Pack)); });
+  }
   return Env;
 }
 
@@ -222,7 +254,7 @@ Interval Transfer::evalLoad(const AbstractEnv &Env, const Expr *E,
       continue;
     }
     Interval V = S->Itv;
-    if (Opts.EnableClock && !S->Clk.isTop())
+    if (Opts.domainEnabled(DomainKind::Clocked) && !S->Clk.isTop())
       V = S->Clk.reduceValue(V, Env.clock());
     R = R.join(V);
   }
@@ -437,272 +469,33 @@ Interval Transfer::evalExpr(const AbstractEnv &Env, const Expr *E,
 }
 
 //===----------------------------------------------------------------------===//
-// Decision-tree helpers
+// Reduction-channel application
 //===----------------------------------------------------------------------===//
 
-CellOverlay Transfer::leafOverlay(const DecisionTree &Tree, size_t LeafIdx,
-                                  std::vector<Interval> &Scratch) const {
-  // Scratch layout: [bools..., nums...] intervals for this leaf.
-  Scratch.clear();
-  for (size_t B = 0; B < Tree.boolCells().size(); ++B)
-    Scratch.push_back(Interval::point(
-        DecisionTree::leafBool(LeafIdx, static_cast<int>(B)) ? 1 : 0));
-  const DecisionTree::Leaf &L = Tree.leaf(LeafIdx);
-  for (size_t N = 0; N < Tree.numCells().size(); ++N)
-    Scratch.push_back(L.Nums[N]);
-  const DecisionTree *TreePtr = &Tree;
-  std::vector<Interval> *Data = &Scratch;
-  return [TreePtr, Data](CellId C) -> const Interval * {
-    int B = TreePtr->boolIndexOf(C);
-    if (B >= 0)
-      return &(*Data)[static_cast<size_t>(B)];
-    int N = TreePtr->numIndexOf(C);
-    if (N >= 0)
-      return &(*Data)[TreePtr->boolCells().size() + static_cast<size_t>(N)];
-    return nullptr;
+void Transfer::applyChannel(AbstractEnv &Env, size_t D, PackId Pack,
+                            const ReductionChannel &Ch) {
+  Ch.forEachStat([&](const char *Key, uint64_t N) { Stats.add(Key, N); });
+  auto NoteImproved = [&] {
+    if (D < RelPackImproved.size() && Pack < RelPackImproved[D].size())
+      RelPackImproved[D][Pack] = 1;
   };
-}
-
-std::vector<uint8_t> Transfer::perLeafTruth(const AbstractEnv &Env,
-                                            const DecisionTree &Tree,
-                                            const Expr *Cond) {
-  std::vector<uint8_t> Truth(Tree.leafCount(), 2);
-  std::vector<Interval> Scratch;
-  for (size_t L = 0; L < Tree.leafCount(); ++L) {
-    if (!Tree.leaf(L).Reachable) {
-      Truth[L] = 2;
-      continue;
-    }
-    CellOverlay O = leafOverlay(Tree, L, Scratch);
-    Interval V = evalNoCheck(Env, Cond, &O);
-    if (V.isBottom()) {
-      Truth[L] = 2;
-      continue;
-    }
-    bool CanFalse = V.containsZero();
-    bool CanTrue = !V.meetNe(0, Cond->Ty->isInt()).isBottom();
-    Truth[L] = CanTrue && CanFalse ? 2 : (CanTrue ? 1 : 0);
-  }
-  return Truth;
-}
-
-std::vector<Interval> Transfer::perLeafValue(const AbstractEnv &Env,
-                                             const DecisionTree &Tree,
-                                             const Expr *E) {
-  std::vector<Interval> Values(Tree.leafCount(), Interval::top());
-  std::vector<Interval> Scratch;
-  for (size_t L = 0; L < Tree.leafCount(); ++L) {
-    if (!Tree.leaf(L).Reachable)
-      continue;
-    CellOverlay O = leafOverlay(Tree, L, Scratch);
-    Values[L] = evalNoCheck(Env, E, &O);
-  }
-  return Values;
-}
-
-/// Refines the numeric intervals of one decision-tree leaf under the
-/// assumption that \p Cond evaluates to \p Positive (single-Load comparisons
-/// and boolean structure only; anything else refines nothing, which is
-/// sound). \p Nums is the leaf's numeric vector, updated in place.
-static void refineLeafNums(const AbstractEnv &Env, const DecisionTree &Tree,
-                           std::vector<Interval> &Nums, const CellOverlay &O,
-                           const Expr *Cond, bool Positive, Transfer *Self);
-
-void Transfer::boolAssignRefined(const AbstractEnv &Env,
-                                 const DecisionTree &Old, DecisionTree &New,
-                                 int BoolIdx, const Expr *Rhs) {
-  size_t Bit = size_t(1) << BoolIdx;
-  size_t NumCount = Old.numCells().size();
-  // Start from nothing; contributions join in.
-  for (size_t L = 0; L < New.leafCount(); ++L) {
-    DecisionTree::Leaf &Lf = New.leafMutable(L);
-    Lf.Reachable = false;
-    Lf.Nums.assign(NumCount, Interval::bottom());
-  }
-  std::vector<Interval> Scratch;
-  for (size_t L = 0; L < Old.leafCount(); ++L) {
-    if (!Old.leaf(L).Reachable)
-      continue;
-    CellOverlay O = leafOverlay(Old, L, Scratch);
-    Interval V = evalNoCheck(Env, Rhs, &O);
-    if (V.isBottom())
-      continue;
-    for (int TruthVal = 0; TruthVal <= 1; ++TruthVal) {
-      bool Feasible = TruthVal
-                          ? !V.meetNe(0, Rhs->Ty->isInt()).isBottom()
-                          : V.containsZero();
-      if (!Feasible)
-        continue;
-      std::vector<Interval> Nums = Old.leaf(L).Nums;
-      refineLeafNums(Env, Old, Nums, O, Rhs, TruthVal == 1, this);
-      bool LeafDead = false;
-      for (const Interval &I : Nums)
-        if (I.isBottom())
-          LeafDead = true;
-      if (LeafDead)
-        continue;
-      size_t Target = (L & ~Bit) | (TruthVal ? Bit : 0);
-      DecisionTree::Leaf &Dst = New.leafMutable(Target);
-      if (!Dst.Reachable) {
-        Dst.Reachable = true;
-        Dst.Nums = std::move(Nums);
-      } else {
-        for (size_t J = 0; J < NumCount; ++J)
-          Dst.Nums[J] = Dst.Nums[J].join(Nums[J]);
-      }
-    }
-  }
-}
-
-static void refineLeafNums(const AbstractEnv &Env, const DecisionTree &Tree,
-                           std::vector<Interval> &Nums, const CellOverlay &O,
-                           const Expr *Cond, bool Positive, Transfer *Self) {
-  if (!Cond)
-    return;
-  switch (Cond->Kind) {
-  case ExprKind::Cast:
-    // Integer-to-integer conversions (including the implicit _Bool cast
-    // Sema wraps around comparisons) clamp rather than wrap, so they
-    // preserve zero/nonzero-ness and the truth value.
-    if (Cond->Ty->isInt() && Cond->A && Cond->A->Ty->isInt())
-      refineLeafNums(Env, Tree, Nums, O, Cond->A, Positive, Self);
-    return;
-  case ExprKind::Unary:
-    if (Cond->UO == UnOp::LogicalNot)
-      refineLeafNums(Env, Tree, Nums, O, Cond->A, !Positive, Self);
-    return;
-  case ExprKind::Binary: {
-    if (Cond->BO == BinOp::LogicalAnd && Positive) {
-      refineLeafNums(Env, Tree, Nums, O, Cond->A, true, Self);
-      refineLeafNums(Env, Tree, Nums, O, Cond->B, true, Self);
-      return;
-    }
-    if (Cond->BO == BinOp::LogicalOr && !Positive) {
-      refineLeafNums(Env, Tree, Nums, O, Cond->A, false, Self);
-      refineLeafNums(Env, Tree, Nums, O, Cond->B, false, Self);
-      return;
-    }
-    if (!isComparison(Cond->BO))
-      return;
-    BinOp Op = Cond->BO;
-    if (!Positive) {
-      switch (Cond->BO) {
-      case BinOp::Lt: Op = BinOp::Ge; break;
-      case BinOp::Le: Op = BinOp::Gt; break;
-      case BinOp::Gt: Op = BinOp::Le; break;
-      case BinOp::Ge: Op = BinOp::Lt; break;
-      case BinOp::Eq: Op = BinOp::Ne; break;
-      case BinOp::Ne: Op = BinOp::Eq; break;
-      default: break;
-      }
-    }
-    // Refine when one side is a Load of a pack numeric cell.
-    auto TryRefine = [&](const Expr *Side, const Expr *Other, bool IsLeft) {
-      if (!Side->is(ExprKind::Load))
-        return;
-      CellSel Sel = Self->resolveLValue(Env, Side->Lv, /*Report=*/false);
-      if (!(Sel.Strong && Sel.Count == 1))
-        return;
-      int N = Tree.numIndexOf(Sel.First);
-      if (N < 0)
-        return;
-      Interval OtherV = Self->evalNoCheck(Env, Other, &O);
-      if (OtherV.isBottom())
-        return;
-      bool IsInt = Side->Ty->isInt() && Other->Ty->isInt();
-      Interval R = Nums[N];
-      BinOp EffOp = Op;
-      if (!IsLeft) {
-        switch (Op) {
-        case BinOp::Lt: EffOp = BinOp::Gt; break;
-        case BinOp::Le: EffOp = BinOp::Ge; break;
-        case BinOp::Gt: EffOp = BinOp::Lt; break;
-        case BinOp::Ge: EffOp = BinOp::Le; break;
-        default: break;
-        }
-      }
-      switch (EffOp) {
-      case BinOp::Lt: R = R.meetLt(OtherV.Hi, IsInt); break;
-      case BinOp::Le: R = R.meetLe(OtherV.Hi); break;
-      case BinOp::Gt: R = R.meetGt(OtherV.Lo, IsInt); break;
-      case BinOp::Ge: R = R.meetGe(OtherV.Lo); break;
-      case BinOp::Eq: R = R.meet(OtherV); break;
-      case BinOp::Ne:
-        if (OtherV.isPoint())
-          R = R.meetNe(OtherV.Lo, IsInt);
-        break;
-      default: break;
-      }
-      Nums[N] = R;
-    };
-    TryRefine(Cond->A, Cond->B, /*IsLeft=*/true);
-    TryRefine(Cond->B, Cond->A, /*IsLeft=*/false);
-    return;
-  }
-  case ExprKind::Load: {
-    // Bare value: (load != 0) when positive.
-    CellSel Sel = Self->resolveLValue(Env, Cond->Lv, /*Report=*/false);
-    if (!(Sel.Strong && Sel.Count == 1))
-      return;
-    int N = Tree.numIndexOf(Sel.First);
-    if (N < 0)
-      return;
-    Nums[N] = Positive ? Nums[N].meetNe(0, Cond->Ty->isInt())
-                       : Nums[N].meet(Interval::point(0));
-    return;
-  }
-  default:
-    return;
-  }
-}
-
-void Transfer::reduceFromTree(AbstractEnv &Env, PackId Pack) {
-  std::shared_ptr<const DecisionTree> T = Env.tree(Pack);
-  if (!T)
-    return;
-  if (T->isBottom()) {
+  if (Ch.isBottom()) {
+    NoteImproved(); // Pruned an infeasible branch.
     Env.markBottom();
     return;
   }
-  for (size_t N = 0; N < T->numCells().size(); ++N) {
-    CellId C = T->numCells()[N];
-    Interval TreeView = T->numInterval(static_cast<int>(N));
+  Ch.forEachFact([&](CellId C, const Interval &I) {
     const ScalarAbs *S = Env.cell(C);
     if (!S)
-      continue;
-    Interval Meet = S->Itv.meet(TreeView);
+      return;
+    Interval Meet = S->Itv.meet(I);
     if (Meet.isBottom())
-      continue; // Transient inconsistency: keep the cell value (sound).
-    if (Meet != S->Itv)
-      Env.setCell(C, ScalarAbs{Meet, S->Clk});
-  }
-}
-
-void Transfer::reduceFromOctagon(AbstractEnv &Env, PackId Pack) {
-  std::shared_ptr<const Octagon> O = Env.octagon(Pack);
-  if (!O)
-    return;
-  if (O->isBottom()) {
-    if (Pack < OctPackImproved.size())
-      OctPackImproved[Pack] = 1; // Pruned an infeasible branch.
-    Env.markBottom();
-    return;
-  }
-  for (size_t I = 0; I < O->cells().size(); ++I) {
-    CellId C = O->cells()[I];
-    Interval OV = O->varInterval(static_cast<int>(I));
-    const ScalarAbs *S = Env.cell(C);
-    if (!S)
-      continue;
-    Interval Meet = S->Itv.meet(OV);
-    if (Meet.isBottom())
-      continue;
+      return; // Transient inconsistency: keep the cell value (sound).
     if (Meet != S->Itv) {
-      if (Pack < OctPackImproved.size())
-        OctPackImproved[Pack] = 1;
+      NoteImproved();
       Env.setCell(C, ScalarAbs{Meet, S->Clk});
     }
-  }
+  });
 }
 
 //===----------------------------------------------------------------------===//
@@ -712,177 +505,37 @@ void Transfer::reduceFromOctagon(AbstractEnv &Env, PackId Pack) {
 void Transfer::relationalAssign(AbstractEnv &Env, CellId Target,
                                 const LinearForm &Form, const Interval &V,
                                 const Expr *Rhs) {
-  auto CellRangeCb = [&](CellId C) { return Env.cellInterval(C); };
-
-  // Octagons (6.2.2).
-  if (Opts.EnableOctagons) {
-    for (PackId Pack : Packs.CellOct[Target]) {
-      std::shared_ptr<const Octagon> Old = Env.octagon(Pack);
-      if (!Old)
+  RelAssign Req;
+  Req.Target = Target;
+  Req.Form = &Form;
+  Req.Value = V;
+  Req.Rhs = Rhs;
+  TransferEvalContext Ctx(*this, Env);
+  for (size_t D = 0; D < Reg.size(); ++D) {
+    for (PackId Pack : Reg.domain(D).packsOf(Target)) {
+      DomainState::Ptr S = Env.rel(D, Pack);
+      if (!S)
         continue;
-      auto New = std::make_shared<Octagon>(*Old);
-      int Idx = New->indexOf(Target);
-      New->assign(Idx, Form, CellRangeCb);
-      New->meetVarInterval(Idx, V);
-      New->close();
-      Env.setOctagon(Pack, std::move(New));
-      reduceFromOctagon(Env, Pack);
-      Stats.add("octagon.assignments");
-    }
-  }
-
-  // Decision trees (6.2.4).
-  if (Opts.EnableDecisionTrees && Rhs) {
-    for (PackId Pack : Packs.CellTree[Target]) {
-      std::shared_ptr<const DecisionTree> Old = Env.tree(Pack);
-      if (!Old)
+      ReductionChannel Ch;
+      DomainState::Ptr N = S->assignCell(Req, Ctx, Ch);
+      if (!N)
         continue;
-      auto New = std::make_shared<DecisionTree>(*Old);
-      int B = New->boolIndexOf(Target);
-      if (B >= 0) {
-        boolAssignRefined(Env, *Old, *New, B, Rhs);
-      } else {
-        int N = New->numIndexOf(Target);
-        if (N >= 0)
-          New->assignNum(N, perLeafValue(Env, *Old, Rhs));
-      }
-      Env.setTree(Pack, std::move(New));
-      Stats.add("dtree.assignments");
-    }
-  }
-
-  // Ellipsoids (6.2.3).
-  if (Opts.EnableEllipsoids) {
-    for (PackId Pack : Packs.CellEll[Target]) {
-      const EllPack &Info = Packs.EllPacks[Pack];
-      std::shared_ptr<const EllipsoidState> Old = Env.ellipsoids(Pack);
-      if (!Old)
-        continue;
-      auto New = std::make_shared<EllipsoidState>(*Old);
-      // Drop constraints involving the target.
-      for (auto It = New->K.begin(); It != New->K.end();) {
-        if (It->first.first == Target || It->first.second == Target)
-          It = New->K.erase(It);
-        else
-          ++It;
-      }
-      // Case 2: X := a*W1 - b*W2 + t with (a, b) matching the pack.
-      bool Matched = false;
-      if (Form.valid()) {
-        CellId W1 = NoCell, W2 = NoCell;
-        Interval Residual = Form.constTerm();
-        bool Shape = true;
-        for (const auto &[C, Coef] : Form.terms()) {
-          if (C != Target && Coef.isPoint() &&
-              std::fabs(Coef.Lo - Info.Params.A) <
-                  1e-9 * std::fabs(Info.Params.A) + 1e-300 &&
-              W1 == NoCell) {
-            W1 = C;
-          } else if (C != Target && Coef.isPoint() &&
-                     std::fabs(Coef.Lo + Info.Params.B) <
-                         1e-9 * Info.Params.B + 1e-300 &&
-                     W2 == NoCell) {
-            W2 = C;
-          } else {
-            // Fold stray terms into the residual by interval evaluation.
-            Interval CR = Env.cellInterval(C);
-            Residual = Interval::fadd(Residual, Interval::fmul(Coef, CR));
-            if (!Residual.isFinite())
-              Shape = false;
-          }
-        }
-        if (Shape && W1 != NoCell && W2 != NoCell) {
-          double TM = Residual.magnitude();
-          Ellipsoid Prev{Old->get(W1, W2)};
-          // Reduction before the assignment (paper: "before an assignment
-          // of the form X' := aX - bY + t, we refine the constraints").
-          Interval IW1 = Env.cellInterval(W1);
-          Interval IW2 = Env.cellInterval(W2);
-          Prev = Prev.reduceFromIntervals(Info.Params, IW1, IW2,
-                                          /*Equal=*/false);
-          Ellipsoid Next = Prev.afterFilterStep(Info.Params, TM);
-          if (!Next.isTop()) {
-            New->K[{Target, W1}] = Next.K;
-            // Reduce the interval of the target from the new constraint.
-            double Bound = Next.boundX(Info.Params);
-            if (std::isfinite(Bound)) {
-              const ScalarAbs *S = Env.cell(Target);
-              Interval Cur = S ? S->Itv : Interval::top();
-              Interval Meet = Cur.meet(Interval(-Bound, Bound));
-              if (!Meet.isBottom() && S)
-                Env.setCell(Target, ScalarAbs{Meet, S->Clk});
-            }
-            Matched = true;
-            Stats.add("ellipsoid.filter_steps");
-          }
-        }
-      }
-      // Case 1: plain copy X := W with W in the pack.
-      if (!Matched && Form.valid() && Form.terms().size() == 1 &&
-          Form.terms()[0].second == Interval::point(1.0) &&
-          Form.constTerm().magnitude() == 0.0) {
-        CellId W = Form.terms()[0].first;
-        for (const auto &[Pair, K] : Old->K) {
-          auto [PX, PY] = Pair;
-          CellId NX = PX == W ? Target : PX;
-          CellId NY = PY == W ? Target : PY;
-          if ((NX == Target || NY == Target) && NX != NY)
-            New->K[{NX, NY}] = std::min(New->get(NX, NY), K);
-        }
-      }
-      Env.setEllipsoids(Pack, std::move(New));
+      Env.setRel(D, Pack, std::move(N));
+      applyChannel(Env, D, Pack, Ch);
     }
   }
 }
 
 void Transfer::relationalForget(AbstractEnv &Env, CellId C,
                                 const Interval &V) {
-  if (Opts.EnableOctagons) {
-    for (PackId Pack : Packs.CellOct[C]) {
-      std::shared_ptr<const Octagon> Old = Env.octagon(Pack);
-      if (!Old)
+  TransferEvalContext Ctx(*this, Env);
+  for (size_t D = 0; D < Reg.size(); ++D) {
+    for (PackId Pack : Reg.domain(D).packsOf(C)) {
+      DomainState::Ptr S = Env.rel(D, Pack);
+      if (!S)
         continue;
-      auto New = std::make_shared<Octagon>(*Old);
-      int Idx = New->indexOf(C);
-      New->forget(Idx);
-      New->meetVarInterval(Idx, Env.cellInterval(C));
-      Env.setOctagon(Pack, std::move(New));
-    }
-  }
-  if (Opts.EnableDecisionTrees) {
-    for (PackId Pack : Packs.CellTree[C]) {
-      std::shared_ptr<const DecisionTree> Old = Env.tree(Pack);
-      if (!Old)
-        continue;
-      auto New = std::make_shared<DecisionTree>(*Old);
-      int B = New->boolIndexOf(C);
-      if (B >= 0) {
-        New->forgetBool(B);
-      } else {
-        int N = New->numIndexOf(C);
-        if (N >= 0) {
-          std::vector<Interval> PerLeaf(New->leafCount());
-          for (size_t L = 0; L < New->leafCount(); ++L)
-            PerLeaf[L] = New->leaf(L).Nums[N].join(V);
-          New->assignNum(N, PerLeaf);
-        }
-      }
-      Env.setTree(Pack, std::move(New));
-    }
-  }
-  if (Opts.EnableEllipsoids) {
-    for (PackId Pack : Packs.CellEll[C]) {
-      std::shared_ptr<const EllipsoidState> Old = Env.ellipsoids(Pack);
-      if (!Old)
-        continue;
-      auto New = std::make_shared<EllipsoidState>(*Old);
-      for (auto It = New->K.begin(); It != New->K.end();) {
-        if (It->first.first == C || It->first.second == C)
-          It = New->K.erase(It);
-        else
-          ++It;
-      }
-      Env.setEllipsoids(Pack, std::move(New));
+      if (DomainState::Ptr N = S->forget(C, V, Ctx))
+        Env.setRel(D, Pack, std::move(N));
     }
   }
 }
@@ -936,7 +589,8 @@ AbstractEnv Transfer::assign(AbstractEnv Env, const LValue &Lhs,
       CellV = V; // Foreign-typed weak targets: keep the raw value.
 
     Clocked NewClk = Clocked::top();
-    if (Opts.EnableClock && Layout.cell(C).Ty->isInt()) {
+    if (Opts.domainEnabled(DomainKind::Clocked) &&
+        Layout.cell(C).Ty->isInt()) {
       // Counter pattern: x := x + [a, b] shifts the clock offsets.
       if (Strong && Form.valid() && Form.terms().size() == 1 &&
           Form.terms()[0].first == C &&
@@ -980,7 +634,8 @@ AbstractEnv Transfer::assignInterval(AbstractEnv Env, const LValue &Lhs,
     const ScalarAbs *OldAbs = Env.cell(C);
     ScalarAbs Old = OldAbs ? *OldAbs
                            : ScalarAbs{CellRange[C], Clocked::top()};
-    Clocked Clk = Opts.EnableClock && Layout.cell(C).Ty->isInt()
+    Clocked Clk = Opts.domainEnabled(DomainKind::Clocked) &&
+                          Layout.cell(C).Ty->isInt()
                       ? Clocked::fromValue(V, Env.clock())
                       : Clocked::top();
     if (Strong)
@@ -1008,7 +663,7 @@ AbstractEnv Transfer::wait(AbstractEnv Env) {
   if (NewClock.isBottom())
     NewClock = Interval::point(Opts.ClockMax);
   Env.setClock(NewClock);
-  if (!Opts.EnableClock)
+  if (!Opts.domainEnabled(DomainKind::Clocked))
     return Env;
   // Shift every tracked offset: x - clock decreases, x + clock increases.
   std::vector<std::pair<CellId, ScalarAbs>> Updates;
@@ -1109,18 +764,21 @@ AbstractEnv Transfer::guard(AbstractEnv Env, const Expr *Cond,
           return AbstractEnv::bottom();
         Env.setCell(C, ScalarAbs{R, S->Clk});
       }
-      // Decision trees: boolean guard + reduction (the B := X==0 example).
-      if (Opts.EnableDecisionTrees && Layout.cell(C).IsBool) {
-        for (PackId Pack : Packs.CellTree[C]) {
-          std::shared_ptr<const DecisionTree> Old = Env.tree(Pack);
-          if (!Old)
+      // Registered domains: boolean guard + reduction (the B := X==0
+      // example of Sect. 6.2.4; only domains tracking C react).
+      for (size_t D = 0; D < Reg.size(); ++D) {
+        for (PackId Pack : Reg.domain(D).packsOf(C)) {
+          DomainState::Ptr St = Env.rel(D, Pack);
+          if (!St)
             continue;
-          auto New = std::make_shared<DecisionTree>(*Old);
-          New->guardBool(New->boolIndexOf(C), Positive);
-          if (New->isBottom())
+          ReductionChannel Ch;
+          DomainState::Ptr N = St->guardBool(C, Positive, Ch);
+          if (!N)
+            continue;
+          if (N->isBottom())
             return AbstractEnv::bottom();
-          Env.setTree(Pack, std::move(New));
-          reduceFromTree(Env, Pack);
+          Env.setRel(D, Pack, std::move(N));
+          applyChannel(Env, D, Pack, Ch);
           if (Env.isBottom())
             return Env;
         }
@@ -1219,119 +877,33 @@ AbstractEnv Transfer::guardCompare(AbstractEnv Env, const Expr *A,
   if (Env.isBottom())
     return Env;
 
-  // Octagon guards via linearization (6.2.2): form = A - B, constraint
-  // form <= 0 (with strict/equality variants).
-  if (Opts.EnableOctagons && Op != BinOp::Ne) {
-    LinearForm FA = linearize(Env, A);
-    LinearForm FB = linearize(Env, B);
-    if (FA.valid() && FB.valid()) {
-      LinearForm Diff = FA.sub(FB); // A - B.
-      LinearForm NegDiff = FB.sub(FA);
-      if (IsInt) {
-        // Strict integer comparisons sharpen by one.
-        if (Op == BinOp::Lt)
-          Diff.addConstant(Interval::point(1));
-        if (Op == BinOp::Gt)
-          NegDiff.addConstant(Interval::point(1));
-      }
-      auto CellRangeCb = [&](CellId C) { return Env.cellInterval(C); };
-      std::vector<PackId> Touched;
-      for (const auto &[C, Coef] : Diff.terms())
-        for (PackId Pack : Packs.CellOct[C])
-          Touched.push_back(Pack);
-      std::sort(Touched.begin(), Touched.end());
-      Touched.erase(std::unique(Touched.begin(), Touched.end()),
-                    Touched.end());
-      for (PackId Pack : Touched) {
-        std::shared_ptr<const Octagon> Old = Env.octagon(Pack);
-        if (!Old)
-          continue;
-        auto New = std::make_shared<Octagon>(*Old);
-        switch (Op) {
-        case BinOp::Lt:
-        case BinOp::Le:
-          New->guardLe(Diff, CellRangeCb);
-          break;
-        case BinOp::Gt:
-        case BinOp::Ge:
-          New->guardLe(NegDiff, CellRangeCb);
-          break;
-        case BinOp::Eq:
-          New->guardLe(Diff, CellRangeCb);
-          New->guardLe(NegDiff, CellRangeCb);
-          break;
-        default:
-          break;
-        }
-        if (New->isBottom())
-          return AbstractEnv::bottom();
-        Env.setOctagon(Pack, std::move(New));
-        reduceFromOctagon(Env, Pack);
-        if (Env.isBottom())
-          return Env;
-        Stats.add("octagon.guards");
-      }
-    }
-  }
-
-  // Decision trees: per-leaf feasibility of the comparison refines the
-  // leaves (and kills impossible valuations).
-  if (Opts.EnableDecisionTrees) {
-    std::vector<CellId> Involved;
-    auto Collect = [&](const Expr *E) {
-      if (E->is(ExprKind::Load)) {
-        CellSel Sel = resolveLValue(Env, E->Lv, /*Report=*/false);
-        if (Sel.Strong && Sel.Count == 1)
-          Involved.push_back(Sel.First);
-      }
-    };
-    Collect(A);
-    Collect(B);
-    std::vector<PackId> Touched;
-    for (CellId C : Involved)
-      for (PackId Pack : Packs.CellTree[C])
-        Touched.push_back(Pack);
-    std::sort(Touched.begin(), Touched.end());
-    Touched.erase(std::unique(Touched.begin(), Touched.end()),
-                  Touched.end());
-    for (PackId Pack : Touched) {
-      std::shared_ptr<const DecisionTree> Old = Env.tree(Pack);
-      if (!Old)
+  // Registered relational domains. Each adapter plans once — after the
+  // reductions of the domains before it in registry order — selecting its
+  // touched packs and preparing the request fields it consumes (linearized
+  // difference forms for octagons, per Sect. 6.2.2; strongly-resolved load
+  // cells for the per-leaf decision-tree feasibility of Sect. 6.2.4).
+  TransferEvalContext Ctx(*this, Env);
+  RelGuard G;
+  G.A = A;
+  G.B = B;
+  G.Op = Op;
+  G.IsInt = IsInt;
+  for (size_t D = 0; D < Reg.size(); ++D) {
+    const RelationalDomain &Dom = Reg.domain(D);
+    for (PackId Pack : Dom.planGuard(G, Ctx)) {
+      DomainState::Ptr S = Env.rel(D, Pack);
+      if (!S)
         continue;
-      auto New = std::make_shared<DecisionTree>(*Old);
-      std::vector<Interval> Scratch;
-      bool Changed = false;
-      for (size_t L = 0; L < New->leafCount(); ++L) {
-        if (!New->leaf(L).Reachable)
-          continue;
-        CellOverlay O = leafOverlay(*Old, L, Scratch);
-        Interval LA = evalNoCheck(Env, A, &O);
-        Interval LB = evalNoCheck(Env, B, &O);
-        bool Feasible = true;
-        switch (Op) {
-        case BinOp::Lt: Feasible = LA.Lo < LB.Hi; break;
-        case BinOp::Le: Feasible = LA.Lo <= LB.Hi; break;
-        case BinOp::Gt: Feasible = LA.Hi > LB.Lo; break;
-        case BinOp::Ge: Feasible = LA.Hi >= LB.Lo; break;
-        case BinOp::Eq: Feasible = !LA.meet(LB).isBottom(); break;
-        case BinOp::Ne:
-          Feasible = !(LA.isPoint() && LB.isPoint() && LA.Lo == LB.Lo);
-          break;
-        default: break;
-        }
-        if (!Feasible && !LA.isBottom() && !LB.isBottom()) {
-          New->leafMutable(L).Reachable = false;
-          Changed = true;
-        }
-      }
-      if (Changed) {
-        if (New->isBottom())
-          return AbstractEnv::bottom();
-        Env.setTree(Pack, std::move(New));
-        reduceFromTree(Env, Pack);
-        if (Env.isBottom())
-          return Env;
-      }
+      ReductionChannel Ch;
+      DomainState::Ptr N = S->guard(G, Ctx, Ch);
+      if (!N)
+        continue;
+      if (N->isBottom())
+        return AbstractEnv::bottom();
+      Env.setRel(D, Pack, std::move(N));
+      applyChannel(Env, D, Pack, Ch);
+      if (Env.isBottom())
+        return Env;
     }
   }
 
@@ -1339,38 +911,26 @@ AbstractEnv Transfer::guardCompare(AbstractEnv Env, const Expr *A,
 }
 
 //===----------------------------------------------------------------------===//
-// Ellipsoid pre-join reduction
+// Pre-join reduction
 //===----------------------------------------------------------------------===//
 
-void Transfer::preJoinReduce(AbstractEnv &A, AbstractEnv &B) const {
-  if (!Opts.EnableEllipsoids || A.isBottom() || B.isBottom())
+void Transfer::preJoinReduce(AbstractEnv &A, AbstractEnv &B) {
+  if (A.isBottom() || B.isBottom())
     return;
-  for (const EllPack &Pack : Packs.EllPacks) {
-    std::shared_ptr<const EllipsoidState> SA = A.ellipsoids(Pack.Id);
-    std::shared_ptr<const EllipsoidState> SB = B.ellipsoids(Pack.Id);
-    if (!SA || !SB || SA == SB)
+  for (size_t D = 0; D < Reg.size(); ++D) {
+    const RelationalDomain &Dom = Reg.domain(D);
+    if (!Dom.usesPreJoinReduction())
       continue;
-    auto FillFrom = [&](AbstractEnv &Dst,
-                        std::shared_ptr<const EllipsoidState> SDst,
-                        const EllipsoidState &SSrc) {
-      std::shared_ptr<EllipsoidState> New;
-      for (const auto &[Pair, KOther] : SSrc.K) {
-        if (SDst->K.count(Pair) || (New && New->K.count(Pair)))
-          continue;
-        Interval IX = Dst.cellInterval(Pair.first);
-        Interval IY = Dst.cellInterval(Pair.second);
-        Ellipsoid Reduced = Ellipsoid::top().reduceFromIntervals(
-            Pack.Params, IX, IY, /*Equal=*/false);
-        if (Reduced.isTop())
-          continue;
-        if (!New)
-          New = std::make_shared<EllipsoidState>(*SDst);
-        New->K[Pair] = Reduced.K;
-      }
-      if (New)
-        Dst.setEllipsoids(Pack.Id, std::move(New));
-    };
-    FillFrom(A, SA, *SB);
-    FillFrom(B, SB, *SA);
+    TransferEvalContext CtxA(*this, A), CtxB(*this, B);
+    Dom.forEachPack([&](PackId Pack) {
+      DomainState::Ptr SA = A.rel(D, Pack);
+      DomainState::Ptr SB = B.rel(D, Pack);
+      if (!SA || !SB || SA == SB)
+        return;
+      if (DomainState::Ptr NA = SA->preJoinWith(*SB, CtxA))
+        A.setRel(D, Pack, std::move(NA));
+      if (DomainState::Ptr NB = SB->preJoinWith(*SA, CtxB))
+        B.setRel(D, Pack, std::move(NB));
+    });
   }
 }

@@ -12,12 +12,20 @@
 /// same evaluation additionally reports alarms for operator applications
 /// that may err (Sect. 5.3), then continues with the non-erroneous results.
 ///
+/// Relational domains are reached exclusively through the DomainRegistry and
+/// the uniform DomainState signature: Transfer prepares the request (value,
+/// linear form, guard operands), loops over the registered domains, and
+/// applies whatever interval facts each domain publishes on its
+/// ReductionChannel back onto the cell environment — the partial reduction
+/// of the extensible reduced product. No domain type appears here.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ASTRAL_ANALYZER_TRANSFER_H
 #define ASTRAL_ANALYZER_TRANSFER_H
 
 #include "analyzer/Alarm.h"
+#include "analyzer/DomainRegistry.h"
 #include "analyzer/Options.h"
 #include "analyzer/Packing.h"
 #include "domains/LinearForm.h"
@@ -40,22 +48,19 @@ struct RefBinding {
   std::vector<memory::ResolvedAccess> Path;
 };
 
-/// Optional cell-interval overlay used for per-leaf decision-tree
-/// evaluation: returns a replacement interval for a cell, or null.
-using CellOverlay = std::function<const Interval *(CellId)>;
-
 class Transfer {
 public:
   Transfer(const ir::Program &P, const memory::CellLayout &Layout,
-           const Packing &Packs, const AnalyzerOptions &Opts,
+           const DomainRegistry &Registry, const AnalyzerOptions &Opts,
            Statistics &Stats, AlarmSet &Alarms);
 
   // -- Mode & frames (managed by the Iterator) ---------------------------
   bool Checking = false;
-  /// Per-octagon-pack flag: set when the pack's octagon actually tightened
-  /// a cell interval or pruned a branch — the Sect. 7.2.2 usefulness
-  /// census ("whether each octagon actually improved the precision").
-  std::vector<uint8_t> OctPackImproved;
+  /// Per-domain, per-pack flag: set when the pack's state actually
+  /// tightened a cell interval or pruned a branch — the Sect. 7.2.2
+  /// usefulness census ("whether each octagon actually improved the
+  /// precision"), kept uniformly for every registered domain.
+  std::vector<std::vector<uint8_t>> RelPackImproved;
   std::vector<std::map<ir::VarId, RefBinding>> Frames;
 
   const RefBinding *lookupBinding(ir::VarId V) const {
@@ -104,10 +109,10 @@ public:
   /// Synchronous clock tick (Sect. 4 / clocked domain).
   AbstractEnv wait(AbstractEnv Env);
 
-  /// The paper's ellipsoid reduction "before computing the union between
-  /// two abstract elements": fills constraints that are +inf on one side
-  /// and finite on the other from the interval information.
-  void preJoinReduce(AbstractEnv &A, AbstractEnv &B) const;
+  /// The paper's pre-union reduction ("before computing the union between
+  /// two abstract elements"): lets every registered domain refine its
+  /// states from the sibling's, via DomainState::preJoinWith.
+  void preJoinReduce(AbstractEnv &A, AbstractEnv &B);
 
   // -- LValue machinery -------------------------------------------------------
   /// Resolves \p Lv under \p Env (substituting by-reference bindings and
@@ -119,6 +124,8 @@ public:
   RefBinding bindRef(const AbstractEnv &Env, const ir::LValue &Lv);
 
 private:
+  friend class TransferEvalContext;
+
   Interval evalBinary(const AbstractEnv &Env, const ir::Expr *E,
                       const CellOverlay *Overlay);
   Interval evalCast(const AbstractEnv &Env, const ir::Expr *E,
@@ -132,36 +139,22 @@ private:
   void alarm(const ir::Expr *E, AlarmKind K, const std::string &Msg,
              bool Definite);
 
-  /// Octagon / tree / ellipsoid updates for a strong single-cell store.
+  /// Registered-domain updates for a strong single-cell store.
   void relationalAssign(AbstractEnv &Env, CellId Target,
                         const LinearForm &Form, const Interval &V,
                         const ir::Expr *Rhs);
   /// Invalidation for weak stores.
   void relationalForget(AbstractEnv &Env, CellId C, const Interval &V);
-  /// Reduce cell interval from the octagons after a guard/assign.
-  void reduceFromOctagon(AbstractEnv &Env, PackId Pack);
-  /// Reduce env cells from a tree pack's numeric join.
-  void reduceFromTree(AbstractEnv &Env, PackId Pack);
 
-  /// Per-leaf truth of a condition (0/1/2) for decision-tree updates.
-  std::vector<uint8_t> perLeafTruth(const AbstractEnv &Env,
-                                    const DecisionTree &Tree,
-                                    const ir::Expr *Cond);
-  /// b := cond with per-leaf refinement of the pack numerics by the
-  /// condition's truth (the B := (X == 0) idiom of Sect. 6.2.4).
-  void boolAssignRefined(const AbstractEnv &Env, const DecisionTree &Old,
-                         DecisionTree &New, int BoolIdx,
-                         const ir::Expr *Rhs);
-  /// Per-leaf value of an expression.
-  std::vector<Interval> perLeafValue(const AbstractEnv &Env,
-                                     const DecisionTree &Tree,
-                                     const ir::Expr *E);
-  CellOverlay leafOverlay(const DecisionTree &Tree, size_t LeafIdx,
-                          std::vector<Interval> &Scratch) const;
+  /// Meets the channel's interval facts into the cell environment,
+  /// records pack usefulness, drains statistics notes, and marks the
+  /// environment bottom when the publishing domain proved it unreachable.
+  void applyChannel(AbstractEnv &Env, size_t D, memory::PackId P,
+                    const ReductionChannel &Ch);
 
   const ir::Program &P;
   const memory::CellLayout &Layout;
-  const Packing &Packs;
+  const DomainRegistry &Reg;
   const AnalyzerOptions &Opts;
   Statistics &Stats;
   AlarmSet &Alarms;

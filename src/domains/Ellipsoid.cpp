@@ -92,6 +92,32 @@ Ellipsoid Ellipsoid::reduceFromIntervals(const FilterParams &P,
   return Ellipsoid{std::min(K, Candidate)};
 }
 
+double EllipsoidState::get(CellId X, CellId Y, const FilterParams &P) const {
+  auto It = K.find({X, Y});
+  if (It != K.end())
+    return It->second;
+  auto Swapped = K.find({Y, X});
+  if (Swapped == K.end() || !std::isfinite(Swapped->second) ||
+      Swapped->second < 0 || !P.stable())
+    return INFINITY;
+  // (Y, X) -> k bounds Y^2 - a*Y*X + b*X^2 <= k, i.e. Y in the unit role
+  // and X in the b role. Box bounds of that ellipse (Prop. 1 geometry):
+  //   |Y| <= 2 sqrt(b*k / D),  |X| <= 2 sqrt(k / D),  D = 4b - a^2,
+  // then the (X, Y)-oriented form is bounded over the box.
+  double Kv = Swapped->second;
+  double Disc = rounded::subDown(rounded::mulDown(4.0, P.B),
+                                 rounded::mulUp(P.A, P.A));
+  if (Disc <= 0)
+    return INFINITY;
+  double MaxY =
+      rounded::mulUp(2.0, rounded::sqrtUp(rounded::divUp(
+                              rounded::mulUp(P.B, Kv), Disc)));
+  double MaxX = rounded::mulUp(2.0, rounded::sqrtUp(rounded::divUp(Kv, Disc)));
+  Ellipsoid Derived = Ellipsoid::top().reduceFromIntervals(
+      P, Interval(-MaxX, MaxX), Interval(-MaxY, MaxY), /*Equal=*/false);
+  return Derived.K;
+}
+
 std::string Ellipsoid::toString() const {
   if (isBottom())
     return "_|_";

@@ -34,8 +34,11 @@
 #define ASTRAL_DOMAINS_ELLIPSOID_H
 
 #include "domains/Interval.h"
+#include "domains/LinearForm.h"
 
+#include <map>
 #include <string>
+#include <utility>
 
 namespace astral {
 
@@ -103,6 +106,31 @@ struct Ellipsoid {
                                 const Interval &Y, bool Equal) const;
 
   std::string toString() const;
+};
+
+/// Ellipsoidal constraints of one filter pack: the paper's function r from
+/// *ordered* variable pairs to bounds k, (X, Y) -> k meaning
+/// X^2 - a*X*Y + b*Y^2 <= k. The quadratic form is not symmetric, so the
+/// orientation of a pair is semantically significant: the first component
+/// plays the unit-coefficient X role, the second the b-coefficient Y role.
+struct EllipsoidState {
+  std::map<std::pair<CellId, CellId>, double> K;
+
+  bool operator==(const EllipsoidState &O) const { return K == O.K; }
+
+  /// Bound for the ordered pair (X, Y) exactly as stored; +inf when absent.
+  double get(CellId X, CellId Y) const {
+    auto It = K.find({X, Y});
+    return It == K.end() ? INFINITY : It->second;
+  }
+
+  /// Bound for the ordered pair (X, Y), falling back to a constraint stored
+  /// under the swapped orientation (Y, X): the swapped ellipse bounds a box
+  /// |X| <= 2 sqrt(k/D), |Y| <= 2 sqrt(b*k/D) with D = 4b - a^2 (Prop. 1),
+  /// and the (X, Y)-oriented form is then bounded over that box. Without
+  /// this fallback a filter whose state pair was recorded in the opposite
+  /// role order silently reads +inf and loses the invariant.
+  double get(CellId X, CellId Y, const FilterParams &P) const;
 };
 
 } // namespace astral

@@ -12,6 +12,12 @@
 using namespace astral;
 using namespace astral::memory;
 
+const AbstractEnv::RelMap &AbstractEnv::relMapOrEmpty(const AbstractEnv &E,
+                                                      size_t D) {
+  static const RelMap Empty;
+  return D < E.Rel.size() ? E.Rel[D] : Empty;
+}
+
 AbstractEnv AbstractEnv::join(const AbstractEnv &A, const AbstractEnv &B) {
   if (A.IsBottom)
     return B;
@@ -29,60 +35,22 @@ AbstractEnv AbstractEnv::join(const AbstractEnv &A, const AbstractEnv &B) {
           return *X;
         return ScalarAbs{X->Itv.join(Y->Itv), X->Clk.join(Y->Clk)};
       });
-  R.Octs = PersistentMap<std::shared_ptr<const Octagon>>::combine(
-      A.Octs, B.Octs,
-      [](PackId, const std::shared_ptr<const Octagon> *X,
-         const std::shared_ptr<const Octagon> *Y)
-          -> std::optional<std::shared_ptr<const Octagon>> {
-        if (!X)
-          return *Y;
-        if (!Y)
-          return *X;
-        if (*X == *Y)
-          return *X;
-        auto N = std::make_shared<Octagon>(**X);
-        N->close();
-        Octagon BC(**Y);
-        BC.close();
-        N->joinWith(BC);
-        return std::shared_ptr<const Octagon>(std::move(N));
-      });
-  R.Trees = PersistentMap<std::shared_ptr<const DecisionTree>>::combine(
-      A.Trees, B.Trees,
-      [](PackId, const std::shared_ptr<const DecisionTree> *X,
-         const std::shared_ptr<const DecisionTree> *Y)
-          -> std::optional<std::shared_ptr<const DecisionTree>> {
-        if (!X)
-          return *Y;
-        if (!Y)
-          return *X;
-        if (*X == *Y)
-          return *X;
-        auto N = std::make_shared<DecisionTree>(**X);
-        N->joinWith(**Y);
-        return std::shared_ptr<const DecisionTree>(std::move(N));
-      });
-  R.Ells = PersistentMap<std::shared_ptr<const EllipsoidState>>::combine(
-      A.Ells, B.Ells,
-      [](PackId, const std::shared_ptr<const EllipsoidState> *X,
-         const std::shared_ptr<const EllipsoidState> *Y)
-          -> std::optional<std::shared_ptr<const EllipsoidState>> {
-        if (!X)
-          return *Y;
-        if (!Y)
-          return *X;
-        if (*X == *Y)
-          return *X;
-        // Join = pointwise max; a pair missing on one side is top (+inf),
-        // so only pairs present on both sides survive.
-        auto N = std::make_shared<EllipsoidState>();
-        for (const auto &[Pair, KA] : (*X)->K) {
-          auto It = (*Y)->K.find(Pair);
-          if (It != (*Y)->K.end())
-            N->K[Pair] = std::max(KA, It->second);
-        }
-        return std::shared_ptr<const EllipsoidState>(std::move(N));
-      });
+  size_t NumD = std::max(A.Rel.size(), B.Rel.size());
+  R.Rel.resize(NumD);
+  for (size_t D = 0; D < NumD; ++D)
+    R.Rel[D] = RelMap::combine(
+        relMapOrEmpty(A, D), relMapOrEmpty(B, D),
+        [](PackId, const DomainState::Ptr *X, const DomainState::Ptr *Y)
+            -> std::optional<DomainState::Ptr> {
+          if (!X)
+            return *Y;
+          if (!Y)
+            return *X;
+          if (*X == *Y)
+            return *X;
+          DomainState::Ptr N = (*X)->join(**Y);
+          return N ? N : *X;
+        });
   return R;
 }
 
@@ -113,61 +81,22 @@ AbstractEnv AbstractEnv::widen(const AbstractEnv &A, const AbstractEnv &B,
                                      : X->Itv.widen(Y->Itv);
         return ScalarAbs{WI, X->Clk.widen(Y->Clk, T, WithThresholds)};
       });
-  R.Octs = PersistentMap<std::shared_ptr<const Octagon>>::combine(
-      A.Octs, B.Octs,
-      [&](PackId, const std::shared_ptr<const Octagon> *X,
-          const std::shared_ptr<const Octagon> *Y)
-          -> std::optional<std::shared_ptr<const Octagon>> {
-        if (!X)
-          return *Y;
-        if (!Y)
-          return *X;
-        if (*X == *Y)
-          return *X;
-        auto N = std::make_shared<Octagon>(**X);
-        Octagon BC(**Y);
-        BC.close();
-        N->widenWith(BC, T, WithThresholds);
-        return std::shared_ptr<const Octagon>(std::move(N));
-      });
-  R.Trees = PersistentMap<std::shared_ptr<const DecisionTree>>::combine(
-      A.Trees, B.Trees,
-      [&](PackId, const std::shared_ptr<const DecisionTree> *X,
-          const std::shared_ptr<const DecisionTree> *Y)
-          -> std::optional<std::shared_ptr<const DecisionTree>> {
-        if (!X)
-          return *Y;
-        if (!Y)
-          return *X;
-        if (*X == *Y)
-          return *X;
-        auto N = std::make_shared<DecisionTree>(**X);
-        N->widenWith(**Y, T, WithThresholds);
-        return std::shared_ptr<const DecisionTree>(std::move(N));
-      });
-  R.Ells = PersistentMap<std::shared_ptr<const EllipsoidState>>::combine(
-      A.Ells, B.Ells,
-      [&](PackId, const std::shared_ptr<const EllipsoidState> *X,
-          const std::shared_ptr<const EllipsoidState> *Y)
-          -> std::optional<std::shared_ptr<const EllipsoidState>> {
-        if (!X)
-          return *Y;
-        if (!Y)
-          return *X;
-        if (*X == *Y)
-          return *X;
-        auto N = std::make_shared<EllipsoidState>();
-        for (const auto &[Pair, KA] : (*X)->K) {
-          auto It = (*Y)->K.find(Pair);
-          if (It == (*Y)->K.end())
-            continue;
-          double KB = It->second;
-          N->K[Pair] = KB <= KA ? KA
-                                : (WithThresholds ? T.nextAbove(KB)
-                                                  : INFINITY);
-        }
-        return std::shared_ptr<const EllipsoidState>(std::move(N));
-      });
+  size_t NumD = std::max(A.Rel.size(), B.Rel.size());
+  R.Rel.resize(NumD);
+  for (size_t D = 0; D < NumD; ++D)
+    R.Rel[D] = RelMap::combine(
+        relMapOrEmpty(A, D), relMapOrEmpty(B, D),
+        [&](PackId, const DomainState::Ptr *X, const DomainState::Ptr *Y)
+            -> std::optional<DomainState::Ptr> {
+          if (!X)
+            return *Y;
+          if (!Y)
+            return *X;
+          if (*X == *Y)
+            return *X;
+          DomainState::Ptr N = (*X)->widen(**Y, T, WithThresholds);
+          return N ? N : *X;
+        });
   return R;
 }
 
@@ -188,37 +117,22 @@ AbstractEnv AbstractEnv::narrow(const AbstractEnv &A, const AbstractEnv &B) {
           return *X;
         return ScalarAbs{X->Itv.narrow(Y->Itv), X->Clk.narrow(Y->Clk)};
       });
-  R.Octs = PersistentMap<std::shared_ptr<const Octagon>>::combine(
-      A.Octs, B.Octs,
-      [](PackId, const std::shared_ptr<const Octagon> *X,
-         const std::shared_ptr<const Octagon> *Y)
-          -> std::optional<std::shared_ptr<const Octagon>> {
-        if (!X)
-          return *Y;
-        if (!Y)
-          return *X;
-        if (*X == *Y)
-          return *X;
-        auto N = std::make_shared<Octagon>(**X);
-        N->narrowWith(**Y);
-        return std::shared_ptr<const Octagon>(std::move(N));
-      });
-  R.Trees = PersistentMap<std::shared_ptr<const DecisionTree>>::combine(
-      A.Trees, B.Trees,
-      [](PackId, const std::shared_ptr<const DecisionTree> *X,
-         const std::shared_ptr<const DecisionTree> *Y)
-          -> std::optional<std::shared_ptr<const DecisionTree>> {
-        if (!X)
-          return *Y;
-        if (!Y)
-          return *X;
-        if (*X == *Y)
-          return *X;
-        auto N = std::make_shared<DecisionTree>(**X);
-        N->narrowWith(**Y);
-        return std::shared_ptr<const DecisionTree>(std::move(N));
-      });
-  R.Ells = A.Ells;
+  size_t NumD = std::max(A.Rel.size(), B.Rel.size());
+  R.Rel.resize(NumD);
+  for (size_t D = 0; D < NumD; ++D)
+    R.Rel[D] = RelMap::combine(
+        relMapOrEmpty(A, D), relMapOrEmpty(B, D),
+        [](PackId, const DomainState::Ptr *X, const DomainState::Ptr *Y)
+            -> std::optional<DomainState::Ptr> {
+          if (!X)
+            return *Y;
+          if (!Y)
+            return *X;
+          if (*X == *Y)
+            return *X;
+          DomainState::Ptr N = (*X)->narrow(**Y);
+          return N ? N : *X;
+        });
   return R;
 }
 
@@ -243,45 +157,17 @@ bool AbstractEnv::leq(const AbstractEnv &A, const AbstractEnv &B) {
       });
   if (!Ok)
     return false;
-  PersistentMap<std::shared_ptr<const Octagon>>::forEachDiff(
-      A.Octs, B.Octs,
-      [&](PackId, const std::shared_ptr<const Octagon> *X,
-          const std::shared_ptr<const Octagon> *Y) {
-        if (!Ok || !X || !Y)
-          return;
-        Octagon AC(**X);
-        AC.close();
-        if (!AC.leq(**Y))
-          Ok = false;
-      });
-  if (!Ok)
-    return false;
-  PersistentMap<std::shared_ptr<const DecisionTree>>::forEachDiff(
-      A.Trees, B.Trees,
-      [&](PackId, const std::shared_ptr<const DecisionTree> *X,
-          const std::shared_ptr<const DecisionTree> *Y) {
-        if (!Ok || !X || !Y)
-          return;
-        if (!(*X)->leq(**Y))
-          Ok = false;
-      });
-  if (!Ok)
-    return false;
-  PersistentMap<std::shared_ptr<const EllipsoidState>>::forEachDiff(
-      A.Ells, B.Ells,
-      [&](PackId, const std::shared_ptr<const EllipsoidState> *X,
-          const std::shared_ptr<const EllipsoidState> *Y) {
-        if (!Ok || !X || !Y)
-          return;
-        // A <= B iff every constraint of B is implied by A.
-        for (const auto &[Pair, KB] : (*Y)->K) {
-          double KA = (*X)->get(Pair.first, Pair.second);
-          if (!(KA <= KB)) {
-            Ok = false;
+  size_t NumD = std::max(A.Rel.size(), B.Rel.size());
+  for (size_t D = 0; D < NumD && Ok; ++D)
+    RelMap::forEachDiff(
+        relMapOrEmpty(A, D), relMapOrEmpty(B, D),
+        [&](PackId, const DomainState::Ptr *X, const DomainState::Ptr *Y) {
+          // A state missing on either side is unconstrained on that side.
+          if (!Ok || !X || !Y)
             return;
-          }
-        }
-      });
+          if (!(*X)->leq(**Y))
+            Ok = false;
+        });
   return Ok;
 }
 
@@ -331,31 +217,14 @@ bool AbstractEnv::equal(const AbstractEnv &A, const AbstractEnv &B) {
   if (!PersistentMap<ScalarAbs>::equal(A.Cells, B.Cells))
     return false;
   bool Eq = true;
-  PersistentMap<std::shared_ptr<const Octagon>>::forEachDiff(
-      A.Octs, B.Octs,
-      [&](PackId, const std::shared_ptr<const Octagon> *X,
-          const std::shared_ptr<const Octagon> *Y) {
-        if (!X || !Y || !(*X)->equal(**Y))
-          Eq = false;
-      });
-  if (!Eq)
-    return false;
-  PersistentMap<std::shared_ptr<const DecisionTree>>::forEachDiff(
-      A.Trees, B.Trees,
-      [&](PackId, const std::shared_ptr<const DecisionTree> *X,
-          const std::shared_ptr<const DecisionTree> *Y) {
-        if (!X || !Y || !(*X)->equal(**Y))
-          Eq = false;
-      });
-  if (!Eq)
-    return false;
-  PersistentMap<std::shared_ptr<const EllipsoidState>>::forEachDiff(
-      A.Ells, B.Ells,
-      [&](PackId, const std::shared_ptr<const EllipsoidState> *X,
-          const std::shared_ptr<const EllipsoidState> *Y) {
-        if (!X || !Y || !(**X == **Y))
-          Eq = false;
-      });
+  size_t NumD = std::max(A.Rel.size(), B.Rel.size());
+  for (size_t D = 0; D < NumD && Eq; ++D)
+    RelMap::forEachDiff(
+        relMapOrEmpty(A, D), relMapOrEmpty(B, D),
+        [&](PackId, const DomainState::Ptr *X, const DomainState::Ptr *Y) {
+          if (!X || !Y || !(*X)->equal(**Y))
+            Eq = false;
+        });
   return Eq;
 }
 

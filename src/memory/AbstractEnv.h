@@ -7,10 +7,13 @@
 ///
 /// \file
 /// Abstract environments (Sect. 6.1): a map from cells to per-cell abstract
-/// values (the reduction of interval and clocked components), plus the
-/// relational components — one octagon per octagon pack (6.2.2), one
-/// decision tree per boolean pack (6.2.4), one ellipsoid constraint map per
-/// filter pack (6.2.3) — and the hidden clock interval.
+/// values (the reduction of the interval and clocked base components), the
+/// hidden clock interval, and one generic pack-indexed map of DomainState
+/// per registered relational domain. The environment knows nothing about
+/// which relational domains exist — lattice operations dispatch through the
+/// uniform DomainState signature and loop over the registered maps, so a new
+/// domain plugs in without touching this file (the extensible reduced
+/// product of Sect. 6).
 ///
 /// All maps are persistent trees with physical-equality short-cuts
 /// (Sect. 6.1.2), so join/widen/inclusion cost is proportional to the number
@@ -23,15 +26,13 @@
 #define ASTRAL_MEMORY_ABSTRACTENV_H
 
 #include "domains/Clocked.h"
-#include "domains/DecisionTree.h"
-#include "domains/Ellipsoid.h"
 #include "domains/Interval.h"
-#include "domains/Octagon.h"
+#include "domains/RelationalDomain.h"
 #include "memory/Cell.h"
 #include "support/PersistentMap.h"
 
-#include <map>
 #include <memory>
+#include <vector>
 
 namespace astral {
 
@@ -55,20 +56,10 @@ struct ScalarAbs {
   }
 };
 
-/// Ellipsoidal constraints of one filter pack: the paper's function r from
-/// variable pairs to bounds k (X^2 - aXY + bY^2 <= k).
-struct EllipsoidState {
-  std::map<std::pair<CellId, CellId>, double> K;
-
-  bool operator==(const EllipsoidState &O) const { return K == O.K; }
-  double get(CellId X, CellId Y) const {
-    auto It = K.find({X, Y});
-    return It == K.end() ? INFINITY : It->second;
-  }
-};
-
 class AbstractEnv {
 public:
+  using RelMap = PersistentMap<DomainState::Ptr>;
+
   /// The bottom (unreachable) environment.
   static AbstractEnv bottom() {
     AbstractEnv E;
@@ -86,45 +77,33 @@ public:
     return S ? S->Itv : Interval::top();
   }
   void setCell(CellId C, const ScalarAbs &V) { Cells = Cells.set(C, V); }
+  template <typename FnT> void forEachCell(FnT &&F) const {
+    Cells.forEach(F);
+  }
 
   // -- Clock ----------------------------------------------------------------
   Interval clock() const { return ClockItv; }
   void setClock(Interval I) { ClockItv = I; }
 
   // -- Relational components -------------------------------------------------
-  std::shared_ptr<const Octagon> octagon(PackId P) const {
-    const std::shared_ptr<const Octagon> *O = Octs.get(P);
-    return O ? *O : nullptr;
+  /// Domains are addressed by their DomainRegistry index \p D; packs by the
+  /// pack id within that domain.
+  DomainState::Ptr rel(size_t D, PackId P) const {
+    if (D >= Rel.size())
+      return nullptr;
+    const DomainState::Ptr *S = Rel[D].get(P);
+    return S ? *S : nullptr;
   }
-  void setOctagon(PackId P, std::shared_ptr<const Octagon> O) {
-    Octs = Octs.set(P, std::move(O));
+  void setRel(size_t D, PackId P, DomainState::Ptr S) {
+    if (D >= Rel.size())
+      Rel.resize(D + 1);
+    Rel[D] = Rel[D].set(P, std::move(S));
   }
-  std::shared_ptr<const DecisionTree> tree(PackId P) const {
-    const std::shared_ptr<const DecisionTree> *T = Trees.get(P);
-    return T ? *T : nullptr;
-  }
-  void setTree(PackId P, std::shared_ptr<const DecisionTree> T) {
-    Trees = Trees.set(P, std::move(T));
-  }
-  std::shared_ptr<const EllipsoidState> ellipsoids(PackId P) const {
-    const std::shared_ptr<const EllipsoidState> *E = Ells.get(P);
-    return E ? *E : nullptr;
-  }
-  void setEllipsoids(PackId P, std::shared_ptr<const EllipsoidState> E) {
-    Ells = Ells.set(P, std::move(E));
-  }
-
-  template <typename FnT> void forEachOctagon(FnT &&F) const {
-    Octs.forEach(F);
-  }
-  template <typename FnT> void forEachTree(FnT &&F) const {
-    Trees.forEach(F);
-  }
-  template <typename FnT> void forEachEllipsoids(FnT &&F) const {
-    Ells.forEach(F);
-  }
-  template <typename FnT> void forEachCell(FnT &&F) const {
-    Cells.forEach(F);
+  /// Number of relational-domain slots this environment carries states for.
+  size_t relDomains() const { return Rel.size(); }
+  template <typename FnT> void forEachRel(size_t D, FnT &&F) const {
+    if (D < Rel.size())
+      Rel[D].forEach(F);
   }
 
   // -- Lattice operations (short-cut evaluated) -----------------------------
@@ -153,12 +132,14 @@ public:
       const std::function<void(CellId)> &F);
 
 private:
+  static const RelMap &relMapOrEmpty(const AbstractEnv &E, size_t D);
+
   bool IsBottom = false;
   PersistentMap<ScalarAbs> Cells;
   Interval ClockItv = Interval::point(0);
-  PersistentMap<std::shared_ptr<const Octagon>> Octs;
-  PersistentMap<std::shared_ptr<const DecisionTree>> Trees;
-  PersistentMap<std::shared_ptr<const EllipsoidState>> Ells;
+  /// One persistent pack->state map per registered relational domain,
+  /// indexed by the DomainRegistry's domain index.
+  std::vector<RelMap> Rel;
 };
 
 } // namespace memory

@@ -7,12 +7,19 @@
 
 #include "memory/AbstractEnv.h"
 
+#include "analyzer/DomainRegistry.h"
 #include "domains/Thresholds.h"
 
 #include <gtest/gtest.h>
 
 using namespace astral;
 using namespace astral::memory;
+
+namespace {
+/// Arbitrary registry slots for the hand-built environments below; the
+/// environment itself attaches no meaning to the index.
+constexpr size_t OctD = 0, TreeD = 1, EllD = 2;
+} // namespace
 
 namespace {
 AbstractEnv envWithCells(std::initializer_list<std::pair<CellId, Interval>>
@@ -79,31 +86,32 @@ TEST(AbstractEnv, ClockJoinsAndTicks) {
   EXPECT_EQ(J.clock(), Interval(0, 9));
 }
 
-TEST(AbstractEnv, OctagonSharingShortcut) {
+TEST(AbstractEnv, RelationalSharingShortcut) {
   AbstractEnv A;
-  auto O = std::make_shared<const Octagon>(std::vector<CellId>{1, 2});
-  A.setOctagon(0, O);
-  AbstractEnv B = A; // Shares the octagon pointer.
+  auto O = std::make_shared<const OctagonState>(
+      Octagon(std::vector<CellId>{1, 2}));
+  A.setRel(OctD, 0, O);
+  AbstractEnv B = A; // Shares the state pointer.
   AbstractEnv J = AbstractEnv::join(A, B);
-  EXPECT_EQ(J.octagon(0).get(), O.get())
-      << "physically equal octagons must not be cloned on join";
+  EXPECT_EQ(J.rel(OctD, 0).get(), O.get())
+      << "physically equal states must not be cloned on join";
 }
 
 TEST(AbstractEnv, OctagonJoinCombines) {
   std::vector<CellId> Pack{1, 2};
-  auto OA = std::make_shared<Octagon>(Pack);
-  OA->meetVarInterval(0, Interval(0, 1));
-  OA->close();
-  auto OB = std::make_shared<Octagon>(Pack);
-  OB->meetVarInterval(0, Interval(5, 6));
-  OB->close();
+  Octagon OA(Pack);
+  OA.meetVarInterval(0, Interval(0, 1));
+  OA.close();
+  Octagon OB(Pack);
+  OB.meetVarInterval(0, Interval(5, 6));
+  OB.close();
   AbstractEnv A, B;
-  A.setOctagon(0, std::move(OA));
-  B.setOctagon(0, std::move(OB));
+  A.setRel(OctD, 0, std::make_shared<OctagonState>(OA));
+  B.setRel(OctD, 0, std::make_shared<OctagonState>(OB));
   AbstractEnv J = AbstractEnv::join(A, B);
-  std::shared_ptr<const Octagon> OJ = J.octagon(0);
+  auto OJ = std::dynamic_pointer_cast<const OctagonState>(J.rel(OctD, 0));
   ASSERT_NE(OJ, nullptr);
-  Interval V = OJ->varInterval(0);
+  Interval V = OJ->value().varInterval(0);
   EXPECT_LE(V.Lo, 0.0);
   EXPECT_GE(V.Hi, 6.0);
 }
@@ -111,33 +119,38 @@ TEST(AbstractEnv, OctagonJoinCombines) {
 TEST(AbstractEnv, TreeJoinLeafwise) {
   std::vector<CellId> Bools{1};
   std::vector<CellId> Nums{10};
-  auto TA = std::make_shared<DecisionTree>(Bools, Nums);
-  TA->guardBool(0, true);
-  auto TB = std::make_shared<DecisionTree>(Bools, Nums);
-  TB->guardBool(0, false);
+  DecisionTree TA(Bools, Nums);
+  TA.guardBool(0, true);
+  DecisionTree TB(Bools, Nums);
+  TB.guardBool(0, false);
   AbstractEnv A, B;
-  A.setTree(0, std::move(TA));
-  B.setTree(0, std::move(TB));
+  A.setRel(TreeD, 0, std::make_shared<DecisionTreeState>(TA));
+  B.setRel(TreeD, 0, std::make_shared<DecisionTreeState>(TB));
   AbstractEnv J = AbstractEnv::join(A, B);
-  std::shared_ptr<const DecisionTree> TJ = J.tree(0);
+  auto TJ =
+      std::dynamic_pointer_cast<const DecisionTreeState>(J.rel(TreeD, 0));
   ASSERT_NE(TJ, nullptr);
-  EXPECT_EQ(TJ->boolValues(0), 2);
+  EXPECT_EQ(TJ->value().boolValues(0), 2);
 }
 
 TEST(AbstractEnv, EllipsoidJoinKeepsCommonPairs) {
-  auto EA = std::make_shared<EllipsoidState>();
-  EA->K[{1, 2}] = 10.0;
-  EA->K[{3, 4}] = 5.0;
-  auto EB = std::make_shared<EllipsoidState>();
-  EB->K[{1, 2}] = 20.0;
+  FilterParams P;
+  P.A = 1.5;
+  P.B = 0.7;
+  EllipsoidState EA;
+  EA.K[{1, 2}] = 10.0;
+  EA.K[{3, 4}] = 5.0;
+  EllipsoidState EB;
+  EB.K[{1, 2}] = 20.0;
   AbstractEnv A, B;
-  A.setEllipsoids(0, std::move(EA));
-  B.setEllipsoids(0, std::move(EB));
+  A.setRel(EllD, 0, std::make_shared<EllipsoidPackState>(EA, P));
+  B.setRel(EllD, 0, std::make_shared<EllipsoidPackState>(EB, P));
   AbstractEnv J = AbstractEnv::join(A, B);
-  std::shared_ptr<const EllipsoidState> EJ = J.ellipsoids(0);
+  auto EJ =
+      std::dynamic_pointer_cast<const EllipsoidPackState>(J.rel(EllD, 0));
   ASSERT_NE(EJ, nullptr);
-  EXPECT_EQ(EJ->get(1, 2), 20.0);            // Pointwise max.
-  EXPECT_TRUE(std::isinf(EJ->get(3, 4)));    // Missing on one side -> top.
+  EXPECT_EQ(EJ->value().get(1, 2), 20.0);          // Pointwise max.
+  EXPECT_TRUE(std::isinf(EJ->value().get(3, 4))); // Missing on one side.
 }
 
 TEST(AbstractEnv, PerturbedLeqAcceptsEpsilon) {

@@ -58,7 +58,7 @@ TEST(Analyzer, OctagonsBoundRateLimiter) {
 TEST(Analyzer, RateLimiterAlarmsWithoutOctagons) {
   auto R = analyzeSource(RateLimiterSrc, [](AnalyzerOptions &O) {
     O.VolatileRanges["in"] = Interval(-100, 100);
-    O.EnableOctagons = false;
+    O.Domains.enable(DomainKind::Octagon, false);
   });
   EXPECT_GE(alarmsOfKind(R, AlarmKind::ArrayBounds), 1u)
       << "without octagons the limiter state is unbounded";
@@ -96,7 +96,7 @@ TEST(Analyzer, FilterDivergesWithoutEllipsoids) {
   auto R = analyzeSource(FilterSrc, [](AnalyzerOptions &O) {
     O.VolatileRanges["in"] = Interval(-1, 1);
     O.VolatileRanges["rst"] = Interval(0, 1);
-    O.EnableEllipsoids = false;
+    O.Domains.enable(DomainKind::Ellipsoid, false);
   });
   EXPECT_GE(alarmsOfKind(R, AlarmKind::FloatOverflow), 1u);
 }
@@ -126,7 +126,7 @@ TEST(Analyzer, DecisionTreesProveGuardedDivision) {
 TEST(Analyzer, GuardedDivisionAlarmsWithoutTrees) {
   auto R = analyzeSource(LogicSrc, [](AnalyzerOptions &O) {
     O.VolatileRanges["sens"] = Interval(0, 10);
-    O.EnableDecisionTrees = false;
+    O.Domains.enable(DomainKind::DecisionTree, false);
   });
   EXPECT_GE(alarmsOfKind(R, AlarmKind::DivByZero), 1u);
 }

@@ -81,10 +81,7 @@ TEST(Family, BaselineHasManyAlarms) {
   FamilyProgram FP = generateFamilyProgram(C);
   AnalysisResult Full = analyzeFamily(FP);
   AnalysisResult Baseline = analyzeFamily(FP, [](AnalyzerOptions &O) {
-    O.EnableClock = false;
-    O.EnableOctagons = false;
-    O.EnableEllipsoids = false;
-    O.EnableDecisionTrees = false;
+    O.Domains = DomainSet::intervalOnly();
     O.EnableLinearization = false;
     O.PartitionFunctions.clear();
   });
@@ -100,10 +97,7 @@ TEST(Family, EachDomainRemovesAlarms) {
     return analyzeFamily(FP, Tweak).alarmCount();
   };
   size_t Baseline = CountWith([](AnalyzerOptions &O) {
-    O.EnableClock = false;
-    O.EnableOctagons = false;
-    O.EnableEllipsoids = false;
-    O.EnableDecisionTrees = false;
+    O.Domains = DomainSet::intervalOnly();
     O.EnableLinearization = false;
     O.PartitionFunctions.clear();
   });

@@ -170,7 +170,7 @@ TEST(Iterator, CounterOverflowsWithoutClock) {
       "}",
       [](AnalyzerOptions &O) {
         O.VolatileRanges["ev"] = Interval(0, 1);
-        O.EnableClock = false;
+        O.Domains.enable(DomainKind::Clocked, false);
       });
   EXPECT_GE(alarmsOfKind(R, AlarmKind::IntOverflow), 1u);
 }

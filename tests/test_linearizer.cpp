@@ -48,7 +48,7 @@ TEST(Linearizer, WithoutLinearizationIsCoarser) {
     O.EnableLinearization = false;
     // Octagon assignments also consume linear forms (Sect. 6.2.2 uses the
     // 6.3 linearization), so isolate the ablation from them.
-    O.EnableOctagons = false;
+    O.Domains.enable(DomainKind::Octagon, false);
   });
   Interval YL = rangeOf(WithL, "y");
   Interval YN = rangeOf(WithoutL, "y");

@@ -31,10 +31,11 @@ Config configFromMask(unsigned Mask) {
 }
 
 void applyConfig(AnalyzerOptions &O, Config C) {
-  O.EnableClock = C.Clock;
-  O.EnableOctagons = C.Oct;
-  O.EnableEllipsoids = C.Ell;
-  O.EnableDecisionTrees = C.Tree;
+  O.Domains = DomainSet::intervalOnly();
+  O.Domains.enable(DomainKind::Clocked, C.Clock);
+  O.Domains.enable(DomainKind::Octagon, C.Oct);
+  O.Domains.enable(DomainKind::Ellipsoid, C.Ell);
+  O.Domains.enable(DomainKind::DecisionTree, C.Tree);
   O.EnableLinearization = C.Lin;
 }
 } // namespace
@@ -173,10 +174,7 @@ TEST(Soundness, RefinementsOnlyRemoveFalseAlarms) {
   auto Full = analyzeSource(Src, Tweak);
   auto Base = analyzeSource(Src, [&](AnalyzerOptions &O) {
     Tweak(O);
-    O.EnableClock = false;
-    O.EnableOctagons = false;
-    O.EnableEllipsoids = false;
-    O.EnableDecisionTrees = false;
+    O.Domains = DomainSet::intervalOnly();
     O.EnableLinearization = false;
   });
   std::set<std::pair<uint32_t, int>> BaseAlarms;

@@ -26,6 +26,7 @@
 #include <functional>
 #include <iostream>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -55,13 +56,18 @@ void printUsage(std::FILE *Out) {
       "embedded raw-string input program. `-` reads from stdin.\n"
       "\n"
       "domain selection:\n"
-      "  --octagons / --no-octagons   octagon packs (default: on)\n"
-      "  --no-ellipsoids              disable the filter/ellipsoid domain\n"
-      "  --no-trees                   disable boolean decision trees\n"
-      "  --no-clock                   disable the clocked domain\n"
+      "  --domains=<list>             enabled abstract domains, a comma-\n"
+      "                               separated subset of\n"
+      "                               interval,clocked,octagon,tree,ellipsoid\n"
+      "                               (default: all; interval is always on).\n"
+      "                               Each relational domain can be ablated\n"
+      "                               independently, e.g.\n"
+      "                               --domains=interval,octagon\n"
       "  --no-linearize               disable symbolic linearization\n"
-      "  --no-packing                 intervals only: no octagon, tree or\n"
-      "                               ellipsoid packs\n"
+      "\n"
+      "  Deprecated aliases (mapped onto --domains=, warn once):\n"
+      "  --octagons/--no-octagons, --no-ellipsoids, --no-trees, --no-clock,\n"
+      "  --no-packing (= --domains=interval,clocked).\n"
       "\n"
       "iteration strategy:\n"
       "  --no-thresholds              plain interval widening\n"
@@ -78,7 +84,8 @@ void printUsage(std::FILE *Out) {
       "  The same specification can live in the input itself as comment\n"
       "  directives: `/* @astral volatile speed 0 300 */`,\n"
       "  `@astral clock-max 3.6e6`, `@astral partition f`,\n"
-      "  `@astral threshold 500`, `@astral entry main`.\n"
+      "  `@astral threshold 500`, `@astral entry main`,\n"
+      "  `@astral domains interval,octagon` (flags override directives).\n"
       "\n"
       "output:\n"
       "  --dump-invariants            print the main loop invariant\n"
@@ -396,30 +403,76 @@ int main(int argc, char **argv) {
     return Args[++I];
   };
 
+  // Deprecated domain flags warn once each and map onto the --domains=
+  // model, so existing scripts keep working.
+  std::set<std::string> DeprecationWarned;
+  auto WarnDeprecated = [&](const std::string &Flag,
+                            const std::string &Instead) {
+    if (!DeprecationWarned.insert(Flag).second)
+      return;
+    std::fprintf(stderr,
+                 "astral-cli: warning: %s is deprecated; use %s\n",
+                 Flag.c_str(), Instead.c_str());
+  };
+
   for (size_t I = 0; I < Args.size(); ++I) {
     const std::string &A = Args[I];
     if (A == "--help" || A == "-h") {
       printUsage(stdout);
       return 0;
-    } else if (A == "--octagons") {
-      Cli.FlagOps.push_back([](AnalyzerOptions &O) { O.EnableOctagons = true; });
-    } else if (A == "--no-octagons") {
-      Cli.FlagOps.push_back([](AnalyzerOptions &O) { O.EnableOctagons = false; });
-    } else if (A == "--no-ellipsoids") {
-      Cli.FlagOps.push_back([](AnalyzerOptions &O) { O.EnableEllipsoids = false; });
-    } else if (A == "--no-trees") {
+    } else if (A == "--domains" || A.rfind("--domains=", 0) == 0) {
+      std::string List;
+      if (A == "--domains") {
+        auto V = NextValue(I, "--domains");
+        if (!V)
+          return 1;
+        List = *V;
+      } else {
+        List = A.substr(std::string("--domains=").size());
+      }
+      std::string Err;
+      std::optional<DomainSet> DS = DomainSet::parse(List, Err);
+      if (!DS) {
+        std::fprintf(stderr, "astral-cli: error: --domains: %s\n",
+                     Err.c_str());
+        return 1;
+      }
       Cli.FlagOps.push_back(
-          [](AnalyzerOptions &O) { O.EnableDecisionTrees = false; });
+          [DS](AnalyzerOptions &O) { O.Domains = *DS; });
+    } else if (A == "--octagons") {
+      WarnDeprecated(A, "--domains=... (octagons are on by default)");
+      Cli.FlagOps.push_back([](AnalyzerOptions &O) {
+        O.Domains.enable(DomainKind::Octagon);
+      });
+    } else if (A == "--no-octagons") {
+      WarnDeprecated(A, "--domains= without 'octagon'");
+      Cli.FlagOps.push_back([](AnalyzerOptions &O) {
+        O.Domains.enable(DomainKind::Octagon, false);
+      });
+    } else if (A == "--no-ellipsoids") {
+      WarnDeprecated(A, "--domains= without 'ellipsoid'");
+      Cli.FlagOps.push_back([](AnalyzerOptions &O) {
+        O.Domains.enable(DomainKind::Ellipsoid, false);
+      });
+    } else if (A == "--no-trees") {
+      WarnDeprecated(A, "--domains= without 'tree'");
+      Cli.FlagOps.push_back([](AnalyzerOptions &O) {
+        O.Domains.enable(DomainKind::DecisionTree, false);
+      });
     } else if (A == "--no-clock") {
-      Cli.FlagOps.push_back([](AnalyzerOptions &O) { O.EnableClock = false; });
+      WarnDeprecated(A, "--domains= without 'clocked'");
+      Cli.FlagOps.push_back([](AnalyzerOptions &O) {
+        O.Domains.enable(DomainKind::Clocked, false);
+      });
     } else if (A == "--no-linearize") {
       Cli.FlagOps.push_back(
           [](AnalyzerOptions &O) { O.EnableLinearization = false; });
     } else if (A == "--no-packing") {
+      WarnDeprecated(A, "--domains=interval,clocked");
       Cli.FlagOps.push_back([](AnalyzerOptions &O) {
-        O.EnableOctagons = false;
-        O.EnableEllipsoids = false;
-        O.EnableDecisionTrees = false;
+        O.Domains.enable(DomainKind::Octagon, false);
+        O.Domains.enable(DomainKind::Ellipsoid, false);
+        O.Domains.enable(DomainKind::DecisionTree, false);
       });
     } else if (A == "--no-thresholds") {
       Cli.FlagOps.push_back(
