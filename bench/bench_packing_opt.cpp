@@ -52,10 +52,10 @@ int main() {
 
   std::printf("  %-28s %12s %12s\n", "", "all packs", "useful only");
   std::printf("  %-28s %12llu %12llu\n", "octagon packs",
-              static_cast<unsigned long long>(Full.NumOctPacks),
-              static_cast<unsigned long long>(Opt.NumOctPacks));
+              static_cast<unsigned long long>(Full.packCount(DomainKind::Octagon)),
+              static_cast<unsigned long long>(Opt.packCount(DomainKind::Octagon)));
   std::printf("  %-28s %12.1f %12s\n", "avg pack size (vars)",
-              Full.AvgOctPackSize, "-");
+              Full.avgPackCells(DomainKind::Octagon), "-");
   std::printf("  %-28s %12zu %12zu\n", "useful packs",
               Full.UsefulOctPacks.size(), Opt.UsefulOctPacks.size());
   std::printf("  %-28s %12.2f %12.2f\n", "analysis time (s)",
@@ -66,9 +66,9 @@ int main() {
   std::printf("  %-28s %12zu %12zu\n", "alarms", Full.alarmCount(),
               Opt.alarmCount());
   hr();
-  double Frac = Full.NumOctPacks
+  double Frac = Full.packCount(DomainKind::Octagon)
                     ? 100.0 * static_cast<double>(Full.UsefulOctPacks.size()) /
-                          static_cast<double>(Full.NumOctPacks)
+                          static_cast<double>(Full.packCount(DomainKind::Octagon))
                     : 0.0;
   std::printf("useful fraction: %.0f%% (paper: 400/2600 = 15%%)\n", Frac);
   std::printf("speedup: %.2fx (paper: 2.5x)   precision unchanged: %s\n",

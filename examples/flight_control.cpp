@@ -143,12 +143,12 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(R.NumCells),
               static_cast<unsigned long long>(R.ExpandedArrayCells));
   std::printf("  octagon packs        %llu (avg %.1f vars, %zu useful)\n",
-              static_cast<unsigned long long>(R.NumOctPacks),
-              R.AvgOctPackSize, R.UsefulOctPacks.size());
+              static_cast<unsigned long long>(R.packCount(DomainKind::Octagon)),
+              R.avgPackCells(DomainKind::Octagon), R.UsefulOctPacks.size());
   std::printf("  decision-tree packs  %llu\n",
-              static_cast<unsigned long long>(R.NumTreePacks));
+              static_cast<unsigned long long>(R.packCount(DomainKind::DecisionTree)));
   std::printf("  filter (ellipsoid)   %llu\n",
-              static_cast<unsigned long long>(R.NumEllPacks));
+              static_cast<unsigned long long>(R.packCount(DomainKind::Ellipsoid)));
   std::printf("  abstract-state peak  %.1f MB\n",
               R.PeakAbstractBytes / 1048576.0);
 

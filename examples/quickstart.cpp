@@ -64,7 +64,7 @@ int main() {
   std::printf("analysis time: %.3f s, %llu cells, %llu octagon packs\n",
               R.AnalysisSeconds,
               static_cast<unsigned long long>(R.NumCells),
-              static_cast<unsigned long long>(R.NumOctPacks));
+              static_cast<unsigned long long>(R.packCount(DomainKind::Octagon)));
 
   std::puts("\ninferred ranges at the main loop head:");
   for (const auto &[Name, Itv] : R.VariableRanges)

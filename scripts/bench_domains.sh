@@ -1,20 +1,23 @@
 #!/usr/bin/env bash
 # Nightly bench trajectory: runs the paper-experiment harnesses that track
-# analyzer performance — bench_fig2_scaling (time vs kLOC, Fig. 2) and
-# bench_packing_opt (abstract-state memory, Sect. 7.2.2) — and folds their
-# numbers into a machine-readable BENCH_domains.json, so this and future
-# perf PRs show their trajectory.
+# analyzer performance — bench_fig2_scaling (time vs kLOC, Fig. 2),
+# bench_packing_opt (abstract-state memory, Sect. 7.2.2) and
+# bench_parallel_jobs (speedup vs --jobs, the Monniaux parallel direction) —
+# and folds their numbers into machine-readable BENCH_domains.json and
+# BENCH_parallel.json, so this and future perf PRs show their trajectory.
 #
-# Usage: scripts/bench_domains.sh [build-dir] [output.json]
+# Usage: scripts/bench_domains.sh [build-dir] [output.json] [parallel.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD=${1:-build}
 OUT=${2:-BENCH_domains.json}
+PAR_OUT=${3:-BENCH_parallel.json}
 
 FIG2="$BUILD/bench/bench_fig2_scaling"
 PACKING="$BUILD/bench/bench_packing_opt"
-for bin in "$FIG2" "$PACKING"; do
+PARALLEL="$BUILD/bench/bench_parallel_jobs"
+for bin in "$FIG2" "$PACKING" "$PARALLEL"; do
   if [[ ! -x "$bin" ]]; then
     echo "bench_domains: missing $bin (build with -DASTRAL_BUILD_BENCH=ON)" >&2
     exit 1
@@ -67,3 +70,68 @@ $SCALING_JSON
 EOF
 
 echo "bench_domains: wrote $OUT"
+
+# ---------------------------------------------------------------------------
+# BENCH_parallel.json: speedup-vs-jobs series from bench_parallel_jobs.
+# Rows: "PARALLEL single jobs=N seconds=S speedup=X alarms=A" and
+#       "PARALLEL batch jobs=N files=K seconds=S speedup=X".
+# ---------------------------------------------------------------------------
+# Surface the bench's own diagnostic (e.g. "DETERMINISM VIOLATION ...") on
+# failure — it prints to stdout, which the capture would otherwise swallow.
+if ! PAR_RAW=$("$PARALLEL" 2>/dev/null); then
+  echo "bench_domains: $PARALLEL failed:" >&2
+  printf '%s\n' "$PAR_RAW" >&2
+  exit 1
+fi
+
+par_series() { # $1 = single|batch
+  printf '%s\n' "$PAR_RAW" | awk -v kind="$1" '
+    $1 == "PARALLEL" && $2 == kind {
+      jobs = seconds = speedup = ""
+      for (i = 3; i <= NF; i++) {
+        split($i, kv, "=")
+        if (kv[1] == "jobs") jobs = kv[2]
+        if (kv[1] == "seconds") seconds = kv[2]
+        if (kv[1] == "speedup") speedup = kv[2]
+      }
+      rows[n++] = sprintf("    {\"jobs\": %s, \"seconds\": %s, \"speedup\": %s}",
+                          jobs, seconds, speedup)
+    }
+    END { for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i + 1 < n ? "," : "") }'
+}
+
+SINGLE_JSON=$(par_series single)
+BATCH_JSON=$(par_series batch)
+BATCH_FILES=$(printf '%s\n' "$PAR_RAW" | awk '
+  $1 == "PARALLEL" && $2 == "batch" {
+    for (i = 3; i <= NF; i++) { split($i, kv, "="); if (kv[1] == "files") { print kv[2]; exit } }
+  }')
+
+if [[ -z "$SINGLE_JSON" || -z "$BATCH_JSON" ]]; then
+  echo "bench_domains: could not parse bench_parallel_jobs output" >&2
+  exit 1
+fi
+
+PAR_CORES=$(printf '%s\n' "$PAR_RAW" | awk '
+  $1 == "PARALLEL" && $2 == "hardware" {
+    for (i = 3; i <= NF; i++) { split($i, kv, "="); if (kv[1] == "cores") { print kv[2]; exit } }
+  }')
+
+cat > "$PAR_OUT" <<EOF
+{
+  "generated": "$DATE",
+  "git": "$GIT_REV",
+  "hardware_cores": ${PAR_CORES:-1},
+  "single_file": [
+$SINGLE_JSON
+  ],
+  "batch": {
+    "files": $BATCH_FILES,
+    "series": [
+$BATCH_JSON
+    ]
+  }
+}
+EOF
+
+echo "bench_domains: wrote $PAR_OUT"

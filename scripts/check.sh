@@ -17,9 +17,18 @@ cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
 echo
+echo "== tsan: ThreadSanitizer build + parallel suites =="
+cmake -B build-tsan -S . -DASTRAL_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-tsan -j "$JOBS"
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+      -R "test_scheduler|test_analysis_session|test_iterator|test_domain_registry"
+
+echo
 echo "== smoke: astral-cli end-to-end =="
 build/tools/astral-cli examples/flight_control.cpp --dump-invariants >/dev/null
 build/tools/astral-cli examples/quickstart.cpp --json --fail-on-alarms >/dev/null
+build/tools/astral-cli examples/rate_limiter_clocked.cpp --json --jobs=8 --fail-on-alarms >/dev/null
+build-tsan/tools/astral-cli examples/quickstart.cpp examples/interp_table.cpp --json --jobs=8 >/dev/null
 
 echo
 echo "all checks passed"

@@ -1,0 +1,342 @@
+//===- analyzer/AnalysisSession.cpp - Phased analysis pipeline --------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/AnalysisSession.h"
+
+#include "analyzer/Iterator.h"
+#include "ir/ConstFold.h"
+#include "ir/Lowering.h"
+#include "lang/Parser.h"
+#include "lang/Preprocessor.h"
+#include "lang/Sema.h"
+#include "support/MemoryTracker.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+using namespace astral;
+using memory::AbstractEnv;
+
+/// First While statement in the entry function (the periodic synchronous
+/// loop of Sect. 4), or ~0u.
+static uint32_t findMainLoop(const ir::Program &P) {
+  const ir::Function *Entry = P.function(P.Entry);
+  if (!Entry || !Entry->Body)
+    return ~0u;
+  std::vector<const ir::Stmt *> Work{Entry->Body};
+  while (!Work.empty()) {
+    const ir::Stmt *S = Work.back();
+    Work.pop_back();
+    if (!S)
+      continue;
+    if (S->is(ir::StmtKind::While))
+      return S->LoopId;
+    if (S->is(ir::StmtKind::Seq))
+      for (auto It = S->Stmts.rbegin(); It != S->Stmts.rend(); ++It)
+        Work.push_back(*It);
+    if (S->is(ir::StmtKind::If)) {
+      Work.push_back(S->Then);
+      Work.push_back(S->Else);
+    }
+  }
+  return ~0u;
+}
+
+AnalysisSession::AnalysisSession(AnalysisInput Input) : In(std::move(Input)) {}
+
+AnalysisSession::~AnalysisSession() = default;
+
+void AnalysisSession::setOptions(const AnalyzerOptions &O) {
+  bool FrontendStale = Frontend && O.EntryFunction != In.Options.EntryFunction;
+  In.Options = O;
+  if (FrontendStale)
+    Frontend.reset();
+  Layout.reset();
+  Packs.reset();
+  Exec.reset();
+}
+
+void AnalysisSession::setScheduler(std::shared_ptr<Scheduler> S) {
+  Sched = std::move(S);
+  SchedulerInjected = Sched != nullptr;
+}
+
+Scheduler *AnalysisSession::schedulerForRun() {
+  if (SchedulerInjected)
+    return Sched.get();
+  if (!Sched || SchedulerJobs != In.Options.Jobs) {
+    Sched = Scheduler::create(In.Options.Jobs);
+    SchedulerJobs = In.Options.Jobs;
+  }
+  return Sched.get();
+}
+
+//===----------------------------------------------------------------------===//
+// Phase: frontend (Sect. 5.1)
+//===----------------------------------------------------------------------===//
+
+const AnalysisSession::FrontendPhase &AnalysisSession::runFrontend() {
+  if (Frontend)
+    return *Frontend;
+  Timer PhaseTimer;
+  FrontendPhase F;
+  F.SourceLines =
+      1 + static_cast<uint64_t>(
+              std::count(In.Source.begin(), In.Source.end(), '\n'));
+
+  DiagnosticsEngine Diags;
+  FileProvider Provider = nullptr;
+  if (!In.Headers.empty()) {
+    const std::map<std::string, std::string> *Headers = &In.Headers;
+    Provider =
+        [Headers](const std::string &Name) -> std::optional<std::string> {
+      auto It = Headers->find(Name);
+      if (It == Headers->end())
+        return std::nullopt;
+      return It->second;
+    };
+  }
+  Preprocessor PP(Diags, Provider);
+  std::vector<Token> Toks = PP.run(In.Source, In.FileName);
+  if (Diags.hasErrors()) {
+    F.Errors = Diags.formatAll();
+    Frontend = std::move(F);
+    return *Frontend;
+  }
+
+  F.Ast = std::make_unique<AstContext>();
+  Parser Parse(std::move(Toks), *F.Ast, Diags);
+  if (!Parse.parseTranslationUnit()) {
+    F.Errors = Diags.formatAll();
+    Frontend = std::move(F);
+    return *Frontend;
+  }
+  Sema TypeCheck(*F.Ast, Diags);
+  if (!TypeCheck.run()) {
+    F.Errors = Diags.formatAll();
+    Frontend = std::move(F);
+    return *Frontend;
+  }
+
+  ir::Lowering Lower(*F.Ast, Diags);
+  std::unique_ptr<ir::Program> P = Lower.run(In.Options.EntryFunction);
+  if (!P) {
+    F.Errors = Diags.formatAll();
+    Frontend = std::move(F);
+    return *Frontend;
+  }
+  ir::ConstFoldStats FoldStats = ir::foldConstants(*P);
+  F.Ok = true;
+  F.NumVariables = P->Vars.size();
+  for (const ir::VarInfo &VI : P->Vars)
+    if (VI.IsUsed)
+      ++F.NumUsedVariables;
+  F.FoldedExprs = FoldStats.FoldedExprs;
+  F.ConstLoadsReplaced = FoldStats.ConstLoadsReplaced;
+  F.GlobalsDeleted = FoldStats.GlobalsDeleted;
+  F.Program = std::move(P);
+  F.Seconds = PhaseTimer.seconds();
+  Frontend = std::move(F);
+  return *Frontend;
+}
+
+//===----------------------------------------------------------------------===//
+// Phase: cell layout (Sect. 6.1.1)
+//===----------------------------------------------------------------------===//
+
+const AnalysisSession::LayoutPhase &AnalysisSession::layoutCells() {
+  if (Layout)
+    return *Layout;
+  const FrontendPhase &F = runFrontend();
+  if (!F.Ok)
+    throw std::logic_error("AnalysisSession: frontend failed: " + F.Errors);
+  Timer PhaseTimer;
+  LayoutPhase L;
+  L.Layout = std::make_unique<memory::CellLayout>(*F.Program,
+                                                  In.Options.ArrayExpandLimit);
+  L.NumCells = L.Layout->numCells();
+  L.ExpandedArrayCells = L.Layout->expandedArrayCells();
+  L.Seconds = PhaseTimer.seconds();
+  Layout = std::move(L);
+  return *Layout;
+}
+
+//===----------------------------------------------------------------------===//
+// Phase: packing + domain registry (Sect. 7.2)
+//===----------------------------------------------------------------------===//
+
+const AnalysisSession::PackingPhase &AnalysisSession::buildPacks() {
+  if (Packs)
+    return *Packs;
+  const LayoutPhase &L = layoutCells();
+  Timer PhaseTimer;
+  PackingPhase P;
+  P.Packs = std::make_unique<Packing>(Packing::build(
+      *Frontend->Program, *L.Layout, In.Options));
+  P.Registry = std::make_unique<DomainRegistry>(*P.Packs, In.Options);
+  for (size_t D = 0; D < P.Registry->size(); ++D) {
+    const RelationalDomain &Dom = P.Registry->domain(D);
+    DomainPackStats S;
+    S.Count = Dom.numPacks();
+    uint64_t TotalCells = 0;
+    for (memory::PackId Id = 0; Id < Dom.numPacks(); ++Id)
+      TotalCells += Dom.packCellCount(Id);
+    S.AvgCells = S.Count ? static_cast<double>(TotalCells) /
+                               static_cast<double>(S.Count)
+                         : 0.0;
+    P.PackCensus[Dom.kind()] = S;
+  }
+  P.Seconds = PhaseTimer.seconds();
+  Packs = std::move(P);
+  return *Packs;
+}
+
+//===----------------------------------------------------------------------===//
+// Phase: abstract execution (Sect. 5.2-5.5)
+//===----------------------------------------------------------------------===//
+
+const AnalysisSession::ExecutionPhase &AnalysisSession::runAbstractExecution() {
+  if (Exec)
+    return *Exec;
+  const PackingPhase &P = buildPacks();
+  ExecutionPhase E;
+
+  memtrack::resetPeak();
+  AlarmSet Alarms;
+  Iterator Iter(*Frontend->Program, *Layout->Layout, *P.Registry, In.Options,
+                E.Stats, Alarms);
+
+  // The scheduler is ambient for the whole phase: the per-slot lattice and
+  // reduction stages of AbstractEnv/Transfer fan out over it. Except when
+  // this session already runs *inside* a pool task (a batch file on a
+  // worker): nested parallelFor would only run inline, so installing the
+  // pool there would pay the staging overhead for nothing.
+  SchedulerScope Scope(Scheduler::inWorkerTask() ? nullptr
+                                                 : schedulerForRun());
+  Timer AnalysisTimer;
+  E.Final = Iter.run();
+  E.AnalysisSeconds = AnalysisTimer.seconds();
+  E.PeakAbstractBytes = memtrack::peakBytes();
+  E.Alarms = Alarms.alarms();
+  E.LoopInvariants = Iter.loopInvariants();
+  E.RelPackImproved = Iter.transfer().RelPackImproved;
+  E.Stats.set("analysis.octagon_closures", Octagon::closureCount());
+  Exec = std::move(E);
+  return *Exec;
+}
+
+//===----------------------------------------------------------------------===//
+// Phase: report assembly
+//===----------------------------------------------------------------------===//
+
+AnalysisResult AnalysisSession::report() {
+  AnalysisResult R;
+
+  const FrontendPhase &F = runFrontend();
+  R.SourceLines = F.SourceLines;
+  if (!F.Ok) {
+    R.FrontendErrors = F.Errors;
+    return R;
+  }
+  R.FrontendOk = true;
+  R.NumVariables = F.NumVariables;
+  R.NumUsedVariables = F.NumUsedVariables;
+
+  const LayoutPhase &L = layoutCells();
+  R.NumCells = L.NumCells;
+  R.ExpandedArrayCells = L.ExpandedArrayCells;
+
+  const PackingPhase &P = buildPacks();
+  R.PackStats = P.PackCensus;
+
+  const ExecutionPhase &E = runAbstractExecution();
+  Timer AssemblyTimer; // Every phase timed itself; this times the rest.
+  R.Alarms = E.Alarms;
+  R.Stats = E.Stats;
+  R.AnalysisSeconds = E.AnalysisSeconds;
+  R.PeakAbstractBytes = E.PeakAbstractBytes;
+  R.Stats.set("frontend.folded_exprs", F.FoldedExprs);
+  R.Stats.set("frontend.const_loads_replaced", F.ConstLoadsReplaced);
+  R.Stats.set("frontend.globals_deleted", F.GlobalsDeleted);
+
+  // ---- Main loop invariant, pack usefulness, variable ranges ----
+  const ir::Program &Prog = *F.Program;
+  const memory::CellLayout &Cells = *L.Layout;
+  const DomainRegistry &Registry = *P.Registry;
+
+  uint32_t MainLoop = findMainLoop(Prog);
+  const AbstractEnv *Inv = nullptr;
+  auto InvIt = E.LoopInvariants.find(MainLoop);
+  if (InvIt != E.LoopInvariants.end()) {
+    R.HasMainLoop = true;
+    Inv = &InvIt->second;
+  }
+  const AbstractEnv &Census = Inv ? *Inv : E.Final;
+  if (In.Options.RecordLoopInvariants) {
+    R.MainLoopCensus = censusInvariant(Census, Cells, Registry);
+    R.MainLoopInvariant = dumpInvariant(Census, Cells, Registry);
+  }
+
+  // Sect. 7.2.2: "our analyzer outputs, as part of the result, whether each
+  // octagon actually improved the precision of the analysis". The transfer
+  // tracks usefulness uniformly per registered domain; pick the octagon row.
+  int OctDomain = Registry.indexOf(DomainKind::Octagon);
+  if (OctDomain >= 0) {
+    const std::vector<uint8_t> &Improved =
+        E.RelPackImproved[static_cast<size_t>(OctDomain)];
+    for (uint32_t Id = 0; Id < Improved.size(); ++Id)
+      if (Improved[Id])
+        R.UsefulOctPacks.push_back(Id);
+  }
+
+  for (CellId C = 0; C < Cells.numCells(); ++C) {
+    const memory::CellInfo &CI = Cells.cell(C);
+    if (!Prog.var(CI.Var).IsPersistent || CI.IsVolatile)
+      continue;
+    R.VariableRanges.push_back({CI.Name, Census.cellInterval(C)});
+  }
+
+  // Sum of the memoized phase timings plus this assembly: re-entrant
+  // callers see only the phases that actually ran for this report.
+  double TotalSeconds = F.Seconds + L.Seconds + P.Seconds +
+                        E.AnalysisSeconds + AssemblyTimer.seconds();
+  R.Stats.set("analysis.total_ms", static_cast<uint64_t>(TotalSeconds * 1e3));
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Batch analysis
+//===----------------------------------------------------------------------===//
+
+std::vector<AnalysisResult>
+AnalysisSession::analyzeBatch(const std::vector<AnalysisInput> &Inputs) {
+  std::vector<AnalysisResult> Results(Inputs.size());
+  if (Inputs.empty())
+    return Results;
+
+  // One pool for the whole batch, sized by the widest request; Jobs == 0
+  // anywhere means "hardware concurrency".
+  unsigned Jobs = 1;
+  for (const AnalysisInput &I : Inputs) {
+    unsigned J = I.Options.Jobs
+                     ? I.Options.Jobs
+                     : std::max(1u, std::thread::hardware_concurrency());
+    Jobs = std::max(Jobs, J);
+  }
+  std::shared_ptr<Scheduler> Pool = Scheduler::create(Jobs);
+
+  // Whole files are the tasks (Monniaux's coarse-grained dispatch); a
+  // file's own slot stages run inline on its worker, so one pool serves
+  // both granularities without oversubscription.
+  Pool->parallelFor(Inputs.size(), [&](size_t I) {
+    AnalysisSession S(Inputs[I]);
+    S.setScheduler(Pool);
+    Results[I] = S.report();
+  });
+  return Results;
+}

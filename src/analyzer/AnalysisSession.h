@@ -1,0 +1,164 @@
+//===- analyzer/AnalysisSession.h - Phased analysis pipeline -----*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The phased top-level API. Where Analyzer::analyze runs the whole
+/// pipeline in one shot, an AnalysisSession exposes the pipeline of Sect. 5
+/// as separately-invokable phases, each returning a typed artifact:
+///
+///   runFrontend()          -> FrontendPhase   (tokens -> AST -> IR)
+///   layoutCells()          -> LayoutPhase     (the Sect. 6.1.1 memory model)
+///   buildPacks()           -> PackingPhase    (Sect. 7.2 packs + registry)
+///   runAbstractExecution() -> ExecutionPhase  (fixpoint, checking, alarms)
+///   report()               -> AnalysisResult  (the aggregate report)
+///
+/// Invoking a phase runs every missing predecessor first, so `report()`
+/// alone reproduces Analyzer::analyze. The value of the seam is re-entry:
+/// `setOptions()` invalidates only the phases the new parametrization can
+/// affect, so a domain-ablation sweep pays the frontend once and re-runs
+/// from buildPacks() per configuration (what scripts/bench_domains.sh used
+/// to re-pay per run).
+///
+/// Execution policy: AnalyzerOptions::Jobs selects the Scheduler
+/// (Scheduler.h) installed for the abstract-execution phase. The per-slot
+/// lattice and reduction stages then fan out over the registry's
+/// (domain, pack) slots, and analyzeBatch() schedules whole files across
+/// the same pool. The analysis semantics — alarms, ranges, invariants,
+/// pack census, everything the report layer prints — are byte-identical
+/// for every Jobs value: slot results are computed independently and
+/// applied in deterministic slot order. Work-metering figures are not:
+/// peak abstract bytes and the octagon-closure counter are process-wide,
+/// and a parallel inclusion check evaluates slots a sequential one would
+/// short-circuit past.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_ANALYZER_ANALYSISSESSION_H
+#define ASTRAL_ANALYZER_ANALYSISSESSION_H
+
+#include "analyzer/Analyzer.h"
+#include "analyzer/DomainRegistry.h"
+#include "analyzer/Packing.h"
+#include "analyzer/Scheduler.h"
+#include "ir/Ir.h"
+#include "lang/Ast.h"
+#include "memory/AbstractEnv.h"
+#include "memory/Cell.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace astral {
+
+class AnalysisSession {
+public:
+  /// Frontend artifact: the lowered program plus the frontend census. When
+  /// !Ok, Program is null and Errors carries the diagnostics. The AST arena
+  /// rides along because the IR shares its Type nodes — the artifact keeps
+  /// both alive for every later phase (and any caller holding the program).
+  struct FrontendPhase {
+    bool Ok = false;
+    std::string Errors;
+    uint64_t SourceLines = 0;
+    uint64_t NumVariables = 0;
+    uint64_t NumUsedVariables = 0;
+    uint64_t FoldedExprs = 0;
+    uint64_t ConstLoadsReplaced = 0;
+    uint64_t GlobalsDeleted = 0;
+    double Seconds = 0.0;
+    std::unique_ptr<AstContext> Ast;
+    std::unique_ptr<ir::Program> Program;
+  };
+
+  /// Cell-layout artifact (Sect. 6.1.1 memory model).
+  struct LayoutPhase {
+    std::unique_ptr<memory::CellLayout> Layout;
+    uint64_t NumCells = 0;
+    uint64_t ExpandedArrayCells = 0;
+    double Seconds = 0.0;
+  };
+
+  /// Packing artifact: the packs, the registry of enabled relational
+  /// domains over them, and the per-domain pack census.
+  struct PackingPhase {
+    std::unique_ptr<Packing> Packs;
+    std::unique_ptr<DomainRegistry> Registry;
+    std::map<DomainKind, DomainPackStats> PackCensus;
+    double Seconds = 0.0;
+  };
+
+  /// Abstract-execution artifact: the final environment, per-loop-head
+  /// invariants, alarms, statistics, and the per-domain pack-usefulness
+  /// flags (Sect. 7.2.2).
+  struct ExecutionPhase {
+    Statistics Stats;
+    std::vector<Alarm> Alarms;
+    memory::AbstractEnv Final;
+    std::map<uint32_t, memory::AbstractEnv> LoopInvariants;
+    std::vector<std::vector<uint8_t>> RelPackImproved;
+    double AnalysisSeconds = 0.0;
+    uint64_t PeakAbstractBytes = 0;
+  };
+
+  explicit AnalysisSession(AnalysisInput In);
+  ~AnalysisSession();
+
+  AnalysisSession(const AnalysisSession &) = delete;
+  AnalysisSession &operator=(const AnalysisSession &) = delete;
+
+  const AnalysisInput &input() const { return In; }
+  const AnalyzerOptions &options() const { return In.Options; }
+
+  /// Re-parametrizes the session, invalidating exactly the phases the new
+  /// options can affect: everything after the frontend, plus the frontend
+  /// itself when EntryFunction changed (lowering is entry-driven). The
+  /// typical sweep keeps one frontend run across many configurations.
+  void setOptions(const AnalyzerOptions &O);
+
+  /// Shares an externally-owned scheduler (the batch pool). When unset, the
+  /// session builds its own from options().Jobs.
+  void setScheduler(std::shared_ptr<Scheduler> S);
+
+  // -- Phases (each runs missing predecessors; artifacts are memoized) -----
+  const FrontendPhase &runFrontend();
+  /// Precondition of the analysis phases: runFrontend().Ok. They throw
+  /// std::logic_error on a failed frontend; report() instead degrades to an
+  /// error result, so drivers need no special-casing.
+  const LayoutPhase &layoutCells();
+  const PackingPhase &buildPacks();
+  const ExecutionPhase &runAbstractExecution();
+  AnalysisResult report();
+
+  /// Analyzes every input, scheduling whole files across one shared pool
+  /// sized by the maximum Jobs of the batch. Results are in input order
+  /// and semantically identical to analyzing each file alone; the
+  /// work-metering figures (PeakAbstractBytes, octagon-closure and similar
+  /// process-wide counters) interleave across concurrent files and are
+  /// only meaningful for single-file runs.
+  static std::vector<AnalysisResult>
+  analyzeBatch(const std::vector<AnalysisInput> &Inputs);
+
+private:
+  Scheduler *schedulerForRun();
+
+  AnalysisInput In;
+  std::shared_ptr<Scheduler> Sched;     ///< Owned or injected pool.
+  bool SchedulerInjected = false;
+  unsigned SchedulerJobs = ~0u;         ///< Jobs value Sched was built for.
+
+  std::optional<FrontendPhase> Frontend;
+  std::optional<LayoutPhase> Layout;
+  std::optional<PackingPhase> Packs;
+  std::optional<ExecutionPhase> Exec;
+};
+
+} // namespace astral
+
+#endif // ASTRAL_ANALYZER_ANALYSISSESSION_H

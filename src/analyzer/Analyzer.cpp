@@ -7,166 +7,11 @@
 
 #include "analyzer/Analyzer.h"
 
-#include "analyzer/DomainRegistry.h"
-#include "analyzer/Iterator.h"
-#include "ir/ConstFold.h"
-#include "ir/Lowering.h"
-#include "lang/Parser.h"
-#include "lang/Preprocessor.h"
-#include "lang/Sema.h"
-#include "support/MemoryTracker.h"
-#include "support/Timer.h"
+#include "analyzer/AnalysisSession.h"
 
 using namespace astral;
-using memory::AbstractEnv;
-
-/// First While statement in the entry function (the periodic synchronous
-/// loop of Sect. 4), or ~0u.
-static uint32_t findMainLoop(const ir::Program &P) {
-  const ir::Function *Entry = P.function(P.Entry);
-  if (!Entry || !Entry->Body)
-    return ~0u;
-  std::vector<const ir::Stmt *> Work{Entry->Body};
-  while (!Work.empty()) {
-    const ir::Stmt *S = Work.back();
-    Work.pop_back();
-    if (!S)
-      continue;
-    if (S->is(ir::StmtKind::While))
-      return S->LoopId;
-    if (S->is(ir::StmtKind::Seq))
-      for (auto It = S->Stmts.rbegin(); It != S->Stmts.rend(); ++It)
-        Work.push_back(*It);
-    if (S->is(ir::StmtKind::If)) {
-      Work.push_back(S->Then);
-      Work.push_back(S->Else);
-    }
-  }
-  return ~0u;
-}
 
 AnalysisResult Analyzer::analyze(const AnalysisInput &Input) {
-  AnalysisResult R;
-  Timer TotalTimer;
-
-  R.SourceLines =
-      1 + static_cast<uint64_t>(
-              std::count(Input.Source.begin(), Input.Source.end(), '\n'));
-
-  // ---- Preprocessing and parsing phase (Sect. 5.1) ----
-  DiagnosticsEngine Diags;
-  FileProvider Provider = nullptr;
-  if (!Input.Headers.empty()) {
-    const std::map<std::string, std::string> *Headers = &Input.Headers;
-    Provider = [Headers](const std::string &Name)
-        -> std::optional<std::string> {
-      auto It = Headers->find(Name);
-      if (It == Headers->end())
-        return std::nullopt;
-      return It->second;
-    };
-  }
-  Preprocessor PP(Diags, Provider);
-  std::vector<Token> Toks = PP.run(Input.Source, Input.FileName);
-  if (Diags.hasErrors()) {
-    R.FrontendErrors = Diags.formatAll();
-    return R;
-  }
-
-  AstContext Ast;
-  Parser Parse(std::move(Toks), Ast, Diags);
-  if (!Parse.parseTranslationUnit()) {
-    R.FrontendErrors = Diags.formatAll();
-    return R;
-  }
-  Sema TypeCheck(Ast, Diags);
-  if (!TypeCheck.run()) {
-    R.FrontendErrors = Diags.formatAll();
-    return R;
-  }
-
-  ir::Lowering Lower(Ast, Diags);
-  std::unique_ptr<ir::Program> P = Lower.run(Input.Options.EntryFunction);
-  if (!P) {
-    R.FrontendErrors = Diags.formatAll();
-    return R;
-  }
-  ir::ConstFoldStats FoldStats = ir::foldConstants(*P);
-  R.FrontendOk = true;
-  R.NumVariables = P->Vars.size();
-  for (const ir::VarInfo &VI : P->Vars)
-    if (VI.IsUsed)
-      ++R.NumUsedVariables;
-  R.Stats.set("frontend.folded_exprs", FoldStats.FoldedExprs);
-  R.Stats.set("frontend.const_loads_replaced", FoldStats.ConstLoadsReplaced);
-  R.Stats.set("frontend.globals_deleted", FoldStats.GlobalsDeleted);
-
-  // ---- Analysis phase (Sect. 5.2) ----
-  memtrack::resetPeak();
-  memory::CellLayout Layout(*P, Input.Options.ArrayExpandLimit);
-  R.NumCells = Layout.numCells();
-  R.ExpandedArrayCells = Layout.expandedArrayCells();
-
-  Packing Packs = Packing::build(*P, Layout, Input.Options);
-  R.NumOctPacks = Packs.OctPacks.size();
-  R.NumTreePacks = Packs.TreePacks.size();
-  R.NumEllPacks = Packs.EllPacks.size();
-  uint64_t TotalPackCells = 0;
-  for (const OctPack &Pack : Packs.OctPacks)
-    TotalPackCells += Pack.Cells.size();
-  R.AvgOctPackSize = Packs.OctPacks.empty()
-                         ? 0.0
-                         : static_cast<double>(TotalPackCells) /
-                               static_cast<double>(Packs.OctPacks.size());
-
-  // The ordered set of enabled relational domains; every iterator/transfer
-  // interaction with a relational pack goes through this registry.
-  DomainRegistry Registry(Packs, Input.Options);
-
-  AlarmSet Alarms;
-  Iterator Iter(*P, Layout, Registry, Input.Options, R.Stats, Alarms);
-
-  Timer AnalysisTimer;
-  AbstractEnv Final = Iter.run();
-  R.AnalysisSeconds = AnalysisTimer.seconds();
-  R.PeakAbstractBytes = memtrack::peakBytes();
-  R.Alarms = Alarms.alarms();
-
-  // ---- Main loop invariant, pack usefulness, variable ranges ----
-  uint32_t MainLoop = findMainLoop(*P);
-  const AbstractEnv *Inv = nullptr;
-  auto InvIt = Iter.loopInvariants().find(MainLoop);
-  if (InvIt != Iter.loopInvariants().end()) {
-    R.HasMainLoop = true;
-    Inv = &InvIt->second;
-  }
-  const AbstractEnv &Census = Inv ? *Inv : Final;
-  if (Input.Options.RecordLoopInvariants) {
-    R.MainLoopCensus = censusInvariant(Census, Layout, Registry);
-    R.MainLoopInvariant = dumpInvariant(Census, Layout, Registry);
-  }
-
-  // Sect. 7.2.2: "our analyzer outputs, as part of the result, whether each
-  // octagon actually improved the precision of the analysis". The transfer
-  // tracks usefulness uniformly per registered domain; pick the octagon row.
-  int OctDomain = Registry.indexOf(DomainKind::Octagon);
-  if (OctDomain >= 0) {
-    const std::vector<uint8_t> &Improved =
-        Iter.transfer().RelPackImproved[OctDomain];
-    for (uint32_t Id = 0; Id < Improved.size(); ++Id)
-      if (Improved[Id])
-        R.UsefulOctPacks.push_back(Id);
-  }
-
-  for (CellId C = 0; C < Layout.numCells(); ++C) {
-    const memory::CellInfo &CI = Layout.cell(C);
-    if (!P->var(CI.Var).IsPersistent || CI.IsVolatile)
-      continue;
-    R.VariableRanges.push_back({CI.Name, Census.cellInterval(C)});
-  }
-
-  R.Stats.set("analysis.octagon_closures", Octagon::closureCount());
-  R.Stats.set("analysis.total_ms",
-              static_cast<uint64_t>(TotalTimer.milliseconds()));
-  return R;
+  AnalysisSession Session(Input);
+  return Session.report();
 }

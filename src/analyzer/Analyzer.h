@@ -6,12 +6,17 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The public entry point: runs the two phases of Sect. 5 — preprocessing
-/// and parsing (mini-cpp, parser, Sema, lowering, constant folding, unused
-/// global deletion) followed by the analysis phase (cell layout, packing,
-/// abstract execution with checking) — and packages alarms, statistics,
-/// pack usefulness and the main-loop invariant census into an
-/// AnalysisResult.
+/// The one-shot entry point: Analyzer::analyze runs the two phases of
+/// Sect. 5 — preprocessing and parsing (mini-cpp, parser, Sema, lowering,
+/// constant folding, unused global deletion) followed by the analysis phase
+/// (cell layout, packing, abstract execution with checking) — and packages
+/// alarms, statistics, pack usefulness and the main-loop invariant census
+/// into an AnalysisResult.
+///
+/// It is a convenience wrapper over AnalysisSession (AnalysisSession.h),
+/// which exposes the same pipeline as separately-invokable phases so
+/// callers can re-enter at any phase (one frontend run shared across
+/// domain-ablation sweeps, batch analysis over a worker pool, ...).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -37,6 +42,12 @@ struct AnalysisInput {
   AnalyzerOptions Options;
 };
 
+/// Pack census of one registered relational domain.
+struct DomainPackStats {
+  uint64_t Count = 0;    ///< Packs instantiated for the domain.
+  double AvgCells = 0.0; ///< Mean cells per pack (0 when no packs).
+};
+
 struct AnalysisResult {
   // -- Frontend --------------------------------------------------------------
   bool FrontendOk = false;
@@ -48,10 +59,19 @@ struct AnalysisResult {
   uint64_t ExpandedArrayCells = 0;
 
   // -- Packing ----------------------------------------------------------------
-  uint64_t NumOctPacks = 0;
-  uint64_t NumTreePacks = 0;
-  uint64_t NumEllPacks = 0;
-  double AvgOctPackSize = 0.0;
+  /// Pack census per registered relational domain, keyed by DomainKind.
+  /// Domains that are disabled (or pack-less, like the base domains) have
+  /// no entry. The report layer maps this back onto the stable
+  /// octagon/tree/ellipsoid JSON fields.
+  std::map<DomainKind, DomainPackStats> PackStats;
+  uint64_t packCount(DomainKind K) const {
+    auto It = PackStats.find(K);
+    return It == PackStats.end() ? 0 : It->second.Count;
+  }
+  double avgPackCells(DomainKind K) const {
+    auto It = PackStats.find(K);
+    return It == PackStats.end() ? 0.0 : It->second.AvgCells;
+  }
   /// Octagon packs that actually carried relational information at the main
   /// loop head (the Sect. 7.2.2 usefulness census).
   std::vector<uint32_t> UsefulOctPacks;
@@ -76,7 +96,7 @@ struct AnalysisResult {
 
 class Analyzer {
 public:
-  /// Runs the full pipeline on \p Input.
+  /// Runs the full pipeline on \p Input (a one-shot AnalysisSession).
   static AnalysisResult analyze(const AnalysisInput &Input);
 };
 

@@ -756,6 +756,9 @@ public:
   const std::vector<PackId> &packsOf(CellId C) const override {
     return C < Packs.CellOct.size() ? Packs.CellOct[C] : noPacks();
   }
+  size_t packCellCount(PackId P) const override {
+    return Packs.OctPacks[P].Cells.size();
+  }
   DomainState::Ptr topFor(PackId P) const override {
     return std::make_shared<OctagonState>(Octagon(Packs.OctPacks[P].Cells));
   }
@@ -817,6 +820,10 @@ public:
   const std::vector<PackId> &packsOf(CellId C) const override {
     return C < Packs.CellTree.size() ? Packs.CellTree[C] : noPacks();
   }
+  size_t packCellCount(PackId P) const override {
+    const TreePack &Pack = Packs.TreePacks[P];
+    return Pack.Bools.size() + Pack.Nums.size();
+  }
   DomainState::Ptr topFor(PackId P) const override {
     const TreePack &Pack = Packs.TreePacks[P];
     return std::make_shared<DecisionTreeState>(
@@ -861,6 +868,9 @@ public:
   size_t numPacks() const override { return Packs.EllPacks.size(); }
   const std::vector<PackId> &packsOf(CellId C) const override {
     return C < Packs.CellEll.size() ? Packs.CellEll[C] : noPacks();
+  }
+  size_t packCellCount(PackId P) const override {
+    return Packs.EllPacks[P].Cells.size();
   }
   DomainState::Ptr topFor(PackId P) const override {
     return std::make_shared<EllipsoidPackState>(EllipsoidState{},

@@ -167,6 +167,9 @@ public:
   }
   /// Packs containing \p C (empty when none).
   virtual const std::vector<memory::PackId> &packsOf(CellId C) const = 0;
+  /// Number of cells in pack \p P (the per-domain pack census of the
+  /// analysis report).
+  virtual size_t packCellCount(memory::PackId P) const = 0;
   /// The top state of pack \p P.
   virtual DomainState::Ptr topFor(memory::PackId P) const = 0;
 

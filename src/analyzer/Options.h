@@ -84,6 +84,17 @@ struct AnalyzerOptions {
   /// possible number of iterations in the external loop").
   double ClockMax = 3.6e6;
 
+  // -- Execution policy ---------------------------------------------------------
+  /// Worker threads for the parallel lattice/reduction stages and for
+  /// AnalysisSession::analyzeBatch (Monniaux's parallel Astrée direction).
+  /// 1 = sequential (default), 0 = one per hardware thread. Any value
+  /// produces the same analysis semantics byte for byte — alarms, ranges,
+  /// invariants, pack census, everything the report layer prints — via
+  /// deterministic slot ordering. Work-metering statistics (octagon
+  /// closures, evaluation counts) meter the execution strategy itself and
+  /// are outside that guarantee.
+  unsigned Jobs = 1;
+
   // -- Misc ----------------------------------------------------------------------
   std::string EntryFunction = "main";
   unsigned MaxCallDepth = 64;

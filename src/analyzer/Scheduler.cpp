@@ -1,0 +1,176 @@
+//===- analyzer/Scheduler.cpp - Execution policy for parallel work ----------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/Scheduler.h"
+
+#include <atomic>
+
+using namespace astral;
+
+Scheduler::~Scheduler() = default;
+
+//===----------------------------------------------------------------------===//
+// Ambient scheduler
+//===----------------------------------------------------------------------===//
+
+namespace {
+thread_local Scheduler *AmbientScheduler = nullptr;
+} // namespace
+
+Scheduler *Scheduler::ambient() { return AmbientScheduler; }
+
+namespace {
+/// Set while the current thread executes tasks of some pool batch; nested
+/// parallelFor calls on this thread run inline instead of re-submitting.
+thread_local bool InsidePoolTask = false;
+} // namespace
+
+bool Scheduler::inWorkerTask() { return InsidePoolTask; }
+
+SchedulerScope::SchedulerScope(Scheduler *S) : Prev(AmbientScheduler) {
+  AmbientScheduler = S;
+}
+
+SchedulerScope::~SchedulerScope() { AmbientScheduler = Prev; }
+
+std::shared_ptr<Scheduler> Scheduler::create(unsigned Jobs) {
+  if (Jobs == 1)
+    return std::make_shared<SequentialScheduler>();
+  return std::make_shared<ThreadPoolScheduler>(Jobs);
+}
+
+//===----------------------------------------------------------------------===//
+// SequentialScheduler
+//===----------------------------------------------------------------------===//
+
+void SequentialScheduler::parallelFor(size_t N,
+                                      const std::function<void(size_t)> &F) {
+  for (size_t I = 0; I < N; ++I)
+    F(I);
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPoolScheduler
+//===----------------------------------------------------------------------===//
+
+/// One parallelFor invocation: a shared index space claimed with an atomic
+/// cursor, a completion count, and the first-by-index task exception.
+struct ThreadPoolScheduler::Batch {
+  size_t N = 0;
+  const std::function<void(size_t)> *F = nullptr;
+
+  std::atomic<size_t> Next{0};    ///< Next unclaimed index.
+  std::atomic<size_t> Done{0};    ///< Tasks finished (ran or abandoned).
+
+  std::mutex Mu;
+  std::condition_variable AllDone;
+  std::exception_ptr FirstError;  ///< Of the smallest failing index.
+  size_t FirstErrorIndex = ~size_t(0);
+};
+
+ThreadPoolScheduler::ThreadPoolScheduler(unsigned Threads)
+    : NumThreads(std::min(Scheduler::MaxThreads,
+                          Threads ? Threads
+                                  : std::max(
+                                        1u,
+                                        std::thread::hardware_concurrency()))) {
+  for (unsigned I = 1; I < NumThreads; ++I)
+    Workers.emplace_back([this] { workerMain(); });
+}
+
+ThreadPoolScheduler::~ThreadPoolScheduler() {
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    ShuttingDown = true;
+  }
+  WorkReady.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPoolScheduler::runTasks(Batch &B) {
+  bool SavedInside = InsidePoolTask;
+  InsidePoolTask = true;
+  for (;;) {
+    size_t I = B.Next.fetch_add(1, std::memory_order_relaxed);
+    if (I >= B.N)
+      break;
+    try {
+      (*B.F)(I);
+    } catch (...) {
+      std::lock_guard<std::mutex> L(B.Mu);
+      // Keep the exception of the smallest index, so which error surfaces
+      // does not depend on thread timing.
+      if (I < B.FirstErrorIndex) {
+        B.FirstErrorIndex = I;
+        B.FirstError = std::current_exception();
+      }
+    }
+    if (B.Done.fetch_add(1, std::memory_order_acq_rel) + 1 == B.N) {
+      std::lock_guard<std::mutex> L(B.Mu);
+      B.AllDone.notify_all();
+    }
+  }
+  InsidePoolTask = SavedInside;
+}
+
+void ThreadPoolScheduler::workerMain() {
+  uint64_t SeenSeq = 0;
+  for (;;) {
+    std::shared_ptr<Batch> B;
+    {
+      std::unique_lock<std::mutex> L(Mu);
+      WorkReady.wait(L, [&] {
+        return ShuttingDown || (Current && BatchSeq != SeenSeq);
+      });
+      if (ShuttingDown)
+        return;
+      SeenSeq = BatchSeq;
+      B = Current;
+    }
+    runTasks(*B);
+  }
+}
+
+void ThreadPoolScheduler::parallelFor(size_t N,
+                                      const std::function<void(size_t)> &F) {
+  if (N == 0)
+    return;
+  // Nested submission (a task of this or another pool) and trivial spans run
+  // inline: same results, no cross-batch deadlock.
+  if (InsidePoolTask || N == 1 || NumThreads == 1) {
+    for (size_t I = 0; I < N; ++I)
+      F(I);
+    return;
+  }
+
+  auto B = std::make_shared<Batch>();
+  B->N = N;
+  B->F = &F;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Current = B;
+    ++BatchSeq;
+  }
+  WorkReady.notify_all();
+
+  // The submitting thread works too, then blocks until stragglers finish.
+  runTasks(*B);
+  {
+    std::unique_lock<std::mutex> L(B->Mu);
+    B->AllDone.wait(L, [&] {
+      return B->Done.load(std::memory_order_acquire) == B->N;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    if (Current == B)
+      Current = nullptr;
+  }
+  if (B->FirstError)
+    std::rethrow_exception(B->FirstError);
+}

@@ -1,0 +1,141 @@
+//===- analyzer/Scheduler.h - Execution policy for parallel work -*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution-policy seam of the parallel analyzer (Monniaux, "The
+/// parallel implementation of the Astrée static analyzer"): a Scheduler
+/// turns an index space of independent tasks into work on one or more
+/// threads. Two implementations:
+///
+///   - SequentialScheduler: runs tasks inline, in index order. The default.
+///   - ThreadPoolScheduler: a persistent worker pool, reused across analysis
+///     phases and across the files of a batch. The submitting thread
+///     participates in the batch, so parallelFor(N, F) never deadlocks even
+///     when the pool is saturated.
+///
+/// Scheduler contract (what makes `--jobs=N` byte-identical to sequential):
+///   - Tasks of one parallelFor must be independent: they may not mutate
+///     shared state except through thread-safe sinks (Statistics,
+///     MemoryTracker, atomic counters), and each task's result must depend
+///     only on its index and on state that is read-only for the whole call.
+///   - parallelFor returns only after every task completed. It makes no
+///     ordering promise *during* the call; callers that need deterministic
+///     output apply per-index results in index order afterwards.
+///   - A task that throws: the first exception in *index order* is rethrown
+///     from parallelFor after all tasks finished or were abandoned.
+///   - Nested parallelFor (a task submitting to its own pool) runs inline on
+///     the calling worker — no deadlock, same results.
+///
+/// The ambient scheduler is a per-thread slot (SchedulerScope) consulted by
+/// the hot lattice loops (AbstractEnv join/widen/narrow/leq, Transfer's
+/// per-(domain, pack) reduction stages), so the deep call paths need no
+/// plumbed-through parameter. Worker threads have no ambient scheduler:
+/// nested lattice operations run sequentially inline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_ANALYZER_SCHEDULER_H
+#define ASTRAL_ANALYZER_SCHEDULER_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace astral {
+
+class Scheduler {
+public:
+  virtual ~Scheduler();
+
+  /// Number of threads that may run tasks concurrently (>= 1).
+  virtual unsigned concurrency() const = 0;
+
+  /// Runs F(0) .. F(N-1), possibly concurrently, returning when all are
+  /// done. See the file comment for the independence/determinism contract.
+  virtual void parallelFor(size_t N, const std::function<void(size_t)> &F) = 0;
+
+  /// The scheduler installed for the current thread by a SchedulerScope, or
+  /// null (callers then run inline).
+  static Scheduler *ambient();
+
+  /// Whether the current thread is executing a ThreadPoolScheduler task.
+  /// Code that would install an ambient scheduler checks this first: a
+  /// worker's nested parallelFor runs inline anyway, so staging work for
+  /// it is pure overhead.
+  static bool inWorkerTask();
+
+  /// Builds the scheduler for \p Jobs: 1 -> SequentialScheduler, > 1 ->
+  /// ThreadPoolScheduler(Jobs), 0 -> ThreadPoolScheduler(hardware
+  /// concurrency). Thread counts are clamped to MaxThreads.
+  static std::shared_ptr<Scheduler> create(unsigned Jobs);
+
+  /// Upper bound on any pool's concurrency — a `@astral jobs` directive or
+  /// --jobs flag cannot make the analyzer spawn an unbounded number of
+  /// threads (std::thread construction failure would terminate).
+  static constexpr unsigned MaxThreads = 256;
+};
+
+/// Installs \p S as the calling thread's ambient scheduler for the scope's
+/// lifetime (restores the previous one on exit). Passing null simply
+/// shadows any outer scope.
+class SchedulerScope {
+public:
+  explicit SchedulerScope(Scheduler *S);
+  ~SchedulerScope();
+
+  SchedulerScope(const SchedulerScope &) = delete;
+  SchedulerScope &operator=(const SchedulerScope &) = delete;
+
+private:
+  Scheduler *Prev;
+};
+
+/// Runs every task inline on the calling thread, in index order.
+class SequentialScheduler final : public Scheduler {
+public:
+  unsigned concurrency() const override { return 1; }
+  void parallelFor(size_t N, const std::function<void(size_t)> &F) override;
+};
+
+/// A persistent pool of worker threads. Construction spawns the workers
+/// once; every parallelFor (from any phase, or from the batch driver)
+/// reuses them. Destruction joins the workers.
+class ThreadPoolScheduler final : public Scheduler {
+public:
+  /// \p Threads is the total concurrency including the submitting thread;
+  /// the pool spawns Threads - 1 workers. Threads == 0 uses the hardware
+  /// concurrency.
+  explicit ThreadPoolScheduler(unsigned Threads);
+  ~ThreadPoolScheduler() override;
+
+  unsigned concurrency() const override { return NumThreads; }
+  void parallelFor(size_t N, const std::function<void(size_t)> &F) override;
+
+private:
+  struct Batch;
+
+  void workerMain();
+  /// Claims and runs tasks of \p B until the index space is exhausted.
+  static void runTasks(Batch &B);
+
+  unsigned NumThreads;
+  std::vector<std::thread> Workers;
+
+  std::mutex Mu;
+  std::condition_variable WorkReady;
+  std::shared_ptr<Batch> Current; ///< Batch being executed, or null.
+  uint64_t BatchSeq = 0;          ///< Bumped per submitted batch.
+  bool ShuttingDown = false;
+};
+
+} // namespace astral
+
+#endif // ASTRAL_ANALYZER_SCHEDULER_H

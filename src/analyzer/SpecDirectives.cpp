@@ -7,6 +7,8 @@
 
 #include "analyzer/SpecDirectives.h"
 
+#include "analyzer/Scheduler.h"
+
 #include <cctype>
 #include <optional>
 #include <sstream>
@@ -96,6 +98,18 @@ astral::applySpecDirectives(const std::string &Source, AnalyzerOptions &Opts) {
           Opts.DefaultUnroll = N;
         else
           Malformed("unroll", "<n>");
+      } else if (Kind == "jobs") {
+        // Execution policy travels with the input (0 = one worker per
+        // hardware thread). Reports stay byte-identical for any value, so a
+        // checked-in spec cannot make a golden run diverge. Parsed signed:
+        // istream happily wraps "-1" into an unsigned, which would request
+        // four billion workers.
+        long long N = 0;
+        if (Dir >> N && cleanBreak(Dir) && N >= 0 &&
+            N <= static_cast<long long>(Scheduler::MaxThreads))
+          Opts.Jobs = static_cast<unsigned>(N);
+        else
+          Malformed("jobs", "<n>");
       } else {
         Warnings.push_back("line " + std::to_string(LineNo) +
                            ": unknown @astral directive '" + Kind + "'");

@@ -17,6 +17,7 @@
 ///      @astral threshold 500
 ///      @astral unroll 2
 ///      @astral domains interval,clocked,octagon,tree,ellipsoid
+///      @astral jobs 4
 ///      @astral entry main */
 ///
 /// Shared by astral-cli and the example harnesses (one source of truth for

@@ -7,6 +7,8 @@
 
 #include "analyzer/Transfer.h"
 
+#include "analyzer/Scheduler.h"
+
 #include <cassert>
 
 using namespace astral;
@@ -108,9 +110,42 @@ AbstractEnv Transfer::initialEnv() const {
   return Env;
 }
 
+namespace {
+/// Depth of silent evaluations on this thread. Thread-local rather than a
+/// toggled Transfer member so that (a) parallel slot tasks of one Transfer
+/// never race on it and (b) a worker's silence cannot leak to its siblings.
+thread_local unsigned SilentEvalDepth = 0;
+
+struct SilentEvalGuard {
+  SilentEvalGuard() { ++SilentEvalDepth; }
+  ~SilentEvalGuard() { --SilentEvalDepth; }
+};
+} // namespace
+
+bool Transfer::checkingNow() const { return Checking && SilentEvalDepth == 0; }
+
+void Transfer::runSlotStage(size_t N, const std::function<void(size_t)> &Task) {
+  // Slot tasks are silenced in *both* modes: they only ever reach the
+  // silent evaluation services (DomainEvalContext), so this is a no-op
+  // today, but it pins the invariant that no alarm can depend on slot
+  // execution order.
+  Scheduler *S = Scheduler::ambient();
+  if (N >= 4 && S && S->concurrency() > 1) {
+    S->parallelFor(N, [&](size_t I) {
+      SilentEvalGuard G;
+      Task(I);
+    });
+    return;
+  }
+  for (size_t I = 0; I < N; ++I) {
+    SilentEvalGuard G;
+    Task(I);
+  }
+}
+
 void Transfer::alarm(const Expr *E, AlarmKind K, const std::string &Msg,
                      bool Definite) {
-  if (!Checking)
+  if (!checkingNow())
     return;
   Alarms.report(E->Point, E->Loc, K, Msg, Definite);
   Stats.add("alarms.reported");
@@ -160,8 +195,8 @@ CellSel Transfer::resolveLValue(const AbstractEnv &Env, const LValue &Lv,
   if (!Node)
     return CellSel{};
   CellSel Sel = Layout.resolve(Node, Path);
-  if (Report && Checking && (Sel.MayBeOutOfBounds ||
-                             Sel.DefinitelyOutOfBounds)) {
+  if (Report && checkingNow() && (Sel.MayBeOutOfBounds ||
+                                  Sel.DefinitelyOutOfBounds)) {
     // Attach to the statement point via the lvalue's source location; the
     // caller dedups by point, so use the base expression's point when
     // available (indices carry their own points).
@@ -221,11 +256,8 @@ RefBinding Transfer::bindRef(const AbstractEnv &Env, const LValue &Lv) {
 
 Interval Transfer::evalNoCheck(const AbstractEnv &Env, const Expr *E,
                                const CellOverlay *Overlay) {
-  bool Saved = Checking;
-  Checking = false;
-  Interval R = evalExpr(Env, E, Overlay);
-  Checking = Saved;
-  return R;
+  SilentEvalGuard G;
+  return evalExpr(Env, E, Overlay);
 }
 
 Interval Transfer::evalLoad(const AbstractEnv &Env, const Expr *E,
@@ -510,6 +542,13 @@ void Transfer::relationalAssign(AbstractEnv &Env, CellId Target,
   Req.Form = &Form;
   Req.Value = V;
   Req.Rhs = Rhs;
+  // This sweep is a *reduction chain*, not an index space: each pack's
+  // assignCell evaluates under the cells already refined by the channels of
+  // the packs (and domains) before it, and that feed carries measurable
+  // precision on the program family (overlapping octagon packs). It
+  // therefore stays sequential in slot order on every --jobs value; the
+  // scheduler's fan-out lives in the order-independent stages
+  // (AbstractEnv's lattice slots, relationalForget, preJoinReduce).
   TransferEvalContext Ctx(*this, Env);
   for (size_t D = 0; D < Reg.size(); ++D) {
     for (PackId Pack : Reg.domain(D).packsOf(Target)) {
@@ -528,15 +567,21 @@ void Transfer::relationalAssign(AbstractEnv &Env, CellId Target,
 
 void Transfer::relationalForget(AbstractEnv &Env, CellId C,
                                 const Interval &V) {
-  TransferEvalContext Ctx(*this, Env);
   for (size_t D = 0; D < Reg.size(); ++D) {
-    for (PackId Pack : Reg.domain(D).packsOf(C)) {
-      DomainState::Ptr S = Env.rel(D, Pack);
-      if (!S)
-        continue;
-      if (DomainState::Ptr N = S->forget(C, V, Ctx))
-        Env.setRel(D, Pack, std::move(N));
-    }
+    std::vector<std::pair<PackId, DomainState::Ptr>> Slots;
+    for (PackId Pack : Reg.domain(D).packsOf(C))
+      if (DomainState::Ptr S = Env.rel(D, Pack))
+        Slots.push_back({Pack, std::move(S)});
+    if (Slots.empty())
+      continue;
+    std::vector<DomainState::Ptr> NewStates(Slots.size());
+    TransferEvalContext Ctx(*this, Env);
+    runSlotStage(Slots.size(), [&](size_t I) {
+      NewStates[I] = Slots[I].second->forget(C, V, Ctx);
+    });
+    for (size_t I = 0; I < Slots.size(); ++I)
+      if (NewStates[I])
+        Env.setRel(D, Slots[I].first, std::move(NewStates[I]));
   }
 }
 
@@ -682,7 +727,7 @@ AbstractEnv Transfer::wait(AbstractEnv Env) {
 //===----------------------------------------------------------------------===//
 
 void Transfer::checkCond(const AbstractEnv &Env, const Expr *Cond) {
-  if (!Checking || !Cond)
+  if (!checkingNow() || !Cond)
     return;
   evalExpr(Env, Cond); // Evaluation reports the alarms.
 }
@@ -765,7 +810,8 @@ AbstractEnv Transfer::guard(AbstractEnv Env, const Expr *Cond,
         Env.setCell(C, ScalarAbs{R, S->Clk});
       }
       // Registered domains: boolean guard + reduction (the B := X==0
-      // example of Sect. 6.2.4; only domains tracking C react).
+      // example of Sect. 6.2.4; only domains tracking C react). A
+      // reduction chain like relationalAssign: sequential in slot order.
       for (size_t D = 0; D < Reg.size(); ++D) {
         for (PackId Pack : Reg.domain(D).packsOf(C)) {
           DomainState::Ptr St = Env.rel(D, Pack);
@@ -881,7 +927,10 @@ AbstractEnv Transfer::guardCompare(AbstractEnv Env, const Expr *A,
   // reductions of the domains before it in registry order — selecting its
   // touched packs and preparing the request fields it consumes (linearized
   // difference forms for octagons, per Sect. 6.2.2; strongly-resolved load
-  // cells for the per-leaf decision-tree feasibility of Sect. 6.2.4).
+  // cells for the per-leaf decision-tree feasibility of Sect. 6.2.4). The
+  // per-pack refinements form a reduction chain (each pack's guard
+  // evaluates under the channel facts of the packs before it), so the
+  // sweep is sequential in slot order on every --jobs value.
   TransferEvalContext Ctx(*this, Env);
   RelGuard G;
   G.A = A;
@@ -921,16 +970,32 @@ void Transfer::preJoinReduce(AbstractEnv &A, AbstractEnv &B) {
     const RelationalDomain &Dom = Reg.domain(D);
     if (!Dom.usesPreJoinReduction())
       continue;
+    // Both directions of every pack read only the two pre-states (cell maps
+    // are untouched here), so the staged sweep is exactly the sequential
+    // semantics.
     TransferEvalContext CtxA(*this, A), CtxB(*this, B);
+    std::vector<std::tuple<PackId, DomainState::Ptr, DomainState::Ptr>> Slots;
     Dom.forEachPack([&](PackId Pack) {
       DomainState::Ptr SA = A.rel(D, Pack);
       DomainState::Ptr SB = B.rel(D, Pack);
       if (!SA || !SB || SA == SB)
         return;
-      if (DomainState::Ptr NA = SA->preJoinWith(*SB, CtxA))
-        A.setRel(D, Pack, std::move(NA));
-      if (DomainState::Ptr NB = SB->preJoinWith(*SA, CtxB))
-        B.setRel(D, Pack, std::move(NB));
+      Slots.push_back({Pack, std::move(SA), std::move(SB)});
     });
+    if (Slots.empty())
+      continue;
+    std::vector<std::pair<DomainState::Ptr, DomainState::Ptr>> NewStates(
+        Slots.size());
+    runSlotStage(Slots.size(), [&](size_t I) {
+      const auto &[Pack, SA, SB] = Slots[I];
+      NewStates[I] = {SA->preJoinWith(*SB, CtxA), SB->preJoinWith(*SA, CtxB)};
+    });
+    for (size_t I = 0; I < Slots.size(); ++I) {
+      PackId Pack = std::get<0>(Slots[I]);
+      if (NewStates[I].first)
+        A.setRel(D, Pack, std::move(NewStates[I].first));
+      if (NewStates[I].second)
+        B.setRel(D, Pack, std::move(NewStates[I].second));
+    }
   }
 }

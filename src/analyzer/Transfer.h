@@ -56,6 +56,11 @@ public:
 
   // -- Mode & frames (managed by the Iterator) ---------------------------
   bool Checking = false;
+  /// Whether alarms may be reported right now: checking mode, and not
+  /// inside a silent evaluation (evalNoCheck or a scheduler slot task).
+  /// The silence marker is thread-local, so parallel slot stages never
+  /// race on a toggled member and never emit alarms in scheduler order.
+  bool checkingNow() const;
   /// Per-domain, per-pack flag: set when the pack's state actually
   /// tightened a cell interval or pruned a branch — the Sect. 7.2.2
   /// usefulness census ("whether each octagon actually improved the
@@ -151,6 +156,16 @@ private:
   /// environment bottom when the publishing domain proved it unreachable.
   void applyChannel(AbstractEnv &Env, size_t D, memory::PackId P,
                     const ReductionChannel &Ch);
+
+  /// Runs \p Task(0..N-1) — one registered-domain pack slot each — through
+  /// the ambient Scheduler when one is installed, inline otherwise. Tasks
+  /// run silenced (no alarms) in both modes, must read the environment
+  /// only, and write only their own slot's output; callers then apply the
+  /// per-slot results in slot order, which is what keeps `--jobs=N`
+  /// byte-identical to sequential. Only order-independent sweeps
+  /// (relationalForget, preJoinReduce) use it — the channel-feeding
+  /// reduction chains stay sequential by design.
+  void runSlotStage(size_t N, const std::function<void(size_t)> &Task);
 
   const ir::Program &P;
   const memory::CellLayout &Layout;

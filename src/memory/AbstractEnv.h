@@ -134,6 +134,16 @@ public:
 private:
   static const RelMap &relMapOrEmpty(const AbstractEnv &E, size_t D);
 
+  /// Shared engine of join/widen/narrow on the relational component: for
+  /// every (domain, pack) slot where both sides are present and physically
+  /// different, computes Op(X, Y) — fanned out over the ambient Scheduler
+  /// when one is installed — and assembles the per-domain result maps in
+  /// deterministic slot order (the `--jobs=N` byte-identity invariant).
+  static std::vector<RelMap> combineRel(
+      const AbstractEnv &A, const AbstractEnv &B,
+      const std::function<DomainState::Ptr(size_t, const DomainState::Ptr &,
+                                           const DomainState::Ptr &)> &Op);
+
   bool IsBottom = false;
   PersistentMap<ScalarAbs> Cells;
   Interval ClockItv = Interval::point(0);

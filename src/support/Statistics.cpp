@@ -11,7 +11,7 @@ using namespace astral;
 
 std::string Statistics::toString() const {
   std::string Out;
-  for (const auto &[Name, Value] : Counters) {
+  for (const auto &[Name, Value] : snapshot()) {
     Out += Name;
     Out += " = ";
     Out += std::to_string(Value);

@@ -11,6 +11,12 @@
 /// registry is per-run, not global, so benches can run many analyses and
 /// compare counters side by side.
 ///
+/// Accumulation is thread-safe: scheduler tasks (parallel lattice slots,
+/// per-pack reduction stages) bump counters concurrently. Because every
+/// mutation is a commutative add (or an idempotent set outside the parallel
+/// phases), totals are independent of task interleaving — a requirement of
+/// the `--jobs=N` determinism guarantee.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ASTRAL_SUPPORT_STATISTICS_H
@@ -18,6 +24,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace astral {
@@ -25,20 +32,43 @@ namespace astral {
 /// A per-run bag of named counters.
 class Statistics {
 public:
+  Statistics() = default;
+  Statistics(const Statistics &O) : Counters(O.snapshot()) {}
+  Statistics &operator=(const Statistics &O) {
+    if (this != &O) {
+      std::map<std::string, uint64_t> Copy = O.snapshot();
+      std::lock_guard<std::mutex> L(Mu);
+      Counters = std::move(Copy);
+    }
+    return *this;
+  }
+
   void add(const std::string &Name, uint64_t Delta = 1) {
+    std::lock_guard<std::mutex> L(Mu);
     Counters[Name] += Delta;
   }
-  void set(const std::string &Name, uint64_t Value) { Counters[Name] = Value; }
+  void set(const std::string &Name, uint64_t Value) {
+    std::lock_guard<std::mutex> L(Mu);
+    Counters[Name] = Value;
+  }
   uint64_t get(const std::string &Name) const {
+    std::lock_guard<std::mutex> L(Mu);
     auto It = Counters.find(Name);
     return It == Counters.end() ? 0 : It->second;
   }
-  const std::map<std::string, uint64_t> &all() const { return Counters; }
+  /// A consistent copy of every counter (sorted by name).
+  std::map<std::string, uint64_t> all() const { return snapshot(); }
 
   /// Renders "name = value" lines sorted by name.
   std::string toString() const;
 
 private:
+  std::map<std::string, uint64_t> snapshot() const {
+    std::lock_guard<std::mutex> L(Mu);
+    return Counters;
+  }
+
+  mutable std::mutex Mu;
   std::map<std::string, uint64_t> Counters;
 };
 

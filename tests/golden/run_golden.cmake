@@ -2,6 +2,10 @@
 # examples/ inputs and diff the normalized JSON reports (alarm counts,
 # invariant census, inferred ranges) against checked-in expectations.
 #
+# Each case then re-runs under --jobs=2 and --jobs=8 and the raw JSON must
+# be byte-identical (after the same normalization) to the --jobs=1 report —
+# the scheduler determinism guarantee of the parallel analyzer.
+#
 # Invoked by CTest as:
 #   cmake -DASTRAL_CLI=<path> -DSOURCE_DIR=<repo> [-DOUT_DIR=<dir>] \
 #         -P run_golden.cmake
@@ -20,14 +24,24 @@ if(NOT DEFINED OUT_DIR)
   set(OUT_DIR ${OUT_DIR}/golden-actual)
 endif()
 
-set(CASES quickstart filter_verification alarm_investigation flight_control)
+set(CASES quickstart filter_verification alarm_investigation flight_control
+          interp_table rate_limiter_clocked partitioned_switch)
 set(NFAILED 0)
+
+# Normalizes environment-dependent report fields (wall-clock, input path).
+function(normalize_report in out)
+  string(REGEX REPLACE "\"analysis_seconds\": [0-9.eE+-]+"
+         "\"analysis_seconds\": \"<time>\"" in "${in}")
+  string(REGEX REPLACE "\"file\": \"[^\"]*\"" "\"file\": \"<input>\""
+         in "${in}")
+  set(${out} "${in}" PARENT_SCOPE)
+endfunction()
 
 foreach(case ${CASES})
   set(input ${SOURCE_DIR}/examples/${case}.cpp)
   set(expected_file ${SOURCE_DIR}/tests/golden/${case}.expected.json)
 
-  execute_process(COMMAND ${ASTRAL_CLI} ${input} --json
+  execute_process(COMMAND ${ASTRAL_CLI} ${input} --json --jobs=1
                   OUTPUT_VARIABLE actual
                   ERROR_VARIABLE stderr_out
                   RESULT_VARIABLE rc)
@@ -37,11 +51,32 @@ foreach(case ${CASES})
     continue()
   endif()
 
-  # Normalize environment-dependent fields (wall-clock time, input path).
-  string(REGEX REPLACE "\"analysis_seconds\": [0-9.eE+-]+"
-         "\"analysis_seconds\": \"<time>\"" actual "${actual}")
-  string(REGEX REPLACE "\"file\": \"[^\"]*\"" "\"file\": \"<input>\""
-         actual "${actual}")
+  normalize_report("${actual}" actual)
+
+  # Determinism under concurrency: the parallel reports must match the
+  # sequential one byte for byte.
+  foreach(jobs 2 8)
+    execute_process(COMMAND ${ASTRAL_CLI} ${input} --json --jobs=${jobs}
+                    OUTPUT_VARIABLE par_actual
+                    ERROR_VARIABLE par_stderr
+                    RESULT_VARIABLE par_rc)
+    if(NOT par_rc EQUAL 0)
+      message(SEND_ERROR
+          "[${case}] astral-cli --jobs=${jobs} exited with ${par_rc}:\n"
+          "${par_stderr}")
+      math(EXPR NFAILED "${NFAILED}+1")
+      continue()
+    endif()
+    normalize_report("${par_actual}" par_actual)
+    if(NOT par_actual STREQUAL actual)
+      file(WRITE ${OUT_DIR}/${case}.jobs${jobs}.actual.json "${par_actual}")
+      message(SEND_ERROR
+          "[${case}] --jobs=${jobs} report differs from --jobs=1 "
+          "(determinism violation)\n"
+          "actual saved to ${OUT_DIR}/${case}.jobs${jobs}.actual.json")
+      math(EXPR NFAILED "${NFAILED}+1")
+    endif()
+  endforeach()
 
   if(REGEN)
     file(WRITE ${expected_file} "${actual}")

@@ -1,0 +1,185 @@
+//===- tests/test_analysis_session.cpp - Phased-pipeline API tests --------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003). Exercises the AnalysisSession
+// seam: separately-invokable phases with memoized artifacts, frontend reuse
+// across re-parametrizations, batch analysis over a shared pool, and the
+// `--jobs=N` determinism guarantee at the API level.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/AnalysisSession.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace astral;
+using testutil::rangeOf;
+
+namespace {
+
+const char *LimiterSrc =
+    "volatile float in;\nfloat y;\n"
+    "int main(void) {\n"
+    "  while (1) {\n"
+    "    float u = in;\n"
+    "    if (u - y > 8.0f) { y = y + 8.0f; }\n"
+    "    else { if (y - u > 8.0f) { y = y - 8.0f; } else { y = u; } }\n"
+    "    __astral_wait();\n"
+    "  }\n"
+    "  return 0;\n"
+    "}";
+
+AnalysisInput limiterInput() {
+  AnalysisInput In;
+  In.Source = LimiterSrc;
+  In.Options.VolatileRanges["in"] = Interval(-100, 100);
+  In.Options.ClockMax = 1.0e6;
+  return In;
+}
+
+/// The report fields the determinism guarantee covers (everything except
+/// wall-clock and memory-peak measurements).
+void expectSameReport(const AnalysisResult &A, const AnalysisResult &B) {
+  EXPECT_EQ(A.FrontendOk, B.FrontendOk);
+  EXPECT_EQ(A.NumCells, B.NumCells);
+  EXPECT_EQ(A.PackStats.size(), B.PackStats.size());
+  ASSERT_EQ(A.Alarms.size(), B.Alarms.size());
+  for (size_t I = 0; I < A.Alarms.size(); ++I) {
+    EXPECT_EQ(A.Alarms[I].Kind, B.Alarms[I].Kind);
+    EXPECT_EQ(A.Alarms[I].Loc.Line, B.Alarms[I].Loc.Line);
+    EXPECT_EQ(A.Alarms[I].Message, B.Alarms[I].Message);
+  }
+  ASSERT_EQ(A.VariableRanges.size(), B.VariableRanges.size());
+  for (size_t I = 0; I < A.VariableRanges.size(); ++I) {
+    EXPECT_EQ(A.VariableRanges[I].first, B.VariableRanges[I].first);
+    EXPECT_EQ(A.VariableRanges[I].second, B.VariableRanges[I].second);
+  }
+  EXPECT_EQ(A.MainLoopInvariant, B.MainLoopInvariant);
+  EXPECT_EQ(A.UsefulOctPacks, B.UsefulOctPacks);
+}
+
+} // namespace
+
+TEST(AnalysisSession, PhasesProduceTypedArtifacts) {
+  AnalysisSession S(limiterInput());
+
+  const AnalysisSession::FrontendPhase &F = S.runFrontend();
+  ASSERT_TRUE(F.Ok) << F.Errors;
+  EXPECT_NE(F.Program, nullptr);
+  EXPECT_GT(F.NumVariables, 0u);
+
+  const AnalysisSession::LayoutPhase &L = S.layoutCells();
+  EXPECT_GT(L.NumCells, 0u);
+
+  const AnalysisSession::PackingPhase &P = S.buildPacks();
+  ASSERT_NE(P.Registry, nullptr);
+  EXPECT_GE(P.Registry->size(), 1u);
+  auto It = P.PackCensus.find(DomainKind::Octagon);
+  ASSERT_NE(It, P.PackCensus.end());
+  EXPECT_GE(It->second.Count, 1u);
+  EXPECT_GT(It->second.AvgCells, 1.0);
+
+  const AnalysisSession::ExecutionPhase &E = S.runAbstractExecution();
+  EXPECT_GT(E.Stats.get("fixpoint.iterations"), 0u);
+
+  AnalysisResult R = S.report();
+  ASSERT_TRUE(R.FrontendOk);
+  EXPECT_EQ(R.NumCells, L.NumCells);
+  EXPECT_EQ(R.packCount(DomainKind::Octagon), It->second.Count);
+}
+
+TEST(AnalysisSession, ReportMatchesOneShotAnalyzer) {
+  AnalysisResult OneShot = Analyzer::analyze(limiterInput());
+  AnalysisSession S(limiterInput());
+  AnalysisResult Phased = S.report();
+  expectSameReport(OneShot, Phased);
+}
+
+TEST(AnalysisSession, FrontendSharedAcrossDomainSweep) {
+  AnalysisSession S(limiterInput());
+  ASSERT_TRUE(S.runFrontend().Ok);
+  const ir::Program *Prog = S.runFrontend().Program.get();
+
+  // Ablate the octagons: analysis phases re-run, the frontend must not.
+  AnalyzerOptions Ablated = S.options();
+  Ablated.Domains.enable(DomainKind::Octagon, false);
+  S.setOptions(Ablated);
+  EXPECT_EQ(S.runFrontend().Program.get(), Prog)
+      << "re-parametrization must keep the frontend artifact";
+  AnalysisResult NoOct = S.report();
+  EXPECT_EQ(NoOct.packCount(DomainKind::Octagon), 0u);
+  EXPECT_GT(rangeOf(NoOct, "y").Hi, 1.0e6)
+      << "without octagons the limiter state is essentially unbounded";
+
+  // Back to the full stack: same shared frontend, octagons bound y again.
+  AnalyzerOptions Full = S.options();
+  Full.Domains.enable(DomainKind::Octagon, true);
+  S.setOptions(Full);
+  EXPECT_EQ(S.runFrontend().Program.get(), Prog);
+  AnalysisResult WithOct = S.report();
+  EXPECT_GE(WithOct.packCount(DomainKind::Octagon), 1u);
+  EXPECT_LE(rangeOf(WithOct, "y").Hi, 1000.0)
+      << "octagons must bound the limiter to a threshold-ladder value";
+}
+
+TEST(AnalysisSession, FrontendFailureDegradesGracefully) {
+  AnalysisInput In;
+  In.Source = "int main(void) { goto x; }";
+  AnalysisSession S(In);
+  EXPECT_FALSE(S.runFrontend().Ok);
+  EXPECT_THROW(S.layoutCells(), std::logic_error);
+  AnalysisResult R = S.report();
+  EXPECT_FALSE(R.FrontendOk);
+  EXPECT_FALSE(R.FrontendErrors.empty());
+}
+
+TEST(AnalysisSession, JobsAreByteDeterministic) {
+  AnalysisInput Seq = limiterInput();
+  Seq.Options.Jobs = 1;
+  AnalysisResult RSeq = Analyzer::analyze(Seq);
+
+  for (unsigned Jobs : {2u, 8u}) {
+    AnalysisInput Par = limiterInput();
+    Par.Options.Jobs = Jobs;
+    AnalysisResult RPar = Analyzer::analyze(Par);
+    expectSameReport(RSeq, RPar);
+  }
+}
+
+TEST(AnalysisSession, AnalyzeBatchMatchesIndividualRuns) {
+  std::vector<AnalysisInput> Inputs;
+  Inputs.push_back(limiterInput());
+  AnalysisInput Bad;
+  Bad.Source = "int main(void) { goto x; }";
+  Inputs.push_back(Bad);
+  AnalysisInput Parallel = limiterInput();
+  Parallel.Options.Jobs = 4;
+  Inputs.push_back(Parallel);
+
+  std::vector<AnalysisResult> Batch = AnalysisSession::analyzeBatch(Inputs);
+  ASSERT_EQ(Batch.size(), 3u);
+  EXPECT_TRUE(Batch[0].FrontendOk);
+  EXPECT_FALSE(Batch[1].FrontendOk) << "the bad file must fail alone";
+  EXPECT_TRUE(Batch[2].FrontendOk);
+
+  AnalysisResult Alone = Analyzer::analyze(Inputs[0]);
+  expectSameReport(Alone, Batch[0]);
+  expectSameReport(Alone, Batch[2]);
+}
+
+TEST(AnalysisSession, BatchOfManyFilesCompletes) {
+  // More files than pool workers: the queue must drain and preserve order.
+  std::vector<AnalysisInput> Inputs;
+  for (int I = 0; I < 12; ++I) {
+    AnalysisInput In = limiterInput();
+    In.Options.Jobs = 3;
+    In.FileName = "copy" + std::to_string(I) + ".c";
+    Inputs.push_back(In);
+  }
+  std::vector<AnalysisResult> Batch = AnalysisSession::analyzeBatch(Inputs);
+  ASSERT_EQ(Batch.size(), 12u);
+  for (size_t I = 1; I < Batch.size(); ++I)
+    expectSameReport(Batch[0], Batch[I]);
+}

@@ -137,8 +137,8 @@ TEST(Analyzer, PackStatisticsReported) {
   auto R = analyzeSource(RateLimiterSrc, [](AnalyzerOptions &O) {
     O.VolatileRanges["in"] = Interval(-100, 100);
   });
-  EXPECT_GE(R.NumOctPacks, 1u);
-  EXPECT_GT(R.AvgOctPackSize, 1.0);
+  EXPECT_GE(R.packCount(DomainKind::Octagon), 1u);
+  EXPECT_GT(R.avgPackCells(DomainKind::Octagon), 1.0);
   EXPECT_FALSE(R.UsefulOctPacks.empty())
       << "the limiter octagon carries relational info at the loop head";
 }
@@ -162,7 +162,7 @@ TEST(Analyzer, NonLinearCodeYieldsNoPacks) {
         O.VolatileRanges["b"] = Interval(0, 1);
       });
   ASSERT_TRUE(R.FrontendOk) << R.FrontendErrors;
-  EXPECT_EQ(R.NumOctPacks, 0u);
+  EXPECT_EQ(R.packCount(DomainKind::Octagon), 0u);
   EXPECT_TRUE(R.UsefulOctPacks.empty());
 }
 
@@ -194,7 +194,7 @@ TEST(Analyzer, RestrictedPacksStillVerify) {
   EXPECT_EQ(alarmsOfKind(Restricted, AlarmKind::ArrayBounds), 0u)
       << "re-running with only the useful packs must keep the proof "
          "(Sect. 7.2.2)";
-  EXPECT_LE(Restricted.NumOctPacks, Full.NumOctPacks);
+  EXPECT_LE(Restricted.packCount(DomainKind::Octagon), Full.packCount(DomainKind::Octagon));
 }
 
 // --- Census fields (Sect. 9.4.1) -------------------------------------------

@@ -20,6 +20,7 @@ TEST(SpecDirectives, ParsesAllKinds) {
             @astral partition select_gain
             @astral threshold 500
             @astral unroll 2
+            @astral jobs 4
             @astral entry tick */)",
       Opts);
   EXPECT_TRUE(W.empty()) << W.front();
@@ -31,7 +32,21 @@ TEST(SpecDirectives, ParsesAllKinds) {
   ASSERT_EQ(Opts.ExtraThresholds.size(), 1u);
   EXPECT_EQ(Opts.ExtraThresholds[0], 500.0);
   EXPECT_EQ(Opts.DefaultUnroll, 2u);
+  EXPECT_EQ(Opts.Jobs, 4u);
   EXPECT_EQ(Opts.EntryFunction, "tick");
+}
+
+TEST(SpecDirectives, MalformedJobsWarns) {
+  for (const char *Bad :
+       {"/* @astral jobs many */", "/* @astral jobs -1 */",
+        "/* @astral jobs 99999999 */"}) {
+    AnalyzerOptions Opts;
+    std::vector<std::string> W = applySpecDirectives(Bad, Opts);
+    ASSERT_EQ(W.size(), 1u) << Bad;
+    EXPECT_NE(W[0].find("jobs"), std::string::npos);
+    EXPECT_EQ(Opts.Jobs, 1u)
+        << Bad << ": a malformed or out-of-range directive must not apply";
+  }
 }
 
 TEST(SpecDirectives, TrailingCommentCloserIsTolerated) {

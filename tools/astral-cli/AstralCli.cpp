@@ -4,21 +4,27 @@
 // Safety-Critical Software" (PLDI 2003).
 //
 // End-to-end driver: preprocess -> parse -> sema -> lower -> fixpoint ->
-// alarms over a real input file, with the Sect. 3.2 "adaptation by
-// parametrization" exposed as flags and as `@astral` spec directives
+// alarms over one or more real input files, with the Sect. 3.2 "adaptation
+// by parametrization" exposed as flags and as `@astral` spec directives
 // embedded in the input's comments.
 //
-//   astral-cli <file> [--octagons] [--no-packing] [--dump-invariants] [--json]
+//   astral-cli <file>... [--jobs=N] [--dump-invariants] [--json]
+//
+// Several input files form a batch: AnalysisSession::analyzeBatch schedules
+// whole files across one worker pool (--jobs) and the reports print in
+// input order (a JSON array in --json mode).
 //
 // Exit codes: 0 analysis completed (alarms allowed), 1 usage or I/O error,
-// 2 frontend (preprocess/parse/sema/lower) failure, 3 alarms raised while
-// --fail-on-alarms is active.
+// 2 frontend (preprocess/parse/sema/lower) failure on any file, 3 alarms
+// raised while --fail-on-alarms is active.
 //
 //===----------------------------------------------------------------------===//
 
-#include "analyzer/Analyzer.h"
+#include "analyzer/AnalysisSession.h"
+#include "analyzer/Scheduler.h"
 #include "analyzer/SpecDirectives.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,7 +42,7 @@ using namespace astral;
 namespace {
 
 struct CliOptions {
-  std::string InputPath;
+  std::vector<std::string> InputPaths;
   bool DumpInvariants = false;
   bool Json = false;
   bool Quiet = false;
@@ -48,12 +54,21 @@ struct CliOptions {
 
 void printUsage(std::FILE *Out) {
   std::fputs(
-      "usage: astral-cli <file> [options]\n"
+      "usage: astral-cli <file>... [options]\n"
       "\n"
       "Runs the full ASTRAL pipeline (preprocess, parse, sema, lower,\n"
-      "fixpoint, alarm checking) on <file> and prints an analysis report.\n"
-      "C++ example harnesses (examples/*.cpp) are handled by extracting the\n"
-      "embedded raw-string input program. `-` reads from stdin.\n"
+      "fixpoint, alarm checking) on each <file> and prints the analysis\n"
+      "reports in input order. Several files form a batch scheduled across\n"
+      "the --jobs worker pool. C++ example harnesses (examples/*.cpp) are\n"
+      "handled by extracting the embedded raw-string input program. `-`\n"
+      "reads from stdin.\n"
+      "\n"
+      "execution policy:\n"
+      "  --jobs <n>, --jobs=<n>       worker threads for the parallel\n"
+      "                               lattice/reduction stages and for\n"
+      "                               scheduling batch files (default: 1;\n"
+      "                               0 = one per hardware thread). Reports\n"
+      "                               are byte-identical for every value.\n"
       "\n"
       "domain selection:\n"
       "  --domains=<list>             enabled abstract domains, a comma-\n"
@@ -85,7 +100,8 @@ void printUsage(std::FILE *Out) {
       "  directives: `/* @astral volatile speed 0 300 */`,\n"
       "  `@astral clock-max 3.6e6`, `@astral partition f`,\n"
       "  `@astral threshold 500`, `@astral entry main`,\n"
-      "  `@astral domains interval,octagon` (flags override directives).\n"
+      "  `@astral domains interval,octagon`, `@astral jobs 4`\n"
+      "  (flags override directives).\n"
       "\n"
       "output:\n"
       "  --dump-invariants            print the main loop invariant\n"
@@ -259,9 +275,10 @@ std::string jsonEscape(const std::string &S) {
   return Out;
 }
 
-void printJsonReport(const CliOptions &Cli, const AnalysisResult &R) {
+void printJsonReport(const CliOptions &Cli, const std::string &Path,
+                     const AnalysisResult &R) {
   std::printf("{\n");
-  std::printf("  \"file\": \"%s\",\n", jsonEscape(Cli.InputPath).c_str());
+  std::printf("  \"file\": \"%s\",\n", jsonEscape(Path).c_str());
   std::printf("  \"frontend_ok\": %s,\n", R.FrontendOk ? "true" : "false");
   if (!R.FrontendOk) {
     std::printf("  \"frontend_errors\": \"%s\"\n",
@@ -278,11 +295,11 @@ void printJsonReport(const CliOptions &Cli, const AnalysisResult &R) {
   std::printf("  \"cells\": %llu,\n",
               static_cast<unsigned long long>(R.NumCells));
   std::printf("  \"octagon_packs\": %llu,\n",
-              static_cast<unsigned long long>(R.NumOctPacks));
+              static_cast<unsigned long long>(R.packCount(DomainKind::Octagon)));
   std::printf("  \"tree_packs\": %llu,\n",
-              static_cast<unsigned long long>(R.NumTreePacks));
+              static_cast<unsigned long long>(R.packCount(DomainKind::DecisionTree)));
   std::printf("  \"ellipsoid_packs\": %llu,\n",
-              static_cast<unsigned long long>(R.NumEllPacks));
+              static_cast<unsigned long long>(R.packCount(DomainKind::Ellipsoid)));
   std::printf("  \"analysis_seconds\": %.6f,\n", R.AnalysisSeconds);
   std::printf("  \"has_main_loop\": %s,\n", R.HasMainLoop ? "true" : "false");
 
@@ -330,9 +347,10 @@ void printJsonReport(const CliOptions &Cli, const AnalysisResult &R) {
   std::printf("\n}\n");
 }
 
-void printTextReport(const CliOptions &Cli, const AnalysisResult &R) {
+void printTextReport(const CliOptions &Cli, const std::string &Path,
+                     const AnalysisResult &R) {
   if (!Cli.Quiet) {
-    std::printf("== astral: %s ==\n", Cli.InputPath.c_str());
+    std::printf("== astral: %s ==\n", Path.c_str());
     std::printf("  source lines         %llu\n",
                 static_cast<unsigned long long>(R.SourceLines));
     std::printf("  variables            %llu (%llu used)\n",
@@ -342,12 +360,12 @@ void printTextReport(const CliOptions &Cli, const AnalysisResult &R) {
                 static_cast<unsigned long long>(R.NumCells),
                 static_cast<unsigned long long>(R.ExpandedArrayCells));
     std::printf("  octagon packs        %llu (avg %.1f vars, %zu useful)\n",
-                static_cast<unsigned long long>(R.NumOctPacks),
-                R.AvgOctPackSize, R.UsefulOctPacks.size());
+                static_cast<unsigned long long>(R.packCount(DomainKind::Octagon)),
+                R.avgPackCells(DomainKind::Octagon), R.UsefulOctPacks.size());
     std::printf("  decision-tree packs  %llu\n",
-                static_cast<unsigned long long>(R.NumTreePacks));
+                static_cast<unsigned long long>(R.packCount(DomainKind::DecisionTree)));
     std::printf("  ellipsoid packs      %llu\n",
-                static_cast<unsigned long long>(R.NumEllPacks));
+                static_cast<unsigned long long>(R.packCount(DomainKind::Ellipsoid)));
     std::printf("  analysis time        %.3f s\n", R.AnalysisSeconds);
     std::printf("  abstract-state peak  %.1f MB\n",
                 R.PeakAbstractBytes / 1048576.0);
@@ -464,6 +482,25 @@ int main(int argc, char **argv) {
       Cli.FlagOps.push_back([](AnalyzerOptions &O) {
         O.Domains.enable(DomainKind::Clocked, false);
       });
+    } else if (A == "--jobs" || A.rfind("--jobs=", 0) == 0) {
+      std::string Val;
+      if (A == "--jobs") {
+        auto V = NextValue(I, "--jobs");
+        if (!V)
+          return 1;
+        Val = *V;
+      } else {
+        Val = A.substr(std::string("--jobs=").size());
+      }
+      std::optional<unsigned> N = parseUnsignedFlag(Val);
+      if (!N || *N > Scheduler::MaxThreads) {
+        std::fprintf(stderr,
+                     "astral-cli: error: --jobs expects an integer in "
+                     "[0, %u], got '%s'\n",
+                     Scheduler::MaxThreads, Val.c_str());
+        return 1;
+      }
+      Cli.FlagOps.push_back([N](AnalyzerOptions &O) { O.Jobs = *N; });
     } else if (A == "--no-linearize") {
       Cli.FlagOps.push_back(
           [](AnalyzerOptions &O) { O.EnableLinearization = false; });
@@ -574,76 +611,98 @@ int main(int argc, char **argv) {
                    A.c_str());
       printUsage(stderr);
       return 1;
-    } else if (Cli.InputPath.empty()) {
-      Cli.InputPath = A;
-    } else {
-      std::fprintf(stderr, "astral-cli: error: multiple input files\n");
-      return 1;
+    } else if (A.empty() || A[0] != '-' || A == "-") {
+      Cli.InputPaths.push_back(A);
     }
   }
 
-  if (Cli.InputPath.empty()) {
+  if (Cli.InputPaths.empty()) {
     printUsage(stderr);
     return 1;
   }
-
-  std::optional<std::string> Text = readFile(Cli.InputPath);
-  if (!Text) {
-    std::fprintf(stderr, "astral-cli: error: cannot read '%s'\n",
-                 Cli.InputPath.c_str());
+  // A second '-' would read an already-drained stdin as an empty program.
+  if (std::count(Cli.InputPaths.begin(), Cli.InputPaths.end(), "-") > 1) {
+    std::fprintf(stderr, "astral-cli: error: stdin ('-') may be given only "
+                         "once\n");
     return 1;
   }
 
-  AnalysisInput In;
-  In.FileName = Cli.InputPath;
-  In.Source = *Text;
-  if (looksLikeCxxHarness(*Text)) {
-    std::optional<std::string> Embedded = extractRawString(*Text);
-    if (!Embedded) {
-      std::fprintf(stderr,
-                   "astral-cli: error: '%s' is a C++ harness with no "
-                   "embedded input program\n",
-                   Cli.InputPath.c_str());
+  // Build every input up front (the batch is scheduled as a whole).
+  std::vector<AnalysisInput> Inputs;
+  for (const std::string &Path : Cli.InputPaths) {
+    std::optional<std::string> Text = readFile(Path);
+    if (!Text) {
+      std::fprintf(stderr, "astral-cli: error: cannot read '%s'\n",
+                   Path.c_str());
       return 1;
     }
-    if (!Cli.Quiet && !Cli.Json)
-      std::fprintf(stderr,
-                   "astral-cli: note: extracted the embedded input program "
-                   "from C++ harness '%s'\n",
-                   Cli.InputPath.c_str());
-    In.Source = *Embedded;
-  }
 
-  // Defaults, then the input's @astral spec directives, then command-line
-  // flags — so flags override directives, and directives override defaults.
-  In.Options = AnalyzerOptions{};
-  for (const std::string &W : applySpecDirectives(In.Source, In.Options))
-    std::fprintf(stderr, "astral-cli: warning: %s: %s\n",
-                 Cli.InputPath.c_str(), W.c_str());
-  for (const auto &Op : Cli.FlagOps)
-    Op(In.Options);
-  if (Cli.DumpInvariants)
-    In.Options.RecordLoopInvariants = true;
-
-  preloadIncludes(In.Source, dirName(Cli.InputPath), In.Headers);
-
-  AnalysisResult R = Analyzer::analyze(In);
-  if (!R.FrontendOk) {
-    if (Cli.Json) {
-      printJsonReport(Cli, R);
-    } else {
-      std::fprintf(stderr, "astral-cli: frontend errors:\n%s\n",
-                   R.FrontendErrors.c_str());
+    AnalysisInput In;
+    In.FileName = Path;
+    In.Source = *Text;
+    if (looksLikeCxxHarness(*Text)) {
+      std::optional<std::string> Embedded = extractRawString(*Text);
+      if (!Embedded) {
+        std::fprintf(stderr,
+                     "astral-cli: error: '%s' is a C++ harness with no "
+                     "embedded input program\n",
+                     Path.c_str());
+        return 1;
+      }
+      if (!Cli.Quiet && !Cli.Json)
+        std::fprintf(stderr,
+                     "astral-cli: note: extracted the embedded input program "
+                     "from C++ harness '%s'\n",
+                     Path.c_str());
+      In.Source = *Embedded;
     }
-    return 2;
+
+    // Defaults, then the input's @astral spec directives, then command-line
+    // flags — so flags override directives, and directives override
+    // defaults.
+    In.Options = AnalyzerOptions{};
+    for (const std::string &W : applySpecDirectives(In.Source, In.Options))
+      std::fprintf(stderr, "astral-cli: warning: %s: %s\n", Path.c_str(),
+                   W.c_str());
+    for (const auto &Op : Cli.FlagOps)
+      Op(In.Options);
+    if (Cli.DumpInvariants)
+      In.Options.RecordLoopInvariants = true;
+
+    preloadIncludes(In.Source, dirName(Path), In.Headers);
+    Inputs.push_back(std::move(In));
   }
 
-  if (Cli.Json)
-    printJsonReport(Cli, R);
-  else
-    printTextReport(Cli, R);
+  std::vector<AnalysisResult> Results = AnalysisSession::analyzeBatch(Inputs);
 
-  if (Cli.FailOnAlarms && !R.Alarms.empty())
+  bool Batch = Results.size() > 1;
+  bool AnyFrontendError = false, AnyAlarm = false;
+  if (Cli.Json && Batch)
+    std::printf("[\n");
+  for (size_t I = 0; I < Results.size(); ++I) {
+    const AnalysisResult &R = Results[I];
+    const std::string &Path = Cli.InputPaths[I];
+    AnyFrontendError = AnyFrontendError || !R.FrontendOk;
+    AnyAlarm = AnyAlarm || !R.Alarms.empty();
+    if (Cli.Json) {
+      printJsonReport(Cli, Path, R);
+      if (Batch && I + 1 < Results.size())
+        std::printf(",\n");
+    } else if (!R.FrontendOk) {
+      std::fprintf(stderr, "astral-cli: frontend errors in '%s':\n%s\n",
+                   Path.c_str(), R.FrontendErrors.c_str());
+    } else {
+      if (Batch && I > 0)
+        std::printf("\n");
+      printTextReport(Cli, Path, R);
+    }
+  }
+  if (Cli.Json && Batch)
+    std::printf("]\n");
+
+  if (AnyFrontendError)
+    return 2;
+  if (Cli.FailOnAlarms && AnyAlarm)
     return 3;
   return 0;
 }
