@@ -8,10 +8,18 @@
 // why the analyzer partitions variables into many small packs ("a linear
 // number of constant-sized octagons, effectively resulting in a cost linear
 // in the size of the program", 7.2.1). We measure closure cost against pack
-// size (expect ~k^3 growth) and total cost against the number of packs at
-// fixed size (expect linear growth).
+// size (expect ~k^3 growth for the full sweep, ~k^2 for the incremental
+// closure of a single dirty variable) and total cost against the number of
+// packs at fixed size (expect linear growth).
+//
+// The plain-text OCTCLOSE section at the end runs the fig2 scaling members
+// through the whole analyzer under both closure disciplines
+// (--octagon-closure=full vs incremental) and prints machine-readable rows
+// that scripts/bench_domains.sh folds into BENCH_octagon.json.
 //
 //===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
 
 #include "domains/Octagon.h"
 
@@ -22,13 +30,19 @@
 #include <vector>
 
 using namespace astral;
+using namespace astral::benchutil;
 
 namespace {
-Octagon makeChainOctagon(int K) {
+std::shared_ptr<OctagonClosureStats> benchStats() {
+  static auto Stats = std::make_shared<OctagonClosureStats>();
+  return Stats;
+}
+
+Octagon makeChainOctagon(int K, OctClosureMode Mode) {
   std::vector<CellId> Cells;
   for (int I = 0; I < K; ++I)
     Cells.push_back(static_cast<CellId>(I));
-  Octagon O(Cells);
+  Octagon O(Cells, Mode, benchStats());
   auto Top = [](CellId) { return Interval::top(); };
   for (int I = 0; I + 1 < K; ++I) {
     LinearForm F = LinearForm::var(static_cast<CellId>(I))
@@ -40,16 +54,28 @@ Octagon makeChainOctagon(int K) {
   return O;
 }
 
-void benchClosureBySize(benchmark::State &State) {
+// One closure of a chain octagon whose last mutation dirtied a single
+// variable — the shape of the post-transfer closure on the hot path. The
+// full sweep re-runs Floyd-Warshall (~K^3); the incremental discipline
+// propagates through the dirty rows/columns only (~K^2).
+void benchClosureBySize(benchmark::State &State, OctClosureMode Mode) {
   int K = static_cast<int>(State.range(0));
   for (auto _ : State) {
     State.PauseTiming();
-    Octagon O = makeChainOctagon(K);
+    Octagon O = makeChainOctagon(K, Mode);
     State.ResumeTiming();
     O.close();
     benchmark::DoNotOptimize(O.isBottom());
   }
   State.SetComplexityN(K);
+}
+
+void benchClosureBySizeFull(benchmark::State &State) {
+  benchClosureBySize(State, OctClosureMode::Full);
+}
+
+void benchClosureBySizeIncremental(benchmark::State &State) {
+  benchClosureBySize(State, OctClosureMode::Incremental);
 }
 
 void benchManySmallPacks(benchmark::State &State) {
@@ -60,7 +86,7 @@ void benchManySmallPacks(benchmark::State &State) {
     std::vector<Octagon> Os;
     Os.reserve(Packs);
     for (int P = 0; P < Packs; ++P)
-      Os.push_back(makeChainOctagon(PackSize));
+      Os.push_back(makeChainOctagon(PackSize, OctClosureMode::Incremental));
     State.ResumeTiming();
     for (Octagon &O : Os)
       O.close();
@@ -71,9 +97,9 @@ void benchManySmallPacks(benchmark::State &State) {
 
 void benchJoinBySize(benchmark::State &State) {
   int K = static_cast<int>(State.range(0));
-  Octagon A = makeChainOctagon(K);
+  Octagon A = makeChainOctagon(K, OctClosureMode::Incremental);
   A.close();
-  Octagon B = makeChainOctagon(K);
+  Octagon B = makeChainOctagon(K, OctClosureMode::Incremental);
   B.meetVarInterval(0, Interval(5, 9));
   B.close();
   for (auto _ : State) {
@@ -83,13 +109,101 @@ void benchJoinBySize(benchmark::State &State) {
   }
 }
 
-BENCHMARK(benchClosureBySize)
+// indexOf runs once per transfer per pack; compare the sorted flat lookup
+// against the linear scan it replaced.
+void benchIndexOfFlat(benchmark::State &State) {
+  int K = static_cast<int>(State.range(0));
+  // Non-contiguous cell ids, as produced by real packings.
+  std::vector<CellId> Cells;
+  for (int I = 0; I < K; ++I)
+    Cells.push_back(static_cast<CellId>(7 * I + 3));
+  Octagon O(Cells, OctClosureMode::Incremental, nullptr);
+  for (auto _ : State) {
+    int Acc = 0;
+    for (CellId C = 0; C < static_cast<CellId>(7 * K + 4); ++C)
+      Acc += O.indexOf(C);
+    benchmark::DoNotOptimize(Acc);
+  }
+}
+
+void benchIndexOfLinearReference(benchmark::State &State) {
+  int K = static_cast<int>(State.range(0));
+  std::vector<CellId> Cells;
+  for (int I = 0; I < K; ++I)
+    Cells.push_back(static_cast<CellId>(7 * I + 3));
+  auto LinearIndexOf = [&Cells](CellId C) -> int {
+    for (size_t I = 0; I < Cells.size(); ++I)
+      if (Cells[I] == C)
+        return static_cast<int>(I);
+    return -1;
+  };
+  for (auto _ : State) {
+    int Acc = 0;
+    for (CellId C = 0; C < static_cast<CellId>(7 * K + 4); ++C)
+      Acc += LinearIndexOf(C);
+    benchmark::DoNotOptimize(Acc);
+  }
+}
+
+BENCHMARK(benchClosureBySizeFull)
     ->DenseRange(2, 16, 2)
     ->MinTime(0.05)
     ->Complexity(benchmark::oNCubed);
+BENCHMARK(benchClosureBySizeIncremental)
+    ->DenseRange(2, 16, 2)
+    ->MinTime(0.05)
+    ->Complexity(benchmark::oNSquared);
 BENCHMARK(benchManySmallPacks)->RangeMultiplier(4)->Range(16, 1024)
     ->Complexity(benchmark::oN);
 BENCHMARK(benchJoinBySize)->DenseRange(2, 16, 2);
+BENCHMARK(benchIndexOfFlat)->DenseRange(4, 16, 4);
+BENCHMARK(benchIndexOfLinearReference)->DenseRange(4, 16, 4);
+
+/// Whole-analyzer differential: the fig2 scaling members under both closure
+/// disciplines. Rows are machine-readable for scripts/bench_domains.sh:
+///   OCTCLOSE lines=N kloc=K mode=full|incremental seconds=S s_per_kloc=P
+///            closures_full=A closures_incremental=B alarms=C
+int runFig2ClosureComparison() {
+  std::puts("OCTCLOSE — closure discipline on the fig2 scaling members");
+  std::puts("(full = Floyd-Warshall sweep after every transfer; incremental "
+            "= dirty-row/");
+  std::puts("column propagation; reports are byte-identical, only the work "
+            "changes)");
+  std::vector<unsigned> Lines = {1000, 2000, 4000, 8000};
+  if (fullRuns()) {
+    Lines.push_back(16000);
+    Lines.push_back(32000);
+  }
+  for (unsigned L : Lines) {
+    codegen::GeneratorConfig C;
+    C.TargetLines = L;
+    C.Seed = 1234;
+    codegen::FamilyProgram FP = codegen::generateFamilyProgram(C);
+    for (OctClosureMode Mode :
+         {OctClosureMode::Full, OctClosureMode::Incremental}) {
+      AnalysisResult R = analyzeFamily(
+          FP, [Mode](AnalyzerOptions &O) { O.OctagonClosure = Mode; });
+      if (!R.FrontendOk) {
+        std::printf("  frontend failed: %s\n", R.FrontendErrors.c_str());
+        return 1;
+      }
+      double KLoc = FP.LineCount / 1000.0;
+      std::printf("OCTCLOSE lines=%u kloc=%.1f mode=%s seconds=%.3f "
+                  "s_per_kloc=%.4f closures_full=%llu "
+                  "closures_incremental=%llu alarms=%zu\n",
+                  FP.LineCount, KLoc,
+                  Mode == OctClosureMode::Full ? "full" : "incremental",
+                  R.AnalysisSeconds, R.AnalysisSeconds / KLoc,
+                  static_cast<unsigned long long>(
+                      R.Stats.get("analysis.octagon_closures_full")),
+                  static_cast<unsigned long long>(
+                      R.Stats.get("analysis.octagon_closures_incremental")),
+                  R.alarmCount());
+    }
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -98,10 +212,21 @@ int main(int argc, char **argv) {
             "packs give a");
   std::puts("total cost linear in program size (2,600 packs of ~4 vars on "
             "75 kLOC).");
-  std::puts("expected: ClosureBySize fits ~N^3; ManySmallPacks fits ~N.");
+  std::puts("expected: ClosureBySizeFull fits ~N^3, "
+            "ClosureBySizeIncremental ~N^2; ManySmallPacks fits ~N.");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  std::printf("total closures performed: %llu\n",
-              static_cast<unsigned long long>(Octagon::closureCount()));
-  return 0;
+  std::printf("micro-bench closures performed: full=%llu incremental=%llu\n",
+              static_cast<unsigned long long>(benchStats()->full()),
+              static_cast<unsigned long long>(benchStats()->incremental()));
+  hr();
+  // The whole-analyzer sweep is the expensive part; ASTRAL_BENCH_OCTCLOSE=0
+  // skips it so the nightly workflow's run-everything pass does not repeat
+  // the work bench_domains.sh redoes for BENCH_octagon.json.
+  const char *Gate = std::getenv("ASTRAL_BENCH_OCTCLOSE");
+  if (Gate && Gate[0] == '0') {
+    std::puts("OCTCLOSE skipped (ASTRAL_BENCH_OCTCLOSE=0)");
+    return 0;
+  }
+  return runFig2ClosureComparison();
 }

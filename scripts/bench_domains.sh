@@ -1,23 +1,27 @@
 #!/usr/bin/env bash
 # Nightly bench trajectory: runs the paper-experiment harnesses that track
 # analyzer performance — bench_fig2_scaling (time vs kLOC, Fig. 2),
-# bench_packing_opt (abstract-state memory, Sect. 7.2.2) and
-# bench_parallel_jobs (speedup vs --jobs, the Monniaux parallel direction) —
-# and folds their numbers into machine-readable BENCH_domains.json and
-# BENCH_parallel.json, so this and future perf PRs show their trajectory.
+# bench_packing_opt (abstract-state memory, Sect. 7.2.2),
+# bench_parallel_jobs (speedup vs --jobs, the Monniaux parallel direction)
+# and bench_octagon_cost's closure-discipline comparison — and folds their
+# numbers into machine-readable BENCH_domains.json, BENCH_parallel.json and
+# BENCH_octagon.json, so this and future perf PRs show their trajectory.
 #
-# Usage: scripts/bench_domains.sh [build-dir] [output.json] [parallel.json]
+# Usage: scripts/bench_domains.sh [build-dir] [output.json] [parallel.json] \
+#                                 [octagon.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD=${1:-build}
 OUT=${2:-BENCH_domains.json}
 PAR_OUT=${3:-BENCH_parallel.json}
+OCT_OUT=${4:-BENCH_octagon.json}
 
 FIG2="$BUILD/bench/bench_fig2_scaling"
 PACKING="$BUILD/bench/bench_packing_opt"
 PARALLEL="$BUILD/bench/bench_parallel_jobs"
-for bin in "$FIG2" "$PACKING" "$PARALLEL"; do
+OCTCOST="$BUILD/bench/bench_octagon_cost"
+for bin in "$FIG2" "$PACKING" "$PARALLEL" "$OCTCOST"; do
   if [[ ! -x "$bin" ]]; then
     echo "bench_domains: missing $bin (build with -DASTRAL_BUILD_BENCH=ON)" >&2
     exit 1
@@ -135,3 +139,53 @@ $BATCH_JSON
 EOF
 
 echo "bench_domains: wrote $PAR_OUT"
+
+# ---------------------------------------------------------------------------
+# BENCH_octagon.json: closure-discipline comparison from bench_octagon_cost.
+# Rows: "OCTCLOSE lines=N kloc=K mode=full|incremental seconds=S
+#        s_per_kloc=P closures_full=A closures_incremental=B alarms=C".
+# The micro-benchmarks are skipped (--benchmark_filter matching nothing);
+# only the whole-analyzer fig2 comparison feeds the JSON.
+# ---------------------------------------------------------------------------
+if ! OCT_RAW=$("$OCTCOST" --benchmark_filter='^$' 2>/dev/null); then
+  echo "bench_domains: $OCTCOST failed:" >&2
+  printf '%s\n' "$OCT_RAW" >&2
+  exit 1
+fi
+
+OCT_JSON=$(printf '%s\n' "$OCT_RAW" | awk '
+  $1 == "OCTCLOSE" && NF > 2 {
+    lines = kloc = mode = seconds = perk = cf = ci = alarms = ""
+    for (i = 2; i <= NF; i++) {
+      split($i, kv, "=")
+      if (kv[1] == "lines") lines = kv[2]
+      if (kv[1] == "kloc") kloc = kv[2]
+      if (kv[1] == "mode") mode = kv[2]
+      if (kv[1] == "seconds") seconds = kv[2]
+      if (kv[1] == "s_per_kloc") perk = kv[2]
+      if (kv[1] == "closures_full") cf = kv[2]
+      if (kv[1] == "closures_incremental") ci = kv[2]
+      if (kv[1] == "alarms") alarms = kv[2]
+    }
+    if (lines == "") next
+    rows[n++] = sprintf("    {\"lines\": %s, \"kloc\": %s, \"mode\": \"%s\", \"seconds\": %s, \"s_per_kloc\": %s, \"closures_full\": %s, \"closures_incremental\": %s, \"alarms\": %s}",
+                        lines, kloc, mode, seconds, perk, cf, ci, alarms)
+  }
+  END { for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i + 1 < n ? "," : "") }')
+
+if [[ -z "$OCT_JSON" ]]; then
+  echo "bench_domains: could not parse bench_octagon_cost OCTCLOSE rows" >&2
+  exit 1
+fi
+
+cat > "$OCT_OUT" <<EOJSON
+{
+  "generated": "$DATE",
+  "git": "$GIT_REV",
+  "members": [
+$OCT_JSON
+  ]
+}
+EOJSON
+
+echo "bench_domains: wrote $OCT_OUT"

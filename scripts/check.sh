@@ -21,7 +21,7 @@ echo "== tsan: ThreadSanitizer build + parallel suites =="
 cmake -B build-tsan -S . -DASTRAL_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$JOBS"
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-      -R "test_scheduler|test_analysis_session|test_iterator|test_domain_registry"
+      -R "test_scheduler|test_analysis_session|test_iterator|test_domain_registry|test_octagon"
 
 echo
 echo "== smoke: astral-cli end-to-end =="

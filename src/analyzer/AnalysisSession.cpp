@@ -225,7 +225,17 @@ const AnalysisSession::ExecutionPhase &AnalysisSession::runAbstractExecution() {
   E.Alarms = Alarms.alarms();
   E.LoopInvariants = Iter.loopInvariants();
   E.RelPackImproved = Iter.transfer().RelPackImproved;
-  E.Stats.set("analysis.octagon_closures", Octagon::closureCount());
+  // Closure work metering is per-session: the registry hands one counter
+  // sink to every octagon state it creates, so concurrent analyzeBatch
+  // files no longer read each other's closure counts. The legacy total is
+  // kept; the full/incremental split meters the closure discipline itself.
+  const std::shared_ptr<OctagonClosureStats> &OctStats =
+      P.Registry->octagonClosureStats();
+  uint64_t FullSweeps = OctStats ? OctStats->full() : 0;
+  uint64_t IncSweeps = OctStats ? OctStats->incremental() : 0;
+  E.Stats.set("analysis.octagon_closures", FullSweeps + IncSweeps);
+  E.Stats.set("analysis.octagon_closures_full", FullSweeps);
+  E.Stats.set("analysis.octagon_closures_incremental", IncSweeps);
   Exec = std::move(E);
   return *Exec;
 }

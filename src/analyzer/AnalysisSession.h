@@ -31,9 +31,10 @@
 /// pack census, everything the report layer prints — are byte-identical
 /// for every Jobs value: slot results are computed independently and
 /// applied in deterministic slot order. Work-metering figures are not:
-/// peak abstract bytes and the octagon-closure counter are process-wide,
-/// and a parallel inclusion check evaluates slots a sequential one would
-/// short-circuit past.
+/// peak abstract bytes are process-wide, and a parallel inclusion check
+/// evaluates slots a sequential one would short-circuit past. The octagon
+/// closure counters, by contrast, are per-session (the DomainRegistry owns
+/// the sink), so batch files meter their own closure work.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -138,10 +139,10 @@ public:
 
   /// Analyzes every input, scheduling whole files across one shared pool
   /// sized by the maximum Jobs of the batch. Results are in input order
-  /// and semantically identical to analyzing each file alone; the
-  /// work-metering figures (PeakAbstractBytes, octagon-closure and similar
-  /// process-wide counters) interleave across concurrent files and are
-  /// only meaningful for single-file runs.
+  /// and semantically identical to analyzing each file alone. Per-session
+  /// work meters (the octagon closure counters) stay per-file; only the
+  /// process-wide PeakAbstractBytes figure interleaves across concurrent
+  /// files and is only meaningful for single-file runs.
   static std::vector<AnalysisResult>
   analyzeBatch(const std::vector<AnalysisInput> &Inputs);
 

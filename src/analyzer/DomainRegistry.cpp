@@ -29,9 +29,17 @@ DomainState::Ptr OctagonState::bottomLike() const {
 }
 
 bool OctagonState::leq(const DomainState &O) const {
+  // Closure is demanded through Octagon::close(), the cached entry point:
+  // states published by the transfer functions are already closed, so the
+  // common case compares in place. Only the deliberately non-closed
+  // representations (widening/narrowing results) pay the copy — shared
+  // states are immutable, so closure may not happen in place here.
+  const Octagon &B = static_cast<const OctagonState &>(O).Oct;
+  if (Oct.isClosed())
+    return Oct.leq(B);
   Octagon AC(Oct);
   AC.close();
-  return AC.leq(static_cast<const OctagonState &>(O).Oct);
+  return AC.leq(B);
 }
 
 bool OctagonState::equal(const DomainState &O) const {
@@ -41,18 +49,28 @@ bool OctagonState::equal(const DomainState &O) const {
 DomainState::Ptr OctagonState::join(const DomainState &O) const {
   auto N = std::make_shared<OctagonState>(Oct);
   N->Oct.close();
-  Octagon BC(static_cast<const OctagonState &>(O).Oct);
-  BC.close();
-  N->Oct.joinWith(BC);
+  const Octagon &B = static_cast<const OctagonState &>(O).Oct;
+  if (B.isClosed()) {
+    N->Oct.joinWith(B);
+  } else {
+    Octagon BC(B);
+    BC.close();
+    N->Oct.joinWith(BC);
+  }
   return N;
 }
 
 DomainState::Ptr OctagonState::widen(const DomainState &O, const Thresholds &T,
                                      bool WithThresholds) const {
   auto N = std::make_shared<OctagonState>(Oct);
-  Octagon BC(static_cast<const OctagonState &>(O).Oct);
-  BC.close();
-  N->Oct.widenWith(BC, T, WithThresholds);
+  const Octagon &B = static_cast<const OctagonState &>(O).Oct;
+  if (B.isClosed()) {
+    N->Oct.widenWith(B, T, WithThresholds);
+  } else {
+    Octagon BC(B);
+    BC.close();
+    N->Oct.widenWith(BC, T, WithThresholds);
+  }
   return N;
 }
 
@@ -749,8 +767,10 @@ std::vector<PackId> sortedUnique(std::vector<PackId> Touched) {
 
 class OctagonDomain final : public RelationalDomain {
 public:
-  explicit OctagonDomain(const Packing &Pk)
-      : RelationalDomain(DomainKind::Octagon), Packs(Pk) {}
+  OctagonDomain(const Packing &Pk, OctClosureMode Mode,
+                std::shared_ptr<OctagonClosureStats> Stats)
+      : RelationalDomain(DomainKind::Octagon), Packs(Pk), Mode(Mode),
+        ClosureStats(std::move(Stats)) {}
 
   size_t numPacks() const override { return Packs.OctPacks.size(); }
   const std::vector<PackId> &packsOf(CellId C) const override {
@@ -760,7 +780,8 @@ public:
     return Packs.OctPacks[P].Cells.size();
   }
   DomainState::Ptr topFor(PackId P) const override {
-    return std::make_shared<OctagonState>(Octagon(Packs.OctPacks[P].Cells));
+    return std::make_shared<OctagonState>(
+        Octagon(Packs.OctPacks[P].Cells, Mode, ClosureStats));
   }
 
   std::vector<PackId> planGuard(RelGuard &G,
@@ -809,6 +830,8 @@ public:
 
 private:
   const Packing &Packs;
+  OctClosureMode Mode;
+  std::shared_ptr<OctagonClosureStats> ClosureStats;
 };
 
 class DecisionTreeDomain final : public RelationalDomain {
@@ -918,8 +941,10 @@ DomainRegistry::DomainRegistry(const Packing &Packs,
   };
   // Registration order is the reduction order (and the paper's presentation
   // order): octagons, decision trees, ellipsoids.
-  if (Opts.domainEnabled(DomainKind::Octagon))
-    Add(std::make_unique<OctagonDomain>(Packs));
+  if (Opts.domainEnabled(DomainKind::Octagon)) {
+    OctStats = std::make_shared<OctagonClosureStats>();
+    Add(std::make_unique<OctagonDomain>(Packs, Opts.OctagonClosure, OctStats));
+  }
   if (Opts.domainEnabled(DomainKind::DecisionTree))
     Add(std::make_unique<DecisionTreeDomain>(Packs));
   if (Opts.domainEnabled(DomainKind::Ellipsoid))

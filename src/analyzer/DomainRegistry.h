@@ -207,9 +207,17 @@ public:
     return Index[static_cast<size_t>(K)];
   }
 
+  /// Per-registry (hence per-session) octagon closure work meter, shared by
+  /// every octagon state the registry creates. Null when the octagon
+  /// domain is not enabled.
+  const std::shared_ptr<OctagonClosureStats> &octagonClosureStats() const {
+    return OctStats;
+  }
+
 private:
   std::vector<std::unique_ptr<RelationalDomain>> Domains;
   std::array<int, NumDomainKinds> Index;
+  std::shared_ptr<OctagonClosureStats> OctStats;
 };
 
 } // namespace astral

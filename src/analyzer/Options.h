@@ -19,6 +19,7 @@
 #define ASTRAL_ANALYZER_OPTIONS_H
 
 #include "domains/Interval.h"
+#include "domains/Octagon.h"
 #include "domains/RelationalDomain.h"
 
 #include <map>
@@ -39,6 +40,14 @@ struct AnalyzerOptions {
 
   bool EnableLinearization = true; ///< Symbolic linearization (6.3) — an
                                    ///< expression rewrite, not a domain.
+
+  /// Octagon closure discipline (--octagon-closure=full|incremental):
+  /// incremental closure propagates only through the dirty rows/columns of
+  /// a pack's DBM (O((2k)^2) per touched variable) instead of re-running
+  /// the full Floyd-Warshall sweep (O((2k)^3)) after every transfer. Both
+  /// modes compute the same canonical closure; `full` is kept for
+  /// differential benching.
+  OctClosureMode OctagonClosure = OctClosureMode::Incremental;
 
   // -- Widening / iteration strategy (Sect. 5.5, 7.1) -----------------------
   bool WideningWithThresholds = true; ///< Off = plain interval widening.

@@ -98,6 +98,18 @@ astral::applySpecDirectives(const std::string &Source, AnalyzerOptions &Opts) {
           Opts.DefaultUnroll = N;
         else
           Malformed("unroll", "<n>");
+      } else if (Kind == "octagon-closure") {
+        // Closure discipline travels with the input like any other
+        // parametrization. Both modes produce identical reports, so a
+        // checked-in spec cannot make a golden run diverge.
+        std::string ModeName;
+        Dir >> ModeName;
+        if (ModeName == "full")
+          Opts.OctagonClosure = OctClosureMode::Full;
+        else if (ModeName == "incremental")
+          Opts.OctagonClosure = OctClosureMode::Incremental;
+        else
+          Malformed("octagon-closure", "<full|incremental>");
       } else if (Kind == "jobs") {
         // Execution policy travels with the input (0 = one worker per
         // hardware thread). Reports stay byte-identical for any value, so a

@@ -549,6 +549,10 @@ void Transfer::relationalAssign(AbstractEnv &Env, CellId Target,
   // therefore stays sequential in slot order on every --jobs value; the
   // scheduler's fan-out lives in the order-independent stages
   // (AbstractEnv's lattice slots, relationalForget, preJoinReduce).
+  // Closure is the adapters' business: a state published by assignCell is
+  // closed exactly once, on demand through the domain's cached entry point
+  // (Octagon::close and its dirty-tracked incremental discipline), so this
+  // layer never closes defensively between slots.
   TransferEvalContext Ctx(*this, Env);
   for (size_t D = 0; D < Reg.size(); ++D) {
     for (PackId Pack : Reg.domain(D).packsOf(Target)) {

@@ -9,14 +9,14 @@
 
 #include "domains/Thresholds.h"
 
-#include <atomic>
+#include <algorithm>
+#include <bit>
 #include <cassert>
+#include <optional>
 
 using namespace astral;
 
 namespace {
-std::atomic<uint64_t> Closures{0};
-
 double addUpInf(double A, double B) {
   if (std::isinf(A) || std::isinf(B))
     return (A > 0 || B > 0) ? INFINITY : -INFINITY;
@@ -24,13 +24,15 @@ double addUpInf(double A, double B) {
 }
 } // namespace
 
-uint64_t Octagon::closureCount() {
-  return Closures.load(std::memory_order_relaxed);
-}
-
-Octagon::Octagon(std::vector<CellId> Cells)
-    : Vars(std::move(Cells)), N(static_cast<int>(Vars.size()) * 2) {
+Octagon::Octagon(std::vector<CellId> Cells, OctClosureMode ClosureMode,
+                 std::shared_ptr<OctagonClosureStats> ClosureStats)
+    : Vars(std::move(Cells)), N(static_cast<int>(Vars.size()) * 2),
+      Mode(ClosureMode), Stats(std::move(ClosureStats)) {
   assert(!Vars.empty() && Vars.size() <= 16 && "pack size out of range");
+  Lookup.reserve(Vars.size());
+  for (size_t I = 0; I < Vars.size(); ++I)
+    Lookup.push_back({Vars[I], static_cast<int>(I)});
+  std::sort(Lookup.begin(), Lookup.end());
   M.assign(static_cast<size_t>(N) * N, INFINITY);
   for (int I = 0; I < N; ++I)
     at(I, I) = 0.0;
@@ -41,15 +43,17 @@ Octagon::Octagon(std::vector<CellId> Cells)
 Octagon::~Octagon() { memtrack::noteFree(M.size() * sizeof(double)); }
 
 Octagon::Octagon(const Octagon &O)
-    : Vars(O.Vars), N(O.N), M(O.M), Closed(O.Closed), Empty(O.Empty) {
+    : Vars(O.Vars), Lookup(O.Lookup), N(O.N), M(O.M),
+      PivotDirty(O.PivotDirty), StarDirty(O.StarDirty), Closed(O.Closed),
+      Empty(O.Empty), Mode(O.Mode), Stats(O.Stats) {
   memtrack::noteAlloc(M.size() * sizeof(double));
 }
 
 int Octagon::indexOf(CellId Cell) const {
-  for (size_t I = 0; I < Vars.size(); ++I)
-    if (Vars[I] == Cell)
-      return static_cast<int>(I);
-  return -1;
+  auto It = std::lower_bound(
+      Lookup.begin(), Lookup.end(), Cell,
+      [](const std::pair<CellId, int> &P, CellId C) { return P.first < C; });
+  return (It != Lookup.end() && It->first == Cell) ? It->second : -1;
 }
 
 bool Octagon::isBottom() const {
@@ -61,36 +65,74 @@ bool Octagon::isBottom() const {
   return false;
 }
 
-bool Octagon::close() {
-  if (Empty)
-    return false;
-  if (Closed)
-    return true;
-  Closures.fetch_add(1, std::memory_order_relaxed);
-  // Floyd-Warshall over the 2k nodes.
-  for (int K = 0; K < N; ++K) {
-    for (int I = 0; I < N; ++I) {
-      double MIK = at(I, K);
-      if (std::isinf(MIK) && MIK > 0)
-        continue;
-      for (int J = 0; J < N; ++J) {
-        double Via = addUpInf(MIK, at(K, J));
-        if (Via < at(I, J))
-          at(I, J) = Via;
-      }
+void Octagon::propagateThrough(int K) {
+  for (int I = 0; I < N; ++I) {
+    double MIK = at(I, K);
+    if (std::isinf(MIK) && MIK > 0)
+      continue;
+    for (int J = 0; J < N; ++J) {
+      double Via = addUpInf(MIK, at(K, J));
+      if (Via < at(I, J))
+        at(I, J) = Via;
     }
   }
+}
+
+bool Octagon::finishClosure() {
   // Strengthening: x_i - x_j <= (x_i - x_bar(i))/2 + (x_bar(j) - x_j)/2.
+  // Entries the strengthening lowers are constraints the propagation pass
+  // has not seen — the closed form here (matching the historical full
+  // algorithm) is "path-closed, then strengthened once", not a joint
+  // fixpoint of both rules. Those entries therefore become the carried
+  // dirty work of the *next* closure: a small vertex cover of their
+  // endpoint variables goes into StarDirty, whose rows/columns the next
+  // incremental closure relaxes and pivots through.
+  uint32_t Incidence[16] = {};
+  bool AnyFired = false;
   for (int I = 0; I < N; ++I) {
     double DI = at(I, I ^ 1);
     for (int J = 0; J < N; ++J) {
       double DJ = at(J ^ 1, J);
       double Via = addUpInf(DI, DJ) / 2.0;
-      if (Via < at(I, J))
+      if (Via < at(I, J)) {
         at(I, J) = Via;
+        Incidence[I >> 1] |= 1u << (J >> 1);
+        AnyFired = true;
+      }
     }
   }
   Closed = true;
+  PivotDirty = 0;
+  StarDirty = 0;
+  if (AnyFired) {
+    // Greedy vertex cover of the fired entries' endpoint-variable pairs:
+    // every fired entry must be incident to a StarDirty variable. In
+    // steady state one variable's unary bound changed and every fired
+    // entry is incident to it, so the cover is a single star.
+    uint32_t Partners[16];
+    for (size_t V = 0; V < Vars.size(); ++V)
+      Partners[V] = Incidence[V];
+    for (size_t V = 0; V < Vars.size(); ++V)
+      for (size_t W = 0; W < Vars.size(); ++W)
+        if (Incidence[V] & (1u << W))
+          Partners[W] |= 1u << V;
+    for (;;) {
+      size_t Best = 0, BestCount = 0;
+      for (size_t V = 0; V < Vars.size(); ++V) {
+        size_t C = static_cast<size_t>(std::popcount(Partners[V]));
+        if (C > BestCount) {
+          BestCount = C;
+          Best = V;
+        }
+      }
+      if (BestCount == 0)
+        break;
+      StarDirty |= 1u << Best;
+      Partners[Best] = 0;
+      for (size_t V = 0; V < Vars.size(); ++V)
+        Partners[V] &= ~(1u << Best);
+    }
+  }
   for (int I = 0; I < N; ++I) {
     if (at(I, I) < 0.0) {
       Empty = true;
@@ -99,6 +141,96 @@ bool Octagon::close() {
     at(I, I) = 0.0;
   }
   return true;
+}
+
+bool Octagon::close() {
+  if (Empty)
+    return false;
+  if (Closed)
+    return true;
+  // Incremental closure: Floyd-Warshall restricted to the dirty
+  // rows/columns. Constraints tightened by transfer functions are
+  // incident, on both endpoints, to PivotDirty variables' nodes; star-
+  // shaped updates (the smart assignment's rebuilt row/column, the
+  // previous closure's strengthening fan recorded by finishClosure) are
+  // incident to a StarDirty variable on at least one endpoint, so those
+  // rows/columns are first completed by a one-round relaxation against
+  // the rest of the matrix and then pivoted. Any new shortest path then
+  // decomposes into already-propagated entries joined at dirty pivots,
+  // which restores the same closure as a full sweep in
+  // O((p + 3s) * (2k)^2) instead of O((2k)^3).
+  uint32_t Pivot = PivotDirty & ~StarDirty;
+  size_t P = static_cast<size_t>(std::popcount(Pivot));
+  size_t S = static_cast<size_t>(std::popcount(StarDirty));
+  // Cost gate, in pivot-equivalents: a pivot-dirty variable costs its two
+  // Floyd-Warshall pivots; a star-dirty variable additionally pays the
+  // four row/column relaxations, which skip infinite entries and touch a
+  // single row/column each — measured at roughly one extra pivot. Strict
+  // inequality: when the restricted pass would do as much work as the
+  // full sweep (in particular the all-dirty post-widening closure), run —
+  // and meter — the full algorithm.
+  bool Incremental = Mode == OctClosureMode::Incremental &&
+                     (PivotDirty | StarDirty) != 0 &&
+                     2 * P + 3 * S < 2 * Vars.size();
+  if (Stats) {
+    auto &Counter = Incremental ? Stats->Incremental : Stats->Full;
+    Counter.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (Incremental) {
+    uint32_t All = Pivot | StarDirty;
+    for (size_t V = 0; V < Vars.size(); ++V) {
+      if (!(All & (1u << V)))
+        continue;
+      int Even = static_cast<int>(2 * V), Odd = Even + 1;
+      if (StarDirty & (1u << V)) {
+        relaxColumn(Even);
+        relaxColumn(Odd);
+        relaxRow(Even);
+        relaxRow(Odd);
+      }
+      propagateThrough(Even);
+      propagateThrough(Odd);
+    }
+  } else {
+    for (int K = 0; K < N; ++K)
+      propagateThrough(K);
+  }
+  return finishClosure();
+}
+
+void Octagon::relaxColumn(int C) {
+  // One relaxation round m(i,C) <- min_a m(i,a) + m(a,C): composes every
+  // already-propagated path with one direct edge into C. Together with
+  // relaxRow it completes C's row/column before C's nodes are pivoted, so
+  // star-shaped edge sets incident to C need no pivots elsewhere.
+  for (int A = 0; A < N; ++A) {
+    if (A == C)
+      continue;
+    double MAC = at(A, C);
+    if (std::isinf(MAC) && MAC > 0)
+      continue;
+    for (int I = 0; I < N; ++I) {
+      double Via = addUpInf(at(I, A), MAC);
+      if (Via < at(I, C))
+        at(I, C) = Via;
+    }
+  }
+}
+
+void Octagon::relaxRow(int R) {
+  // Mirror of relaxColumn: m(R,j) <- min_b m(R,b) + m(b,j).
+  for (int B = 0; B < N; ++B) {
+    if (B == R)
+      continue;
+    double MRB = at(R, B);
+    if (std::isinf(MRB) && MRB > 0)
+      continue;
+    for (int J = 0; J < N; ++J) {
+      double Via = addUpInf(MRB, at(B, J));
+      if (Via < at(R, J))
+        at(R, J) = Via;
+    }
+  }
 }
 
 bool Octagon::leq(const Octagon &O) const {
@@ -114,9 +246,38 @@ bool Octagon::leq(const Octagon &O) const {
 }
 
 bool Octagon::equal(const Octagon &O) const {
-  if (isBottom() && O.isBottom())
+  bool BotA = isBottom(), BotB = O.isBottom();
+  if (BotA && BotB)
     return true;
-  return M == O.M;
+  // Raw equality only counts when the detected bottom-ness agrees too: an
+  // Empty-flagged octagon can carry an untouched matrix (bottomLike, a
+  // bottom meetVarInterval), which must not compare equal to top.
+  if (BotA == BotB && M == O.M)
+    return true;
+  // Both sides closed: detected bottom-ness and the raw comparison were
+  // exact (a closed DBM cannot be empty without its flag set).
+  if (Closed && O.Closed)
+    return false;
+  // Normalize via closure so representation differences (a closed and a
+  // non-closed DBM of the same set) do not read as inequality. Only the
+  // non-closed side(s) pay the copy.
+  std::optional<Octagon> NA, NB;
+  const Octagon *PA = this;
+  if (!Closed) {
+    NA.emplace(*this);
+    NA->close();
+    PA = &*NA;
+  }
+  const Octagon *PB = &O;
+  if (!O.Closed) {
+    NB.emplace(O);
+    NB->close();
+    PB = &*NB;
+  }
+  bool EmptyA = PA->isBottom(), EmptyB = PB->isBottom();
+  if (EmptyA || EmptyB)
+    return EmptyA == EmptyB;
+  return PA->M == PB->M;
 }
 
 void Octagon::joinWith(const Octagon &O) {
@@ -125,22 +286,29 @@ void Octagon::joinWith(const Octagon &O) {
     return;
   if (isBottom()) {
     M = O.M;
+    PivotDirty = O.PivotDirty;
+    StarDirty = O.StarDirty;
     Closed = O.Closed;
     Empty = O.Empty;
     return;
   }
   for (size_t I = 0; I < M.size(); ++I)
     M[I] = std::max(M[I], O.M[I]);
-  // Join of closed operands is closed.
+  // Join of closed operands is closed. A surviving entry may be the other
+  // side's not-yet-propagated (strengthened) bound, so the carried
+  // dirty-sets merge.
+  PivotDirty |= O.PivotDirty;
+  StarDirty |= O.StarDirty;
 }
 
 void Octagon::meetWith(const Octagon &O) {
   assert(Vars == O.Vars && "pack mismatch");
-  for (size_t I = 0; I < M.size(); ++I)
-    if (O.M[I] < M[I]) {
-      M[I] = O.M[I];
-      Closed = false;
-    }
+  for (int P = 0; P < N; ++P)
+    for (int Q = 0; Q < N; ++Q)
+      if (O.at(P, Q) < at(P, Q)) {
+        at(P, Q) = O.at(P, Q);
+        markDirty(P, Q);
+      }
   Empty = Empty || O.Empty;
 }
 
@@ -151,6 +319,8 @@ void Octagon::widenWith(const Octagon &O, const Thresholds &T,
     return;
   if (isBottom()) {
     M = O.M;
+    PivotDirty = O.PivotDirty;
+    StarDirty = O.StarDirty;
     Closed = O.Closed;
     Empty = O.Empty;
     return;
@@ -176,24 +346,31 @@ void Octagon::widenWith(const Octagon &O, const Thresholds &T,
       }
     }
   }
-  // Do not close after widening (termination).
-  Closed = false;
-  // The result may not be closed but is a sound superset; mark non-closed.
+  // Do not close after widening (termination): the result is a sound
+  // superset whose entries moved arbitrarily, so the whole DBM is dirty.
+  markAllDirty();
 }
 
 void Octagon::narrowWith(const Octagon &O) {
   assert(Vars == O.Vars && "pack mismatch");
-  for (size_t I = 0; I < M.size(); ++I) {
-    if (std::isinf(M[I]) && M[I] > 0 && O.M[I] < M[I]) {
-      M[I] = O.M[I];
-      Closed = false;
+  for (int P = 0; P < N; ++P)
+    for (int Q = 0; Q < N; ++Q) {
+      double Mine = at(P, Q);
+      if (std::isinf(Mine) && Mine > 0 && O.at(P, Q) < Mine) {
+        at(P, Q) = O.at(P, Q);
+        markDirty(P, Q);
+      }
     }
-  }
   Empty = Empty || O.Empty;
 }
 
 void Octagon::forget(int Idx) {
-  close(); // Preserve indirect constraints before dropping direct ones.
+  // Preserve indirect constraints before dropping direct ones. When the
+  // DBM is already closed this costs nothing; when only a few variables
+  // are dirty, close() propagates paths through just their rows/columns —
+  // in particular, a forget right after tightenings of the dropped
+  // variable pays one single-variable O((2k)^2) closure, not a full sweep.
+  close();
   int P = 2 * Idx, Pb = P + 1;
   for (int Q = 0; Q < N; ++Q) {
     if (Q != P)
@@ -207,6 +384,7 @@ void Octagon::forget(int Idx) {
   }
   at(P, Pb) = INFINITY;
   at(Pb, P) = INFINITY;
+  // Dropping rows/columns of a closed DBM leaves it closed.
 }
 
 Interval Octagon::varInterval(int Idx) const {
@@ -340,7 +518,8 @@ void Octagon::assign(int Idx, const LinearForm &Form,
       int P = 2 * Idx, Pb = P + 1;
       int Q = Shape.S1 > 0 ? 2 * W : 2 * W + 1;
       int Qb = Q ^ 1;
-      // v - s*w <= b  and  s*w - v <= -a.
+      // v - s*w <= b  and  s*w - v <= -a. Only Idx's and W's rows are
+      // touched, so the closing sweep below is incremental.
       if (std::isfinite(Shape.C.Hi)) {
         setBound(P, Q, Shape.C.Hi);
         setBound(Qb, Pb, Shape.C.Hi);
@@ -360,6 +539,13 @@ void Octagon::assign(int Idx, const LinearForm &Form,
   // from L := Z + V in the paper's example).
   Octagon Before(*this);
   forget(Idx);
+  // The fresh bounds below all touch Idx's row/column only: a star of
+  // edges centered on Idx's nodes. The generic both-endpoint dirty marking
+  // would be sound but pessimal (every pack variable dirty, forcing a full
+  // sweep), so the marks are reset afterwards and the star handed to the
+  // dedicated single-variable closure.
+  uint32_t CarriedPivot = PivotDirty; // The forget-closure's carried work.
+  uint32_t CarriedStar = StarDirty;
   LinearForm SelfForm = Form.without(Self); // Self-references would need the
   if (!(Form.coeff(Self) == Interval::point(0)))
     SelfForm = LinearForm::invalid(); // old value; fall back to forgetting.
@@ -392,6 +578,10 @@ void Octagon::assign(int Idx, const LinearForm &Form,
       LinearForm PlusW = SelfForm.add(LinearForm::var(Vars[W]));
       BoundAgainst(PlusW, P, 2 * static_cast<int>(W) + 1);
     }
+  }
+  if (!Closed) {
+    PivotDirty = CarriedPivot;
+    StarDirty = CarriedStar | (1u << static_cast<uint32_t>(Idx));
   }
   close();
 }

@@ -25,6 +25,16 @@
 ///   v_i <= c        ->  M[2i][2i+1] = 2c
 ///   v_i >= c        ->  M[2i+1][2i] = -2c
 ///
+/// Closure discipline: every tightening records the touched variables in a
+/// dirty-set, and close() — the single cached entry point every
+/// closure-requiring consumer goes through — restores strong closure either
+/// by the full Floyd-Warshall sweep (O((2k)^3)) or, in incremental mode, by
+/// propagating shortest paths only through the dirty rows/columns
+/// (O(d * (2k)^2) for d dirty variables, Miné's incremental closure
+/// generalized to a dirty-set). Both algorithms compute the same canonical
+/// strong closure; which one ran is metered separately so a run's
+/// full-sweep count measures the discipline, not the demand.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ASTRAL_DOMAINS_OCTAGON_H
@@ -34,6 +44,7 @@
 #include "domains/LinearForm.h"
 #include "support/MemoryTracker.h"
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -44,29 +55,58 @@ namespace astral {
 
 class Thresholds;
 
+/// How Octagon::close() restores strong closure after tightenings: a full
+/// Floyd-Warshall sweep every time (the seed behavior, kept for
+/// differential benching via --octagon-closure=full), or incrementally
+/// through the dirty rows/columns when only a few variables were touched.
+enum class OctClosureMode : uint8_t {
+  Full,
+  Incremental,
+};
+
+/// Per-session closure work meter, shared by every octagon of one analysis
+/// (the DomainRegistry hands one sink to all the states it creates, so
+/// batch runs no longer read each other's counts through a process-wide
+/// atomic). Thread-safe: parallel lattice stages close pack copies
+/// concurrently.
+struct OctagonClosureStats {
+  std::atomic<uint64_t> Full{0};        ///< Full Floyd-Warshall sweeps.
+  std::atomic<uint64_t> Incremental{0}; ///< Dirty-row/column propagations.
+
+  uint64_t full() const { return Full.load(std::memory_order_relaxed); }
+  uint64_t incremental() const {
+    return Incremental.load(std::memory_order_relaxed);
+  }
+  uint64_t total() const { return full() + incremental(); }
+};
+
 class Octagon {
 public:
   /// Creates the top octagon over \p Cells (the pack, <= 16 variables).
-  explicit Octagon(std::vector<CellId> Cells);
+  /// \p Mode picks the closure algorithm; \p Stats, when non-null, meters
+  /// every closure this octagon (and its copies) performs.
+  explicit Octagon(std::vector<CellId> Cells,
+                   OctClosureMode Mode = OctClosureMode::Incremental,
+                   std::shared_ptr<OctagonClosureStats> Stats = nullptr);
   ~Octagon();
   Octagon(const Octagon &O);
   Octagon &operator=(const Octagon &) = delete;
 
   const std::vector<CellId> &cells() const { return Vars; }
   size_t size() const { return Vars.size(); }
-  /// Index of \p Cell in the pack, or -1.
+  /// Index of \p Cell in the pack, or -1. Binary search over a sorted
+  /// (cell, index) table — this runs once per transfer per pack.
   int indexOf(CellId Cell) const;
 
   bool isBottom() const;
 
-  /// Strong closure (Floyd-Warshall + strengthening); idempotent. Returns
-  /// false when the octagon is empty.
+  /// Strong closure (shortest-path propagation + strengthening); idempotent
+  /// and cached — the one entry point consumers demand closure through.
+  /// In incremental mode, propagates only through the rows/columns of the
+  /// variables dirtied since the last closure. Returns false when the
+  /// octagon is empty.
   bool close();
   bool isClosed() const { return Closed; }
-
-  /// Number of closures performed across all octagons (for the statistics
-  /// and bench E7).
-  static uint64_t closureCount();
 
   // -- Lattice ----------------------------------------------------------
   bool leq(const Octagon &O) const;    ///< Requires *this closed.
@@ -75,10 +115,16 @@ public:
   void widenWith(const Octagon &O, const Thresholds &T,
                  bool WithThresholds = true);
   void narrowWith(const Octagon &O);
+  /// Representation-insensitive equality: a closed and a non-closed DBM of
+  /// the same set compare equal (both sides are normalized via closure when
+  /// the raw matrices differ).
   bool equal(const Octagon &O) const;
 
   // -- Transfer functions ------------------------------------------------
-  /// Removes all constraints on \p Idx (pack index).
+  /// Removes all constraints on \p Idx (pack index). Indirect constraints
+  /// are preserved first: free when the DBM is closed, and otherwise by the
+  /// incremental single-variable closure that only propagates paths
+  /// through the dirty (in particular, the dropped) rows/columns.
   void forget(int Idx);
   /// v_idx := form, where form is a linear form over cells; pack-external
   /// cells contribute through \p CellRange (their current interval). Exact
@@ -125,17 +171,57 @@ private:
     double &Slot = at(P, Q);
     if (C < Slot) {
       Slot = C;
-      Closed = false;
+      markDirty(P, Q);
     }
   }
+  /// Records that the entry (P, Q) was tightened: both endpoint variables
+  /// go into the pivot dirty-set, so close() can restrict shortest-path
+  /// propagation to their rows/columns.
+  void markDirty(int P, int Q) {
+    PivotDirty |= (1u << (P >> 1)) | (1u << (Q >> 1));
+    Closed = false;
+  }
+  /// Invalidates closure entirely (widening, arbitrary meets).
+  void markAllDirty() {
+    PivotDirty = allDirtyMask();
+    StarDirty = 0;
+    Closed = false;
+  }
+  uint32_t allDirtyMask() const {
+    return (1u << Vars.size()) - 1u;
+  }
+  /// One Floyd-Warshall pivot: relaxes every (I, J) through node K.
+  void propagateThrough(int K);
+  /// One relaxation round of column \p C / row \p R against the rest of
+  /// the matrix (min-plus product) — completes a star-dirty variable's
+  /// row/column before its nodes are pivoted.
+  void relaxColumn(int C);
+  void relaxRow(int R);
+  /// Strengthening + diagonal check shared by both closure algorithms;
+  /// records the strengthening fan's vertex cover as the next closure's
+  /// carried star-dirty work.
+  bool finishClosure();
   /// v := v + [a, b] (in-place shift, no closure lost).
   void shiftVar(int Idx, const Interval &Delta);
 
   std::vector<CellId> Vars;
+  /// (cell, pack index) sorted by cell id, for the indexOf binary search.
+  std::vector<std::pair<CellId, int>> Lookup;
   int N; ///< 2 * Vars.size().
   std::vector<double> M;
+  /// Variables whose rows/columns hold tightenings incident to them on
+  /// *both* endpoints (guards, unary meets): restoring closure needs a
+  /// Floyd-Warshall pivot at their two nodes.
+  uint32_t PivotDirty = 0;
+  /// Variables whose rows/columns hold star-shaped tightenings — incident
+  /// to the variable on *at least one* endpoint (the smart assignment's
+  /// rebuilt row/column, the strengthening fan of the previous closure):
+  /// restoring closure needs a row/column relaxation plus the pivot.
+  uint32_t StarDirty = 0;
   bool Closed = false;
   bool Empty = false;
+  OctClosureMode Mode;
+  std::shared_ptr<OctagonClosureStats> Stats;
 };
 
 } // namespace astral

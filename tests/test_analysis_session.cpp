@@ -169,6 +169,55 @@ TEST(AnalysisSession, AnalyzeBatchMatchesIndividualRuns) {
   expectSameReport(Alone, Batch[2]);
 }
 
+TEST(AnalysisSession, OctagonClosureModesProduceIdenticalReports) {
+  AnalysisInput Full = limiterInput();
+  Full.Options.OctagonClosure = OctClosureMode::Full;
+  AnalysisResult RFull = Analyzer::analyze(Full);
+
+  AnalysisInput Inc = limiterInput();
+  Inc.Options.OctagonClosure = OctClosureMode::Incremental;
+  AnalysisResult RInc = Analyzer::analyze(Inc);
+
+  expectSameReport(RFull, RInc);
+  // The discipline split is the work meter: full mode never runs the
+  // incremental algorithm, incremental mode replaces some full sweeps.
+  EXPECT_EQ(RFull.Stats.get("analysis.octagon_closures_incremental"), 0u);
+  EXPECT_GT(RFull.Stats.get("analysis.octagon_closures_full"), 0u);
+  EXPECT_GT(RInc.Stats.get("analysis.octagon_closures_incremental"), 0u);
+  EXPECT_LT(RInc.Stats.get("analysis.octagon_closures_full"),
+            RFull.Stats.get("analysis.octagon_closures_full"));
+  EXPECT_EQ(RFull.Stats.get("analysis.octagon_closures"),
+            RFull.Stats.get("analysis.octagon_closures_full"));
+}
+
+TEST(AnalysisSession, ClosureCountersArePerSession) {
+  // The closure counters used to be a process-global atomic, so a second
+  // run (or a batch) reported the accumulated total of every run before
+  // it. Per-session counters must report identical work for identical
+  // inputs, run after run and across a batch.
+  AnalysisResult First = Analyzer::analyze(limiterInput());
+  AnalysisResult Second = Analyzer::analyze(limiterInput());
+  uint64_t FirstCount = First.Stats.get("analysis.octagon_closures");
+  EXPECT_GT(FirstCount, 0u);
+  EXPECT_EQ(FirstCount, Second.Stats.get("analysis.octagon_closures"));
+
+  std::vector<AnalysisInput> Inputs(3, limiterInput());
+  Inputs[1].Options.Jobs = 4; // Concurrent batch must not cross-meter.
+  std::vector<AnalysisResult> Batch = AnalysisSession::analyzeBatch(Inputs);
+  ASSERT_EQ(Batch.size(), 3u);
+  for (const AnalysisResult &R : Batch)
+    EXPECT_EQ(R.Stats.get("analysis.octagon_closures"),
+              R.Stats.get("analysis.octagon_closures_full") +
+                  R.Stats.get("analysis.octagon_closures_incremental"));
+  // The sequential batch members meter exactly one file's work each; the
+  // jobs=4 member's count may legitimately differ (a parallel inclusion
+  // check evaluates slots a sequential one short-circuits past), so only
+  // its non-zero-ness is asserted.
+  EXPECT_EQ(Batch[0].Stats.get("analysis.octagon_closures"), FirstCount);
+  EXPECT_EQ(Batch[2].Stats.get("analysis.octagon_closures"), FirstCount);
+  EXPECT_GT(Batch[1].Stats.get("analysis.octagon_closures"), 0u);
+}
+
 TEST(AnalysisSession, BatchOfManyFilesCompletes) {
   // More files than pool workers: the queue must drain and preserve order.
   std::vector<AnalysisInput> Inputs;

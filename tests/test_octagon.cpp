@@ -304,3 +304,187 @@ TEST_P(OctagonSoundness, CloseIsIdempotentAndSound) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, OctagonSoundness,
                          ::testing::Values(11, 222, 3333, 44444));
+
+//===----------------------------------------------------------------------===//
+// Closure discipline
+//===----------------------------------------------------------------------===//
+
+TEST(Octagon, EqualIgnoresRepresentation) {
+  // A closed and a non-closed DBM of the same set must compare equal:
+  // raw-matrix comparison would see the closure-derived entries on one
+  // side only and cost spurious extra fixpoint iterations.
+  auto Build = [] {
+    Octagon O({1, 2});
+    LinearForm Le = LinearForm::var(1).sub(LinearForm::var(2));
+    LinearForm Ge = LinearForm::var(2).sub(LinearForm::var(1));
+    O.guardLe(Le, topRange()); // v1 == v2.
+    O.guardLe(Ge, topRange());
+    return O;
+  };
+  Octagon Closed = Build();
+  Closed.meetVarInterval(0, Interval(0, 1));
+  Closed.close(); // Derives v2 in [0, 1].
+  Octagon Raw = Build();
+  Raw.meetVarInterval(0, Interval(0, 1)); // Same set, no closure.
+  EXPECT_FALSE(Raw.isClosed());
+  EXPECT_NE(Raw.varInterval(1), Closed.varInterval(1))
+      << "representations should differ for the test to mean anything";
+  EXPECT_TRUE(Closed.equal(Raw));
+  EXPECT_TRUE(Raw.equal(Closed));
+  // And genuinely different sets still compare unequal.
+  Octagon Other = Build();
+  Other.meetVarInterval(0, Interval(0, 2));
+  EXPECT_FALSE(Closed.equal(Other));
+}
+
+TEST(Octagon, EqualDistinguishesFlaggedBottomFromTop) {
+  // An Empty-flagged octagon can carry an untouched matrix (bottomLike,
+  // meetVarInterval with a bottom interval): raw-matrix equality must not
+  // make it compare equal to top.
+  Octagon Top({1, 2});
+  Octagon Bot({1, 2});
+  Bot.meetVarInterval(0, Interval::bottom());
+  EXPECT_TRUE(Bot.isBottom());
+  EXPECT_FALSE(Top.equal(Bot));
+  EXPECT_FALSE(Bot.equal(Top));
+}
+
+TEST(Octagon, EqualBottomRepresentations) {
+  Octagon A({1});
+  A.meetVarInterval(0, Interval::bottom()); // Empty flag.
+  Octagon B({1});
+  B.meetVarInterval(0, Interval(3, 4));
+  LinearForm TooSmall =
+      LinearForm::var(1).add(LinearForm::constant(Interval::point(-1)));
+  B.guardLe(TooSmall, topRange()); // v1 <= 1 contradicts v1 >= 3.
+  EXPECT_TRUE(A.equal(B));
+  EXPECT_TRUE(B.equal(A));
+}
+
+TEST(Octagon, IndexOfFlatLookup) {
+  // Non-contiguous, non-sorted cells, as real packings produce.
+  Octagon O({42, 7, 19, 3});
+  EXPECT_EQ(O.indexOf(42), 0);
+  EXPECT_EQ(O.indexOf(7), 1);
+  EXPECT_EQ(O.indexOf(19), 2);
+  EXPECT_EQ(O.indexOf(3), 3);
+  EXPECT_EQ(O.indexOf(4), -1);
+  EXPECT_EQ(O.indexOf(0), -1);
+  EXPECT_EQ(O.indexOf(1000), -1);
+}
+
+TEST(Octagon, ClosureStatsSinkSplitsFullAndIncremental) {
+  auto Sink = std::make_shared<OctagonClosureStats>();
+  Octagon O({1, 2, 3, 4}, OctClosureMode::Incremental, Sink);
+  O.meetVarInterval(0, Interval(0, 5)); // Dirty: one variable.
+  O.close();
+  EXPECT_EQ(Sink->incremental(), 1u);
+  EXPECT_EQ(Sink->full(), 0u);
+
+  auto FullSink = std::make_shared<OctagonClosureStats>();
+  Octagon F({1, 2, 3, 4}, OctClosureMode::Full, FullSink);
+  F.meetVarInterval(0, Interval(0, 5));
+  F.close();
+  EXPECT_EQ(FullSink->incremental(), 0u);
+  EXPECT_EQ(FullSink->full(), 1u);
+}
+
+// Differential property: the incremental closure discipline computes the
+// same DBM as the full Floyd-Warshall sweep — same variable intervals,
+// same emptiness verdict, representation-equal, idempotent — across pack
+// sizes 1-16 and random op sequences of assign/guard/forget/shift.
+// Constants are dyadic (k/8), so every path sum is exact in double and
+// the comparison can demand bitwise equality.
+class OctagonClosureDifferential : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(OctagonClosureDifferential, IncrementalEqualsFullClosure) {
+  std::mt19937_64 Rng(GetParam());
+  auto Top = [](CellId) { return Interval::top(); };
+  for (int Pack = 1; Pack <= 16; ++Pack) {
+    for (int Trial = 0; Trial < 4; ++Trial) {
+      std::vector<CellId> Cells;
+      for (int I = 0; I < Pack; ++I)
+        Cells.push_back(static_cast<CellId>(3 * I + 1));
+      Octagon Full(Cells, OctClosureMode::Full, nullptr);
+      Octagon Inc(Cells, OctClosureMode::Incremental, nullptr);
+      auto Dyadic = [&]() {
+        return static_cast<double>(static_cast<int64_t>(Rng() % 161) - 80) /
+               8.0;
+      };
+      for (int Step = 0; Step < 40; ++Step) {
+        int V = static_cast<int>(Rng() % Pack);
+        int W = static_cast<int>(Rng() % Pack);
+        double C = Dyadic();
+        switch (Rng() % 7) {
+        case 0: { // Unary meet.
+          Interval I(C - std::fabs(Dyadic()), C);
+          Full.meetVarInterval(V, I);
+          Inc.meetVarInterval(V, I);
+          break;
+        }
+        case 1: { // Binary guard v - w + c <= 0.
+          LinearForm G = LinearForm::var(Cells[V])
+                             .sub(LinearForm::var(Cells[W]))
+                             .add(LinearForm::constant(Interval::point(C)));
+          Full.guardLe(G, Top);
+          Inc.guardLe(G, Top);
+          break;
+        }
+        case 2: { // Exact assign v := w + c.
+          LinearForm A = LinearForm::var(Cells[W]).add(
+              LinearForm::constant(Interval::point(C)));
+          Full.assign(V, A, Top);
+          Inc.assign(V, A, Top);
+          break;
+        }
+        case 3: { // Forget.
+          Full.forget(V);
+          Inc.forget(V);
+          break;
+        }
+        case 4: { // Shift v := v + [c, c+1].
+          LinearForm A = LinearForm::var(Cells[V]).add(
+              LinearForm::constant(Interval(C, C + 1)));
+          Full.assign(V, A, Top);
+          Inc.assign(V, A, Top);
+          break;
+        }
+        default: { // Smart fallback v := w1 + w2 + c (star closure).
+          int W2 = static_cast<int>(Rng() % Pack);
+          LinearForm A = LinearForm::var(Cells[W])
+                             .add(LinearForm::var(Cells[W2]))
+                             .add(LinearForm::constant(Interval::point(C)));
+          Full.assign(V, A, Top);
+          Inc.assign(V, A, Top);
+          break;
+        }
+        }
+        bool FullEmpty = !Full.close();
+        bool IncEmpty = !Inc.close();
+        ASSERT_EQ(FullEmpty, IncEmpty)
+            << "emptiness diverged: pack=" << Pack << " trial=" << Trial
+            << " step=" << Step;
+        if (FullEmpty)
+          break;
+        for (int I = 0; I < Pack; ++I) {
+          Interval FI = Full.varInterval(I);
+          Interval NI = Inc.varInterval(I);
+          ASSERT_EQ(FI.Lo, NI.Lo) << "pack=" << Pack << " trial=" << Trial
+                                  << " step=" << Step << " var=" << I;
+          ASSERT_EQ(FI.Hi, NI.Hi) << "pack=" << Pack << " trial=" << Trial
+                                  << " step=" << Step << " var=" << I;
+        }
+        ASSERT_TRUE(Full.equal(Inc)) << "pack=" << Pack << " trial=" << Trial
+                                     << " step=" << Step;
+        // Idempotence: a second close must be a cached no-op.
+        Octagon IncAgain(Inc);
+        IncAgain.close();
+        ASSERT_TRUE(Inc.equal(IncAgain));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OctagonClosureDifferential,
+                         ::testing::Values(1, 77, 4096, 900913));

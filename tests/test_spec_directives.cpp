@@ -105,3 +105,24 @@ TEST(SpecDirectives, NegativeRangesParse) {
   EXPECT_TRUE(W.empty());
   EXPECT_EQ(Opts.VolatileRanges["stick"], Interval(-1, 1));
 }
+
+TEST(SpecDirectives, OctagonClosureModeParses) {
+  AnalyzerOptions Opts;
+  std::vector<std::string> W =
+      applySpecDirectives("/* @astral octagon-closure full */", Opts);
+  EXPECT_TRUE(W.empty()) << W.front();
+  EXPECT_EQ(Opts.OctagonClosure, OctClosureMode::Full);
+  W = applySpecDirectives("/* @astral octagon-closure incremental */", Opts);
+  EXPECT_TRUE(W.empty()) << W.front();
+  EXPECT_EQ(Opts.OctagonClosure, OctClosureMode::Incremental);
+}
+
+TEST(SpecDirectives, MalformedOctagonClosureWarns) {
+  AnalyzerOptions Defaults;
+  AnalyzerOptions Opts;
+  std::vector<std::string> W =
+      applySpecDirectives("/* @astral octagon-closure sometimes */", Opts);
+  ASSERT_EQ(W.size(), 1u);
+  EXPECT_NE(W[0].find("octagon-closure"), std::string::npos);
+  EXPECT_EQ(Opts.OctagonClosure, Defaults.OctagonClosure);
+}

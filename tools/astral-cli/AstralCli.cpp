@@ -78,6 +78,13 @@ void printUsage(std::FILE *Out) {
       "                               Each relational domain can be ablated\n"
       "                               independently, e.g.\n"
       "                               --domains=interval,octagon\n"
+      "  --octagon-closure=<mode>     octagon DBM closure discipline:\n"
+      "                               'incremental' (default) propagates\n"
+      "                               only through dirty rows/columns;\n"
+      "                               'full' re-runs the full\n"
+      "                               Floyd-Warshall sweep every time\n"
+      "                               (for differential benching). Both\n"
+      "                               modes produce identical reports.\n"
       "  --no-linearize               disable symbolic linearization\n"
       "\n"
       "  Deprecated aliases (mapped onto --domains=, warn once):\n"
@@ -100,7 +107,8 @@ void printUsage(std::FILE *Out) {
       "  directives: `/* @astral volatile speed 0 300 */`,\n"
       "  `@astral clock-max 3.6e6`, `@astral partition f`,\n"
       "  `@astral threshold 500`, `@astral entry main`,\n"
-      "  `@astral domains interval,octagon`, `@astral jobs 4`\n"
+      "  `@astral domains interval,octagon`, `@astral jobs 4`,\n"
+      "  `@astral octagon-closure full`\n"
       "  (flags override directives).\n"
       "\n"
       "output:\n"
@@ -501,6 +509,31 @@ int main(int argc, char **argv) {
         return 1;
       }
       Cli.FlagOps.push_back([N](AnalyzerOptions &O) { O.Jobs = *N; });
+    } else if (A == "--octagon-closure" ||
+               A.rfind("--octagon-closure=", 0) == 0) {
+      std::string Val;
+      if (A == "--octagon-closure") {
+        auto V = NextValue(I, "--octagon-closure");
+        if (!V)
+          return 1;
+        Val = *V;
+      } else {
+        Val = A.substr(std::string("--octagon-closure=").size());
+      }
+      std::optional<OctClosureMode> Mode;
+      if (Val == "full")
+        Mode = OctClosureMode::Full;
+      else if (Val == "incremental")
+        Mode = OctClosureMode::Incremental;
+      if (!Mode) {
+        std::fprintf(stderr,
+                     "astral-cli: error: --octagon-closure expects 'full' or "
+                     "'incremental', got '%s'\n",
+                     Val.c_str());
+        return 1;
+      }
+      Cli.FlagOps.push_back(
+          [Mode](AnalyzerOptions &O) { O.OctagonClosure = *Mode; });
     } else if (A == "--no-linearize") {
       Cli.FlagOps.push_back(
           [](AnalyzerOptions &O) { O.EnableLinearization = false; });
