@@ -21,13 +21,22 @@ echo "== tsan: ThreadSanitizer build + parallel suites =="
 cmake -B build-tsan -S . -DASTRAL_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$JOBS"
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-      -R "test_scheduler|test_analysis_session|test_iterator|test_domain_registry|test_octagon"
+      -R "test_scheduler|test_analysis_session|test_iterator|test_domain_registry|test_octagon|test_pack_groups"
+
+echo
+echo "== determinism matrix: jobs x pack-dispatch (CI parity) =="
+scripts/determinism_matrix.sh build
+
+echo
+echo "== parallel smoke: grouped-dispatch regression gate (CI parity) =="
+ASTRAL_BENCH_SMOKE=1 build/bench/bench_parallel_jobs
 
 echo
 echo "== smoke: astral-cli end-to-end =="
 build/tools/astral-cli examples/flight_control.cpp --dump-invariants >/dev/null
 build/tools/astral-cli examples/quickstart.cpp --json --fail-on-alarms >/dev/null
 build/tools/astral-cli examples/rate_limiter_clocked.cpp --json --jobs=8 --fail-on-alarms >/dev/null
+build/tools/astral-cli examples/flight_control.cpp --json --jobs=0 --pack-dispatch=seq >/dev/null
 build-tsan/tools/astral-cli examples/quickstart.cpp examples/interp_table.cpp --json --jobs=8 >/dev/null
 
 echo

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Multi-core determinism matrix: every golden example must produce a
+# byte-identical JSON report across --jobs=1/2/8 x --pack-dispatch=seq/groups
+# (the --jobs=1 --pack-dispatch=seq report is the baseline). This is the
+# first-class CI gate behind the parallel analyzer's determinism contract —
+# the in-tree ctest goldens cover the same matrix per case, this script is
+# the standalone/CI entry point and the scripts/check.sh parity hook.
+#
+# Usage: scripts/determinism_matrix.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${1:-build}
+CLI="$BUILD/tools/astral-cli"
+if [[ ! -x "$CLI" ]]; then
+  echo "determinism_matrix: missing $CLI (build first)" >&2
+  exit 1
+fi
+
+CASES="quickstart filter_verification alarm_investigation flight_control
+       interp_table rate_limiter_clocked partitioned_switch"
+
+# Wall-clock is the one environment-dependent report field.
+normalize() {
+  sed -E 's/"analysis_seconds": [0-9.eE+-]+/"analysis_seconds": "<time>"/'
+}
+
+STDERR_TMP=$(mktemp)
+trap 'rm -f "$STDERR_TMP"' EXIT
+
+# Runs one configuration, naming it on any non-zero exit (a crash here is
+# exactly the regression class this gate exists to catch — it must not die
+# silently under set -e).
+run_cli() { # $1=input $2=jobs $3=dispatch -> normalized report on stdout
+  local rc=0
+  "$CLI" "$1" --json --jobs="$2" --pack-dispatch="$3" 2>"$STDERR_TMP" | normalize || rc=$?
+  if [[ $rc -ne 0 ]]; then
+    echo "determinism_matrix: $1 --jobs=$2 --pack-dispatch=$3 exited with $rc:" >&2
+    cat "$STDERR_TMP" >&2
+    return 1
+  fi
+}
+
+fail=0
+for case in $CASES; do
+  input="examples/$case.cpp"
+  base=$(run_cli "$input" 1 seq) || { fail=1; continue; }
+  for jobs in 1 2 8; do
+    for disp in seq groups; do
+      [[ "$jobs" == 1 && "$disp" == seq ]] && continue
+      out=$(run_cli "$input" "$jobs" "$disp") || { fail=1; continue; }
+      if [[ "$out" != "$base" ]]; then
+        echo "DETERMINISM VIOLATION: $case --jobs=$jobs --pack-dispatch=$disp" >&2
+        diff <(printf '%s\n' "$base") <(printf '%s\n' "$out") | head -40 >&2 || true
+        fail=1
+      fi
+    done
+  done
+  echo "determinism_matrix: ok $case (jobs=1/2/8 x dispatch=seq/groups)"
+done
+
+if [[ $fail -ne 0 ]]; then
+  echo "determinism_matrix: FAILED" >&2
+  exit 1
+fi
+echo "determinism_matrix: all reports byte-identical"

@@ -236,6 +236,18 @@ const AnalysisSession::ExecutionPhase &AnalysisSession::runAbstractExecution() {
   E.Stats.set("analysis.octagon_closures", FullSweeps + IncSweeps);
   E.Stats.set("analysis.octagon_closures_full", FullSweeps);
   E.Stats.set("analysis.octagon_closures_incremental", IncSweeps);
+  // Pack-group dispatch shape: the per-domain plan census and the mode the
+  // run used — work-meter counters like the per-sweep dispatch counts in
+  // Transfer, reported here so `parallel.*` describes the whole strategy.
+  E.Stats.set("parallel.pack_dispatch_groups",
+              In.Options.PackDispatch == PackDispatchMode::Groups ? 1 : 0);
+  for (size_t D = 0; D < P.Registry->size(); ++D) {
+    const PackGroupPlan &Plan = P.Registry->groupPlan(D);
+    std::string Prefix =
+        std::string("parallel.groups.") + P.Registry->domain(D).name();
+    E.Stats.set(Prefix + ".count", Plan.numGroups());
+    E.Stats.set(Prefix + ".largest", Plan.largestGroup());
+  }
   Exec = std::move(E);
   return *Exec;
 }
@@ -330,14 +342,11 @@ AnalysisSession::analyzeBatch(const std::vector<AnalysisInput> &Inputs) {
     return Results;
 
   // One pool for the whole batch, sized by the widest request; Jobs == 0
-  // anywhere means "hardware concurrency".
+  // anywhere means "hardware concurrency" (Scheduler::effectiveJobs, the
+  // one resolver of the 0 convention).
   unsigned Jobs = 1;
-  for (const AnalysisInput &I : Inputs) {
-    unsigned J = I.Options.Jobs
-                     ? I.Options.Jobs
-                     : std::max(1u, std::thread::hardware_concurrency());
-    Jobs = std::max(Jobs, J);
-  }
+  for (const AnalysisInput &I : Inputs)
+    Jobs = std::max(Jobs, Scheduler::effectiveJobs(I.Options.Jobs));
   std::shared_ptr<Scheduler> Pool = Scheduler::create(Jobs);
 
   // Whole files are the tasks (Monniaux's coarse-grained dispatch); a

@@ -167,6 +167,10 @@ public:
   }
   /// Packs containing \p C (empty when none).
   virtual const std::vector<memory::PackId> &packsOf(CellId C) const = 0;
+  /// The dense cell -> packs index backing packsOf — the connectivity input
+  /// of the PackGroupPlan (packs sharing a cell must share a group).
+  virtual const std::vector<std::vector<memory::PackId>> &
+  cellPackIndex() const = 0;
   /// Number of cells in pack \p P (the per-domain pack census of the
   /// analysis report).
   virtual size_t packCellCount(memory::PackId P) const = 0;
@@ -207,6 +211,11 @@ public:
     return Index[static_cast<size_t>(K)];
   }
 
+  /// The pack-group plan of domain \p D (parallel transfer dispatch):
+  /// computed once at registry construction from the adapter's pack tables,
+  /// so every sweep of the analysis partitions against the same plan.
+  const PackGroupPlan &groupPlan(size_t D) const { return Plans[D]; }
+
   /// Per-registry (hence per-session) octagon closure work meter, shared by
   /// every octagon state the registry creates. Null when the octagon
   /// domain is not enabled.
@@ -216,6 +225,7 @@ public:
 
 private:
   std::vector<std::unique_ptr<RelationalDomain>> Domains;
+  std::vector<PackGroupPlan> Plans; ///< One per adapter, same indexing.
   std::array<int, NumDomainKinds> Index;
   std::shared_ptr<OctagonClosureStats> OctStats;
 };

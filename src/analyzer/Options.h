@@ -29,6 +29,16 @@
 
 namespace astral {
 
+/// Within-file dispatch of the channel-feeding transfer sweeps
+/// (Transfer::relationalAssign, the relational guard paths):
+///  - Sequential: the historical reduction chain, every pack in slot order.
+///  - Groups: disjoint pack groups of the PackGroupPlan fan out over the
+///    ambient Scheduler; each worker chains its own group against a
+///    snapshot of the pre-sweep environment, and a deterministic merge
+///    (with conflict recomputation) folds the buffered channels back, so
+///    reports stay byte-identical to the sequential chain.
+enum class PackDispatchMode : uint8_t { Sequential, Groups };
+
 struct AnalyzerOptions {
   // -- Abstract domain selection (Sect. 6.2; the refinement sequence of the
   //    alarm experiment E2 ablates these one by one) ------------------------
@@ -96,13 +106,25 @@ struct AnalyzerOptions {
   // -- Execution policy ---------------------------------------------------------
   /// Worker threads for the parallel lattice/reduction stages and for
   /// AnalysisSession::analyzeBatch (Monniaux's parallel Astrée direction).
-  /// 1 = sequential (default), 0 = one per hardware thread. Any value
-  /// produces the same analysis semantics byte for byte — alarms, ranges,
-  /// invariants, pack census, everything the report layer prints — via
-  /// deterministic slot ordering. Work-metering statistics (octagon
-  /// closures, evaluation counts) meter the execution strategy itself and
-  /// are outside that guarantee.
+  /// 1 = sequential (default); 0 = one per hardware thread
+  /// (std::thread::hardware_concurrency, resolved by
+  /// Scheduler::effectiveJobs). Requests above the hardware thread count
+  /// warn once — oversubscription only adds contention to the CPU-bound
+  /// stages. Any value produces the same analysis semantics byte for byte —
+  /// alarms, ranges, invariants, pack census, everything the report layer
+  /// prints — via deterministic slot ordering. Work-metering statistics
+  /// (octagon closures, evaluation counts) meter the execution strategy
+  /// itself and are outside that guarantee.
   unsigned Jobs = 1;
+
+  /// Dispatch of the within-file transfer sweeps (--pack-dispatch=
+  /// seq|groups, `@astral pack-dispatch`). Groups (the default) fans the
+  /// disjoint pack groups of the PackGroupPlan out over the scheduler;
+  /// Sequential keeps the historical single-chain path selectable for
+  /// differential benching. Both modes produce identical reports; with
+  /// Jobs == 1 there is no pool to fan out over and Groups degrades to the
+  /// sequential chain.
+  PackDispatchMode PackDispatch = PackDispatchMode::Groups;
 
   // -- Misc ----------------------------------------------------------------------
   std::string EntryFunction = "main";

@@ -7,7 +7,9 @@
 
 #include "analyzer/Scheduler.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cstdio>
 
 using namespace astral;
 
@@ -37,10 +39,45 @@ SchedulerScope::SchedulerScope(Scheduler *S) : Prev(AmbientScheduler) {
 
 SchedulerScope::~SchedulerScope() { AmbientScheduler = Prev; }
 
+static unsigned hardwareThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+bool Scheduler::oversubscribes(unsigned Jobs) {
+  return Jobs > hardwareThreads();
+}
+
+unsigned Scheduler::effectiveJobs(unsigned Jobs) {
+  if (oversubscribes(Jobs)) {
+    static std::atomic<bool> Warned{false};
+    if (!Warned.exchange(true, std::memory_order_relaxed))
+      std::fprintf(stderr,
+                   "astral: warning: --jobs=%u exceeds the %u hardware "
+                   "thread%s; extra workers only add contention\n",
+                   Jobs, hardwareThreads(),
+                   hardwareThreads() == 1 ? "" : "s");
+  }
+  unsigned N = Jobs ? Jobs : hardwareThreads();
+  return std::min(N, MaxThreads);
+}
+
 std::shared_ptr<Scheduler> Scheduler::create(unsigned Jobs) {
-  if (Jobs == 1)
+  unsigned N = effectiveJobs(Jobs);
+  if (N == 1)
     return std::make_shared<SequentialScheduler>();
-  return std::make_shared<ThreadPoolScheduler>(Jobs);
+  return std::make_shared<ThreadPoolScheduler>(N);
+}
+
+void Scheduler::runGroups(size_t NumGroups,
+                          const std::function<void(size_t)> &F) {
+  Scheduler *S = ambient();
+  // A worker's nested parallelFor runs inline anyway; skip the staging.
+  if (NumGroups >= 2 && S && S->concurrency() > 1 && !inWorkerTask()) {
+    S->parallelFor(NumGroups, F);
+    return;
+  }
+  for (size_t I = 0; I < NumGroups; ++I)
+    F(I);
 }
 
 //===----------------------------------------------------------------------===//

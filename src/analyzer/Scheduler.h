@@ -72,10 +72,32 @@ public:
   /// it is pure overhead.
   static bool inWorkerTask();
 
-  /// Builds the scheduler for \p Jobs: 1 -> SequentialScheduler, > 1 ->
-  /// ThreadPoolScheduler(Jobs), 0 -> ThreadPoolScheduler(hardware
-  /// concurrency). Thread counts are clamped to MaxThreads.
+  /// Resolves a --jobs request to the concurrency create() will use:
+  /// 0 means "one worker per hardware thread"
+  /// (std::thread::hardware_concurrency), everything is clamped to
+  /// MaxThreads. Warns once per process on stderr when an explicit request
+  /// oversubscribes the hardware — extra workers only add contention to the
+  /// CPU-bound analysis stages (the request is honored regardless: the
+  /// golden determinism suites deliberately run --jobs=8 on small hosts).
+  static unsigned effectiveJobs(unsigned Jobs);
+
+  /// The warn condition of effectiveJobs: an explicit request above the
+  /// hardware thread count (0 can never oversubscribe). Exposed so tests
+  /// can cover the condition without capturing stderr.
+  static bool oversubscribes(unsigned Jobs);
+
+  /// Builds the scheduler for effectiveJobs(\p Jobs): 1 ->
+  /// SequentialScheduler, > 1 -> ThreadPoolScheduler.
   static std::shared_ptr<Scheduler> create(unsigned Jobs);
+
+  /// Grouped fan-out for the pack-group transfer dispatch: runs F(0) ..
+  /// F(NumGroups-1) — one independent work *group* each, carrying its own
+  /// state (environment snapshot, channel buffer) — through the ambient
+  /// scheduler when one is installed and can actually run groups
+  /// concurrently, inline in index order otherwise. Callers apply the
+  /// per-group results in deterministic order afterwards, exactly as with
+  /// parallelFor slots.
+  static void runGroups(size_t NumGroups, const std::function<void(size_t)> &F);
 
   /// Upper bound on any pool's concurrency — a `@astral jobs` directive or
   /// --jobs flag cannot make the analyzer spawn an unbounded number of

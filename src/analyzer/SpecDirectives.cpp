@@ -110,6 +110,19 @@ astral::applySpecDirectives(const std::string &Source, AnalyzerOptions &Opts) {
           Opts.OctagonClosure = OctClosureMode::Incremental;
         else
           Malformed("octagon-closure", "<full|incremental>");
+      } else if (Kind == "pack-dispatch") {
+        // Transfer-sweep dispatch travels with the input like the closure
+        // discipline. Both modes produce identical reports (the grouped
+        // merge recomputes conflicting slots), so a checked-in spec cannot
+        // make a golden run diverge.
+        std::string ModeName;
+        Dir >> ModeName;
+        if (ModeName == "seq")
+          Opts.PackDispatch = PackDispatchMode::Sequential;
+        else if (ModeName == "groups")
+          Opts.PackDispatch = PackDispatchMode::Groups;
+        else
+          Malformed("pack-dispatch", "<seq|groups>");
       } else if (Kind == "jobs") {
         // Execution policy travels with the input (0 = one worker per
         // hardware thread). Reports stay byte-identical for any value, so a

@@ -18,6 +18,7 @@
 ///      @astral unroll 2
 ///      @astral domains interval,clocked,octagon,tree,ellipsoid
 ///      @astral jobs 4
+///      @astral pack-dispatch groups
 ///      @astral entry main */
 ///
 /// Shared by astral-cli and the example harnesses (one source of truth for

@@ -33,6 +33,7 @@
 #include "support/Statistics.h"
 
 #include <functional>
+#include <initializer_list>
 #include <map>
 #include <optional>
 
@@ -154,8 +155,54 @@ private:
   /// Meets the channel's interval facts into the cell environment,
   /// records pack usefulness, drains statistics notes, and marks the
   /// environment bottom when the publishing domain proved it unreachable.
+  /// \p ChangedSink, when set, observes every cell the fold tightened (the
+  /// grouped merge's conflict detector).
   void applyChannel(AbstractEnv &Env, size_t D, memory::PackId P,
-                    const ReductionChannel &Ch);
+                    const ReductionChannel &Ch,
+                    const std::function<void(CellId)> *ChangedSink = nullptr);
+
+  // -- Pack-group parallel transfer dispatch -------------------------------
+  /// Outcome of one channel-feeding pack sweep over one registered domain.
+  /// Callers translate BottomState/BottomEnv into the exact bottom value
+  /// the historical sequential chain returned (a fresh bottom environment
+  /// vs. the in-place marked one).
+  enum class SweepResult : uint8_t { Ok, BottomState, BottomEnv };
+
+  /// One pack's transfer under the sweep's shared request: returns the new
+  /// state (null = unchanged) and publishes interval facts on the channel.
+  using SweepOp = std::function<DomainState::Ptr(
+      const DomainState &, const DomainEvalContext &, ReductionChannel &)>;
+
+  /// Runs one domain's channel-feeding reduction sweep over \p Touched
+  /// packs (sorted, unique). With --pack-dispatch=groups and an ambient
+  /// parallel scheduler, the packs are partitioned by the domain's
+  /// PackGroupPlan and whole groups fan out as workers: each worker runs
+  /// its group's chain sequentially against a snapshot of the pre-sweep
+  /// environment, buffering new states and channels. The deterministic
+  /// merge then replays the buffers onto the real environment in the
+  /// sequential slot order; a group whose snapshot was invalidated — an
+  /// earlier slot of *another* group tightened a cell of \p ReadExprs /
+  /// \p ReadForms (everything the shared request may read) — is recomputed
+  /// in place, so the final environment, alarms and reports are
+  /// byte-identical to the sequential chain in every case, not only for
+  /// truly disjoint groups. Singleton or degenerate partitions (e.g. every
+  /// assignment sweep: all touched packs share the target cell) take the
+  /// plain sequential chain directly.
+  SweepResult runPackSweep(AbstractEnv &Env, size_t D,
+                           const std::vector<memory::PackId> &Touched,
+                           const SweepOp &Op, bool StopOnBottom,
+                           std::initializer_list<const ir::Expr *> ReadExprs,
+                           std::initializer_list<const LinearForm *> ReadForms);
+
+  /// The cells the sweep's evaluations may read from the environment: every
+  /// load-reachable cell of the request expressions (weak selections
+  /// contribute their whole range, subscripts recurse) plus the linear-form
+  /// terms. Sorted and unique — the grouped merge's conflict-detection
+  /// domain.
+  std::vector<CellId>
+  collectSweepReadSet(const AbstractEnv &Env,
+                      std::initializer_list<const ir::Expr *> Exprs,
+                      std::initializer_list<const LinearForm *> Forms);
 
   /// Runs \p Task(0..N-1) — one registered-domain pack slot each — through
   /// the ambient Scheduler when one is installed, inline otherwise. Tasks
@@ -164,7 +211,8 @@ private:
   /// per-slot results in slot order, which is what keeps `--jobs=N`
   /// byte-identical to sequential. Only order-independent sweeps
   /// (relationalForget, preJoinReduce) use it — the channel-feeding
-  /// reduction chains stay sequential by design.
+  /// reduction chains go through runPackSweep, whose unit of parallelism
+  /// is the PackGroupPlan group, not the slot.
   void runSlotStage(size_t N, const std::function<void(size_t)> &Task);
 
   const ir::Program &P;

@@ -77,6 +77,21 @@ public:
     return S ? S->Itv : Interval::top();
   }
   void setCell(CellId C, const ScalarAbs &V) { Cells = Cells.set(C, V); }
+  /// Meets \p I into cell \p C's interval — the reduction-application rule
+  /// shared by the channel folds of the transfer sweeps. Missing cells and
+  /// bottom meets (transient inconsistencies between a domain's published
+  /// fact and the cell value) keep the cell unchanged, which is sound.
+  /// Returns true when the cell actually tightened.
+  bool meetCellInterval(CellId C, const Interval &I) {
+    const ScalarAbs *S = Cells.get(C);
+    if (!S)
+      return false;
+    Interval Meet = S->Itv.meet(I);
+    if (Meet.isBottom() || Meet == S->Itv)
+      return false;
+    setCell(C, ScalarAbs{Meet, S->Clk});
+    return true;
+  }
   template <typename FnT> void forEachCell(FnT &&F) const {
     Cells.forEach(F);
   }

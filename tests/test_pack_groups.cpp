@@ -1,0 +1,305 @@
+//===- tests/test_pack_groups.cpp - Pack-group parallel dispatch ------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003). Tests the PackGroupPlan (union-find
+// over pack membership) and the grouped transfer dispatch's determinism
+// contract: --pack-dispatch=groups must produce reports bitwise identical to
+// the sequential reduction chain, at every --jobs value, on disjoint *and*
+// on deliberately conflicting pack topologies.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/AnalysisSession.h"
+#include "analyzer/DomainRegistry.h"
+#include "analyzer/Packing.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <sstream>
+
+using namespace astral;
+using memory::PackId;
+using testutil::analyzeSource;
+using testutil::lowerSource;
+
+namespace {
+
+/// Everything the report layer prints that the determinism contract covers.
+std::string fingerprint(const AnalysisResult &R) {
+  std::ostringstream F;
+  F << "alarms:" << R.Alarms.size() << "\n";
+  for (const Alarm &A : R.Alarms)
+    F << alarmKindName(A.Kind) << " line " << A.Loc.Line << " "
+      << A.Message << (A.Definite ? " definite" : "") << "\n";
+  for (const auto &[Name, Itv] : R.VariableRanges)
+    F << Name << "=" << Itv.toString() << "\n";
+  const InvariantCensus &C = R.MainLoopCensus;
+  F << "census:" << C.BoolAssertions << "/" << C.IntervalAssertions << "/"
+    << C.ClockAssertions << "/" << C.OctAdditive << "/" << C.OctSubtractive
+    << "/" << C.DecisionTrees << "/" << C.EllipsoidAssertions << "\n";
+  F << "useful:";
+  for (uint32_t Id : R.UsefulOctPacks)
+    F << " " << Id;
+  F << "\ninv:" << R.MainLoopInvariant;
+  return F.str();
+}
+
+/// The full dispatch matrix of one source: sequential at --jobs=1 is the
+/// baseline every (jobs, dispatch) configuration must reproduce bitwise.
+void expectMatrixIdentical(
+    const std::string &Src,
+    const std::function<void(AnalyzerOptions &)> &Tweak = nullptr) {
+  auto Run = [&](unsigned Jobs, PackDispatchMode Mode) {
+    return fingerprint(analyzeSource(Src, [&](AnalyzerOptions &O) {
+      if (Tweak)
+        Tweak(O);
+      O.Jobs = Jobs;
+      O.PackDispatch = Mode;
+    }));
+  };
+  std::string Base = Run(1, PackDispatchMode::Sequential);
+  for (unsigned Jobs : {1u, 2u, 8u})
+    for (PackDispatchMode Mode :
+         {PackDispatchMode::Sequential, PackDispatchMode::Groups})
+      EXPECT_EQ(Run(Jobs, Mode), Base)
+          << "jobs=" << Jobs << " dispatch="
+          << (Mode == PackDispatchMode::Groups ? "groups" : "seq");
+}
+
+/// A program with two cell-disjoint octagon clusters and a cross-cluster
+/// comparison whose own block pack exceeds MaxOctPackSize (= 3 below), so
+/// the guard sweep touches packs of *two* plan groups — the one shape that
+/// actually fans out, and the one where the groups exchange facts through
+/// the folded out-of-pack interval (the conflict-recompute path).
+const char *CrossClusterGuardSrc =
+    "volatile float ina; volatile float inb;\n"
+    "float a; float x; float b; float y; float z1; float z2;\n"
+    "int main(void) {\n"
+    "  while (1) {\n"
+    "    if (ina > 0.5f) { a = ina; x = a + 1.0f; }\n"
+    "    if (inb > 0.5f) { b = inb; y = b + 2.0f; }\n"
+    "    if (x + y < 10.0f) { z1 = x; z2 = y; }\n"
+    "    __astral_wait();\n"
+    "  }\n"
+    "  return 0;\n"
+    "}\n";
+
+void crossClusterTweak(AnalyzerOptions &O) {
+  O.MaxOctPackSize = 3; // Drops the cross-cluster block pack, keeps clusters.
+  O.VolatileRanges["ina"] = Interval(0, 100);
+  O.VolatileRanges["inb"] = Interval(0, 100);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// PackGroupPlan unit tests
+//===----------------------------------------------------------------------===//
+
+TEST(PackGroupPlan, SingletonPacksEachFormAGroup) {
+  // Four packs, no shared cell: four groups, identity order.
+  std::vector<std::vector<PackId>> CellPacks = {{0}, {1}, {2}, {3}};
+  PackGroupPlan Plan = PackGroupPlan::build(4, CellPacks);
+  ASSERT_EQ(Plan.numGroups(), 4u);
+  for (PackId P = 0; P < 4; ++P) {
+    EXPECT_EQ(Plan.GroupOf[P], P);
+    EXPECT_EQ(Plan.Groups[P], std::vector<PackId>{P});
+  }
+  EXPECT_FALSE(Plan.trivial());
+  EXPECT_EQ(Plan.largestGroup(), 1u);
+}
+
+TEST(PackGroupPlan, RefusesToSplitConnectedComponent) {
+  // Packs 0-3 are chained through shared cells (0~1, 1~2, 2~3): the plan
+  // must keep the whole component in one group even though 0 and 3 share
+  // no cell directly. Packs 4 and 5 share a cell of their own.
+  std::vector<std::vector<PackId>> CellPacks = {{0, 1}, {1, 2}, {2, 3},
+                                                {4, 5}};
+  PackGroupPlan Plan = PackGroupPlan::build(6, CellPacks);
+  ASSERT_EQ(Plan.numGroups(), 2u);
+  EXPECT_EQ(Plan.Groups[0], (std::vector<PackId>{0, 1, 2, 3}));
+  EXPECT_EQ(Plan.Groups[1], (std::vector<PackId>{4, 5}));
+  for (PackId P : {0u, 1u, 2u, 3u})
+    EXPECT_EQ(Plan.GroupOf[P], 0u);
+  for (PackId P : {4u, 5u})
+    EXPECT_EQ(Plan.GroupOf[P], 1u);
+  EXPECT_EQ(Plan.largestGroup(), 4u);
+}
+
+TEST(PackGroupPlan, GroupOrderIsCanonical) {
+  // Groups are numbered by their smallest member pack, members ascending —
+  // regardless of the order cells list their packs.
+  std::vector<std::vector<PackId>> CellPacks = {{5, 3}, {4, 1}, {2, 0}};
+  PackGroupPlan Plan = PackGroupPlan::build(6, CellPacks);
+  ASSERT_EQ(Plan.numGroups(), 3u);
+  EXPECT_EQ(Plan.Groups[0], (std::vector<PackId>{0, 2}));
+  EXPECT_EQ(Plan.Groups[1], (std::vector<PackId>{1, 4}));
+  EXPECT_EQ(Plan.Groups[2], (std::vector<PackId>{3, 5}));
+}
+
+TEST(PackGroupPlan, RandomizedDisjointnessAndDeterminism) {
+  std::mt19937 Rng(7);
+  for (int Iter = 0; Iter < 50; ++Iter) {
+    size_t NumPacks = 1 + Rng() % 24;
+    size_t NumCells = 1 + Rng() % 32;
+    std::vector<std::vector<PackId>> CellPacks(NumCells);
+    for (auto &Packs : CellPacks) {
+      size_t N = Rng() % 4;
+      for (size_t I = 0; I < N; ++I)
+        Packs.push_back(static_cast<PackId>(Rng() % NumPacks));
+    }
+    PackGroupPlan Plan = PackGroupPlan::build(NumPacks, CellPacks);
+
+    // Same input, same plan (pure function — runs and jobs values alike).
+    PackGroupPlan Again = PackGroupPlan::build(NumPacks, CellPacks);
+    EXPECT_EQ(Plan.GroupOf, Again.GroupOf);
+    EXPECT_EQ(Plan.Groups, Again.Groups);
+
+    // Partition: every pack in exactly one group, groups consistent.
+    size_t Total = 0;
+    for (size_t G = 0; G < Plan.numGroups(); ++G) {
+      Total += Plan.Groups[G].size();
+      for (PackId P : Plan.Groups[G])
+        EXPECT_EQ(Plan.GroupOf[P], G);
+      EXPECT_TRUE(std::is_sorted(Plan.Groups[G].begin(),
+                                 Plan.Groups[G].end()));
+    }
+    EXPECT_EQ(Total, NumPacks);
+
+    // Disjointness: no cell's packs may span two groups.
+    for (const std::vector<PackId> &Packs : CellPacks)
+      for (size_t I = 1; I < Packs.size(); ++I)
+        EXPECT_EQ(Plan.GroupOf[Packs[I]], Plan.GroupOf[Packs[0]]);
+  }
+}
+
+TEST(PackGroupPlan, RegistryPlansAreDisjointOnRealPrograms) {
+  // Build the packs of a real program and check every adapter's plan
+  // against its own cell index: a shared cell never crosses groups.
+  std::unique_ptr<AstContext> Ast;
+  std::unique_ptr<ir::Program> P = lowerSource(CrossClusterGuardSrc, Ast);
+  ASSERT_NE(P, nullptr);
+  AnalyzerOptions Opts;
+  crossClusterTweak(Opts);
+  memory::CellLayout Layout(*P, Opts.ArrayExpandLimit);
+  Packing Packs = Packing::build(*P, Layout, Opts);
+  DomainRegistry Reg(Packs, Opts);
+  ASSERT_GT(Reg.size(), 0u);
+  bool SawMultiGroup = false;
+  for (size_t D = 0; D < Reg.size(); ++D) {
+    const PackGroupPlan &Plan = Reg.groupPlan(D);
+    ASSERT_EQ(Plan.GroupOf.size(), Reg.domain(D).numPacks());
+    for (const std::vector<PackId> &Shared : Reg.domain(D).cellPackIndex())
+      for (size_t I = 1; I < Shared.size(); ++I)
+        EXPECT_EQ(Plan.GroupOf[Shared[I]], Plan.GroupOf[Shared[0]]);
+    SawMultiGroup = SawMultiGroup || Plan.numGroups() >= 2;
+  }
+  // The crafted program's whole point: at least one domain has a
+  // non-trivial plan for the dispatch to fan out over.
+  EXPECT_TRUE(SawMultiGroup);
+}
+
+//===----------------------------------------------------------------------===//
+// Grouped-vs-sequential bitwise equality
+//===----------------------------------------------------------------------===//
+
+TEST(PackGroups, CrossClusterGuardMatchesSequentialBitwise) {
+  expectMatrixIdentical(CrossClusterGuardSrc, crossClusterTweak);
+}
+
+TEST(PackGroups, GroupedDispatchActuallyFansOut) {
+  // Guards the feature against silent degeneration: on the crafted
+  // topology with a parallel scheduler, the grouped path must really run
+  // (the work meter is outside the byte-identity contract, but "it never
+  // triggers" would make the whole dispatch dead code).
+  AnalysisResult R = analyzeSource(CrossClusterGuardSrc,
+                                   [](AnalyzerOptions &O) {
+                                     crossClusterTweak(O);
+                                     O.Jobs = 2;
+                                     O.PackDispatch =
+                                         PackDispatchMode::Groups;
+                                   });
+  ASSERT_TRUE(R.FrontendOk);
+  EXPECT_GT(R.Stats.get("parallel.sweeps_grouped"), 0u);
+  EXPECT_GT(R.Stats.get("parallel.sweep_groups_dispatched"), 0u);
+  // And the plan census is reported.
+  EXPECT_GT(R.Stats.get("parallel.groups.octagon.count"), 1u);
+  EXPECT_EQ(R.Stats.get("parallel.pack_dispatch_groups"), 1u);
+
+  // The sequential mode never takes the grouped path.
+  AnalysisResult S = analyzeSource(CrossClusterGuardSrc,
+                                   [](AnalyzerOptions &O) {
+                                     crossClusterTweak(O);
+                                     O.Jobs = 2;
+                                     O.PackDispatch =
+                                         PackDispatchMode::Sequential;
+                                   });
+  EXPECT_EQ(S.Stats.get("parallel.sweeps_grouped"), 0u);
+  EXPECT_EQ(S.Stats.get("parallel.pack_dispatch_groups"), 0u);
+}
+
+TEST(PackGroups, RandomizedTopologiesMatchSequentialBitwise) {
+  // Randomized pack topologies: K independent clusters (disjoint groups),
+  // tree packs inside each, and on odd seeds a cross-cluster comparison in
+  // an oversized block — the conflicting shape that forces the merge's
+  // recompute rule. Every topology must reproduce the sequential report
+  // bitwise at every jobs value.
+  for (unsigned Seed = 1; Seed <= 5; ++Seed) {
+    std::mt19937 Rng(Seed);
+    unsigned K = 2 + Seed % 3;
+    std::ostringstream Src;
+    for (unsigned C = 0; C < K; ++C)
+      Src << "volatile float in" << C << "; float a" << C << "; float x"
+          << C << "; int b" << C << "; float t" << C << ";\n";
+    Src << "int main(void) {\n  while (1) {\n";
+    for (unsigned C = 0; C < K; ++C) {
+      double Step = 1.0 + (Rng() % 8);
+      Src << "    if (in" << C << " > 0.5f) { a" << C << " = in" << C
+          << "; x" << C << " = a" << C << " + " << Step << "f; }\n";
+      Src << "    if (x" << C << " - a" << C << " < " << (Step + 2.0)
+          << "f) { a" << C << " = x" << C << " * 0.5f; }\n";
+      // A confirmed decision-tree pack per cluster.
+      Src << "    b" << C << " = x" << C << " > 2.0f;\n";
+      Src << "    if (b" << C << ") { t" << C << " = x" << C << "; }\n";
+    }
+    if (Seed % 2 == 1) {
+      // Cross-cluster comparison: its own block collects too many cells
+      // for a pack (MaxOctPackSize below), so the sweep spans groups.
+      Src << "    if (x0 + x1 < 9.0f) { t0 = x0; t1 = x1; }\n";
+    }
+    Src << "    __astral_wait();\n  }\n  return 0;\n}\n";
+
+    expectMatrixIdentical(Src.str(), [K](AnalyzerOptions &O) {
+      O.MaxOctPackSize = 3;
+      for (unsigned C = 0; C < K; ++C)
+        O.VolatileRanges["in" + std::to_string(C)] = Interval(0, 50);
+    });
+  }
+}
+
+TEST(PackGroups, BatchAnalysisMatrixIsDeterministic) {
+  // analyzeBatch schedules whole files over the same pool the grouped
+  // sweeps fan out on; the two grains must compose deterministically.
+  std::vector<AnalysisInput> Inputs;
+  for (int I = 0; I < 3; ++I) {
+    AnalysisInput In;
+    In.Source = CrossClusterGuardSrc;
+    In.FileName = "m" + std::to_string(I) + ".c";
+    crossClusterTweak(In.Options);
+    In.Options.ClockMax = 1.0e6;
+    In.Options.Jobs = 4;
+    In.Options.PackDispatch = PackDispatchMode::Groups;
+    Inputs.push_back(std::move(In));
+  }
+  std::vector<AnalysisResult> Batch = AnalysisSession::analyzeBatch(Inputs);
+  AnalysisInput Solo = Inputs[0];
+  Solo.Options.Jobs = 1;
+  Solo.Options.PackDispatch = PackDispatchMode::Sequential;
+  std::string Base = fingerprint(Analyzer::analyze(Solo));
+  for (const AnalysisResult &R : Batch)
+    EXPECT_EQ(fingerprint(R), Base);
+}

@@ -7,7 +7,11 @@
 
 #include "analyzer/SpecDirectives.h"
 
+#include "analyzer/Scheduler.h"
+
 #include <gtest/gtest.h>
+
+#include <thread>
 
 using namespace astral;
 
@@ -104,6 +108,58 @@ TEST(SpecDirectives, NegativeRangesParse) {
       applySpecDirectives("/* @astral volatile stick -1 1 */", Opts);
   EXPECT_TRUE(W.empty());
   EXPECT_EQ(Opts.VolatileRanges["stick"], Interval(-1, 1));
+}
+
+TEST(SpecDirectives, JobsZeroMeansHardwareConcurrency) {
+  // `@astral jobs 0` (and --jobs=0) is the documented "one worker per
+  // hardware thread" request, resolved in exactly one place.
+  AnalyzerOptions Opts;
+  std::vector<std::string> W =
+      applySpecDirectives("/* @astral jobs 0 */", Opts);
+  EXPECT_TRUE(W.empty()) << W.front();
+  EXPECT_EQ(Opts.Jobs, 0u);
+  unsigned HW = std::max(1u, std::thread::hardware_concurrency());
+  EXPECT_EQ(Scheduler::effectiveJobs(0), std::min(HW, Scheduler::MaxThreads));
+  // The resolved scheduler really carries that concurrency.
+  EXPECT_EQ(Scheduler::create(0)->concurrency(),
+            Scheduler::effectiveJobs(0));
+  // 0 is a hardware-sized request, never an oversubscription.
+  EXPECT_FALSE(Scheduler::oversubscribes(0));
+}
+
+TEST(SpecDirectives, JobsAboveHardwareWarnsOnce) {
+  // Explicit requests above the hardware thread count are honored (the
+  // determinism suites deliberately run --jobs=8 on small hosts) but meet
+  // the warn condition; hardware-sized requests do not.
+  unsigned HW = std::max(1u, std::thread::hardware_concurrency());
+  EXPECT_FALSE(Scheduler::oversubscribes(HW));
+  EXPECT_FALSE(Scheduler::oversubscribes(1));
+  if (HW < Scheduler::MaxThreads) {
+    EXPECT_TRUE(Scheduler::oversubscribes(HW + 1));
+    // Honored, not clamped.
+    EXPECT_EQ(Scheduler::effectiveJobs(HW + 1), HW + 1);
+  }
+}
+
+TEST(SpecDirectives, PackDispatchModeParses) {
+  AnalyzerOptions Opts;
+  std::vector<std::string> W =
+      applySpecDirectives("/* @astral pack-dispatch seq */", Opts);
+  EXPECT_TRUE(W.empty()) << W.front();
+  EXPECT_EQ(Opts.PackDispatch, PackDispatchMode::Sequential);
+  W = applySpecDirectives("/* @astral pack-dispatch groups */", Opts);
+  EXPECT_TRUE(W.empty()) << W.front();
+  EXPECT_EQ(Opts.PackDispatch, PackDispatchMode::Groups);
+}
+
+TEST(SpecDirectives, MalformedPackDispatchWarns) {
+  AnalyzerOptions Defaults;
+  AnalyzerOptions Opts;
+  std::vector<std::string> W =
+      applySpecDirectives("/* @astral pack-dispatch sometimes */", Opts);
+  ASSERT_EQ(W.size(), 1u);
+  EXPECT_NE(W[0].find("pack-dispatch"), std::string::npos);
+  EXPECT_EQ(Opts.PackDispatch, Defaults.PackDispatch);
 }
 
 TEST(SpecDirectives, OctagonClosureModeParses) {

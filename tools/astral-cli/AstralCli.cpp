@@ -67,8 +67,19 @@ void printUsage(std::FILE *Out) {
       "  --jobs <n>, --jobs=<n>       worker threads for the parallel\n"
       "                               lattice/reduction stages and for\n"
       "                               scheduling batch files (default: 1;\n"
-      "                               0 = one per hardware thread). Reports\n"
-      "                               are byte-identical for every value.\n"
+      "                               0 = one per hardware thread, i.e.\n"
+      "                               hardware_concurrency; values above\n"
+      "                               the hardware thread count warn once).\n"
+      "                               Reports are byte-identical for every\n"
+      "                               value.\n"
+      "  --pack-dispatch=<mode>       within-file transfer-sweep dispatch:\n"
+      "                               'groups' (default) fans the disjoint\n"
+      "                               pack groups of each relational domain\n"
+      "                               out over the worker pool with a\n"
+      "                               deterministic channel merge; 'seq'\n"
+      "                               keeps the historical sequential\n"
+      "                               reduction chain. Both modes produce\n"
+      "                               identical reports.\n"
       "\n"
       "domain selection:\n"
       "  --domains=<list>             enabled abstract domains, a comma-\n"
@@ -108,7 +119,7 @@ void printUsage(std::FILE *Out) {
       "  `@astral clock-max 3.6e6`, `@astral partition f`,\n"
       "  `@astral threshold 500`, `@astral entry main`,\n"
       "  `@astral domains interval,octagon`, `@astral jobs 4`,\n"
-      "  `@astral octagon-closure full`\n"
+      "  `@astral pack-dispatch groups`, `@astral octagon-closure full`\n"
       "  (flags override directives).\n"
       "\n"
       "output:\n"
@@ -509,6 +520,30 @@ int main(int argc, char **argv) {
         return 1;
       }
       Cli.FlagOps.push_back([N](AnalyzerOptions &O) { O.Jobs = *N; });
+    } else if (A == "--pack-dispatch" || A.rfind("--pack-dispatch=", 0) == 0) {
+      std::string Val;
+      if (A == "--pack-dispatch") {
+        auto V = NextValue(I, "--pack-dispatch");
+        if (!V)
+          return 1;
+        Val = *V;
+      } else {
+        Val = A.substr(std::string("--pack-dispatch=").size());
+      }
+      std::optional<PackDispatchMode> Mode;
+      if (Val == "seq")
+        Mode = PackDispatchMode::Sequential;
+      else if (Val == "groups")
+        Mode = PackDispatchMode::Groups;
+      if (!Mode) {
+        std::fprintf(stderr,
+                     "astral-cli: error: --pack-dispatch expects 'seq' or "
+                     "'groups', got '%s'\n",
+                     Val.c_str());
+        return 1;
+      }
+      Cli.FlagOps.push_back(
+          [Mode](AnalyzerOptions &O) { O.PackDispatch = *Mode; });
     } else if (A == "--octagon-closure" ||
                A.rfind("--octagon-closure=", 0) == 0) {
       std::string Val;
