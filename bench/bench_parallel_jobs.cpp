@@ -16,6 +16,11 @@
 //            workers with a deterministic channel merge. The series carries
 //            both dispatch modes so the new grain's contribution is
 //            visible in isolation.
+//   partition — examples/partitioned_switch.cpp under --partition-dispatch
+//            seq vs par: the trace-partition grain, fanning the delayed
+//            disjunction's environments over the pool per statement. The
+//            controller is small, so each configuration is timed over
+//            repeated whole analyses.
 //   batch  — AnalysisSession::analyzeBatch schedules whole copies of the
 //            file across the same pool (the paper family is multi-module;
 //            multi-file throughput is the production shape). This is the
@@ -35,9 +40,12 @@
 #include "BenchUtil.h"
 
 #include "analyzer/AnalysisSession.h"
+#include "analyzer/SpecDirectives.h"
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -60,6 +68,41 @@ std::string fingerprint(const AnalysisResult &R) {
 
 const char *dispatchName(PackDispatchMode M) {
   return M == PackDispatchMode::Groups ? "groups" : "seq";
+}
+
+const char *partitionDispatchName(PartitionDispatchMode M) {
+  return M == PartitionDispatchMode::Parallel ? "par" : "seq";
+}
+
+/// Loads examples/partitioned_switch.cpp and extracts the input program it
+/// embeds as a raw-string literal (the longest one, the same convention
+/// astral-cli applies to example harnesses). The bench scripts run from the
+/// repo root; the parent fallbacks cover a build-dir cwd.
+std::string loadPartitionedExample() {
+  std::string Text;
+  for (const char *Path : {"examples/partitioned_switch.cpp",
+                           "../examples/partitioned_switch.cpp",
+                           "../../examples/partitioned_switch.cpp"}) {
+    std::ifstream In(Path);
+    if (In) {
+      std::ostringstream SS;
+      SS << In.rdbuf();
+      Text = SS.str();
+      break;
+    }
+  }
+  std::string Best;
+  size_t Pos = 0;
+  while ((Pos = Text.find("R\"(", Pos)) != std::string::npos) {
+    size_t Start = Pos + 3;
+    size_t End = Text.find(")\"", Start);
+    if (End == std::string::npos)
+      break;
+    if (End - Start > Best.size())
+      Best = Text.substr(Start, End - Start);
+    Pos = End + 2;
+  }
+  return Best;
 }
 
 /// One timed single-file run.
@@ -176,6 +219,54 @@ int main() {
                   "speedup=%.2f alarms=%zu\n",
                   Jobs, dispatchName(Dispatch), Sec, SeqSingle / Sec,
                   R.alarmCount());
+    }
+  }
+  hr();
+
+  // -- partition: trace-partition dispatch on the partitioned example -----
+  // The partition dimension is the inner loop for the same warm-allocator
+  // fairness as the single-file series above.
+  std::string PartSource = loadPartitionedExample();
+  if (PartSource.empty()) {
+    std::puts("error: examples/partitioned_switch.cpp not found from this "
+              "cwd — run from the repo root.");
+    return 1;
+  }
+  const unsigned PartReps = fullRuns() ? 80 : 16;
+  std::string PartSeqPrint;
+  double PartSeqSec = 0.0;
+  for (unsigned Jobs : JobsSeries) {
+    for (PartitionDispatchMode Mode : {PartitionDispatchMode::Sequential,
+                                       PartitionDispatchMode::Parallel}) {
+      AnalysisInput In;
+      In.Source = PartSource;
+      applySpecDirectives(In.Source, In.Options);
+      In.Options.Jobs = Jobs;
+      In.Options.PartitionDispatch = Mode;
+      std::string Print;
+      Timer T;
+      for (unsigned Rep = 0; Rep < PartReps; ++Rep) {
+        AnalysisResult R = Analyzer::analyze(In);
+        if (!R.FrontendOk) {
+          std::printf("frontend failed: %s\n", R.FrontendErrors.c_str());
+          return 1;
+        }
+        Print = fingerprint(R);
+      }
+      double Sec = T.seconds();
+      if (Jobs == 1 && Mode == PartitionDispatchMode::Sequential) {
+        PartSeqPrint = Print;
+        PartSeqSec = Sec;
+      } else if (Print != PartSeqPrint) {
+        std::printf("DETERMINISM VIOLATION: partition jobs=%u dispatch=%s "
+                    "report differs\n",
+                    Jobs, partitionDispatchName(Mode));
+        return 1;
+      }
+      std::printf("PARALLEL partition jobs=%u dispatch=%s seconds=%.3f "
+                  "speedup=%.2f reps=%u\n",
+                  Jobs, partitionDispatchName(Mode), Sec, PartSeqSec / Sec,
+                  PartReps);
     }
   }
   hr();

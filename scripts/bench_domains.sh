@@ -79,8 +79,10 @@ echo "bench_domains: wrote $OUT"
 # BENCH_parallel.json: speedup-vs-jobs series from bench_parallel_jobs.
 # Rows: "PARALLEL single jobs=N dispatch=seq|groups seconds=S speedup=X
 #        alarms=A" (the pack-dispatch dimension isolates the grouped
-#        transfer grain) and "PARALLEL batch jobs=N files=K seconds=S
-#        speedup=X".
+#        transfer grain), "PARALLEL partition jobs=N dispatch=seq|par
+#        seconds=S speedup=X reps=R" (the trace-partition grain on
+#        examples/partitioned_switch.cpp) and "PARALLEL batch jobs=N
+#        files=K seconds=S speedup=X".
 # ---------------------------------------------------------------------------
 # Surface the bench's own diagnostic (e.g. "DETERMINISM VIOLATION ...") on
 # failure — it prints to stdout, which the capture would otherwise swallow.
@@ -112,13 +114,14 @@ par_series() { # $1 = single|batch
 }
 
 SINGLE_JSON=$(par_series single)
+PARTITION_JSON=$(par_series partition)
 BATCH_JSON=$(par_series batch)
 BATCH_FILES=$(printf '%s\n' "$PAR_RAW" | awk '
   $1 == "PARALLEL" && $2 == "batch" {
     for (i = 3; i <= NF; i++) { split($i, kv, "="); if (kv[1] == "files") { print kv[2]; exit } }
   }')
 
-if [[ -z "$SINGLE_JSON" || -z "$BATCH_JSON" ]]; then
+if [[ -z "$SINGLE_JSON" || -z "$PARTITION_JSON" || -z "$BATCH_JSON" ]]; then
   echo "bench_domains: could not parse bench_parallel_jobs output" >&2
   exit 1
 fi
@@ -135,6 +138,9 @@ cat > "$PAR_OUT" <<EOF
   "hardware_cores": ${PAR_CORES:-1},
   "single_file": [
 $SINGLE_JSON
+  ],
+  "partition": [
+$PARTITION_JSON
   ],
   "batch": {
     "files": $BATCH_FILES,

@@ -21,10 +21,10 @@ echo "== tsan: ThreadSanitizer build + parallel suites =="
 cmake -B build-tsan -S . -DASTRAL_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$JOBS"
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-      -R "test_scheduler|test_analysis_session|test_iterator|test_domain_registry|test_octagon|test_pack_groups"
+      -R "test_scheduler|test_analysis_session|test_iterator|test_domain_registry|test_octagon|test_pack_groups|test_partition_dispatch"
 
 echo
-echo "== determinism matrix: jobs x pack-dispatch (CI parity) =="
+echo "== determinism matrix: jobs x pack-dispatch x partition-dispatch (CI parity) =="
 scripts/determinism_matrix.sh build
 
 echo
@@ -37,7 +37,9 @@ build/tools/astral-cli examples/flight_control.cpp --dump-invariants >/dev/null
 build/tools/astral-cli examples/quickstart.cpp --json --fail-on-alarms >/dev/null
 build/tools/astral-cli examples/rate_limiter_clocked.cpp --json --jobs=8 --fail-on-alarms >/dev/null
 build/tools/astral-cli examples/flight_control.cpp --json --jobs=0 --pack-dispatch=seq >/dev/null
+build/tools/astral-cli examples/partitioned_switch.cpp --json --jobs=8 --partition-dispatch=seq --dump-stats >/dev/null 2>&1
 build-tsan/tools/astral-cli examples/quickstart.cpp examples/interp_table.cpp --json --jobs=8 >/dev/null
+build-tsan/tools/astral-cli examples/partitioned_switch.cpp --json --jobs=8 --partition-dispatch=par >/dev/null
 
 echo
 echo "all checks passed"

@@ -1,10 +1,16 @@
 #!/usr/bin/env bash
 # Multi-core determinism matrix: every golden example must produce a
 # byte-identical JSON report across --jobs=1/2/8 x --pack-dispatch=seq/groups
-# (the --jobs=1 --pack-dispatch=seq report is the baseline). This is the
-# first-class CI gate behind the parallel analyzer's determinism contract —
-# the in-tree ctest goldens cover the same matrix per case, this script is
-# the standalone/CI entry point and the scripts/check.sh parity hook.
+# x --partition-dispatch=seq/par (the all-sequential --jobs=1 report is the
+# baseline). This is the first-class CI gate behind the parallel analyzer's
+# determinism contract — the in-tree ctest goldens cover the same matrix per
+# case, this script is the standalone/CI entry point and the
+# scripts/check.sh parity hook.
+#
+# On partitioned_switch the gate additionally demands proof that the
+# trace-partition dispatch actually ran (parallel.partitions.dispatched > 0
+# in the --dump-stats census): byte-identity alone would also be satisfied
+# by the parallel path silently degenerating to the sequential loop.
 #
 # Usage: scripts/determinism_matrix.sh [build-dir]
 set -euo pipefail
@@ -31,11 +37,13 @@ trap 'rm -f "$STDERR_TMP"' EXIT
 # Runs one configuration, naming it on any non-zero exit (a crash here is
 # exactly the regression class this gate exists to catch — it must not die
 # silently under set -e).
-run_cli() { # $1=input $2=jobs $3=dispatch -> normalized report on stdout
+run_cli() { # $1=input $2=jobs $3=pack-dispatch $4=partition-dispatch
   local rc=0
-  "$CLI" "$1" --json --jobs="$2" --pack-dispatch="$3" 2>"$STDERR_TMP" | normalize || rc=$?
+  "$CLI" "$1" --json --jobs="$2" --pack-dispatch="$3" \
+      --partition-dispatch="$4" 2>"$STDERR_TMP" | normalize || rc=$?
   if [[ $rc -ne 0 ]]; then
-    echo "determinism_matrix: $1 --jobs=$2 --pack-dispatch=$3 exited with $rc:" >&2
+    echo "determinism_matrix: $1 --jobs=$2 --pack-dispatch=$3" \
+         "--partition-dispatch=$4 exited with $rc:" >&2
     cat "$STDERR_TMP" >&2
     return 1
   fi
@@ -44,20 +52,36 @@ run_cli() { # $1=input $2=jobs $3=dispatch -> normalized report on stdout
 fail=0
 for case in $CASES; do
   input="examples/$case.cpp"
-  base=$(run_cli "$input" 1 seq) || { fail=1; continue; }
+  base=$(run_cli "$input" 1 seq seq) || { fail=1; continue; }
   for jobs in 1 2 8; do
     for disp in seq groups; do
-      [[ "$jobs" == 1 && "$disp" == seq ]] && continue
-      out=$(run_cli "$input" "$jobs" "$disp") || { fail=1; continue; }
-      if [[ "$out" != "$base" ]]; then
-        echo "DETERMINISM VIOLATION: $case --jobs=$jobs --pack-dispatch=$disp" >&2
-        diff <(printf '%s\n' "$base") <(printf '%s\n' "$out") | head -40 >&2 || true
-        fail=1
-      fi
+      for pdisp in seq par; do
+        [[ "$jobs" == 1 && "$disp" == seq && "$pdisp" == seq ]] && continue
+        out=$(run_cli "$input" "$jobs" "$disp" "$pdisp") || { fail=1; continue; }
+        if [[ "$out" != "$base" ]]; then
+          echo "DETERMINISM VIOLATION: $case --jobs=$jobs" \
+               "--pack-dispatch=$disp --partition-dispatch=$pdisp" >&2
+          diff <(printf '%s\n' "$base") <(printf '%s\n' "$out") | head -40 >&2 || true
+          fail=1
+        fi
+      done
     done
   done
-  echo "determinism_matrix: ok $case (jobs=1/2/8 x dispatch=seq/groups)"
+  echo "determinism_matrix: ok $case (jobs=1/2/8 x pack=seq/groups x partition=seq/par)"
 done
+
+# Liveness proof for the third grain: the partitioned example must actually
+# fan partitions out under --partition-dispatch=par with a parallel pool.
+dispatched=$("$CLI" examples/partitioned_switch.cpp --json --jobs=8 \
+    --partition-dispatch=par --dump-stats 2>&1 >/dev/null |
+    sed -nE 's/^parallel\.partitions\.dispatched = ([0-9]+)$/\1/p')
+if [[ -z "$dispatched" || "$dispatched" -eq 0 ]]; then
+  echo "determinism_matrix: partition dispatch never ran on" \
+       "partitioned_switch (parallel.partitions.dispatched=${dispatched:-missing})" >&2
+  fail=1
+else
+  echo "determinism_matrix: partition dispatch ran ($dispatched partition(s) dispatched)"
+fi
 
 if [[ $fail -ne 0 ]]; then
   echo "determinism_matrix: FAILED" >&2

@@ -76,6 +76,26 @@ public:
     Alarms.push_back(Alarm{Point, Loc, Kind, Message, Definite, 0});
   }
 
+  /// Folds another set's alarms into this one: equivalent to re-issuing
+  /// every report of \p O, in \p O's report order. Partition workers buffer
+  /// alarms into private sets; the master merges them back in canonical
+  /// partition order, so the combined record/repeat/definite state is
+  /// byte-identical to the sequential run.
+  void merge(const AlarmSet &O) {
+    for (const Alarm &A : O.Alarms) {
+      auto [It, Inserted] = Index.try_emplace(
+          std::make_pair(A.Point, static_cast<uint8_t>(A.Kind)),
+          Alarms.size());
+      if (!Inserted) {
+        Alarm &M = Alarms[It->second];
+        M.Repeats += A.Repeats + 1;
+        M.Definite = M.Definite || A.Definite;
+        continue;
+      }
+      Alarms.push_back(A);
+    }
+  }
+
   const std::vector<Alarm> &alarms() const { return Alarms; }
   size_t size() const { return Alarms.size(); }
   bool empty() const { return Alarms.empty(); }

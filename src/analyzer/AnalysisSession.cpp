@@ -241,6 +241,16 @@ const AnalysisSession::ExecutionPhase &AnalysisSession::runAbstractExecution() {
   // Transfer, reported here so `parallel.*` describes the whole strategy.
   E.Stats.set("parallel.pack_dispatch_groups",
               In.Options.PackDispatch == PackDispatchMode::Groups ? 1 : 0);
+  // Trace-partition dispatch shape: the mode plus the widest disjunction
+  // the Iterator actually fanned out (`parallel.partitions.dispatched`
+  // accumulates per-dispatch widths during the run) — the proof the third
+  // grain ran, used by the determinism matrix and the dispatch tests.
+  E.Stats.set("parallel.partition_dispatch_par",
+              In.Options.PartitionDispatch == PartitionDispatchMode::Parallel
+                  ? 1
+                  : 0);
+  E.Stats.set("parallel.partitions.max_width",
+              Iter.maxPartitionDispatchWidth());
   for (size_t D = 0; D < P.Registry->size(); ++D) {
     const PackGroupPlan &Plan = P.Registry->groupPlan(D);
     std::string Prefix =

@@ -7,7 +7,10 @@
 
 #include "analyzer/Iterator.h"
 
+#include "analyzer/Scheduler.h"
+
 #include <cassert>
+#include <memory>
 
 using namespace astral;
 using namespace astral::ir;
@@ -142,6 +145,151 @@ AbstractEnv Iterator::joinAll(Disjunction D) {
   return R;
 }
 
+void Iterator::capPartitions(Disjunction &Out) {
+  // Keep MaxPartitions partitions, not one: only the overflow tail is
+  // joined (into the last kept slot, in partition order), so blowing the
+  // cap by a single partition costs one join — not the whole disjunction's
+  // precision.
+  const size_t Cap = std::max(1u, Opts.MaxPartitions);
+  if (Out.size() <= Cap)
+    return;
+  Stats.add("partitioning.cap_collapses");
+  Stats.add("partitioning.cap_collapsed_envs", Out.size() - Cap);
+  AbstractEnv Acc = std::move(Out[Cap - 1]);
+  for (size_t I = Cap; I < Out.size(); ++I) {
+    T.preJoinReduce(Acc, Out[I]);
+    Acc = AbstractEnv::join(Acc, Out[I]);
+  }
+  Out.resize(Cap);
+  Out[Cap - 1] = std::move(Acc);
+}
+
+void Iterator::recordLoopInvariant(uint32_t LoopId, const AbstractEnv &Inv) {
+  auto It = LoopInvariants.find(LoopId);
+  if (It == LoopInvariants.end()) {
+    LoopInvariants.emplace(LoopId, Inv);
+    return;
+  }
+  // Reduce before the union like every other merge site — but on a copy:
+  // preJoinReduce refines both sides, and information from *other* inlined
+  // contexts must never flow back into this context's exit environment.
+  AbstractEnv Incoming = Inv;
+  T.preJoinReduce(It->second, Incoming);
+  It->second = AbstractEnv::join(It->second, Incoming);
+}
+
+//===----------------------------------------------------------------------===//
+// Trace-partition dispatch (the third parallel grain)
+//===----------------------------------------------------------------------===//
+
+struct Iterator::PartitionWorker {
+  AlarmSet Alarms;
+  Iterator Iter;
+  Disjunction Out;
+
+  explicit PartitionWorker(const Iterator &Parent) : Iter(Parent, Alarms) {}
+};
+
+Iterator::Iterator(const Iterator &Parent, AlarmSet &WorkerAlarms)
+    : P(Parent.P), Layout(Parent.Layout), Reg(Parent.Reg), Opts(Parent.Opts),
+      Stats(Parent.Stats), Alarms(WorkerAlarms), Thr(Parent.Thr),
+      T(Parent.T, WorkerAlarms), PartitionDepth(Parent.PartitionDepth),
+      CallDepth(Parent.CallDepth), FuncLocalCells(Parent.FuncLocalCells),
+      CollectMode(true) {
+  // The inherited stack levels are the master's: mark them collect-only so
+  // any break/continue/return crossing into them is buffered, never folded
+  // into a worker-local accumulator (per-worker eager folds would not
+  // replay the sequential reduce/join operation sequence byte for byte).
+  LoopStack.resize(Parent.LoopStack.size());
+  for (LoopCtx &C : LoopStack)
+    C.CollectOnly = true;
+  CallStack.resize(Parent.CallStack.size());
+  for (CallCtx &C : CallStack)
+    C.CollectOnly = true;
+}
+
+void Iterator::foldPending(AbstractEnv &Acc,
+                           std::vector<AbstractEnv> &Pending) {
+  for (AbstractEnv &E : Pending) {
+    T.preJoinReduce(Acc, E);
+    Acc = AbstractEnv::join(Acc, E);
+  }
+  Pending.clear();
+}
+
+void Iterator::mergeWorker(PartitionWorker &W) {
+  // Alarms replay through AlarmSet::merge, not Transfer::alarm — the
+  // worker already metered alarms.reported into the shared Statistics at
+  // generation time.
+  Alarms.merge(W.Alarms);
+
+  // Pack-usefulness flags are monotone; OR is exact.
+  for (size_t D = 0; D < T.RelPackImproved.size(); ++D)
+    for (size_t Pk = 0; Pk < T.RelPackImproved[D].size(); ++Pk)
+      T.RelPackImproved[D][Pk] |= W.Iter.T.RelPackImproved[D][Pk];
+
+  // Shared-level accumulators: replay the worker's buffered environments
+  // with the canonical reduce-then-join fold. mergeWorker runs per worker
+  // in partition order, and each Pending list is in subtree order, so each
+  // accumulator sees exactly the sequential operation sequence.
+  for (size_t L = 0; L < LoopStack.size() && L < W.Iter.LoopStack.size();
+       ++L) {
+    foldPending(LoopStack[L].BreakAcc, W.Iter.LoopStack[L].PendingBreaks);
+    foldPending(LoopStack[L].ContinueAcc,
+                W.Iter.LoopStack[L].PendingContinues);
+  }
+  for (size_t L = 0; L < CallStack.size() && L < W.Iter.CallStack.size(); ++L)
+    foldPending(CallStack[L].ReturnAcc, W.Iter.CallStack[L].PendingReturns);
+
+  for (auto &[LoopId, Inv] : W.Iter.PendingInvariants)
+    recordLoopInvariant(LoopId, Inv);
+  W.Iter.PendingInvariants.clear();
+}
+
+Iterator::Disjunction Iterator::runPartitioned(
+    Disjunction D, const std::function<Disjunction(Iterator &, AbstractEnv)> &Fn) {
+  const size_t N = D.size();
+  if (Opts.PartitionDispatch != PartitionDispatchMode::Parallel ||
+      !Scheduler::wouldFanOut(N)) {
+    // The historical path: every partition inline, in partition order.
+    Disjunction Out;
+    for (AbstractEnv &E : D) {
+      Disjunction R = Fn(*this, std::move(E));
+      for (AbstractEnv &X : R)
+        Out.push_back(std::move(X));
+    }
+    return Out;
+  }
+
+  Stats.add("parallel.partitions.dispatched", N);
+  if (N > MaxDispatchWidth)
+    MaxDispatchWidth = N;
+
+  // Each partition gets its own worker context, built inside the task so
+  // the clone cost parallelizes too. Workers read the master only through
+  // const state that cannot change during the fan-out; nested dispatches
+  // inside a worker run inline (Scheduler::inWorkerTask).
+  std::vector<std::unique_ptr<PartitionWorker>> Workers(N);
+  Scheduler::runGroups(N, [&](size_t I) {
+    auto W = std::make_unique<PartitionWorker>(*this);
+    W->Out = Fn(W->Iter, std::move(D[I]));
+    Workers[I] = std::move(W);
+  });
+
+  // Deterministic merge: every worker's buffered effects and result
+  // environments, in canonical partition order.
+  Disjunction Out;
+  for (size_t I = 0; I < N; ++I) {
+    // A skipped slot can only mean the task threw; runGroups rethrows
+    // first-by-index, so control never reaches here with a null worker.
+    PartitionWorker &W = *Workers[I];
+    mergeWorker(W);
+    for (AbstractEnv &X : W.Out)
+      Out.push_back(std::move(X));
+  }
+  return Out;
+}
+
 AbstractEnv Iterator::execStmtSingle(const Stmt *S, AbstractEnv Env) {
   if (!S || Env.isBottom())
     return Env;
@@ -173,22 +321,26 @@ Iterator::Disjunction Iterator::execStmt(const Stmt *S, Disjunction D) {
     return D;
   }
   case StmtKind::Assign: {
-    for (AbstractEnv &E : D)
-      E = T.assign(std::move(E), S->Lhs, S->Rhs);
-    return D;
+    if (D.size() == 1) {
+      // The width-1 fast path: no dispatch bookkeeping on the hot loop.
+      D[0] = T.assign(std::move(D[0]), S->Lhs, S->Rhs);
+      return D;
+    }
+    return runPartitioned(std::move(D), [S](Iterator &W, AbstractEnv E) {
+      Disjunction R;
+      R.push_back(W.T.assign(std::move(E), S->Lhs, S->Rhs));
+      return R;
+    });
   }
   case StmtKind::If: {
-    Disjunction Out;
-    for (AbstractEnv &E : D) {
-      T.checkCond(E, S->Cond);
-      execIf(S, std::move(E), Out);
-    }
-    // Cap the number of partitions.
-    if (Out.size() > Opts.MaxPartitions) {
-      AbstractEnv Joined = joinAll(std::move(Out));
-      Out.clear();
-      Out.push_back(std::move(Joined));
-    }
+    Disjunction Out =
+        runPartitioned(std::move(D), [S](Iterator &W, AbstractEnv E) {
+          Disjunction R;
+          W.T.checkCond(E, S->Cond);
+          W.execIf(S, std::move(E), R);
+          return R;
+        });
+    capPartitions(Out);
     return Out;
   }
   case StmtKind::While: {
@@ -196,41 +348,65 @@ Iterator::Disjunction Iterator::execStmt(const Stmt *S, Disjunction D) {
     return {execWhile(S, std::move(E))};
   }
   case StmtKind::Call: {
-    Disjunction Out;
-    for (AbstractEnv &E : D)
-      Out.push_back(execCall(S, std::move(E)));
-    // Calls to partitioned functions may themselves create partitions; the
-    // merge already happened at the return point, so Out mirrors D.
+    Disjunction Out =
+        runPartitioned(std::move(D), [S](Iterator &W, AbstractEnv E) {
+          Disjunction R;
+          R.push_back(W.execCall(S, std::move(E)));
+          return R;
+        });
+    // Calls to partitioned functions may themselves create partitions;
+    // their merge already happened at the return point, so Out mirrors D —
+    // but the *call statement itself* multiplies nothing, and a partitioned
+    // caller can still arrive here over the cap, so cap like the If case.
+    capPartitions(Out);
     return Out;
   }
   case StmtKind::Return: {
     assert(!CallStack.empty() && "return outside of any call");
-    AbstractEnv Acc = std::move(CallStack.back().ReturnAcc);
+    CallCtx &C = CallStack.back();
+    if (C.CollectOnly) {
+      for (AbstractEnv &E : D)
+        C.PendingReturns.push_back(std::move(E));
+      return {};
+    }
+    AbstractEnv Acc = std::move(C.ReturnAcc);
     for (AbstractEnv &E : D) {
       T.preJoinReduce(Acc, E);
       Acc = AbstractEnv::join(Acc, E);
     }
-    CallStack.back().ReturnAcc = std::move(Acc);
+    C.ReturnAcc = std::move(Acc);
     return {};
   }
   case StmtKind::Break: {
     assert(!LoopStack.empty() && "break outside of any loop");
-    AbstractEnv Acc = std::move(LoopStack.back().BreakAcc);
+    LoopCtx &C = LoopStack.back();
+    if (C.CollectOnly) {
+      for (AbstractEnv &E : D)
+        C.PendingBreaks.push_back(std::move(E));
+      return {};
+    }
+    AbstractEnv Acc = std::move(C.BreakAcc);
     for (AbstractEnv &E : D) {
       T.preJoinReduce(Acc, E);
       Acc = AbstractEnv::join(Acc, E);
     }
-    LoopStack.back().BreakAcc = std::move(Acc);
+    C.BreakAcc = std::move(Acc);
     return {};
   }
   case StmtKind::Continue: {
     assert(!LoopStack.empty() && "continue outside of any loop");
-    AbstractEnv Acc = std::move(LoopStack.back().ContinueAcc);
+    LoopCtx &C = LoopStack.back();
+    if (C.CollectOnly) {
+      for (AbstractEnv &E : D)
+        C.PendingContinues.push_back(std::move(E));
+      return {};
+    }
+    AbstractEnv Acc = std::move(C.ContinueAcc);
     for (AbstractEnv &E : D) {
       T.preJoinReduce(Acc, E);
       Acc = AbstractEnv::join(Acc, E);
     }
-    LoopStack.back().ContinueAcc = std::move(Acc);
+    C.ContinueAcc = std::move(Acc);
     return {};
   }
   case StmtKind::Wait: {
@@ -278,12 +454,15 @@ void Iterator::execIf(const Stmt *S, AbstractEnv Env, Disjunction &Out) {
   }
 
   if (PartitionDepth > 0) {
-    // Trace partitioning: delay the merge (Sect. 7.1.5).
+    // Trace partitioning: delay the merge (Sect. 7.1.5). The census is
+    // width-accurate — one count per environment whose merge was delayed —
+    // not one per execIf, so the dispatch counters it feeds stay
+    // trustworthy at any partition width.
+    Stats.add("partitioning.delayed_merges", ThenOut.size() + ElseOut.size());
     for (AbstractEnv &E : ThenOut)
       Out.push_back(std::move(E));
     for (AbstractEnv &E : ElseOut)
       Out.push_back(std::move(E));
-    Stats.add("partitioning.delayed_merges");
     return;
   }
   AbstractEnv A = joinAll(std::move(ThenOut));
@@ -348,11 +527,10 @@ AbstractEnv Iterator::execWhile(const Stmt *S, AbstractEnv Env) {
     Exits.push_back(std::move(LoopStack.back().BreakAcc));
 
     if (Opts.RecordLoopInvariants) {
-      auto It = LoopInvariants.find(S->LoopId);
-      if (It == LoopInvariants.end())
-        LoopInvariants.emplace(S->LoopId, Invariant);
+      if (CollectMode)
+        PendingInvariants.emplace_back(S->LoopId, Invariant);
       else
-        It->second = AbstractEnv::join(It->second, Invariant);
+        recordLoopInvariant(S->LoopId, Invariant);
     }
     Exits.push_back(T.guard(std::move(Invariant), S->Cond, false));
   }

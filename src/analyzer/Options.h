@@ -39,6 +39,19 @@ namespace astral {
 ///    reports stay byte-identical to the sequential chain.
 enum class PackDispatchMode : uint8_t { Sequential, Groups };
 
+/// Partition-level dispatch of the Iterator's per-partition statement loops
+/// (Assign, If fan-out, Call) — the analyzer's third, coarsest parallel
+/// grain:
+///  - Sequential: the historical path, every partition of the disjunction
+///    in partition order on the calling thread.
+///  - Parallel: the disjunction's environments fan out over the ambient
+///    Scheduler; each worker runs against its own iteration context (a
+///    sub-Iterator whose shared stack levels only *collect* pending
+///    break/continue/return environments), and a deterministic merge
+///    replays every buffered effect in partition order — the exact
+///    sequential operation sequence, so reports stay byte-identical.
+enum class PartitionDispatchMode : uint8_t { Sequential, Parallel };
+
 struct AnalyzerOptions {
   // -- Abstract domain selection (Sect. 6.2; the refinement sequence of the
   //    alarm experiment E2 ablates these one by one) ------------------------
@@ -125,6 +138,15 @@ struct AnalyzerOptions {
   /// Jobs == 1 there is no pool to fan out over and Groups degrades to the
   /// sequential chain.
   PackDispatchMode PackDispatch = PackDispatchMode::Groups;
+
+  /// Dispatch of the Iterator's per-partition loops (--partition-dispatch=
+  /// seq|par, `@astral partition-dispatch`). Parallel (the default) fans
+  /// trace partitions out over the scheduler inside `@astral partition`
+  /// functions; Sequential keeps the historical single-thread path
+  /// selectable for differential benching. Both modes produce identical
+  /// reports; with Jobs == 1 there is no pool and Parallel degrades to the
+  /// sequential loop.
+  PartitionDispatchMode PartitionDispatch = PartitionDispatchMode::Parallel;
 
   // -- Misc ----------------------------------------------------------------------
   std::string EntryFunction = "main";

@@ -68,16 +68,21 @@ std::shared_ptr<Scheduler> Scheduler::create(unsigned Jobs) {
   return std::make_shared<ThreadPoolScheduler>(N);
 }
 
-void Scheduler::runGroups(size_t NumGroups,
-                          const std::function<void(size_t)> &F) {
+bool Scheduler::wouldFanOut(size_t NumGroups) {
   Scheduler *S = ambient();
   // A worker's nested parallelFor runs inline anyway; skip the staging.
-  if (NumGroups >= 2 && S && S->concurrency() > 1 && !inWorkerTask()) {
-    S->parallelFor(NumGroups, F);
-    return;
+  return NumGroups >= 2 && S && S->concurrency() > 1 && !inWorkerTask();
+}
+
+bool Scheduler::runGroups(size_t NumGroups,
+                          const std::function<void(size_t)> &F) {
+  if (wouldFanOut(NumGroups)) {
+    ambient()->parallelFor(NumGroups, F);
+    return true;
   }
   for (size_t I = 0; I < NumGroups; ++I)
     F(I);
+  return false;
 }
 
 //===----------------------------------------------------------------------===//

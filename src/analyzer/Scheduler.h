@@ -90,14 +90,24 @@ public:
   /// SequentialScheduler, > 1 -> ThreadPoolScheduler.
   static std::shared_ptr<Scheduler> create(unsigned Jobs);
 
-  /// Grouped fan-out for the pack-group transfer dispatch: runs F(0) ..
-  /// F(NumGroups-1) — one independent work *group* each, carrying its own
-  /// state (environment snapshot, channel buffer) — through the ambient
-  /// scheduler when one is installed and can actually run groups
-  /// concurrently, inline in index order otherwise. Callers apply the
-  /// per-group results in deterministic order afterwards, exactly as with
-  /// parallelFor slots.
-  static void runGroups(size_t NumGroups, const std::function<void(size_t)> &F);
+  /// Whether runGroups(\p NumGroups, ...) called right now would fan the
+  /// groups out concurrently: at least two groups, an ambient scheduler
+  /// with real concurrency, and not already inside a pool task (a worker's
+  /// nested parallelFor runs inline anyway). Dispatchers that must build
+  /// per-group state *before* fanning out (the Iterator's partition
+  /// workers) consult this so the eligibility test and the dispatch can
+  /// never disagree.
+  static bool wouldFanOut(size_t NumGroups);
+
+  /// Grouped fan-out for the pack-group and trace-partition dispatches:
+  /// runs F(0) .. F(NumGroups-1) — one independent work *group* each,
+  /// carrying its own state (environment snapshot, channel buffer, worker
+  /// iteration context) — through the ambient scheduler when wouldFanOut
+  /// holds, inline in index order otherwise. Callers apply the per-group
+  /// results in deterministic order afterwards, exactly as with
+  /// parallelFor slots. Returns whether the groups actually fanned out
+  /// (the work-metering census of the dispatch counters).
+  static bool runGroups(size_t NumGroups, const std::function<void(size_t)> &F);
 
   /// Upper bound on any pool's concurrency — a `@astral jobs` directive or
   /// --jobs flag cannot make the analyzer spawn an unbounded number of

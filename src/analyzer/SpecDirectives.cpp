@@ -123,6 +123,19 @@ astral::applySpecDirectives(const std::string &Source, AnalyzerOptions &Opts) {
           Opts.PackDispatch = PackDispatchMode::Groups;
         else
           Malformed("pack-dispatch", "<seq|groups>");
+      } else if (Kind == "partition-dispatch") {
+        // Trace-partition dispatch travels with the input like the
+        // pack-dispatch mode. Both modes produce identical reports (the
+        // partition merge replays every worker effect in partition order),
+        // so a checked-in spec cannot make a golden run diverge.
+        std::string ModeName;
+        Dir >> ModeName;
+        if (ModeName == "seq")
+          Opts.PartitionDispatch = PartitionDispatchMode::Sequential;
+        else if (ModeName == "par")
+          Opts.PartitionDispatch = PartitionDispatchMode::Parallel;
+        else
+          Malformed("partition-dispatch", "<seq|par>");
       } else if (Kind == "jobs") {
         // Execution policy travels with the input (0 = one worker per
         // hardware thread). Reports stay byte-identical for any value, so a

@@ -74,6 +74,15 @@ Transfer::Transfer(const Program &Prog, const memory::CellLayout &L,
   }
 }
 
+Transfer::Transfer(const Transfer &Parent, AlarmSet &WorkerAlarms)
+    : P(Parent.P), Layout(Parent.Layout), Reg(Parent.Reg), Opts(Parent.Opts),
+      Stats(Parent.Stats), Alarms(WorkerAlarms), CellRange(Parent.CellRange),
+      VolatileRng(Parent.VolatileRng) {
+  Checking = Parent.Checking;
+  RelPackImproved = Parent.RelPackImproved;
+  Frames = Parent.Frames;
+}
+
 Interval Transfer::typeRange(const Type *Ty) const {
   if (Ty->isInt()) {
     if (Ty->IsBool)

@@ -55,6 +55,15 @@ public:
            const DomainRegistry &Registry, const AnalyzerOptions &Opts,
            Statistics &Stats, AlarmSet &Alarms);
 
+  /// Worker clone for the trace-partition dispatch: shares the immutable
+  /// analysis inputs (program, layout, registry, options) and the
+  /// thread-safe Statistics sink, but binds alarms to \p WorkerAlarms — a
+  /// per-worker buffer the Iterator merges back in canonical partition
+  /// order — and copies the mutable per-run state (mode, frames, the
+  /// pack-usefulness flags, cached cell ranges) so the worker computes
+  /// byte-identically to the sequential loop without touching the parent.
+  Transfer(const Transfer &Parent, AlarmSet &WorkerAlarms);
+
   // -- Mode & frames (managed by the Iterator) ---------------------------
   bool Checking = false;
   /// Whether alarms may be reported right now: checking mode, and not

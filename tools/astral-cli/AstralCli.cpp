@@ -44,6 +44,7 @@ namespace {
 struct CliOptions {
   std::vector<std::string> InputPaths;
   bool DumpInvariants = false;
+  bool DumpStats = false;
   bool Json = false;
   bool Quiet = false;
   bool FailOnAlarms = false;
@@ -80,6 +81,15 @@ void printUsage(std::FILE *Out) {
       "                               keeps the historical sequential\n"
       "                               reduction chain. Both modes produce\n"
       "                               identical reports.\n"
+      "  --partition-dispatch=<mode>  trace-partition dispatch inside\n"
+      "                               `@astral partition` functions: 'par'\n"
+      "                               (default) fans the disjunction's\n"
+      "                               environments out over the worker\n"
+      "                               pool with a deterministic\n"
+      "                               partition-order merge; 'seq' keeps\n"
+      "                               the historical per-partition loop.\n"
+      "                               Both modes produce identical\n"
+      "                               reports.\n"
       "\n"
       "domain selection:\n"
       "  --domains=<list>             enabled abstract domains, a comma-\n"
@@ -119,11 +129,15 @@ void printUsage(std::FILE *Out) {
       "  `@astral clock-max 3.6e6`, `@astral partition f`,\n"
       "  `@astral threshold 500`, `@astral entry main`,\n"
       "  `@astral domains interval,octagon`, `@astral jobs 4`,\n"
-      "  `@astral pack-dispatch groups`, `@astral octagon-closure full`\n"
-      "  (flags override directives).\n"
+      "  `@astral pack-dispatch groups`, `@astral partition-dispatch par`,\n"
+      "  `@astral octagon-closure full` (flags override directives).\n"
       "\n"
       "output:\n"
       "  --dump-invariants            print the main loop invariant\n"
+      "  --dump-stats                 print the run's statistics counters\n"
+      "                               to stderr (work-metering figures —\n"
+      "                               deliberately outside the\n"
+      "                               byte-identical report guarantee)\n"
       "  --json                       machine-readable report\n"
       "  --quiet                      only the alarm summary\n"
       "  --fail-on-alarms             exit 3 when any alarm is raised\n",
@@ -544,6 +558,31 @@ int main(int argc, char **argv) {
       }
       Cli.FlagOps.push_back(
           [Mode](AnalyzerOptions &O) { O.PackDispatch = *Mode; });
+    } else if (A == "--partition-dispatch" ||
+               A.rfind("--partition-dispatch=", 0) == 0) {
+      std::string Val;
+      if (A == "--partition-dispatch") {
+        auto V = NextValue(I, "--partition-dispatch");
+        if (!V)
+          return 1;
+        Val = *V;
+      } else {
+        Val = A.substr(std::string("--partition-dispatch=").size());
+      }
+      std::optional<PartitionDispatchMode> Mode;
+      if (Val == "seq")
+        Mode = PartitionDispatchMode::Sequential;
+      else if (Val == "par")
+        Mode = PartitionDispatchMode::Parallel;
+      if (!Mode) {
+        std::fprintf(stderr,
+                     "astral-cli: error: --partition-dispatch expects 'seq' "
+                     "or 'par', got '%s'\n",
+                     Val.c_str());
+        return 1;
+      }
+      Cli.FlagOps.push_back(
+          [Mode](AnalyzerOptions &O) { O.PartitionDispatch = *Mode; });
     } else if (A == "--octagon-closure" ||
                A.rfind("--octagon-closure=", 0) == 0) {
       std::string Val;
@@ -584,6 +623,8 @@ int main(int argc, char **argv) {
           [](AnalyzerOptions &O) { O.WideningWithThresholds = false; });
     } else if (A == "--dump-invariants") {
       Cli.DumpInvariants = true;
+    } else if (A == "--dump-stats") {
+      Cli.DumpStats = true;
     } else if (A == "--json") {
       Cli.Json = true;
     } else if (A == "--quiet") {
@@ -764,6 +805,12 @@ int main(int argc, char **argv) {
         std::printf("\n");
       printTextReport(Cli, Path, R);
     }
+    // Stats go to stderr: they are work-metering figures outside the
+    // byte-identical report guarantee, so they must never contaminate the
+    // golden-diffed stdout (notably under --json).
+    if (Cli.DumpStats)
+      std::fprintf(stderr, "=== stats: %s ===\n%s", Path.c_str(),
+                   R.Stats.toString().c_str());
   }
   if (Cli.Json && Batch)
     std::printf("]\n");
