@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# Service-mode conformance smoke: start an `astral serve` daemon, submit
+# every golden example through `astral-cli client` twice, and require
+#
+#   1. every client report byte-identical (after the standard
+#      analysis_seconds normalization) to the one-shot CLI on the same
+#      input — cold AND warm, so the golden suite doubles as protocol
+#      conformance;
+#   2. observable incremental reanalysis: round 2 must hit the content-hash
+#      artifact cache for every file (frontend_hits grows by the full case
+#      count between the cache-stats snapshots);
+#   3. a clean lifecycle: shutdown via the client, daemon exits 0, socket
+#      file unlinked.
+#
+# Usage: scripts/serve_smoke.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${1:-build}
+CLI="$BUILD/tools/astral-cli"
+if [[ ! -x "$CLI" ]]; then
+  echo "serve_smoke: missing $CLI (build first)" >&2
+  exit 1
+fi
+
+CASES="quickstart filter_verification alarm_investigation flight_control
+       interp_table rate_limiter_clocked partitioned_switch"
+NCASES=$(echo $CASES | wc -w)
+
+SOCK=$(mktemp -u /tmp/astral-serve-smoke.XXXXXX.sock)
+WORK=$(mktemp -d)
+SERVE_PID=
+
+cleanup() {
+  [[ -n "$SERVE_PID" ]] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK" "$SOCK"
+}
+trap cleanup EXIT
+
+# Wall-clock is the one environment-dependent report field.
+normalize() {
+  sed -E 's/"analysis_seconds": [0-9.eE+-]+/"analysis_seconds": "<time>"/'
+}
+
+# Pulls one flat numeric field out of a cache-stats/status response line.
+json_field() { # $1=key $2=json-line
+  sed -nE "s/.*\"$1\":([0-9]+).*/\1/p" <<<"$2"
+}
+
+"$CLI" serve --socket="$SOCK" --quiet &
+SERVE_PID=$!
+
+# The daemon binds before accepting; wait for the socket to answer.
+for _ in $(seq 1 100); do
+  if "$CLI" client --socket="$SOCK" status >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "serve_smoke: daemon died during startup" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+fail=0
+stats_before=$("$CLI" client --socket="$SOCK" cache-stats)
+hits_before=$(json_field frontend_hits "$stats_before")
+
+for round in 1 2; do
+  for case in $CASES; do
+    input="examples/$case.cpp"
+    "$CLI" "$input" --json >"$WORK/oneshot.json"
+    rc=0
+    "$CLI" client --socket="$SOCK" analyze "$input" --json \
+        >"$WORK/client.json" 2>"$WORK/client.err" || rc=$?
+    if [[ $rc -ne 0 ]]; then
+      echo "serve_smoke: round $round: client analyze $case exited $rc:" >&2
+      cat "$WORK/client.err" >&2
+      fail=1
+      continue
+    fi
+    if ! diff <(normalize <"$WORK/oneshot.json") \
+              <(normalize <"$WORK/client.json") >/dev/null; then
+      echo "serve_smoke: round $round: $case daemon report differs from" \
+           "the one-shot CLI (byte-identity violation)" >&2
+      diff <(normalize <"$WORK/oneshot.json") \
+           <(normalize <"$WORK/client.json") | head -30 >&2 || true
+      fail=1
+    fi
+  done
+  echo "serve_smoke: round $round ok ($NCASES case(s) byte-identical)"
+done
+
+# Round 1 populated the cache, so round 2 must have hit for every case.
+stats_after=$("$CLI" client --socket="$SOCK" cache-stats)
+hits_after=$(json_field frontend_hits "$stats_after")
+if (( hits_after - hits_before < NCASES )); then
+  echo "serve_smoke: resubmission did not hit the artifact cache" \
+       "(frontend_hits $hits_before -> $hits_after, expected +$NCASES):" >&2
+  echo "  $stats_after" >&2
+  fail=1
+else
+  echo "serve_smoke: cache proof ok (frontend_hits $hits_before -> $hits_after)"
+fi
+
+"$CLI" client --socket="$SOCK" shutdown >/dev/null
+rc=0
+wait "$SERVE_PID" || rc=$?
+SERVE_PID=
+if [[ $rc -ne 0 ]]; then
+  echo "serve_smoke: daemon exited $rc after shutdown (want 0)" >&2
+  fail=1
+fi
+if [[ -e "$SOCK" ]]; then
+  echo "serve_smoke: socket file survived shutdown" >&2
+  fail=1
+fi
+
+if [[ $fail -ne 0 ]]; then
+  echo "serve_smoke: FAILED" >&2
+  exit 1
+fi
+echo "serve_smoke: all checks passed"

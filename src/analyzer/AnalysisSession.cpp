@@ -14,9 +14,11 @@
 #include "lang/Preprocessor.h"
 #include "lang/Sema.h"
 #include "support/MemoryTracker.h"
+#include "support/Sha256.h"
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
 using namespace astral;
@@ -51,15 +53,201 @@ AnalysisSession::AnalysisSession(AnalysisInput Input) : In(std::move(Input)) {}
 
 AnalysisSession::~AnalysisSession() = default;
 
-void AnalysisSession::setOptions(const AnalyzerOptions &O) {
-  bool FrontendStale = Frontend && O.EntryFunction != In.Options.EntryFunction;
-  In.Options = O;
-  if (FrontendStale)
-    Frontend.reset();
-  Layout.reset();
-  Packs.reset();
-  Exec.reset();
+//===----------------------------------------------------------------------===//
+// Option fingerprints and invalidation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Serializer for one fingerprint. Numbers are rendered exactly: doubles as
+/// %a hexfloats (round-trip-exact, so 0.1 vs nextafter(0.1) fingerprints
+/// differ), everything else as decimal integers. Fields are newline-framed
+/// key=value lines, so no two option states share a rendering.
+class FingerprintWriter {
+public:
+  void field(const char *Key, const std::string &V) {
+    Out += Key;
+    Out += '=';
+    Out += V;
+    Out += '\n';
+  }
+  void field(const char *Key, uint64_t V) { field(Key, std::to_string(V)); }
+  void field(const char *Key, bool V) {
+    field(Key, std::string(V ? "1" : "0"));
+  }
+  void field(const char *Key, double V) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%a", V);
+    field(Key, std::string(Buf));
+  }
+
+  std::string take() { return std::move(Out); }
+
+private:
+  std::string Out;
+};
+
+void fingerprintFrontend(const AnalyzerOptions &O, FingerprintWriter &W) {
+  // The frontend lowers against the requested entry point (Lowering::run);
+  // every other option arrives after the IR exists.
+  W.field("entry", O.EntryFunction);
 }
+
+void fingerprintLayout(const AnalyzerOptions &O, FingerprintWriter &W) {
+  W.field("array_expand_limit", uint64_t(O.ArrayExpandLimit));
+}
+
+void fingerprintPacking(const AnalyzerOptions &O, FingerprintWriter &W) {
+  W.field("domains", O.Domains.toString());
+  W.field("max_oct_pack_size", uint64_t(O.MaxOctPackSize));
+  W.field("max_bools_per_tree_pack", uint64_t(O.MaxBoolsPerTreePack));
+  W.field("max_nums_per_tree_pack", uint64_t(O.MaxNumsPerTreePack));
+  std::string Restrict;
+  for (uint32_t Id : O.RestrictOctPacks) { // std::set: already sorted.
+    if (!Restrict.empty())
+      Restrict += ',';
+    Restrict += std::to_string(Id);
+  }
+  W.field("restrict_oct_packs", Restrict);
+  W.field("use_restricted_packs", O.UseRestrictedPacks);
+  // The registry bakes the closure discipline into the octagon domain it
+  // instantiates, so a closure-mode flip is a packing-phase change.
+  W.field("octagon_closure",
+          uint64_t(static_cast<uint8_t>(O.OctagonClosure)));
+}
+
+void fingerprintExecution(const AnalyzerOptions &O, FingerprintWriter &W) {
+  W.field("enable_linearization", O.EnableLinearization);
+  W.field("widening_with_thresholds", O.WideningWithThresholds);
+  W.field("threshold_alpha", O.ThresholdAlpha);
+  W.field("threshold_lambda", O.ThresholdLambda);
+  W.field("threshold_count", uint64_t(O.ThresholdCount));
+  for (size_t I = 0; I < O.ExtraThresholds.size(); ++I)
+    W.field("extra_threshold", O.ExtraThresholds[I]);
+  W.field("delayed_widening_steps", uint64_t(O.DelayedWideningSteps));
+  W.field("delayed_widening", O.DelayedWidening);
+  W.field("delayed_widening_fairness", uint64_t(O.DelayedWideningFairness));
+  W.field("max_iterations", uint64_t(O.MaxIterations));
+  W.field("narrowing_iterations", uint64_t(O.NarrowingIterations));
+  W.field("float_perturbation", O.FloatPerturbation);
+  W.field("default_unroll", uint64_t(O.DefaultUnroll));
+  for (const auto &[LoopId, Count] : O.LoopUnroll)
+    W.field("loop_unroll",
+            std::to_string(LoopId) + ":" + std::to_string(Count));
+  for (const std::string &F : O.PartitionFunctions)
+    W.field("partition_function", F);
+  W.field("max_partitions", uint64_t(O.MaxPartitions));
+  for (const auto &[Name, Range] : O.VolatileRanges) {
+    char Buf[160];
+    std::snprintf(Buf, sizeof(Buf), "%s:%a:%a", Name.c_str(), Range.Lo,
+                  Range.Hi);
+    W.field("volatile_range", std::string(Buf));
+  }
+  W.field("clock_max", O.ClockMax);
+  // Jobs and the dispatch modes cannot change the report (the determinism
+  // guarantee), but they do change the execution artifact's work-metering
+  // statistics — so they fingerprint into the execution phase, never into
+  // the shareable ones.
+  W.field("jobs", uint64_t(O.Jobs));
+  W.field("pack_dispatch", uint64_t(static_cast<uint8_t>(O.PackDispatch)));
+  W.field("partition_dispatch",
+          uint64_t(static_cast<uint8_t>(O.PartitionDispatch)));
+  W.field("max_call_depth", uint64_t(O.MaxCallDepth));
+  W.field("record_loop_invariants", O.RecordLoopInvariants);
+}
+
+} // namespace
+
+std::string AnalysisSession::optionsFingerprint(const AnalyzerOptions &O,
+                                                Phase P) {
+  FingerprintWriter W;
+  // Cumulative by construction: each phase re-serializes its predecessors'
+  // sections, so a change to an early section changes every later
+  // fingerprint and staleness cascades down the pipeline.
+  fingerprintFrontend(O, W);
+  if (P == Phase::Frontend)
+    return W.take();
+  fingerprintLayout(O, W);
+  if (P == Phase::Layout)
+    return W.take();
+  fingerprintPacking(O, W);
+  if (P == Phase::Packing)
+    return W.take();
+  fingerprintExecution(O, W);
+  return W.take();
+}
+
+void AnalysisSession::setOptions(const AnalyzerOptions &O) {
+  const AnalyzerOptions Old = In.Options;
+  In.Options = O;
+
+  auto Stale = [&](Phase P) {
+    return optionsFingerprint(Old, P) != optionsFingerprint(O, P);
+  };
+
+  // Freed artifacts (the execution phase's abstract environments above all)
+  // must meter out of this session's counter, not whichever one the calling
+  // thread happens to carry.
+  memtrack::CounterScope MemScope(&Mem);
+  if (Stale(Phase::Frontend))
+    Frontend.reset();
+  if (Stale(Phase::Layout)) {
+    Layout.reset();
+    AdoptedPacks.reset();
+  }
+  if (Stale(Phase::Packing)) {
+    Packs.reset();
+    AdoptedPacks.reset();
+  }
+  if (Stale(Phase::Execution))
+    Exec.reset();
+}
+
+//===----------------------------------------------------------------------===//
+// Content-hash cache keys
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Length-framed field: no concatenation of distinct (name, source, header)
+/// tuples can collide.
+void hashField(sha256::Hasher &H, const std::string &S) {
+  H.update(std::to_string(S.size()));
+  H.update(":", 1);
+  H.update(S);
+}
+
+void hashContent(sha256::Hasher &H, const AnalysisInput &In) {
+  hashField(H, "astral-artifact-v" + std::to_string(ReportSchemaVersion));
+  hashField(H, In.FileName);
+  hashField(H, In.Source);
+  for (const auto &[Name, Text] : In.Headers) { // std::map: sorted.
+    hashField(H, Name);
+    hashField(H, Text);
+  }
+}
+
+} // namespace
+
+std::string AnalysisSession::frontendCacheKey(const AnalysisInput &In) {
+  sha256::Hasher H;
+  hashContent(H, In);
+  hashField(H, optionsFingerprint(In.Options, Phase::Frontend));
+  return H.hexDigest();
+}
+
+std::string AnalysisSession::packingCacheKey(const AnalysisInput &In) {
+  sha256::Hasher H;
+  hashContent(H, In);
+  // The packing fingerprint re-serializes the frontend and layout sections
+  // (cumulative), so this key covers everything the pack tables depend on.
+  hashField(H, optionsFingerprint(In.Options, Phase::Packing));
+  return H.hexDigest();
+}
+
+//===----------------------------------------------------------------------===//
+// Scheduler selection
+//===----------------------------------------------------------------------===//
 
 void AnalysisSession::setScheduler(std::shared_ptr<Scheduler> S) {
   Sched = std::move(S);
@@ -77,6 +265,45 @@ Scheduler *AnalysisSession::schedulerForRun() {
 }
 
 //===----------------------------------------------------------------------===//
+// Artifact sharing
+//===----------------------------------------------------------------------===//
+
+std::shared_ptr<const AnalysisSession::FrontendPhase>
+AnalysisSession::shareFrontend() {
+  runFrontend();
+  return Frontend;
+}
+
+std::shared_ptr<const AnalysisSession::LayoutPhase>
+AnalysisSession::shareLayout() {
+  layoutCells();
+  return Layout;
+}
+
+std::shared_ptr<const Packing> AnalysisSession::sharePacking() {
+  return buildPacks().Packs;
+}
+
+void AnalysisSession::adoptFrontend(std::shared_ptr<const FrontendPhase> F) {
+  if (Frontend || Layout || Packs || Exec)
+    throw std::logic_error(
+        "AnalysisSession::adoptFrontend: phases already ran");
+  Frontend = std::move(F);
+}
+
+void AnalysisSession::adoptPacking(std::shared_ptr<const LayoutPhase> L,
+                                   std::shared_ptr<const Packing> P) {
+  if (!Frontend || !Frontend->Ok)
+    throw std::logic_error(
+        "AnalysisSession::adoptPacking: no frontend artifact to index into");
+  if (Layout || Packs || Exec)
+    throw std::logic_error(
+        "AnalysisSession::adoptPacking: phases already ran");
+  Layout = std::move(L);
+  AdoptedPacks = std::move(P);
+}
+
+//===----------------------------------------------------------------------===//
 // Phase: frontend (Sect. 5.1)
 //===----------------------------------------------------------------------===//
 
@@ -88,6 +315,12 @@ const AnalysisSession::FrontendPhase &AnalysisSession::runFrontend() {
   F.SourceLines =
       1 + static_cast<uint64_t>(
               std::count(In.Source.begin(), In.Source.end(), '\n'));
+
+  auto Publish = [&]() -> const FrontendPhase & {
+    F.Seconds = PhaseTimer.seconds();
+    Frontend = std::make_shared<const FrontendPhase>(std::move(F));
+    return *Frontend;
+  };
 
   DiagnosticsEngine Diags;
   FileProvider Provider = nullptr;
@@ -105,30 +338,26 @@ const AnalysisSession::FrontendPhase &AnalysisSession::runFrontend() {
   std::vector<Token> Toks = PP.run(In.Source, In.FileName);
   if (Diags.hasErrors()) {
     F.Errors = Diags.formatAll();
-    Frontend = std::move(F);
-    return *Frontend;
+    return Publish();
   }
 
   F.Ast = std::make_unique<AstContext>();
   Parser Parse(std::move(Toks), *F.Ast, Diags);
   if (!Parse.parseTranslationUnit()) {
     F.Errors = Diags.formatAll();
-    Frontend = std::move(F);
-    return *Frontend;
+    return Publish();
   }
   Sema TypeCheck(*F.Ast, Diags);
   if (!TypeCheck.run()) {
     F.Errors = Diags.formatAll();
-    Frontend = std::move(F);
-    return *Frontend;
+    return Publish();
   }
 
   ir::Lowering Lower(*F.Ast, Diags);
   std::unique_ptr<ir::Program> P = Lower.run(In.Options.EntryFunction);
   if (!P) {
     F.Errors = Diags.formatAll();
-    Frontend = std::move(F);
-    return *Frontend;
+    return Publish();
   }
   ir::ConstFoldStats FoldStats = ir::foldConstants(*P);
   F.Ok = true;
@@ -140,9 +369,7 @@ const AnalysisSession::FrontendPhase &AnalysisSession::runFrontend() {
   F.ConstLoadsReplaced = FoldStats.ConstLoadsReplaced;
   F.GlobalsDeleted = FoldStats.GlobalsDeleted;
   F.Program = std::move(P);
-  F.Seconds = PhaseTimer.seconds();
-  Frontend = std::move(F);
-  return *Frontend;
+  return Publish();
 }
 
 //===----------------------------------------------------------------------===//
@@ -162,7 +389,7 @@ const AnalysisSession::LayoutPhase &AnalysisSession::layoutCells() {
   L.NumCells = L.Layout->numCells();
   L.ExpandedArrayCells = L.Layout->expandedArrayCells();
   L.Seconds = PhaseTimer.seconds();
-  Layout = std::move(L);
+  Layout = std::make_shared<const LayoutPhase>(std::move(L));
   return *Layout;
 }
 
@@ -176,8 +403,15 @@ const AnalysisSession::PackingPhase &AnalysisSession::buildPacks() {
   const LayoutPhase &L = layoutCells();
   Timer PhaseTimer;
   PackingPhase P;
-  P.Packs = std::make_unique<Packing>(Packing::build(
-      *Frontend->Program, *L.Layout, In.Options));
+  if (AdoptedPacks) {
+    // Cache hit: the immutable pack tables arrive from a twin content key;
+    // only the per-session registry (closure-stats sink, group plans) is
+    // rebuilt below.
+    P.Packs = std::move(AdoptedPacks);
+  } else {
+    P.Packs = std::make_shared<const Packing>(
+        Packing::build(*Frontend->Program, *L.Layout, In.Options));
+  }
   P.Registry = std::make_unique<DomainRegistry>(*P.Packs, In.Options);
   for (size_t D = 0; D < P.Registry->size(); ++D) {
     const RelationalDomain &Dom = P.Registry->domain(D);
@@ -206,7 +440,12 @@ const AnalysisSession::ExecutionPhase &AnalysisSession::runAbstractExecution() {
   const PackingPhase &P = buildPacks();
   ExecutionPhase E;
 
-  memtrack::resetPeak();
+  // The session's own byte meter is ambient for the whole phase; the
+  // Scheduler re-installs it on every worker running this session's tasks,
+  // so concurrent sessions (batch files, daemon requests) each read their
+  // own high-water mark.
+  memtrack::CounterScope MemScope(&Mem);
+  Mem.resetPeak();
   AlarmSet Alarms;
   Iterator Iter(*Frontend->Program, *Layout->Layout, *P.Registry, In.Options,
                 E.Stats, Alarms);
@@ -221,7 +460,7 @@ const AnalysisSession::ExecutionPhase &AnalysisSession::runAbstractExecution() {
   Timer AnalysisTimer;
   E.Final = Iter.run();
   E.AnalysisSeconds = AnalysisTimer.seconds();
-  E.PeakAbstractBytes = memtrack::peakBytes();
+  E.PeakAbstractBytes = Mem.peakBytes();
   E.Alarms = Alarms.alarms();
   E.LoopInvariants = Iter.loopInvariants();
   E.RelPackImproved = Iter.transfer().RelPackImproved;

@@ -18,10 +18,20 @@
 ///
 /// Invoking a phase runs every missing predecessor first, so `report()`
 /// alone reproduces Analyzer::analyze. The value of the seam is re-entry:
-/// `setOptions()` invalidates only the phases the new parametrization can
-/// affect, so a domain-ablation sweep pays the frontend once and re-runs
-/// from buildPacks() per configuration (what scripts/bench_domains.sh used
-/// to re-pay per run).
+/// `setOptions()` invalidates only from the first phase whose option
+/// fingerprint (optionsFingerprint) the new parametrization changes — a
+/// domain-ablation sweep pays the frontend once and re-runs from
+/// buildPacks() per configuration, while a --jobs or dispatch-mode change
+/// re-runs the execution phase alone.
+///
+/// Artifact sharing (the service mode's cache seam): the frontend, the cell
+/// layout and the pack tables are immutable once built and are held by
+/// shared_ptr — shareFrontend()/shareLayout()/sharePacking() expose them,
+/// adoptFrontend()/adoptPacking() seed a fresh session with artifacts from
+/// an earlier one (same content key), skipping those phases entirely. The
+/// mutable per-session state (the DomainRegistry with its closure-stats
+/// sink, the execution artifact) is always rebuilt per session, so
+/// concurrent sessions sharing artifacts never share meters.
 ///
 /// Execution policy: AnalyzerOptions::Jobs selects the Scheduler
 /// (Scheduler.h) installed for the abstract-execution phase. The per-slot
@@ -31,10 +41,12 @@
 /// pack census, everything the report layer prints — are byte-identical
 /// for every Jobs value: slot results are computed independently and
 /// applied in deterministic slot order. Work-metering figures are not:
-/// peak abstract bytes are process-wide, and a parallel inclusion check
-/// evaluates slots a sequential one would short-circuit past. The octagon
-/// closure counters, by contrast, are per-session (the DomainRegistry owns
-/// the sink), so batch files meter their own closure work.
+/// a parallel inclusion check evaluates slots a sequential one would
+/// short-circuit past. Both meter families are per-session — the octagon
+/// closure counters (the DomainRegistry owns the sink) and the peak
+/// abstract bytes (the session owns a memtrack::Counter that the Scheduler
+/// re-installs on every worker running the session's tasks) — so batch
+/// files and concurrent daemon requests meter their own work.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -49,6 +61,7 @@
 #include "lang/Ast.h"
 #include "memory/AbstractEnv.h"
 #include "memory/Cell.h"
+#include "support/MemoryTracker.h"
 
 #include <map>
 #include <memory>
@@ -58,12 +71,21 @@
 
 namespace astral {
 
+/// Version of the JSON report schema and of the shareable artifact layout —
+/// bumped together, since both describe what the pipeline's phases produce.
+/// Reports carry it as "schema_version"; the service's artifact cache bakes
+/// it into every cache key and the client checks it on every response, so a
+/// daemon from another build vintage misses cleanly instead of serving
+/// artifacts the caller would misinterpret.
+inline constexpr uint32_t ReportSchemaVersion = 1;
+
 class AnalysisSession {
 public:
   /// Frontend artifact: the lowered program plus the frontend census. When
   /// !Ok, Program is null and Errors carries the diagnostics. The AST arena
   /// rides along because the IR shares its Type nodes — the artifact keeps
   /// both alive for every later phase (and any caller holding the program).
+  /// Immutable once built; shareable across sessions and threads.
   struct FrontendPhase {
     bool Ok = false;
     std::string Errors;
@@ -78,7 +100,7 @@ public:
     std::unique_ptr<ir::Program> Program;
   };
 
-  /// Cell-layout artifact (Sect. 6.1.1 memory model).
+  /// Cell-layout artifact (Sect. 6.1.1 memory model). Immutable once built.
   struct LayoutPhase {
     std::unique_ptr<memory::CellLayout> Layout;
     uint64_t NumCells = 0;
@@ -86,10 +108,12 @@ public:
     double Seconds = 0.0;
   };
 
-  /// Packing artifact: the packs, the registry of enabled relational
-  /// domains over them, and the per-domain pack census.
+  /// Packing artifact: the packs (immutable, shareable), the registry of
+  /// enabled relational domains over them (per-session: it owns the
+  /// closure-stats sink and the group plans), and the per-domain pack
+  /// census.
   struct PackingPhase {
-    std::unique_ptr<Packing> Packs;
+    std::shared_ptr<const Packing> Packs;
     std::unique_ptr<DomainRegistry> Registry;
     std::map<DomainKind, DomainPackStats> PackCensus;
     double Seconds = 0.0;
@@ -108,6 +132,11 @@ public:
     uint64_t PeakAbstractBytes = 0;
   };
 
+  /// The pipeline phases, in dependency order. Used by the invalidation
+  /// matrix (setOptions) and by the per-phase option fingerprints that the
+  /// service cache keys derive from.
+  enum class Phase : uint8_t { Frontend, Layout, Packing, Execution };
+
   explicit AnalysisSession(AnalysisInput In);
   ~AnalysisSession();
 
@@ -117,11 +146,29 @@ public:
   const AnalysisInput &input() const { return In; }
   const AnalyzerOptions &options() const { return In.Options; }
 
-  /// Re-parametrizes the session, invalidating exactly the phases the new
-  /// options can affect: everything after the frontend, plus the frontend
-  /// itself when EntryFunction changed (lowering is entry-driven). The
-  /// typical sweep keeps one frontend run across many configurations.
+  /// Re-parametrizes the session, invalidating exactly the phases whose
+  /// option fingerprint the new options change: each phase is stale iff
+  /// optionsFingerprint(old, P) != optionsFingerprint(new, P) (fingerprints
+  /// are cumulative, so staleness cascades down the pipeline). Identical
+  /// options invalidate nothing; a --jobs or dispatch-mode change re-runs
+  /// only the execution phase; a domain or closure-mode change re-runs from
+  /// buildPacks(); an entry-function change re-runs everything.
   void setOptions(const AnalyzerOptions &O);
+
+  /// Serializes the option subset that phase \p P (and its predecessors)
+  /// depends on. This is the single source of truth for both setOptions()
+  /// invalidation and the service cache keys: two option sets with equal
+  /// fingerprints for P produce identical phase-P artifacts for identical
+  /// content. Fingerprints are cumulative: fingerprint(Execution) covers
+  /// every option field.
+  static std::string optionsFingerprint(const AnalyzerOptions &O, Phase P);
+
+  /// Content-hash cache keys (service mode): SHA-256 over the report schema
+  /// version, file name, source, headers, and the phase's option
+  /// fingerprint. Equal keys guarantee an equal artifact; any content or
+  /// relevant-option drift misses.
+  static std::string frontendCacheKey(const AnalysisInput &In);
+  static std::string packingCacheKey(const AnalysisInput &In);
 
   /// Shares an externally-owned scheduler (the batch pool). When unset, the
   /// session builds its own from options().Jobs.
@@ -137,12 +184,35 @@ public:
   const ExecutionPhase &runAbstractExecution();
   AnalysisResult report();
 
+  // -- Artifact sharing (the service cache seam) ---------------------------
+  /// Runs the phase if needed and returns shared ownership of its immutable
+  /// artifact.
+  std::shared_ptr<const FrontendPhase> shareFrontend();
+  std::shared_ptr<const LayoutPhase> shareLayout();
+  std::shared_ptr<const Packing> sharePacking();
+  /// Seeds a fresh session with a frontend artifact produced from the same
+  /// frontendCacheKey(); the frontend phase then never runs here. Must be
+  /// called before any phase ran.
+  void adoptFrontend(std::shared_ptr<const FrontendPhase> F);
+  /// Seeds the layout + pack tables from the same packingCacheKey();
+  /// buildPacks() then only rebuilds the per-session registry. Requires an
+  /// adopted (or already-run) frontend from the same content key — the pack
+  /// tables index into that program's cells.
+  void adoptPacking(std::shared_ptr<const LayoutPhase> L,
+                    std::shared_ptr<const Packing> P);
+
+  /// Artifact-presence observers (the setOptions invalidation matrix is
+  /// asserted through these).
+  bool hasFrontendArtifact() const { return Frontend != nullptr; }
+  bool hasLayoutArtifact() const { return Layout != nullptr; }
+  bool hasPackingArtifact() const { return Packs.has_value(); }
+  bool hasExecutionArtifact() const { return Exec.has_value(); }
+
   /// Analyzes every input, scheduling whole files across one shared pool
   /// sized by the maximum Jobs of the batch. Results are in input order
   /// and semantically identical to analyzing each file alone. Per-session
-  /// work meters (the octagon closure counters) stay per-file; only the
-  /// process-wide PeakAbstractBytes figure interleaves across concurrent
-  /// files and is only meaningful for single-file runs.
+  /// work meters (the octagon closure counters, the peak-abstract-bytes
+  /// figure) stay per-file.
   static std::vector<AnalysisResult>
   analyzeBatch(const std::vector<AnalysisInput> &Inputs);
 
@@ -154,10 +224,12 @@ private:
   bool SchedulerInjected = false;
   unsigned SchedulerJobs = ~0u;         ///< Jobs value Sched was built for.
 
-  std::optional<FrontendPhase> Frontend;
-  std::optional<LayoutPhase> Layout;
+  std::shared_ptr<const FrontendPhase> Frontend;
+  std::shared_ptr<const LayoutPhase> Layout;
+  std::shared_ptr<const Packing> AdoptedPacks; ///< Consumed by buildPacks().
   std::optional<PackingPhase> Packs;
   std::optional<ExecutionPhase> Exec;
+  memtrack::Counter Mem; ///< Per-session abstract-state byte meter.
 };
 
 } // namespace astral

@@ -7,6 +7,8 @@
 
 #include "analyzer/Scheduler.h"
 
+#include "support/MemoryTracker.h"
+
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -104,6 +106,11 @@ void SequentialScheduler::parallelFor(size_t N,
 struct ThreadPoolScheduler::Batch {
   size_t N = 0;
   const std::function<void(size_t)> *F = nullptr;
+  /// The submitting thread's ambient per-session memory counter: workers
+  /// running this batch's tasks re-install it, so a session's fanned-out
+  /// abstract-state allocations meter into the session's own counter
+  /// rather than whichever session a worker last served.
+  memtrack::Counter *Mem = nullptr;
 
   std::atomic<size_t> Next{0};    ///< Next unclaimed index.
   std::atomic<size_t> Done{0};    ///< Tasks finished (ran or abandoned).
@@ -137,6 +144,7 @@ ThreadPoolScheduler::~ThreadPoolScheduler() {
 void ThreadPoolScheduler::runTasks(Batch &B) {
   bool SavedInside = InsidePoolTask;
   InsidePoolTask = true;
+  memtrack::CounterScope MemScope(B.Mem);
   for (;;) {
     size_t I = B.Next.fetch_add(1, std::memory_order_relaxed);
     if (I >= B.N)
@@ -193,6 +201,7 @@ void ThreadPoolScheduler::parallelFor(size_t N,
   auto B = std::make_shared<Batch>();
   B->N = N;
   B->F = &F;
+  B->Mem = memtrack::currentCounter();
   {
     std::lock_guard<std::mutex> L(Mu);
     Current = B;

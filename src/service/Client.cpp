@@ -1,0 +1,262 @@
+//===- service/Client.cpp - astral-cli client mode --------------------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+
+#include "analyzer/AnalysisSession.h"
+#include "analyzer/CliOptions.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace astral {
+namespace service {
+
+Client::~Client() {
+  if (Fd != -1)
+    ::close(Fd);
+}
+
+std::unique_ptr<Client> Client::connect(const std::string &SocketPath,
+                                        std::string &Err) {
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.empty() || SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Err = "astral client: socket path must be 1.." +
+          std::to_string(sizeof(Addr.sun_path) - 1) + " bytes";
+    return nullptr;
+  }
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("astral client: socket: ") + std::strerror(errno);
+    return nullptr;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Err = "astral client: cannot connect to " + SocketPath + ": " +
+          std::strerror(errno) + " (is `astral-cli serve` running?)";
+    ::close(Fd);
+    return nullptr;
+  }
+  return std::unique_ptr<Client>(new Client(Fd));
+}
+
+std::optional<JsonValue> Client::roundTrip(const Request &R,
+                                           std::string &Err) {
+  std::string Line = encodeRequest(R);
+  Line += '\n';
+  size_t Sent = 0;
+  while (Sent < Line.size()) {
+    ssize_t W = ::send(Fd, Line.data() + Sent, Line.size() - Sent,
+                       MSG_NOSIGNAL);
+    if (W <= 0) {
+      Err = std::string("astral client: send: ") + std::strerror(errno);
+      return std::nullopt;
+    }
+    Sent += size_t(W);
+  }
+
+  char Chunk[65536];
+  size_t Nl;
+  while ((Nl = Carry.find('\n')) == std::string::npos) {
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N < 0) {
+      Err = std::string("astral client: recv: ") + std::strerror(errno);
+      return std::nullopt;
+    }
+    if (N == 0) {
+      Err = "astral client: daemon closed the connection mid-response";
+      return std::nullopt;
+    }
+    Carry.append(Chunk, size_t(N));
+  }
+  std::string Response = Carry.substr(0, Nl);
+  Carry.erase(0, Nl + 1);
+
+  std::string ParseErr;
+  std::optional<JsonValue> Doc = JsonValue::parse(Response, ParseErr);
+  if (!Doc) {
+    Err = "astral client: malformed response: " + ParseErr;
+    return std::nullopt;
+  }
+  return Doc;
+}
+
+//===----------------------------------------------------------------------===//
+// The `client` subcommand
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Checks ok/error and the schema vintage; on failure prints to stderr and
+/// returns false.
+bool vetResponse(const JsonValue &Doc) {
+  const JsonValue *Ok = Doc.find("ok");
+  if (!Ok || !Ok->isBool() || !Ok->asBool()) {
+    const JsonValue *E = Doc.find("error");
+    std::fprintf(stderr, "astral client: daemon error: %s\n",
+                 E && E->isString() ? E->asString().c_str()
+                                    : "(malformed error response)");
+    return false;
+  }
+  const JsonValue *Ver = Doc.find("schema_version");
+  if (!Ver || !Ver->isNumber() ||
+      uint64_t(Ver->asNumber()) != ReportSchemaVersion) {
+    std::fprintf(stderr,
+                 "astral client: daemon speaks report schema %s, this "
+                 "client expects %u — restart the daemon from this build\n",
+                 Ver && Ver->isNumber()
+                     ? std::to_string(uint64_t(Ver->asNumber())).c_str()
+                     : "(none)",
+                 unsigned(ReportSchemaVersion));
+    return false;
+  }
+  return true;
+}
+
+int runAnalyze(Client &C, const std::vector<std::string> &Args) {
+  cli::CliOptions Cli;
+  cli::ParseOutcome Parsed = cli::parseArgs(Args, Cli);
+  if (!Parsed.Ok) {
+    std::fprintf(stderr, "%s\n", Parsed.Error.c_str());
+    return 1;
+  }
+  if (Parsed.ShowHelp) {
+    cli::printUsage(stdout);
+    return 0;
+  }
+  // Deprecation warnings are NOT printed here: the daemon re-parses the
+  // forwarded tokens and routes them through the response's stderr field,
+  // so printing both would duplicate every line.
+  if (Cli.InputPaths.empty()) {
+    std::fprintf(stderr, "astral client: error: no input files\n");
+    return 1;
+  }
+
+  std::vector<std::string> Notes;
+  std::string LoadErr;
+  std::optional<std::vector<cli::LoadedFile>> Files =
+      cli::loadInputFiles(Cli, Notes, LoadErr);
+  for (const std::string &N : Notes)
+    std::fprintf(stderr, "%s\n", N.c_str());
+  if (!Files) {
+    std::fprintf(stderr, "%s\n", LoadErr.c_str());
+    return 1;
+  }
+
+  Request R;
+  R.Operation = Request::Op::Analyze;
+  R.Args = Cli.FlagArgs;
+  for (const cli::LoadedFile &F : *Files)
+    R.Files.push_back(FilePayload{F.Path, F.Source, F.Headers});
+
+  std::string Err;
+  std::optional<JsonValue> Doc = C.roundTrip(R, Err);
+  if (!Doc) {
+    std::fprintf(stderr, "%s\n", Err.c_str());
+    return 1;
+  }
+  if (!vetResponse(*Doc))
+    return 1;
+
+  const JsonValue *Out = Doc->find("stdout");
+  const JsonValue *ErrText = Doc->find("stderr");
+  const JsonValue *Code = Doc->find("exit_code");
+  if (!Out || !Out->isString() || !ErrText || !ErrText->isString() || !Code ||
+      !Code->isNumber()) {
+    std::fprintf(stderr,
+                 "astral client: malformed analyze response (missing "
+                 "stdout/stderr/exit_code)\n");
+    return 1;
+  }
+  // Verbatim pass-through: these bytes are what the one-shot driver would
+  // have emitted, and the golden suite diffs them.
+  std::fwrite(Out->asString().data(), 1, Out->asString().size(), stdout);
+  std::fwrite(ErrText->asString().data(), 1, ErrText->asString().size(),
+              stderr);
+  return int(Code->asNumber());
+}
+
+int runSimpleOp(Client &C, Request::Op Op) {
+  Request R;
+  R.Operation = Op;
+  std::string Err;
+  std::optional<JsonValue> Doc = C.roundTrip(R, Err);
+  if (!Doc) {
+    std::fprintf(stderr, "%s\n", Err.c_str());
+    return 1;
+  }
+  if (!vetResponse(*Doc))
+    return 1;
+  // The response object IS the report for these ops; print it as one line
+  // so scripts can parse or grep it directly.
+  std::string S = Doc->serialize();
+  std::fprintf(stdout, "%s\n", S.c_str());
+  return 0;
+}
+
+} // namespace
+
+int runClientCommand(const std::vector<std::string> &Args) {
+  std::string SocketPath;
+  size_t I = 0;
+  for (; I < Args.size(); ++I) {
+    if (Args[I].rfind("--socket=", 0) == 0)
+      SocketPath = Args[I].substr(std::strlen("--socket="));
+    else
+      break;
+  }
+  if (SocketPath.empty()) {
+    std::fprintf(stderr,
+                 "astral client: error: --socket=<path> is required "
+                 "(before the operation)\n");
+    return 1;
+  }
+  if (I >= Args.size()) {
+    std::fprintf(stderr,
+                 "astral client: error: expected an operation: analyze, "
+                 "status, cache-stats, or shutdown\n");
+    return 1;
+  }
+  const std::string &Op = Args[I];
+  std::vector<std::string> Rest(Args.begin() + ptrdiff_t(I) + 1, Args.end());
+
+  std::string Err;
+  std::unique_ptr<Client> C = Client::connect(SocketPath, Err);
+  if (!C) {
+    std::fprintf(stderr, "%s\n", Err.c_str());
+    return 1;
+  }
+
+  if (Op == "analyze")
+    return runAnalyze(*C, Rest);
+  if (!Rest.empty()) {
+    std::fprintf(stderr, "astral client: error: '%s' takes no arguments\n",
+                 Op.c_str());
+    return 1;
+  }
+  if (Op == "status")
+    return runSimpleOp(*C, Request::Op::Status);
+  if (Op == "cache-stats")
+    return runSimpleOp(*C, Request::Op::CacheStats);
+  if (Op == "shutdown")
+    return runSimpleOp(*C, Request::Op::Shutdown);
+  std::fprintf(stderr,
+               "astral client: error: unknown operation '%s' (expected "
+               "analyze, status, cache-stats, or shutdown)\n",
+               Op.c_str());
+  return 1;
+}
+
+} // namespace service
+} // namespace astral

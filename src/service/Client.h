@@ -1,0 +1,66 @@
+//===- service/Client.h - astral-cli client mode -----------------*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon's counterpart: `astral-cli client --socket=PATH <op> ...`
+/// connects to a running `astral serve`, ships one request line, and
+/// renders the response. For `analyze` the client does all path-shaped work
+/// locally (file reading, C++-harness extraction, #include preloading — via
+/// the shared cli layer) and forwards the verbatim flag tokens, so the
+/// daemon sees exactly what the one-shot driver would have parsed; the
+/// response's stdout/stderr fields are printed verbatim and the embedded
+/// exit code becomes the process exit code. A schema_version mismatch (a
+/// daemon of another build vintage) is refused instead of misread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_SERVICE_CLIENT_H
+#define ASTRAL_SERVICE_CLIENT_H
+
+#include "service/Protocol.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace astral {
+namespace service {
+
+/// One connection to a serve daemon. Multiple roundTrips may share the
+/// connection (the daemon answers lines in order per connection).
+class Client {
+public:
+  ~Client();
+
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Connects to the daemon's socket; null + \p Err on failure.
+  static std::unique_ptr<Client> connect(const std::string &SocketPath,
+                                         std::string &Err);
+
+  /// Sends \p R as one line and reads one response line, parsed as JSON.
+  /// nullopt + \p Err on transport or parse failure.
+  std::optional<JsonValue> roundTrip(const Request &R, std::string &Err);
+
+private:
+  explicit Client(int Fd) : Fd(Fd) {}
+
+  int Fd;
+  std::string Carry; ///< Bytes read past the last consumed newline.
+};
+
+/// The `astral-cli client` subcommand: --socket=PATH then one of
+/// analyze|status|cache-stats|shutdown (analyze takes the one-shot driver's
+/// flags and input paths). Returns the process exit code.
+int runClientCommand(const std::vector<std::string> &Args);
+
+} // namespace service
+} // namespace astral
+
+#endif // ASTRAL_SERVICE_CLIENT_H

@@ -1,0 +1,100 @@
+//===- service/Json.h - Minimal JSON value for the wire protocol -*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small self-contained JSON value — parse and serialize — for the
+/// service's newline-delimited protocol. Both protocol ends are this
+/// codebase, so the dialect is deliberately narrow: objects keep their keys
+/// sorted (std::map), numbers are doubles (serialized without a fraction
+/// when integral), strings are byte strings with the standard escapes
+/// (\uXXXX parses onto UTF-8; non-BMP escapes are rejected rather than
+/// mis-encoded). This is NOT the analyzer's report format — reports are
+/// rendered by cli::renderJsonReport and travel through the protocol as
+/// opaque strings, which is what keeps daemon output byte-identical to the
+/// one-shot driver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_SERVICE_JSON_H
+#define ASTRAL_SERVICE_JSON_H
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace astral {
+namespace service {
+
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() : K(Kind::Null) {}
+  JsonValue(bool B) : K(Kind::Bool), BoolV(B) {}
+  JsonValue(double N) : K(Kind::Number), NumV(N) {}
+  JsonValue(int64_t N) : K(Kind::Number), NumV(static_cast<double>(N)) {}
+  JsonValue(uint64_t N) : K(Kind::Number), NumV(static_cast<double>(N)) {}
+  JsonValue(const char *S) : K(Kind::String), StrV(S) {}
+  JsonValue(std::string S) : K(Kind::String), StrV(std::move(S)) {}
+
+  static JsonValue array() {
+    JsonValue V;
+    V.K = Kind::Array;
+    return V;
+  }
+  static JsonValue object() {
+    JsonValue V;
+    V.K = Kind::Object;
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return BoolV; }
+  double asNumber() const { return NumV; }
+  const std::string &asString() const { return StrV; }
+  const std::vector<JsonValue> &items() const { return ArrV; }
+  std::vector<JsonValue> &items() { return ArrV; }
+  const std::map<std::string, JsonValue> &members() const { return ObjV; }
+
+  /// Object member access; null reference for missing keys.
+  const JsonValue *find(const std::string &Key) const {
+    auto It = ObjV.find(Key);
+    return It == ObjV.end() ? nullptr : &It->second;
+  }
+  JsonValue &operator[](const std::string &Key) { return ObjV[Key]; }
+
+  void push(JsonValue V) { ArrV.push_back(std::move(V)); }
+
+  /// Compact one-line serialization (no newlines — the protocol is
+  /// newline-delimited).
+  std::string serialize() const;
+
+  /// Parses one complete JSON document; trailing garbage is an error.
+  static std::optional<JsonValue> parse(const std::string &Text,
+                                        std::string &Err);
+
+private:
+  Kind K;
+  bool BoolV = false;
+  double NumV = 0.0;
+  std::string StrV;
+  std::vector<JsonValue> ArrV;
+  std::map<std::string, JsonValue> ObjV;
+};
+
+} // namespace service
+} // namespace astral
+
+#endif // ASTRAL_SERVICE_JSON_H

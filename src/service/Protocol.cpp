@@ -1,0 +1,147 @@
+//===- service/Protocol.cpp - Daemon wire protocol --------------------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Protocol.h"
+
+namespace astral {
+namespace service {
+
+const char *opName(Request::Op Op) {
+  switch (Op) {
+  case Request::Op::Analyze: return "analyze";
+  case Request::Op::Status: return "status";
+  case Request::Op::CacheStats: return "cache-stats";
+  case Request::Op::Shutdown: return "shutdown";
+  }
+  return "?";
+}
+
+std::optional<Request> decodeRequest(const std::string &Line,
+                                     std::string &Err) {
+  std::optional<JsonValue> Doc = JsonValue::parse(Line, Err);
+  if (!Doc)
+    return std::nullopt;
+  if (!Doc->isObject()) {
+    Err = "request is not a JSON object";
+    return std::nullopt;
+  }
+
+  const JsonValue *OpV = Doc->find("op");
+  if (!OpV || !OpV->isString()) {
+    Err = "request has no string 'op'";
+    return std::nullopt;
+  }
+
+  Request R;
+  const std::string &Op = OpV->asString();
+  if (Op == "analyze")
+    R.Operation = Request::Op::Analyze;
+  else if (Op == "status")
+    R.Operation = Request::Op::Status;
+  else if (Op == "cache-stats")
+    R.Operation = Request::Op::CacheStats;
+  else if (Op == "shutdown")
+    R.Operation = Request::Op::Shutdown;
+  else {
+    Err = "unknown op '" + Op + "'";
+    return std::nullopt;
+  }
+
+  if (const JsonValue *Args = Doc->find("args")) {
+    if (!Args->isArray()) {
+      Err = "'args' must be an array of strings";
+      return std::nullopt;
+    }
+    for (const JsonValue &A : Args->items()) {
+      if (!A.isString()) {
+        Err = "'args' must be an array of strings";
+        return std::nullopt;
+      }
+      R.Args.push_back(A.asString());
+    }
+  }
+
+  if (const JsonValue *Files = Doc->find("files")) {
+    if (!Files->isArray()) {
+      Err = "'files' must be an array";
+      return std::nullopt;
+    }
+    for (const JsonValue &F : Files->items()) {
+      if (!F.isObject()) {
+        Err = "each file must be an object";
+        return std::nullopt;
+      }
+      FilePayload P;
+      const JsonValue *Path = F.find("path");
+      const JsonValue *Source = F.find("source");
+      if (!Path || !Path->isString() || !Source || !Source->isString()) {
+        Err = "each file needs string 'path' and 'source'";
+        return std::nullopt;
+      }
+      P.Path = Path->asString();
+      P.Source = Source->asString();
+      if (const JsonValue *Headers = F.find("headers")) {
+        if (!Headers->isObject()) {
+          Err = "'headers' must be an object";
+          return std::nullopt;
+        }
+        for (const auto &[Name, Text] : Headers->members()) {
+          if (!Text.isString()) {
+            Err = "header '" + Name + "' must be a string";
+            return std::nullopt;
+          }
+          P.Headers[Name] = Text.asString();
+        }
+      }
+      R.Files.push_back(std::move(P));
+    }
+  }
+
+  if (R.Operation == Request::Op::Analyze && R.Files.empty()) {
+    Err = "analyze request without files";
+    return std::nullopt;
+  }
+  return R;
+}
+
+std::string encodeRequest(const Request &R) {
+  JsonValue Doc = JsonValue::object();
+  Doc["op"] = JsonValue(std::string(opName(R.Operation)));
+  if (!R.Args.empty()) {
+    JsonValue Args = JsonValue::array();
+    for (const std::string &A : R.Args)
+      Args.push(JsonValue(A));
+    Doc["args"] = std::move(Args);
+  }
+  if (!R.Files.empty()) {
+    JsonValue Files = JsonValue::array();
+    for (const FilePayload &F : R.Files) {
+      JsonValue FV = JsonValue::object();
+      FV["path"] = JsonValue(F.Path);
+      FV["source"] = JsonValue(F.Source);
+      if (!F.Headers.empty()) {
+        JsonValue HV = JsonValue::object();
+        for (const auto &[Name, Text] : F.Headers)
+          HV[Name] = JsonValue(Text);
+        FV["headers"] = std::move(HV);
+      }
+      Files.push(std::move(FV));
+    }
+    Doc["files"] = std::move(Files);
+  }
+  return Doc.serialize();
+}
+
+std::string encodeError(const std::string &Message) {
+  JsonValue Doc = JsonValue::object();
+  Doc["ok"] = JsonValue(false);
+  Doc["error"] = JsonValue(Message);
+  return Doc.serialize();
+}
+
+} // namespace service
+} // namespace astral

@@ -1,0 +1,80 @@
+//===- service/Protocol.h - Daemon wire protocol -----------------*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `astral serve` protocol: newline-delimited JSON over a Unix-domain
+/// stream socket, one request line -> one response line.
+///
+/// Requests:
+///   {"op":"analyze","args":[flag tokens...],
+///    "files":[{"path":P,"source":S,"headers":{name:text,...}},...]}
+///   {"op":"status"}
+///   {"op":"cache-stats"}
+///   {"op":"shutdown"}
+///
+/// The client does everything path-shaped locally (reading files, C++
+/// harness extraction, #include preloading) and ships extracted sources;
+/// the daemon applies `@astral` directives and the forwarded flag tokens
+/// through the same cli::parseArgs/assembleOptions the one-shot driver
+/// uses, so semantics cannot drift between the two modes.
+///
+/// Analyze responses embed the one-shot driver's exact output as opaque
+/// strings:
+///   {"ok":true,"op":"analyze","schema_version":N,"exit_code":E,
+///    "stdout":...,"stderr":...,
+///    "cache":{"frontend_hits":..,"frontend_misses":..,
+///             "packing_hits":..,"packing_misses":..}}
+/// Errors: {"ok":false,"error":"..."}. Every response carries
+/// schema_version; the client refuses mismatches (a daemon of another
+/// build vintage) instead of printing output it may misread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_SERVICE_PROTOCOL_H
+#define ASTRAL_SERVICE_PROTOCOL_H
+
+#include "service/Json.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace astral {
+namespace service {
+
+/// One file as shipped by the client: extracted source plus its preloaded
+/// header closure.
+struct FilePayload {
+  std::string Path;
+  std::string Source;
+  std::map<std::string, std::string> Headers;
+};
+
+struct Request {
+  enum class Op { Analyze, Status, CacheStats, Shutdown };
+  Op Operation = Op::Status;
+  std::vector<std::string> Args;   ///< Forwarded flag tokens (analyze).
+  std::vector<FilePayload> Files;  ///< Inputs (analyze).
+};
+
+const char *opName(Request::Op Op);
+
+/// Parses one request line. On failure returns nullopt with \p Err set.
+std::optional<Request> decodeRequest(const std::string &Line,
+                                     std::string &Err);
+
+/// Client-side encoder; one line, no trailing newline.
+std::string encodeRequest(const Request &R);
+
+/// {"ok":false,"error":Message} — the uniform failure response.
+std::string encodeError(const std::string &Message);
+
+} // namespace service
+} // namespace astral
+
+#endif // ASTRAL_SERVICE_PROTOCOL_H

@@ -1,0 +1,169 @@
+//===- service/RequestQueue.cpp - Shared-pool request scheduling ------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/RequestQueue.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+namespace astral {
+namespace service {
+
+RequestQueue::RequestQueue(std::shared_ptr<Scheduler> Pool,
+                           ArtifactCache &Cache)
+    : Pool(std::move(Pool)), Cache(Cache),
+      Dispatcher([this] { dispatcherMain(); }) {}
+
+RequestQueue::~RequestQueue() {
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    ShuttingDown = true;
+  }
+  JobReady.notify_all();
+  Dispatcher.join();
+  // Pending jobs never started; resolve their futures with an error rather
+  // than leaving waiters blocked forever.
+  for (std::unique_ptr<Job> &J : Pending)
+    J->Done.set_exception(std::make_exception_ptr(
+        std::runtime_error("astral serve: daemon shut down before the "
+                           "request was scheduled")));
+}
+
+std::future<RequestQueue::Outcome>
+RequestQueue::submit(std::vector<AnalysisInput> Inputs) {
+  auto J = std::make_unique<Job>();
+  J->Inputs = std::move(Inputs);
+  std::future<Outcome> F = J->Done.get_future();
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Pending.push_back(std::move(J));
+  }
+  JobReady.notify_one();
+  return F;
+}
+
+uint64_t RequestQueue::jobsServed() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Served;
+}
+
+void RequestQueue::dispatcherMain() {
+  for (;;) {
+    std::vector<std::unique_ptr<Job>> Batch;
+    {
+      std::unique_lock<std::mutex> L(Mu);
+      JobReady.wait(L, [&] { return ShuttingDown || !Pending.empty(); });
+      if (ShuttingDown)
+        return;
+      Batch.swap(Pending);
+    }
+    runJobs(std::move(Batch));
+  }
+}
+
+void RequestQueue::runJobs(std::vector<std::unique_ptr<Job>> Jobs) {
+  // Flatten every drained job into per-file items so concurrent requests
+  // share the pool fairly (a one-file request is not stuck behind a
+  // seven-file one — both fan out together).
+  struct Item {
+    Job *Owner;
+    size_t FileIndex;
+  };
+  std::vector<Item> Items;
+  for (std::unique_ptr<Job> &J : Jobs) {
+    J->Result.Results.resize(J->Inputs.size());
+    for (size_t F = 0; F < J->Inputs.size(); ++F)
+      Items.push_back(Item{J.get(), F});
+  }
+
+  struct JobCounters {
+    std::atomic<uint64_t> FrontendHits{0}, FrontendMisses{0};
+    std::atomic<uint64_t> PackingHits{0}, PackingMisses{0};
+  };
+  std::vector<JobCounters> Counters(Jobs.size());
+  std::unordered_map<Job *, size_t> JobIndex;
+  for (size_t J = 0; J < Jobs.size(); ++J)
+    JobIndex[Jobs[J].get()] = J;
+
+  auto RunItems = [&](size_t I) {
+    Job &J = *Items[I].Owner;
+    JobCounters &C = Counters[JobIndex[&J]];
+    const AnalysisInput &In = J.Inputs[Items[I].FileIndex];
+
+    const std::string FrontKey = AnalysisSession::frontendCacheKey(In);
+    const std::string PackKey = AnalysisSession::packingCacheKey(In);
+
+    AnalysisSession S(In);
+    S.setScheduler(Pool);
+
+    std::shared_ptr<const AnalysisSession::FrontendPhase> FE =
+        Cache.lookupFrontend(FrontKey);
+    if (FE) {
+      S.adoptFrontend(FE);
+      C.FrontendHits.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      C.FrontendMisses.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    // Packing artifacts only exist for analyzable inputs; a failed frontend
+    // never reaches the packing phase, so it neither counts nor stores.
+    bool AdoptedPacking = false;
+    if (FE && FE->Ok) {
+      if (std::optional<ArtifactCache::PackingArtifact> PA =
+              Cache.lookupPacking(PackKey)) {
+        S.adoptPacking(PA->Layout, PA->Packs);
+        AdoptedPacking = true;
+        C.PackingHits.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        C.PackingMisses.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+    J.Result.Results[Items[I].FileIndex] = S.report();
+
+    if (!FE)
+      Cache.storeFrontend(FrontKey, S.shareFrontend());
+    if (!AdoptedPacking && S.runFrontend().Ok)
+      Cache.storePacking(PackKey, ArtifactCache::PackingArtifact{
+                                      S.shareLayout(), S.sharePacking()});
+  };
+
+  try {
+    Pool->parallelFor(Items.size(), RunItems);
+  } catch (...) {
+    // A task failed (parallelFor rethrows the first error by index). Every
+    // job of this drain fails with it — leaving any future unresolved would
+    // hang its connection thread forever.
+    std::exception_ptr E = std::current_exception();
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      Served += Jobs.size();
+    }
+    for (std::unique_ptr<Job> &J : Jobs)
+      J->Done.set_exception(E);
+    return;
+  }
+
+  // Count before resolving: a client that receives its response and
+  // immediately asks for `status` must see its own request in the total.
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Served += Jobs.size();
+  }
+  for (size_t J = 0; J < Jobs.size(); ++J) {
+    Jobs[J]->Result.FrontendHits = Counters[J].FrontendHits.load();
+    Jobs[J]->Result.FrontendMisses = Counters[J].FrontendMisses.load();
+    Jobs[J]->Result.PackingHits = Counters[J].PackingHits.load();
+    Jobs[J]->Result.PackingMisses = Counters[J].PackingMisses.load();
+    Jobs[J]->Done.set_value(std::move(Jobs[J]->Result));
+  }
+}
+
+} // namespace service
+} // namespace astral

@@ -1,0 +1,90 @@
+//===- service/RequestQueue.h - Shared-pool request scheduling ---*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon's analysis scheduler. Connection threads submit jobs (one per
+/// analyze request, already reduced to AnalysisInputs); a single dispatcher
+/// thread drains every pending job, flattens them into per-file items, and
+/// runs the items over ONE shared ThreadPoolScheduler — the same
+/// coarse-grained whole-file dispatch AnalysisSession::analyzeBatch uses,
+/// extended across concurrent requests. Each item is its own
+/// AnalysisSession (per-session registry and meters), optionally seeded
+/// from the ArtifactCache; the session's finer parallel grains run inline
+/// on its worker, so one pool serves every granularity without
+/// oversubscription.
+///
+/// Cache accounting is per-job: the outcome carries the hit/miss deltas of
+/// exactly this request's items, which is what lets a client prove "the
+/// resubmission skipped the frontend" without racing other clients.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_SERVICE_REQUESTQUEUE_H
+#define ASTRAL_SERVICE_REQUESTQUEUE_H
+
+#include "analyzer/AnalysisSession.h"
+#include "analyzer/Scheduler.h"
+#include "service/ArtifactCache.h"
+
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace astral {
+namespace service {
+
+class RequestQueue {
+public:
+  struct Outcome {
+    std::vector<AnalysisResult> Results; ///< In input order.
+    uint64_t FrontendHits = 0;
+    uint64_t FrontendMisses = 0;
+    uint64_t PackingHits = 0;
+    uint64_t PackingMisses = 0;
+  };
+
+  RequestQueue(std::shared_ptr<Scheduler> Pool, ArtifactCache &Cache);
+  ~RequestQueue();
+
+  RequestQueue(const RequestQueue &) = delete;
+  RequestQueue &operator=(const RequestQueue &) = delete;
+
+  /// Enqueues one request's inputs; the future resolves when every file of
+  /// the request finished.
+  std::future<Outcome> submit(std::vector<AnalysisInput> Inputs);
+
+  uint64_t jobsServed() const;
+
+private:
+  struct Job {
+    std::vector<AnalysisInput> Inputs;
+    std::promise<Outcome> Done;
+    Outcome Result;
+  };
+
+  void dispatcherMain();
+  void runJobs(std::vector<std::unique_ptr<Job>> Jobs);
+
+  std::shared_ptr<Scheduler> Pool;
+  ArtifactCache &Cache;
+
+  mutable std::mutex Mu;
+  std::condition_variable JobReady;
+  std::vector<std::unique_ptr<Job>> Pending;
+  bool ShuttingDown = false;
+  uint64_t Served = 0;
+
+  std::thread Dispatcher;
+};
+
+} // namespace service
+} // namespace astral
+
+#endif // ASTRAL_SERVICE_REQUESTQUEUE_H

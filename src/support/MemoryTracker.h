@@ -13,26 +13,99 @@
 /// tracker rather than OS-level RSS, which would be polluted by the host
 /// allocator and the benchmark harness.
 ///
+/// Two accounting planes:
+///  - The process-wide live/peak figures (noteAlloc/noteFree/liveBytes/
+///    peakBytes), kept for the benches and the allocation-shape tests.
+///  - Per-session Counters: an AnalysisSession installs its own Counter as
+///    the calling thread's ambient sink (CounterScope) for the duration of
+///    its analysis phases, and the Scheduler re-installs the submitting
+///    thread's ambient counter on every pool worker that runs the session's
+///    tasks. Concurrent sessions (analyzeBatch files, daemon requests)
+///    therefore meter their own abstract-state bytes instead of reading one
+///    process-wide high-water mark through each other — the same isolation
+///    PR 4 gave the octagon closure counters.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ASTRAL_SUPPORT_MEMORYTRACKER_H
 #define ASTRAL_SUPPORT_MEMORYTRACKER_H
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 
 namespace astral {
 namespace memtrack {
 
-/// Records an allocation of \p Bytes owned by abstract state.
+/// One session's abstract-state byte meter. Thread-safe: pool workers
+/// running the session's tasks feed the same counter. Live accounting is
+/// signed internally — a session may free structures it adopted rather than
+/// allocated (shared artifacts), so transient negative live figures clamp
+/// to zero instead of wrapping.
+class Counter {
+public:
+  void noteAlloc(size_t Bytes) {
+    int64_t Now =
+        Live.fetch_add(int64_t(Bytes), std::memory_order_relaxed) +
+        int64_t(Bytes);
+    int64_t Old = Peak.load(std::memory_order_relaxed);
+    while (Now > Old &&
+           !Peak.compare_exchange_weak(Old, Now, std::memory_order_relaxed)) {
+    }
+  }
+  void noteFree(size_t Bytes) {
+    Live.fetch_sub(int64_t(Bytes), std::memory_order_relaxed);
+  }
+  size_t liveBytes() const {
+    int64_t V = Live.load(std::memory_order_relaxed);
+    return V > 0 ? size_t(V) : 0;
+  }
+  size_t peakBytes() const {
+    int64_t V = Peak.load(std::memory_order_relaxed);
+    return V > 0 ? size_t(V) : 0;
+  }
+  /// Resets the high-water mark to the current live figure.
+  void resetPeak() {
+    Peak.store(Live.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<int64_t> Live{0};
+  std::atomic<int64_t> Peak{0};
+};
+
+/// The calling thread's ambient per-session counter, or null.
+Counter *currentCounter();
+
+/// Installs \p C as the calling thread's ambient counter for the scope's
+/// lifetime (restores the previous one on exit). The Scheduler captures the
+/// submitter's ambient counter per batch and installs it on every worker
+/// running that batch's tasks, so a session's fan-out work meters into the
+/// session's own counter.
+class CounterScope {
+public:
+  explicit CounterScope(Counter *C);
+  ~CounterScope();
+
+  CounterScope(const CounterScope &) = delete;
+  CounterScope &operator=(const CounterScope &) = delete;
+
+private:
+  Counter *Prev;
+};
+
+/// Records an allocation of \p Bytes owned by abstract state (process-wide
+/// plus the ambient per-session counter, when one is installed).
 void noteAlloc(size_t Bytes);
 /// Records a deallocation of \p Bytes owned by abstract state.
 void noteFree(size_t Bytes);
 
-/// Bytes currently live.
+/// Bytes currently live (process-wide).
 size_t liveBytes();
-/// High-water mark since the last resetPeak().
+/// Process-wide high-water mark since the last resetPeak().
 size_t peakBytes();
-/// Resets the high-water mark to the current live figure.
+/// Resets the process-wide high-water mark to the current live figure.
 void resetPeak();
 
 } // namespace memtrack

@@ -1,0 +1,56 @@
+//===- support/Sha256.h - SHA-256 content hashing ----------------*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A self-contained SHA-256 (FIPS 180-4) used for the service mode's
+/// content-hash artifact keys: the daemon keys cached frontend/packing
+/// artifacts by the digest of (file name, source, headers, option
+/// fingerprint), so resubmitting unchanged content re-finds the artifact
+/// and any byte of drift misses. Implemented in-tree — the cache must not
+/// grow a crypto-library dependency for what is purely a content address
+/// (no security claim is attached to these digests).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_SUPPORT_SHA256_H
+#define ASTRAL_SUPPORT_SHA256_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace astral {
+namespace sha256 {
+
+/// Incremental hasher: update() any number of times, then hexDigest().
+class Hasher {
+public:
+  Hasher();
+
+  void update(const void *Data, size_t Len);
+  void update(const std::string &S) { update(S.data(), S.size()); }
+
+  /// Finalizes and returns the 64-char lowercase hex digest. The hasher
+  /// must not be updated afterwards.
+  std::string hexDigest();
+
+private:
+  void compress(const uint8_t *Block);
+
+  uint32_t H[8];
+  uint8_t Buf[64];
+  size_t BufLen = 0;
+  uint64_t TotalBits = 0;
+};
+
+/// One-shot digest of \p S.
+std::string hexDigest(const std::string &S);
+
+} // namespace sha256
+} // namespace astral
+
+#endif // ASTRAL_SUPPORT_SHA256_H

@@ -218,6 +218,25 @@ TEST(AnalysisSession, ClosureCountersArePerSession) {
   EXPECT_GT(Batch[1].Stats.get("analysis.octagon_closures"), 0u);
 }
 
+TEST(AnalysisSession, PeakAbstractBytesArePerSession) {
+  // The peak-memory figure used to read the process-wide high-water mark,
+  // so any earlier run (or a concurrent batch member) inflated it. A
+  // session must meter its own abstract state: identical sequential inputs
+  // report the identical peak, alone or as batch members.
+  AnalysisResult Alone = Analyzer::analyze(limiterInput());
+  EXPECT_GT(Alone.PeakAbstractBytes, 0u);
+  AnalysisResult Again = Analyzer::analyze(limiterInput());
+  EXPECT_EQ(Alone.PeakAbstractBytes, Again.PeakAbstractBytes)
+      << "a second identical run must not see the first run's watermark";
+
+  std::vector<AnalysisInput> Inputs(3, limiterInput());
+  std::vector<AnalysisResult> Batch = AnalysisSession::analyzeBatch(Inputs);
+  ASSERT_EQ(Batch.size(), 3u);
+  for (const AnalysisResult &R : Batch)
+    EXPECT_EQ(R.PeakAbstractBytes, Alone.PeakAbstractBytes)
+        << "batch members must meter only their own file";
+}
+
 TEST(AnalysisSession, BatchOfManyFilesCompletes) {
   // More files than pool workers: the queue must drain and preserve order.
   std::vector<AnalysisInput> Inputs;

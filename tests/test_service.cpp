@@ -1,0 +1,457 @@
+//===- tests/test_service.cpp - Service-mode subsystem tests --------------------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003). Covers the `astral serve` stack
+// bottom-up: the SHA-256 content hasher (FIPS 180-4 vectors), the protocol
+// JSON value, request encode/decode, the LRU artifact cache, and an
+// in-process daemon driven over a real Unix-domain socket — analyze twice,
+// prove the resubmission hit the cache, and check the response bytes equal
+// the one-shot driver's output (the byte-identity contract that lets the
+// golden suite double as protocol conformance).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/CliOptions.h"
+#include "service/ArtifactCache.h"
+#include "service/Client.h"
+#include "service/Json.h"
+#include "service/Protocol.h"
+#include "service/Server.h"
+#include "support/Sha256.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <regex>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace astral;
+using namespace astral::service;
+
+namespace {
+
+const char *LimiterSrc =
+    "volatile float in;\nfloat y;\n"
+    "int main(void) {\n"
+    "  while (1) {\n"
+    "    float u = in;\n"
+    "    if (u - y > 8.0f) { y = y + 8.0f; }\n"
+    "    else { if (y - u > 8.0f) { y = y - 8.0f; } else { y = u; } }\n"
+    "    __astral_wait();\n"
+    "  }\n"
+    "  return 0;\n"
+    "}";
+
+std::string uniqueSocketPath(const char *Tag) {
+  return "/tmp/astral-test-" + std::string(Tag) + "-" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+/// The determinism suite's normalization: wall-clock is the one report
+/// field outside the byte-identity guarantee.
+std::string normalizeReport(std::string S) {
+  static const std::regex Seconds(
+      "\"analysis_seconds\": [0-9.eE+-]+");
+  return std::regex_replace(S, Seconds,
+                            "\"analysis_seconds\": \"<time>\"");
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// SHA-256
+//===----------------------------------------------------------------------===//
+
+TEST(Sha256, Fips180Vectors) {
+  EXPECT_EQ(
+      sha256::hexDigest(""),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(
+      sha256::hexDigest("abc"),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(
+      sha256::hexDigest(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+  // One block exactly (64 bytes) exercises the padding block split.
+  EXPECT_EQ(
+      sha256::hexDigest(std::string(64, 'a')),
+      "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+  EXPECT_EQ(
+      sha256::hexDigest(std::string(1000000, 'a')),
+      "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  sha256::Hasher H;
+  H.update("abc");
+  H.update(std::string());
+  H.update("dbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  EXPECT_EQ(H.hexDigest(),
+            sha256::hexDigest(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"));
+}
+
+//===----------------------------------------------------------------------===//
+// JSON value
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceJson, SerializeIsCompactSortedAndTyped) {
+  JsonValue Doc = JsonValue::object();
+  Doc["zeta"] = JsonValue(int64_t(3));
+  Doc["alpha"] = JsonValue("a\"b\\c\nd");
+  Doc["flag"] = JsonValue(true);
+  Doc["ratio"] = JsonValue(0.5);
+  JsonValue Arr = JsonValue::array();
+  Arr.push(JsonValue());
+  Arr.push(JsonValue(uint64_t(7)));
+  Doc["list"] = std::move(Arr);
+  EXPECT_EQ(Doc.serialize(),
+            "{\"alpha\":\"a\\\"b\\\\c\\nd\",\"flag\":true,"
+            "\"list\":[null,7],\"ratio\":0.5,\"zeta\":3}");
+}
+
+TEST(ServiceJson, ParseRoundTrips) {
+  std::string Err;
+  std::optional<JsonValue> Doc = JsonValue::parse(
+      "{\"s\":\"\\u0041\\t\",\"n\":-2.5e2,\"a\":[1,2],\"o\":{}}", Err);
+  ASSERT_TRUE(Doc) << Err;
+  EXPECT_EQ(Doc->find("s")->asString(), "A\t");
+  EXPECT_EQ(Doc->find("n")->asNumber(), -250.0);
+  ASSERT_EQ(Doc->find("a")->items().size(), 2u);
+  // Serialize-then-parse is a fixed point.
+  std::string S = Doc->serialize();
+  std::optional<JsonValue> Again = JsonValue::parse(S, Err);
+  ASSERT_TRUE(Again) << Err;
+  EXPECT_EQ(Again->serialize(), S);
+}
+
+TEST(ServiceJson, RejectsMalformedDocuments) {
+  std::string Err;
+  EXPECT_FALSE(JsonValue::parse("{\"a\":1} trailing", Err));
+  EXPECT_FALSE(JsonValue::parse("{\"a\":}", Err));
+  EXPECT_FALSE(JsonValue::parse("\"\\ud800\"", Err)) << "lone surrogate";
+  EXPECT_FALSE(JsonValue::parse("", Err));
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceProtocol, AnalyzeRequestRoundTrips) {
+  Request R;
+  R.Operation = Request::Op::Analyze;
+  R.Args = {"--json", "--jobs=2"};
+  FilePayload F;
+  F.Path = "prog.c";
+  F.Source = "int main(void) { return 0; }";
+  F.Headers["defs.h"] = "#define N 4\n";
+  R.Files.push_back(F);
+
+  std::string Err;
+  std::optional<Request> Back = decodeRequest(encodeRequest(R), Err);
+  ASSERT_TRUE(Back) << Err;
+  EXPECT_EQ(Back->Operation, Request::Op::Analyze);
+  EXPECT_EQ(Back->Args, R.Args);
+  ASSERT_EQ(Back->Files.size(), 1u);
+  EXPECT_EQ(Back->Files[0].Path, "prog.c");
+  EXPECT_EQ(Back->Files[0].Source, F.Source);
+  EXPECT_EQ(Back->Files[0].Headers, F.Headers);
+}
+
+TEST(ServiceProtocol, RejectsBadRequests) {
+  std::string Err;
+  EXPECT_FALSE(decodeRequest("not json", Err));
+  EXPECT_FALSE(decodeRequest("{\"op\":\"explode\"}", Err));
+  EXPECT_FALSE(decodeRequest("{\"op\":\"analyze\"}", Err))
+      << "analyze without files must be refused";
+  EXPECT_FALSE(decodeRequest("{\"args\":[]}", Err)) << "missing op";
+  // The simple ops decode without payload.
+  for (const char *Op : {"status", "cache-stats", "shutdown"}) {
+    std::optional<Request> R =
+        decodeRequest(std::string("{\"op\":\"") + Op + "\"}", Err);
+    ASSERT_TRUE(R) << Op << ": " << Err;
+    EXPECT_STREQ(opName(R->Operation), Op);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ArtifactCache
+//===----------------------------------------------------------------------===//
+
+TEST(ArtifactCache, CountsHitsMissesAndSharesArtifacts) {
+  ArtifactCache Cache(4);
+  EXPECT_EQ(Cache.lookupFrontend("k1"), nullptr);
+
+  auto F = std::make_shared<const AnalysisSession::FrontendPhase>();
+  Cache.storeFrontend("k1", F);
+  std::shared_ptr<const AnalysisSession::FrontendPhase> Hit =
+      Cache.lookupFrontend("k1");
+  EXPECT_EQ(Hit.get(), F.get()) << "a hit shares, never copies";
+
+  ArtifactCache::Stats S = Cache.stats();
+  EXPECT_EQ(S.FrontendMisses, 1u);
+  EXPECT_EQ(S.FrontendHits, 1u);
+  EXPECT_EQ(S.Evictions, 0u);
+  EXPECT_EQ(Cache.frontendEntries(), 1u);
+}
+
+TEST(ArtifactCache, EvictsLeastRecentlyUsed) {
+  ArtifactCache Cache(2);
+  auto Mk = [] {
+    return std::make_shared<const AnalysisSession::FrontendPhase>();
+  };
+  Cache.storeFrontend("a", Mk());
+  Cache.storeFrontend("b", Mk());
+  ASSERT_NE(Cache.lookupFrontend("a"), nullptr); // "a" is now most recent.
+  Cache.storeFrontend("c", Mk());                // Evicts "b".
+  EXPECT_EQ(Cache.lookupFrontend("b"), nullptr);
+  EXPECT_NE(Cache.lookupFrontend("a"), nullptr);
+  EXPECT_NE(Cache.lookupFrontend("c"), nullptr);
+  EXPECT_EQ(Cache.stats().Evictions, 1u);
+  EXPECT_EQ(Cache.frontendEntries(), 2u);
+
+  // Re-storing an existing key refreshes in place — no eviction.
+  Cache.storeFrontend("a", Mk());
+  EXPECT_EQ(Cache.stats().Evictions, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Daemon end-to-end (in-process, real socket)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Starts a daemon on a fresh socket and runs its wait() on a thread, so
+/// the test can drive it through a Client like an external process would.
+class DaemonFixture {
+public:
+  explicit DaemonFixture(const std::string &Socket)
+      : Srv(makeConfig(Socket)) {
+    std::string Err;
+    Ok = Srv.start(Err);
+    Error = Err;
+    if (Ok)
+      Waiter = std::thread([this] { ExitCode = Srv.wait(); });
+  }
+  ~DaemonFixture() {
+    if (Ok) {
+      Srv.requestStop();
+      Waiter.join();
+    }
+  }
+
+  static ServerConfig makeConfig(const std::string &Socket) {
+    ServerConfig C;
+    C.SocketPath = Socket;
+    C.Jobs = 2;
+    C.CacheEntries = 8;
+    C.Verbose = false;
+    return C;
+  }
+
+  Server Srv;
+  std::thread Waiter;
+  bool Ok = false;
+  std::string Error;
+  int ExitCode = -1;
+};
+
+Request analyzeRequest() {
+  Request R;
+  R.Operation = Request::Op::Analyze;
+  R.Args = {"--json"};
+  FilePayload F;
+  F.Path = "limiter.c";
+  F.Source = std::string("// @astral volatile in -100 100\n"
+                         "// @astral clock-max 1e6\n") +
+             LimiterSrc;
+  R.Files.push_back(F);
+  return R;
+}
+
+uint64_t cacheField(const JsonValue &Doc, const char *Key) {
+  const JsonValue *C = Doc.find("cache");
+  if (!C || !C->isObject())
+    return ~uint64_t(0);
+  const JsonValue *V = C->find(Key);
+  return V && V->isNumber() ? uint64_t(V->asNumber()) : ~uint64_t(0);
+}
+
+} // namespace
+
+TEST(ServeDaemon, AnalyzeIsByteIdenticalAndResubmissionHitsTheCache) {
+  DaemonFixture D(uniqueSocketPath("e2e"));
+  ASSERT_TRUE(D.Ok) << D.Error;
+
+  std::string Err;
+  std::unique_ptr<Client> C = Client::connect(D.Srv.socketPath(), Err);
+  ASSERT_TRUE(C) << Err;
+
+  // Cold: the daemon analyzes from scratch.
+  std::optional<JsonValue> Cold = C->roundTrip(analyzeRequest(), Err);
+  ASSERT_TRUE(Cold) << Err;
+  ASSERT_TRUE(Cold->find("ok")->asBool());
+  EXPECT_EQ(uint64_t(Cold->find("schema_version")->asNumber()),
+            uint64_t(ReportSchemaVersion));
+  EXPECT_EQ(int(Cold->find("exit_code")->asNumber()), 0);
+  EXPECT_EQ(cacheField(*Cold, "frontend_hits"), 0u);
+  EXPECT_EQ(cacheField(*Cold, "frontend_misses"), 1u);
+
+  // Warm: same content — the frontend and packing come from the cache and
+  // the report bytes must not change.
+  std::optional<JsonValue> Warm = C->roundTrip(analyzeRequest(), Err);
+  ASSERT_TRUE(Warm) << Err;
+  ASSERT_TRUE(Warm->find("ok")->asBool());
+  EXPECT_EQ(cacheField(*Warm, "frontend_hits"), 1u);
+  EXPECT_EQ(cacheField(*Warm, "frontend_misses"), 0u);
+  EXPECT_EQ(cacheField(*Warm, "packing_hits"), 1u);
+  EXPECT_EQ(normalizeReport(Warm->find("stdout")->asString()),
+            normalizeReport(Cold->find("stdout")->asString()));
+
+  // Both must equal the one-shot driver's rendering of the same input —
+  // computed here through the exact shared layer the CLI main uses.
+  {
+    cli::CliOptions Cli;
+    cli::ParseOutcome P = cli::parseArgs({"--json"}, Cli);
+    ASSERT_TRUE(P.Ok) << P.Error;
+    const Request R = analyzeRequest();
+    std::vector<std::string> Warnings;
+    AnalysisInput In;
+    In.FileName = R.Files[0].Path;
+    In.Source = R.Files[0].Source;
+    In.Options =
+        cli::assembleOptions(Cli, In.FileName, In.Source, Warnings);
+    std::vector<AnalysisResult> Results =
+        AnalysisSession::analyzeBatch({In});
+    cli::RunOutput Run = cli::renderRun(Cli, {In.FileName}, Results);
+    EXPECT_EQ(normalizeReport(Cold->find("stdout")->asString()),
+              normalizeReport(Run.Out));
+    EXPECT_EQ(int(Cold->find("exit_code")->asNumber()), Run.ExitCode);
+  }
+
+  // Execution-only re-parametrization: the artifacts must still hit.
+  Request Sweep = analyzeRequest();
+  Sweep.Args = {"--json", "--threshold", "42.5"};
+  std::optional<JsonValue> Re = C->roundTrip(Sweep, Err);
+  ASSERT_TRUE(Re) << Err;
+  ASSERT_TRUE(Re->find("ok")->asBool());
+  EXPECT_EQ(cacheField(*Re, "frontend_hits"), 1u)
+      << "a threshold sweep must not re-run the frontend";
+
+  // status / cache-stats report the daemon's view of the same traffic.
+  Request St;
+  St.Operation = Request::Op::Status;
+  std::optional<JsonValue> Status = C->roundTrip(St, Err);
+  ASSERT_TRUE(Status) << Err;
+  EXPECT_TRUE(Status->find("ok")->asBool());
+  EXPECT_EQ(uint64_t(Status->find("requests_served")->asNumber()), 3u);
+
+  Request Cs;
+  Cs.Operation = Request::Op::CacheStats;
+  std::optional<JsonValue> Stats = C->roundTrip(Cs, Err);
+  ASSERT_TRUE(Stats) << Err;
+  EXPECT_EQ(uint64_t(Stats->find("frontend_hits")->asNumber()), 2u);
+  EXPECT_EQ(uint64_t(Stats->find("frontend_misses")->asNumber()), 1u);
+  EXPECT_EQ(uint64_t(Stats->find("frontend_entries")->asNumber()), 1u);
+}
+
+TEST(ServeDaemon, MalformedAndInvalidRequestsGetErrorResponses) {
+  DaemonFixture D(uniqueSocketPath("err"));
+  ASSERT_TRUE(D.Ok) << D.Error;
+  std::string Err;
+  std::unique_ptr<Client> C = Client::connect(D.Srv.socketPath(), Err);
+  ASSERT_TRUE(C) << Err;
+
+  // A flag the parser rejects travels back as a protocol-level error.
+  Request Bad = analyzeRequest();
+  Bad.Args = {"--no-such-flag"};
+  std::optional<JsonValue> R = C->roundTrip(Bad, Err);
+  ASSERT_TRUE(R) << Err;
+  EXPECT_FALSE(R->find("ok")->asBool());
+  EXPECT_NE(R->find("error")->asString().find("unknown flag"),
+            std::string::npos);
+
+  // Input paths may not sneak through args — files travel in 'files'.
+  Request Sneak = analyzeRequest();
+  Sneak.Args = {"--json", "/etc/passwd"};
+  R = C->roundTrip(Sneak, Err);
+  ASSERT_TRUE(R) << Err;
+  EXPECT_FALSE(R->find("ok")->asBool());
+
+  // A frontend failure is NOT an error: it is the driver's regular report
+  // with the driver's exit code.
+  Request Broken = analyzeRequest();
+  Broken.Files[0].Source = "int main(void) { goto x; }";
+  R = C->roundTrip(Broken, Err);
+  ASSERT_TRUE(R) << Err;
+  EXPECT_TRUE(R->find("ok")->asBool());
+  EXPECT_EQ(int(R->find("exit_code")->asNumber()), 2);
+}
+
+TEST(ServeDaemon, SocketLifecycle) {
+  std::string Socket = uniqueSocketPath("sock");
+
+  // A stale socket file (dead daemon) is recovered, not a fatal bind error.
+  {
+    int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(Fd, 0);
+    sockaddr_un Addr;
+    memset(&Addr, 0, sizeof(Addr));
+    Addr.sun_family = AF_UNIX;
+    memcpy(Addr.sun_path, Socket.c_str(), Socket.size() + 1);
+    ASSERT_EQ(::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)),
+              0);
+    ::close(Fd); // No listener remains; only the filesystem entry.
+  }
+  auto D = std::make_unique<DaemonFixture>(Socket);
+  ASSERT_TRUE(D->Ok) << "stale socket must be recovered: " << D->Error;
+
+  // A second daemon on a live socket must refuse to start.
+  Server Second(DaemonFixture::makeConfig(Socket));
+  std::string Err;
+  EXPECT_FALSE(Second.start(Err));
+  EXPECT_NE(Err.find("already listening"), std::string::npos) << Err;
+
+  // A shutdown request stops wait() cleanly and unlinks the socket.
+  std::unique_ptr<Client> C = Client::connect(Socket, Err);
+  ASSERT_TRUE(C) << Err;
+  Request Sd;
+  Sd.Operation = Request::Op::Shutdown;
+  std::optional<JsonValue> R = C->roundTrip(Sd, Err);
+  ASSERT_TRUE(R) << Err;
+  EXPECT_TRUE(R->find("ok")->asBool());
+  D->Waiter.join();
+  EXPECT_EQ(D->ExitCode, 0);
+  D->Ok = false; // Already stopped; the fixture must not double-join.
+  D.reset();
+  EXPECT_NE(::access(Socket.c_str(), F_OK), 0)
+      << "socket file must be unlinked on shutdown";
+}
+
+TEST(ServeDaemon, ConcurrentClientsShareTheDaemon) {
+  DaemonFixture D(uniqueSocketPath("conc"));
+  ASSERT_TRUE(D.Ok) << D.Error;
+
+  constexpr int N = 4;
+  std::vector<std::string> Outputs(N);
+  std::vector<std::thread> Clients;
+  for (int I = 0; I < N; ++I)
+    Clients.emplace_back([&, I] {
+      std::string Err;
+      std::unique_ptr<Client> C = Client::connect(D.Srv.socketPath(), Err);
+      ASSERT_TRUE(C) << Err;
+      std::optional<JsonValue> R = C->roundTrip(analyzeRequest(), Err);
+      ASSERT_TRUE(R) << Err;
+      ASSERT_TRUE(R->find("ok")->asBool());
+      Outputs[I] = normalizeReport(R->find("stdout")->asString());
+    });
+  for (std::thread &T : Clients)
+    T.join();
+  for (int I = 1; I < N; ++I)
+    EXPECT_EQ(Outputs[0], Outputs[I])
+        << "concurrent requests must not perturb each other's reports";
+}

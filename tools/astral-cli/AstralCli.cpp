@@ -3,16 +3,20 @@
 // Part of ASTRAL, a reproduction of "A Static Analyzer for Large
 // Safety-Critical Software" (PLDI 2003).
 //
-// End-to-end driver: preprocess -> parse -> sema -> lower -> fixpoint ->
-// alarms over one or more real input files, with the Sect. 3.2 "adaptation
-// by parametrization" exposed as flags and as `@astral` spec directives
-// embedded in the input's comments.
+// The driver proper lives in analyzer/CliOptions.{h,cpp} (shared with the
+// service daemon); this file only dispatches between the three modes:
 //
-//   astral-cli <file>... [--jobs=N] [--dump-invariants] [--json]
+//   astral-cli <file>... [options]          one-shot analysis (the classic)
+//   astral-cli serve --socket=<path> ...    analyzer-as-a-service daemon
+//   astral-cli client --socket=<path> <op>  talk to a running daemon
 //
-// Several input files form a batch: AnalysisSession::analyzeBatch schedules
-// whole files across one worker pool (--jobs) and the reports print in
-// input order (a JSON array in --json mode).
+// One-shot mode: preprocess -> parse -> sema -> lower -> fixpoint -> alarms
+// over one or more real input files, with the Sect. 3.2 "adaptation by
+// parametrization" exposed as flags and as `@astral` spec directives
+// embedded in the input's comments. Several input files form a batch:
+// AnalysisSession::analyzeBatch schedules whole files across one worker
+// pool (--jobs) and the reports print in input order (a JSON array in
+// --json mode).
 //
 // Exit codes: 0 analysis completed (alarms allowed), 1 usage or I/O error,
 // 2 frontend (preprocess/parse/sema/lower) failure on any file, 3 alarms
@@ -21,19 +25,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "analyzer/AnalysisSession.h"
-#include "analyzer/Scheduler.h"
-#include "analyzer/SpecDirectives.h"
+#include "analyzer/CliOptions.h"
+#include "service/Client.h"
+#include "service/Server.h"
 
-#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <fstream>
-#include <functional>
-#include <iostream>
-#include <optional>
-#include <set>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -41,783 +37,70 @@ using namespace astral;
 
 namespace {
 
-struct CliOptions {
-  std::vector<std::string> InputPaths;
-  bool DumpInvariants = false;
-  bool DumpStats = false;
-  bool Json = false;
-  bool Quiet = false;
-  bool FailOnAlarms = false;
-  /// Analyzer-option mutations from command-line flags, applied *after* the
-  /// input's @astral spec directives so that flags override directives.
-  std::vector<std::function<void(AnalyzerOptions &)>> FlagOps;
-};
-
-void printUsage(std::FILE *Out) {
-  std::fputs(
-      "usage: astral-cli <file>... [options]\n"
-      "\n"
-      "Runs the full ASTRAL pipeline (preprocess, parse, sema, lower,\n"
-      "fixpoint, alarm checking) on each <file> and prints the analysis\n"
-      "reports in input order. Several files form a batch scheduled across\n"
-      "the --jobs worker pool. C++ example harnesses (examples/*.cpp) are\n"
-      "handled by extracting the embedded raw-string input program. `-`\n"
-      "reads from stdin.\n"
-      "\n"
-      "execution policy:\n"
-      "  --jobs <n>, --jobs=<n>       worker threads for the parallel\n"
-      "                               lattice/reduction stages and for\n"
-      "                               scheduling batch files (default: 1;\n"
-      "                               0 = one per hardware thread, i.e.\n"
-      "                               hardware_concurrency; values above\n"
-      "                               the hardware thread count warn once).\n"
-      "                               Reports are byte-identical for every\n"
-      "                               value.\n"
-      "  --pack-dispatch=<mode>       within-file transfer-sweep dispatch:\n"
-      "                               'groups' (default) fans the disjoint\n"
-      "                               pack groups of each relational domain\n"
-      "                               out over the worker pool with a\n"
-      "                               deterministic channel merge; 'seq'\n"
-      "                               keeps the historical sequential\n"
-      "                               reduction chain. Both modes produce\n"
-      "                               identical reports.\n"
-      "  --partition-dispatch=<mode>  trace-partition dispatch inside\n"
-      "                               `@astral partition` functions: 'par'\n"
-      "                               (default) fans the disjunction's\n"
-      "                               environments out over the worker\n"
-      "                               pool with a deterministic\n"
-      "                               partition-order merge; 'seq' keeps\n"
-      "                               the historical per-partition loop.\n"
-      "                               Both modes produce identical\n"
-      "                               reports.\n"
-      "\n"
-      "domain selection:\n"
-      "  --domains=<list>             enabled abstract domains, a comma-\n"
-      "                               separated subset of\n"
-      "                               interval,clocked,octagon,tree,ellipsoid\n"
-      "                               (default: all; interval is always on).\n"
-      "                               Each relational domain can be ablated\n"
-      "                               independently, e.g.\n"
-      "                               --domains=interval,octagon\n"
-      "  --octagon-closure=<mode>     octagon DBM closure discipline:\n"
-      "                               'incremental' (default) propagates\n"
-      "                               only through dirty rows/columns;\n"
-      "                               'full' re-runs the full\n"
-      "                               Floyd-Warshall sweep every time\n"
-      "                               (for differential benching). Both\n"
-      "                               modes produce identical reports.\n"
-      "  --no-linearize               disable symbolic linearization\n"
-      "\n"
-      "  Deprecated aliases (mapped onto --domains=, warn once):\n"
-      "  --octagons/--no-octagons, --no-ellipsoids, --no-trees, --no-clock,\n"
-      "  --no-packing (= --domains=interval,clocked).\n"
-      "\n"
-      "iteration strategy:\n"
-      "  --no-thresholds              plain interval widening\n"
-      "  --threshold <v>              extra widening threshold (repeatable)\n"
-      "  --unroll <n>                 default loop unrolling factor\n"
-      "  --max-iterations <n>         fixpoint iteration cap\n"
-      "\n"
-      "environment specification (Sect. 4):\n"
-      "  --volatile <name>=<lo>:<hi>  range of a volatile input (repeatable)\n"
-      "  --clock-max <ticks>          maximal operating time in clock ticks\n"
-      "  --partition <fn>             trace-partition a function (repeatable)\n"
-      "  --entry <fn>                 entry function (default: main)\n"
-      "\n"
-      "  The same specification can live in the input itself as comment\n"
-      "  directives: `/* @astral volatile speed 0 300 */`,\n"
-      "  `@astral clock-max 3.6e6`, `@astral partition f`,\n"
-      "  `@astral threshold 500`, `@astral entry main`,\n"
-      "  `@astral domains interval,octagon`, `@astral jobs 4`,\n"
-      "  `@astral pack-dispatch groups`, `@astral partition-dispatch par`,\n"
-      "  `@astral octagon-closure full` (flags override directives).\n"
-      "\n"
-      "output:\n"
-      "  --dump-invariants            print the main loop invariant\n"
-      "  --dump-stats                 print the run's statistics counters\n"
-      "                               to stderr (work-metering figures —\n"
-      "                               deliberately outside the\n"
-      "                               byte-identical report guarantee)\n"
-      "  --json                       machine-readable report\n"
-      "  --quiet                      only the alarm summary\n"
-      "  --fail-on-alarms             exit 3 when any alarm is raised\n",
-      Out);
-}
-
-std::optional<std::string> readFile(const std::string &Path) {
-  if (Path == "-") {
-    std::ostringstream SS;
-    SS << std::cin.rdbuf();
-    return SS.str();
+int runOneShot(const std::vector<std::string> &Args) {
+  cli::CliOptions Cli;
+  cli::ParseOutcome Parsed = cli::parseArgs(Args, Cli);
+  for (const std::string &W : Parsed.Warnings)
+    std::fprintf(stderr, "%s\n", W.c_str());
+  if (Parsed.ShowHelp) {
+    cli::printUsage(stdout);
+    return 0;
   }
-  std::ifstream In(Path, std::ios::binary);
-  if (!In)
-    return std::nullopt;
-  std::ostringstream SS;
-  SS << In.rdbuf();
-  return SS.str();
-}
-
-std::string dirName(const std::string &Path) {
-  size_t Slash = Path.find_last_of('/');
-  return Slash == std::string::npos ? std::string(".")
-                                    : Path.substr(0, Slash);
-}
-
-/// True when the input is a C++ harness (one of examples/*.cpp) rather than
-/// an analyzable program: it embeds its input as a raw-string literal.
-bool looksLikeCxxHarness(const std::string &Text) {
-  return Text.find("using namespace astral") != std::string::npos ||
-         Text.find("#include \"analyzer/Analyzer.h\"") != std::string::npos;
-}
-
-/// Extracts the longest R"delim( ... )delim" literal — the embedded input
-/// program of a C++ example harness. Honors custom delimiters, so an
-/// embedded program may itself contain `)"`.
-std::optional<std::string> extractRawString(const std::string &Text) {
-  std::string Best;
-  size_t Pos = 0;
-  while ((Pos = Text.find("R\"", Pos)) != std::string::npos) {
-    size_t DelimStart = Pos + 2;
-    size_t Paren = Text.find('(', DelimStart);
-    // A raw-string delimiter is at most 16 chars and contains no space,
-    // parenthesis, backslash or quote; anything else is not a raw string.
-    if (Paren == std::string::npos || Paren - DelimStart > 16 ||
-        Text.substr(DelimStart, Paren - DelimStart)
-                .find_first_of(" \t\n\r\\)\"") != std::string::npos) {
-      Pos += 2;
-      continue;
-    }
-    std::string Close =
-        ")" + Text.substr(DelimStart, Paren - DelimStart) + "\"";
-    size_t Start = Paren + 1;
-    size_t End = Text.find(Close, Start);
-    if (End == std::string::npos)
-      break;
-    if (End - Start > Best.size())
-      Best = Text.substr(Start, End - Start);
-    Pos = End + Close.size();
-  }
-  if (Best.empty())
-    return std::nullopt;
-  return Best;
-}
-
-/// Loads `#include "name"` dependencies of \p Source from disk (relative to
-/// \p Dir) into \p Headers, recursively. Missing files are left to the
-/// preprocessor to diagnose.
-void preloadIncludes(const std::string &Source, const std::string &Dir,
-                     std::map<std::string, std::string> &Headers) {
-  std::istringstream In(Source);
-  std::string Line;
-  while (std::getline(In, Line)) {
-    size_t H = Line.find_first_not_of(" \t");
-    if (H == std::string::npos || Line[H] != '#')
-      continue;
-    size_t Inc = Line.find("include", H + 1);
-    if (Inc == std::string::npos)
-      continue;
-    size_t Open = Line.find('"', Inc + 7);
-    if (Open == std::string::npos)
-      continue;
-    size_t Close = Line.find('"', Open + 1);
-    if (Close == std::string::npos)
-      continue;
-    std::string Name = Line.substr(Open + 1, Close - Open - 1);
-    if (Headers.count(Name))
-      continue;
-    std::optional<std::string> Text = readFile(Dir + "/" + Name);
-    if (!Text)
-      continue;
-    Headers[Name] = *Text;
-    preloadIncludes(*Text, Dir, Headers);
-  }
-}
-
-struct VolatileSpec {
-  std::string Name;
-  double Lo, Hi;
-};
-
-std::optional<VolatileSpec> parseVolatileFlag(const std::string &Spec) {
-  size_t Eq = Spec.find('=');
-  size_t Colon = Spec.find(':', Eq == std::string::npos ? 0 : Eq);
-  if (Eq == std::string::npos || Colon == std::string::npos)
-    return std::nullopt;
-  try {
-    size_t LoEnd = 0, HiEnd = 0;
-    std::string LoStr = Spec.substr(Eq + 1, Colon - Eq - 1);
-    std::string HiStr = Spec.substr(Colon + 1);
-    double Lo = std::stod(LoStr, &LoEnd);
-    double Hi = std::stod(HiStr, &HiEnd);
-    // Reject trailing garbage and inverted (bottom) ranges, which would
-    // make the whole analysis vacuous.
-    if (LoEnd != LoStr.size() || HiEnd != HiStr.size() || Lo > Hi)
-      return std::nullopt;
-    return VolatileSpec{Spec.substr(0, Eq), Lo, Hi};
-  } catch (const std::exception &) {
-    return std::nullopt;
-  }
-}
-
-/// Strict numeric flag parsing: the whole value must be consumed.
-std::optional<double> parseDoubleFlag(const std::string &V) {
-  try {
-    size_t End = 0;
-    double X = std::stod(V, &End);
-    if (End != V.size())
-      return std::nullopt;
-    return X;
-  } catch (const std::exception &) {
-    return std::nullopt;
-  }
-}
-
-std::optional<unsigned> parseUnsignedFlag(const std::string &V) {
-  try {
-    size_t End = 0;
-    unsigned long X = std::stoul(V, &End);
-    if (End != V.size() || X > 0xffffffffUL)
-      return std::nullopt;
-    return static_cast<unsigned>(X);
-  } catch (const std::exception &) {
-    return std::nullopt;
-  }
-}
-
-std::string jsonEscape(const std::string &S) {
-  std::string Out;
-  Out.reserve(S.size() + 8);
-  for (char C : S) {
-    switch (C) {
-    case '"': Out += "\\\""; break;
-    case '\\': Out += "\\\\"; break;
-    case '\n': Out += "\\n"; break;
-    case '\r': Out += "\\r"; break;
-    case '\t': Out += "\\t"; break;
-    default:
-      if (static_cast<unsigned char>(C) < 0x20) {
-        char Buf[8];
-        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
-        Out += Buf;
-      } else {
-        Out += C;
-      }
-    }
-  }
-  return Out;
-}
-
-void printJsonReport(const CliOptions &Cli, const std::string &Path,
-                     const AnalysisResult &R) {
-  std::printf("{\n");
-  std::printf("  \"file\": \"%s\",\n", jsonEscape(Path).c_str());
-  std::printf("  \"frontend_ok\": %s,\n", R.FrontendOk ? "true" : "false");
-  if (!R.FrontendOk) {
-    std::printf("  \"frontend_errors\": \"%s\"\n",
-                jsonEscape(R.FrontendErrors).c_str());
-    std::printf("}\n");
-    return;
-  }
-  std::printf("  \"source_lines\": %llu,\n",
-              static_cast<unsigned long long>(R.SourceLines));
-  std::printf("  \"variables\": %llu,\n",
-              static_cast<unsigned long long>(R.NumVariables));
-  std::printf("  \"used_variables\": %llu,\n",
-              static_cast<unsigned long long>(R.NumUsedVariables));
-  std::printf("  \"cells\": %llu,\n",
-              static_cast<unsigned long long>(R.NumCells));
-  std::printf("  \"octagon_packs\": %llu,\n",
-              static_cast<unsigned long long>(R.packCount(DomainKind::Octagon)));
-  std::printf("  \"tree_packs\": %llu,\n",
-              static_cast<unsigned long long>(R.packCount(DomainKind::DecisionTree)));
-  std::printf("  \"ellipsoid_packs\": %llu,\n",
-              static_cast<unsigned long long>(R.packCount(DomainKind::Ellipsoid)));
-  std::printf("  \"analysis_seconds\": %.6f,\n", R.AnalysisSeconds);
-  std::printf("  \"has_main_loop\": %s,\n", R.HasMainLoop ? "true" : "false");
-
-  const InvariantCensus &C = R.MainLoopCensus;
-  std::printf("  \"invariant_census\": {\n");
-  std::printf("    \"boolean\": %llu,\n",
-              static_cast<unsigned long long>(C.BoolAssertions));
-  std::printf("    \"interval\": %llu,\n",
-              static_cast<unsigned long long>(C.IntervalAssertions));
-  std::printf("    \"clock\": %llu,\n",
-              static_cast<unsigned long long>(C.ClockAssertions));
-  std::printf("    \"oct_additive\": %llu,\n",
-              static_cast<unsigned long long>(C.OctAdditive));
-  std::printf("    \"oct_subtractive\": %llu,\n",
-              static_cast<unsigned long long>(C.OctSubtractive));
-  std::printf("    \"decision_trees\": %llu,\n",
-              static_cast<unsigned long long>(C.DecisionTrees));
-  std::printf("    \"ellipsoids\": %llu\n",
-              static_cast<unsigned long long>(C.EllipsoidAssertions));
-  std::printf("  },\n");
-
-  std::printf("  \"ranges\": {\n");
-  for (size_t I = 0; I < R.VariableRanges.size(); ++I) {
-    const auto &[Name, Itv] = R.VariableRanges[I];
-    std::printf("    \"%s\": \"%s\"%s\n", jsonEscape(Name).c_str(),
-                jsonEscape(Itv.toString()).c_str(),
-                I + 1 == R.VariableRanges.size() ? "" : ",");
-  }
-  std::printf("  },\n");
-
-  std::printf("  \"alarm_count\": %zu,\n", R.Alarms.size());
-  std::printf("  \"alarms\": [\n");
-  for (size_t I = 0; I < R.Alarms.size(); ++I) {
-    const Alarm &A = R.Alarms[I];
-    std::printf("    {\"kind\": \"%s\", \"line\": %u, \"definite\": %s, "
-                "\"message\": \"%s\"}%s\n",
-                alarmKindName(A.Kind), A.Loc.Line,
-                A.Definite ? "true" : "false", jsonEscape(A.Message).c_str(),
-                I + 1 == R.Alarms.size() ? "" : ",");
-  }
-  std::printf("  ]");
-  if (Cli.DumpInvariants)
-    std::printf(",\n  \"invariant\": \"%s\"",
-                jsonEscape(R.MainLoopInvariant).c_str());
-  std::printf("\n}\n");
-}
-
-void printTextReport(const CliOptions &Cli, const std::string &Path,
-                     const AnalysisResult &R) {
-  if (!Cli.Quiet) {
-    std::printf("== astral: %s ==\n", Path.c_str());
-    std::printf("  source lines         %llu\n",
-                static_cast<unsigned long long>(R.SourceLines));
-    std::printf("  variables            %llu (%llu used)\n",
-                static_cast<unsigned long long>(R.NumVariables),
-                static_cast<unsigned long long>(R.NumUsedVariables));
-    std::printf("  cells                %llu (%llu from array expansion)\n",
-                static_cast<unsigned long long>(R.NumCells),
-                static_cast<unsigned long long>(R.ExpandedArrayCells));
-    std::printf("  octagon packs        %llu (avg %.1f vars, %zu useful)\n",
-                static_cast<unsigned long long>(R.packCount(DomainKind::Octagon)),
-                R.avgPackCells(DomainKind::Octagon), R.UsefulOctPacks.size());
-    std::printf("  decision-tree packs  %llu\n",
-                static_cast<unsigned long long>(R.packCount(DomainKind::DecisionTree)));
-    std::printf("  ellipsoid packs      %llu\n",
-                static_cast<unsigned long long>(R.packCount(DomainKind::Ellipsoid)));
-    std::printf("  analysis time        %.3f s\n", R.AnalysisSeconds);
-    std::printf("  abstract-state peak  %.1f MB\n",
-                R.PeakAbstractBytes / 1048576.0);
-
-    const InvariantCensus &C = R.MainLoopCensus;
-    std::printf("  %s invariant census: boolean %llu / interval %llu / "
-                "clock %llu / oct+ %llu / oct- %llu / trees %llu / "
-                "ellipsoids %llu\n",
-                R.HasMainLoop ? "main-loop" : "program-end",
-                static_cast<unsigned long long>(C.BoolAssertions),
-                static_cast<unsigned long long>(C.IntervalAssertions),
-                static_cast<unsigned long long>(C.ClockAssertions),
-                static_cast<unsigned long long>(C.OctAdditive),
-                static_cast<unsigned long long>(C.OctSubtractive),
-                static_cast<unsigned long long>(C.DecisionTrees),
-                static_cast<unsigned long long>(C.EllipsoidAssertions));
-
-    std::printf("\n  ranges at the %s:\n",
-                R.HasMainLoop ? "main loop head" : "program end");
-    for (const auto &[Name, Itv] : R.VariableRanges)
-      std::printf("    %-20s %s\n", Name.c_str(), Itv.toString().c_str());
-    std::printf("\n");
-  }
-
-  std::printf("alarms: %zu\n", R.Alarms.size());
-  for (const Alarm &A : R.Alarms)
-    std::printf("  [%s] line %u: %s%s\n", alarmKindName(A.Kind), A.Loc.Line,
-                A.Message.c_str(), A.Definite ? " (definite)" : "");
-  if (R.Alarms.empty())
-    std::printf("  none — the program is proved free of run-time errors "
-                "under the specification\n");
-
-  if (Cli.DumpInvariants) {
-    std::printf("\n%s invariant:\n",
-                R.HasMainLoop ? "main loop" : "program end");
-    std::fputs(R.MainLoopInvariant.c_str(), stdout);
-    if (!R.MainLoopInvariant.empty() && R.MainLoopInvariant.back() != '\n')
-      std::printf("\n");
-  }
-}
-
-} // namespace
-
-int main(int argc, char **argv) {
-  CliOptions Cli;
-  std::vector<std::string> Args(argv + 1, argv + argc);
-
-  auto NextValue = [&](size_t &I, const char *Flag) -> std::optional<std::string> {
-    if (I + 1 >= Args.size()) {
-      std::fprintf(stderr, "astral-cli: error: %s requires a value\n", Flag);
-      return std::nullopt;
-    }
-    return Args[++I];
-  };
-
-  // Deprecated domain flags warn once each and map onto the --domains=
-  // model, so existing scripts keep working.
-  std::set<std::string> DeprecationWarned;
-  auto WarnDeprecated = [&](const std::string &Flag,
-                            const std::string &Instead) {
-    if (!DeprecationWarned.insert(Flag).second)
-      return;
-    std::fprintf(stderr,
-                 "astral-cli: warning: %s is deprecated; use %s\n",
-                 Flag.c_str(), Instead.c_str());
-  };
-
-  for (size_t I = 0; I < Args.size(); ++I) {
-    const std::string &A = Args[I];
-    if (A == "--help" || A == "-h") {
-      printUsage(stdout);
-      return 0;
-    } else if (A == "--domains" || A.rfind("--domains=", 0) == 0) {
-      std::string List;
-      if (A == "--domains") {
-        auto V = NextValue(I, "--domains");
-        if (!V)
-          return 1;
-        List = *V;
-      } else {
-        List = A.substr(std::string("--domains=").size());
-      }
-      std::string Err;
-      std::optional<DomainSet> DS = DomainSet::parse(List, Err);
-      if (!DS) {
-        std::fprintf(stderr, "astral-cli: error: --domains: %s\n",
-                     Err.c_str());
-        return 1;
-      }
-      Cli.FlagOps.push_back(
-          [DS](AnalyzerOptions &O) { O.Domains = *DS; });
-    } else if (A == "--octagons") {
-      WarnDeprecated(A, "--domains=... (octagons are on by default)");
-      Cli.FlagOps.push_back([](AnalyzerOptions &O) {
-        O.Domains.enable(DomainKind::Octagon);
-      });
-    } else if (A == "--no-octagons") {
-      WarnDeprecated(A, "--domains= without 'octagon'");
-      Cli.FlagOps.push_back([](AnalyzerOptions &O) {
-        O.Domains.enable(DomainKind::Octagon, false);
-      });
-    } else if (A == "--no-ellipsoids") {
-      WarnDeprecated(A, "--domains= without 'ellipsoid'");
-      Cli.FlagOps.push_back([](AnalyzerOptions &O) {
-        O.Domains.enable(DomainKind::Ellipsoid, false);
-      });
-    } else if (A == "--no-trees") {
-      WarnDeprecated(A, "--domains= without 'tree'");
-      Cli.FlagOps.push_back([](AnalyzerOptions &O) {
-        O.Domains.enable(DomainKind::DecisionTree, false);
-      });
-    } else if (A == "--no-clock") {
-      WarnDeprecated(A, "--domains= without 'clocked'");
-      Cli.FlagOps.push_back([](AnalyzerOptions &O) {
-        O.Domains.enable(DomainKind::Clocked, false);
-      });
-    } else if (A == "--jobs" || A.rfind("--jobs=", 0) == 0) {
-      std::string Val;
-      if (A == "--jobs") {
-        auto V = NextValue(I, "--jobs");
-        if (!V)
-          return 1;
-        Val = *V;
-      } else {
-        Val = A.substr(std::string("--jobs=").size());
-      }
-      std::optional<unsigned> N = parseUnsignedFlag(Val);
-      if (!N || *N > Scheduler::MaxThreads) {
-        std::fprintf(stderr,
-                     "astral-cli: error: --jobs expects an integer in "
-                     "[0, %u], got '%s'\n",
-                     Scheduler::MaxThreads, Val.c_str());
-        return 1;
-      }
-      Cli.FlagOps.push_back([N](AnalyzerOptions &O) { O.Jobs = *N; });
-    } else if (A == "--pack-dispatch" || A.rfind("--pack-dispatch=", 0) == 0) {
-      std::string Val;
-      if (A == "--pack-dispatch") {
-        auto V = NextValue(I, "--pack-dispatch");
-        if (!V)
-          return 1;
-        Val = *V;
-      } else {
-        Val = A.substr(std::string("--pack-dispatch=").size());
-      }
-      std::optional<PackDispatchMode> Mode;
-      if (Val == "seq")
-        Mode = PackDispatchMode::Sequential;
-      else if (Val == "groups")
-        Mode = PackDispatchMode::Groups;
-      if (!Mode) {
-        std::fprintf(stderr,
-                     "astral-cli: error: --pack-dispatch expects 'seq' or "
-                     "'groups', got '%s'\n",
-                     Val.c_str());
-        return 1;
-      }
-      Cli.FlagOps.push_back(
-          [Mode](AnalyzerOptions &O) { O.PackDispatch = *Mode; });
-    } else if (A == "--partition-dispatch" ||
-               A.rfind("--partition-dispatch=", 0) == 0) {
-      std::string Val;
-      if (A == "--partition-dispatch") {
-        auto V = NextValue(I, "--partition-dispatch");
-        if (!V)
-          return 1;
-        Val = *V;
-      } else {
-        Val = A.substr(std::string("--partition-dispatch=").size());
-      }
-      std::optional<PartitionDispatchMode> Mode;
-      if (Val == "seq")
-        Mode = PartitionDispatchMode::Sequential;
-      else if (Val == "par")
-        Mode = PartitionDispatchMode::Parallel;
-      if (!Mode) {
-        std::fprintf(stderr,
-                     "astral-cli: error: --partition-dispatch expects 'seq' "
-                     "or 'par', got '%s'\n",
-                     Val.c_str());
-        return 1;
-      }
-      Cli.FlagOps.push_back(
-          [Mode](AnalyzerOptions &O) { O.PartitionDispatch = *Mode; });
-    } else if (A == "--octagon-closure" ||
-               A.rfind("--octagon-closure=", 0) == 0) {
-      std::string Val;
-      if (A == "--octagon-closure") {
-        auto V = NextValue(I, "--octagon-closure");
-        if (!V)
-          return 1;
-        Val = *V;
-      } else {
-        Val = A.substr(std::string("--octagon-closure=").size());
-      }
-      std::optional<OctClosureMode> Mode;
-      if (Val == "full")
-        Mode = OctClosureMode::Full;
-      else if (Val == "incremental")
-        Mode = OctClosureMode::Incremental;
-      if (!Mode) {
-        std::fprintf(stderr,
-                     "astral-cli: error: --octagon-closure expects 'full' or "
-                     "'incremental', got '%s'\n",
-                     Val.c_str());
-        return 1;
-      }
-      Cli.FlagOps.push_back(
-          [Mode](AnalyzerOptions &O) { O.OctagonClosure = *Mode; });
-    } else if (A == "--no-linearize") {
-      Cli.FlagOps.push_back(
-          [](AnalyzerOptions &O) { O.EnableLinearization = false; });
-    } else if (A == "--no-packing") {
-      WarnDeprecated(A, "--domains=interval,clocked");
-      Cli.FlagOps.push_back([](AnalyzerOptions &O) {
-        O.Domains.enable(DomainKind::Octagon, false);
-        O.Domains.enable(DomainKind::Ellipsoid, false);
-        O.Domains.enable(DomainKind::DecisionTree, false);
-      });
-    } else if (A == "--no-thresholds") {
-      Cli.FlagOps.push_back(
-          [](AnalyzerOptions &O) { O.WideningWithThresholds = false; });
-    } else if (A == "--dump-invariants") {
-      Cli.DumpInvariants = true;
-    } else if (A == "--dump-stats") {
-      Cli.DumpStats = true;
-    } else if (A == "--json") {
-      Cli.Json = true;
-    } else if (A == "--quiet") {
-      Cli.Quiet = true;
-    } else if (A == "--fail-on-alarms") {
-      Cli.FailOnAlarms = true;
-    } else if (A == "--threshold") {
-      auto V = NextValue(I, "--threshold");
-      if (!V)
-        return 1;
-      std::optional<double> T = parseDoubleFlag(*V);
-      if (!T) {
-        std::fprintf(stderr,
-                     "astral-cli: error: --threshold expects a number, "
-                     "got '%s'\n",
-                     V->c_str());
-        return 1;
-      }
-      Cli.FlagOps.push_back(
-          [T](AnalyzerOptions &O) { O.ExtraThresholds.push_back(*T); });
-    } else if (A == "--unroll") {
-      auto V = NextValue(I, "--unroll");
-      if (!V)
-        return 1;
-      std::optional<unsigned> N = parseUnsignedFlag(*V);
-      if (!N) {
-        std::fprintf(stderr,
-                     "astral-cli: error: --unroll expects a non-negative "
-                     "integer, got '%s'\n",
-                     V->c_str());
-        return 1;
-      }
-      Cli.FlagOps.push_back(
-          [N](AnalyzerOptions &O) { O.DefaultUnroll = *N; });
-    } else if (A == "--max-iterations") {
-      auto V = NextValue(I, "--max-iterations");
-      if (!V)
-        return 1;
-      std::optional<unsigned> N = parseUnsignedFlag(*V);
-      if (!N || *N == 0) {
-        std::fprintf(stderr,
-                     "astral-cli: error: --max-iterations expects a "
-                     "positive integer, got '%s'\n",
-                     V->c_str());
-        return 1;
-      }
-      Cli.FlagOps.push_back(
-          [N](AnalyzerOptions &O) { O.MaxIterations = *N; });
-    } else if (A == "--clock-max") {
-      auto V = NextValue(I, "--clock-max");
-      if (!V)
-        return 1;
-      std::optional<double> T = parseDoubleFlag(*V);
-      if (!T || *T <= 0) {
-        std::fprintf(stderr,
-                     "astral-cli: error: --clock-max expects a positive "
-                     "number of ticks, got '%s'\n",
-                     V->c_str());
-        return 1;
-      }
-      Cli.FlagOps.push_back([T](AnalyzerOptions &O) { O.ClockMax = *T; });
-    } else if (A == "--entry") {
-      auto V = NextValue(I, "--entry");
-      if (!V)
-        return 1;
-      std::string Fn = *V;
-      Cli.FlagOps.push_back(
-          [Fn](AnalyzerOptions &O) { O.EntryFunction = Fn; });
-    } else if (A == "--partition") {
-      auto V = NextValue(I, "--partition");
-      if (!V)
-        return 1;
-      std::string Fn = *V;
-      Cli.FlagOps.push_back(
-          [Fn](AnalyzerOptions &O) { O.PartitionFunctions.insert(Fn); });
-    } else if (A == "--volatile") {
-      auto V = NextValue(I, "--volatile");
-      if (!V)
-        return 1;
-      std::optional<VolatileSpec> Spec = parseVolatileFlag(*V);
-      if (!Spec) {
-        std::fprintf(stderr,
-                     "astral-cli: error: --volatile expects name=lo:hi, "
-                     "got '%s'\n",
-                     V->c_str());
-        return 1;
-      }
-      Cli.FlagOps.push_back([Spec](AnalyzerOptions &O) {
-        O.VolatileRanges[Spec->Name] = Interval(Spec->Lo, Spec->Hi);
-      });
-    } else if (!A.empty() && A[0] == '-' && A != "-") {
-      std::fprintf(stderr, "astral-cli: error: unknown flag '%s'\n",
-                   A.c_str());
-      printUsage(stderr);
-      return 1;
-    } else if (A.empty() || A[0] != '-' || A == "-") {
-      Cli.InputPaths.push_back(A);
-    }
-  }
-
-  if (Cli.InputPaths.empty()) {
-    printUsage(stderr);
+  if (!Parsed.Ok) {
+    std::fprintf(stderr, "%s\n", Parsed.Error.c_str());
+    if (Parsed.Error.find("unknown flag") != std::string::npos)
+      cli::printUsage(stderr);
     return 1;
   }
-  // A second '-' would read an already-drained stdin as an empty program.
-  if (std::count(Cli.InputPaths.begin(), Cli.InputPaths.end(), "-") > 1) {
-    std::fprintf(stderr, "astral-cli: error: stdin ('-') may be given only "
-                         "once\n");
+  if (Cli.InputPaths.empty()) {
+    cli::printUsage(stderr);
+    return 1;
+  }
+
+  std::vector<std::string> Notes;
+  std::string LoadErr;
+  std::optional<std::vector<cli::LoadedFile>> Files =
+      cli::loadInputFiles(Cli, Notes, LoadErr);
+  for (const std::string &N : Notes)
+    std::fprintf(stderr, "%s\n", N.c_str());
+  if (!Files) {
+    std::fprintf(stderr, "%s\n", LoadErr.c_str());
     return 1;
   }
 
   // Build every input up front (the batch is scheduled as a whole).
+  std::vector<std::string> Paths;
   std::vector<AnalysisInput> Inputs;
-  for (const std::string &Path : Cli.InputPaths) {
-    std::optional<std::string> Text = readFile(Path);
-    if (!Text) {
-      std::fprintf(stderr, "astral-cli: error: cannot read '%s'\n",
-                   Path.c_str());
-      return 1;
-    }
-
+  for (const cli::LoadedFile &F : *Files) {
     AnalysisInput In;
-    In.FileName = Path;
-    In.Source = *Text;
-    if (looksLikeCxxHarness(*Text)) {
-      std::optional<std::string> Embedded = extractRawString(*Text);
-      if (!Embedded) {
-        std::fprintf(stderr,
-                     "astral-cli: error: '%s' is a C++ harness with no "
-                     "embedded input program\n",
-                     Path.c_str());
-        return 1;
-      }
-      if (!Cli.Quiet && !Cli.Json)
-        std::fprintf(stderr,
-                     "astral-cli: note: extracted the embedded input program "
-                     "from C++ harness '%s'\n",
-                     Path.c_str());
-      In.Source = *Embedded;
-    }
-
-    // Defaults, then the input's @astral spec directives, then command-line
-    // flags — so flags override directives, and directives override
-    // defaults.
-    In.Options = AnalyzerOptions{};
-    for (const std::string &W : applySpecDirectives(In.Source, In.Options))
-      std::fprintf(stderr, "astral-cli: warning: %s: %s\n", Path.c_str(),
-                   W.c_str());
-    for (const auto &Op : Cli.FlagOps)
-      Op(In.Options);
-    if (Cli.DumpInvariants)
-      In.Options.RecordLoopInvariants = true;
-
-    preloadIncludes(In.Source, dirName(Path), In.Headers);
+    In.FileName = F.Path;
+    In.Source = F.Source;
+    In.Headers = F.Headers;
+    std::vector<std::string> Warnings;
+    In.Options = cli::assembleOptions(Cli, F.Path, F.Source, Warnings);
+    for (const std::string &W : Warnings)
+      std::fprintf(stderr, "%s\n", W.c_str());
+    Paths.push_back(F.Path);
     Inputs.push_back(std::move(In));
   }
 
   std::vector<AnalysisResult> Results = AnalysisSession::analyzeBatch(Inputs);
 
-  bool Batch = Results.size() > 1;
-  bool AnyFrontendError = false, AnyAlarm = false;
-  if (Cli.Json && Batch)
-    std::printf("[\n");
-  for (size_t I = 0; I < Results.size(); ++I) {
-    const AnalysisResult &R = Results[I];
-    const std::string &Path = Cli.InputPaths[I];
-    AnyFrontendError = AnyFrontendError || !R.FrontendOk;
-    AnyAlarm = AnyAlarm || !R.Alarms.empty();
-    if (Cli.Json) {
-      printJsonReport(Cli, Path, R);
-      if (Batch && I + 1 < Results.size())
-        std::printf(",\n");
-    } else if (!R.FrontendOk) {
-      std::fprintf(stderr, "astral-cli: frontend errors in '%s':\n%s\n",
-                   Path.c_str(), R.FrontendErrors.c_str());
-    } else {
-      if (Batch && I > 0)
-        std::printf("\n");
-      printTextReport(Cli, Path, R);
-    }
-    // Stats go to stderr: they are work-metering figures outside the
-    // byte-identical report guarantee, so they must never contaminate the
-    // golden-diffed stdout (notably under --json).
-    if (Cli.DumpStats)
-      std::fprintf(stderr, "=== stats: %s ===\n%s", Path.c_str(),
-                   R.Stats.toString().c_str());
-  }
-  if (Cli.Json && Batch)
-    std::printf("]\n");
+  cli::RunOutput Out = cli::renderRun(Cli, Paths, Results);
+  std::fwrite(Out.Out.data(), 1, Out.Out.size(), stdout);
+  std::fwrite(Out.Err.data(), 1, Out.Err.size(), stderr);
+  return Out.ExitCode;
+}
 
-  if (AnyFrontendError)
-    return 2;
-  if (Cli.FailOnAlarms && AnyAlarm)
-    return 3;
-  return 0;
+} // namespace
+
+int main(int argc, char **argv) {
+  std::vector<std::string> Args(argv + 1, argv + argc);
+  if (!Args.empty() && Args[0] == "serve")
+    return service::runServeCommand(
+        std::vector<std::string>(Args.begin() + 1, Args.end()));
+  if (!Args.empty() && Args[0] == "client")
+    return service::runClientCommand(
+        std::vector<std::string>(Args.begin() + 1, Args.end()));
+  return runOneShot(Args);
 }
