@@ -1,0 +1,92 @@
+//===- examples/thread_mode_table.cpp - Cross-thread-range walkthrough ------===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+// The cross-thread-range alarm class: a mode variable indexes a gain table,
+// and every *single-thread* view is safe — startup parks the mode on a
+// valid slot, the bumper thread writes an out-of-table sentinel but never
+// subscripts, the lookup thread subscripts but would only ever see the
+// startup value in isolation. Only the combination overruns: the lookup
+// racing the bumper's sentinel. The analyzer runs each thread's first round
+// interference-free as a baseline; an alarm that appears only once rival
+// writes flow in is tagged `cross-thread-range` on top of the underlying
+// array-bounds report — telling the reviewer "this error needs the other
+// thread" instead of leaving them to diff two reports by hand.
+//
+//   $ ./examples/thread_mode_table
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/Analyzer.h"
+#include "analyzer/SpecDirectives.h"
+
+#include <cstdio>
+
+using namespace astral;
+
+namespace {
+const char *ModeTableProgram = R"(
+  /* A mode bump racing a gain-table lookup.
+     @astral thread bump_t bump_mode
+     @astral thread lookup_t lookup_gain */
+  int mode;      /* shared: table index */
+  int gain[8];   /* calibration table */
+  int out;
+
+  void bump_mode(void) {
+    mode = 12;   /* out-of-table sentinel; this thread never subscripts */
+  }
+
+  void lookup_gain(void) {
+    out = gain[mode];  /* safe against startup's mode, not the sentinel */
+  }
+
+  int main(void) {
+    mode = 3;
+    return 0;
+  }
+)";
+} // namespace
+
+int main() {
+  std::puts("== racing mode bump vs. gain-table lookup: cross-thread range ==");
+
+  AnalysisInput In;
+  In.FileName = "thread_mode_table.c";
+  In.Source = ModeTableProgram;
+  for (const std::string &W : applySpecDirectives(In.Source, In.Options))
+    std::fprintf(stderr, "spec warning: %s\n", W.c_str());
+
+  AnalysisResult R = Analyzer::analyze(In);
+  if (!R.FrontendOk) {
+    std::printf("frontend errors:\n%s\n", R.FrontendErrors.c_str());
+    return 1;
+  }
+
+  std::printf("interference rounds: %llu\n",
+              (unsigned long long)R.Stats.get("concurrency.rounds"));
+  std::printf("alarms: %zu\n", R.alarmCount());
+  size_t Bounds = 0, Races = 0, CrossRange = 0;
+  for (const Alarm &A : R.Alarms) {
+    std::printf("  [%s] line %u: %s\n", alarmKindName(A.Kind), A.Loc.Line,
+                A.Message.c_str());
+    switch (A.Kind) {
+    case AlarmKind::ArrayBounds: ++Bounds; break;
+    case AlarmKind::DataRace: ++Races; break;
+    case AlarmKind::CrossThreadRange: ++CrossRange; break;
+    default: break;
+    }
+  }
+
+  // The full chain must be present: the overrun itself, the race that
+  // enables it, and the cross-thread-range tag pinning the causality.
+  if (Bounds < 1 || Races != 1 || CrossRange != 1) {
+    std::puts("unexpected alarm census: expected the array overrun, exactly "
+              "one race on mode, and exactly one cross-thread-range tag");
+    return 1;
+  }
+  std::puts("flagged: the overrun exists only under interference — the "
+            "cross-thread-range tag names the rival-induced error class.");
+  return 0;
+}

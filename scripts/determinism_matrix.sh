@@ -24,7 +24,8 @@ if [[ ! -x "$CLI" ]]; then
 fi
 
 CASES="quickstart filter_verification alarm_investigation flight_control
-       interp_table rate_limiter_clocked partitioned_switch"
+       interp_table rate_limiter_clocked partitioned_switch
+       thread_handoff thread_mode_table"
 
 # Wall-clock is the one environment-dependent report field.
 normalize() {
@@ -81,6 +82,20 @@ if [[ -z "$dispatched" || "$dispatched" -eq 0 ]]; then
   fail=1
 else
   echo "determinism_matrix: partition dispatch ran ($dispatched partition(s) dispatched)"
+fi
+
+# Liveness proof for the fourth grain: the threaded example must actually
+# run interference fixpoint rounds (a silently-skipped concurrency pass
+# would still be byte-identical — at the wrong semantics).
+rounds=$("$CLI" examples/thread_handoff.cpp --json --jobs=8 \
+    --dump-stats 2>&1 >/dev/null |
+    sed -nE 's/^concurrency\.rounds = ([0-9]+)$/\1/p')
+if [[ -z "$rounds" || "$rounds" -eq 0 ]]; then
+  echo "determinism_matrix: interference rounds never ran on" \
+       "thread_handoff (concurrency.rounds=${rounds:-missing})" >&2
+  fail=1
+else
+  echo "determinism_matrix: interference fixpoint ran ($rounds round(s))"
 fi
 
 if [[ $fail -ne 0 ]]; then

@@ -24,7 +24,8 @@ if [[ ! -x "$CLI" ]]; then
 fi
 
 CASES="quickstart filter_verification alarm_investigation flight_control
-       interp_table rate_limiter_clocked partitioned_switch"
+       interp_table rate_limiter_clocked partitioned_switch
+       thread_handoff thread_mode_table"
 NCASES=$(echo $CASES | wc -w)
 
 SOCK=$(mktemp -u /tmp/astral-serve-smoke.XXXXXX.sock)

@@ -34,6 +34,8 @@ enum class AlarmKind : uint8_t {
   InvalidShift,   ///< Shift amount outside [0, width-1].
   ConvOverflow,   ///< Conversion target cannot represent the value.
   AssertFail,     ///< __astral_assert may fail.
+  DataRace,       ///< Unsynchronized rival access to a shared cell.
+  CrossThreadRange, ///< Error reachable only via rival threads' writes.
 };
 
 inline const char *alarmKindName(AlarmKind K) {
@@ -45,6 +47,8 @@ inline const char *alarmKindName(AlarmKind K) {
   case AlarmKind::InvalidShift: return "invalid-shift";
   case AlarmKind::ConvOverflow: return "conversion-overflow";
   case AlarmKind::AssertFail: return "assertion-failure";
+  case AlarmKind::DataRace: return "data-race";
+  case AlarmKind::CrossThreadRange: return "cross-thread-range";
   }
   return "unknown";
 }

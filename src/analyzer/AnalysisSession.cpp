@@ -8,6 +8,7 @@
 #include "analyzer/AnalysisSession.h"
 
 #include "analyzer/Iterator.h"
+#include "concurrency/ConcurrentAnalysis.h"
 #include "ir/ConstFold.h"
 #include "ir/Lowering.h"
 #include "lang/Parser.h"
@@ -88,9 +89,12 @@ private:
 };
 
 void fingerprintFrontend(const AnalyzerOptions &O, FingerprintWriter &W) {
-  // The frontend lowers against the requested entry point (Lowering::run);
-  // every other option arrives after the IR exists.
+  // The frontend lowers against the requested entry point (Lowering::run)
+  // and validates the declared thread entries; every other option arrives
+  // after the IR exists.
   W.field("entry", O.EntryFunction);
+  for (const auto &[Name, Fn] : O.Threads)
+    W.field("thread", Name + ":" + Fn);
 }
 
 void fingerprintLayout(const AnalyzerOptions &O, FingerprintWriter &W) {
@@ -360,6 +364,23 @@ const AnalysisSession::FrontendPhase &AnalysisSession::runFrontend() {
     return Publish();
   }
   ir::ConstFoldStats FoldStats = ir::foldConstants(*P);
+
+  // Declared thread entries are frontend contracts: they must exist, have a
+  // body, and take no parameters (there is no spawn site to bind them).
+  for (const auto &[TName, Fn] : In.Options.Threads) {
+    const ir::Function *TF = P->findFunction(Fn);
+    if (!TF || !TF->Body) {
+      F.Errors = "thread '" + TName + "': entry function '" + Fn +
+                 "' not found or has no body";
+      return Publish();
+    }
+    if (!TF->Params.empty()) {
+      F.Errors = "thread '" + TName + "': entry function '" + Fn +
+                 "' must take no parameters";
+      return Publish();
+    }
+  }
+
   F.Ok = true;
   F.NumVariables = P->Vars.size();
   for (const ir::VarInfo &VI : P->Vars)
@@ -447,8 +468,6 @@ const AnalysisSession::ExecutionPhase &AnalysisSession::runAbstractExecution() {
   memtrack::CounterScope MemScope(&Mem);
   Mem.resetPeak();
   AlarmSet Alarms;
-  Iterator Iter(*Frontend->Program, *Layout->Layout, *P.Registry, In.Options,
-                E.Stats, Alarms);
 
   // The scheduler is ambient for the whole phase: the per-slot lattice and
   // reduction stages of AbstractEnv/Transfer fan out over it. Except when
@@ -458,12 +477,41 @@ const AnalysisSession::ExecutionPhase &AnalysisSession::runAbstractExecution() {
   SchedulerScope Scope(Scheduler::inWorkerTask() ? nullptr
                                                  : schedulerForRun());
   Timer AnalysisTimer;
-  E.Final = Iter.run();
+  size_t MaxPartitionWidth = 0;
+  if (In.Options.Threads.empty()) {
+    Iterator Iter(*Frontend->Program, *Layout->Layout, *P.Registry,
+                  In.Options, E.Stats, Alarms);
+    E.Final = Iter.run();
+    E.Alarms = Alarms.alarms();
+    E.LoopInvariants = Iter.loopInvariants();
+    E.RelPackImproved = Iter.transfer().RelPackImproved;
+    MaxPartitionWidth = Iter.maxPartitionDispatchWidth();
+  } else {
+    // Threaded program: the interference fixpoint rounds of
+    // concurrency::ConcurrentAnalysis replace the single sequential run.
+    // Per-thread analyses fan out over the same ambient scheduler (the
+    // fourth parallel grain); every merge is in thread-declaration order,
+    // so the report stays byte-identical across --jobs and both dispatch
+    // modes.
+    concurrency::ConcurrentAnalysis CA(*Frontend->Program, *Layout->Layout,
+                                       *P.Registry, In.Options, E.Stats);
+    concurrency::ConcurrentResult CR = CA.run();
+    E.Final = std::move(CR.Final);
+    E.Alarms = CR.Alarms.alarms();
+    E.LoopInvariants = std::move(CR.LoopInvariants);
+    E.RelPackImproved = std::move(CR.RelPackImproved);
+    MaxPartitionWidth = CR.MaxPartitionWidth;
+    E.Stats.set("concurrency.threads", In.Options.Threads.size());
+    E.Stats.set("concurrency.rounds", CR.Rounds);
+    E.Stats.set("concurrency.interference_cells", CR.InterferenceCells);
+    E.Stats.set("concurrency.rounds_capped", CR.Capped ? 1 : 0);
+    E.Stats.set("concurrency.alarms.data_race",
+                CR.Alarms.countOf(AlarmKind::DataRace));
+    E.Stats.set("concurrency.alarms.cross_thread_range",
+                CR.Alarms.countOf(AlarmKind::CrossThreadRange));
+  }
   E.AnalysisSeconds = AnalysisTimer.seconds();
   E.PeakAbstractBytes = Mem.peakBytes();
-  E.Alarms = Alarms.alarms();
-  E.LoopInvariants = Iter.loopInvariants();
-  E.RelPackImproved = Iter.transfer().RelPackImproved;
   // Closure work metering is per-session: the registry hands one counter
   // sink to every octagon state it creates, so concurrent analyzeBatch
   // files no longer read each other's closure counts. The legacy total is
@@ -488,8 +536,7 @@ const AnalysisSession::ExecutionPhase &AnalysisSession::runAbstractExecution() {
               In.Options.PartitionDispatch == PartitionDispatchMode::Parallel
                   ? 1
                   : 0);
-  E.Stats.set("parallel.partitions.max_width",
-              Iter.maxPartitionDispatchWidth());
+  E.Stats.set("parallel.partitions.max_width", MaxPartitionWidth);
   for (size_t D = 0; D < P.Registry->size(); ++D) {
     const PackGroupPlan &Plan = P.Registry->groupPlan(D);
     std::string Prefix =

@@ -249,6 +249,17 @@ void printUsage(std::FILE *Out) {
       "  --clock-max <ticks>          maximal operating time in clock ticks\n"
       "  --partition <fn>             trace-partition a function (repeatable)\n"
       "  --entry <fn>                 entry function (default: main)\n"
+      "  --threads=<n:f>[,<n:f>...]   declare concurrent threads as\n"
+      "                               name:entry-function pairs; any\n"
+      "                               declared thread switches the\n"
+      "                               execution phase to the interference\n"
+      "                               fixpoint rounds (the entry function\n"
+      "                               runs first as startup, then every\n"
+      "                               thread is re-analyzed under rival\n"
+      "                               threads' write interferences until\n"
+      "                               the interference map stabilizes).\n"
+      "                               Adds data-race and\n"
+      "                               cross-thread-range alarm classes.\n"
       "\n"
       "  The same specification can live in the input itself as comment\n"
       "  directives: `/* @astral volatile speed 0 300 */`,\n"
@@ -256,6 +267,7 @@ void printUsage(std::FILE *Out) {
       "  `@astral threshold 500`, `@astral entry main`,\n"
       "  `@astral domains interval,octagon`, `@astral jobs 4`,\n"
       "  `@astral pack-dispatch groups`, `@astral partition-dispatch par`,\n"
+      "  `@astral thread t1 worker` (one thread per directive),\n"
       "  `@astral octagon-closure full` (flags override directives).\n"
       "\n"
       "output:\n"
@@ -395,6 +407,47 @@ ParseOutcome parseArgs(const std::vector<std::string> &Args, CliOptions &Cli) {
         return Res;
       }
       Cli.FlagOps.push_back([N](AnalyzerOptions &O) { O.Jobs = *N; });
+    } else if (A == "--threads" || A.rfind("--threads=", 0) == 0) {
+      std::string Val;
+      if (A == "--threads") {
+        auto V = NextValue("--threads");
+        if (!V)
+          return Res;
+        Val = *V;
+      } else {
+        Val = A.substr(std::string("--threads=").size());
+      }
+      std::vector<std::pair<std::string, std::string>> Threads;
+      bool Bad = Val.empty();
+      for (size_t Pos = 0; !Bad && Pos <= Val.size();) {
+        size_t Comma = Val.find(',', Pos);
+        std::string Item =
+            Val.substr(Pos, Comma == std::string::npos ? std::string::npos
+                                                       : Comma - Pos);
+        size_t Colon = Item.find(':');
+        if (Colon == std::string::npos || Colon == 0 ||
+            Colon + 1 >= Item.size() ||
+            Item.find(':', Colon + 1) != std::string::npos)
+          Bad = true;
+        else
+          Threads.emplace_back(Item.substr(0, Colon),
+                               Item.substr(Colon + 1));
+        if (Comma == std::string::npos)
+          break;
+        Pos = Comma + 1;
+      }
+      if (Bad) {
+        Failf("astral-cli: error: --threads expects "
+              "name:entry[,name:entry...], got '%s'",
+              Val.c_str());
+        return Res;
+      }
+      // Appends, like the `@astral thread` directive accumulates — a flag
+      // can add threads on top of the input's declarations.
+      Cli.FlagOps.push_back([Threads](AnalyzerOptions &O) {
+        for (const auto &T : Threads)
+          O.Threads.push_back(T);
+      });
     } else if (A == "--pack-dispatch" || A.rfind("--pack-dispatch=", 0) == 0) {
       std::string Val;
       if (A == "--pack-dispatch") {

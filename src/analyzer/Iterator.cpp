@@ -631,6 +631,30 @@ AbstractEnv Iterator::execCall(const Stmt *S, AbstractEnv Env) {
   return Out;
 }
 
+AbstractEnv Iterator::runThread(const Function *F, AbstractEnv Env) {
+  assert(F && F->Body && "thread entry must have a body");
+  T.Checking = true;
+  T.Frames.clear();
+  T.Frames.push_back({});
+
+  // Thread locals start indeterminate, exactly like a call prologue: the
+  // driver re-runs the same entry every interference round, and reusing a
+  // previous round's local abstraction would be unsound.
+  for (CellId C : FuncLocalCells[F->Id]) {
+    const ScalarAbs *Old = Env.cell(C);
+    Interval Range = T.cellTypeRange(C);
+    if (!Old || Old->Itv != Range)
+      Env.setCell(C, ScalarAbs{Range, Clocked::top()});
+  }
+
+  CallStack.push_back(CallCtx{});
+  AbstractEnv BodyOut = execStmtSingle(F->Body, std::move(Env));
+  AbstractEnv RetAcc = std::move(CallStack.back().ReturnAcc);
+  CallStack.pop_back();
+  T.preJoinReduce(BodyOut, RetAcc);
+  return AbstractEnv::join(BodyOut, RetAcc);
+}
+
 AbstractEnv Iterator::run() {
   AbstractEnv Env = T.initialEnv();
   T.Checking = true;

@@ -38,6 +38,13 @@ public:
   /// entry function) in checking mode. Returns the final environment.
   AbstractEnv run();
 
+  /// Abstract-executes one declared thread's entry function from \p Env (the
+  /// post-startup environment) in checking mode — the concurrency driver's
+  /// per-round unit. No global initialization; the function's locals are
+  /// havocked like a call prologue. \p F must have a body and no parameters
+  /// (validated by the frontend).
+  AbstractEnv runThread(const ir::Function *F, AbstractEnv Env);
+
   /// Invariant at each loop head, joined over all (inlined) contexts.
   const std::map<uint32_t, AbstractEnv> &loopInvariants() const {
     return LoopInvariants;

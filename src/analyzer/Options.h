@@ -25,6 +25,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace astral {
@@ -147,6 +148,15 @@ struct AnalyzerOptions {
   /// reports; with Jobs == 1 there is no pool and Parallel degrades to the
   /// sequential loop.
   PartitionDispatchMode PartitionDispatch = PartitionDispatchMode::Parallel;
+
+  // -- Concurrency (interference analysis) --------------------------------------
+  /// Declared threads as (name, entry-function) pairs, in declaration order
+  /// (`@astral thread <name> <entry>` / --threads=name:entry,...). Non-empty
+  /// switches the execution phase to the ConcurrentAnalysis interference
+  /// rounds: the entry function runs first (startup), then every declared
+  /// thread is analyzed from its final state under the rival threads'
+  /// accumulated write interferences.
+  std::vector<std::pair<std::string, std::string>> Threads;
 
   // -- Misc ----------------------------------------------------------------------
   std::string EntryFunction = "main";

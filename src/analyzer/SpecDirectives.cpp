@@ -86,6 +86,12 @@ astral::applySpecDirectives(const std::string &Source, AnalyzerOptions &Opts) {
           Opts.Domains = *DS;
         else
           Malformed("domains", "<interval,clocked,octagon,tree,ellipsoid>");
+      } else if (Kind == "thread") {
+        std::string Name, Fn;
+        if (Dir >> Name >> Fn)
+          Opts.Threads.emplace_back(Name, Fn);
+        else
+          Malformed("thread", "<name> <entry>");
       } else if (Kind == "entry") {
         std::string Fn;
         if (Dir >> Fn)

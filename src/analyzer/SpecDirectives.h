@@ -19,6 +19,7 @@
 ///      @astral domains interval,clocked,octagon,tree,ellipsoid
 ///      @astral jobs 4
 ///      @astral pack-dispatch groups
+///      @astral thread sampler sample_loop
 ///      @astral entry main */
 ///
 /// Shared by astral-cli and the example harnesses (one source of truth for

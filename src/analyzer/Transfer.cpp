@@ -51,6 +51,72 @@ private:
   const AbstractEnv &Env;
 };
 
+/// The grouped sweep's speculative-worker context: same services as
+/// TransferEvalContext, but additionally records every cell whose current
+/// abstraction the domain evaluation may have consulted (a conservative,
+/// expression-structural superset of the actual reads). The merge then
+/// breaks a group's buffered results only when a cross-group tightening
+/// hits that group's recorded read set — the sharpened conflict rule —
+/// instead of breaking every group on any tightening of the request's
+/// static read set.
+class RecordingEvalContext final : public DomainEvalContext {
+public:
+  RecordingEvalContext(Transfer &T, const AbstractEnv &Env,
+                       std::vector<CellId> &Reads)
+      : T(T), Env(Env), Reads(Reads) {}
+
+  Interval cellInterval(CellId C) const override {
+    Reads.push_back(C);
+    return Env.cellInterval(C);
+  }
+  Interval eval(const Expr *E, const CellOverlay *Overlay) const override {
+    recordLoads(E);
+    return T.evalNoCheck(Env, E, Overlay);
+  }
+  LinearForm linearize(const Expr *E) const override {
+    recordLoads(E);
+    return T.linearize(Env, E);
+  }
+  CellId strongLoadCell(const Expr *E) const override {
+    if (!E || !E->is(ExprKind::Load))
+      return NoCellId;
+    recordLoads(E);
+    CellSel Sel = T.resolveLValue(Env, E->Lv, /*Report=*/false);
+    return Sel.Strong && Sel.Count == 1 ? Sel.First : NoCellId;
+  }
+
+private:
+  void recordLoads(const Expr *E) const {
+    if (!E)
+      return;
+    switch (E->Kind) {
+    case ExprKind::Load: {
+      for (const Access &A : E->Lv.Path)
+        if (A.K == Access::Kind::Index)
+          recordLoads(A.Index);
+      CellSel Sel = T.resolveLValue(Env, E->Lv, /*Report=*/false);
+      for (CellId C = Sel.First; C < Sel.First + Sel.Count; ++C)
+        Reads.push_back(C);
+      return;
+    }
+    case ExprKind::Unary:
+    case ExprKind::Cast:
+      recordLoads(E->A);
+      return;
+    case ExprKind::Binary:
+      recordLoads(E->A);
+      recordLoads(E->B);
+      return;
+    default:
+      return;
+    }
+  }
+
+  Transfer &T;
+  const AbstractEnv &Env;
+  std::vector<CellId> &Reads;
+};
+
 } // namespace astral
 
 Transfer::Transfer(const Program &Prog, const memory::CellLayout &L,
@@ -81,6 +147,7 @@ Transfer::Transfer(const Transfer &Parent, AlarmSet &WorkerAlarms)
   Checking = Parent.Checking;
   RelPackImproved = Parent.RelPackImproved;
   Frames = Parent.Frames;
+  Conc = Parent.Conc;
 }
 
 Interval Transfer::typeRange(const Type *Ty) const {
@@ -278,26 +345,40 @@ Interval Transfer::evalLoad(const AbstractEnv &Env, const Expr *E,
                                      : typeRange(E->Ty);
   Interval R = Interval::bottom();
   for (CellId C = Sel.First; C < Sel.First + Sel.Count; ++C) {
+    Interval V;
+    bool Have = false;
     if (Overlay) {
       if (const Interval *O = (*Overlay)(C)) {
-        R = R.join(*O);
-        continue;
+        V = *O;
+        Have = true;
       }
     }
-    const memory::CellInfo &CI = Layout.cell(C);
-    if (CI.IsVolatile) {
+    if (!Have && Layout.cell(C).IsVolatile) {
       // Volatile loads return the environment-specified input range.
-      R = R.join(VolatileRng[C]);
-      continue;
+      V = VolatileRng[C];
+      Have = true;
     }
-    const ScalarAbs *S = Env.cell(C);
-    if (!S) {
-      R = R.join(CellRange[C]);
-      continue;
+    if (!Have) {
+      const ScalarAbs *S = Env.cell(C);
+      if (!S) {
+        V = CellRange[C];
+      } else {
+        V = S->Itv;
+        if (Opts.domainEnabled(DomainKind::Clocked) && !S->Clk.isTop())
+          V = S->Clk.reduceValue(V, Env.clock());
+      }
     }
-    Interval V = S->Itv;
-    if (Opts.domainEnabled(DomainKind::Clocked) && !S->Clk.isTop())
-      V = S->Clk.reduceValue(V, Env.clock());
+    // Interference semantics: a load of a shared cell may observe any value
+    // a rival thread writes, in addition to the thread-local abstraction.
+    // The join applies after the clocked reduction (the reduction refines
+    // the thread-local component only) and in every mode — it is part of
+    // the load's meaning, not a check.
+    if (Conc && Conc->isShared(C)) {
+      if (Conc->Out)
+        Conc->Out->recordRead(C, E->Point, E->Loc);
+      if (Conc->In)
+        V = V.join(Conc->In->rivalWrites(Conc->ThreadIndex, C));
+    }
     R = R.join(V);
   }
   return R;
@@ -644,12 +725,15 @@ Transfer::runPackSweep(AbstractEnv &Env, size_t D,
       // copy cheap), folding its own channel facts locally so the
       // within-group feed is exactly the sequential one. Statistics notes
       // and usefulness flags are deferred to the merge, which replays each
-      // channel exactly once.
+      // channel exactly once. Each worker also records the cells its
+      // evaluations consulted — the group's read set, which the merge's
+      // conflict rule intersects against cross-group tightenings.
+      std::vector<std::vector<CellId>> GroupReads(Groups.size());
       const AbstractEnv &Pre = Env;
       Scheduler::runGroups(Groups.size(), [&](size_t G) {
         SilentEvalGuard Silent;
         AbstractEnv Local(Pre);
-        TransferEvalContext Ctx(*this, Local);
+        RecordingEvalContext Ctx(*this, Local, GroupReads[G]);
         for (size_t I = 0; I < Groups[G].size(); ++I) {
           DomainState::Ptr S = Local.rel(D, Groups[G][I]);
           if (!S)
@@ -673,6 +757,10 @@ Transfer::runPackSweep(AbstractEnv &Env, size_t D,
             });
           }
         }
+        std::sort(GroupReads[G].begin(), GroupReads[G].end());
+        GroupReads[G].erase(
+            std::unique(GroupReads[G].begin(), GroupReads[G].end()),
+            GroupReads[G].end());
       });
 
       // Deterministic merge: replay the buffered results onto the real
@@ -681,12 +769,16 @@ Transfer::runPackSweep(AbstractEnv &Env, size_t D,
       // keeps the bottom short-circuit and statistics replay identical;
       // group-major order would be equivalent on disjoint groups). A
       // buffered result is valid while the group's snapshot is: once a
-      // slot of *another* group tightens a cell the shared request reads
-      // (or proves the environment bottom), every other group is broken
+      // slot of *another* group tightens a cell that group's evaluations
+      // actually consulted (its recorded read set), that group is broken
       // and its remaining slots are recomputed in place — the exact
-      // sequential semantics for them. Groups that really were disjoint
-      // merge without recomputation; conflicts cost only the speculative
-      // work.
+      // sequential semantics for them, since a deterministic Op re-reads
+      // the same unchanged cells and returns the same result otherwise.
+      // An environment proved bottom breaks every group (all later
+      // evaluations see it). The request's static read set — the old,
+      // coarser conflict rule that broke every group on any tightening of
+      // a request-read cell — is kept only to meter how often the
+      // sharpened rule saves a recompute.
       std::vector<CellId> ReadSet =
           collectSweepReadSet(Env, ReadExprs, ReadForms);
       std::vector<uint8_t> Broken(Groups.size(), 0);
@@ -697,8 +789,17 @@ Transfer::runPackSweep(AbstractEnv &Env, size_t D,
             Broken[G] = 1;
       };
       std::function<void(CellId)> OnChanged = [&](CellId C) {
-        if (std::binary_search(ReadSet.begin(), ReadSet.end(), C))
-          BreakOthers();
+        bool OldRuleBreaks =
+            std::binary_search(ReadSet.begin(), ReadSet.end(), C);
+        for (size_t G = 0; G < Groups.size(); ++G) {
+          if (G == MergeGroup || Broken[G])
+            continue;
+          if (std::binary_search(GroupReads[G].begin(), GroupReads[G].end(),
+                                 C))
+            Broken[G] = 1;
+          else if (OldRuleBreaks)
+            Stats.add("parallel.sweep_breaks_avoided");
+        }
       };
       TransferEvalContext MergeCtx(*this, Env);
       for (size_t T = 0; T < Touched.size(); ++T) {
@@ -796,6 +897,30 @@ void Transfer::relationalForget(AbstractEnv &Env, CellId C,
   }
 }
 
+bool Transfer::exprReadsShared(const AbstractEnv &Env, const Expr *E) {
+  if (!Conc || !E)
+    return false;
+  switch (E->Kind) {
+  case ExprKind::Load: {
+    for (const Access &Acc : E->Lv.Path)
+      if (Acc.Index && exprReadsShared(Env, Acc.Index))
+        return true;
+    CellSel Sel = resolveLValue(Env, E->Lv, /*Report=*/false);
+    for (CellId C = Sel.First; C < Sel.First + Sel.Count; ++C)
+      if (Conc->isShared(C))
+        return true;
+    return false;
+  }
+  case ExprKind::Unary:
+  case ExprKind::Cast:
+    return exprReadsShared(Env, E->A);
+  case ExprKind::Binary:
+    return exprReadsShared(Env, E->A) || exprReadsShared(Env, E->B);
+  default:
+    return false;
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Assignment
 //===----------------------------------------------------------------------===//
@@ -808,6 +933,7 @@ AbstractEnv Transfer::assign(AbstractEnv Env, const LValue &Lhs,
 
   Interval V;
   LinearForm Form = LinearForm::invalid();
+  bool RhsShared = false;
   if (!Rhs) {
     V = typeRange(Lhs.Ty); // Havoc: unknown value of the type.
   } else {
@@ -815,7 +941,12 @@ AbstractEnv Transfer::assign(AbstractEnv Env, const LValue &Lhs,
     if (V.isBottom())
       return AbstractEnv::bottom();
     Form = linearize(Env, Rhs);
-    if (Opts.EnableLinearization && Form.valid()) {
+    // Under interference semantics any cell the right-hand side reads
+    // through a shared cell is only rival-joined in the evaluated value V;
+    // the form's raw cell terms are thread-local. Meeting V with the form
+    // would undo the interference join, so skip the refinement.
+    RhsShared = exprReadsShared(Env, Rhs);
+    if (Opts.EnableLinearization && Form.valid() && !RhsShared) {
       Interval FV = evalForm(Env, Form);
       Interval Meet = V.meet(FV);
       if (!Meet.isBottom()) {
@@ -844,6 +975,10 @@ AbstractEnv Transfer::assign(AbstractEnv Env, const LValue &Lhs,
     if (CellV.isBottom())
       CellV = V; // Foreign-typed weak targets: keep the raw value.
 
+    if (Conc && Conc->Out && Conc->isShared(C))
+      Conc->Out->recordWrite(C, CellV, Rhs ? Rhs->Point : 0,
+                             Rhs ? Rhs->Loc : Lhs.Loc);
+
     Clocked NewClk = Clocked::top();
     if (Opts.domainEnabled(DomainKind::Clocked) &&
         Layout.cell(C).Ty->isInt()) {
@@ -867,10 +1002,23 @@ AbstractEnv Transfer::assign(AbstractEnv Env, const LValue &Lhs,
   }
 
   if (Strong) {
-    relationalAssign(Env, Sel.First, Form, V, Rhs);
+    if (Conc && Conc->isShared(Sel.First)) {
+      // Shared targets stay untracked relationally: any fact the packs
+      // keep about them would outlive rival writes.
+      relationalForget(Env, Sel.First, CellRange[Sel.First]);
+    } else if (RhsShared) {
+      // Keep the target's interval in its packs but sever the relation to
+      // the shared operands (a `y := x` relation through shared x would
+      // re-tighten y from the stale thread-local view of x).
+      LinearForm CF = LinearForm::constant(V);
+      relationalAssign(Env, Sel.First, CF, V, nullptr);
+    } else {
+      relationalAssign(Env, Sel.First, Form, V, Rhs);
+    }
   } else {
     for (CellId C = Sel.First; C < Sel.First + Sel.Count; ++C)
-      relationalForget(Env, C, V);
+      relationalForget(Env, C,
+                       Conc && Conc->isShared(C) ? CellRange[C] : V);
   }
   return Env;
 }
@@ -890,6 +1038,10 @@ AbstractEnv Transfer::assignInterval(AbstractEnv Env, const LValue &Lhs,
     const ScalarAbs *OldAbs = Env.cell(C);
     ScalarAbs Old = OldAbs ? *OldAbs
                            : ScalarAbs{CellRange[C], Clocked::top()};
+    if (Conc && Conc->Out && Conc->isShared(C)) {
+      Interval CellV = V.meet(CellRange[C]);
+      Conc->Out->recordWrite(C, CellV.isBottom() ? V : CellV, 0, Lhs.Loc);
+    }
     Clocked Clk = Opts.domainEnabled(DomainKind::Clocked) &&
                           Layout.cell(C).Ty->isInt()
                       ? Clocked::fromValue(V, Env.clock())
@@ -900,11 +1052,16 @@ AbstractEnv Transfer::assignInterval(AbstractEnv Env, const LValue &Lhs,
       Env.setCell(C, ScalarAbs{Old.Itv.join(V), Old.Clk.join(Clk)});
   }
   if (Strong) {
-    LinearForm Form = LinearForm::constant(V);
-    relationalAssign(Env, Sel.First, Form, V, nullptr);
+    if (Conc && Conc->isShared(Sel.First)) {
+      relationalForget(Env, Sel.First, CellRange[Sel.First]);
+    } else {
+      LinearForm Form = LinearForm::constant(V);
+      relationalAssign(Env, Sel.First, Form, V, nullptr);
+    }
   } else {
     for (CellId C = Sel.First; C < Sel.First + Sel.Count; ++C)
-      relationalForget(Env, C, V);
+      relationalForget(Env, C,
+                       Conc && Conc->isShared(C) ? CellRange[C] : V);
   }
   return Env;
 }
@@ -1012,14 +1169,23 @@ AbstractEnv Transfer::guard(AbstractEnv Env, const Expr *Cond,
     CellSel Sel = resolveLValue(Env, Cond->Lv, /*Report=*/false);
     if (Sel.Strong && Sel.Count == 1) {
       CellId C = Sel.First;
+      bool SharedC = Conc && Conc->isShared(C);
       const ScalarAbs *S = Env.cell(C);
       if (S) {
-        Interval R = Positive ? S->Itv.meetNe(0, IsInt)
-                              : S->Itv.meet(Interval::point(0));
+        Interval Obs = S->Itv;
+        // Shared cells: refine the rival-joined observation (see the
+        // guardCompare RefineLoad rationale).
+        if (SharedC && Conc->In)
+          Obs = Obs.join(Conc->In->rivalWrites(Conc->ThreadIndex, C));
+        Interval R = Positive ? Obs.meetNe(0, IsInt)
+                              : Obs.meet(Interval::point(0));
         if (R.isBottom())
           return AbstractEnv::bottom();
         Env.setCell(C, ScalarAbs{R, S->Clk});
       }
+      // A shared cell seeds no relational facts (stale-relation leak).
+      if (SharedC)
+        return Env;
       // Registered domains: boolean guard + reduction (the B := X==0
       // example of Sect. 6.2.4; only domains tracking C react). A
       // reduction chain like relationalAssign — and like every assignment
@@ -1092,6 +1258,12 @@ AbstractEnv Transfer::guardCompare(AbstractEnv Env, const Expr *A,
     if (!S)
       return;
     Interval R = S->Itv;
+    // A shared cell's observable value includes rival writes; refining the
+    // raw thread-local component could drop reachable executions (e.g.
+    // `if (s > 10)` infeasible locally but entered via a rival write of
+    // 42). Refine the rival-joined observation instead.
+    if (Conc && Conc->isShared(C) && Conc->In)
+      R = R.join(Conc->In->rivalWrites(Conc->ThreadIndex, C));
     BinOp EffOp = Op;
     if (!IsLeft) {
       // B rel A with the mirrored operator.
@@ -1141,6 +1313,12 @@ AbstractEnv Transfer::guardCompare(AbstractEnv Env, const Expr *A,
   // --pack-dispatch=groups, byte-identically merged — and this is the one
   // sweep that genuinely fans out: a comparison may touch packs from
   // several groups (the assignment sweeps never can).
+  // Comparisons reading shared cells must not seed relational facts (the
+  // stale-relation leak); the interval refinements above already used the
+  // rival-joined observations, which is all interference semantics allows.
+  if (Conc && (exprReadsShared(Env, A) || exprReadsShared(Env, B)))
+    return Env;
+
   TransferEvalContext Ctx(*this, Env);
   RelGuard G;
   G.A = A;

@@ -28,6 +28,7 @@
 #include "analyzer/DomainRegistry.h"
 #include "analyzer/Options.h"
 #include "analyzer/Packing.h"
+#include "concurrency/Interference.h"
 #include "domains/LinearForm.h"
 #include "memory/AbstractEnv.h"
 #include "support/Statistics.h"
@@ -77,6 +78,16 @@ public:
   /// precision"), kept uniformly for every registered domain.
   std::vector<std::vector<uint8_t>> RelPackImproved;
   std::vector<std::map<ir::VarId, RefBinding>> Frames;
+
+  /// Per-thread concurrency context, set by ConcurrentAnalysis for the
+  /// interference rounds (null in every sequential analysis). Shared-cell
+  /// loads join the rival threads' write intervals into the loaded value and
+  /// record the read; shared-cell stores record the written interval.
+  /// Recording is semantics, not checking — it happens regardless of mode or
+  /// silent evaluation, and the recorder's joins are commutative and
+  /// idempotent, so speculative group-sweep workers re-recording the same
+  /// access is harmless.
+  const concurrency::ThreadContext *Conc = nullptr;
 
   const RefBinding *lookupBinding(ir::VarId V) const {
     if (Frames.empty())
@@ -129,6 +140,16 @@ public:
   /// states from the sibling's, via DomainState::preJoinWith.
   void preJoinReduce(AbstractEnv &A, AbstractEnv &B);
 
+  /// Severs every relational fact about cell \p C, resetting it to its
+  /// machine range in all packs. The concurrency driver applies this to
+  /// the startup state's shared cells before the thread rounds: relational
+  /// packs are thread-local under interference semantics, so a
+  /// startup-time fact about a shared cell would outlive rival writes and
+  /// later re-tighten a value past the per-load interference join.
+  void forgetCellRelations(AbstractEnv &Env, CellId C) {
+    relationalForget(Env, C, CellRange[C]);
+  }
+
   // -- LValue machinery -------------------------------------------------------
   /// Resolves \p Lv under \p Env (substituting by-reference bindings and
   /// evaluating subscripts). Reports array-bounds alarms when Checking and
@@ -153,6 +174,14 @@ private:
                            const ir::Expr *B, ir::BinOp Op);
   void alarm(const ir::Expr *E, AlarmKind K, const std::string &Msg,
              bool Definite);
+
+  /// True when \p E (transitively) loads a shared cell under interference
+  /// semantics (always false without an active ThreadContext). Such
+  /// expressions must not seed relational facts during a thread run: the
+  /// packs are thread-local, so a relation through a shared cell survives
+  /// rival writes and would later re-tighten a non-shared cell past the
+  /// interference join.
+  bool exprReadsShared(const AbstractEnv &Env, const ir::Expr *E);
 
   /// Registered-domain updates for a strong single-cell store.
   void relationalAssign(AbstractEnv &Env, CellId Target,

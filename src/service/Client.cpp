@@ -13,6 +13,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <stdexcept>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -125,8 +126,32 @@ bool vetResponse(const JsonValue &Doc) {
 }
 
 int runAnalyze(Client &C, const std::vector<std::string> &Args) {
+  // --priority is a client/daemon scheduling hint, not an analyzer flag:
+  // peel it off before the shared parser (which would reject it) and ship
+  // it in the request envelope instead of the forwarded tokens.
+  int Priority = 0;
+  std::vector<std::string> DriverArgs;
+  for (const std::string &A : Args) {
+    if (A.rfind("--priority=", 0) == 0) {
+      try {
+        size_t End = 0;
+        Priority = std::stoi(A.substr(std::strlen("--priority=")), &End);
+        if (End != A.size() - std::strlen("--priority="))
+          throw std::invalid_argument(A);
+      } catch (const std::exception &) {
+        std::fprintf(stderr,
+                     "astral client: error: --priority expects an integer, "
+                     "got '%s'\n",
+                     A.c_str());
+        return 1;
+      }
+      continue;
+    }
+    DriverArgs.push_back(A);
+  }
+
   cli::CliOptions Cli;
-  cli::ParseOutcome Parsed = cli::parseArgs(Args, Cli);
+  cli::ParseOutcome Parsed = cli::parseArgs(DriverArgs, Cli);
   if (!Parsed.Ok) {
     std::fprintf(stderr, "%s\n", Parsed.Error.c_str());
     return 1;
@@ -157,6 +182,7 @@ int runAnalyze(Client &C, const std::vector<std::string> &Args) {
   Request R;
   R.Operation = Request::Op::Analyze;
   R.Args = Cli.FlagArgs;
+  R.Priority = Priority;
   for (const cli::LoadedFile &F : *Files)
     R.Files.push_back(FilePayload{F.Path, F.Source, F.Headers});
 

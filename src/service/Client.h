@@ -57,7 +57,8 @@ private:
 
 /// The `astral-cli client` subcommand: --socket=PATH then one of
 /// analyze|status|cache-stats|shutdown (analyze takes the one-shot driver's
-/// flags and input paths). Returns the process exit code.
+/// flags and input paths, plus --priority=N to jump — or, negative, yield
+/// to — the daemon's queue). Returns the process exit code.
 int runClientCommand(const std::vector<std::string> &Args);
 
 } // namespace service

@@ -65,6 +65,17 @@ std::optional<Request> decodeRequest(const std::string &Line,
     }
   }
 
+  if (const JsonValue *Pr = Doc->find("priority")) {
+    // Bounded integer: a priority is a scheduling weight, not a payload, so
+    // a fractional or astronomically large value is a client bug.
+    double V = Pr->isNumber() ? Pr->asNumber() : 0.5;
+    if (V != double(int(V)) || V < -1000000 || V > 1000000) {
+      Err = "'priority' must be an integer in [-1000000, 1000000]";
+      return std::nullopt;
+    }
+    R.Priority = int(V);
+  }
+
   if (const JsonValue *Files = Doc->find("files")) {
     if (!Files->isArray()) {
       Err = "'files' must be an array";
@@ -111,6 +122,8 @@ std::optional<Request> decodeRequest(const std::string &Line,
 std::string encodeRequest(const Request &R) {
   JsonValue Doc = JsonValue::object();
   Doc["op"] = JsonValue(std::string(opName(R.Operation)));
+  if (R.Priority != 0)
+    Doc["priority"] = JsonValue(int64_t(R.Priority));
   if (!R.Args.empty()) {
     JsonValue Args = JsonValue::array();
     for (const std::string &A : R.Args)

@@ -10,7 +10,7 @@
 /// stream socket, one request line -> one response line.
 ///
 /// Requests:
-///   {"op":"analyze","args":[flag tokens...],
+///   {"op":"analyze","args":[flag tokens...],"priority":N,
 ///    "files":[{"path":P,"source":S,"headers":{name:text,...}},...]}
 ///   {"op":"status"}
 ///   {"op":"cache-stats"}
@@ -60,6 +60,8 @@ struct Request {
   Op Operation = Op::Status;
   std::vector<std::string> Args;   ///< Forwarded flag tokens (analyze).
   std::vector<FilePayload> Files;  ///< Inputs (analyze).
+  int Priority = 0;                ///< Scheduling weight (analyze); higher
+                                   ///< preempts queued lower-priority jobs.
 };
 
 const char *opName(Request::Op Op);

@@ -7,6 +7,7 @@
 
 #include "service/RequestQueue.h"
 
+#include <algorithm>
 #include <atomic>
 #include <stdexcept>
 #include <unordered_map>
@@ -36,16 +37,31 @@ RequestQueue::~RequestQueue() {
 }
 
 std::future<RequestQueue::Outcome>
-RequestQueue::submit(std::vector<AnalysisInput> Inputs) {
+RequestQueue::submit(std::vector<AnalysisInput> Inputs, int Priority) {
   auto J = std::make_unique<Job>();
   J->Inputs = std::move(Inputs);
+  J->Priority = Priority;
   std::future<Outcome> F = J->Done.get_future();
   {
     std::lock_guard<std::mutex> L(Mu);
+    J->Seq = NextSeq++;
     Pending.push_back(std::move(J));
   }
   JobReady.notify_one();
   return F;
+}
+
+void RequestQueue::pause() {
+  std::lock_guard<std::mutex> L(Mu);
+  Paused = true;
+}
+
+void RequestQueue::resume() {
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Paused = false;
+  }
+  JobReady.notify_all();
 }
 
 uint64_t RequestQueue::jobsServed() const {
@@ -58,10 +74,22 @@ void RequestQueue::dispatcherMain() {
     std::vector<std::unique_ptr<Job>> Batch;
     {
       std::unique_lock<std::mutex> L(Mu);
-      JobReady.wait(L, [&] { return ShuttingDown || !Pending.empty(); });
+      JobReady.wait(L, [&] {
+        return ShuttingDown || (!Paused && !Pending.empty());
+      });
       if (ShuttingDown)
         return;
-      Batch.swap(Pending);
+      // One drain = every pending job of the single highest priority, in
+      // arrival order (Pending is Seq-ascending by construction). Lower
+      // priorities stay queued; a high-priority job that arrives during
+      // the drain wins the next round.
+      int Top = Pending.front()->Priority;
+      for (const std::unique_ptr<Job> &J : Pending)
+        Top = std::max(Top, J->Priority);
+      std::vector<std::unique_ptr<Job>> Rest;
+      for (std::unique_ptr<Job> &J : Pending)
+        (J->Priority == Top ? Batch : Rest).push_back(std::move(J));
+      Pending = std::move(Rest);
     }
     runJobs(std::move(Batch));
   }
@@ -152,11 +180,14 @@ void RequestQueue::runJobs(std::vector<std::unique_ptr<Job>> Jobs) {
 
   // Count before resolving: a client that receives its response and
   // immediately asks for `status` must see its own request in the total.
+  uint64_t Base;
   {
     std::lock_guard<std::mutex> L(Mu);
+    Base = Served;
     Served += Jobs.size();
   }
   for (size_t J = 0; J < Jobs.size(); ++J) {
+    Jobs[J]->Result.ServeOrder = Base + J;
     Jobs[J]->Result.FrontendHits = Counters[J].FrontendHits.load();
     Jobs[J]->Result.FrontendMisses = Counters[J].FrontendMisses.load();
     Jobs[J]->Result.PackingHits = Counters[J].PackingHits.load();

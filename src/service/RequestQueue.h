@@ -8,7 +8,9 @@
 /// \file
 /// The daemon's analysis scheduler. Connection threads submit jobs (one per
 /// analyze request, already reduced to AnalysisInputs); a single dispatcher
-/// thread drains every pending job, flattens them into per-file items, and
+/// thread drains the highest-priority pending jobs — FIFO by arrival among
+/// equals, so the default priority 0 degenerates to the old drain-everything
+/// behavior — flattens them into per-file items, and
 /// runs the items over ONE shared ThreadPoolScheduler — the same
 /// coarse-grained whole-file dispatch AnalysisSession::analyzeBatch uses,
 /// extended across concurrent requests. Each item is its own
@@ -20,6 +22,12 @@
 /// Cache accounting is per-job: the outcome carries the hit/miss deltas of
 /// exactly this request's items, which is what lets a client prove "the
 /// resubmission skipped the frontend" without racing other clients.
+///
+/// Priorities are preemption at drain granularity, not mid-run: an editor's
+/// priority-10 single-file request submitted while a priority-0 CI batch is
+/// running waits for the in-flight drain, then jumps every still-queued
+/// batch. Starvation is the operator's tradeoff to make — the daemon never
+/// ages priorities up.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -48,6 +56,9 @@ public:
     uint64_t FrontendMisses = 0;
     uint64_t PackingHits = 0;
     uint64_t PackingMisses = 0;
+    uint64_t ServeOrder = 0; ///< Position in the daemon's global serve
+                             ///< sequence (0-based) — the observable the
+                             ///< priority tests pin.
   };
 
   RequestQueue(std::shared_ptr<Scheduler> Pool, ArtifactCache &Cache);
@@ -57,16 +68,27 @@ public:
   RequestQueue &operator=(const RequestQueue &) = delete;
 
   /// Enqueues one request's inputs; the future resolves when every file of
-  /// the request finished.
-  std::future<Outcome> submit(std::vector<AnalysisInput> Inputs);
+  /// the request finished. Higher \p Priority jobs are dispatched before
+  /// lower ones; equal priorities serve in arrival order.
+  std::future<Outcome> submit(std::vector<AnalysisInput> Inputs,
+                              int Priority = 0);
 
   uint64_t jobsServed() const;
+
+  /// Gates the dispatcher between drains (a paused queue accepts submits
+  /// but starts no new drain). Exists so tests can stack requests and
+  /// observe the priority order deterministically; the daemon itself never
+  /// pauses.
+  void pause();
+  void resume();
 
 private:
   struct Job {
     std::vector<AnalysisInput> Inputs;
     std::promise<Outcome> Done;
     Outcome Result;
+    int Priority = 0;
+    uint64_t Seq = 0; ///< Arrival order; the FIFO tiebreak among equals.
   };
 
   void dispatcherMain();
@@ -77,8 +99,10 @@ private:
 
   mutable std::mutex Mu;
   std::condition_variable JobReady;
-  std::vector<std::unique_ptr<Job>> Pending;
+  std::vector<std::unique_ptr<Job>> Pending; ///< Arrival order (Seq asc).
   bool ShuttingDown = false;
+  bool Paused = false;
+  uint64_t NextSeq = 0;
   uint64_t Served = 0;
 
   std::thread Dispatcher;

@@ -287,7 +287,7 @@ std::string Server::handleAnalyze(const Request &R) {
 
   RequestQueue::Outcome Out;
   try {
-    Out = Queue->submit(std::move(Inputs)).get();
+    Out = Queue->submit(std::move(Inputs), R.Priority).get();
   } catch (const std::exception &E) {
     return encodeError(E.what());
   }

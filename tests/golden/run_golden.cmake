@@ -29,7 +29,8 @@ if(NOT DEFINED OUT_DIR)
 endif()
 
 set(CASES quickstart filter_verification alarm_investigation flight_control
-          interp_table rate_limiter_clocked partitioned_switch)
+          interp_table rate_limiter_clocked partitioned_switch
+          thread_handoff thread_mode_table)
 set(NFAILED 0)
 
 # Normalizes environment-dependent report fields (wall-clock, input path).

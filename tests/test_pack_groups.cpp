@@ -94,6 +94,41 @@ void crossClusterTweak(AnalyzerOptions &O) {
   O.VolatileRanges["inb"] = Interval(0, 100);
 }
 
+/// The sharpened-conflict-rule topology. Cluster 0 carries a companion
+/// cell k = x + 1.0f inside its own octagon pack ({k, a, x}; the size cap
+/// keeps it, drops the cross block). The cross-cluster guard mentions k on
+/// BOTH sides, so k sits in the request's *static* read set while
+/// cancelling out of the difference form x - y: the old conflict rule
+/// broke cluster 1's buffered results whenever cluster 0's channel
+/// re-published a tightened k (the k = x + 1 relation re-tightens k as
+/// soon as the guard tightens x), but cluster 1's own evaluation only
+/// ever consults x — the out-of-pack side of the difference form — so the
+/// sharpened per-group read-set rule keeps its buffer. k is declared
+/// first, so its channel fact lands before x's and the avoided break is
+/// observable even though x's tightening then breaks cluster 1 anyway.
+const char *CompanionCellGuardSrc =
+    "volatile float ina; volatile float inb;\n"
+    "float k; float a; float x; float b; float y;\n"
+    "float z1; float z2; float z3;\n"
+    "int main(void) {\n"
+    "  while (1) {\n"
+    "    if (ina > 0.5f) { a = ina; x = a + 1.0f; k = x + 1.0f; }\n"
+    "    if (inb > 0.5f) { b = inb; y = b + 2.0f; }\n"
+    "    if (x + k < y + k) { z1 = x; z2 = y; z3 = x; }\n"
+    "    __astral_wait();\n"
+    "  }\n"
+    "  return 0;\n"
+    "}\n";
+
+void companionCellTweak(AnalyzerOptions &O) {
+  // Keeps the {ina, a, x, k} and {inb, b, y} cluster packs, drops the
+  // cross-cluster guard block ({x, k, y, z1, z2, z3}) and the branch-body
+  // block ({z1, x, z2, y, z3}).
+  O.MaxOctPackSize = 4;
+  O.VolatileRanges["ina"] = Interval(0, 100);
+  O.VolatileRanges["inb"] = Interval(0, 50);
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -240,6 +275,28 @@ TEST(PackGroups, GroupedDispatchActuallyFansOut) {
                                    });
   EXPECT_EQ(S.Stats.get("parallel.sweeps_grouped"), 0u);
   EXPECT_EQ(S.Stats.get("parallel.pack_dispatch_groups"), 0u);
+}
+
+TEST(PackGroups, SharpenedConflictRuleAvoidsRecomputes) {
+  // Every count of parallel.sweep_breaks_avoided is, by construction, a
+  // (tightening, group) pair the old static-read-set rule would have
+  // recomputed and the per-group recorded-read-set rule did not: the
+  // counter is the recompute saving, measured on the companion-cell
+  // topology crafted to produce it.
+  AnalysisResult R = analyzeSource(CompanionCellGuardSrc,
+                                   [](AnalyzerOptions &O) {
+                                     companionCellTweak(O);
+                                     O.Jobs = 2;
+                                     O.PackDispatch =
+                                         PackDispatchMode::Groups;
+                                   });
+  ASSERT_TRUE(R.FrontendOk);
+  EXPECT_GT(R.Stats.get("parallel.sweeps_grouped"), 0u);
+  EXPECT_GT(R.Stats.get("parallel.sweep_breaks_avoided"), 0u);
+
+  // And the sharpened rule still recomputes where it must: the report
+  // stays byte-identical across the whole matrix.
+  expectMatrixIdentical(CompanionCellGuardSrc, companionCellTweak);
 }
 
 TEST(PackGroups, RandomizedTopologiesMatchSequentialBitwise) {

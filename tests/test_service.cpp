@@ -16,12 +16,14 @@
 #include "service/Client.h"
 #include "service/Json.h"
 #include "service/Protocol.h"
+#include "service/RequestQueue.h"
 #include "service/Server.h"
 #include "support/Sha256.h"
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <future>
 #include <regex>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -162,6 +164,38 @@ TEST(ServiceProtocol, AnalyzeRequestRoundTrips) {
   EXPECT_EQ(Back->Files[0].Headers, F.Headers);
 }
 
+TEST(ServiceProtocol, PriorityRoundTripsAndDefaultsToZero) {
+  Request R;
+  R.Operation = Request::Op::Analyze;
+  R.Priority = 10;
+  FilePayload F;
+  F.Path = "p.c";
+  F.Source = "int main(void) { return 0; }";
+  R.Files.push_back(F);
+
+  std::string Err;
+  std::string Line = encodeRequest(R);
+  EXPECT_NE(Line.find("\"priority\":10"), std::string::npos) << Line;
+  std::optional<Request> Back = decodeRequest(Line, Err);
+  ASSERT_TRUE(Back) << Err;
+  EXPECT_EQ(Back->Priority, 10);
+
+  // Omitted on the wire when 0, and 0 when omitted — old clients and new
+  // daemons (and vice versa) interoperate.
+  R.Priority = 0;
+  Line = encodeRequest(R);
+  EXPECT_EQ(Line.find("priority"), std::string::npos) << Line;
+  Back = decodeRequest(Line, Err);
+  ASSERT_TRUE(Back) << Err;
+  EXPECT_EQ(Back->Priority, 0);
+
+  // Negative priorities (background work) are legal.
+  R.Priority = -3;
+  Back = decodeRequest(encodeRequest(R), Err);
+  ASSERT_TRUE(Back) << Err;
+  EXPECT_EQ(Back->Priority, -3);
+}
+
 TEST(ServiceProtocol, RejectsBadRequests) {
   std::string Err;
   EXPECT_FALSE(decodeRequest("not json", Err));
@@ -169,6 +203,10 @@ TEST(ServiceProtocol, RejectsBadRequests) {
   EXPECT_FALSE(decodeRequest("{\"op\":\"analyze\"}", Err))
       << "analyze without files must be refused";
   EXPECT_FALSE(decodeRequest("{\"args\":[]}", Err)) << "missing op";
+  EXPECT_FALSE(decodeRequest("{\"op\":\"status\",\"priority\":1.5}", Err))
+      << "fractional priority must be refused";
+  EXPECT_FALSE(decodeRequest("{\"op\":\"status\",\"priority\":\"high\"}", Err))
+      << "non-numeric priority must be refused";
   // The simple ops decode without payload.
   for (const char *Op : {"status", "cache-stats", "shutdown"}) {
     std::optional<Request> R =
@@ -217,6 +255,59 @@ TEST(ArtifactCache, EvictsLeastRecentlyUsed) {
   // Re-storing an existing key refreshes in place — no eviction.
   Cache.storeFrontend("a", Mk());
   EXPECT_EQ(Cache.stats().Evictions, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// RequestQueue priority scheduling
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<AnalysisInput> trivialInput(const char *Name) {
+  AnalysisInput In;
+  In.FileName = Name;
+  In.Source = "int main(void) { return 0; }";
+  return {In};
+}
+
+} // namespace
+
+TEST(RequestQueue, HigherPriorityPreemptsQueuedJobs) {
+  ArtifactCache Cache(8);
+  RequestQueue Q(Scheduler::create(2), Cache);
+
+  // Stack the queue while paused so the dispatcher sees all four jobs at
+  // once — the editor/CI scenario without the race: a CI batch, an editor
+  // request, more CI, and a background sweep arrive in that order.
+  Q.pause();
+  std::future<RequestQueue::Outcome> CiA = Q.submit(trivialInput("ci_a.c"), 0);
+  std::future<RequestQueue::Outcome> Editor =
+      Q.submit(trivialInput("editor.c"), 10);
+  std::future<RequestQueue::Outcome> CiB = Q.submit(trivialInput("ci_b.c"), 0);
+  std::future<RequestQueue::Outcome> Bg =
+      Q.submit(trivialInput("background.c"), -5);
+  Q.resume();
+
+  // Serve order: the priority-10 editor request first; then the two
+  // priority-0 CI jobs in arrival order (one drain, FIFO by submission);
+  // the negative-priority sweep last.
+  EXPECT_EQ(Editor.get().ServeOrder, 0u);
+  EXPECT_EQ(CiA.get().ServeOrder, 1u);
+  EXPECT_EQ(CiB.get().ServeOrder, 2u);
+  EXPECT_EQ(Bg.get().ServeOrder, 3u);
+  EXPECT_EQ(Q.jobsServed(), 4u);
+}
+
+TEST(RequestQueue, EqualPrioritiesServeInArrivalOrder) {
+  ArtifactCache Cache(8);
+  RequestQueue Q(Scheduler::create(2), Cache);
+  Q.pause();
+  std::vector<std::future<RequestQueue::Outcome>> F;
+  for (int I = 0; I < 3; ++I)
+    F.push_back(Q.submit(trivialInput("same.c"), 7));
+  Q.resume();
+  for (size_t I = 0; I < F.size(); ++I)
+    EXPECT_EQ(F[I].get().ServeOrder, I);
 }
 
 //===----------------------------------------------------------------------===//
