@@ -21,7 +21,7 @@ echo "== tsan: ThreadSanitizer build + parallel suites =="
 cmake -B build-tsan -S . -DASTRAL_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$JOBS"
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-      -R "test_scheduler|test_analysis_session|test_iterator|test_domain_registry|test_octagon|test_pack_groups|test_partition_dispatch|test_service|test_interference"
+      -R "test_scheduler|test_analysis_session|test_iterator|test_domain_registry|test_octagon|test_pack_groups|test_partition_dispatch|test_service|test_interference|test_cancellation"
 
 echo
 echo "== determinism matrix: jobs x pack-dispatch x partition-dispatch (CI parity) =="
@@ -34,6 +34,10 @@ ASTRAL_BENCH_SMOKE=1 build/bench/bench_parallel_jobs
 echo
 echo "== serve smoke: daemon conformance + cache proof (CI parity) =="
 scripts/serve_smoke.sh build
+
+echo
+echo "== chaos smoke: deadlines, fault injection, budget determinism (CI parity) =="
+scripts/chaos_smoke.sh build
 
 echo
 echo "== smoke: astral-cli end-to-end =="

@@ -14,6 +14,8 @@
 #include "lang/Parser.h"
 #include "lang/Preprocessor.h"
 #include "lang/Sema.h"
+#include "support/Cancellation.h"
+#include "support/FaultInjection.h"
 #include "support/MemoryTracker.h"
 #include "support/Sha256.h"
 #include "support/Timer.h"
@@ -158,6 +160,15 @@ void fingerprintExecution(const AnalyzerOptions &O, FingerprintWriter &W) {
           uint64_t(static_cast<uint8_t>(O.PartitionDispatch)));
   W.field("max_call_depth", uint64_t(O.MaxCallDepth));
   W.field("record_loop_invariants", O.RecordLoopInvariants);
+  // Resource governance fingerprints into the execution phase only: the
+  // budget can change the execution artifact (degradation), and while a
+  // deadline cannot change a *successful* artifact, runs that raced a
+  // deadline should not be mistaken for unconstrained ones. The shareable
+  // frontend/packing artifacts (and hence the service cache keys) are
+  // governance-agnostic by construction.
+  W.field("deadline_ms", O.DeadlineMs);
+  W.field("memory_budget_bytes", O.MemoryBudgetBytes);
+  W.field("on_budget", uint64_t(static_cast<uint8_t>(O.OnBudget)));
 }
 
 } // namespace
@@ -258,6 +269,10 @@ void AnalysisSession::setScheduler(std::shared_ptr<Scheduler> S) {
   SchedulerInjected = Sched != nullptr;
 }
 
+void AnalysisSession::setCancelToken(std::shared_ptr<cancel::Token> T) {
+  ExternalCancel = std::move(T);
+}
+
 Scheduler *AnalysisSession::schedulerForRun() {
   if (SchedulerInjected)
     return Sched.get();
@@ -314,6 +329,7 @@ void AnalysisSession::adoptPacking(std::shared_ptr<const LayoutPhase> L,
 const AnalysisSession::FrontendPhase &AnalysisSession::runFrontend() {
   if (Frontend)
     return *Frontend;
+  faultinject::fire("frontend");
   Timer PhaseTimer;
   FrontendPhase F;
   F.SourceLines =
@@ -455,9 +471,93 @@ const AnalysisSession::PackingPhase &AnalysisSession::buildPacks() {
 // Phase: abstract execution (Sect. 5.2-5.5)
 //===----------------------------------------------------------------------===//
 
+/// One rung of the budget ladder: sheds the next-cheapest precision from
+/// \p O and names the step, or returns null when fully degraded. The order
+/// is fixed — most expensive/most dispensable first, mirroring the paper's
+/// refinement sequence in reverse: the ellipsoid domain (the filter
+/// specialization), then the decision trees, then the octagon packs, then
+/// the trace-partitioning width. Each rung leaves a sound (coarser)
+/// configuration; the interval base domain is never shed.
+static const char *applyDegradeStep(AnalyzerOptions &O) {
+  if (O.Domains.has(DomainKind::Ellipsoid)) {
+    O.Domains.enable(DomainKind::Ellipsoid, false);
+    return "drop-ellipsoid";
+  }
+  if (O.Domains.has(DomainKind::DecisionTree)) {
+    O.Domains.enable(DomainKind::DecisionTree, false);
+    return "drop-tree";
+  }
+  if (O.Domains.has(DomainKind::Octagon)) {
+    O.Domains.enable(DomainKind::Octagon, false);
+    return "drop-octagon";
+  }
+  if (O.MaxPartitions > 1) {
+    O.MaxPartitions = 1;
+    return "tighten-partitions";
+  }
+  return nullptr;
+}
+
 const AnalysisSession::ExecutionPhase &AnalysisSession::runAbstractExecution() {
   if (Exec)
     return *Exec;
+
+  // Resource governance. An injected token (the daemon: deadline anchored
+  // at request arrival) wins; otherwise a run with a deadline or budget
+  // builds its own, anchored here. The budget is always armed against this
+  // session's meter — it is the deterministic trigger the polls read.
+  cancel::Token LocalTok;
+  cancel::Token *Tok = ExternalCancel.get();
+  if (!Tok && (In.Options.DeadlineMs || In.Options.MemoryBudgetBytes)) {
+    LocalTok.setDeadlineMs(In.Options.DeadlineMs);
+    Tok = &LocalTok;
+  }
+  cancel::TokenScope TS(Tok);
+
+  // The budget-degradation ladder: each OverBudget unwind sheds one step of
+  // precision (applyDegradeStep) and restarts the phase — setOptions
+  // invalidates exactly the stale artifacts, so the frontend is never paid
+  // again and packing only re-runs when a domain was dropped. The restart
+  // begins from the same metered baseline (the unwound attempt's abstract
+  // state freed itself under this session's counter), so the whole ladder
+  // is a deterministic function of the analysis and the budget — never of
+  // wall clock or worker timing. When even the fully-degraded run does not
+  // fit, the budget is waived: Astrée's contract is "always terminate with
+  // a sound result", and the report says honestly what happened.
+  std::vector<std::string> Steps;
+  bool Waived = false;
+  for (;;) {
+    if (Tok)
+      Tok->setBudget(Waived ? 0 : In.Options.MemoryBudgetBytes, &Mem);
+    try {
+      ExecutionPhase E = executeOnce();
+      if (In.Options.MemoryBudgetBytes) {
+        E.Stats.set("analysis.degraded", Steps.size());
+        E.Stats.set("analysis.budget_waived", Waived ? 1 : 0);
+      }
+      E.DegradeSteps = std::move(Steps);
+      Exec = std::move(E);
+      return *Exec;
+    } catch (const cancel::AnalysisCancelled &C) {
+      if (C.reason() != cancel::Reason::OverBudget ||
+          In.Options.OnBudget != AnalyzerOptions::BudgetAction::Degrade)
+        throw;
+      AnalyzerOptions O = In.Options;
+      if (const char *Step = applyDegradeStep(O)) {
+        Steps.push_back(Step);
+        setOptions(O);
+      } else {
+        Steps.push_back("waive-budget");
+        Waived = true;
+      }
+    }
+  }
+}
+
+AnalysisSession::ExecutionPhase AnalysisSession::executeOnce() {
+  // Fail fast on an already-cancelled/expired token — a loop-free program
+  // would otherwise never reach a fixpoint-head poll.
+  cancel::poll();
   const PackingPhase &P = buildPacks();
   ExecutionPhase E;
 
@@ -544,8 +644,7 @@ const AnalysisSession::ExecutionPhase &AnalysisSession::runAbstractExecution() {
     E.Stats.set(Prefix + ".count", Plan.numGroups());
     E.Stats.set(Prefix + ".largest", Plan.largestGroup());
   }
-  Exec = std::move(E);
-  return *Exec;
+  return E;
 }
 
 //===----------------------------------------------------------------------===//
@@ -578,6 +677,8 @@ AnalysisResult AnalysisSession::report() {
   R.Stats = E.Stats;
   R.AnalysisSeconds = E.AnalysisSeconds;
   R.PeakAbstractBytes = E.PeakAbstractBytes;
+  R.MemoryBudgetConfigured = In.Options.MemoryBudgetBytes != 0;
+  R.DegradeSteps = E.DegradeSteps;
   R.Stats.set("frontend.folded_exprs", F.FoldedExprs);
   R.Stats.set("frontend.const_loads_replaced", F.ConstLoadsReplaced);
   R.Stats.set("frontend.globals_deleted", F.GlobalsDeleted);

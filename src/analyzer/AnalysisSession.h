@@ -61,6 +61,7 @@
 #include "lang/Ast.h"
 #include "memory/AbstractEnv.h"
 #include "memory/Cell.h"
+#include "support/Cancellation.h"
 #include "support/MemoryTracker.h"
 
 #include <map>
@@ -130,6 +131,10 @@ public:
     std::vector<std::vector<uint8_t>> RelPackImproved;
     double AnalysisSeconds = 0.0;
     uint64_t PeakAbstractBytes = 0;
+    /// Precision-shedding steps the memory-budget ladder applied before
+    /// this artifact was produced, in order (empty = no budget, or the run
+    /// fit it). See runAbstractExecution.
+    std::vector<std::string> DegradeSteps;
   };
 
   /// The pipeline phases, in dependency order. Used by the invalidation
@@ -173,6 +178,15 @@ public:
   /// Shares an externally-owned scheduler (the batch pool). When unset, the
   /// session builds its own from options().Jobs.
   void setScheduler(std::shared_ptr<Scheduler> S);
+
+  /// Injects an externally-owned cancellation token, installed as the
+  /// ambient cancel::Token for the abstract-execution phase. The serve
+  /// daemon anchors a request's deadline at arrival and hands each
+  /// per-file session its token here; without one, the session builds its
+  /// own from options().DeadlineMs / MemoryBudgetBytes, anchored at phase
+  /// start. The session arms the token's byte budget against its own
+  /// meter either way.
+  void setCancelToken(std::shared_ptr<cancel::Token> T);
 
   // -- Phases (each runs missing predecessors; artifacts are memoized) -----
   const FrontendPhase &runFrontend();
@@ -218,6 +232,10 @@ public:
 
 private:
   Scheduler *schedulerForRun();
+  /// One attempt of the abstract-execution phase under the current options.
+  /// Unwinds via cancel::AnalysisCancelled when the ambient token fires;
+  /// runAbstractExecution wraps it in the budget-degradation retry loop.
+  ExecutionPhase executeOnce();
 
   AnalysisInput In;
   std::shared_ptr<Scheduler> Sched;     ///< Owned or injected pool.
@@ -230,6 +248,7 @@ private:
   std::optional<PackingPhase> Packs;
   std::optional<ExecutionPhase> Exec;
   memtrack::Counter Mem; ///< Per-session abstract-state byte meter.
+  std::shared_ptr<cancel::Token> ExternalCancel; ///< Injected, or null.
 };
 
 } // namespace astral

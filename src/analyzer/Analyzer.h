@@ -82,6 +82,17 @@ struct AnalysisResult {
   double AnalysisSeconds = 0.0;
   uint64_t PeakAbstractBytes = 0;
 
+  // -- Resource governance -----------------------------------------------------
+  /// Whether a memory budget was configured for this run. The report layer
+  /// emits the `degraded` fields only when this is set, so budget-less
+  /// reports (the goldens) are byte-identical to pre-governance builds.
+  bool MemoryBudgetConfigured = false;
+  /// The precision-shedding steps the budget ladder applied, in order
+  /// (empty = the run fit its budget). Deterministic across the
+  /// jobs x dispatch matrix — see docs/robustness.md.
+  std::vector<std::string> DegradeSteps;
+  bool degraded() const { return !DegradeSteps.empty(); }
+
   // -- Main loop invariant -----------------------------------------------------
   bool HasMainLoop = false;
   InvariantCensus MainLoopCensus;

@@ -270,6 +270,33 @@ void printUsage(std::FILE *Out) {
       "  `@astral thread t1 worker` (one thread per directive),\n"
       "  `@astral octagon-closure full` (flags override directives).\n"
       "\n"
+      "resource governance:\n"
+      "  --deadline-ms=<n>            wall-clock deadline for the analysis\n"
+      "                               phase (0 = none, the default). A\n"
+      "                               one-shot run anchors it at phase\n"
+      "                               start and exits 4 on expiry; the\n"
+      "                               serve daemon anchors it at request\n"
+      "                               arrival and answers a structured\n"
+      "                               `timeout` error while continuing to\n"
+      "                               serve.\n"
+      "  --memory-budget-mb=<n>       abstract-state byte budget in MiB\n"
+      "                               (0 = none, the default), checked\n"
+      "                               against the session's deterministic\n"
+      "                               byte meter — never wall clock — so\n"
+      "                               budget outcomes are byte-identical\n"
+      "                               across --jobs and dispatch modes.\n"
+      "  --memory-budget-bytes=<n>    same budget with byte granularity\n"
+      "                               (test harnesses; overrides/overridden\n"
+      "                               by -mb, last one wins).\n"
+      "  --on-budget=<mode>           what crossing the budget does:\n"
+      "                               'degrade' (default) sheds precision\n"
+      "                               deterministically (drop ellipsoid ->\n"
+      "                               tree -> octagon packs -> tighten\n"
+      "                               partitioning) and finishes with a\n"
+      "                               sound report labeled `degraded`;\n"
+      "                               'fail' stops with a structured\n"
+      "                               over-budget error (exit 4 one-shot).\n"
+      "\n"
       "output:\n"
       "  --dump-invariants            print the main loop invariant\n"
       "  --dump-stats                 print the run's statistics counters\n"
@@ -519,6 +546,90 @@ ParseOutcome parseArgs(const std::vector<std::string> &Args, CliOptions &Cli) {
       }
       Cli.FlagOps.push_back(
           [Mode](AnalyzerOptions &O) { O.OctagonClosure = *Mode; });
+    } else if (A == "--deadline-ms" || A.rfind("--deadline-ms=", 0) == 0) {
+      std::string Val;
+      if (A == "--deadline-ms") {
+        auto V = NextValue("--deadline-ms");
+        if (!V)
+          return Res;
+        Val = *V;
+      } else {
+        Val = A.substr(std::string("--deadline-ms=").size());
+      }
+      std::optional<unsigned> N = parseUnsignedFlag(Val);
+      if (!N) {
+        Failf("astral-cli: error: --deadline-ms expects a non-negative "
+              "integer of milliseconds, got '%s'",
+              Val.c_str());
+        return Res;
+      }
+      Cli.FlagOps.push_back([N](AnalyzerOptions &O) { O.DeadlineMs = *N; });
+    } else if (A == "--memory-budget-mb" ||
+               A.rfind("--memory-budget-mb=", 0) == 0) {
+      std::string Val;
+      if (A == "--memory-budget-mb") {
+        auto V = NextValue("--memory-budget-mb");
+        if (!V)
+          return Res;
+        Val = *V;
+      } else {
+        Val = A.substr(std::string("--memory-budget-mb=").size());
+      }
+      std::optional<unsigned> N = parseUnsignedFlag(Val);
+      if (!N) {
+        Failf("astral-cli: error: --memory-budget-mb expects a non-negative "
+              "integer of MiB, got '%s'",
+              Val.c_str());
+        return Res;
+      }
+      Cli.FlagOps.push_back([N](AnalyzerOptions &O) {
+        O.MemoryBudgetBytes = uint64_t(*N) << 20;
+      });
+    } else if (A == "--memory-budget-bytes" ||
+               A.rfind("--memory-budget-bytes=", 0) == 0) {
+      // Byte-granular sibling of --memory-budget-mb, for test harnesses and
+      // chaos scripts that pin budgets below (or between) whole MiB.
+      std::string Val;
+      if (A == "--memory-budget-bytes") {
+        auto V = NextValue("--memory-budget-bytes");
+        if (!V)
+          return Res;
+        Val = *V;
+      } else {
+        Val = A.substr(std::string("--memory-budget-bytes=").size());
+      }
+      std::optional<unsigned> N = parseUnsignedFlag(Val);
+      if (!N) {
+        Failf("astral-cli: error: --memory-budget-bytes expects a "
+              "non-negative integer of bytes, got '%s'",
+              Val.c_str());
+        return Res;
+      }
+      Cli.FlagOps.push_back(
+          [N](AnalyzerOptions &O) { O.MemoryBudgetBytes = *N; });
+    } else if (A == "--on-budget" || A.rfind("--on-budget=", 0) == 0) {
+      std::string Val;
+      if (A == "--on-budget") {
+        auto V = NextValue("--on-budget");
+        if (!V)
+          return Res;
+        Val = *V;
+      } else {
+        Val = A.substr(std::string("--on-budget=").size());
+      }
+      std::optional<AnalyzerOptions::BudgetAction> Mode;
+      if (Val == "degrade")
+        Mode = AnalyzerOptions::BudgetAction::Degrade;
+      else if (Val == "fail")
+        Mode = AnalyzerOptions::BudgetAction::Fail;
+      if (!Mode) {
+        Failf("astral-cli: error: --on-budget expects 'degrade' or 'fail', "
+              "got '%s'",
+              Val.c_str());
+        return Res;
+      }
+      Cli.FlagOps.push_back(
+          [Mode](AnalyzerOptions &O) { O.OnBudget = *Mode; });
     } else if (A == "--no-linearize") {
       Cli.FlagOps.push_back(
           [](AnalyzerOptions &O) { O.EnableLinearization = false; });
@@ -739,6 +850,17 @@ std::string renderJsonReport(const CliOptions &Cli, const std::string &Path,
   appendf(S, "  \"ellipsoid_packs\": %llu,\n",
           static_cast<unsigned long long>(R.packCount(DomainKind::Ellipsoid)));
   appendf(S, "  \"analysis_seconds\": %.6f,\n", R.AnalysisSeconds);
+  // Governance fields appear only when a memory budget was configured, so
+  // budget-less reports (the goldens above all) are byte-identical to
+  // pre-governance builds without a schema bump.
+  if (R.MemoryBudgetConfigured) {
+    appendf(S, "  \"degraded\": %s,\n", R.degraded() ? "true" : "false");
+    appendf(S, "  \"degrade_steps\": [");
+    for (size_t I = 0; I < R.DegradeSteps.size(); ++I)
+      appendf(S, "%s\"%s\"", I ? ", " : "",
+              jsonEscape(R.DegradeSteps[I]).c_str());
+    appendf(S, "],\n");
+  }
   appendf(S, "  \"has_main_loop\": %s,\n", R.HasMainLoop ? "true" : "false");
 
   const InvariantCensus &C = R.MainLoopCensus;
@@ -811,6 +933,19 @@ std::string renderTextReport(const CliOptions &Cli, const std::string &Path,
     appendf(S, "  analysis time        %.3f s\n", R.AnalysisSeconds);
     appendf(S, "  abstract-state peak  %.1f MB\n",
             R.PeakAbstractBytes / 1048576.0);
+    if (R.MemoryBudgetConfigured) {
+      if (R.degraded()) {
+        std::string Steps;
+        for (const std::string &Step : R.DegradeSteps) {
+          if (!Steps.empty())
+            Steps += " -> ";
+          Steps += Step;
+        }
+        appendf(S, "  degraded             yes (%s)\n", Steps.c_str());
+      } else {
+        appendf(S, "  degraded             no (fit the memory budget)\n");
+      }
+    }
 
     const InvariantCensus &C = R.MainLoopCensus;
     appendf(S, "  %s invariant census: boolean %llu / interval %llu / "

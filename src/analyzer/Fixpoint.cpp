@@ -24,6 +24,9 @@
 
 #include "analyzer/Iterator.h"
 
+#include "analyzer/Scheduler.h"
+#include "support/Cancellation.h"
+
 #include <cstdio>
 #include <cstdlib>
 #include <set>
@@ -40,6 +43,26 @@ AbstractEnv Iterator::loopFixpoint(const Stmt *W, const AbstractEnv &E0) {
   unsigned ConsecutiveHolds = 0;
 
   for (unsigned Iter = 0;; ++Iter) {
+    // Fixpoint head: the Iterator's cancellation choke point. The
+    // flag/deadline poll may run on any thread (partition-worker clones
+    // included — timeout outcomes are never byte-compared). The budget poll
+    // is restricted to sites that execute identically in every cell of the
+    // jobs x dispatch matrix: top-level fixpoint heads of the master
+    // iterator. "Master" is structural, never thread identity (the whole
+    // session may itself run on a pool worker in batch or daemon mode):
+    // partition-worker clones are excluded by CollectMode, fixpoints inside
+    // called functions by CallDepth == 0 (run() inlines the entry body
+    // without an execCall frame; widths above one only exist inside
+    // partitioned calls, so everything that could migrate between a worker
+    // clone and the master across dispatch modes sits under CallDepth > 0),
+    // and the per-thread interference iterators by !T.Conc (whole thread
+    // bodies move onto workers when the rounds fan out; the
+    // ConcurrentAnalysis round heads poll instead). At these sites the live
+    // figure is a function of the analysis alone, not of worker timing —
+    // that is the budget-degradation determinism contract.
+    cancel::poll();
+    if (!CollectMode && CallDepth == 0 && !T.Conc)
+      cancel::pollBudget();
     Stats.add("fixpoint.iterations");
     // Tracing facility (Sect. 5.3: "tracing facilities with various degrees
     // of detail are also available"): ASTRAL_DEBUG_FIXPOINT=1 logs iteration
@@ -142,6 +165,7 @@ AbstractEnv Iterator::loopFixpoint(const Stmt *W, const AbstractEnv &E0) {
 
   // Narrowing iterations (5.5).
   for (unsigned K = 0; K < Opts.NarrowingIterations; ++K) {
+    cancel::poll();
     Stats.add("fixpoint.narrowings");
     LoopStack.back().BreakAcc = AbstractEnv::bottom();
     AbstractEnv In = T.guard(X, W->Cond, true);

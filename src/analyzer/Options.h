@@ -149,6 +149,36 @@ struct AnalyzerOptions {
   /// sequential loop.
   PartitionDispatchMode PartitionDispatch = PartitionDispatchMode::Parallel;
 
+  // -- Resource governance (deadlines + memory budgets) -------------------------
+  /// Wall-clock deadline for the abstract-execution phase, in milliseconds;
+  /// 0 = none. One-shot runs anchor the deadline at phase start; the serve
+  /// daemon anchors it at request arrival (queue wait counts). Expiry
+  /// unwinds via cancel::AnalysisCancelled — exit code 4 from the CLI, a
+  /// structured `timeout` error response from the daemon.
+  uint64_t DeadlineMs = 0;
+
+  /// Abstract-state byte budget checked against the session's deterministic
+  /// memtrack live figure at master-thread sequential points (never wall
+  /// clock, never worker-local state — that is what keeps budget outcomes
+  /// byte-identical across the jobs x dispatch matrix); 0 = none. The
+  /// --memory-budget-mb flag sets this in whole MiB; tests set bytes
+  /// directly for precise trigger points.
+  uint64_t MemoryBudgetBytes = 0;
+
+  /// What crossing the budget does (--on-budget=degrade|fail):
+  ///  - Degrade (default): shed precision deterministically — drop
+  ///    ellipsoid packs, then decision-tree packs, then octagon packs, then
+  ///    tighten MaxPartitions to 1 — restarting the execution phase after
+  ///    each step, and finish with a sound, honestly-labeled report
+  ///    (`degraded` report field, analysis.degraded stats). A budget too
+  ///    small for even the fully-degraded run is waived on the last rung:
+  ///    the contract is "always terminate with a sound result", not "never
+  ///    exceed the number".
+  ///  - Fail: unwind with AnalysisCancelled(OverBudget) — a structured
+  ///    `over-budget` error from the daemon, exit code 4 one-shot.
+  enum class BudgetAction : uint8_t { Degrade, Fail };
+  BudgetAction OnBudget = BudgetAction::Degrade;
+
   // -- Concurrency (interference analysis) --------------------------------------
   /// Declared threads as (name, entry-function) pairs, in declaration order
   /// (`@astral thread <name> <entry>` / --threads=name:entry,...). Non-empty

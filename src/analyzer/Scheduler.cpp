@@ -7,6 +7,8 @@
 
 #include "analyzer/Scheduler.h"
 
+#include "support/Cancellation.h"
+#include "support/FaultInjection.h"
 #include "support/MemoryTracker.h"
 
 #include <algorithm>
@@ -111,6 +113,11 @@ struct ThreadPoolScheduler::Batch {
   /// abstract-state allocations meter into the session's own counter
   /// rather than whichever session a worker last served.
   memtrack::Counter *Mem = nullptr;
+  /// The submitting thread's ambient cancellation token, propagated to the
+  /// workers the same way as Mem: every claimed task polls it first, so a
+  /// cancelled or deadline-expired batch stops fanning out promptly instead
+  /// of running its remaining tasks to completion.
+  cancel::Token *Cancel = nullptr;
 
   std::atomic<size_t> Next{0};    ///< Next unclaimed index.
   std::atomic<size_t> Done{0};    ///< Tasks finished (ran or abandoned).
@@ -145,11 +152,19 @@ void ThreadPoolScheduler::runTasks(Batch &B) {
   bool SavedInside = InsidePoolTask;
   InsidePoolTask = true;
   memtrack::CounterScope MemScope(B.Mem);
+  cancel::TokenScope CancelScope(B.Cancel);
   for (;;) {
     size_t I = B.Next.fetch_add(1, std::memory_order_relaxed);
     if (I >= B.N)
       break;
     try {
+      // Task boundary: the cheapest choke point. A cancelled batch still
+      // claims and completes every index (the Done count must reach N), but
+      // each remaining task fails fast here instead of running; the poll's
+      // AnalysisCancelled is recorded like any task error and rethrown
+      // first-by-index from parallelFor.
+      cancel::poll();
+      faultinject::fire("scheduler-worker");
       (*B.F)(I);
     } catch (...) {
       std::lock_guard<std::mutex> L(B.Mu);
@@ -202,6 +217,7 @@ void ThreadPoolScheduler::parallelFor(size_t N,
   B->N = N;
   B->F = &F;
   B->Mem = memtrack::currentCounter();
+  B->Cancel = cancel::currentToken();
   {
     std::lock_guard<std::mutex> L(Mu);
     Current = B;

@@ -9,6 +9,7 @@
 
 #include "analyzer/Iterator.h"
 #include "analyzer/Scheduler.h"
+#include "support/Cancellation.h"
 
 #include <set>
 #include <utility>
@@ -102,6 +103,12 @@ ConcurrentResult ConcurrentAnalysis::run() {
   std::vector<ThreadRun> FinalRuns;
 
   for (unsigned Round = 1;; ++Round) {
+    // Round boundary: the interference analysis's cancellation choke point.
+    // Runs on the master thread between fan-outs, so the budget poll here
+    // reads a deterministic live figure (same discipline as the fixpoint
+    // heads — see support/Cancellation.h).
+    cancel::poll();
+    cancel::pollBudget();
     std::vector<ThreadRun> Runs(N);
     // The fourth parallel grain: per-thread analyses of one round are
     // independent (each reads the round's snapshot map and E0, writes only

@@ -7,6 +7,8 @@
 
 #include "service/ArtifactCache.h"
 
+#include "support/FaultInjection.h"
+
 #include <algorithm>
 
 namespace astral {
@@ -42,6 +44,9 @@ void ArtifactCache::storeFrontend(
     std::shared_ptr<const AnalysisSession::FrontendPhase> F) {
   if (!F)
     return;
+  // Chaos site: an insert failing (allocation, a future persistent backend)
+  // must fail the one storing request, never poison the cache or daemon.
+  faultinject::fire("cache-insert");
   std::lock_guard<std::mutex> L(Mu);
   if (Frontends.put(Key, std::move(F), Max))
     ++Counters.Evictions;
@@ -50,6 +55,7 @@ void ArtifactCache::storeFrontend(
 void ArtifactCache::storePacking(const std::string &Key, PackingArtifact P) {
   if (!P.Layout || !P.Packs)
     return;
+  faultinject::fire("cache-insert");
   std::lock_guard<std::mutex> L(Mu);
   if (Packings.put(Key, std::move(P), Max))
     ++Counters.Evictions;

@@ -11,15 +11,66 @@
 #include "analyzer/CliOptions.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <random>
 #include <stdexcept>
 #include <sys/socket.h>
 #include <sys/un.h>
+#include <thread>
 #include <unistd.h>
 
 namespace astral {
 namespace service {
+
+namespace {
+
+/// One connect attempt; -1 + \p Err on failure. Applies the I/O timeouts
+/// right away so even the first exchange is bounded.
+int openSocket(const std::string &SocketPath, const ConnectOptions &Opts,
+               std::string &Err) {
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.empty() || SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Err = "astral client: socket path must be 1.." +
+          std::to_string(sizeof(Addr.sun_path) - 1) + " bytes";
+    return -1;
+  }
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("astral client: socket: ") + std::strerror(errno);
+    return -1;
+  }
+  if (Opts.IoTimeoutMs) {
+    timeval Tv;
+    Tv.tv_sec = Opts.IoTimeoutMs / 1000;
+    Tv.tv_usec = suseconds_t(Opts.IoTimeoutMs % 1000) * 1000;
+    ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+    ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &Tv, sizeof(Tv));
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Err = "astral client: cannot connect to " + SocketPath + ": " +
+          std::strerror(errno) + " (is `astral-cli serve` running?)";
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+/// Exponential backoff with jitter: BackoffBaseMs * 2^Attempt, plus up to
+/// 50% random extra, so retrying clients spread out instead of stampeding.
+void backoffSleep(const ConnectOptions &Opts, unsigned Attempt) {
+  uint64_t Base = uint64_t(Opts.BackoffBaseMs) << (Attempt > 10 ? 10 : Attempt);
+  static thread_local std::mt19937_64 Rng{std::random_device{}()};
+  uint64_t Jitter = Base ? Rng() % (Base / 2 + 1) : 0;
+  std::this_thread::sleep_for(std::chrono::milliseconds(Base + Jitter));
+}
+
+} // namespace
 
 Client::~Client() {
   if (Fd != -1)
@@ -27,33 +78,50 @@ Client::~Client() {
 }
 
 std::unique_ptr<Client> Client::connect(const std::string &SocketPath,
-                                        std::string &Err) {
-  sockaddr_un Addr;
-  std::memset(&Addr, 0, sizeof(Addr));
-  Addr.sun_family = AF_UNIX;
-  if (SocketPath.empty() || SocketPath.size() >= sizeof(Addr.sun_path)) {
-    Err = "astral client: socket path must be 1.." +
-          std::to_string(sizeof(Addr.sun_path) - 1) + " bytes";
-    return nullptr;
+                                        std::string &Err,
+                                        const ConnectOptions &Opts) {
+  for (unsigned Attempt = 0;; ++Attempt) {
+    int Fd = openSocket(SocketPath, Opts, Err);
+    if (Fd >= 0)
+      return std::unique_ptr<Client>(new Client(Fd, SocketPath, Opts));
+    if (Attempt >= Opts.Retries)
+      return nullptr;
+    backoffSleep(Opts, Attempt);
   }
-  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
-
-  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (Fd < 0) {
-    Err = std::string("astral client: socket: ") + std::strerror(errno);
-    return nullptr;
-  }
-  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
-    Err = "astral client: cannot connect to " + SocketPath + ": " +
-          std::strerror(errno) + " (is `astral-cli serve` running?)";
-    ::close(Fd);
-    return nullptr;
-  }
-  return std::unique_ptr<Client>(new Client(Fd));
 }
 
 std::optional<JsonValue> Client::roundTrip(const Request &R,
                                            std::string &Err) {
+  // Shutdown is the one non-idempotent operation: replaying it against a
+  // daemon that already acknowledged (on a frame we lost) would stop a
+  // *new* daemon. Everything else is safe to retry on a fresh connection.
+  const bool Retryable = R.Operation != Request::Op::Shutdown;
+  for (unsigned Attempt = 0;; ++Attempt) {
+    std::optional<JsonValue> Doc = tryRoundTrip(R, Err);
+    if (Doc)
+      return Doc;
+    if (!Retryable || Attempt >= Opts.Retries)
+      return std::nullopt;
+    ++Retries;
+    backoffSleep(Opts, Attempt);
+    // Fresh stream: the old one may hold half a response; carrying those
+    // bytes over would desynchronize the framing forever.
+    if (Fd != -1)
+      ::close(Fd);
+    Carry.clear();
+    std::string ConnErr;
+    Fd = openSocket(SocketPath, Opts, ConnErr);
+    if (Fd == -1)
+      Err = ConnErr; // Reported if this was the last attempt.
+  }
+}
+
+std::optional<JsonValue> Client::tryRoundTrip(const Request &R,
+                                              std::string &Err) {
+  if (Fd == -1) {
+    Err = "astral client: not connected";
+    return std::nullopt;
+  }
   std::string Line = encodeRequest(R);
   Line += '\n';
   size_t Sent = 0;
@@ -100,15 +168,24 @@ std::optional<JsonValue> Client::roundTrip(const Request &R,
 namespace {
 
 /// Checks ok/error and the schema vintage; on failure prints to stderr and
-/// returns false.
-bool vetResponse(const JsonValue &Doc) {
+/// returns the process exit code (0 = response is good). Resource-
+/// governance refusals — the daemon saying "your deadline expired" or
+/// "your budget burst under --on-budget=fail" — exit with the one-shot
+/// driver's code 4, so scripts treat both modes alike.
+int vetResponse(const JsonValue &Doc) {
   const JsonValue *Ok = Doc.find("ok");
   if (!Ok || !Ok->isBool() || !Ok->asBool()) {
     const JsonValue *E = Doc.find("error");
-    std::fprintf(stderr, "astral client: daemon error: %s\n",
+    const JsonValue *K = Doc.find("error_kind");
+    std::string Kind =
+        K && K->isString() ? K->asString() : std::string("internal");
+    std::fprintf(stderr, "astral client: daemon error [%s]: %s\n",
+                 Kind.c_str(),
                  E && E->isString() ? E->asString().c_str()
                                     : "(malformed error response)");
-    return false;
+    return Kind == "timeout" || Kind == "over-budget" || Kind == "cancelled"
+               ? 4
+               : 1;
   }
   const JsonValue *Ver = Doc.find("schema_version");
   if (!Ver || !Ver->isNumber() ||
@@ -120,9 +197,9 @@ bool vetResponse(const JsonValue &Doc) {
                      ? std::to_string(uint64_t(Ver->asNumber())).c_str()
                      : "(none)",
                  unsigned(ReportSchemaVersion));
-    return false;
+    return 1;
   }
-  return true;
+  return 0;
 }
 
 int runAnalyze(Client &C, const std::vector<std::string> &Args) {
@@ -192,8 +269,8 @@ int runAnalyze(Client &C, const std::vector<std::string> &Args) {
     std::fprintf(stderr, "%s\n", Err.c_str());
     return 1;
   }
-  if (!vetResponse(*Doc))
-    return 1;
+  if (int Rc = vetResponse(*Doc))
+    return Rc;
 
   const JsonValue *Out = Doc->find("stdout");
   const JsonValue *ErrText = Doc->find("stderr");
@@ -222,8 +299,8 @@ int runSimpleOp(Client &C, Request::Op Op) {
     std::fprintf(stderr, "%s\n", Err.c_str());
     return 1;
   }
-  if (!vetResponse(*Doc))
-    return 1;
+  if (int Rc = vetResponse(*Doc))
+    return Rc;
   // The response object IS the report for these ops; print it as one line
   // so scripts can parse or grep it directly.
   std::string S = Doc->serialize();
@@ -235,12 +312,47 @@ int runSimpleOp(Client &C, Request::Op Op) {
 
 int runClientCommand(const std::vector<std::string> &Args) {
   std::string SocketPath;
+  ConnectOptions Opts;
+  auto ParseU = [](const std::string &V) -> std::optional<unsigned> {
+    try {
+      size_t End = 0;
+      unsigned long X = std::stoul(V, &End);
+      if (End != V.size() || X > 0xffffffffUL)
+        return std::nullopt;
+      return unsigned(X);
+    } catch (const std::exception &) {
+      return std::nullopt;
+    }
+  };
   size_t I = 0;
   for (; I < Args.size(); ++I) {
-    if (Args[I].rfind("--socket=", 0) == 0)
+    if (Args[I].rfind("--socket=", 0) == 0) {
       SocketPath = Args[I].substr(std::strlen("--socket="));
-    else
+    } else if (Args[I].rfind("--connect-retries=", 0) == 0) {
+      std::optional<unsigned> N =
+          ParseU(Args[I].substr(std::strlen("--connect-retries=")));
+      if (!N) {
+        std::fprintf(stderr,
+                     "astral client: error: --connect-retries expects a "
+                     "non-negative integer, got '%s'\n",
+                     Args[I].c_str());
+        return 1;
+      }
+      Opts.Retries = *N;
+    } else if (Args[I].rfind("--io-timeout-ms=", 0) == 0) {
+      std::optional<unsigned> N =
+          ParseU(Args[I].substr(std::strlen("--io-timeout-ms=")));
+      if (!N) {
+        std::fprintf(stderr,
+                     "astral client: error: --io-timeout-ms expects a "
+                     "non-negative integer, got '%s'\n",
+                     Args[I].c_str());
+        return 1;
+      }
+      Opts.IoTimeoutMs = *N;
+    } else {
       break;
+    }
   }
   if (SocketPath.empty()) {
     std::fprintf(stderr,
@@ -258,7 +370,7 @@ int runClientCommand(const std::vector<std::string> &Args) {
   std::vector<std::string> Rest(Args.begin() + ptrdiff_t(I) + 1, Args.end());
 
   std::string Err;
-  std::unique_ptr<Client> C = Client::connect(SocketPath, Err);
+  std::unique_ptr<Client> C = Client::connect(SocketPath, Err, Opts);
   if (!C) {
     std::fprintf(stderr, "%s\n", Err.c_str());
     return 1;

@@ -149,11 +149,46 @@ std::string encodeRequest(const Request &R) {
   return Doc.serialize();
 }
 
-std::string encodeError(const std::string &Message) {
+std::string encodeError(const std::string &Message, const std::string &Kind) {
   JsonValue Doc = JsonValue::object();
   Doc["ok"] = JsonValue(false);
   Doc["error"] = JsonValue(Message);
+  Doc["error_kind"] = JsonValue(Kind);
   return Doc.serialize();
+}
+
+bool validUtf8(const std::string &S) {
+  size_t I = 0, N = S.size();
+  while (I < N) {
+    unsigned char C = static_cast<unsigned char>(S[I]);
+    size_t Len;
+    uint32_t Min;
+    if (C < 0x80) {
+      ++I;
+      continue;
+    } else if ((C & 0xe0) == 0xc0) {
+      Len = 1; Min = 0x80;
+    } else if ((C & 0xf0) == 0xe0) {
+      Len = 2; Min = 0x800;
+    } else if ((C & 0xf8) == 0xf0) {
+      Len = 3; Min = 0x10000;
+    } else {
+      return false; // Continuation byte or 5+-byte lead: never valid here.
+    }
+    if (I + Len >= N)
+      return false; // Truncated sequence at end of string.
+    uint32_t Cp = C & (0x3f >> Len);
+    for (size_t K = 1; K <= Len; ++K) {
+      unsigned char Cont = static_cast<unsigned char>(S[I + K]);
+      if ((Cont & 0xc0) != 0x80)
+        return false;
+      Cp = (Cp << 6) | (Cont & 0x3f);
+    }
+    if (Cp < Min || Cp > 0x10ffff || (Cp >= 0xd800 && Cp <= 0xdfff))
+      return false; // Overlong, out of range, or a surrogate half.
+    I += Len + 1;
+  }
+  return true;
 }
 
 } // namespace service

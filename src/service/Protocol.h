@@ -28,9 +28,15 @@
 ///    "stdout":...,"stderr":...,
 ///    "cache":{"frontend_hits":..,"frontend_misses":..,
 ///             "packing_hits":..,"packing_misses":..}}
-/// Errors: {"ok":false,"error":"..."}. Every response carries
-/// schema_version; the client refuses mismatches (a daemon of another
-/// build vintage) instead of printing output it may misread.
+/// Errors: {"ok":false,"error":"...","error_kind":K} where K classifies the
+/// failure machine-readably: "bad-request" (malformed frame, unknown op,
+/// oversized line, invalid flags), "timeout" (a --deadline-ms expired),
+/// "over-budget" (--memory-budget-mb exceeded under --on-budget=fail),
+/// "shutting-down" (queued but never scheduled before shutdown), and
+/// "internal" (any other exception; the daemon itself keeps serving).
+/// Every response carries schema_version; the client refuses mismatches
+/// (a daemon of another build vintage) instead of printing output it may
+/// misread.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -73,8 +79,17 @@ std::optional<Request> decodeRequest(const std::string &Line,
 /// Client-side encoder; one line, no trailing newline.
 std::string encodeRequest(const Request &R);
 
-/// {"ok":false,"error":Message} — the uniform failure response.
-std::string encodeError(const std::string &Message);
+/// {"ok":false,"error":Message,"error_kind":Kind} — the uniform failure
+/// response. \p Kind is one of the classifications documented above;
+/// protocol-shaped failures default to "bad-request".
+std::string encodeError(const std::string &Message,
+                        const std::string &Kind = "bad-request");
+
+/// True iff \p S is well-formed UTF-8. Request lines are rejected before
+/// JSON decoding when they are not: the protocol is JSON, and answering a
+/// mis-encoded frame with a structured error beats echoing garbage bytes
+/// back into a log pipeline.
+bool validUtf8(const std::string &S);
 
 } // namespace service
 } // namespace astral

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
@@ -21,31 +22,63 @@ RequestQueue::RequestQueue(std::shared_ptr<Scheduler> Pool,
     : Pool(std::move(Pool)), Cache(Cache),
       Dispatcher([this] { dispatcherMain(); }) {}
 
-RequestQueue::~RequestQueue() {
+RequestQueue::~RequestQueue() { beginShutdown(); }
+
+static RequestQueue::Outcome shuttingDownOutcome() {
+  RequestQueue::Outcome O;
+  O.ErrorKind = "shutting-down";
+  O.ErrorMessage = "astral serve: daemon is shutting down; the request "
+                   "was never scheduled";
+  return O;
+}
+
+void RequestQueue::beginShutdown() {
   {
     std::lock_guard<std::mutex> L(Mu);
+    if (ShuttingDown)
+      return;
     ShuttingDown = true;
   }
   JobReady.notify_all();
-  Dispatcher.join();
-  // Pending jobs never started; resolve their futures with an error rather
-  // than leaving waiters blocked forever.
-  for (std::unique_ptr<Job> &J : Pending)
-    J->Done.set_exception(std::make_exception_ptr(
-        std::runtime_error("astral serve: daemon shut down before the "
-                           "request was scheduled")));
+  // The dispatcher finishes its in-flight drain (those jobs resolve
+  // normally, or with their own timeout/error outcomes), then exits.
+  if (Dispatcher.joinable())
+    Dispatcher.join();
+  // Whatever is still queued never started; resolve it with a structured
+  // outcome rather than leaving waiters blocked or throwing into them.
+  std::vector<std::unique_ptr<Job>> Left;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Left = std::move(Pending);
+    Pending.clear();
+  }
+  for (std::unique_ptr<Job> &J : Left)
+    J->Done.set_value(shuttingDownOutcome());
 }
 
 std::future<RequestQueue::Outcome>
-RequestQueue::submit(std::vector<AnalysisInput> Inputs, int Priority) {
+RequestQueue::submit(std::vector<AnalysisInput> Inputs, int Priority,
+                     uint64_t DeadlineMs) {
   auto J = std::make_unique<Job>();
   J->Inputs = std::move(Inputs);
   J->Priority = Priority;
+  if (DeadlineMs)
+    J->Deadline = cancel::Token::Clock::now() +
+                  std::chrono::milliseconds(DeadlineMs);
   std::future<Outcome> F = J->Done.get_future();
+  bool Rejected = false;
   {
     std::lock_guard<std::mutex> L(Mu);
-    J->Seq = NextSeq++;
-    Pending.push_back(std::move(J));
+    if (ShuttingDown) {
+      Rejected = true;
+    } else {
+      J->Seq = NextSeq++;
+      Pending.push_back(std::move(J));
+    }
+  }
+  if (Rejected) {
+    J->Done.set_value(shuttingDownOutcome());
+    return F;
   }
   JobReady.notify_one();
   return F;
@@ -96,6 +129,35 @@ void RequestQueue::dispatcherMain() {
 }
 
 void RequestQueue::runJobs(std::vector<std::unique_ptr<Job>> Jobs) {
+  // Pre-dispatch deadline policing: a job whose deadline passed while it
+  // queued gets a "timeout" outcome without touching the pool — the
+  // cheapest possible failure, and the behavior the deadline promises (a
+  // bound on the client's wall-clock wait, queue time included).
+  {
+    auto Now = cancel::Token::Clock::now();
+    std::vector<std::unique_ptr<Job>> Live;
+    uint64_t Dropped = 0;
+    for (std::unique_ptr<Job> &J : Jobs) {
+      if (J->Deadline && Now >= *J->Deadline) {
+        Outcome O;
+        O.ErrorKind = "timeout";
+        O.ErrorMessage = "astral serve: request deadline expired while "
+                         "queued; the analysis never started";
+        J->Done.set_value(std::move(O));
+        ++Dropped;
+      } else {
+        Live.push_back(std::move(J));
+      }
+    }
+    if (Dropped) {
+      std::lock_guard<std::mutex> L(Mu);
+      Served += Dropped;
+    }
+    Jobs = std::move(Live);
+    if (Jobs.empty())
+      return;
+  }
+
   // Flatten every drained job into per-file items so concurrent requests
   // share the pool fairly (a one-file request is not stuck behind a
   // seven-file one — both fan out together).
@@ -106,6 +168,8 @@ void RequestQueue::runJobs(std::vector<std::unique_ptr<Job>> Jobs) {
   std::vector<Item> Items;
   for (std::unique_ptr<Job> &J : Jobs) {
     J->Result.Results.resize(J->Inputs.size());
+    J->ItemErrKind.resize(J->Inputs.size());
+    J->ItemErrMsg.resize(J->Inputs.size());
     for (size_t F = 0; F < J->Inputs.size(); ++F)
       Items.push_back(Item{J.get(), F});
   }
@@ -119,16 +183,25 @@ void RequestQueue::runJobs(std::vector<std::unique_ptr<Job>> Jobs) {
   for (size_t J = 0; J < Jobs.size(); ++J)
     JobIndex[Jobs[J].get()] = J;
 
-  auto RunItems = [&](size_t I) {
+  auto RunItem = [&](size_t I) {
     Job &J = *Items[I].Owner;
     JobCounters &C = Counters[JobIndex[&J]];
-    const AnalysisInput &In = J.Inputs[Items[I].FileIndex];
+    const size_t FI = Items[I].FileIndex;
+    const AnalysisInput &In = J.Inputs[FI];
 
     const std::string FrontKey = AnalysisSession::frontendCacheKey(In);
     const std::string PackKey = AnalysisSession::packingCacheKey(In);
 
     AnalysisSession S(In);
     S.setScheduler(Pool);
+    // Per-item token: the request's absolute deadline is shared (every
+    // file of the request expires together), the byte budget is armed by
+    // the session against its own meter. One token per item because
+    // concurrent items would otherwise race re-arming the budget meter.
+    auto Tok = std::make_shared<cancel::Token>();
+    if (J.Deadline)
+      Tok->setDeadline(*J.Deadline);
+    S.setCancelToken(Tok);
 
     std::shared_ptr<const AnalysisSession::FrontendPhase> FE =
         Cache.lookupFrontend(FrontKey);
@@ -153,7 +226,7 @@ void RequestQueue::runJobs(std::vector<std::unique_ptr<Job>> Jobs) {
       }
     }
 
-    J.Result.Results[Items[I].FileIndex] = S.report();
+    J.Result.Results[FI] = S.report();
 
     if (!FE)
       Cache.storeFrontend(FrontKey, S.shareFrontend());
@@ -162,12 +235,33 @@ void RequestQueue::runJobs(std::vector<std::unique_ptr<Job>> Jobs) {
                                       S.shareLayout(), S.sharePacking()});
   };
 
+  // Request isolation: every item runs under its own try/catch, so one
+  // cancelled, over-deadline, or outright faulting file poisons only its
+  // own job's outcome — sibling requests in the drain and the dispatcher
+  // itself are untouched. The slots are per-(job, file), written from at
+  // most one task each; no locking needed.
+  auto RunItemIsolated = [&](size_t I) {
+    Job &J = *Items[I].Owner;
+    const size_t FI = Items[I].FileIndex;
+    try {
+      RunItem(I);
+    } catch (const cancel::AnalysisCancelled &C) {
+      J.ItemErrKind[FI] = cancel::reasonName(C.reason());
+      J.ItemErrMsg[FI] = C.what();
+    } catch (const std::exception &E) {
+      J.ItemErrKind[FI] = "internal";
+      J.ItemErrMsg[FI] = E.what();
+    } catch (...) {
+      J.ItemErrKind[FI] = "internal";
+      J.ItemErrMsg[FI] = "unknown exception during analysis";
+    }
+  };
+
+  // The isolated wrapper never throws, so parallelFor cannot rethrow; the
+  // belt-and-braces catch below only guards parallelFor's own machinery.
   try {
-    Pool->parallelFor(Items.size(), RunItems);
+    Pool->parallelFor(Items.size(), RunItemIsolated);
   } catch (...) {
-    // A task failed (parallelFor rethrows the first error by index). Every
-    // job of this drain fails with it — leaving any future unresolved would
-    // hang its connection thread forever.
     std::exception_ptr E = std::current_exception();
     {
       std::lock_guard<std::mutex> L(Mu);
@@ -192,6 +286,16 @@ void RequestQueue::runJobs(std::vector<std::unique_ptr<Job>> Jobs) {
     Jobs[J]->Result.FrontendMisses = Counters[J].FrontendMisses.load();
     Jobs[J]->Result.PackingHits = Counters[J].PackingHits.load();
     Jobs[J]->Result.PackingMisses = Counters[J].PackingMisses.load();
+    // The first failing file (input order) decides the job's error; a job
+    // with no failing file resolves as a normal result set.
+    for (size_t F = 0; F < Jobs[J]->ItemErrKind.size(); ++F) {
+      if (!Jobs[J]->ItemErrKind[F].empty()) {
+        Jobs[J]->Result.ErrorKind = Jobs[J]->ItemErrKind[F];
+        Jobs[J]->Result.ErrorMessage = Jobs[J]->Inputs[F].FileName + ": " +
+                                       Jobs[J]->ItemErrMsg[F];
+        break;
+      }
+    }
     Jobs[J]->Done.set_value(std::move(Jobs[J]->Result));
   }
 }

@@ -29,6 +29,18 @@
 /// batch. Starvation is the operator's tradeoff to make — the daemon never
 /// ages priorities up.
 ///
+/// Resource governance and fault isolation: a request's --deadline-ms is
+/// anchored at submit() (queue wait counts against it — the client asked
+/// for a bound on its wall-clock wait, not on CPU time); expired jobs are
+/// dropped pre-dispatch with a "timeout" outcome, and each in-flight item
+/// carries a per-item cancel::Token sharing the request's absolute deadline
+/// so sessions unwind cooperatively at their poll points. Every item runs
+/// under its own try/catch — an AnalysisCancelled maps to the matching
+/// error kind, any other exception (including injected faults) to
+/// "internal" — so one poisoned request can never take down the dispatcher
+/// or sibling requests. The first failing file (by input order) decides the
+/// job's outcome.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ASTRAL_SERVICE_REQUESTQUEUE_H
@@ -59,6 +71,12 @@ public:
     uint64_t ServeOrder = 0; ///< Position in the daemon's global serve
                              ///< sequence (0-based) — the observable the
                              ///< priority tests pin.
+    /// Empty = success. Otherwise the protocol error_kind ("timeout",
+    /// "over-budget", "cancelled", "shutting-down", "internal") and its
+    /// human-readable message; Results are not meaningful then.
+    std::string ErrorKind;
+    std::string ErrorMessage;
+    bool ok() const { return ErrorKind.empty(); }
   };
 
   RequestQueue(std::shared_ptr<Scheduler> Pool, ArtifactCache &Cache);
@@ -69,11 +87,22 @@ public:
 
   /// Enqueues one request's inputs; the future resolves when every file of
   /// the request finished. Higher \p Priority jobs are dispatched before
-  /// lower ones; equal priorities serve in arrival order.
+  /// lower ones; equal priorities serve in arrival order. A non-zero
+  /// \p DeadlineMs anchors the request's absolute deadline here, at
+  /// arrival: a job still queued past it is dropped with a "timeout"
+  /// outcome, an in-flight one unwinds at the analyzer's poll points.
+  /// After beginShutdown() the future resolves immediately with a
+  /// "shutting-down" outcome.
   std::future<Outcome> submit(std::vector<AnalysisInput> Inputs,
-                              int Priority = 0);
+                              int Priority = 0, uint64_t DeadlineMs = 0);
 
   uint64_t jobsServed() const;
+
+  /// Graceful drain: stops the dispatcher after the in-flight drain (if
+  /// any) finishes, then resolves every still-queued job with a structured
+  /// "shutting-down" outcome instead of abandoning its waiter. Idempotent;
+  /// the destructor calls it.
+  void beginShutdown();
 
   /// Gates the dispatcher between drains (a paused queue accepts submits
   /// but starts no new drain). Exists so tests can stack requests and
@@ -89,6 +118,12 @@ private:
     Outcome Result;
     int Priority = 0;
     uint64_t Seq = 0; ///< Arrival order; the FIFO tiebreak among equals.
+    /// Absolute deadline anchored at submit(); nullopt = none.
+    std::optional<cancel::Token::Clock::time_point> Deadline;
+    /// Per-file failure slots, written by the item tasks (distinct
+    /// indices, so no locking) and reduced to the Outcome after the drain.
+    std::vector<std::string> ItemErrKind;
+    std::vector<std::string> ItemErrMsg;
   };
 
   void dispatcherMain();

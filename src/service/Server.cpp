@@ -8,6 +8,7 @@
 #include "service/Server.h"
 
 #include "analyzer/CliOptions.h"
+#include "support/FaultInjection.h"
 
 #include <algorithm>
 #include <cerrno>
@@ -125,6 +126,13 @@ void Server::requestStop() {
 int Server::wait() {
   if (Acceptor.joinable())
     Acceptor.join();
+  // Graceful drain, in dependency order: first the queue — the in-flight
+  // analysis drain finishes (its own deadlines still apply) and every
+  // queued-but-unstarted job resolves with a structured "shutting-down"
+  // outcome, so connection threads blocked on futures wake up with
+  // something to send instead of hanging.
+  if (Queue)
+    Queue->beginShutdown();
   // Unblock connection threads stuck in recv, then collect them. Only the
   // read side is shut down: a thread still writing a response (a just-served
   // analyze, the shutdown acknowledgement) finishes its send and exits on
@@ -186,6 +194,17 @@ void Server::serveConnection(int Fd) {
   std::string Buf;
   char Chunk[65536];
   bool Open = true;
+  auto SendAll = [&](const std::string &Bytes) -> bool {
+    size_t Sent = 0;
+    while (Sent < Bytes.size()) {
+      ssize_t W = ::send(Fd, Bytes.data() + Sent, Bytes.size() - Sent,
+                         MSG_NOSIGNAL);
+      if (W <= 0)
+        return false;
+      Sent += size_t(W);
+    }
+    return true;
+  };
   while (Open) {
     ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
     if (N <= 0)
@@ -198,22 +217,50 @@ void Server::serveConnection(int Fd) {
       if (Line.empty())
         continue;
       bool StopAfterSend = false;
-      std::string Response = handleLine(Line, StopAfterSend);
+      std::string Response;
+      try {
+        Response = handleLine(Line, StopAfterSend);
+      } catch (const std::exception &E) {
+        // Nothing a single request does may take the daemon down; whatever
+        // escaped the handlers becomes a structured internal error.
+        Response = encodeError(E.what(), "internal");
+      } catch (...) {
+        Response = encodeError("unknown exception while handling request",
+                               "internal");
+      }
       Response += '\n';
-      size_t Sent = 0;
-      while (Sent < Response.size()) {
-        ssize_t W = ::send(Fd, Response.data() + Sent,
-                           Response.size() - Sent, MSG_NOSIGNAL);
-        if (W <= 0) {
-          Open = false;
-          break;
-        }
-        Sent += size_t(W);
+      // Chaos sites for the transport itself: "socket-write" simulates the
+      // peer (or kernel) failing the send, "torn-frame" a daemon dying
+      // mid-response. Both drop only this connection.
+      try {
+        faultinject::fire("socket-write");
+      } catch (const faultinject::InjectedFault &) {
+        Open = false;
+        break;
+      }
+      if (faultinject::shouldFire("torn-frame")) {
+        SendAll(Response.substr(0, Response.size() / 2));
+        Open = false;
+        break;
+      }
+      if (!SendAll(Response)) {
+        Open = false;
+        break;
       }
       if (StopAfterSend)
         requestStop();
       if (Stopping.load())
         Open = false; // A shutdown was requested; answer no further lines.
+    }
+    // Framing guard: a line that outgrows the cap without a newline would
+    // otherwise buffer unboundedly. Answer once, structurally, and close.
+    if (Open && Buf.size() > Cfg.MaxRequestBytes) {
+      SendAll(encodeError("request line exceeds " +
+                              std::to_string(Cfg.MaxRequestBytes) +
+                              " bytes before a newline",
+                          "bad-request") +
+              "\n");
+      Open = false;
     }
   }
   {
@@ -224,6 +271,8 @@ void Server::serveConnection(int Fd) {
 }
 
 std::string Server::handleLine(const std::string &Line, bool &StopAfterSend) {
+  if (!validUtf8(Line))
+    return encodeError("request line is not valid UTF-8");
   std::string Err;
   std::optional<Request> R = decodeRequest(Line, Err);
   if (!R)
@@ -272,6 +321,7 @@ std::string Server::handleAnalyze(const Request &R) {
 
   std::vector<std::string> Paths;
   std::vector<AnalysisInput> Inputs;
+  uint64_t DeadlineMs = 0;
   for (const FilePayload &F : R.Files) {
     AnalysisInput In;
     In.FileName = F.Path;
@@ -281,15 +331,27 @@ std::string Server::handleAnalyze(const Request &R) {
     In.Options = cli::assembleOptions(Cli, F.Path, F.Source, Warnings);
     for (const std::string &W : Warnings)
       ErrText += W + "\n";
+    // The request-level deadline is the tightest per-file one (flags apply
+    // uniformly today, but the envelope is per-request either way). It is
+    // anchored at submit(), i.e. at request arrival: queue wait counts.
+    if (In.Options.DeadlineMs &&
+        (DeadlineMs == 0 || In.Options.DeadlineMs < DeadlineMs))
+      DeadlineMs = In.Options.DeadlineMs;
     Paths.push_back(F.Path);
     Inputs.push_back(std::move(In));
   }
 
   RequestQueue::Outcome Out;
   try {
-    Out = Queue->submit(std::move(Inputs), R.Priority).get();
+    Out = Queue->submit(std::move(Inputs), R.Priority, DeadlineMs).get();
   } catch (const std::exception &E) {
-    return encodeError(E.what());
+    return encodeError(E.what(), "internal");
+  }
+  if (!Out.ok()) {
+    if (Cfg.Verbose)
+      std::fprintf(stderr, "astral serve: request failed (%s): %s\n",
+                   Out.ErrorKind.c_str(), Out.ErrorMessage.c_str());
+    return encodeError(Out.ErrorMessage, Out.ErrorKind);
   }
 
   cli::RunOutput RO = cli::renderRun(Cli, Paths, Out.Results);
@@ -399,6 +461,16 @@ int runServeCommand(const std::vector<std::string> &Args) {
         return 1;
       }
       Cfg.CacheEntries = *N;
+    } else if (auto V = Value("--max-request-mb=")) {
+      std::optional<unsigned> N = parseUnsigned(*V);
+      if (!N || *N == 0) {
+        std::fprintf(stderr,
+                     "astral serve: error: --max-request-mb expects a "
+                     "positive integer, got '%s'\n",
+                     V->c_str());
+        return 1;
+      }
+      Cfg.MaxRequestBytes = size_t(*N) << 20;
     } else if (A == "--quiet") {
       Cfg.Verbose = false;
     } else {

@@ -17,7 +17,15 @@
 ///
 /// Lifecycle: start() binds (recovering stale socket files left by a dead
 /// daemon), wait() blocks until a shutdown request, requestStop(), or a
-/// handled signal, then drains connections and unlinks the socket.
+/// handled signal, then drains gracefully: the in-flight analysis drain
+/// finishes (or cancels past its own deadline), queued-but-unstarted
+/// requests resolve with structured "shutting-down" errors, every
+/// connection gets its pending response, and the socket is unlinked.
+///
+/// Fault posture: a request can fail — malformed frame, expired deadline,
+/// busted memory budget, an injected fault — but the daemon cannot. Every
+/// per-request failure becomes an {"ok":false,...,"error_kind":...}
+/// response (service/Protocol.h) and the accept loop keeps serving.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -47,6 +55,11 @@ struct ServerConfig {
   unsigned Jobs = 0;
   size_t CacheEntries = 64;
   bool Verbose = true;
+  /// Upper bound on one request line (the framing unit). A connection that
+  /// exceeds it without producing a newline gets a structured "bad-request"
+  /// error and is closed — an unframed flood must not grow the buffer
+  /// without bound. Tests shrink this to exercise the guard cheaply.
+  size_t MaxRequestBytes = 64u << 20;
 };
 
 class Server {

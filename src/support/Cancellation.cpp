@@ -1,0 +1,60 @@
+//===- support/Cancellation.cpp - Cooperative cancellation tokens ---------===//
+
+#include "support/Cancellation.h"
+
+namespace astral {
+namespace cancel {
+
+namespace {
+thread_local Token *AmbientToken = nullptr;
+} // namespace
+
+const char *reasonName(Reason R) {
+  switch (R) {
+  case Reason::Cancelled:
+    return "cancelled";
+  case Reason::DeadlineExpired:
+    return "timeout";
+  case Reason::OverBudget:
+    return "over-budget";
+  }
+  return "cancelled";
+}
+
+void Token::poll() const {
+  if (cancelled())
+    throw AnalysisCancelled(Reason::Cancelled, "analysis cancelled");
+  if (HasDeadline && Clock::now() >= Deadline)
+    throw AnalysisCancelled(Reason::DeadlineExpired,
+                            "analysis deadline expired");
+}
+
+void Token::pollBudget() const {
+  if (!BudgetMeter)
+    return;
+  uint64_t Live = static_cast<uint64_t>(BudgetMeter->liveBytes());
+  if (Live > BudgetBytes)
+    throw AnalysisCancelled(Reason::OverBudget,
+                            "abstract-state memory budget exceeded (" +
+                                std::to_string(Live) + " live bytes > " +
+                                std::to_string(BudgetBytes) + " budget)");
+}
+
+Token *currentToken() { return AmbientToken; }
+
+TokenScope::TokenScope(Token *T) : Prev(AmbientToken) { AmbientToken = T; }
+
+TokenScope::~TokenScope() { AmbientToken = Prev; }
+
+void poll() {
+  if (AmbientToken)
+    AmbientToken->poll();
+}
+
+void pollBudget() {
+  if (AmbientToken)
+    AmbientToken->pollBudget();
+}
+
+} // namespace cancel
+} // namespace astral

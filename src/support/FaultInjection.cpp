@@ -1,0 +1,143 @@
+//===- support/FaultInjection.cpp - Named-site fault injection ------------===//
+
+#include "support/FaultInjection.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace astral {
+namespace faultinject {
+
+namespace {
+
+struct SiteState {
+  uint64_t Nth = 0; // 1-based hit that fires; 0 = disarmed
+  bool Sticky = false;
+  uint64_t Hits = 0;
+};
+
+struct Registry {
+  std::mutex Mu;
+  std::map<std::string, SiteState> Sites;
+};
+
+Registry &registry() {
+  static Registry R;
+  return R;
+}
+
+/// Fast path: when nothing is armed (the overwhelmingly common case, and
+/// the only case on analysis hot paths in production), shouldFire is one
+/// relaxed load with no lock.
+std::atomic<bool> AnyArmed{false};
+
+void parseSpecLocked(Registry &R, const std::string &Spec) {
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t End = Spec.find(',', Pos);
+    if (End == std::string::npos)
+      End = Spec.size();
+    std::string Entry = Spec.substr(Pos, End - Pos);
+    Pos = End + 1;
+    size_t Colon = Entry.rfind(':');
+    if (Colon == std::string::npos || Colon == 0)
+      continue; // malformed entry: ignore rather than crash the process
+    std::string Site = Entry.substr(0, Colon);
+    std::string Count = Entry.substr(Colon + 1);
+    bool Sticky = false;
+    if (!Count.empty() && Count.back() == '+') {
+      Sticky = true;
+      Count.pop_back();
+    }
+    uint64_t Nth = 0;
+    for (char C : Count) {
+      if (C < '0' || C > '9') {
+        Nth = 0;
+        break;
+      }
+      Nth = Nth * 10 + uint64_t(C - '0');
+    }
+    if (!Nth)
+      continue;
+    SiteState &S = R.Sites[Site];
+    S.Nth = Nth;
+    S.Sticky = Sticky;
+    S.Hits = 0;
+  }
+}
+
+void ensureEnvParsed(Registry &R) {
+  static bool Parsed = false;
+  if (Parsed)
+    return;
+  Parsed = true;
+  if (const char *Spec = std::getenv("ASTRAL_FAULT")) {
+    parseSpecLocked(R, Spec);
+    if (!R.Sites.empty())
+      AnyArmed.store(true, std::memory_order_relaxed);
+  }
+}
+
+} // namespace
+
+bool shouldFire(const char *Site) {
+  if (!AnyArmed.load(std::memory_order_relaxed)) {
+    // Nothing armed yet — but the env var may not have been parsed. Parse
+    // once, cheaply guarded: getenv is only consulted the first time any
+    // site is polled.
+    static std::once_flag EnvOnce;
+    bool Armed = false;
+    std::call_once(EnvOnce, [&] {
+      Registry &R = registry();
+      std::lock_guard<std::mutex> Lock(R.Mu);
+      ensureEnvParsed(R);
+    });
+    Armed = AnyArmed.load(std::memory_order_relaxed);
+    if (!Armed)
+      return false;
+  }
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  auto It = R.Sites.find(Site);
+  if (It == R.Sites.end() || !It->second.Nth)
+    return false;
+  SiteState &S = It->second;
+  ++S.Hits;
+  if (S.Hits < S.Nth)
+    return false;
+  if (S.Hits == S.Nth || S.Sticky) {
+    if (!S.Sticky)
+      S.Nth = 0; // one-shot: disarm after firing
+    return true;
+  }
+  return false;
+}
+
+void fire(const char *Site) {
+  if (shouldFire(Site))
+    throw InjectedFault(Site);
+}
+
+void arm(const std::string &Site, uint64_t Nth, bool Sticky) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  ensureEnvParsed(R);
+  SiteState &S = R.Sites[Site];
+  S.Nth = Nth;
+  S.Sticky = Sticky;
+  S.Hits = 0;
+  AnyArmed.store(true, std::memory_order_relaxed);
+}
+
+void reset() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  ensureEnvParsed(R); // keep the once-flag semantics: env never re-applied
+  R.Sites.clear();
+  AnyArmed.store(false, std::memory_order_relaxed);
+}
+
+} // namespace faultinject
+} // namespace astral

@@ -1,0 +1,73 @@
+//===- support/FaultInjection.h - Named-site fault injection -----*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny chaos harness: production code calls fire("<site>") at the places
+/// a fault could realistically strike, and the call is a no-op unless that
+/// site has been armed — via the ASTRAL_FAULT environment variable or
+/// programmatically from tests. An armed site throws InjectedFault on the
+/// configured hit, which the service layer's request-isolation paths must
+/// turn into a structured error response, never a daemon crash.
+///
+/// Arming syntax (env var or arm()):
+///
+///   ASTRAL_FAULT=<site>:<n>     fire on exactly the n-th hit (1-based)
+///   ASTRAL_FAULT=<site>:<n>+    fire on the n-th hit and every one after
+///   ASTRAL_FAULT=<siteA>:1,<siteB>:2+   multiple sites, comma-separated
+///
+/// Instrumented sites (grep for faultinject::fire to audit):
+///   scheduler-worker   a pool worker, before it runs a claimed task
+///   frontend           AnalysisSession::runFrontend, before parsing
+///   cache-insert       ArtifactCache store paths (frontend + packing)
+///   socket-write       the daemon, before sending a response
+///   torn-frame         the daemon: send half the NDJSON response, then
+///                      close the connection (exercises client retries) —
+///                      this site does not throw; the server checks
+///                      shouldFire() and tears the frame itself
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_SUPPORT_FAULTINJECTION_H
+#define ASTRAL_SUPPORT_FAULTINJECTION_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace astral {
+namespace faultinject {
+
+/// What an armed site throws. Derives from runtime_error so un-instrumented
+/// catch (const std::exception &) isolation paths handle it like any other
+/// analysis failure.
+class InjectedFault : public std::runtime_error {
+public:
+  explicit InjectedFault(const std::string &Site)
+      : std::runtime_error("injected fault at site '" + Site + "'") {}
+};
+
+/// True when this hit of \p Site should fail (counts the hit either way).
+/// Unarmed sites take one relaxed atomic load — cheap enough for per-task
+/// and per-response call sites.
+bool shouldFire(const char *Site);
+
+/// Calls shouldFire and throws InjectedFault when it says so.
+void fire(const char *Site);
+
+/// Programmatic arming for in-process tests: fire \p Site on hit \p Nth
+/// (and every later hit when \p Sticky). Replaces any prior arming of the
+/// same site and resets its hit counter.
+void arm(const std::string &Site, uint64_t Nth, bool Sticky = false);
+
+/// Disarms every site and forgets all hit counters (including any armed
+/// from the environment). Tests call this in teardown.
+void reset();
+
+} // namespace faultinject
+} // namespace astral
+
+#endif // ASTRAL_SUPPORT_FAULTINJECTION_H

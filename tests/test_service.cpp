@@ -12,17 +12,21 @@
 //===----------------------------------------------------------------------===//
 
 #include "analyzer/CliOptions.h"
+#include "codegen/FamilyGenerator.h"
 #include "service/ArtifactCache.h"
 #include "service/Client.h"
 #include "service/Json.h"
 #include "service/Protocol.h"
 #include "service/RequestQueue.h"
 #include "service/Server.h"
+#include "support/FaultInjection.h"
 #include "support/Sha256.h"
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
+#include <functional>
 #include <future>
 #include <regex>
 #include <sys/socket.h>
@@ -320,8 +324,9 @@ namespace {
 /// the test can drive it through a Client like an external process would.
 class DaemonFixture {
 public:
-  explicit DaemonFixture(const std::string &Socket)
-      : Srv(makeConfig(Socket)) {
+  explicit DaemonFixture(const std::string &Socket,
+                         std::function<void(ServerConfig &)> Tweak = nullptr)
+      : Srv(makeConfig(Socket, std::move(Tweak))) {
     std::string Err;
     Ok = Srv.start(Err);
     Error = Err;
@@ -335,12 +340,16 @@ public:
     }
   }
 
-  static ServerConfig makeConfig(const std::string &Socket) {
+  static ServerConfig makeConfig(const std::string &Socket,
+                                 std::function<void(ServerConfig &)> Tweak =
+                                     nullptr) {
     ServerConfig C;
     C.SocketPath = Socket;
     C.Jobs = 2;
     C.CacheEntries = 8;
     C.Verbose = false;
+    if (Tweak)
+      Tweak(C);
     return C;
   }
 
@@ -545,4 +554,369 @@ TEST(ServeDaemon, ConcurrentClientsShareTheDaemon) {
   for (int I = 1; I < N; ++I)
     EXPECT_EQ(Outputs[0], Outputs[I])
         << "concurrent requests must not perturb each other's reports";
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol hardening: malformed frames over a raw socket
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A bare AF_UNIX connection, bypassing the Client's request encoding so
+/// the tests can ship frames no well-behaved client would produce.
+class RawConn {
+public:
+  explicit RawConn(const std::string &Path) {
+    Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return;
+    sockaddr_un Addr;
+    memset(&Addr, 0, sizeof(Addr));
+    Addr.sun_family = AF_UNIX;
+    memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+        0) {
+      ::close(Fd);
+      Fd = -1;
+    }
+  }
+  ~RawConn() {
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+  bool ok() const { return Fd >= 0; }
+  bool send(const std::string &Bytes) {
+    size_t Off = 0;
+    while (Off < Bytes.size()) {
+      ssize_t W = ::write(Fd, Bytes.data() + Off, Bytes.size() - Off);
+      if (W <= 0)
+        return false;
+      Off += size_t(W);
+    }
+    return true;
+  }
+  /// Reads until a newline or EOF; the line without its terminator.
+  std::string recvLine() {
+    std::string Line;
+    char C;
+    while (::read(Fd, &C, 1) == 1) {
+      if (C == '\n')
+        break;
+      Line.push_back(C);
+    }
+    return Line;
+  }
+
+private:
+  int Fd = -1;
+};
+
+/// Parses a response line and returns its error_kind ("" when ok:true or
+/// unparseable).
+std::string errorKindOf(const std::string &Line, bool *Ok = nullptr) {
+  std::string Err;
+  std::optional<JsonValue> Doc = JsonValue::parse(Line, Err);
+  if (!Doc || !Doc->isObject())
+    return "<unparseable>";
+  const JsonValue *OkV = Doc->find("ok");
+  if (Ok)
+    *Ok = OkV && OkV->asBool();
+  if (OkV && OkV->asBool())
+    return "";
+  const JsonValue *K = Doc->find("error_kind");
+  return K && K->isString() ? K->asString() : "<missing>";
+}
+
+} // namespace
+
+TEST(ServeDaemonHardening, MalformedFramesGetStructuredErrorsAndTheDaemonSurvives) {
+  DaemonFixture D(uniqueSocketPath("mal"));
+  ASSERT_TRUE(D.Ok) << D.Error;
+
+  struct Case {
+    const char *Name;
+    std::string Frame;
+    const char *WantKind;
+  };
+  const Case Cases[] = {
+      {"not JSON at all", "this is not json\n", "bad-request"},
+      {"JSON non-object", "[1,2,3]\n", "bad-request"},
+      {"unknown op", "{\"op\":\"explode\"}\n", "bad-request"},
+      {"missing op", "{\"args\":[]}\n", "bad-request"},
+      {"analyze without files", "{\"op\":\"analyze\"}\n", "bad-request"},
+      {"invalid UTF-8", std::string("{\"op\":\"status\"\xff\xfe}\n"),
+       "bad-request"},
+      {"embedded NUL garbage", std::string("\x00\x01\x02\n", 4),
+       "bad-request"},
+  };
+  for (const Case &C : Cases) {
+    RawConn Conn(D.Srv.socketPath());
+    ASSERT_TRUE(Conn.ok()) << C.Name;
+    ASSERT_TRUE(Conn.send(C.Frame)) << C.Name;
+    EXPECT_EQ(errorKindOf(Conn.recvLine()), C.WantKind) << C.Name;
+  }
+
+  // A truncated frame (bytes, no newline, then close) is simply dropped.
+  {
+    RawConn Conn(D.Srv.socketPath());
+    ASSERT_TRUE(Conn.ok());
+    ASSERT_TRUE(Conn.send("{\"op\":\"status\""));
+  }
+
+  // After all of the abuse the daemon still answers a well-formed request.
+  std::string Err;
+  std::unique_ptr<Client> C = Client::connect(D.Srv.socketPath(), Err);
+  ASSERT_TRUE(C) << Err;
+  Request St;
+  St.Operation = Request::Op::Status;
+  std::optional<JsonValue> R = C->roundTrip(St, Err);
+  ASSERT_TRUE(R) << Err;
+  EXPECT_TRUE(R->find("ok")->asBool());
+}
+
+TEST(ServeDaemonHardening, OversizedRequestLineIsRefusedBeforeParsing) {
+  DaemonFixture D(uniqueSocketPath("big"),
+                  [](ServerConfig &C) { C.MaxRequestBytes = 4096; });
+  ASSERT_TRUE(D.Ok) << D.Error;
+
+  RawConn Conn(D.Srv.socketPath());
+  ASSERT_TRUE(Conn.ok());
+  // 8 KiB of newline-less bytes: twice the configured cap. The daemon must
+  // refuse (and close) instead of buffering forever.
+  ASSERT_TRUE(Conn.send(std::string(8192, 'x')));
+  std::string Kind = errorKindOf(Conn.recvLine());
+  EXPECT_EQ(Kind, "bad-request");
+
+  // The daemon survives to serve the next connection.
+  std::string Err;
+  std::unique_ptr<Client> C = Client::connect(D.Srv.socketPath(), Err);
+  ASSERT_TRUE(C) << Err;
+  Request St;
+  St.Operation = Request::Op::Status;
+  std::optional<JsonValue> R = C->roundTrip(St, Err);
+  ASSERT_TRUE(R) << Err;
+  EXPECT_TRUE(R->find("ok")->asBool());
+}
+
+//===----------------------------------------------------------------------===//
+// Governance through the daemon: deadlines, budgets, shutdown drain
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// An analyze request over a generated family member — big enough that a
+/// 1 ms deadline always expires mid-flight (or while queued).
+Request familyAnalyzeRequest(std::vector<std::string> ExtraArgs) {
+  codegen::GeneratorConfig C;
+  C.TargetLines = 2000;
+  C.Seed = 7;
+  codegen::FamilyProgram FP = codegen::generateFamilyProgram(C);
+  std::string Src;
+  for (const auto &[Name, Itv] : FP.VolatileRanges)
+    Src += "// @astral volatile " + Name + " " + std::to_string(Itv.Lo) +
+           " " + std::to_string(Itv.Hi) + "\n";
+  for (const std::string &F : FP.PartitionFunctions)
+    Src += "// @astral partition " + F + "\n";
+  Src += "// @astral clock-max 1e6\n";
+  Src += FP.Source;
+
+  Request R;
+  R.Operation = Request::Op::Analyze;
+  R.Args = {"--json"};
+  for (std::string &A : ExtraArgs)
+    R.Args.push_back(std::move(A));
+  FilePayload F;
+  F.Path = "family.c";
+  F.Source = Src;
+  R.Files.push_back(F);
+  return R;
+}
+
+} // namespace
+
+TEST(ServeDaemonGovernance, DeadlineExpiryIsAStructuredTimeoutError) {
+  DaemonFixture D(uniqueSocketPath("ddl"));
+  ASSERT_TRUE(D.Ok) << D.Error;
+  std::string Err;
+  std::unique_ptr<Client> C = Client::connect(D.Srv.socketPath(), Err);
+  ASSERT_TRUE(C) << Err;
+
+  std::optional<JsonValue> R =
+      C->roundTrip(familyAnalyzeRequest({"--deadline-ms=1"}), Err);
+  ASSERT_TRUE(R) << Err;
+  bool Ok = true;
+  EXPECT_EQ(errorKindOf(R->serialize(), &Ok), "timeout");
+  EXPECT_FALSE(Ok);
+
+  // Request isolation: the expired request cost the daemon nothing.
+  std::optional<JsonValue> After = C->roundTrip(analyzeRequest(), Err);
+  ASSERT_TRUE(After) << Err;
+  EXPECT_TRUE(After->find("ok")->asBool());
+}
+
+TEST(ServeDaemonGovernance, BudgetFailAndDegradeThroughTheDaemon) {
+  DaemonFixture D(uniqueSocketPath("bud"));
+  ASSERT_TRUE(D.Ok) << D.Error;
+  std::string Err;
+  std::unique_ptr<Client> C = Client::connect(D.Srv.socketPath(), Err);
+  ASSERT_TRUE(C) << Err;
+
+  // --on-budget=fail: a structured over-budget error.
+  std::optional<JsonValue> Fail = C->roundTrip(
+      familyAnalyzeRequest({"--memory-budget-bytes=1", "--on-budget=fail"}),
+      Err);
+  ASSERT_TRUE(Fail) << Err;
+  EXPECT_EQ(errorKindOf(Fail->serialize()), "over-budget");
+
+  // Default degrade: a successful, honestly-labeled report.
+  std::optional<JsonValue> Deg =
+      C->roundTrip(familyAnalyzeRequest({"--memory-budget-bytes=1"}), Err);
+  ASSERT_TRUE(Deg) << Err;
+  ASSERT_TRUE(Deg->find("ok")->asBool());
+  EXPECT_NE(Deg->find("stdout")->asString().find("\"degraded\": true"),
+            std::string::npos)
+      << "a budget-degraded daemon report must carry the degraded label";
+}
+
+TEST(RequestQueue, ExpiredJobsAreDroppedBeforeDispatch) {
+  ArtifactCache Cache(8);
+  RequestQueue Q(Scheduler::create(2), Cache);
+  Q.pause();
+  std::future<RequestQueue::Outcome> F =
+      Q.submit(trivialInput("late.c"), 0, /*DeadlineMs=*/1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  Q.resume();
+  RequestQueue::Outcome Out = F.get();
+  EXPECT_FALSE(Out.ok());
+  EXPECT_EQ(Out.ErrorKind, "timeout");
+  EXPECT_NE(Out.ErrorMessage.find("never started"), std::string::npos);
+}
+
+TEST(RequestQueue, ShutdownDrainsQueuedJobsWithStructuredErrors) {
+  ArtifactCache Cache(8);
+  RequestQueue Q(Scheduler::create(2), Cache);
+  Q.pause();
+  std::future<RequestQueue::Outcome> Queued =
+      Q.submit(trivialInput("queued.c"), 0);
+  Q.beginShutdown(); // Never resumed: the job must not run.
+  RequestQueue::Outcome Out = Queued.get();
+  EXPECT_FALSE(Out.ok());
+  EXPECT_EQ(Out.ErrorKind, "shutting-down");
+
+  // Submissions after shutdown resolve immediately, same outcome.
+  RequestQueue::Outcome Late = Q.submit(trivialInput("late.c"), 0).get();
+  EXPECT_FALSE(Late.ok());
+  EXPECT_EQ(Late.ErrorKind, "shutting-down");
+}
+
+//===----------------------------------------------------------------------===//
+// Chaos: injected faults must become error responses, never daemon crashes
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Clears process-global fault arming however the test exits.
+struct FaultGuard {
+  ~FaultGuard() { faultinject::reset(); }
+};
+
+} // namespace
+
+TEST(ServeDaemonChaos, AnalysisSideFaultsAreIsolatedToTheirRequest) {
+  FaultGuard G;
+  DaemonFixture D(uniqueSocketPath("chaos-an"));
+  ASSERT_TRUE(D.Ok) << D.Error;
+  std::string Err;
+  std::unique_ptr<Client> C = Client::connect(D.Srv.socketPath(), Err);
+  ASSERT_TRUE(C) << Err;
+
+  // Unique content per site: the cache must miss so the faulted phase
+  // (frontend parse, cache insert) actually runs.
+  auto UniqueRequest = [](const char *Tag) {
+    Request R = analyzeRequest();
+    R.Files[0].Source += std::string("\n// chaos ") + Tag + "\n";
+    return R;
+  };
+  for (const char *Site : {"frontend", "cache-insert"}) {
+    faultinject::arm(Site, 1);
+    std::optional<JsonValue> R = C->roundTrip(UniqueRequest(Site), Err);
+    ASSERT_TRUE(R) << Site << ": " << Err;
+    EXPECT_EQ(errorKindOf(R->serialize()), "internal") << Site;
+    EXPECT_NE(R->find("error")->asString().find("injected fault"),
+              std::string::npos)
+        << Site;
+    faultinject::reset();
+
+    // The same request succeeds once the fault clears — the daemon (and
+    // its cache) took no damage.
+    std::optional<JsonValue> After = C->roundTrip(UniqueRequest(Site), Err);
+    ASSERT_TRUE(After) << Site << ": " << Err;
+    EXPECT_TRUE(After->find("ok")->asBool()) << Site;
+  }
+
+  // A worker-task fault needs an analysis that actually fans out: the
+  // family member's pack groups and trace partitions dispatch pool tasks
+  // under the daemon's 2-job scheduler.
+  faultinject::arm("scheduler-worker", 1);
+  std::optional<JsonValue> R = C->roundTrip(familyAnalyzeRequest({}), Err);
+  ASSERT_TRUE(R) << Err;
+  EXPECT_EQ(errorKindOf(R->serialize()), "internal") << "scheduler-worker";
+  faultinject::reset();
+
+  // The daemon survives the worker casualty and serves the next request.
+  std::optional<JsonValue> After = C->roundTrip(analyzeRequest(), Err);
+  ASSERT_TRUE(After) << Err;
+  EXPECT_TRUE(After->find("ok")->asBool());
+}
+
+TEST(ServeDaemonChaos, TransportFaultsAreAbsorbedByClientRetries) {
+  FaultGuard G;
+  DaemonFixture D(uniqueSocketPath("chaos-tx"));
+  ASSERT_TRUE(D.Ok) << D.Error;
+
+  for (const char *Site : {"socket-write", "torn-frame"}) {
+    faultinject::arm(Site, 1);
+    ConnectOptions Opts;
+    Opts.Retries = 2;
+    Opts.BackoffBaseMs = 1;
+    std::string Err;
+    std::unique_ptr<Client> C =
+        Client::connect(D.Srv.socketPath(), Err, Opts);
+    ASSERT_TRUE(C) << Site << ": " << Err;
+    Request St;
+    St.Operation = Request::Op::Status;
+    std::optional<JsonValue> R = C->roundTrip(St, Err);
+    ASSERT_TRUE(R) << Site << ": the retry must recover: " << Err;
+    EXPECT_TRUE(R->find("ok")->asBool()) << Site;
+    EXPECT_GE(C->retriesUsed(), 1u) << Site;
+    faultinject::reset();
+  }
+}
+
+TEST(ServeDaemonChaos, StickyTransportFaultFailsBoundedAndTheDaemonSurvives) {
+  FaultGuard G;
+  DaemonFixture D(uniqueSocketPath("chaos-sticky"));
+  ASSERT_TRUE(D.Ok) << D.Error;
+
+  faultinject::arm("torn-frame", 1, /*Sticky=*/true);
+  ConnectOptions Opts;
+  Opts.Retries = 2;
+  Opts.BackoffBaseMs = 1;
+  std::string Err;
+  std::unique_ptr<Client> C = Client::connect(D.Srv.socketPath(), Err, Opts);
+  ASSERT_TRUE(C) << Err;
+  Request St;
+  St.Operation = Request::Op::Status;
+  std::optional<JsonValue> R = C->roundTrip(St, Err);
+  EXPECT_FALSE(R) << "a sticky fault must exhaust the bounded retries";
+  EXPECT_EQ(C->retriesUsed(), 2u);
+
+  // The fault was in the response path, not the daemon's state: disarm and
+  // everything works again.
+  faultinject::reset();
+  std::unique_ptr<Client> C2 = Client::connect(D.Srv.socketPath(), Err);
+  ASSERT_TRUE(C2) << Err;
+  R = C2->roundTrip(St, Err);
+  ASSERT_TRUE(R) << Err;
+  EXPECT_TRUE(R->find("ok")->asBool());
 }

@@ -9,6 +9,14 @@
 //   astral-cli <file>... [options]          one-shot analysis (the classic)
 //   astral-cli serve --socket=<path> ...    analyzer-as-a-service daemon
 //   astral-cli client --socket=<path> <op>  talk to a running daemon
+//   astral-cli emit-family [--lines=<n>] [--seed=<n>]
+//                                           print a generated member of the
+//                                           Sect. 4 program family with its
+//                                           environment spec rendered as
+//                                           @astral directives (so scripts
+//                                           can feed paper-scale inputs to
+//                                           either mode; chaos_smoke.sh uses
+//                                           the 8-kLOC fig2 member)
 //
 // One-shot mode: preprocess -> parse -> sema -> lower -> fixpoint -> alarms
 // over one or more real input files, with the Sect. 3.2 "adaptation by
@@ -20,14 +28,18 @@
 //
 // Exit codes: 0 analysis completed (alarms allowed), 1 usage or I/O error,
 // 2 frontend (preprocess/parse/sema/lower) failure on any file, 3 alarms
-// raised while --fail-on-alarms is active.
+// raised while --fail-on-alarms is active, 4 analysis stopped by resource
+// governance (--deadline-ms expiry, or --memory-budget-mb under
+// --on-budget=fail).
 //
 //===----------------------------------------------------------------------===//
 
 #include "analyzer/AnalysisSession.h"
 #include "analyzer/CliOptions.h"
+#include "codegen/FamilyGenerator.h"
 #include "service/Client.h"
 #include "service/Server.h"
+#include "support/Cancellation.h"
 
 #include <cstdio>
 #include <string>
@@ -84,12 +96,84 @@ int runOneShot(const std::vector<std::string> &Args) {
     Inputs.push_back(std::move(In));
   }
 
-  std::vector<AnalysisResult> Results = AnalysisSession::analyzeBatch(Inputs);
+  std::vector<AnalysisResult> Results;
+  try {
+    Results = AnalysisSession::analyzeBatch(Inputs);
+  } catch (const cancel::AnalysisCancelled &C) {
+    // Resource governance stopped the batch (deadline expiry, or an
+    // over-budget run under --on-budget=fail): its own exit code, distinct
+    // from usage/frontend/alarm failures, and a reason the service layer
+    // spells identically in its error_kind field.
+    std::fprintf(stderr, "astral-cli: error: %s (%s)\n", C.what(),
+                 cancel::reasonName(C.reason()));
+    return 4;
+  }
 
   cli::RunOutput Out = cli::renderRun(Cli, Paths, Results);
   std::fwrite(Out.Out.data(), 1, Out.Out.size(), stdout);
   std::fwrite(Out.Err.data(), 1, Out.Err.size(), stderr);
   return Out.ExitCode;
+}
+
+/// Prints a generated family member with its environment specification
+/// rendered as `@astral` comment directives, so the produced file is
+/// self-specifying: the one-shot CLI and the serve daemon analyze it under
+/// exactly the parametrization the generator documented for it (volatile
+/// ranges, partitioned functions, thresholds, and the benches' 1e6-tick
+/// operating time).
+int runEmitFamily(const std::vector<std::string> &Args) {
+  codegen::GeneratorConfig C;
+  C.TargetLines = 8000;
+  C.Seed = 1234; // The benches' 8-kLOC fig2 member by default.
+  for (const std::string &A : Args) {
+    auto NumVal = [&](const char *Prefix) -> std::optional<unsigned long> {
+      if (A.rfind(Prefix, 0) != 0)
+        return std::nullopt;
+      try {
+        size_t End = 0;
+        std::string V = A.substr(std::string(Prefix).size());
+        unsigned long N = std::stoul(V, &End);
+        if (End != V.size())
+          return std::nullopt;
+        return N;
+      } catch (const std::exception &) {
+        return std::nullopt;
+      }
+    };
+    if (auto N = NumVal("--lines=")) {
+      C.TargetLines = static_cast<unsigned>(*N);
+    } else if (auto N = NumVal("--seed=")) {
+      C.Seed = *N;
+    } else {
+      std::fprintf(stderr,
+                   "astral-cli: error: emit-family expects --lines=<n> "
+                   "and/or --seed=<n>, got '%s'\n",
+                   A.c_str());
+      return 1;
+    }
+  }
+  codegen::FamilyProgram FP = codegen::generateFamilyProgram(C);
+  std::string Out;
+  Out += "/* Generated member of the Sect. 4 program family "
+         "(astral-cli emit-family). */\n";
+  char Buf[192];
+  for (const auto &[Name, R] : FP.VolatileRanges) {
+    std::snprintf(Buf, sizeof(Buf), "// @astral volatile %s %.17g %.17g\n",
+                  Name.c_str(), R.Lo, R.Hi);
+    Out += Buf;
+  }
+  for (const std::string &Fn : FP.PartitionFunctions) {
+    std::snprintf(Buf, sizeof(Buf), "// @astral partition %s\n", Fn.c_str());
+    Out += Buf;
+  }
+  for (double T : FP.DocumentedThresholds) {
+    std::snprintf(Buf, sizeof(Buf), "// @astral threshold %.17g\n", T);
+    Out += Buf;
+  }
+  Out += "// @astral clock-max 1e6\n";
+  Out += FP.Source;
+  std::fwrite(Out.data(), 1, Out.size(), stdout);
+  return 0;
 }
 
 } // namespace
@@ -101,6 +185,9 @@ int main(int argc, char **argv) {
         std::vector<std::string>(Args.begin() + 1, Args.end()));
   if (!Args.empty() && Args[0] == "client")
     return service::runClientCommand(
+        std::vector<std::string>(Args.begin() + 1, Args.end()));
+  if (!Args.empty() && Args[0] == "emit-family")
+    return runEmitFamily(
         std::vector<std::string>(Args.begin() + 1, Args.end()));
   return runOneShot(Args);
 }
