@@ -21,6 +21,10 @@
 //            disjunction's environments over the pool per statement. The
 //            controller is small, so each configuration is timed over
 //            repeated whole analyses.
+//   call   — the same example under --call-dispatch seq vs par: the
+//            call-context grain, fanning a call site's disjunction of
+//            calling contexts over the pool (the clamp helper is called
+//            from the width-2 mode disjunction).
 //   batch  — AnalysisSession::analyzeBatch schedules whole copies of the
 //            file across the same pool (the paper family is multi-module;
 //            multi-file throughput is the production shape). This is the
@@ -31,8 +35,11 @@
 //
 // ASTRAL_BENCH_SMOKE=1 runs the PR-time regression gate instead of the full
 // series: on the 8-kLOC fig2 member, --jobs=8 grouped dispatch must not be
-// slower than --jobs=8 sequential dispatch by more than 10% (best of two
-// runs each), so the grouped path cannot silently regress. Exit 1 on
+// slower than --jobs=8 sequential dispatch by more than 10% (best of three
+// interleaved runs each), --jobs=8 --call-dispatch=par must not be slower
+// than --call-dispatch=seq by more than 10% under the same protocol, and
+// the call-summary memo must record at least one hit on the member
+// (iterator.call_memo_hits > 0) — a dead memo is pure overhead. Exit 1 on
 // violation.
 //
 //===----------------------------------------------------------------------===//
@@ -72,6 +79,10 @@ const char *dispatchName(PackDispatchMode M) {
 
 const char *partitionDispatchName(PartitionDispatchMode M) {
   return M == PartitionDispatchMode::Parallel ? "par" : "seq";
+}
+
+const char *callDispatchName(CallDispatchMode M) {
+  return M == CallDispatchMode::Parallel ? "par" : "seq";
 }
 
 /// Loads examples/partitioned_switch.cpp and extracts the input program it
@@ -160,6 +171,72 @@ int runSmoke() {
                 (Ratio - 1.0) * 100.0);
     return 1;
   }
+
+  // Call-context dispatch must not tax the member either: the same
+  // interleaved best-of-three protocol, --call-dispatch seq vs par.
+  std::string CallSeqPrint, CallParPrint;
+  double CallSeqSec = 0.0, CallParSec = 0.0;
+  for (int Run = 0; Run < 3; ++Run) {
+    for (CallDispatchMode Mode :
+         {CallDispatchMode::Sequential, CallDispatchMode::Parallel}) {
+      AnalysisInput In = familyInput(FP);
+      In.Options.Jobs = 8;
+      In.Options.CallDispatch = Mode;
+      Timer T;
+      AnalysisResult R = Analyzer::analyze(In);
+      double Sec = T.seconds();
+      if (!R.FrontendOk) {
+        std::printf("frontend failed: %s\n", R.FrontendErrors.c_str());
+        return 1;
+      }
+      bool Seq = Mode == CallDispatchMode::Sequential;
+      (Seq ? CallSeqPrint : CallParPrint) = fingerprint(R);
+      double &Best = Seq ? CallSeqSec : CallParSec;
+      Best = Run == 0 ? Sec : std::min(Best, Sec);
+    }
+  }
+  double CallRatio = CallParSec / CallSeqSec;
+  std::printf("PARALLEL smoke jobs=8 call-seq=%.3f call-par=%.3f "
+              "ratio=%.3f\n",
+              CallSeqSec, CallParSec, CallRatio);
+  if (CallParPrint != CallSeqPrint) {
+    std::puts("DETERMINISM VIOLATION: smoke call-par report differs from "
+              "call-seq");
+    return 1;
+  }
+  // The perf half of the gate needs real parallel hardware: on a single
+  // hardware thread, 8 workers fanning call contexts out is pure
+  // scheduling overhead with zero parallelism to buy it back, so the
+  // ratio only measures the host, not the code. The byte-identity check
+  // above still ran; the perf budget is enforced where it is meaningful
+  // (the CI runners are multi-core).
+  if (std::thread::hardware_concurrency() < 2) {
+    std::puts("note: single hardware thread — call par-vs-seq perf budget "
+              "not enforced (determinism was)");
+  } else if (CallRatio > 1.10) {
+    std::printf("SMOKE GATE FAILED: call dispatch par is %.0f%% slower than "
+                "seq (budget: 10%%)\n",
+                (CallRatio - 1.0) * 100.0);
+    return 1;
+  }
+
+  // The call-summary memo must be live on the member: the narrowing
+  // re-execution revisits calls with bitwise-identical inputs, so zero hits
+  // means the memo key or lookup broke and every analysis pays the
+  // recording overhead for nothing.
+  {
+    AnalysisSession S(familyInput(FP));
+    uint64_t Hits =
+        S.runAbstractExecution().Stats.get("iterator.call_memo_hits");
+    std::printf("PARALLEL smoke call_memo_hits=%llu\n",
+                static_cast<unsigned long long>(Hits));
+    if (Hits == 0) {
+      std::puts("SMOKE GATE FAILED: iterator.call_memo_hits == 0 on the "
+                "fig2 member (memo is dead)");
+      return 1;
+    }
+  }
+
   std::puts("smoke gate passed");
   return 0;
 }
@@ -266,6 +343,48 @@ int main() {
       std::printf("PARALLEL partition jobs=%u dispatch=%s seconds=%.3f "
                   "speedup=%.2f reps=%u\n",
                   Jobs, partitionDispatchName(Mode), Sec, PartSeqSec / Sec,
+                  PartReps);
+    }
+  }
+  hr();
+
+  // -- call: call-context dispatch on the partitioned example -------------
+  // Same repeated-analysis protocol as the partition series: the clamp
+  // helper is called from the width-2 mode disjunction, so each analysis
+  // fans the calling contexts out under --call-dispatch=par.
+  std::string CallSeqPrint;
+  double CallSeqSec = 0.0;
+  for (unsigned Jobs : JobsSeries) {
+    for (CallDispatchMode Mode :
+         {CallDispatchMode::Sequential, CallDispatchMode::Parallel}) {
+      AnalysisInput In;
+      In.Source = PartSource;
+      applySpecDirectives(In.Source, In.Options);
+      In.Options.Jobs = Jobs;
+      In.Options.CallDispatch = Mode;
+      std::string Print;
+      Timer T;
+      for (unsigned Rep = 0; Rep < PartReps; ++Rep) {
+        AnalysisResult R = Analyzer::analyze(In);
+        if (!R.FrontendOk) {
+          std::printf("frontend failed: %s\n", R.FrontendErrors.c_str());
+          return 1;
+        }
+        Print = fingerprint(R);
+      }
+      double Sec = T.seconds();
+      if (Jobs == 1 && Mode == CallDispatchMode::Sequential) {
+        CallSeqPrint = Print;
+        CallSeqSec = Sec;
+      } else if (Print != CallSeqPrint) {
+        std::printf("DETERMINISM VIOLATION: call jobs=%u dispatch=%s "
+                    "report differs\n",
+                    Jobs, callDispatchName(Mode));
+        return 1;
+      }
+      std::printf("PARALLEL call jobs=%u dispatch=%s seconds=%.3f "
+                  "speedup=%.2f reps=%u\n",
+                  Jobs, callDispatchName(Mode), Sec, CallSeqSec / Sec,
                   PartReps);
     }
   }

@@ -34,12 +34,21 @@ const char *SwitchProgram = R"(
   volatile float meas;
   float out;
 
+  /* Clamp helper, called from inside the partitioned region: each mode
+     partition inlines it with its own limit, so the call site sees a
+     width-2 disjunction — the call-context dispatch grain fans exactly
+     here (`call_dispatch.dispatched` in --dump-stats). */
+  float clamp_mag(float v, float limit) {
+    if (v > limit)  { v = limit; }
+    if (v < -limit) { v = -limit; }
+    return v;
+  }
+
   void control_step(void) {
     float limit;
     float m = meas;
     if (mode == 0) { limit = 5.0f; } else { limit = 20.0f; }
-    if (m > limit)  { m = limit; }
-    if (m < -limit) { m = -limit; }
+    m = clamp_mag(m, limit);
     if (mode == 0) { out = m * 8.0f; }   /* fine: |m| <= 5  -> |out| <= 40 */
     else           { out = m * 2.0f; }   /* coarse: |m| <= 20 -> |out| <= 40 */
   }

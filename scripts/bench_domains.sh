@@ -81,8 +81,10 @@ echo "bench_domains: wrote $OUT"
 #        alarms=A" (the pack-dispatch dimension isolates the grouped
 #        transfer grain), "PARALLEL partition jobs=N dispatch=seq|par
 #        seconds=S speedup=X reps=R" (the trace-partition grain on
-#        examples/partitioned_switch.cpp) and "PARALLEL batch jobs=N
-#        files=K seconds=S speedup=X".
+#        examples/partitioned_switch.cpp), "PARALLEL call jobs=N
+#        dispatch=seq|par seconds=S speedup=X reps=R" (the call-context
+#        grain on the same example) and "PARALLEL batch jobs=N files=K
+#        seconds=S speedup=X".
 # ---------------------------------------------------------------------------
 # Surface the bench's own diagnostic (e.g. "DETERMINISM VIOLATION ...") on
 # failure — it prints to stdout, which the capture would otherwise swallow.
@@ -115,13 +117,15 @@ par_series() { # $1 = single|batch
 
 SINGLE_JSON=$(par_series single)
 PARTITION_JSON=$(par_series partition)
+CALL_JSON=$(par_series call)
 BATCH_JSON=$(par_series batch)
 BATCH_FILES=$(printf '%s\n' "$PAR_RAW" | awk '
   $1 == "PARALLEL" && $2 == "batch" {
     for (i = 3; i <= NF; i++) { split($i, kv, "="); if (kv[1] == "files") { print kv[2]; exit } }
   }')
 
-if [[ -z "$SINGLE_JSON" || -z "$PARTITION_JSON" || -z "$BATCH_JSON" ]]; then
+if [[ -z "$SINGLE_JSON" || -z "$PARTITION_JSON" || -z "$CALL_JSON" ||
+      -z "$BATCH_JSON" ]]; then
   echo "bench_domains: could not parse bench_parallel_jobs output" >&2
   exit 1
 fi
@@ -141,6 +145,9 @@ $SINGLE_JSON
   ],
   "partition": [
 $PARTITION_JSON
+  ],
+  "call": [
+$CALL_JSON
   ],
   "batch": {
     "files": $BATCH_FILES,

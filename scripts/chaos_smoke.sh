@@ -15,7 +15,13 @@
 #      and still gets the byte-identical report;
 #   4. budget determinism: a memory-budget run that degrades produces
 #      byte-identical reports (labeled "degraded": true) across the
-#      jobs x partition-dispatch matrix.
+#      jobs x partition-dispatch x call-dispatch matrix (a budget also
+#      disables the call-summary memo, so this doubles as the proof that
+#      the auto-disable keeps the degradation ladder deterministic).
+#
+# On failure the scratch dir (reports, client/daemon stderr, the emitted
+# family members) is preserved under <build-dir>/chaos-smoke-artifacts —
+# the stable path CI uploads as a workflow artifact.
 #
 # Usage: scripts/chaos_smoke.sh [build-dir]
 set -euo pipefail
@@ -37,8 +43,17 @@ WORK=$(mktemp -d)
 SERVE_PID=
 SOCK=
 
+ARTIFACTS="$BUILD/chaos-smoke-artifacts"
+
 cleanup() {
+  local rc=$?
   [[ -n "$SERVE_PID" ]] && kill "$SERVE_PID" 2>/dev/null || true
+  if [[ $rc -ne 0 ]]; then
+    rm -rf "$ARTIFACTS"
+    mkdir -p "$ARTIFACTS"
+    cp -r "$WORK"/. "$ARTIFACTS"/ 2>/dev/null || true
+    echo "chaos_smoke: failure artifacts preserved in $ARTIFACTS" >&2
+  fi
   rm -rf "$WORK"
   [[ -n "$SOCK" ]] && rm -f "$SOCK"
 }
@@ -51,12 +66,13 @@ normalize() {
 
 start_daemon() { # $1 = tag, env may carry ASTRAL_FAULT
   SOCK=$(mktemp -u "/tmp/astral-chaos-$1.XXXXXX.sock")
-  "$CLI" serve --socket="$SOCK" --quiet &
+  "$CLI" serve --socket="$SOCK" --quiet 2>"$WORK/daemon-$1.err" &
   SERVE_PID=$!
   for _ in $(seq 1 100); do
     if "$CLI" client --socket="$SOCK" status >/dev/null 2>&1; then return 0; fi
     if ! kill -0 "$SERVE_PID" 2>/dev/null; then
       echo "chaos_smoke: daemon ($1) died during startup" >&2
+      cat "$WORK/daemon-$1.err" >&2
       exit 1
     fi
     sleep 0.1
@@ -169,30 +185,34 @@ echo "== chaos 4: budget degradation is deterministic across the matrix =="
 ref=
 for jobs in 1 2 8; do
   for pd in seq par; do
-    out="$WORK/deg-$jobs-$pd.json"
-    if ! "$CLI" "$WORK/fam2k.c" --json --memory-budget-bytes=500000 \
-        --jobs=$jobs --partition-dispatch=$pd >"$out" 2>"$WORK/deg.err"; then
-      echo "chaos_smoke: budget run jobs=$jobs pd=$pd failed:" >&2
-      cat "$WORK/deg.err" >&2
-      fail=1
-      continue
-    fi
-    if ! grep -q '"degraded": true' "$out"; then
-      echo "chaos_smoke: jobs=$jobs pd=$pd did not degrade under the budget" >&2
-      fail=1
-    fi
-    normalize <"$out" >"$out.norm"
-    if [[ -z "$ref" ]]; then
-      ref="$out.norm"
-    elif ! diff "$ref" "$out.norm" >/dev/null; then
-      echo "chaos_smoke: degraded report jobs=$jobs pd=$pd differs from" \
-           "jobs=1 pd=seq (budget determinism violation)" >&2
-      diff "$ref" "$out.norm" | head -20 >&2 || true
-      fail=1
-    fi
+    for cd in seq par; do
+      out="$WORK/deg-$jobs-$pd-$cd.json"
+      if ! "$CLI" "$WORK/fam2k.c" --json --memory-budget-bytes=500000 \
+          --jobs=$jobs --partition-dispatch=$pd --call-dispatch=$cd \
+          >"$out" 2>"$WORK/deg.err"; then
+        echo "chaos_smoke: budget run jobs=$jobs pd=$pd cd=$cd failed:" >&2
+        cat "$WORK/deg.err" >&2
+        fail=1
+        continue
+      fi
+      if ! grep -q '"degraded": true' "$out"; then
+        echo "chaos_smoke: jobs=$jobs pd=$pd cd=$cd did not degrade under" \
+             "the budget" >&2
+        fail=1
+      fi
+      normalize <"$out" >"$out.norm"
+      if [[ -z "$ref" ]]; then
+        ref="$out.norm"
+      elif ! diff "$ref" "$out.norm" >/dev/null; then
+        echo "chaos_smoke: degraded report jobs=$jobs pd=$pd cd=$cd differs" \
+             "from jobs=1 pd=seq cd=seq (budget determinism violation)" >&2
+        diff "$ref" "$out.norm" | head -20 >&2 || true
+        fail=1
+      fi
+    done
   done
 done
-echo "chaos_smoke: budget determinism ok (6 matrix cells)"
+echo "chaos_smoke: budget determinism ok (12 matrix cells)"
 
 if [[ $fail -ne 0 ]]; then
   echo "chaos_smoke: FAILED" >&2

@@ -12,6 +12,10 @@
 #   3. a clean lifecycle: shutdown via the client, daemon exits 0, socket
 #      file unlinked.
 #
+# On failure the scratch dir (mismatching reports, client/daemon stderr) is
+# preserved under <build-dir>/serve-smoke-artifacts — the stable path CI
+# uploads as a workflow artifact.
+#
 # Usage: scripts/serve_smoke.sh [build-dir]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -32,8 +36,19 @@ SOCK=$(mktemp -u /tmp/astral-serve-smoke.XXXXXX.sock)
 WORK=$(mktemp -d)
 SERVE_PID=
 
+ARTIFACTS="$BUILD/serve-smoke-artifacts"
+
 cleanup() {
+  local rc=$?
   [[ -n "$SERVE_PID" ]] && kill "$SERVE_PID" 2>/dev/null || true
+  if [[ $rc -ne 0 ]]; then
+    # Keep the evidence where CI can upload it: the last oneshot/client
+    # report pair, every client stderr, and the daemon's own stderr.
+    rm -rf "$ARTIFACTS"
+    mkdir -p "$ARTIFACTS"
+    cp -r "$WORK"/. "$ARTIFACTS"/ 2>/dev/null || true
+    echo "serve_smoke: failure artifacts preserved in $ARTIFACTS" >&2
+  fi
   rm -rf "$WORK" "$SOCK"
 }
 trap cleanup EXIT
@@ -48,7 +63,7 @@ json_field() { # $1=key $2=json-line
   sed -nE "s/.*\"$1\":([0-9]+).*/\1/p" <<<"$2"
 }
 
-"$CLI" serve --socket="$SOCK" --quiet &
+"$CLI" serve --socket="$SOCK" --quiet 2>"$WORK/daemon.err" &
 SERVE_PID=$!
 
 # The daemon binds before accepting; wait for the socket to answer.
@@ -56,6 +71,7 @@ for _ in $(seq 1 100); do
   if "$CLI" client --socket="$SOCK" status >/dev/null 2>&1; then break; fi
   if ! kill -0 "$SERVE_PID" 2>/dev/null; then
     echo "serve_smoke: daemon died during startup" >&2
+    cat "$WORK/daemon.err" >&2
     exit 1
   fi
   sleep 0.1

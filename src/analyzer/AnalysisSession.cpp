@@ -158,6 +158,8 @@ void fingerprintExecution(const AnalyzerOptions &O, FingerprintWriter &W) {
   W.field("pack_dispatch", uint64_t(static_cast<uint8_t>(O.PackDispatch)));
   W.field("partition_dispatch",
           uint64_t(static_cast<uint8_t>(O.PartitionDispatch)));
+  W.field("call_dispatch", uint64_t(static_cast<uint8_t>(O.CallDispatch)));
+  W.field("call_memo", O.CallMemo);
   W.field("max_call_depth", uint64_t(O.MaxCallDepth));
   W.field("record_loop_invariants", O.RecordLoopInvariants);
   // Resource governance fingerprints into the execution phase only: the
@@ -578,6 +580,7 @@ AnalysisSession::ExecutionPhase AnalysisSession::executeOnce() {
                                                  : schedulerForRun());
   Timer AnalysisTimer;
   size_t MaxPartitionWidth = 0;
+  size_t MaxCallWidth = 0;
   if (In.Options.Threads.empty()) {
     Iterator Iter(*Frontend->Program, *Layout->Layout, *P.Registry,
                   In.Options, E.Stats, Alarms);
@@ -586,6 +589,7 @@ AnalysisSession::ExecutionPhase AnalysisSession::executeOnce() {
     E.LoopInvariants = Iter.loopInvariants();
     E.RelPackImproved = Iter.transfer().RelPackImproved;
     MaxPartitionWidth = Iter.maxPartitionDispatchWidth();
+    MaxCallWidth = Iter.maxCallDispatchWidth();
   } else {
     // Threaded program: the interference fixpoint rounds of
     // concurrency::ConcurrentAnalysis replace the single sequential run.
@@ -601,6 +605,7 @@ AnalysisSession::ExecutionPhase AnalysisSession::executeOnce() {
     E.LoopInvariants = std::move(CR.LoopInvariants);
     E.RelPackImproved = std::move(CR.RelPackImproved);
     MaxPartitionWidth = CR.MaxPartitionWidth;
+    MaxCallWidth = CR.MaxCallWidth;
     E.Stats.set("concurrency.threads", In.Options.Threads.size());
     E.Stats.set("concurrency.rounds", CR.Rounds);
     E.Stats.set("concurrency.interference_cells", CR.InterferenceCells);
@@ -637,6 +642,12 @@ AnalysisSession::ExecutionPhase AnalysisSession::executeOnce() {
                   ? 1
                   : 0);
   E.Stats.set("parallel.partitions.max_width", MaxPartitionWidth);
+  // Call-context dispatch shape, same contract as the partition grain:
+  // `call_dispatch.dispatched` accumulates per-dispatch widths during the
+  // run, and the memo meters land in `iterator.call_memo_{hits,misses}`.
+  E.Stats.set("parallel.call_dispatch_par",
+              In.Options.CallDispatch == CallDispatchMode::Parallel ? 1 : 0);
+  E.Stats.set("parallel.calls.max_width", MaxCallWidth);
   for (size_t D = 0; D < P.Registry->size(); ++D) {
     const PackGroupPlan &Plan = P.Registry->groupPlan(D);
     std::string Prefix =

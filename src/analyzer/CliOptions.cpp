@@ -216,6 +216,23 @@ void printUsage(std::FILE *Out) {
       "                               the historical per-partition loop.\n"
       "                               Both modes produce identical\n"
       "                               reports.\n"
+      "  --call-dispatch=<mode>       call-context dispatch at call sites\n"
+      "                               reached from a multi-env disjunction:\n"
+      "                               'par' (default) inlines each\n"
+      "                               environment's callee body on the\n"
+      "                               worker pool with a deterministic\n"
+      "                               partition-order merge; 'seq' keeps\n"
+      "                               the historical per-context loop.\n"
+      "                               Both modes produce identical\n"
+      "                               reports.\n"
+      "  --call-memo=<on|off>         per-analysis call-summary memo: skip\n"
+      "                               re-inlining a call context whose\n"
+      "                               exact abstract input was already\n"
+      "                               analyzed, replaying the recorded\n"
+      "                               alarms/invariants (default: on;\n"
+      "                               auto-disabled under --memory-budget).\n"
+      "                               Reports are byte-identical either\n"
+      "                               way.\n"
       "\n"
       "domain selection:\n"
       "  --domains=<list>             enabled abstract domains, a comma-\n"
@@ -267,6 +284,7 @@ void printUsage(std::FILE *Out) {
       "  `@astral threshold 500`, `@astral entry main`,\n"
       "  `@astral domains interval,octagon`, `@astral jobs 4`,\n"
       "  `@astral pack-dispatch groups`, `@astral partition-dispatch par`,\n"
+      "  `@astral call-dispatch par`, `@astral call-memo off`,\n"
       "  `@astral thread t1 worker` (one thread per directive),\n"
       "  `@astral octagon-closure full` (flags override directives).\n"
       "\n"
@@ -522,6 +540,51 @@ ParseOutcome parseArgs(const std::vector<std::string> &Args, CliOptions &Cli) {
       }
       Cli.FlagOps.push_back(
           [Mode](AnalyzerOptions &O) { O.PartitionDispatch = *Mode; });
+    } else if (A == "--call-dispatch" || A.rfind("--call-dispatch=", 0) == 0) {
+      std::string Val;
+      if (A == "--call-dispatch") {
+        auto V = NextValue("--call-dispatch");
+        if (!V)
+          return Res;
+        Val = *V;
+      } else {
+        Val = A.substr(std::string("--call-dispatch=").size());
+      }
+      std::optional<CallDispatchMode> Mode;
+      if (Val == "seq")
+        Mode = CallDispatchMode::Sequential;
+      else if (Val == "par")
+        Mode = CallDispatchMode::Parallel;
+      if (!Mode) {
+        Failf("astral-cli: error: --call-dispatch expects 'seq' or 'par', "
+              "got '%s'",
+              Val.c_str());
+        return Res;
+      }
+      Cli.FlagOps.push_back(
+          [Mode](AnalyzerOptions &O) { O.CallDispatch = *Mode; });
+    } else if (A == "--call-memo" || A.rfind("--call-memo=", 0) == 0) {
+      std::string Val;
+      if (A == "--call-memo") {
+        auto V = NextValue("--call-memo");
+        if (!V)
+          return Res;
+        Val = *V;
+      } else {
+        Val = A.substr(std::string("--call-memo=").size());
+      }
+      std::optional<bool> On;
+      if (Val == "on")
+        On = true;
+      else if (Val == "off")
+        On = false;
+      if (!On) {
+        Failf("astral-cli: error: --call-memo expects 'on' or 'off', got "
+              "'%s'",
+              Val.c_str());
+        return Res;
+      }
+      Cli.FlagOps.push_back([On](AnalyzerOptions &O) { O.CallMemo = *On; });
     } else if (A == "--octagon-closure" ||
                A.rfind("--octagon-closure=", 0) == 0) {
       std::string Val;

@@ -53,6 +53,18 @@ enum class PackDispatchMode : uint8_t { Sequential, Groups };
 ///    sequential operation sequence, so reports stay byte-identical.
 enum class PartitionDispatchMode : uint8_t { Sequential, Parallel };
 
+/// Call-context dispatch of the Iterator's per-partition Call loops — the
+/// analyzer's fourth parallel grain, the call-context sibling of the trace
+/// partitions (Monniaux's parallel Astrée unit of work):
+///  - Sequential: the historical path, every environment of the call site's
+///    disjunction inlines the callee on the calling thread, in order.
+///  - Parallel: a call site reached from a multi-env disjunction fans the
+///    per-environment callee inlinings out over the ambient Scheduler,
+///    through the same worker-clone + collect-only accumulator + replay
+///    merge machinery as the partition dispatch, so reports stay
+///    byte-identical to the sequential loop.
+enum class CallDispatchMode : uint8_t { Sequential, Parallel };
+
 struct AnalyzerOptions {
   // -- Abstract domain selection (Sect. 6.2; the refinement sequence of the
   //    alarm experiment E2 ablates these one by one) ------------------------
@@ -148,6 +160,28 @@ struct AnalyzerOptions {
   /// reports; with Jobs == 1 there is no pool and Parallel degrades to the
   /// sequential loop.
   PartitionDispatchMode PartitionDispatch = PartitionDispatchMode::Parallel;
+
+  /// Dispatch of the Iterator's per-partition call inlinings
+  /// (--call-dispatch=seq|par, `@astral call-dispatch`). Parallel (the
+  /// default) fans the independent call contexts of a multi-env call site
+  /// out over the scheduler; Sequential keeps the historical loop
+  /// selectable for differential benching. Both modes produce identical
+  /// reports; with Jobs == 1 there is no pool and Parallel degrades to the
+  /// sequential loop.
+  CallDispatchMode CallDispatch = CallDispatchMode::Parallel;
+
+  /// Per-analysis call-summary memo (--call-memo=on|off, `@astral
+  /// call-memo`): execCall consults a map from an exact 128-bit fingerprint
+  /// of the callee-visible input (callee id, call depth, caller ref-binding
+  /// frame, the full abstract environment's representation) to the cached
+  /// output environment plus the recorded alarm/invariant effects, so
+  /// stabilized fixpoint iterations skip byte-identical re-execution of
+  /// unchanged call contexts. Hits replay the recorded effects in order —
+  /// reports stay byte-identical to the memo-off run. Disabled
+  /// automatically under a memory budget: retained summaries would keep
+  /// abstract-state nodes alive in the deterministic live figure the
+  /// degradation ladder compares against.
+  bool CallMemo = true;
 
   // -- Resource governance (deadlines + memory budgets) -------------------------
   /// Wall-clock deadline for the abstract-execution phase, in milliseconds;

@@ -36,6 +36,7 @@ struct ThreadRun {
   std::map<uint32_t, AbstractEnv> Invariants;
   std::vector<std::vector<uint8_t>> RelImproved;
   size_t MaxWidth = 0;
+  size_t MaxCallW = 0;
   ThreadInterference Recorded;
 };
 
@@ -88,6 +89,7 @@ ConcurrentResult ConcurrentAnalysis::run() {
   R.LoopInvariants = Startup.loopInvariants();
   R.RelPackImproved = Startup.transfer().RelPackImproved;
   R.MaxPartitionWidth = Startup.maxPartitionDispatchWidth();
+  R.MaxCallWidth = Startup.maxCallDispatchWidth();
 
   // Relational packs are thread-local under interference semantics; sever
   // the startup state's facts about shared cells so no stale relation
@@ -129,6 +131,7 @@ ConcurrentResult ConcurrentAnalysis::run() {
       TR.Invariants = It.loopInvariants();
       TR.RelImproved = It.transfer().RelPackImproved;
       TR.MaxWidth = It.maxPartitionDispatchWidth();
+      TR.MaxCallW = It.maxCallDispatchWidth();
       TR.Recorded = Rec.take();
     });
     if (FannedOut)
@@ -251,8 +254,10 @@ ConcurrentResult ConcurrentAnalysis::run() {
       for (size_t Pk = 0; Pk < R.RelPackImproved[D].size(); ++Pk)
         R.RelPackImproved[D][Pk] |= FinalRuns[T].RelImproved[D][Pk];
 
-  for (size_t T = 0; T < N; ++T)
+  for (size_t T = 0; T < N; ++T) {
     R.MaxPartitionWidth = std::max(R.MaxPartitionWidth, FinalRuns[T].MaxWidth);
+    R.MaxCallWidth = std::max(R.MaxCallWidth, FinalRuns[T].MaxCallW);
+  }
 
   return R;
 }

@@ -72,6 +72,7 @@ struct ConcurrentResult {
   /// inputs; surfaced as `concurrency.rounds_capped`).
   bool Capped = false;
   size_t MaxPartitionWidth = 0;
+  size_t MaxCallWidth = 0;
 };
 
 class ConcurrentAnalysis {

@@ -1,0 +1,92 @@
+//===- support/Hash128.h - 128-bit streaming content hash --------*- C++ -*-===//
+//
+// Part of ASTRAL, a reproduction of "A Static Analyzer for Large
+// Safety-Critical Software" (PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small streaming 128-bit content hash: two independent FNV-1a lanes over
+/// the same byte stream (the second lane whitens each byte with a different
+/// constant and uses its own offset basis), finished with a 64-bit avalanche
+/// mix per lane. Used as the call-summary memo key over exact abstract-state
+/// representations, where a collision would silently substitute one call
+/// context's result for another's — at 128 bits the collision probability
+/// across the <= ~10^6 distinct contexts of one analysis is ~2^-88, far
+/// below any per-run hardware error rate, which is the documented acceptance
+/// bar for keying the memo on the digest alone.
+///
+/// Not cryptographic and not seed-randomized on purpose: the digest must be
+/// a pure function of the fed representation so memo hits are reproducible
+/// across workers and runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASTRAL_SUPPORT_HASH128_H
+#define ASTRAL_SUPPORT_HASH128_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace astral {
+namespace support {
+
+class Hash128 {
+public:
+  /// Feeds \p Len raw bytes.
+  void bytes(const void *Data, size_t Len) {
+    const unsigned char *P = static_cast<const unsigned char *>(Data);
+    for (size_t I = 0; I < Len; ++I) {
+      A = (A ^ P[I]) * Prime;
+      B = (B ^ (P[I] + 0x9eu)) * Prime;
+    }
+  }
+
+  void u8(uint8_t V) { bytes(&V, sizeof V); }
+  void u32(uint32_t V) { bytes(&V, sizeof V); }
+  void u64(uint64_t V) { bytes(&V, sizeof V); }
+  void boolean(bool V) { u8(V ? 1 : 0); }
+
+  /// Doubles are fed by bit pattern: the memo key must distinguish -0.0
+  /// from 0.0 and any NaN payloads exactly as the lattice representation
+  /// stores them (bitwise-identical input is the contract, not numeric
+  /// equality).
+  void f64(double V) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof Bits);
+    u64(Bits);
+  }
+
+  /// Length-prefixed so consecutive strings never alias ("ab","c" vs
+  /// "a","bc").
+  void str(const std::string &S) {
+    u64(S.size());
+    bytes(S.data(), S.size());
+  }
+
+  /// The 128-bit digest, avalanche-mixed per lane.
+  std::pair<uint64_t, uint64_t> digest() const {
+    return {mix(A), mix(B ^ 0x6a09e667f3bcc909ull)};
+  }
+
+private:
+  static uint64_t mix(uint64_t X) {
+    X ^= X >> 33;
+    X *= 0xff51afd7ed558ccdull;
+    X ^= X >> 33;
+    X *= 0xc4ceb9fe1a85ec53ull;
+    X ^= X >> 33;
+    return X;
+  }
+
+  static constexpr uint64_t Prime = 0x100000001b3ull;
+  uint64_t A = 0xcbf29ce484222325ull;
+  uint64_t B = 0x84222325cbf29ce4ull;
+};
+
+} // namespace support
+} // namespace astral
+
+#endif // ASTRAL_SUPPORT_HASH128_H
